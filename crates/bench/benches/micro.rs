@@ -1,0 +1,195 @@
+//! Criterion micro-benchmarks of every substrate on the request hot
+//! path: event queue, key popularity sampling, wire codecs, routing,
+//! consistent hashing, C3 scoring, accelerator bookkeeping, the latency
+//! histogram and the placement solver.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use netrs::{PlacementProblem, PlanConstraints, PlanSolver, TrafficGroups, TrafficMatrix};
+use netrs_kvstore::Ring;
+use netrs_netdev::{Accelerator, AcceleratorConfig};
+use netrs_selection::{C3Config, C3Selector, Feedback, ReplicaSelector};
+use netrs_simcore::{EventQueue, Histogram, SimDuration, SimRng, SimTime, Zipf};
+use netrs_topology::{FatTree, HostId};
+use netrs_wire::{classify, MagicField, RequestHeader, ResponseHeader, Rgid, RsnodeId, SourceMarker};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule_at(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, ev)) = q.pop() {
+                sum += ev;
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(100_000_000, 0.99);
+    let mut rng = SimRng::from_seed(1);
+    c.bench_function("zipf/sample_100M_keys", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)));
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let req = RequestHeader {
+        rid: RsnodeId(42),
+        magic: MagicField::REQUEST,
+        rv: 7,
+        rgid: Rgid::new(123_456).unwrap(),
+    };
+    let payload = [0u8; 64];
+    let wire = req.encode(&payload);
+    c.bench_function("wire/encode_request_64B", |b| {
+        b.iter(|| black_box(req.encode(black_box(&payload))));
+    });
+    c.bench_function("wire/decode_request", |b| {
+        b.iter(|| black_box(RequestHeader::decode(black_box(&wire)).unwrap()));
+    });
+    c.bench_function("wire/classify", |b| {
+        b.iter(|| black_box(classify(black_box(&wire))));
+    });
+    let resp = ResponseHeader {
+        rid: RsnodeId(42),
+        magic: MagicField::RESPONSE,
+        rv: 7,
+        sm: SourceMarker { pod: 3, rack: 25 },
+        status: netrs_kvstore::ServerStatus {
+            queue_len: 5,
+            service_time_ns: 4_000_000,
+        }
+        .encode(),
+    }
+    .encode(&payload);
+    c.bench_function("wire/decode_response_with_status", |b| {
+        b.iter(|| black_box(ResponseHeader::decode(black_box(&resp)).unwrap()));
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let topo = FatTree::new(16).unwrap();
+    c.bench_function("topology/path_cross_pod", |b| {
+        let mut h = 0u64;
+        b.iter(|| {
+            h = h.wrapping_add(1);
+            black_box(topo.path(HostId(3), HostId(900), h))
+        });
+    });
+    let core = topo.core(17);
+    c.bench_function("topology/path_via_rsnode", |b| {
+        let mut h = 0u64;
+        b.iter(|| {
+            h = h.wrapping_add(1);
+            black_box(topo.path_via(HostId(3), core, HostId(900), h))
+        });
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let ring = Ring::new(100, 64, 3, 42).unwrap();
+    c.bench_function("ring/replicas_for_key", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(ring.replicas_for_key(k))
+        });
+    });
+}
+
+fn bench_c3(c: &mut Criterion) {
+    let mut sel = C3Selector::new(C3Config::default(), SimRng::from_seed(3));
+    let now = SimTime::ZERO;
+    // Warm state for 100 servers.
+    for s in 0..100u32 {
+        sel.on_response(
+            &Feedback {
+                server: netrs_kvstore::ServerId(s),
+                queue_len: s % 7,
+                service_time: SimDuration::from_millis(1 + u64::from(s % 4)),
+                latency: SimDuration::from_millis(2 + u64::from(s % 9)),
+            },
+            now,
+        );
+    }
+    let candidates = [
+        netrs_kvstore::ServerId(11),
+        netrs_kvstore::ServerId(47),
+        netrs_kvstore::ServerId(93),
+    ];
+    c.bench_function("c3/select_among_3_replicas", |b| {
+        b.iter(|| black_box(sel.select(black_box(&candidates), now)));
+    });
+}
+
+fn bench_accelerator(c: &mut Criterion) {
+    c.bench_function("accelerator/schedule_selection", |b| {
+        let mut accel = Accelerator::new(AcceleratorConfig::default());
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t = t + SimDuration::from_micros(10);
+            black_box(accel.schedule_selection(t))
+        });
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram/record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = (v.wrapping_mul(6364136223846793005)).wrapping_add(1);
+            h.record_nanos(v % 100_000_000);
+        });
+    });
+    let mut h = Histogram::new();
+    for v in 0..100_000u64 {
+        h.record_nanos(v * 997);
+    }
+    c.bench_function("histogram/p99", |b| {
+        b.iter(|| black_box(h.percentile(99.0)));
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let topo = FatTree::new(8).unwrap();
+    let mut rng = SimRng::from_seed(5);
+    let picks = rng.sample_indices(topo.num_hosts() as usize, 56);
+    let hosts: Vec<HostId> = picks.into_iter().map(|h| HostId(h as u32)).collect();
+    let (servers, clients) = hosts.split_at(24);
+    let groups = TrafficGroups::rack_level(&topo, clients);
+    let rates: Vec<(HostId, f64)> = clients.iter().map(|&h| (h, 400.0)).collect();
+    let traffic = TrafficMatrix::oracle(&topo, &groups, &rates, servers);
+    let cons = PlanConstraints::default();
+    c.bench_function("placement/greedy_8ary", |b| {
+        b.iter(|| {
+            let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+            black_box(p.solve(PlanSolver::Greedy))
+        });
+    });
+    c.bench_function("placement/auto_8ary", |b| {
+        b.iter(|| {
+            let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+            black_box(p.solve(PlanSolver::Auto { node_limit: 20 }))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_zipf,
+    bench_wire,
+    bench_topology,
+    bench_ring,
+    bench_c3,
+    bench_accelerator,
+    bench_histogram,
+    bench_placement
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end simulation benchmarks: one small cluster run per scheme,
+//! so `cargo bench` exercises the full request pipeline of each figure's
+//! series and tracks simulator throughput (events/second) over time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrs_sim::{run, Scheme, SimConfig};
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scheme_run");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::small();
+                    cfg.requests = 2_000;
+                    cfg.scheme = scheme;
+                    cfg.seed = 3;
+                    black_box(run(cfg))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

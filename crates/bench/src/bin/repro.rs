@@ -1,0 +1,123 @@
+//! `repro` — regenerate the NetRS paper's evaluation figures.
+//!
+//! ```text
+//! cargo run --release -p netrs-bench --bin repro -- fig4
+//! cargo run --release -p netrs-bench --bin repro -- all --requests 100000 --seeds 1,2
+//! cargo run --release -p netrs-bench --bin repro -- rsp
+//! cargo run --release -p netrs-bench --bin repro -- fig6 --paper-scale
+//! ```
+//!
+//! Results print as the four text panels of each figure and are also
+//! written as JSON under `target/repro/`.
+
+use std::io::Write as _;
+
+use netrs_bench::{
+    ablate_c3, ablate_cap, ablate_group, ablate_hops, fig4, fig5, fig6, fig7, paper_base,
+    render_tables, rsp_experiment, run_figure, FigureSpec,
+};
+
+struct Options {
+    requests: u64,
+    seeds: Vec<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig4|fig5|fig6|fig7|rsp|ablate-hops|ablate-cap|ablate-group|ablate-c3|all> \
+         [--requests N] [--seeds a,b,c] [--paper-scale]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].clone();
+    let mut opts = Options {
+        requests: 200_000,
+        seeds: vec![1, 2, 3],
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--requests" => {
+                i += 1;
+                opts.requests = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seeds" => {
+                i += 1;
+                opts.seeds = args
+                    .get(i)
+                    .map(|v| {
+                        v.split(',')
+                            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                            .collect()
+                    })
+                    .unwrap_or_else(|| usage());
+            }
+            "--paper-scale" => {
+                opts.requests = 6_000_000;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let base = paper_base(opts.requests);
+    let figures: Vec<FigureSpec> = match command.as_str() {
+        "fig4" => vec![fig4(&base)],
+        "fig5" => vec![fig5(&base)],
+        "fig6" => vec![fig6(&base)],
+        "fig7" => vec![fig7(&base)],
+        "ablate-hops" => vec![ablate_hops(&base)],
+        "ablate-cap" => vec![ablate_cap(&base)],
+        "ablate-group" => vec![ablate_group(&base)],
+        "ablate-c3" => vec![ablate_c3(&base)],
+        "all" => vec![
+            fig4(&base),
+            fig5(&base),
+            fig6(&base),
+            fig7(&base),
+            ablate_hops(&base),
+            ablate_cap(&base),
+            ablate_group(&base),
+            ablate_c3(&base),
+        ],
+        "rsp" => {
+            println!("{}", rsp_experiment(2018));
+            return;
+        }
+        _ => usage(),
+    };
+
+    std::fs::create_dir_all("target/repro").ok();
+    for spec in figures {
+        let started = std::time::Instant::now();
+        eprintln!(
+            "running {} ({} points x {} schemes x {} seeds, {} requests each)...",
+            spec.id,
+            spec.points.len(),
+            spec.schemes.len(),
+            opts.seeds.len(),
+            opts.requests
+        );
+        let result = run_figure(&spec, &opts.seeds);
+        println!("{}", render_tables(&result, spec.sweep));
+        let path = format!("target/repro/{}.json", spec.id);
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&result).expect("serializable result")
+            );
+            eprintln!("wrote {path}");
+        }
+        eprintln!("{} finished in {:.1}s\n", spec.id, started.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,318 @@
+//! The NetRS controller (§II, §III): plans RSNode placement, compiles
+//! Replica Selection Plans into per-switch rules, and keeps the system
+//! available through the Degraded-Replica-Selection exception mechanism.
+
+use std::collections::{BTreeSet, HashMap};
+
+use netrs_netdev::{NetRsRules, TorRules};
+use netrs_topology::{FatTree, SwitchId, Tier};
+use netrs_wire::{RsnodeId, SourceMarker};
+use serde::{Deserialize, Serialize};
+
+use crate::group::TrafficGroups;
+use crate::plan::{PlacementProblem, PlanConstraints, PlanSolver, Rsp};
+use crate::traffic::TrafficMatrix;
+
+/// Controller configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ControllerConfig {
+    /// The placement constraints (capacities, hop budget, …).
+    pub constraints: PlanConstraints,
+}
+
+/// The centralized NetRS controller.
+///
+/// The controller assigns every NetRS operator a unique positive
+/// [`RsnodeId`] (we use `switch id + 1`, reserving 0 for "unset"),
+/// periodically turns monitor statistics into a [`Rsp`], and compiles the
+/// plan into the [`NetRsRules`] each switch executes.
+#[derive(Debug, Clone)]
+pub struct NetRsController {
+    topo: FatTree,
+    cfg: ControllerConfig,
+    current: Rsp,
+    failed: BTreeSet<SwitchId>,
+}
+
+impl NetRsController {
+    /// Creates a controller for a topology.
+    #[must_use]
+    pub fn new(topo: FatTree, cfg: ControllerConfig) -> Self {
+        NetRsController {
+            topo,
+            cfg,
+            current: Rsp::default(),
+            failed: BTreeSet::new(),
+        }
+    }
+
+    /// The topology under control.
+    #[must_use]
+    pub fn topology(&self) -> &FatTree {
+        &self.topo
+    }
+
+    /// The RSNode ID of the operator at a switch.
+    #[must_use]
+    pub fn rsnode_id_of(sw: SwitchId) -> RsnodeId {
+        RsnodeId(u16::try_from(sw.0 + 1).expect("switch count fits RID width"))
+    }
+
+    /// The switch hosting an RSNode ID (inverse of
+    /// [`NetRsController::rsnode_id_of`]); `None` for illegal/unset IDs.
+    #[must_use]
+    pub fn switch_of_rsnode(&self, rid: RsnodeId) -> Option<SwitchId> {
+        if !rid.is_legal() || rid.0 == 0 {
+            return None;
+        }
+        let sw = SwitchId(u32::from(rid.0) - 1);
+        (sw.0 < self.topo.num_switches()).then_some(sw)
+    }
+
+    /// The source marker of a rack's ToR (pod, rack), as stamped on
+    /// responses (§IV-D).
+    #[must_use]
+    pub fn marker_of_rack(&self, rack: u32) -> SourceMarker {
+        let tor = SwitchId(rack);
+        SourceMarker {
+            pod: self.topo.pod_of_switch(tor).expect("tors have pods") as u16,
+            rack: rack as u16,
+        }
+    }
+
+    /// Computes and installs a new plan from traffic statistics,
+    /// excluding failed operators. Returns the installed plan.
+    pub fn plan(
+        &mut self,
+        groups: &TrafficGroups,
+        traffic: &TrafficMatrix,
+        solver: PlanSolver,
+    ) -> &Rsp {
+        let problem = PlacementProblem::new(&self.topo, groups, traffic, &self.cfg.constraints)
+            .without_operators(self.failed.iter().copied());
+        self.current = problem.solve(solver);
+        &self.current
+    }
+
+    /// Installs an externally produced plan (e.g. [`Rsp::tor_plan`] for
+    /// the NetRS-ToR scheme).
+    pub fn install(&mut self, rsp: Rsp) -> &Rsp {
+        self.current = rsp;
+        &self.current
+    }
+
+    /// The currently installed plan.
+    #[must_use]
+    pub fn current_plan(&self) -> &Rsp {
+        &self.current
+    }
+
+    /// Marks an operator failed (§III-C(iii)) and degrades every traffic
+    /// group currently assigned to it. Returns the affected groups. The
+    /// caller should re-deploy rules afterwards; a later
+    /// [`NetRsController::plan`] will avoid the operator entirely.
+    pub fn on_operator_failure(&mut self, sw: SwitchId) -> Vec<u32> {
+        self.failed.insert(sw);
+        let affected: Vec<u32> = self
+            .current
+            .assignment
+            .iter()
+            .filter(|&(_, &op)| op == sw)
+            .map(|(&g, _)| g)
+            .collect();
+        for &g in &affected {
+            self.current.assignment.remove(&g);
+            self.current.drs.insert(g);
+            self.current.proven_optimal = false;
+        }
+        affected
+    }
+
+    /// The set of operators marked failed.
+    #[must_use]
+    pub fn failed_operators(&self) -> &BTreeSet<SwitchId> {
+        &self.failed
+    }
+
+    /// Handles an overloaded operator (§III-C(ii)): every traffic group
+    /// currently assigned to it degrades to DRS, but — unlike a failure —
+    /// the operator stays a candidate for future plans (load changes are
+    /// transient). Returns the affected groups; the caller should
+    /// re-deploy rules.
+    pub fn on_operator_overload(&mut self, sw: SwitchId) -> Vec<u32> {
+        let affected: Vec<u32> = self
+            .current
+            .assignment
+            .iter()
+            .filter(|&(_, &op)| op == sw)
+            .map(|(&g, _)| g)
+            .collect();
+        for &g in &affected {
+            self.current.assignment.remove(&g);
+            self.current.drs.insert(g);
+            self.current.proven_optimal = false;
+        }
+        affected
+    }
+
+    /// Compiles the installed plan into the NetRS rules of every switch.
+    #[must_use]
+    pub fn deploy(&self, groups: &TrafficGroups) -> HashMap<SwitchId, NetRsRules> {
+        let mut rules: HashMap<SwitchId, NetRsRules> = self
+            .topo
+            .switches()
+            .map(|sw| (sw, NetRsRules::switch(Self::rsnode_id_of(sw))))
+            .collect();
+
+        // ToR switches additionally carry group/RSNode/DRS/marker rules.
+        for sw in self.topo.switches() {
+            if self.topo.tier(sw) != Tier::Tor {
+                continue;
+            }
+            let mut tor = TorRules {
+                source_marker: self.marker_of_rack(sw.0),
+                ..TorRules::default()
+            };
+            for info in groups.iter() {
+                if info.tor != sw {
+                    continue;
+                }
+                for &h in &info.hosts {
+                    tor.group_of_host.insert(h.0, info.id);
+                }
+                if self.current.drs.contains(&info.id) {
+                    tor.drs_groups.insert(info.id);
+                } else if let Some(&op) = self.current.assignment.get(&info.id) {
+                    tor.rsnode_of_group.insert(info.id, Self::rsnode_id_of(op));
+                }
+            }
+            rules.insert(sw, NetRsRules::tor(Self::rsnode_id_of(sw), tor));
+        }
+        rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::TrafficGroups;
+    use netrs_topology::HostId;
+
+    fn controller() -> (NetRsController, TrafficGroups, TrafficMatrix) {
+        let topo = FatTree::new(4).unwrap();
+        let clients: Vec<HostId> = vec![HostId(0), HostId(1), HostId(4), HostId(12)];
+        let servers: Vec<HostId> = (8..12).map(HostId).collect();
+        let groups = TrafficGroups::rack_level(&topo, &clients);
+        let rates: Vec<(HostId, f64)> = clients.iter().map(|&h| (h, 500.0)).collect();
+        let traffic = TrafficMatrix::oracle(&topo, &groups, &rates, &servers);
+        (
+            NetRsController::new(topo, ControllerConfig::default()),
+            groups,
+            traffic,
+        )
+    }
+
+    #[test]
+    fn rsnode_ids_round_trip() {
+        let (c, _, _) = controller();
+        for sw in c.topology().switches() {
+            let rid = NetRsController::rsnode_id_of(sw);
+            assert!(rid.is_legal() && rid.0 > 0);
+            assert_eq!(c.switch_of_rsnode(rid), Some(sw));
+        }
+        assert_eq!(c.switch_of_rsnode(RsnodeId::ILLEGAL), None);
+        assert_eq!(c.switch_of_rsnode(RsnodeId(0)), None);
+        assert_eq!(c.switch_of_rsnode(RsnodeId(999)), None);
+    }
+
+    #[test]
+    fn plan_and_deploy_cover_all_switches_and_groups() {
+        let (mut c, groups, traffic) = controller();
+        let rsp = c.plan(&groups, &traffic, PlanSolver::default()).clone();
+        assert_eq!(rsp.assignment.len(), groups.len());
+        let rules = c.deploy(&groups);
+        assert_eq!(rules.len() as u32, c.topology().num_switches());
+        // Every group's ToR knows the group's hosts and RSNode.
+        for info in groups.iter() {
+            let tor_rules = rules[&info.tor].tor.as_ref().expect("tor rules");
+            for &h in &info.hosts {
+                assert_eq!(tor_rules.group_of_host[&h.0], info.id);
+            }
+            let rid = tor_rules.rsnode_of_group[&info.id];
+            assert_eq!(c.switch_of_rsnode(rid), rsp.assignment.get(&info.id).copied());
+        }
+        // Non-ToR switches carry no ToR rules.
+        let agg = c.topology().agg(0, 0);
+        assert!(rules[&agg].tor.is_none());
+    }
+
+    #[test]
+    fn source_markers_match_topology() {
+        let (c, _, _) = controller();
+        let m = c.marker_of_rack(3);
+        assert_eq!(m.rack, 3);
+        assert_eq!(
+            u32::from(m.pod),
+            c.topology().pod_of_switch(SwitchId(3)).unwrap()
+        );
+    }
+
+    #[test]
+    fn operator_failure_degrades_its_groups() {
+        let (mut c, groups, traffic) = controller();
+        c.plan(&groups, &traffic, PlanSolver::default());
+        let (&victim_group, &victim_op) = c
+            .current_plan()
+            .assignment
+            .iter()
+            .next()
+            .expect("plan has assignments");
+        let affected = c.on_operator_failure(victim_op);
+        assert!(affected.contains(&victim_group));
+        assert!(c.current_plan().drs.contains(&victim_group));
+        assert!(!c.current_plan().assignment.contains_key(&victim_group));
+
+        // Deployed rules now mark the group as DRS at its ToR.
+        let rules = c.deploy(&groups);
+        let info = groups.info(victim_group);
+        let tor_rules = rules[&info.tor].tor.as_ref().unwrap();
+        assert!(tor_rules.drs_groups.contains(&victim_group));
+        assert!(!tor_rules.rsnode_of_group.contains_key(&victim_group));
+
+        // A re-plan avoids the failed operator.
+        let rsp = c.plan(&groups, &traffic, PlanSolver::default()).clone();
+        assert!(!rsp.rsnodes().contains(&victim_op));
+        assert!(rsp.assignment.contains_key(&victim_group), "group recovers");
+    }
+
+    #[test]
+    fn overload_degrades_but_does_not_exclude() {
+        let (mut c, groups, traffic) = controller();
+        c.plan(&groups, &traffic, PlanSolver::default());
+        let (&group, &op) = c.current_plan().assignment.iter().next().unwrap();
+        let affected = c.on_operator_overload(op);
+        assert!(affected.contains(&group));
+        assert!(c.current_plan().drs.contains(&group));
+        assert!(c.failed_operators().is_empty(), "overload is not failure");
+        // A re-plan may freely use the operator again.
+        let rsp = c.plan(&groups, &traffic, PlanSolver::default()).clone();
+        assert!(rsp.assignment.contains_key(&group));
+    }
+
+    #[test]
+    fn install_tor_plan() {
+        let (mut c, groups, _) = controller();
+        let rsp = Rsp::tor_plan(&groups);
+        c.install(rsp.clone());
+        assert_eq!(c.current_plan(), &rsp);
+        let rules = c.deploy(&groups);
+        for info in groups.iter() {
+            let tor_rules = rules[&info.tor].tor.as_ref().unwrap();
+            assert_eq!(
+                tor_rules.rsnode_of_group[&info.id],
+                NetRsController::rsnode_id_of(info.tor),
+                "NetRS-ToR assigns each group its own ToR"
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Traffic groups: the granularity at which the controller assigns
+//! RSNodes (§III-A).
+//!
+//! The paper considers host-level groups (one group per client host),
+//! rack-level groups (all clients under one ToR), and intervening
+//! sub-rack granularities; request-level grouping is explicitly ruled out
+//! because it would need per-request coordination.
+
+use std::collections::HashMap;
+
+use netrs_netdev::GroupId;
+use netrs_topology::{FatTree, HostId, SwitchId};
+use serde::{Deserialize, Serialize};
+
+/// How client hosts are partitioned into traffic groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Granularity {
+    /// One group per client host.
+    Host,
+    /// Groups of at most this many client hosts within the same rack.
+    SubRack(u32),
+    /// One group per rack (the paper's default evaluation granularity).
+    #[default]
+    Rack,
+}
+
+/// One traffic group: a set of client hosts under a common ToR.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupInfo {
+    /// The group's ID (dense, `0..len`).
+    pub id: GroupId,
+    /// The ToR switch all of the group's hosts attach to.
+    pub tor: SwitchId,
+    /// The client hosts in the group.
+    pub hosts: Vec<HostId>,
+}
+
+/// The full partition of client hosts into traffic groups.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TrafficGroups {
+    groups: Vec<GroupInfo>,
+    host_to_group: HashMap<u32, GroupId>,
+}
+
+impl TrafficGroups {
+    /// Partitions `clients` into groups of the given granularity.
+    /// Clients are grouped within their rack; ordering is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a client host is outside the topology or if a
+    /// `SubRack(0)` granularity is requested.
+    #[must_use]
+    pub fn build(topo: &FatTree, clients: &[HostId], granularity: Granularity) -> Self {
+        if let Granularity::SubRack(n) = granularity {
+            assert!(n > 0, "sub-rack groups need at least one host");
+        }
+        let mut by_rack: HashMap<u32, Vec<HostId>> = HashMap::new();
+        for &h in clients {
+            assert!(h.0 < topo.num_hosts(), "client host {h} outside topology");
+            by_rack.entry(topo.rack_of_host(h)).or_default().push(h);
+        }
+        let mut racks: Vec<u32> = by_rack.keys().copied().collect();
+        racks.sort_unstable();
+
+        let mut groups = Vec::new();
+        let mut host_to_group = HashMap::new();
+        for rack in racks {
+            let mut hosts = by_rack.remove(&rack).expect("key from map");
+            hosts.sort_unstable();
+            let chunk = match granularity {
+                Granularity::Host => 1,
+                Granularity::SubRack(n) => n as usize,
+                Granularity::Rack => hosts.len(),
+            };
+            for part in hosts.chunks(chunk.max(1)) {
+                let id = groups.len() as GroupId;
+                for &h in part {
+                    host_to_group.insert(h.0, id);
+                }
+                groups.push(GroupInfo {
+                    id,
+                    tor: SwitchId(rack),
+                    hosts: part.to_vec(),
+                });
+            }
+        }
+        TrafficGroups {
+            groups,
+            host_to_group,
+        }
+    }
+
+    /// Rack-level groups (the paper's default).
+    #[must_use]
+    pub fn rack_level(topo: &FatTree, clients: &[HostId]) -> Self {
+        Self::build(topo, clients, Granularity::Rack)
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no groups.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group a client host belongs to, if any.
+    #[must_use]
+    pub fn group_of_host(&self, h: HostId) -> Option<GroupId> {
+        self.host_to_group.get(&h.0).copied()
+    }
+
+    /// Group metadata by ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    #[must_use]
+    pub fn info(&self, g: GroupId) -> &GroupInfo {
+        &self.groups[g as usize]
+    }
+
+    /// Iterates over all groups in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = &GroupInfo> {
+        self.groups.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> FatTree {
+        FatTree::new(4).unwrap()
+    }
+
+    #[test]
+    fn rack_level_groups_share_tor() {
+        let t = topo();
+        // Hosts 0,1 share rack 0; 2,3 share rack 1; 4 alone in rack 2.
+        let clients = [HostId(0), HostId(1), HostId(2), HostId(3), HostId(4)];
+        let g = TrafficGroups::rack_level(&t, &clients);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.info(0).hosts, vec![HostId(0), HostId(1)]);
+        assert_eq!(g.info(0).tor, SwitchId(0));
+        assert_eq!(g.info(2).hosts, vec![HostId(4)]);
+        assert_eq!(g.group_of_host(HostId(3)), Some(1));
+        assert_eq!(g.group_of_host(HostId(9)), None);
+    }
+
+    #[test]
+    fn host_level_groups_are_singletons() {
+        let t = topo();
+        let clients = [HostId(0), HostId(1), HostId(4)];
+        let g = TrafficGroups::build(&t, &clients, Granularity::Host);
+        assert_eq!(g.len(), 3);
+        assert!(g.iter().all(|info| info.hosts.len() == 1));
+    }
+
+    #[test]
+    fn sub_rack_groups_chunk_within_racks() {
+        let t = FatTree::new(8).unwrap(); // 4 hosts per rack
+        let clients: Vec<HostId> = (0..8).map(HostId).collect(); // racks 0, 1
+        let g = TrafficGroups::build(&t, &clients, Granularity::SubRack(3));
+        // Rack 0: chunks [0,1,2], [3]; rack 1: [4,5,6], [7].
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.info(0).hosts.len(), 3);
+        assert_eq!(g.info(1).hosts, vec![HostId(3)]);
+        // No group spans racks.
+        for info in g.iter() {
+            let racks: std::collections::HashSet<u32> =
+                info.hosts.iter().map(|&h| t.rack_of_host(h)).collect();
+            assert_eq!(racks.len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_regardless_of_client_order() {
+        let t = topo();
+        let a = TrafficGroups::rack_level(&t, &[HostId(0), HostId(5), HostId(1)]);
+        let b = TrafficGroups::rack_level(&t, &[HostId(5), HostId(1), HostId(0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_clients_give_empty_groups() {
+        let g = TrafficGroups::rack_level(&topo(), &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn out_of_range_client_rejected() {
+        let _ = TrafficGroups::rack_level(&topo(), &[HostId(999)]);
+    }
+}

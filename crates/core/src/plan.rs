@@ -1,0 +1,821 @@
+//! RSNode placement: the ILP of §III-B and its solvers.
+//!
+//! The decision variables are the paper's: `P[g][o] = 1` iff traffic
+//! group `g` selects replicas at NetRS operator `o`, and `D[o] = 1` iff
+//! operator `o` hosts any RSNode. The model is
+//!
+//! * **Objective (Eq. 1)** — minimize `Σ D[o]` (fewer RSNodes → fresher
+//!   local information and less herd behaviour).
+//! * **Eq. 4 / R matrix** — `P[g][o]` only exists where `o` lies on `g`'s
+//!   default paths: `g`'s own ToR, the aggregation switches of `g`'s pod,
+//!   or any core switch (encoded here by only *creating* variables for
+//!   candidates, which also prunes the model).
+//! * **Eq. 5** — every group has exactly one RSNode.
+//! * **Eq. 3 (aggregated)** — `Σ_g P[g][o] ≤ |G| · D[o]` links assignment
+//!   to opening; the aggregation keeps the row count linear while
+//!   admitting the same integer solutions.
+//! * **Eq. 6** — operator load (group request rates, optionally doubled
+//!   for response clones, which share the accelerator) within
+//!   `U·c/t` capacity.
+//! * **Eq. 7** — total extra forwarding hops within the budget `E`, with
+//!   the per-tier hop cost of [`netrs_topology::extra_hops`].
+//!
+//! Core switches are interchangeable in the model (every `R[g][core]` is
+//! 1 and capacities are uniform), so the builder applies symmetry
+//! reduction: only as many core candidates as could ever be needed are
+//! instantiated.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use netrs_ilp::{BranchAndBound, IlpError, Problem, Sense, VarId};
+use netrs_netdev::{AcceleratorConfig, GroupId};
+use netrs_topology::{extra_hops, FatTree, SwitchId, Tier};
+use serde::{Deserialize, Serialize};
+
+use crate::group::TrafficGroups;
+use crate::traffic::TrafficMatrix;
+
+/// The `P` variables of the placement ILP: one `(group, operator,
+/// variable)` triple per legal assignment.
+pub type AssignmentVars = Vec<(GroupId, SwitchId, VarId)>;
+
+/// The constraint parameters of the placement problem (paper defaults in
+/// [`Default`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanConstraints {
+    /// Maximum accelerator utilization `U` (Constraint 2; paper: 50 %).
+    pub max_utilization: f64,
+    /// The accelerator model on every operator.
+    pub accelerator: AcceleratorConfig,
+    /// Absolute per-operator task-rate caps overriding the uniform
+    /// `U·c/t` capacity — the paper's shared-accelerator scenario where
+    /// administrators give each accelerator its own threshold.
+    pub capacity_overrides: HashMap<u32, f64>,
+    /// Extra-hop budget `E` in hops/second (Constraint 3; the paper uses
+    /// 20 % of the aggregate request rate `A`).
+    pub extra_hop_budget: f64,
+    /// Additional accelerator load per request for the cloned response
+    /// the selector must also process (1.0 = every request produces one
+    /// clone task; 0.0 reproduces the paper's request-only Eq. 6).
+    pub response_load_factor: f64,
+    /// Cap on instantiated core-switch candidates (0 = automatic: just
+    /// enough cores to carry the whole load, plus slack).
+    pub core_candidates: u32,
+    /// Accelerator-sharing sets `J` (§III-B's cost-cutting variant where
+    /// one accelerator connects to several switches): the *summed* load
+    /// of each set's switches must stay within the set's capacity. Each
+    /// entry is `(switch ids, shared capacity in tasks/second)`. Switches
+    /// may appear in at most one set; unlisted switches keep their own
+    /// accelerator.
+    pub shared_accelerators: Vec<(Vec<u32>, f64)>,
+}
+
+impl Default for PlanConstraints {
+    fn default() -> Self {
+        PlanConstraints {
+            max_utilization: 0.5,
+            accelerator: AcceleratorConfig::default(),
+            capacity_overrides: HashMap::new(),
+            extra_hop_budget: f64::INFINITY,
+            response_load_factor: 1.0,
+            core_candidates: 0,
+            shared_accelerators: Vec::new(),
+        }
+    }
+}
+
+/// Which algorithm produces the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanSolver {
+    /// Branch-and-bound to proven optimality (small instances).
+    Exact {
+        /// Node budget before falling back to the best incumbent.
+        node_limit: u64,
+    },
+    /// The capacity/hop-aware greedy heuristic only.
+    Greedy,
+    /// Greedy first, then branch-and-bound warm-started with the greedy
+    /// plan under a node budget — the paper's "terminate solving early"
+    /// mode.
+    Auto {
+        /// Node budget for the improvement phase.
+        node_limit: u64,
+    },
+}
+
+impl Default for PlanSolver {
+    fn default() -> Self {
+        PlanSolver::Auto { node_limit: 200 }
+    }
+}
+
+/// A Replica Selection Plan: the output of the controller (§II).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Rsp {
+    /// RSNode operator (by switch) of each assigned traffic group.
+    pub assignment: BTreeMap<GroupId, SwitchId>,
+    /// Groups running Degraded Replica Selection instead (§III-C).
+    pub drs: BTreeSet<GroupId>,
+    /// Whether the assignment was proven optimal by the solver.
+    pub proven_optimal: bool,
+}
+
+impl Rsp {
+    /// The distinct RSNode switches used by the plan.
+    #[must_use]
+    pub fn rsnodes(&self) -> BTreeSet<SwitchId> {
+        self.assignment.values().copied().collect()
+    }
+
+    /// Number of RSNodes per tier `[core, agg, tor]` — the paper reports
+    /// plans this way ("6 RSNodes on aggregation switches and 1 RSNode on
+    /// a core switch").
+    #[must_use]
+    pub fn tier_census(&self, topo: &FatTree) -> [usize; 3] {
+        let mut census = [0usize; 3];
+        for sw in self.rsnodes() {
+            census[topo.tier(sw).id() as usize] += 1;
+        }
+        census
+    }
+
+    /// The trivial NetRS-ToR plan: every group's RSNode is its own ToR
+    /// switch (the paper's straightforward baseline RSP).
+    #[must_use]
+    pub fn tor_plan(groups: &TrafficGroups) -> Rsp {
+        Rsp {
+            assignment: groups.iter().map(|g| (g.id, g.tor)).collect(),
+            drs: BTreeSet::new(),
+            proven_optimal: false,
+        }
+    }
+}
+
+/// The RSNode placement problem for one topology/workload.
+#[derive(Debug)]
+pub struct PlacementProblem<'a> {
+    topo: &'a FatTree,
+    groups: &'a TrafficGroups,
+    traffic: &'a TrafficMatrix,
+    cons: &'a PlanConstraints,
+    /// Operators excluded from candidacy (failed or overloaded devices).
+    excluded: BTreeSet<SwitchId>,
+}
+
+impl<'a> PlacementProblem<'a> {
+    /// Creates the problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traffic matrix does not cover every group.
+    #[must_use]
+    pub fn new(
+        topo: &'a FatTree,
+        groups: &'a TrafficGroups,
+        traffic: &'a TrafficMatrix,
+        cons: &'a PlanConstraints,
+    ) -> Self {
+        assert_eq!(
+            traffic.len(),
+            groups.len(),
+            "traffic matrix must cover every group"
+        );
+        PlacementProblem {
+            topo,
+            groups,
+            traffic,
+            cons,
+            excluded: BTreeSet::new(),
+        }
+    }
+
+    /// Excludes operators (e.g. failed devices) from candidacy.
+    #[must_use]
+    pub fn without_operators(mut self, excluded: impl IntoIterator<Item = SwitchId>) -> Self {
+        self.excluded.extend(excluded);
+        self
+    }
+
+    /// The accelerator task-rate capacity of an operator (`U·c/t`, or its
+    /// administrator override).
+    #[must_use]
+    pub fn capacity_of(&self, sw: SwitchId) -> f64 {
+        self.cons.capacity_overrides.get(&sw.0).copied().unwrap_or(
+            self.cons
+                .accelerator
+                .capacity_at_utilization(self.cons.max_utilization),
+        )
+    }
+
+    /// A group's accelerator load in tasks/second (requests plus cloned
+    /// responses).
+    #[must_use]
+    pub fn load_of(&self, g: GroupId) -> f64 {
+        self.traffic.group_total(g) * (1.0 + self.cons.response_load_factor)
+    }
+
+    /// Extra forwarding hops per second incurred if group `g` uses the
+    /// operator at `sw` (Eq. 7 terms).
+    #[must_use]
+    pub fn extra_hop_rate(&self, g: GroupId, sw: SwitchId) -> f64 {
+        let rsnode_tier = self.topo.tier(sw);
+        let rates = self.traffic.tier_rates(g);
+        Tier::ALL
+            .into_iter()
+            .map(|traffic_tier| {
+                f64::from(extra_hops(traffic_tier, rsnode_tier))
+                    * rates[traffic_tier.id() as usize]
+            })
+            .sum()
+    }
+
+    /// How many core-switch candidates the model instantiates.
+    fn core_candidate_count(&self) -> u32 {
+        if self.cons.core_candidates > 0 {
+            return self.cons.core_candidates.min(self.topo.num_cores());
+        }
+        // Enough cores to absorb the entire load, plus one slack.
+        let total_load: f64 = (0..self.groups.len() as GroupId)
+            .map(|g| self.load_of(g))
+            .sum();
+        let core_cap = self.capacity_of(self.topo.core(0)).max(1e-9);
+        let needed = (total_load / core_cap).ceil() as u32 + 1;
+        needed.clamp(1, self.topo.num_cores())
+    }
+
+    /// The candidate operators of a group, per the R-matrix rules of
+    /// §III-B: own ToR, own-pod aggregation switches, core switches
+    /// (symmetry-reduced), minus excluded devices.
+    #[must_use]
+    pub fn candidates(&self, g: GroupId) -> Vec<SwitchId> {
+        let info = self.groups.info(g);
+        let pod = self
+            .topo
+            .pod_of_switch(info.tor)
+            .expect("group ToRs always have a pod");
+        let mut out = Vec::new();
+        if !self.excluded.contains(&info.tor) {
+            out.push(info.tor);
+        }
+        for i in 0..self.topo.arity() / 2 {
+            let agg = self.topo.agg(pod, i);
+            if !self.excluded.contains(&agg) {
+                out.push(agg);
+            }
+        }
+        for c in 0..self.core_candidate_count() {
+            let core = self.topo.core(c);
+            if !self.excluded.contains(&core) {
+                out.push(core);
+            }
+        }
+        out
+    }
+
+    /// Builds the ILP over the groups *not* in `drs`. Returns the model
+    /// and the variable maps (`P` variables as `(group, operator, var)`
+    /// triples and `D` variables per operator).
+    #[must_use]
+    pub fn to_ilp(
+        &self,
+        drs: &BTreeSet<GroupId>,
+    ) -> (Problem, AssignmentVars, BTreeMap<SwitchId, VarId>) {
+        let mut p = Problem::minimize();
+        let mut pvars: AssignmentVars = Vec::new();
+        let mut dvars: BTreeMap<SwitchId, VarId> = BTreeMap::new();
+        let active: Vec<GroupId> = (0..self.groups.len() as GroupId)
+            .filter(|g| !drs.contains(g))
+            .collect();
+
+        // D variables first (cost 1 each, Eq. 1), then P variables
+        // (cost 0) for each (group, candidate) pair — Eq. 4 by
+        // construction.
+        for &g in &active {
+            for sw in self.candidates(g) {
+                dvars.entry(sw).or_insert_with(|| p.add_binary(1.0));
+            }
+        }
+        for &g in &active {
+            for sw in self.candidates(g) {
+                let v = p.add_binary(0.0);
+                pvars.push((g, sw, v));
+            }
+        }
+
+        // Eq. 5: exactly one RSNode per group.
+        for &g in &active {
+            let terms: Vec<(VarId, f64)> = pvars
+                .iter()
+                .filter(|&&(pg, _, _)| pg == g)
+                .map(|&(_, _, v)| (v, 1.0))
+                .collect();
+            if !terms.is_empty() {
+                p.add_constraint(terms, Sense::Eq, 1.0);
+            }
+        }
+
+        let big_g = active.len().max(1) as f64;
+        for (&sw, &dv) in &dvars {
+            let assigned: Vec<&(GroupId, SwitchId, VarId)> =
+                pvars.iter().filter(|&&(_, s, _)| s == sw).collect();
+            // Eq. 3 (aggregated linking).
+            let mut link: Vec<(VarId, f64)> =
+                assigned.iter().map(|&&(_, _, v)| (v, 1.0)).collect();
+            link.push((dv, -big_g));
+            p.add_constraint(link, Sense::Le, 0.0);
+            // Eq. 6 (capacity).
+            let cap_terms: Vec<(VarId, f64)> = assigned
+                .iter()
+                .map(|&&(g, _, v)| (v, self.load_of(g)))
+                .collect();
+            p.add_constraint(cap_terms, Sense::Le, self.capacity_of(sw));
+        }
+
+        // §III-B's shared-accelerator variant of Eq. 6: the summed load
+        // of all switches wired to one accelerator stays within that
+        // accelerator's capacity.
+        for (set, cap) in &self.cons.shared_accelerators {
+            let members: BTreeSet<u32> = set.iter().copied().collect();
+            let terms: Vec<(VarId, f64)> = pvars
+                .iter()
+                .filter(|&&(_, sw, _)| members.contains(&sw.0))
+                .map(|&(g, _, v)| (v, self.load_of(g)))
+                .collect();
+            if !terms.is_empty() {
+                p.add_constraint(terms, Sense::Le, *cap);
+            }
+        }
+
+        // Eq. 7 (global extra-hop budget), only if finite.
+        if self.cons.extra_hop_budget.is_finite() {
+            let terms: Vec<(VarId, f64)> = pvars
+                .iter()
+                .map(|&(g, sw, v)| (v, self.extra_hop_rate(g, sw)))
+                .filter(|&(_, c)| c > 0.0)
+                .collect();
+            p.add_constraint(terms, Sense::Le, self.cons.extra_hop_budget);
+        }
+
+        (p, pvars, dvars)
+    }
+
+    /// Index of the shared-accelerator set a switch belongs to, if any.
+    fn shared_set_of(&self, sw: SwitchId) -> Option<usize> {
+        self.cons
+            .shared_accelerators
+            .iter()
+            .position(|(set, _)| set.contains(&sw.0))
+    }
+
+    /// The greedy heuristic: repeatedly open (or extend) the operator
+    /// that absorbs the most remaining load within its capacity (own and
+    /// shared-accelerator, if any) and the global hop budget; groups
+    /// nothing can absorb fall back to DRS — highest-traffic groups are
+    /// preferred for DRS exactly as §III-C prescribes.
+    #[must_use]
+    pub fn solve_greedy(&self) -> Rsp {
+        let mut remaining: BTreeSet<GroupId> = (0..self.groups.len() as GroupId).collect();
+        let mut cap_left: HashMap<SwitchId, f64> = HashMap::new();
+        let mut shared_left: Vec<f64> = self
+            .cons
+            .shared_accelerators
+            .iter()
+            .map(|&(_, cap)| cap)
+            .collect();
+        let mut opened: BTreeSet<SwitchId> = BTreeSet::new();
+        let mut hops_left = self.cons.extra_hop_budget;
+        let mut rsp = Rsp::default();
+
+        // Candidate operator universe.
+        let mut universe: BTreeSet<SwitchId> = BTreeSet::new();
+        for g in remaining.iter().copied() {
+            universe.extend(self.candidates(g));
+        }
+
+        while !remaining.is_empty() {
+            let mut best: Option<(f64, bool, SwitchId, Vec<GroupId>, f64)> = None;
+            for &sw in &universe {
+                let mut cap = *cap_left
+                    .entry(sw)
+                    .or_insert_with(|| self.capacity_of(sw));
+                if let Some(set) = self.shared_set_of(sw) {
+                    cap = cap.min(shared_left[set]);
+                }
+                let mut hops = hops_left;
+                // Absorb cheap-hop, heavy groups first.
+                let mut takers: Vec<GroupId> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|&g| self.candidates(g).contains(&sw))
+                    .collect();
+                takers.sort_by(|&a, &b| {
+                    let ka = (self.extra_hop_rate(a, sw), -self.load_of(a));
+                    let kb = (self.extra_hop_rate(b, sw), -self.load_of(b));
+                    ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut taken = Vec::new();
+                let mut taken_load = 0.0;
+                let mut hops_used = 0.0;
+                for g in takers {
+                    let load = self.load_of(g);
+                    let hr = self.extra_hop_rate(g, sw);
+                    if load <= cap + 1e-9 && hr <= hops + 1e-9 {
+                        cap -= load;
+                        hops -= hr;
+                        hops_used += hr;
+                        taken_load += load;
+                        taken.push(g);
+                    }
+                }
+                if taken.is_empty() {
+                    continue;
+                }
+                let already_open = opened.contains(&sw);
+                let key = (taken_load, already_open, sw, taken, hops_used);
+                let better = match &best {
+                    None => true,
+                    Some((bl, bo, ..)) => {
+                        key.0 > *bl + 1e-9 || ((key.0 - *bl).abs() <= 1e-9 && key.1 && !bo)
+                    }
+                };
+                if better {
+                    best = Some(key);
+                }
+            }
+
+            match best {
+                Some((_, _, sw, taken, hops_used)) => {
+                    opened.insert(sw);
+                    let shared = self.shared_set_of(sw);
+                    let cap = cap_left.get_mut(&sw).expect("entry created above");
+                    for g in taken {
+                        let load = self.load_of(g);
+                        *cap -= load;
+                        if let Some(set) = shared {
+                            shared_left[set] -= load;
+                        }
+                        remaining.remove(&g);
+                        rsp.assignment.insert(g, sw);
+                    }
+                    hops_left -= hops_used;
+                }
+                None => {
+                    // Nothing can take anything: degrade the
+                    // highest-traffic remaining group (§III-C).
+                    let g = remaining
+                        .iter()
+                        .copied()
+                        .max_by(|&a, &b| {
+                            self.load_of(a)
+                                .partial_cmp(&self.load_of(b))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .expect("remaining is non-empty");
+                    remaining.remove(&g);
+                    rsp.drs.insert(g);
+                }
+            }
+        }
+        rsp
+    }
+
+    /// Solves the placement with the chosen solver. On an infeasible
+    /// model the controller's DRS fallback kicks in: the highest-traffic
+    /// group is degraded and the model re-solved, until feasible.
+    #[must_use]
+    pub fn solve(&self, solver: PlanSolver) -> Rsp {
+        if self.groups.is_empty() {
+            return Rsp::default();
+        }
+        let (node_limit, warm) = match solver {
+            PlanSolver::Greedy => return self.solve_greedy(),
+            PlanSolver::Exact { node_limit } => (node_limit, None),
+            PlanSolver::Auto { node_limit } => {
+                // The dense-simplex improvement phase pays off only while
+                // the model stays moderate; past that the greedy plan IS
+                // the anytime answer (the paper's early-termination mode).
+                let model_size: usize = (0..self.groups.len() as GroupId)
+                    .map(|g| self.candidates(g).len())
+                    .sum();
+                if model_size > 2_500 {
+                    return self.solve_greedy();
+                }
+                (node_limit, Some(self.solve_greedy()))
+            }
+        };
+
+        let mut drs: BTreeSet<GroupId> = warm.as_ref().map(|w| w.drs.clone()).unwrap_or_default();
+        loop {
+            let (problem, pvars, dvars) = self.to_ilp(&drs);
+            let warm_vec = warm.as_ref().map(|w| {
+                let mut x = vec![0.0; problem.num_vars()];
+                for &(g, sw, v) in &pvars {
+                    if w.assignment.get(&g) == Some(&sw) {
+                        x[v] = 1.0;
+                        x[dvars[&sw]] = 1.0;
+                    }
+                }
+                x
+            });
+            let bnb = BranchAndBound {
+                node_limit,
+                ..BranchAndBound::default()
+            };
+            match bnb.solve_from(&problem, warm_vec.as_deref()) {
+                Ok(sol) => {
+                    let mut rsp = Rsp {
+                        drs,
+                        proven_optimal: sol.status == netrs_ilp::IlpStatus::Optimal,
+                        ..Rsp::default()
+                    };
+                    for &(g, sw, v) in &pvars {
+                        if sol.values[v] > 0.5 {
+                            rsp.assignment.insert(g, sw);
+                        }
+                    }
+                    return rsp;
+                }
+                Err(IlpError::BudgetExhausted) => {
+                    // Only possible without a warm start (Exact mode with
+                    // a tiny budget): fall back to the heuristic rather
+                    // than degrading groups that may well be placeable.
+                    return self.solve_greedy();
+                }
+                Err(IlpError::Infeasible) => {
+                    // §III-C(i): no feasible RSP — degrade the
+                    // highest-traffic active group and retry.
+                    let candidate = (0..self.groups.len() as GroupId)
+                        .filter(|g| !drs.contains(g))
+                        .max_by(|&a, &b| {
+                            self.load_of(a)
+                                .partial_cmp(&self.load_of(b))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                    match candidate {
+                        Some(g) => {
+                            drs.insert(g);
+                        }
+                        None => {
+                            return Rsp {
+                                drs,
+                                ..Rsp::default()
+                            }
+                        }
+                    }
+                }
+                Err(IlpError::Unbounded) => {
+                    unreachable!("placement objective is non-negative")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrs_topology::HostId;
+
+    fn setup(
+        clients: &[u32],
+        per_client_rate: f64,
+    ) -> (FatTree, TrafficGroups, TrafficMatrix) {
+        let topo = FatTree::new(4).unwrap();
+        let hosts: Vec<HostId> = clients.iter().map(|&h| HostId(h)).collect();
+        let groups = TrafficGroups::rack_level(&topo, &hosts);
+        let servers: Vec<HostId> = (8..16).map(HostId).collect();
+        let rates: Vec<(HostId, f64)> = hosts.iter().map(|&h| (h, per_client_rate)).collect();
+        let traffic = TrafficMatrix::oracle(&topo, &groups, &rates, &servers);
+        (topo, groups, traffic)
+    }
+
+    #[test]
+    fn candidates_follow_r_matrix_rules() {
+        let (topo, groups, traffic) = setup(&[0, 1], 100.0);
+        let cons = PlanConstraints {
+            core_candidates: 2,
+            ..PlanConstraints::default()
+        };
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let cands = p.candidates(0);
+        // Own ToR (switch 0), both pod-0 aggs, 2 core candidates.
+        assert!(cands.contains(&topo.tor(0, 0)));
+        assert!(cands.contains(&topo.agg(0, 0)));
+        assert!(cands.contains(&topo.agg(0, 1)));
+        assert!(cands.contains(&topo.core(0)));
+        assert_eq!(cands.len(), 5);
+        // Never a foreign pod's agg or a foreign ToR.
+        assert!(!cands.contains(&topo.agg(1, 0)));
+        assert!(!cands.contains(&topo.tor(1, 0)));
+    }
+
+    #[test]
+    fn single_core_suffices_when_capacity_allows() {
+        // Two client racks in pods 0 and 1, servers in pods 2 and 3:
+        // all-cross-pod traffic, so one core RSNode covers both racks
+        // with zero extra hops.
+        let (topo, groups, traffic) = setup(&[0, 4], 100.0);
+        let cons = PlanConstraints {
+            extra_hop_budget: 0.0, // force on-path RSNodes only
+            ..PlanConstraints::default()
+        };
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let rsp = p.solve(PlanSolver::Exact { node_limit: 10_000 });
+        assert!(rsp.drs.is_empty());
+        assert!(rsp.proven_optimal);
+        assert_eq!(rsp.rsnodes().len(), 1, "one RSNode must suffice: {rsp:?}");
+        let census = rsp.tier_census(&topo);
+        assert_eq!(census[0], 1, "it must be a core switch: {census:?}");
+    }
+
+    #[test]
+    fn capacity_forces_multiple_rsnodes() {
+        let (topo, groups, traffic) = setup(&[0, 12], 100.0);
+        // Each group loads 100 req/s * 2 (clones). Cap capacity at 250/s:
+        // one operator cannot take both groups (2 * 200 = 400).
+        let mut cons = PlanConstraints {
+            extra_hop_budget: f64::INFINITY,
+            ..PlanConstraints::default()
+        };
+        for sw in topo.switches() {
+            cons.capacity_overrides.insert(sw.0, 250.0);
+        }
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let rsp = p.solve(PlanSolver::Exact { node_limit: 10_000 });
+        assert!(rsp.drs.is_empty());
+        assert_eq!(rsp.rsnodes().len(), 2, "{rsp:?}");
+    }
+
+    #[test]
+    fn hop_budget_pushes_rsnodes_down_the_tree() {
+        // One rack of clients with mostly rack-local traffic: with a zero
+        // hop budget the RSNode must be the ToR itself.
+        let topo = FatTree::new(4).unwrap();
+        let hosts = [HostId(0)];
+        let groups = TrafficGroups::rack_level(&topo, &hosts);
+        let servers = [HostId(1)]; // same rack → all Tier-2 traffic
+        let traffic = TrafficMatrix::oracle(&topo, &groups, &[(HostId(0), 100.0)], &servers);
+        let cons = PlanConstraints {
+            extra_hop_budget: 0.0,
+            ..PlanConstraints::default()
+        };
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let rsp = p.solve(PlanSolver::Exact { node_limit: 1_000 });
+        assert_eq!(rsp.assignment[&0], topo.tor(0, 0));
+
+        // With budget for the detour, a core RSNode becomes legal too —
+        // but minimizing count still gives 1 RSNode either way.
+        let cons = PlanConstraints {
+            extra_hop_budget: 1_000.0,
+            ..PlanConstraints::default()
+        };
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let rsp = p.solve(PlanSolver::Exact { node_limit: 1_000 });
+        assert_eq!(rsp.rsnodes().len(), 1);
+    }
+
+    #[test]
+    fn infeasible_model_degrades_highest_traffic_group() {
+        let (topo, groups, traffic) = setup(&[0, 12], 100.0);
+        // Capacity too small for either group anywhere.
+        let mut cons = PlanConstraints::default();
+        for sw in topo.switches() {
+            cons.capacity_overrides.insert(sw.0, 10.0);
+        }
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let rsp = p.solve(PlanSolver::Exact { node_limit: 1_000 });
+        assert_eq!(rsp.drs.len(), 2, "all groups must degrade: {rsp:?}");
+        assert!(rsp.assignment.is_empty());
+    }
+
+    #[test]
+    fn greedy_respects_capacity_and_covers_groups() {
+        let (topo, groups, traffic) = setup(&[0, 1, 2, 3, 12, 13], 50.0);
+        let cons = PlanConstraints::default();
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let rsp = p.solve_greedy();
+        assert!(rsp.drs.is_empty());
+        assert_eq!(rsp.assignment.len(), groups.len());
+        // Per-operator load within capacity.
+        let mut loads: HashMap<SwitchId, f64> = HashMap::new();
+        for (&g, &sw) in &rsp.assignment {
+            *loads.entry(sw).or_default() += p.load_of(g);
+        }
+        for (&sw, &load) in &loads {
+            assert!(load <= p.capacity_of(sw) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn auto_never_beats_exact_never_worse_than_greedy() {
+        let (topo, groups, traffic) = setup(&[0, 1, 2, 4, 5, 12], 80.0);
+        let mut cons = PlanConstraints::default();
+        for sw in topo.switches() {
+            cons.capacity_overrides.insert(sw.0, 400.0);
+        }
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let greedy = p.solve_greedy();
+        let auto = p.solve(PlanSolver::Auto { node_limit: 5_000 });
+        let exact = p.solve(PlanSolver::Exact { node_limit: 100_000 });
+        assert!(exact.proven_optimal);
+        assert!(auto.rsnodes().len() <= greedy.rsnodes().len().max(1));
+        assert!(exact.rsnodes().len() <= auto.rsnodes().len());
+        assert!(auto.drs.is_empty() && exact.drs.is_empty());
+    }
+
+    #[test]
+    fn excluded_operators_are_never_candidates() {
+        let (topo, groups, traffic) = setup(&[0, 1], 100.0);
+        let cons = PlanConstraints::default();
+        let core0 = topo.core(0);
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons)
+            .without_operators([core0, topo.tor(0, 0)]);
+        for g in 0..groups.len() as GroupId {
+            let cands = p.candidates(g);
+            assert!(!cands.contains(&core0));
+            assert!(!cands.contains(&topo.tor(0, 0)));
+        }
+        let rsp = p.solve(PlanSolver::Exact { node_limit: 1_000 });
+        assert!(!rsp.rsnodes().contains(&core0));
+    }
+
+    #[test]
+    fn tor_plan_maps_each_group_to_its_tor() {
+        let (topo, groups, _) = setup(&[0, 1, 4, 12], 10.0);
+        let rsp = Rsp::tor_plan(&groups);
+        for info in groups.iter() {
+            assert_eq!(rsp.assignment[&info.id], info.tor);
+        }
+        assert_eq!(rsp.tier_census(&topo)[2], rsp.rsnodes().len());
+    }
+
+    #[test]
+    fn ilp_structure_matches_equations() {
+        let (topo, groups, traffic) = setup(&[0, 12], 100.0);
+        let cons = PlanConstraints {
+            core_candidates: 1,
+            extra_hop_budget: 500.0,
+            ..PlanConstraints::default()
+        };
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let (ilp, pvars, dvars) = p.to_ilp(&BTreeSet::new());
+        // 2 groups × (1 ToR + 2 aggs + 1 core) = 8 P vars; operators: 2
+        // ToRs + 4 aggs + 1 shared core = 7 D vars.
+        assert_eq!(pvars.len(), 8);
+        assert_eq!(dvars.len(), 7);
+        assert_eq!(ilp.num_vars(), 15);
+        // Rows: 2 assignment + 7 linking + 7 capacity + 1 hop budget.
+        assert_eq!(ilp.num_constraints(), 17);
+    }
+
+    #[test]
+    fn shared_accelerators_cap_the_set_sum() {
+        // Two cross-pod client racks; wire the first two core switches to
+        // ONE shared accelerator whose capacity fits only one group.
+        let (topo, groups, traffic) = setup(&[0, 4], 100.0);
+        // Per-group load = 100 * 2 = 200 tasks/s.
+        let shared_cores = vec![topo.core(0).0, topo.core(1).0];
+        let cons = PlanConstraints {
+            core_candidates: 2,
+            shared_accelerators: vec![(shared_cores.clone(), 250.0)],
+            ..PlanConstraints::default()
+        };
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        for solver in [PlanSolver::Greedy, PlanSolver::Exact { node_limit: 10_000 }] {
+            let rsp = p.solve(solver);
+            assert!(rsp.drs.is_empty(), "{solver:?}: {rsp:?}");
+            // Verify: total load assigned to switches of the shared set
+            // stays within the shared capacity.
+            let shared_load: f64 = rsp
+                .assignment
+                .iter()
+                .filter(|&(_, sw)| shared_cores.contains(&sw.0))
+                .map(|(&g, _)| p.load_of(g))
+                .sum();
+            assert!(
+                shared_load <= 250.0 + 1e-6,
+                "{solver:?}: shared set overloaded with {shared_load}"
+            );
+        }
+        // Without the shared set, one core would take both groups; with
+        // it, the exact solver must split or move off the shared cores.
+        let unconstrained = PlanConstraints {
+            core_candidates: 2,
+            ..PlanConstraints::default()
+        };
+        let p2 = PlacementProblem::new(&topo, &groups, &traffic, &unconstrained);
+        let rsp2 = p2.solve(PlanSolver::Exact { node_limit: 10_000 });
+        assert_eq!(rsp2.rsnodes().len(), 1, "sanity: unconstrained uses one core");
+    }
+
+    #[test]
+    fn empty_groups_produce_empty_plan() {
+        let topo = FatTree::new(4).unwrap();
+        let groups = TrafficGroups::rack_level(&topo, &[]);
+        let traffic = TrafficMatrix::zero(0);
+        let cons = PlanConstraints::default();
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let rsp = p.solve(PlanSolver::default());
+        assert!(rsp.assignment.is_empty() && rsp.drs.is_empty());
+    }
+}

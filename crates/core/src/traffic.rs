@@ -1,0 +1,205 @@
+//! The per-group traffic composition matrix `T` of §III-B.
+//!
+//! `T[g][k]` is group `g`'s Tier-k request rate (requests/second): Tier-2
+//! traffic stays in the rack, Tier-1 stays in the pod, Tier-0 crosses
+//! pods. The controller obtains `T` either from ToR monitor snapshots
+//! (§IV-D) or — in simulations, before any traffic has flowed — from a
+//! workload oracle that knows where clients and servers sit.
+
+use netrs_netdev::{GroupId, TrafficSnapshot};
+use netrs_topology::{FatTree, HostId, Tier};
+use serde::{Deserialize, Serialize};
+
+use crate::group::TrafficGroups;
+
+/// Request rates per `(group, tier)`, in requests/second. Tier indices
+/// are the paper's: 0 = cross-pod, 1 = pod-local, 2 = rack-local.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    rates: Vec<[f64; 3]>,
+}
+
+impl TrafficMatrix {
+    /// An all-zero matrix for `n_groups` groups.
+    #[must_use]
+    pub fn zero(n_groups: usize) -> Self {
+        TrafficMatrix {
+            rates: vec![[0.0; 3]; n_groups],
+        }
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the matrix covers no groups.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Adds `rate` requests/second of Tier-`tier` traffic to a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is out of range or the rate is negative/NaN.
+    pub fn add(&mut self, group: GroupId, tier: Tier, rate: f64) {
+        assert!(rate >= 0.0, "rates must be non-negative");
+        self.rates[group as usize][tier.id() as usize] += rate;
+    }
+
+    /// The Tier-k rates of one group.
+    #[must_use]
+    pub fn tier_rates(&self, group: GroupId) -> [f64; 3] {
+        self.rates[group as usize]
+    }
+
+    /// Total request rate of one group.
+    #[must_use]
+    pub fn group_total(&self, group: GroupId) -> f64 {
+        self.rates[group as usize].iter().sum()
+    }
+
+    /// Total request rate across all groups (the paper's `A`).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.rates.iter().flatten().sum()
+    }
+
+    /// Builds `T` from ToR monitor snapshots, converting window counts to
+    /// rates and summing across monitors.
+    #[must_use]
+    pub fn from_snapshots(n_groups: usize, snapshots: &[TrafficSnapshot]) -> Self {
+        let mut m = Self::zero(n_groups);
+        for snap in snapshots {
+            for &(group, counts) in &snap.counts {
+                if (group as usize) < n_groups {
+                    let rates = snap.rates(counts);
+                    for (k, r) in rates.into_iter().enumerate() {
+                        m.rates[group as usize][k] += r;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds `T` analytically from the workload: each client host sends
+    /// at its given rate, spread uniformly over the server hosts (which is
+    /// the long-run behaviour of an unbiased selector over a balanced
+    /// ring). Tier shares follow from where the servers sit relative to
+    /// the client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or a client host has no group.
+    #[must_use]
+    pub fn oracle(
+        topo: &FatTree,
+        groups: &TrafficGroups,
+        client_rates: &[(HostId, f64)],
+        servers: &[HostId],
+    ) -> Self {
+        assert!(!servers.is_empty(), "oracle needs at least one server");
+        let mut m = Self::zero(groups.len());
+        let total_servers = servers.len() as f64;
+        for &(client, rate) in client_rates {
+            let group = groups
+                .group_of_host(client)
+                .expect("every client host must belong to a group");
+            let mut counts = [0u32; 3];
+            for &s in servers {
+                counts[topo.traffic_tier(client, s).id() as usize] += 1;
+            }
+            for (k, c) in counts.into_iter().enumerate() {
+                m.rates[group as usize][k] += rate * f64::from(c) / total_servers;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrs_simcore::{SimDuration, SimTime};
+    use netrs_wire::SourceMarker;
+
+    #[test]
+    fn add_and_totals() {
+        let mut m = TrafficMatrix::zero(2);
+        m.add(0, Tier::Core, 100.0);
+        m.add(0, Tier::Tor, 50.0);
+        m.add(1, Tier::Agg, 25.0);
+        assert_eq!(m.tier_rates(0), [100.0, 0.0, 50.0]);
+        assert_eq!(m.group_total(0), 150.0);
+        assert_eq!(m.total(), 175.0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn from_snapshots_converts_counts_to_rates() {
+        let snap = TrafficSnapshot {
+            local: SourceMarker { pod: 0, rack: 0 },
+            counts: vec![(0, [500, 0, 0]), (1, [0, 250, 250])],
+            from: SimTime::ZERO,
+            to: SimTime::ZERO + SimDuration::from_millis(500),
+        };
+        let m = TrafficMatrix::from_snapshots(2, &[snap.clone(), snap]);
+        // Two identical monitors double the rates: 2 * 500/0.5s = 2000/s.
+        assert!((m.tier_rates(0)[0] - 2_000.0).abs() < 1e-9);
+        assert!((m.tier_rates(1)[1] - 1_000.0).abs() < 1e-9);
+        assert!((m.total() - 4_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_snapshots_ignores_unknown_groups() {
+        let snap = TrafficSnapshot {
+            local: SourceMarker { pod: 0, rack: 0 },
+            counts: vec![(7, [100, 0, 0])],
+            from: SimTime::ZERO,
+            to: SimTime::ZERO + SimDuration::from_secs(1),
+        };
+        let m = TrafficMatrix::from_snapshots(2, &[snap]);
+        assert_eq!(m.total(), 0.0);
+    }
+
+    #[test]
+    fn oracle_matches_server_placement() {
+        let topo = FatTree::new(4).unwrap();
+        // Client at host 0; servers: one in its rack (1), one in its pod
+        // (2), two cross-pod (4, 12).
+        let clients = [HostId(0)];
+        let groups = TrafficGroups::rack_level(&topo, &clients);
+        let servers = [HostId(1), HostId(2), HostId(4), HostId(12)];
+        let m = TrafficMatrix::oracle(&topo, &groups, &[(HostId(0), 1000.0)], &servers);
+        let rates = m.tier_rates(0);
+        assert!((rates[2] - 250.0).abs() < 1e-9, "rack share");
+        assert!((rates[1] - 250.0).abs() < 1e-9, "pod share");
+        assert!((rates[0] - 500.0).abs() < 1e-9, "cross-pod share");
+    }
+
+    #[test]
+    fn oracle_sums_hosts_within_a_group() {
+        let topo = FatTree::new(4).unwrap();
+        let clients = [HostId(0), HostId(1)];
+        let groups = TrafficGroups::rack_level(&topo, &clients);
+        let servers = [HostId(12)];
+        let m = TrafficMatrix::oracle(
+            &topo,
+            &groups,
+            &[(HostId(0), 10.0), (HostId(1), 30.0)],
+            &servers,
+        );
+        assert!((m.group_total(0) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        let mut m = TrafficMatrix::zero(1);
+        m.add(0, Tier::Core, -1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The emulation's link-layer frame: addressing plus an SDN-style source
+//! route, wrapping a byte-exact NetRS packet.
+//!
+//! ```text
+//! frame := src_host(4) dst_host(4) route_len(1) route(2·len) body(...)
+//! ```
+//!
+//! The route is the ordered list of switch IDs the frame still has to
+//! traverse; each switch pops itself off the head and forwards to the
+//! next entry (or delivers to `dst_host` when the route is exhausted).
+//! ToRs and selectors rewrite the route exactly where the paper's SDN
+//! rules would re-steer a packet.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Maximum route length (a fat-tree via-path is at most 10 switches).
+pub const MAX_ROUTE: usize = 16;
+
+/// A link-layer frame of the UDP emulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmuFrame {
+    /// Sending host.
+    pub src: u32,
+    /// Destination host.
+    pub dst: u32,
+    /// Remaining switch hops (front = next).
+    pub route: Vec<u16>,
+    /// The NetRS packet (or arbitrary payload) carried.
+    pub body: Bytes,
+}
+
+/// Frame decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the fixed header requires.
+    Truncated,
+    /// The declared route exceeds [`MAX_ROUTE`].
+    RouteTooLong(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::RouteTooLong(n) => write!(f, "route of {n} hops exceeds {MAX_ROUTE}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl EmuFrame {
+    /// Serializes the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route exceeds [`MAX_ROUTE`] hops.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        assert!(self.route.len() <= MAX_ROUTE, "route too long");
+        let mut buf = BytesMut::with_capacity(9 + 2 * self.route.len() + self.body.len());
+        buf.put_u32(self.src);
+        buf.put_u32(self.dst);
+        buf.put_u8(self.route.len() as u8);
+        for &hop in &self.route {
+            buf.put_u16(hop);
+        }
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+
+    /// Parses a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on short buffers or oversized routes.
+    pub fn decode(buf: &[u8]) -> Result<Self, FrameError> {
+        if buf.len() < 9 {
+            return Err(FrameError::Truncated);
+        }
+        let src = u32::from_be_bytes(buf[0..4].try_into().expect("length checked"));
+        let dst = u32::from_be_bytes(buf[4..8].try_into().expect("length checked"));
+        let len = buf[8] as usize;
+        if len > MAX_ROUTE {
+            return Err(FrameError::RouteTooLong(len));
+        }
+        let need = 9 + 2 * len;
+        if buf.len() < need {
+            return Err(FrameError::Truncated);
+        }
+        let route = (0..len)
+            .map(|i| u16::from_be_bytes(buf[9 + 2 * i..11 + 2 * i].try_into().expect("checked")))
+            .collect();
+        Ok(EmuFrame {
+            src,
+            dst,
+            route,
+            body: Bytes::copy_from_slice(&buf[need..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let f = EmuFrame {
+            src: 3,
+            dst: 900,
+            route: vec![1, 130, 260, 140, 56],
+            body: Bytes::from_static(b"netrs packet bytes"),
+        };
+        let wire = f.encode();
+        assert_eq!(EmuFrame::decode(&wire).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_route_and_body() {
+        let f = EmuFrame {
+            src: 0,
+            dst: 1,
+            route: vec![],
+            body: Bytes::new(),
+        };
+        assert_eq!(EmuFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        assert_eq!(EmuFrame::decode(&[0u8; 4]).unwrap_err(), FrameError::Truncated);
+        let f = EmuFrame {
+            src: 1,
+            dst: 2,
+            route: vec![7, 8],
+            body: Bytes::new(),
+        };
+        let wire = f.encode();
+        assert_eq!(
+            EmuFrame::decode(&wire[..wire.len() - 1]).unwrap_err(),
+            FrameError::Truncated
+        );
+    }
+
+    #[test]
+    fn oversized_route_rejected() {
+        let mut bytes = vec![0u8; 9];
+        bytes[8] = (MAX_ROUTE + 1) as u8;
+        assert_eq!(
+            EmuFrame::decode(&bytes).unwrap_err(),
+            FrameError::RouteTooLong(MAX_ROUTE + 1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "route too long")]
+    fn encoding_oversized_route_panics() {
+        let f = EmuFrame {
+            src: 0,
+            dst: 0,
+            route: vec![0; MAX_ROUTE + 1],
+            body: Bytes::new(),
+        };
+        let _ = f.encode();
+    }
+}

@@ -1,0 +1,37 @@
+//! NetRS over real UDP sockets.
+//!
+//! The simulator (`netrs-sim`) models time; this crate runs the *actual
+//! protocol* end to end on loopback UDP: clients serialize byte-exact
+//! NetRS requests ([`netrs_wire`]), software switches execute the
+//! deployed [`netrs_netdev::NetRsRules`] ingress pipeline and steer
+//! packets with SDN-style source routes over the fat-tree, the RSNode's
+//! "accelerator" (a selector thread) rewrites requests with the replica
+//! it chose, servers answer with piggybacked status, and responses flow
+//! back through the RSNode — where they are cloned into the selector and
+//! relabelled `M_mon` — to the client.
+//!
+//! This is the closest loopback-testable equivalent of the paper's
+//! programmable-switch deployment: every header rewrite of §IV happens
+//! on real packets, byte for byte. (Performance is *not* modelled here;
+//! that is the simulator's job.)
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use netrs_emu::{EmuConfig, EmuCluster};
+//!
+//! let cluster = EmuCluster::start(EmuConfig::default())?;
+//! let report = cluster.run_workload(200)?;
+//! assert_eq!(report.completed, 200);
+//! cluster.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frame;
+mod node;
+
+pub use frame::{EmuFrame, FrameError, MAX_ROUTE};
+pub use node::{EmuCluster, EmuConfig, WorkloadReport};

@@ -1,0 +1,600 @@
+//! A dense, bounded-variable, two-phase primal simplex.
+//!
+//! Variables live in boxes `[lo, hi]` (possibly `hi = ∞`), which lets the
+//! branch-and-bound layer fix binaries by shrinking bounds instead of
+//! adding rows. Phase 1 drives a full artificial basis to zero; phase 2
+//! optimizes the real objective. Dantzig pricing with a Bland's-rule
+//! fallback guards against cycling.
+
+use crate::{Problem, Sense};
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// No point satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective decreases without bound.
+    Unbounded,
+    /// The iteration budget ran out before convergence.
+    IterationLimit,
+}
+
+/// An LP solution (values are meaningful for [`LpStatus::Optimal`] only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Solver status.
+    pub status: LpStatus,
+    /// Variable values (structural variables only).
+    pub values: Vec<f64>,
+    /// Objective value at `values`.
+    pub objective: f64,
+    /// Simplex iterations used across both phases.
+    pub iterations: u64,
+}
+
+const FEAS_TOL: f64 = 1e-7;
+const PIVOT_TOL: f64 = 1e-9;
+const COST_TOL: f64 = 1e-9;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarStatus {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+struct Tableau {
+    m: usize,
+    ncols: usize,
+
+    art_start: usize,
+    t: Vec<f64>, // row-major m x ncols: current B^{-1} A
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    xval: Vec<f64>,
+    basis: Vec<usize>,
+    status: Vec<VarStatus>,
+    d: Vec<f64>, // reduced costs
+    iterations: u64,
+    iter_limit: u64,
+}
+
+impl Tableau {
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.t[i * self.ncols + j]
+    }
+
+    fn build(p: &Problem, lower: &[f64], upper: &[f64], iter_limit: u64) -> Tableau {
+        let n = p.num_vars();
+        let m = p.num_constraints();
+        let nslack = p
+            .constraints()
+            .iter()
+            .filter(|c| c.sense != Sense::Eq)
+            .count();
+        let art_start = n + nslack;
+        let ncols = art_start + m;
+
+        let mut t = vec![0.0; m * ncols];
+        let mut b = vec![0.0; m];
+        let mut lo = Vec::with_capacity(ncols);
+        let mut hi = Vec::with_capacity(ncols);
+        lo.extend_from_slice(lower);
+        hi.extend_from_slice(upper);
+        for _ in 0..nslack + m {
+            lo.push(0.0);
+            hi.push(f64::INFINITY);
+        }
+
+        let mut slack = n;
+        for (i, c) in p.constraints().iter().enumerate() {
+            for &(v, a) in &c.terms {
+                t[i * ncols + v] += a;
+            }
+            b[i] = c.rhs;
+            match c.sense {
+                Sense::Le => {
+                    t[i * ncols + slack] = 1.0;
+                    slack += 1;
+                }
+                Sense::Ge => {
+                    t[i * ncols + slack] = -1.0;
+                    slack += 1;
+                }
+                Sense::Eq => {}
+            }
+        }
+
+        // Nonbasic variables start at their lower bound.
+        let mut xval = vec![0.0; ncols];
+        let mut status = vec![VarStatus::AtLower; ncols];
+        xval[..art_start].copy_from_slice(&lo[..art_start]);
+
+        // Scale rows so residuals are non-negative, then seed an
+        // artificial identity basis carrying the residuals.
+        let mut basis = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut residual = b[i];
+            for j in 0..art_start {
+                residual -= t[i * ncols + j] * xval[j];
+            }
+            if residual < 0.0 {
+                for j in 0..art_start {
+                    t[i * ncols + j] = -t[i * ncols + j];
+                }
+                residual = -residual;
+            }
+            let art = art_start + i;
+            t[i * ncols + art] = 1.0;
+            xval[art] = residual;
+            status[art] = VarStatus::Basic(i);
+            basis.push(art);
+        }
+
+        Tableau {
+            m,
+            ncols,
+
+            art_start,
+            t,
+            lo,
+            hi,
+            xval,
+            basis,
+            status,
+            d: vec![0.0; ncols],
+            iterations: 0,
+            iter_limit,
+        }
+    }
+
+    /// Recomputes reduced costs `d = c − c_B^T B⁻¹A` for a cost vector
+    /// over all columns.
+    fn price(&mut self, cost: &[f64]) {
+        self.d[..self.ncols].copy_from_slice(&cost[..self.ncols]);
+        for i in 0..self.m {
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                let row = &self.t[i * self.ncols..(i + 1) * self.ncols];
+                for (dj, &a) in self.d.iter_mut().zip(row) {
+                    *dj -= cb * a;
+                }
+            }
+        }
+    }
+
+    fn span(&self, j: usize) -> f64 {
+        self.hi[j] - self.lo[j]
+    }
+
+    /// One phase of the simplex. Returns `Ok(())` on (phase-)optimality.
+    fn optimize(&mut self) -> Result<(), LpStatus> {
+        let bland_after = 2_000 + 20 * (self.m as u64 + self.ncols as u64);
+        loop {
+            self.iterations += 1;
+            if self.iterations > self.iter_limit {
+                return Err(LpStatus::IterationLimit);
+            }
+            let bland = self.iterations > bland_after;
+
+            // Entering variable.
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, dir, violation)
+            for j in 0..self.ncols {
+                let (dir, viol) = match self.status[j] {
+                    VarStatus::Basic(_) => continue,
+                    VarStatus::AtLower => (1.0, -self.d[j]),
+                    VarStatus::AtUpper => (-1.0, self.d[j]),
+                };
+                if viol <= COST_TOL || self.span(j) <= PIVOT_TOL {
+                    continue;
+                }
+                if bland {
+                    enter = Some((j, dir, viol));
+                    break;
+                }
+                if enter.is_none_or(|(_, _, best)| viol > best) {
+                    enter = Some((j, dir, viol));
+                }
+            }
+            let Some((j, dir, _)) = enter else {
+                return Ok(());
+            };
+
+            // Ratio test.
+            let mut t_best = self.span(j); // bound-flip limit (may be inf)
+            let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
+            for i in 0..self.m {
+                let delta = -dir * self.at(i, j);
+                let bv = self.basis[i];
+                let cap = if delta < -PIVOT_TOL {
+                    (self.xval[bv] - self.lo[bv]) / -delta
+                } else if delta > PIVOT_TOL {
+                    if self.hi[bv].is_infinite() {
+                        continue;
+                    }
+                    (self.hi[bv] - self.xval[bv]) / delta
+                } else {
+                    continue;
+                };
+                let cap = cap.max(0.0);
+                let better = match leave {
+                    _ if cap < t_best - 1e-10 => true,
+                    // Near-ties: prefer the larger pivot element for
+                    // stability (or the smaller variable id under Bland).
+                    Some((r, _)) if (cap - t_best).abs() <= 1e-10 => {
+                        if bland {
+                            bv < self.basis[r]
+                        } else {
+                            self.at(i, j).abs() > self.at(r, j).abs()
+                        }
+                    }
+                    None if cap <= t_best => true,
+                    _ => false,
+                };
+                if better {
+                    t_best = cap.min(t_best);
+                    leave = Some((i, delta > 0.0));
+                }
+            }
+
+            if t_best.is_infinite() {
+                return Err(LpStatus::Unbounded);
+            }
+            let step = t_best.max(0.0);
+
+            // Move the entering variable and all basics.
+            for i in 0..self.m {
+                let delta = -dir * self.at(i, j);
+                if delta != 0.0 {
+                    let bv = self.basis[i];
+                    self.xval[bv] += delta * step;
+                }
+            }
+            self.xval[j] += dir * step;
+
+            match leave {
+                None => {
+                    // Bound flip: no basis change.
+                    self.status[j] = if dir > 0.0 {
+                        self.xval[j] = self.hi[j];
+                        VarStatus::AtUpper
+                    } else {
+                        self.xval[j] = self.lo[j];
+                        VarStatus::AtLower
+                    };
+                }
+                Some((r, hits_upper)) => {
+                    let lv = self.basis[r];
+                    self.status[lv] = if hits_upper {
+                        self.xval[lv] = self.hi[lv];
+                        VarStatus::AtUpper
+                    } else {
+                        self.xval[lv] = self.lo[lv];
+                        VarStatus::AtLower
+                    };
+                    self.pivot(r, j);
+                }
+            }
+        }
+    }
+
+    /// Gaussian elimination pivot making column `j` basic in row `r`.
+    fn pivot(&mut self, r: usize, j: usize) {
+        let ncols = self.ncols;
+        let piv = self.at(r, j);
+        debug_assert!(piv.abs() > PIVOT_TOL, "pivot on a zero element");
+        let inv = 1.0 / piv;
+        for v in &mut self.t[r * ncols..(r + 1) * ncols] {
+            *v *= inv;
+        }
+        // Copy the pivot row once to keep the borrow checker happy.
+        let prow: Vec<f64> = self.t[r * ncols..(r + 1) * ncols].to_vec();
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let factor = self.at(i, j);
+            if factor != 0.0 {
+                let row = &mut self.t[i * ncols..(i + 1) * ncols];
+                for (v, &pv) in row.iter_mut().zip(&prow) {
+                    *v -= factor * pv;
+                }
+            }
+        }
+        let dfac = self.d[j];
+        if dfac != 0.0 {
+            for (v, &pv) in self.d.iter_mut().zip(&prow) {
+                *v -= dfac * pv;
+            }
+        }
+        self.basis[r] = j;
+        self.status[j] = VarStatus::Basic(r);
+    }
+
+    /// Sum of artificial-variable values (phase-1 objective).
+    fn infeasibility(&self) -> f64 {
+        self.xval[self.art_start..].iter().sum()
+    }
+
+    /// After phase 1: pin artificials to zero and pivot basic ones out
+    /// where possible.
+    fn retire_artificials(&mut self) {
+        for a in self.art_start..self.ncols {
+            self.lo[a] = 0.0;
+            self.hi[a] = 0.0;
+        }
+        for r in 0..self.m {
+            if self.basis[r] >= self.art_start {
+                // Degenerate pivot onto any usable structural/slack column.
+                let target = (0..self.art_start).find(|&j| {
+                    !matches!(self.status[j], VarStatus::Basic(_))
+                        && self.at(r, j).abs() > 1e-7
+                });
+                if let Some(j) = target {
+                    let art = self.basis[r];
+                    // The artificial sits at zero, so this pivot is
+                    // degenerate: the basis changes, values do not.
+                    self.pivot(r, j);
+                    self.status[art] = VarStatus::AtLower;
+                    self.xval[art] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Solves the LP relaxation of `p` (integrality dropped; declared bounds
+/// kept) with default limits.
+///
+/// # Examples
+///
+/// ```
+/// use netrs_ilp::{solve_lp, LpStatus, Problem, Sense};
+///
+/// let mut p = Problem::minimize();
+/// let x = p.add_continuous(-1.0, 0.0, 10.0); // maximize x
+/// p.add_constraint([(x, 2.0)], Sense::Le, 10.0);
+/// let sol = solve_lp(&p);
+/// assert_eq!(sol.status, LpStatus::Optimal);
+/// assert!((sol.values[0] - 5.0).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn solve_lp(p: &Problem) -> LpSolution {
+    solve_lp_with_bounds(p, p.lower_bounds(), p.upper_bounds(), 200_000)
+}
+
+/// Solves the LP relaxation with overridden variable bounds (used by
+/// branch-and-bound to fix binaries) and an iteration cap.
+pub(crate) fn solve_lp_with_bounds(
+    p: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    iter_limit: u64,
+) -> LpSolution {
+    debug_assert_eq!(lower.len(), p.num_vars());
+    debug_assert_eq!(upper.len(), p.num_vars());
+    // Fast infeasibility: crossed bounds.
+    if lower.iter().zip(upper).any(|(l, u)| l > u) {
+        return LpSolution {
+            status: LpStatus::Infeasible,
+            values: Vec::new(),
+            objective: f64::INFINITY,
+            iterations: 0,
+        };
+    }
+
+    let mut tab = Tableau::build(p, lower, upper, iter_limit);
+
+    // Phase 1: minimize the sum of artificials.
+    let mut phase1_cost = vec![0.0; tab.ncols];
+    for c in &mut phase1_cost[tab.art_start..] {
+        *c = 1.0;
+    }
+    tab.price(&phase1_cost);
+    match tab.optimize() {
+        Ok(()) => {}
+        Err(LpStatus::Unbounded) => unreachable!("phase 1 objective is bounded below by 0"),
+        Err(status) => {
+            return LpSolution {
+                status,
+                values: Vec::new(),
+                objective: f64::INFINITY,
+                iterations: tab.iterations,
+            }
+        }
+    }
+    if tab.infeasibility() > FEAS_TOL {
+        return LpSolution {
+            status: LpStatus::Infeasible,
+            values: Vec::new(),
+            objective: f64::INFINITY,
+            iterations: tab.iterations,
+        };
+    }
+    tab.retire_artificials();
+
+    // Phase 2: the real objective.
+    let mut cost = vec![0.0; tab.ncols];
+    cost[..p.num_vars()].copy_from_slice(p.objective());
+    tab.price(&cost);
+    let status = match tab.optimize() {
+        Ok(()) => LpStatus::Optimal,
+        Err(s) => s,
+    };
+    if status != LpStatus::Optimal {
+        return LpSolution {
+            status,
+            values: Vec::new(),
+            objective: f64::INFINITY,
+            iterations: tab.iterations,
+        };
+    }
+
+    let mut values: Vec<f64> = tab.xval[..p.num_vars()].to_vec();
+    for (j, v) in values.iter_mut().enumerate() {
+        *v = v.clamp(lower[j], upper[j].min(f64::MAX));
+        if v.abs() < 1e-11 {
+            *v = 0.0;
+        }
+    }
+    let objective = p.objective_value(&values);
+    LpSolution {
+        status: LpStatus::Optimal,
+        values,
+        objective,
+        iterations: tab.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_bounds_only() {
+        // min x + 2y with x in [1, 4], y in [0.5, 3]: optimum at lows.
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(1.0, 1.0, 4.0);
+        let y = p.add_continuous(2.0, 0.5, 3.0);
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.values[x] - 1.0).abs() < 1e-7);
+        assert!((sol.values[y] - 0.5).abs() < 1e-7);
+        assert!((sol.objective - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn classic_two_var_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Hillier).
+        // Optimum (2, 6) with value 36.
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(-3.0, 0.0, f64::INFINITY);
+        let y = p.add_continuous(-5.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0)], Sense::Le, 4.0);
+        p.add_constraint([(y, 2.0)], Sense::Le, 12.0);
+        p.add_constraint([(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 36.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!((sol.values[x] - 2.0).abs() < 1e-6);
+        assert!((sol.values[y] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase_one() {
+        // min x + y s.t. x + y = 5, x - y = 1 → (3, 2), objective 5.
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(1.0, 0.0, f64::INFINITY);
+        let y = p.add_continuous(1.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Sense::Eq, 5.0);
+        p.add_constraint([(x, 1.0), (y, -1.0)], Sense::Eq, 1.0);
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.values[x] - 3.0).abs() < 1e-6);
+        assert!((sol.values[y] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(0.0, 0.0, 1.0);
+        p.add_constraint([(x, 1.0)], Sense::Ge, 2.0);
+        assert_eq!(solve_lp(&p).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::minimize();
+        let _x = p.add_continuous(-1.0, 0.0, f64::INFINITY);
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_bind_without_rows() {
+        // max x + y, x,y <= 1 via bounds only, x + y <= 1.5 via a row.
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(-1.0, 0.0, 1.0);
+        let y = p.add_continuous(-1.0, 0.0, 1.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.5);
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 1.5).abs() < 1e-6);
+        assert!(sol.values[x] <= 1.0 + 1e-9 && sol.values[y] <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_scaled() {
+        // x >= -3 written as -x <= 3 with negative coefficients; and a
+        // constraint with negative rhs: x - y <= -1 → y >= x + 1.
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(0.0, 0.0, 10.0);
+        let y = p.add_continuous(1.0, 0.0, 10.0);
+        p.add_constraint([(x, 1.0), (y, -1.0)], Sense::Le, -1.0);
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.values[y] - 1.0).abs() < 1e-6, "y = {}", sol.values[y]);
+    }
+
+    #[test]
+    fn lp_relaxation_of_binary_problem_is_fractional() {
+        // min -(x + y) s.t. x + y <= 1.5, x,y binary: LP gives 1.5.
+        let mut p = Problem::minimize();
+        let x = p.add_binary(-1.0);
+        let y = p.add_binary(-1.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.5);
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_ties_do_not_cycle() {
+        // A classically degenerate LP (multiple constraints active at the
+        // origin). Beale's cycling example adapted: ensure termination.
+        let mut p = Problem::minimize();
+        let x1 = p.add_continuous(-0.75, 0.0, f64::INFINITY);
+        let x2 = p.add_continuous(150.0, 0.0, f64::INFINITY);
+        let x3 = p.add_continuous(-0.02, 0.0, f64::INFINITY);
+        let x4 = p.add_continuous(6.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Sense::Le, 0.0);
+        p.add_constraint([(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Sense::Le, 0.0);
+        p.add_constraint([(x3, 1.0)], Sense::Le, 1.0);
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 0.05).abs() < 1e-6, "objective {}", sol.objective);
+    }
+
+    #[test]
+    fn fixed_variables_via_bounds() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary(1.0);
+        let y = p.add_binary(1.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 1.0);
+        // Fix x = 1 through bounds (as branch-and-bound does).
+        let sol = solve_lp_with_bounds(&p, &[1.0, 0.0], &[1.0, 1.0], 10_000);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.values[x] - 1.0).abs() < 1e-9);
+        assert!(sol.values[y].abs() < 1e-9);
+        // Crossed bounds short-circuit to infeasible.
+        let sol = solve_lp_with_bounds(&p, &[1.0, 0.0], &[0.0, 1.0], 10_000);
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_tolerated() {
+        // Duplicate equality rows leave an artificial basic at zero.
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(1.0, 0.0, 10.0);
+        let y = p.add_continuous(2.0, 0.0, 10.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Sense::Eq, 4.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Sense::Eq, 4.0);
+        p.add_constraint([(x, 2.0), (y, 2.0)], Sense::Eq, 8.0);
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.values[x] - 4.0).abs() < 1e-6);
+        assert!((sol.objective - 4.0).abs() < 1e-6);
+    }
+}

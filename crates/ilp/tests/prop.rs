@@ -1,0 +1,145 @@
+//! Property-based verification of the ILP stack against brute force.
+//!
+//! These tests are the correctness anchor for the whole solver: random
+//! small binary programs are solved both by exhaustive enumeration and by
+//! LP-relaxation branch-and-bound, and the answers must agree. Any bug in
+//! the simplex (wrong pivots, broken phase 1, bad bound handling) shows up
+//! as a disagreement here.
+
+use netrs_ilp::{solve_lp, BranchAndBound, IlpError, LpStatus, Problem, Sense};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomIlp {
+    costs: Vec<i32>,
+    rows: Vec<(Vec<i32>, u8, i32)>, // coeffs, sense tag, rhs
+}
+
+fn arb_ilp() -> impl Strategy<Value = RandomIlp> {
+    (1usize..8).prop_flat_map(|n| {
+        let costs = proptest::collection::vec(-5i32..=5, n);
+        let row = (
+            proptest::collection::vec(-3i32..=3, n),
+            0u8..3,
+            -4i32..=6,
+        );
+        let rows = proptest::collection::vec(row, 0..5);
+        (costs, rows).prop_map(|(costs, rows)| RandomIlp { costs, rows })
+    })
+}
+
+fn build(ilp: &RandomIlp) -> Problem {
+    let mut p = Problem::minimize();
+    let vars: Vec<_> = ilp
+        .costs
+        .iter()
+        .map(|&c| p.add_binary(f64::from(c)))
+        .collect();
+    for (coeffs, sense, rhs) in &ilp.rows {
+        let sense = match sense {
+            0 => Sense::Le,
+            1 => Sense::Ge,
+            _ => Sense::Eq,
+        };
+        p.add_constraint(
+            coeffs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a != 0)
+                .map(|(j, &a)| (vars[j], f64::from(a))),
+            sense,
+            f64::from(*rhs),
+        );
+    }
+    p
+}
+
+fn brute_force(p: &Problem) -> Option<f64> {
+    let n = p.num_vars();
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1u32 << n) {
+        let x: Vec<f64> = (0..n).map(|j| f64::from((mask >> j) & 1)).collect();
+        if p.is_feasible(&x, 1e-9) {
+            let obj = p.objective_value(&x);
+            if best.map_or(true, |b| obj < b - 1e-12) {
+                best = Some(obj);
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Branch-and-bound agrees exactly with exhaustive enumeration.
+    #[test]
+    fn bnb_matches_brute_force(ilp in arb_ilp()) {
+        let p = build(&ilp);
+        let reference = brute_force(&p);
+        let result = BranchAndBound::default().solve(&p);
+        match (reference, result) {
+            (Some(best), Ok(sol)) => {
+                prop_assert!(p.is_feasible(&sol.values, 1e-6),
+                    "solver returned infeasible point {:?}", sol.values);
+                prop_assert!((sol.objective - best).abs() < 1e-6,
+                    "objective {} vs brute force {}", sol.objective, best);
+                prop_assert!(sol.bound <= sol.objective + 1e-9);
+            }
+            (None, Err(IlpError::Infeasible)) => {}
+            (r, s) => prop_assert!(false, "disagreement: brute={r:?} solver={s:?}"),
+        }
+    }
+
+    /// The LP relaxation is always a valid lower bound on the ILP optimum
+    /// and never reports a spurious status.
+    #[test]
+    fn lp_bounds_the_ilp(ilp in arb_ilp()) {
+        let p = build(&ilp);
+        let lp = solve_lp(&p);
+        match lp.status {
+            LpStatus::Optimal => {
+                if let Some(best) = brute_force(&p) {
+                    prop_assert!(lp.objective <= best + 1e-6,
+                        "LP bound {} above ILP optimum {}", lp.objective, best);
+                }
+                // The LP point satisfies the *relaxed* constraints.
+                for (j, &v) in lp.values.iter().enumerate() {
+                    prop_assert!(v >= p.lower_bounds()[j] - 1e-6);
+                    prop_assert!(v <= p.upper_bounds()[j] + 1e-6);
+                }
+            }
+            LpStatus::Infeasible => {
+                prop_assert_eq!(brute_force(&p), None,
+                    "LP infeasible but an integer point exists");
+            }
+            LpStatus::Unbounded => {
+                // Impossible: binaries are boxed in [0, 1].
+                prop_assert!(false, "boxed LP cannot be unbounded");
+            }
+            LpStatus::IterationLimit => {
+                // Tolerated (tiny problems should never hit it, though).
+                prop_assert!(false, "iteration limit on a tiny LP");
+            }
+        }
+    }
+
+    /// Anytime mode (small node budgets) never fabricates infeasibility
+    /// or returns an infeasible "solution".
+    #[test]
+    fn anytime_is_sound(ilp in arb_ilp(), budget in 1u64..6) {
+        let p = build(&ilp);
+        let reference = brute_force(&p);
+        let bb = BranchAndBound { node_limit: budget, ..BranchAndBound::default() };
+        match bb.solve(&p) {
+            Ok(sol) => {
+                prop_assert!(p.is_feasible(&sol.values, 1e-6));
+                let best = reference.expect("solver found a point so one exists");
+                prop_assert!(sol.objective >= best - 1e-6);
+            }
+            Err(IlpError::Infeasible) => prop_assert_eq!(reference, None),
+            Err(IlpError::BudgetExhausted) => {}
+            Err(IlpError::Unbounded) => prop_assert!(false, "boxed ILP cannot be unbounded"),
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Consistent hashing and the replica-group database.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{hash64, hash64_pair, ServerId};
+
+/// Errors building a [`Ring`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// Fewer servers than the replication factor.
+    TooFewServers {
+        /// Number of servers supplied.
+        servers: u32,
+        /// Requested replication factor.
+        replication: u32,
+    },
+    /// A parameter was zero.
+    ZeroParameter(&'static str),
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::TooFewServers {
+                servers,
+                replication,
+            } => write!(
+                f,
+                "need at least {replication} servers for replication factor {replication}, got {servers}"
+            ),
+            RingError::ZeroParameter(name) => write!(f, "{name} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// The replica-group database of §IV-A: maps a small group ID (the RGID
+/// carried in request headers) to the concrete replica set. NetRS
+/// selectors hold a copy of this database on each network accelerator —
+/// it is small because consistent hashing yields at most
+/// `servers × vnodes` distinct replica sets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaGroups {
+    groups: Vec<Vec<ServerId>>,
+}
+
+impl ReplicaGroups {
+    /// Number of distinct replica groups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the database is empty (never true for a built ring).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The replica set of a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` is out of range.
+    #[must_use]
+    pub fn replicas(&self, gid: u32) -> &[ServerId] {
+        &self.groups[gid as usize]
+    }
+
+    /// The replica set of a group, or `None` if `gid` is unknown — used by
+    /// selectors to reject corrupted RGIDs.
+    #[must_use]
+    pub fn get(&self, gid: u32) -> Option<&[ServerId]> {
+        self.groups.get(gid as usize).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(gid, replica set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[ServerId])> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i as u32, g.as_slice()))
+    }
+}
+
+/// A consistent-hash ring with virtual nodes.
+///
+/// Each server contributes `vnodes` points on a 64-bit ring; a key is
+/// served by the first `replication` *distinct* servers clockwise from the
+/// key's hash — the standard Dynamo/Cassandra placement the paper assumes.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    points: Vec<(u64, ServerId)>,
+    replication: u32,
+    /// Group id of the ring segment ending at `points[i]`.
+    segment_group: Vec<u32>,
+    groups: ReplicaGroups,
+}
+
+impl Ring {
+    /// Builds a ring of `servers` servers with `vnodes` virtual nodes each
+    /// and the given replication factor. `seed` perturbs vnode placement
+    /// so different deployments get different (but reproducible) rings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any parameter is zero or if there are fewer
+    /// servers than the replication factor.
+    pub fn new(servers: u32, vnodes: u32, replication: u32, seed: u64) -> Result<Self, RingError> {
+        if servers == 0 {
+            return Err(RingError::ZeroParameter("servers"));
+        }
+        if vnodes == 0 {
+            return Err(RingError::ZeroParameter("vnodes"));
+        }
+        if replication == 0 {
+            return Err(RingError::ZeroParameter("replication"));
+        }
+        if servers < replication {
+            return Err(RingError::TooFewServers {
+                servers,
+                replication,
+            });
+        }
+
+        let mut points = Vec::with_capacity((servers * vnodes) as usize);
+        for s in 0..servers {
+            for v in 0..vnodes {
+                let h = hash64_pair(hash64(seed ^ u64::from(s)), u64::from(v));
+                points.push((h, ServerId(s)));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+
+        // Precompute the replica set of every ring segment and dedup the
+        // distinct sets into the group database.
+        let n = points.len();
+        let mut group_ids: HashMap<Vec<ServerId>, u32> = HashMap::new();
+        let mut groups: Vec<Vec<ServerId>> = Vec::new();
+        let mut segment_group = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut set = Vec::with_capacity(replication as usize);
+            let mut j = i;
+            while set.len() < replication as usize {
+                let candidate = points[j % n].1;
+                if !set.contains(&candidate) {
+                    set.push(candidate);
+                }
+                j += 1;
+                debug_assert!(j < i + n + 1, "ring walk must terminate");
+            }
+            let next_id = groups.len() as u32;
+            let gid = *group_ids.entry(set.clone()).or_insert_with(|| {
+                groups.push(set);
+                next_id
+            });
+            segment_group.push(gid);
+        }
+
+        Ok(Ring {
+            points,
+            replication,
+            segment_group,
+            groups: ReplicaGroups { groups },
+        })
+    }
+
+    /// The replication factor.
+    #[must_use]
+    pub fn replication(&self) -> u32 {
+        self.replication
+    }
+
+    /// The replica-group database (clone it onto each selector).
+    #[must_use]
+    pub fn groups(&self) -> &ReplicaGroups {
+        &self.groups
+    }
+
+    /// Index of the ring segment owning `key`'s hash: the first point at
+    /// or after `hash64(key)`, wrapping around.
+    fn segment_of_key(&self, key: u64) -> usize {
+        let h = hash64(key);
+        match self.points.binary_search_by_key(&h, |p| p.0) {
+            Ok(i) => i,
+            Err(i) => i % self.points.len(),
+        }
+    }
+
+    /// The replica-group ID a key belongs to (the RGID a client stamps on
+    /// its requests).
+    #[must_use]
+    pub fn group_of_key(&self, key: u64) -> u32 {
+        self.segment_group[self.segment_of_key(key)]
+    }
+
+    /// The ordered replica set of a key (primary first).
+    #[must_use]
+    pub fn replicas_for_key(&self, key: u64) -> &[ServerId] {
+        self.groups.replicas(self.group_of_key(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> Ring {
+        Ring::new(100, 64, 3, 42).unwrap()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert_eq!(
+            Ring::new(2, 8, 3, 0).unwrap_err(),
+            RingError::TooFewServers {
+                servers: 2,
+                replication: 3
+            }
+        );
+        assert_eq!(
+            Ring::new(0, 8, 3, 0).unwrap_err(),
+            RingError::ZeroParameter("servers")
+        );
+        assert_eq!(
+            Ring::new(5, 0, 3, 0).unwrap_err(),
+            RingError::ZeroParameter("vnodes")
+        );
+        assert_eq!(
+            Ring::new(5, 8, 0, 0).unwrap_err(),
+            RingError::ZeroParameter("replication")
+        );
+        assert!(Ring::new(3, 1, 3, 0).is_ok());
+    }
+
+    #[test]
+    fn replica_sets_are_distinct_and_sized() {
+        let r = ring();
+        for key in 0..5_000u64 {
+            let reps = r.replicas_for_key(key);
+            assert_eq!(reps.len(), 3);
+            let mut sorted = reps.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicate replica for key {key}");
+            assert!(reps.iter().all(|s| s.0 < 100));
+        }
+    }
+
+    #[test]
+    fn group_db_is_consistent_with_lookup() {
+        let r = ring();
+        for key in 0..2_000u64 {
+            let gid = r.group_of_key(key);
+            assert_eq!(r.groups().replicas(gid), r.replicas_for_key(key));
+        }
+    }
+
+    #[test]
+    fn group_db_is_small_enough_for_rgid() {
+        // §IV-A: "The size of the database should be small" — and it must
+        // fit the 3-byte RGID.
+        let r = ring();
+        assert!(r.groups().len() <= 100 * 64);
+        assert!((r.groups().len() as u32) < 0x00FF_FFFF);
+        assert!(!r.groups().is_empty());
+    }
+
+    #[test]
+    fn placement_is_reasonably_balanced() {
+        let r = Ring::new(10, 128, 3, 7).unwrap();
+        let mut primary_counts = vec![0u32; 10];
+        for key in 0..30_000u64 {
+            primary_counts[r.replicas_for_key(key)[0].0 as usize] += 1;
+        }
+        let expected = 3_000.0;
+        for (s, &c) in primary_counts.iter().enumerate() {
+            assert!(
+                (f64::from(c) - expected).abs() / expected < 0.5,
+                "server {s} owns {c} of 30000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn rings_are_deterministic_per_seed() {
+        let a = Ring::new(20, 16, 3, 9).unwrap();
+        let b = Ring::new(20, 16, 3, 9).unwrap();
+        let c = Ring::new(20, 16, 3, 10).unwrap();
+        for key in 0..500u64 {
+            assert_eq!(a.replicas_for_key(key), b.replicas_for_key(key));
+        }
+        assert!(
+            (0..500u64).any(|k| a.replicas_for_key(k) != c.replicas_for_key(k)),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn all_servers_appear_somewhere() {
+        let r = Ring::new(10, 64, 3, 3);
+        let r = r.unwrap();
+        let mut seen = vec![false; 10];
+        for (_, reps) in r.groups().iter() {
+            for s in reps {
+                seen[s.0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn get_rejects_unknown_gid() {
+        let r = ring();
+        assert!(r.groups().get(u32::MAX).is_none());
+        assert!(r.groups().get(0).is_some());
+    }
+
+    #[test]
+    fn replication_factor_one_works() {
+        let r = Ring::new(5, 16, 1, 0).unwrap();
+        for key in 0..100u64 {
+            assert_eq!(r.replicas_for_key(key).len(), 1);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The network-accelerator queueing model.
+//!
+//! §V-A: "Each accelerator has 1 core and the processing time is 5us. The
+//! RTT between a switch and its attached network accelerator is 2.5us."
+//! We model the accelerator as a `c`-server FIFO queue: tasks arrive from
+//! the switch after half an RTT, wait for a free core, occupy it for the
+//! per-task service time, and travel half an RTT back. Replica selections
+//! (requests) ride the critical path; clone processing (responses) uses
+//! the same cores but delays nothing downstream — exactly why the paper
+//! clones instead of diverting responses.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use netrs_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Accelerator parameters (paper defaults in [`Default`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Number of cores (`c_j^ac`, paper default 1 — "low-end").
+    pub cores: u32,
+    /// Per-task processing time (`t_j^ac`, paper default 5 µs).
+    pub service_time: SimDuration,
+    /// Round-trip time between switch and accelerator (2.5 µs).
+    pub switch_rtt: SimDuration,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig {
+            cores: 1,
+            service_time: SimDuration::from_nanos(5_000),
+            switch_rtt: SimDuration::from_nanos(2_500),
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// The task rate (per second) that drives this accelerator to
+    /// utilization `u` — the capacity term `U_j · c_j / t_j` of
+    /// Constraint 2 (§III-B).
+    #[must_use]
+    pub fn capacity_at_utilization(&self, u: f64) -> f64 {
+        u * f64::from(self.cores) / self.service_time.as_secs_f64()
+    }
+}
+
+/// Aggregate accelerator counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AcceleratorStats {
+    /// Replica selections performed (critical-path tasks).
+    pub selections: u64,
+    /// Response clones processed (background tasks).
+    pub clones: u64,
+    /// Busy time integrated over all cores, in core-nanoseconds.
+    pub busy_core_ns: u128,
+    /// Total queueing delay experienced by critical-path tasks, in
+    /// nanoseconds (excludes service and RTT).
+    pub selection_wait_ns: u128,
+}
+
+/// One network accelerator attached to a switch.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    cfg: AcceleratorConfig,
+    /// Earliest instant each core becomes free (min-heap).
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    stats: AcceleratorStats,
+}
+
+impl Accelerator {
+    /// Creates an idle accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores` is zero.
+    #[must_use]
+    pub fn new(cfg: AcceleratorConfig) -> Self {
+        assert!(cfg.cores > 0, "accelerator needs at least one core");
+        let mut free_at = BinaryHeap::with_capacity(cfg.cores as usize);
+        for _ in 0..cfg.cores {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        Accelerator {
+            cfg,
+            free_at,
+            stats: AcceleratorStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.cfg
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> AcceleratorStats {
+        self.stats
+    }
+
+    fn run_task(&mut self, handed_off_at: SimTime) -> (SimTime, SimDuration) {
+        let arrive = handed_off_at + self.cfg.switch_rtt / 2;
+        let Reverse(core_free) = self.free_at.pop().expect("at least one core");
+        let start = arrive.max(core_free);
+        let done = start + self.cfg.service_time;
+        self.free_at.push(Reverse(done));
+        self.stats.busy_core_ns += u128::from(self.cfg.service_time.as_nanos());
+        (done, start - arrive)
+    }
+
+    /// Schedules a replica selection handed off by the switch at `now`.
+    /// Returns the instant the rebuilt request re-enters the switch
+    /// (half-RTT in, queueing, service, half-RTT out).
+    pub fn schedule_selection(&mut self, now: SimTime) -> SimTime {
+        let (done, waited) = self.run_task(now);
+        self.stats.selections += 1;
+        self.stats.selection_wait_ns += u128::from(waited.as_nanos());
+        done + self.cfg.switch_rtt / 2
+    }
+
+    /// Schedules processing of a cloned response handed off at `now`.
+    /// Returns the instant the selector's local information is updated
+    /// (no return trip: the clone is dropped afterwards, §IV-C).
+    pub fn schedule_clone(&mut self, now: SimTime) -> SimTime {
+        let (done, _) = self.run_task(now);
+        self.stats.clones += 1;
+        done
+    }
+
+    /// Mean core utilization over `[SimTime::ZERO, now]`.
+    #[must_use]
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.as_nanos();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        // busy_core_ns counts scheduled work, which may extend past `now`;
+        // clamp to the physically possible maximum.
+        let max = u128::from(self.cfg.cores) * u128::from(elapsed);
+        (self.stats.busy_core_ns.min(max)) as f64 / max as f64
+    }
+
+    /// Mean queueing wait of critical-path selections.
+    #[must_use]
+    pub fn mean_selection_wait(&self) -> SimDuration {
+        if self.stats.selections == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(
+            (self.stats.selection_wait_ns / u128::from(self.stats.selections)) as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    fn at_us(n: u64) -> SimTime {
+        SimTime::ZERO + us(n)
+    }
+
+    #[test]
+    fn idle_accelerator_adds_rtt_plus_service() {
+        let mut a = Accelerator::new(AcceleratorConfig::default());
+        let back = a.schedule_selection(at_us(100));
+        // 1.25us in + 5us service + 1.25us out = 7.5us.
+        assert_eq!(back, at_us(100) + SimDuration::from_nanos(7_500));
+        assert_eq!(a.stats().selections, 1);
+        assert_eq!(a.mean_selection_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn back_to_back_tasks_queue_fifo() {
+        let mut a = Accelerator::new(AcceleratorConfig::default());
+        let t = at_us(0);
+        let first = a.schedule_selection(t);
+        let second = a.schedule_selection(t);
+        let third = a.schedule_selection(t);
+        assert_eq!(second - first, us(5), "spaced by one service time");
+        assert_eq!(third - second, us(5));
+        assert!(a.mean_selection_wait() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn multiple_cores_serve_in_parallel() {
+        let mut a = Accelerator::new(AcceleratorConfig {
+            cores: 2,
+            ..AcceleratorConfig::default()
+        });
+        let t = at_us(0);
+        let first = a.schedule_selection(t);
+        let second = a.schedule_selection(t);
+        let third = a.schedule_selection(t);
+        assert_eq!(first, second, "two cores run two tasks concurrently");
+        assert_eq!(third - first, us(5));
+    }
+
+    #[test]
+    fn clones_share_capacity_but_have_no_return_trip() {
+        let mut a = Accelerator::new(AcceleratorConfig::default());
+        let t = at_us(10);
+        let update_at = a.schedule_clone(t);
+        // Half RTT in + service, no trip back.
+        assert_eq!(update_at, t + SimDuration::from_nanos(1_250) + us(5));
+        // The clone occupies the core: a selection right after waits.
+        let back = a.schedule_selection(t);
+        assert!(back > t + SimDuration::from_nanos(7_500));
+        assert_eq!(a.stats().clones, 1);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut a = Accelerator::new(AcceleratorConfig::default());
+        for i in 0..100 {
+            let _ = a.schedule_selection(at_us(i * 10)); // 5us work / 10us
+        }
+        let u = a.utilization(at_us(1_000));
+        assert!((u - 0.5).abs() < 0.02, "utilization {u}");
+        assert_eq!(Accelerator::new(AcceleratorConfig::default()).utilization(at_us(1)), 0.0);
+    }
+
+    #[test]
+    fn capacity_formula_matches_paper() {
+        // U=50%, 1 core, 5us → 100k selections/s.
+        let cfg = AcceleratorConfig::default();
+        assert!((cfg.capacity_at_utilization(0.5) - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = Accelerator::new(AcceleratorConfig {
+            cores: 0,
+            ..AcceleratorConfig::default()
+        });
+    }
+}

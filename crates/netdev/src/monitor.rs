@@ -1,0 +1,164 @@
+//! The NetRS monitor (§IV-D): egress-side traffic accounting on ToR
+//! switches.
+//!
+//! The monitor watches responses *leaving* the network at a ToR (they
+//! carry `M_mon` after passing their RSNode, or surface as `M_mon` under
+//! DRS), classifies each by comparing its source marker against the local
+//! one (same rack → Tier-2, same pod → Tier-1, else Tier-0), and counts
+//! per traffic group. Snapshots of these counters are what the controller
+//! turns into the `T` matrix of the placement ILP.
+
+use std::collections::HashMap;
+
+use netrs_simcore::SimTime;
+use netrs_wire::SourceMarker;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::GroupId;
+
+/// Per-group, per-tier counters accumulated since the last snapshot.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    local: SourceMarker,
+    /// `counts[group][tier]` with tier indices 0 (core) / 1 (agg) /
+    /// 2 (rack), matching the paper's Tier-k naming.
+    counts: HashMap<GroupId, [u64; 3]>,
+    window_start: SimTime,
+}
+
+/// One monitor snapshot: request rates per `(group, tier)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSnapshot {
+    /// Where the measuring ToR sits.
+    pub local: SourceMarker,
+    /// `(group, [tier0, tier1, tier2] packets)` observed in the window.
+    pub counts: Vec<(GroupId, [u64; 3])>,
+    /// Window start time.
+    pub from: SimTime,
+    /// Window end time.
+    pub to: SimTime,
+}
+
+impl TrafficSnapshot {
+    /// Converts a group's counters to rates in packets/second. Returns
+    /// zeros for an empty window.
+    #[must_use]
+    pub fn rates(&self, counts: [u64; 3]) -> [f64; 3] {
+        let secs = (self.to.saturating_since(self.from)).as_secs_f64();
+        if secs <= 0.0 {
+            return [0.0; 3];
+        }
+        counts.map(|c| c as f64 / secs)
+    }
+}
+
+impl Monitor {
+    /// Creates a monitor for the ToR at `local`.
+    #[must_use]
+    pub fn new(local: SourceMarker) -> Self {
+        Monitor {
+            local,
+            counts: HashMap::new(),
+            window_start: SimTime::ZERO,
+        }
+    }
+
+    /// The tier index (0/1/2) a response from `sm` falls into when seen
+    /// from this ToR.
+    #[must_use]
+    pub fn tier_of(&self, sm: SourceMarker) -> usize {
+        if sm.same_rack(self.local) {
+            2
+        } else if sm.same_pod(self.local) {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Counts one monitored response leaving the network toward a host of
+    /// traffic group `group`.
+    pub fn record(&mut self, group: GroupId, sm: SourceMarker) {
+        let tier = self.tier_of(sm);
+        self.counts.entry(group).or_default()[tier] += 1;
+    }
+
+    /// Returns the counters accumulated since the last snapshot and
+    /// resets the window.
+    pub fn snapshot(&mut self, now: SimTime) -> TrafficSnapshot {
+        let mut counts: Vec<(GroupId, [u64; 3])> = self.counts.drain().collect();
+        counts.sort_unstable_by_key(|&(g, _)| g);
+        let snap = TrafficSnapshot {
+            local: self.local,
+            counts,
+            from: self.window_start,
+            to: now,
+        };
+        self.window_start = now;
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrs_simcore::SimDuration;
+
+    fn marker(pod: u16, rack: u16) -> SourceMarker {
+        SourceMarker { pod, rack }
+    }
+
+    #[test]
+    fn tier_classification_matches_paper() {
+        let m = Monitor::new(marker(1, 10));
+        assert_eq!(m.tier_of(marker(1, 10)), 2, "same rack is Tier-2");
+        assert_eq!(m.tier_of(marker(1, 11)), 1, "same pod is Tier-1");
+        assert_eq!(m.tier_of(marker(2, 20)), 0, "cross-pod is Tier-0");
+    }
+
+    #[test]
+    fn counters_accumulate_per_group_and_tier() {
+        let mut m = Monitor::new(marker(0, 0));
+        m.record(5, marker(0, 0));
+        m.record(5, marker(0, 0));
+        m.record(5, marker(0, 3));
+        m.record(6, marker(9, 99));
+        let snap = m.snapshot(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(
+            snap.counts,
+            vec![(5, [0, 1, 2]), (6, [1, 0, 0])],
+            "sorted by group id"
+        );
+    }
+
+    #[test]
+    fn snapshot_resets_the_window() {
+        let mut m = Monitor::new(marker(0, 0));
+        m.record(1, marker(0, 0));
+        let first = m.snapshot(SimTime::ZERO + SimDuration::from_millis(100));
+        assert_eq!(first.counts.len(), 1);
+        let second = m.snapshot(SimTime::ZERO + SimDuration::from_millis(200));
+        assert!(second.counts.is_empty());
+        assert_eq!(second.from, SimTime::ZERO + SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn rates_divide_by_window_length() {
+        let mut m = Monitor::new(marker(0, 0));
+        for _ in 0..500 {
+            m.record(1, marker(2, 20));
+        }
+        let snap = m.snapshot(SimTime::ZERO + SimDuration::from_millis(500));
+        let rates = snap.rates(snap.counts[0].1);
+        assert!((rates[0] - 1_000.0).abs() < 1e-6);
+        assert_eq!(rates[1], 0.0);
+    }
+
+    #[test]
+    fn zero_length_window_yields_zero_rates() {
+        let mut m = Monitor::new(marker(0, 0));
+        m.record(1, marker(0, 0));
+        let snap = m.snapshot(SimTime::ZERO);
+        assert_eq!(snap.rates([100, 0, 0]), [0.0; 3]);
+    }
+}

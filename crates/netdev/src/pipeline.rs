@@ -1,0 +1,336 @@
+//! The switch ingress pipeline of Fig. 3, as executable match-action
+//! rules.
+
+use std::collections::{HashMap, HashSet};
+
+use netrs_wire::{MagicField, PacketKind, RsnodeId, SourceMarker};
+use serde::{Deserialize, Serialize};
+
+/// A traffic-group identifier (the controller's unit of RSNode
+/// assignment, §III-A).
+pub type GroupId = u32;
+
+/// The parsed view of a NetRS packet that the switch pipeline reads and
+/// rewrites. Mirrors the byte-exact wire headers ([`netrs_wire`]) minus
+/// payloads; hosts and simulators move `PacketMeta` around and only
+/// serialize at the edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketMeta {
+    /// A key-value read request (RID, MF, RGID + addressing).
+    Request {
+        /// RSNode ID (stamped by the client's ToR).
+        rid: RsnodeId,
+        /// Magic field.
+        magic: MagicField,
+        /// Replica group ID.
+        rgid: GroupId,
+        /// Sending host (the "source IP" ToRs match to find the group).
+        src_host: u32,
+        /// Destination host (the client's backup replica until a selector
+        /// rewrites it, §III-C).
+        dst_host: u32,
+    },
+    /// A key-value response (RID, MF, SM + addressing).
+    Response {
+        /// RSNode ID copied from the corresponding request by the server.
+        rid: RsnodeId,
+        /// Magic field (`f⁻¹` of the request's).
+        magic: MagicField,
+        /// Source marker (stamped by the server-side ToR).
+        sm: SourceMarker,
+        /// Sending host.
+        src_host: u32,
+        /// Destination host (the client).
+        dst_host: u32,
+    },
+    /// Anything else sharing the network.
+    Other,
+}
+
+impl PacketMeta {
+    /// The packet's classification, as the first match stage computes it.
+    #[must_use]
+    pub fn kind(&self) -> PacketKind {
+        match self {
+            PacketMeta::Request { magic, .. } | PacketMeta::Response { magic, .. } => magic.kind(),
+            PacketMeta::Other => PacketKind::Other,
+        }
+    }
+}
+
+/// The extra match-action rules only ToR switches carry (§IV-B): source-IP
+/// → traffic-group lookup, per-group RSNode stamping, DRS demotion, and
+/// source-marker stamping for responses.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TorRules {
+    /// Traffic group of each locally attached host.
+    pub group_of_host: HashMap<u32, GroupId>,
+    /// RSNode assigned to each traffic group by the current RSP.
+    pub rsnode_of_group: HashMap<GroupId, RsnodeId>,
+    /// Groups currently under Degraded Replica Selection.
+    pub drs_groups: HashSet<GroupId>,
+    /// This rack's source marker, stamped on responses entering the
+    /// network here.
+    pub source_marker: SourceMarker,
+}
+
+/// The NetRS rules of one programmable switch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetRsRules {
+    /// The NetRS operator ID stored locally in the switch.
+    pub local_id: RsnodeId,
+    /// ToR-only extra rules ([`None`] on aggregation and core switches).
+    pub tor: Option<TorRules>,
+}
+
+/// What the ingress pipeline decided to do with a packet. The pipeline may
+/// also have rewritten the packet's headers (RID, magic field, source
+/// marker) in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressAction {
+    /// Regular pipeline: forward toward the packet's destination.
+    Forward,
+    /// Forward toward the switch hosting this RSNode.
+    ForwardTowardRsnode(RsnodeId),
+    /// Hand the request to the local network accelerator for replica
+    /// selection.
+    ToAccelerator,
+    /// Clone the response to the local accelerator (state update) and
+    /// forward the original — whose magic field is now `M_mon` — along the
+    /// regular pipeline.
+    CloneToAcceleratorAndForward,
+}
+
+impl NetRsRules {
+    /// Rules for a non-ToR switch.
+    #[must_use]
+    pub fn switch(local_id: RsnodeId) -> Self {
+        NetRsRules {
+            local_id,
+            tor: None,
+        }
+    }
+
+    /// Rules for a ToR switch.
+    #[must_use]
+    pub fn tor(local_id: RsnodeId, tor: TorRules) -> Self {
+        NetRsRules {
+            local_id,
+            tor: Some(tor),
+        }
+    }
+
+    /// Runs the ingress pipeline of Fig. 3 on one packet.
+    ///
+    /// `from_host` distinguishes packets entering the network from a
+    /// locally attached host (which ToRs must stamp) from packets arriving
+    /// on switch-facing ports.
+    pub fn ingress(&self, pkt: &mut PacketMeta, from_host: bool) -> IngressAction {
+        match pkt.kind() {
+            PacketKind::Other | PacketKind::Monitored => IngressAction::Forward,
+            PacketKind::NetRsRequest => self.ingress_request(pkt, from_host),
+            PacketKind::NetRsResponse => self.ingress_response(pkt, from_host),
+        }
+    }
+
+    fn ingress_request(&self, pkt: &mut PacketMeta, from_host: bool) -> IngressAction {
+        let PacketMeta::Request {
+            rid,
+            magic,
+            src_host,
+            ..
+        } = pkt
+        else {
+            unreachable!("classified as request");
+        };
+        // ToR extra stage: set the RSNode ID from the traffic group.
+        if from_host {
+            if let Some(tor) = &self.tor {
+                if let Some(&group) = tor.group_of_host.get(src_host) {
+                    if tor.drs_groups.contains(&group) {
+                        *rid = RsnodeId::ILLEGAL;
+                    } else if let Some(&assigned) = tor.rsnode_of_group.get(&group) {
+                        *rid = assigned;
+                    }
+                }
+            }
+        }
+        // Illegal ID → DRS: demote to a non-NetRS (but monitored) packet
+        // and let it run straight to the client's backup replica.
+        if !rid.is_legal() {
+            *magic = MagicField::MONITORED.f();
+            return IngressAction::Forward;
+        }
+        if *rid == self.local_id {
+            IngressAction::ToAccelerator
+        } else {
+            IngressAction::ForwardTowardRsnode(*rid)
+        }
+    }
+
+    fn ingress_response(&self, pkt: &mut PacketMeta, from_host: bool) -> IngressAction {
+        let PacketMeta::Response { rid, magic, sm, .. } = pkt else {
+            unreachable!("classified as response");
+        };
+        // ToR extra stage: stamp the source marker on responses entering
+        // the network.
+        if from_host {
+            if let Some(tor) = &self.tor {
+                *sm = tor.source_marker;
+            }
+        }
+        if *rid == self.local_id {
+            // The magic rewrite makes downstream switches treat the
+            // original as non-NetRS while monitors still recognize it.
+            *magic = MagicField::MONITORED;
+            IngressAction::CloneToAcceleratorAndForward
+        } else {
+            IngressAction::ForwardTowardRsnode(*rid)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(rid: RsnodeId, src: u32) -> PacketMeta {
+        PacketMeta::Request {
+            rid,
+            magic: MagicField::REQUEST,
+            rgid: 5,
+            src_host: src,
+            dst_host: 99,
+        }
+    }
+
+    fn response(rid: RsnodeId) -> PacketMeta {
+        PacketMeta::Response {
+            rid,
+            magic: MagicField::RESPONSE,
+            sm: SourceMarker::default(),
+            src_host: 99,
+            dst_host: 1,
+        }
+    }
+
+    fn tor_rules() -> NetRsRules {
+        let mut tor = TorRules {
+            source_marker: SourceMarker { pod: 2, rack: 17 },
+            ..TorRules::default()
+        };
+        tor.group_of_host.insert(1, 10);
+        tor.group_of_host.insert(2, 11);
+        tor.rsnode_of_group.insert(10, RsnodeId(7));
+        tor.rsnode_of_group.insert(11, RsnodeId(3));
+        tor.drs_groups.insert(11);
+        NetRsRules::tor(RsnodeId(3), tor)
+    }
+
+    #[test]
+    fn tor_stamps_rsnode_id_from_group() {
+        let rules = tor_rules();
+        let mut pkt = request(RsnodeId(0), 1);
+        let action = rules.ingress(&mut pkt, true);
+        assert_eq!(action, IngressAction::ForwardTowardRsnode(RsnodeId(7)));
+        let PacketMeta::Request { rid, .. } = pkt else { panic!() };
+        assert_eq!(rid, RsnodeId(7));
+    }
+
+    #[test]
+    fn tor_does_not_restamp_transit_packets() {
+        let rules = tor_rules();
+        // Packet from another switch already stamped for RSNode 9.
+        let mut pkt = request(RsnodeId(9), 1);
+        let action = rules.ingress(&mut pkt, false);
+        assert_eq!(action, IngressAction::ForwardTowardRsnode(RsnodeId(9)));
+    }
+
+    #[test]
+    fn request_at_its_rsnode_goes_to_accelerator() {
+        let rules = tor_rules(); // local id 3
+        let mut pkt = request(RsnodeId(3), 5);
+        assert_eq!(rules.ingress(&mut pkt, false), IngressAction::ToAccelerator);
+    }
+
+    #[test]
+    fn drs_group_is_demoted_to_monitored_non_netrs() {
+        let rules = tor_rules(); // group 11 (host 2) is under DRS
+        let mut pkt = request(RsnodeId(0), 2);
+        let action = rules.ingress(&mut pkt, true);
+        assert_eq!(action, IngressAction::Forward);
+        let PacketMeta::Request { rid, magic, .. } = pkt else { panic!() };
+        assert_eq!(rid, RsnodeId::ILLEGAL);
+        // f(M_mon): unrecognized by switches, recoverable by the server.
+        assert_eq!(magic.kind(), PacketKind::Other);
+        assert_eq!(magic.f_inv(), MagicField::MONITORED);
+    }
+
+    #[test]
+    fn illegal_rid_from_upstream_is_also_demoted() {
+        let rules = NetRsRules::switch(RsnodeId(4));
+        let mut pkt = request(RsnodeId::ILLEGAL, 2);
+        assert_eq!(rules.ingress(&mut pkt, false), IngressAction::Forward);
+        let PacketMeta::Request { magic, .. } = pkt else { panic!() };
+        assert_eq!(magic, MagicField::MONITORED.f());
+    }
+
+    #[test]
+    fn response_clones_at_its_rsnode_and_relabels() {
+        let rules = NetRsRules::switch(RsnodeId(7));
+        let mut pkt = response(RsnodeId(7));
+        let action = rules.ingress(&mut pkt, false);
+        assert_eq!(action, IngressAction::CloneToAcceleratorAndForward);
+        let PacketMeta::Response { magic, .. } = pkt else { panic!() };
+        assert_eq!(magic, MagicField::MONITORED);
+    }
+
+    #[test]
+    fn response_in_transit_heads_to_its_rsnode() {
+        let rules = NetRsRules::switch(RsnodeId(4));
+        let mut pkt = response(RsnodeId(7));
+        assert_eq!(
+            rules.ingress(&mut pkt, false),
+            IngressAction::ForwardTowardRsnode(RsnodeId(7))
+        );
+    }
+
+    #[test]
+    fn tor_stamps_source_marker_on_responses_from_hosts() {
+        let rules = tor_rules();
+        let mut pkt = response(RsnodeId(9));
+        let _ = rules.ingress(&mut pkt, true);
+        let PacketMeta::Response { sm, .. } = pkt else { panic!() };
+        assert_eq!(sm, SourceMarker { pod: 2, rack: 17 });
+    }
+
+    #[test]
+    fn non_netrs_packets_pass_untouched() {
+        let rules = tor_rules();
+        let mut pkt = PacketMeta::Other;
+        assert_eq!(rules.ingress(&mut pkt, true), IngressAction::Forward);
+        assert_eq!(pkt, PacketMeta::Other);
+
+        // A monitored (post-RSNode) response is plain traffic to switches.
+        let mut pkt = PacketMeta::Response {
+            rid: RsnodeId(7),
+            magic: MagicField::MONITORED,
+            sm: SourceMarker::default(),
+            src_host: 0,
+            dst_host: 0,
+        };
+        assert_eq!(rules.ingress(&mut pkt, false), IngressAction::Forward);
+    }
+
+    #[test]
+    fn unmapped_host_keeps_prestamped_rid() {
+        let rules = tor_rules();
+        // Host 42 not in any group: the packet keeps whatever RID the
+        // client wrote (here: a legal one routes on).
+        let mut pkt = request(RsnodeId(7), 42);
+        assert_eq!(
+            rules.ingress(&mut pkt, true),
+            IngressAction::ForwardTowardRsnode(RsnodeId(7))
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the network-device models.
+
+use netrs_netdev::{
+    Accelerator, AcceleratorConfig, IngressAction, Monitor, NetRsRules, PacketMeta, TorRules,
+};
+use netrs_simcore::{SimDuration, SimTime};
+use netrs_wire::{MagicField, PacketKind, RsnodeId, SourceMarker};
+use proptest::prelude::*;
+
+proptest! {
+    /// Accelerator FIFO: completions are monotone in arrival order, each
+    /// task takes at least RTT + service, and with one core consecutive
+    /// completions are spaced by at least the service time.
+    #[test]
+    fn accelerator_fifo_invariants(
+        gaps in proptest::collection::vec(0u64..20_000, 1..100),
+        cores in 1u32..4,
+    ) {
+        let cfg = AcceleratorConfig { cores, ..AcceleratorConfig::default() };
+        let mut accel = Accelerator::new(cfg);
+        let floor = cfg.switch_rtt + cfg.service_time;
+        let mut now = SimTime::ZERO;
+        let mut last_done = SimTime::ZERO;
+        for gap in gaps {
+            now = now + SimDuration::from_nanos(gap);
+            let done = accel.schedule_selection(now);
+            prop_assert!(done >= now + floor, "faster than physics: {done} vs {now}");
+            prop_assert!(done >= last_done || cores > 1, "single-core FIFO must be ordered");
+            if cores == 1 {
+                prop_assert!(
+                    done.as_nanos() >= last_done.as_nanos() + cfg.service_time.as_nanos()
+                        || last_done == SimTime::ZERO
+                );
+            }
+            last_done = last_done.max(done);
+        }
+        prop_assert!(accel.utilization(now + floor) <= 1.0 + 1e-9);
+    }
+
+    /// The ingress pipeline never panics and always rewrites consistently:
+    /// a request leaving with `Forward` is non-NetRS or DRS-demoted; a
+    /// response leaving with clone action carries `M_mon`.
+    #[test]
+    fn pipeline_is_total_and_consistent(
+        local in 1u16..100,
+        rid in any::<u16>(),
+        src in 0u32..64,
+        from_host in any::<bool>(),
+        group in 0u32..8,
+        drs in any::<bool>(),
+    ) {
+        let mut tor = TorRules {
+            source_marker: SourceMarker { pod: 1, rack: 2 },
+            ..TorRules::default()
+        };
+        tor.group_of_host.insert(src, group);
+        if drs {
+            tor.drs_groups.insert(group);
+        } else {
+            tor.rsnode_of_group.insert(group, RsnodeId(local + 1));
+        }
+        let rules = NetRsRules::tor(RsnodeId(local), tor);
+
+        let mut pkt = PacketMeta::Request {
+            rid: RsnodeId(rid),
+            magic: MagicField::REQUEST,
+            rgid: group,
+            src_host: src,
+            dst_host: 99,
+        };
+        let action = rules.ingress(&mut pkt, from_host);
+        let PacketMeta::Request { rid: out_rid, magic, .. } = pkt else { panic!() };
+        match action {
+            IngressAction::Forward => {
+                // Only DRS-demoted requests are plain-forwarded.
+                prop_assert!(!out_rid.is_legal());
+                prop_assert_eq!(magic, MagicField::MONITORED.f());
+            }
+            IngressAction::ToAccelerator => prop_assert_eq!(out_rid, RsnodeId(local)),
+            IngressAction::ForwardTowardRsnode(r) => {
+                prop_assert_eq!(r, out_rid);
+                prop_assert!(r.is_legal());
+            }
+            IngressAction::CloneToAcceleratorAndForward => prop_assert!(false, "requests are never cloned"),
+        }
+
+        let mut resp = PacketMeta::Response {
+            rid: RsnodeId(rid),
+            magic: MagicField::RESPONSE,
+            sm: SourceMarker::default(),
+            src_host: src,
+            dst_host: 3,
+        };
+        let action = rules.ingress(&mut resp, from_host);
+        let PacketMeta::Response { magic, sm, .. } = resp else { panic!() };
+        if from_host {
+            prop_assert_eq!(sm, SourceMarker { pod: 1, rack: 2 });
+        }
+        match action {
+            IngressAction::CloneToAcceleratorAndForward => {
+                prop_assert_eq!(RsnodeId(rid), RsnodeId(local));
+                prop_assert_eq!(magic, MagicField::MONITORED);
+            }
+            IngressAction::ForwardTowardRsnode(r) => prop_assert_eq!(r, RsnodeId(rid)),
+            other => prop_assert!(false, "unexpected response action {other:?}"),
+        }
+    }
+
+    /// Monitor totals are conserved: the snapshot's counters sum to the
+    /// number of recorded responses, bucketed by the correct tier.
+    #[test]
+    fn monitor_conserves_counts(
+        events in proptest::collection::vec((0u32..5, 0u16..4, 0u16..8), 0..200),
+    ) {
+        let local = SourceMarker { pod: 0, rack: 0 };
+        let mut monitor = Monitor::new(local);
+        let mut expected = std::collections::HashMap::<u32, [u64; 3]>::new();
+        for (group, pod, rack) in &events {
+            let sm = SourceMarker { pod: *pod, rack: *rack };
+            monitor.record(*group, sm);
+            let tier = if sm.same_rack(local) { 2 } else if sm.same_pod(local) { 1 } else { 0 };
+            expected.entry(*group).or_default()[tier] += 1;
+        }
+        let snap = monitor.snapshot(SimTime::from_nanos(1));
+        let total: u64 = snap.counts.iter().flat_map(|(_, c)| c.iter()).sum();
+        prop_assert_eq!(total as usize, events.len());
+        for (group, counts) in snap.counts {
+            prop_assert_eq!(expected.remove(&group), Some(counts));
+        }
+        prop_assert!(expected.values().all(|c| c.iter().all(|&x| x == 0)));
+    }
+
+    /// A non-NetRS packet is never modified by any rules.
+    #[test]
+    fn foreign_traffic_untouched(local in any::<u16>(), from_host in any::<bool>()) {
+        let rules = NetRsRules::switch(RsnodeId(local));
+        let mut pkt = PacketMeta::Other;
+        prop_assert_eq!(rules.ingress(&mut pkt, from_host), IngressAction::Forward);
+        prop_assert_eq!(pkt, PacketMeta::Other);
+        prop_assert_eq!(pkt.kind(), PacketKind::Other);
+    }
+}

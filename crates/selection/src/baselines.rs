@@ -1,0 +1,407 @@
+//! Baseline replica-selection algorithms.
+//!
+//! These are the classic selectors the C3 paper (and hence NetRS)
+//! compares against; they share the [`ReplicaSelector`] interface so any
+//! of them can be dropped into a client or a NetRS operator for ablation
+//! runs.
+
+use std::collections::HashMap;
+
+use netrs_kvstore::ServerId;
+use netrs_simcore::{SimRng, SimTime};
+
+use crate::{Feedback, ReplicaSelector};
+
+fn assert_nonempty(candidates: &[ServerId]) {
+    assert!(!candidates.is_empty(), "rank needs at least one candidate");
+}
+
+/// Uniform random selection.
+#[derive(Debug)]
+pub struct RandomSelector {
+    outstanding: HashMap<ServerId, u32>,
+    rng: SimRng,
+}
+
+impl RandomSelector {
+    /// Creates a random selector.
+    #[must_use]
+    pub fn new(rng: SimRng) -> Self {
+        RandomSelector {
+            outstanding: HashMap::new(),
+            rng,
+        }
+    }
+}
+
+impl ReplicaSelector for RandomSelector {
+    fn rank(&mut self, candidates: &[ServerId], _now: SimTime) -> Vec<ServerId> {
+        assert_nonempty(candidates);
+        let mut out = candidates.to_vec();
+        self.rng.shuffle(&mut out);
+        out
+    }
+
+    fn on_send(&mut self, server: ServerId, _now: SimTime) {
+        *self.outstanding.entry(server).or_default() += 1;
+    }
+
+    fn on_response(&mut self, fb: &Feedback, _now: SimTime) {
+        if let Some(os) = self.outstanding.get_mut(&fb.server) {
+            *os = os.saturating_sub(1);
+        }
+    }
+
+    fn outstanding(&self, server: ServerId) -> u32 {
+        self.outstanding.get(&server).copied().unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Round-robin over whatever candidate set is presented.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    counter: u64,
+    outstanding: HashMap<ServerId, u32>,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin selector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplicaSelector for RoundRobin {
+    fn rank(&mut self, candidates: &[ServerId], _now: SimTime) -> Vec<ServerId> {
+        assert_nonempty(candidates);
+        let n = candidates.len();
+        let start = (self.counter as usize) % n;
+        self.counter += 1;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(candidates[(start + i) % n]);
+        }
+        out
+    }
+
+    fn on_send(&mut self, server: ServerId, _now: SimTime) {
+        *self.outstanding.entry(server).or_default() += 1;
+    }
+
+    fn on_response(&mut self, fb: &Feedback, _now: SimTime) {
+        if let Some(os) = self.outstanding.get_mut(&fb.server) {
+            *os = os.saturating_sub(1);
+        }
+    }
+
+    fn outstanding(&self, server: ServerId) -> u32 {
+        self.outstanding.get(&server).copied().unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Fewest-outstanding-requests selection (ties broken randomly).
+#[derive(Debug)]
+pub struct LeastOutstanding {
+    outstanding: HashMap<ServerId, u32>,
+    rng: SimRng,
+}
+
+impl LeastOutstanding {
+    /// Creates a least-outstanding selector.
+    #[must_use]
+    pub fn new(rng: SimRng) -> Self {
+        LeastOutstanding {
+            outstanding: HashMap::new(),
+            rng,
+        }
+    }
+}
+
+impl ReplicaSelector for LeastOutstanding {
+    fn rank(&mut self, candidates: &[ServerId], _now: SimTime) -> Vec<ServerId> {
+        assert_nonempty(candidates);
+        let mut scored: Vec<(u32, u64, ServerId)> = candidates
+            .iter()
+            .map(|&s| (self.outstanding(s), self.rng.next_u64(), s))
+            .collect();
+        scored.sort_unstable();
+        scored.into_iter().map(|(_, _, s)| s).collect()
+    }
+
+    fn on_send(&mut self, server: ServerId, _now: SimTime) {
+        *self.outstanding.entry(server).or_default() += 1;
+    }
+
+    fn on_response(&mut self, fb: &Feedback, _now: SimTime) {
+        if let Some(os) = self.outstanding.get_mut(&fb.server) {
+            *os = os.saturating_sub(1);
+        }
+    }
+
+    fn outstanding(&self, server: ServerId) -> u32 {
+        self.outstanding.get(&server).copied().unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "least-outstanding"
+    }
+}
+
+/// Mitzenmacher's power of two choices: sample two random candidates and
+/// keep the one with fewer outstanding requests.
+#[derive(Debug)]
+pub struct PowerOfTwoChoices {
+    outstanding: HashMap<ServerId, u32>,
+    rng: SimRng,
+}
+
+impl PowerOfTwoChoices {
+    /// Creates a power-of-two-choices selector.
+    #[must_use]
+    pub fn new(rng: SimRng) -> Self {
+        PowerOfTwoChoices {
+            outstanding: HashMap::new(),
+            rng,
+        }
+    }
+}
+
+impl ReplicaSelector for PowerOfTwoChoices {
+    fn rank(&mut self, candidates: &[ServerId], _now: SimTime) -> Vec<ServerId> {
+        assert_nonempty(candidates);
+        if candidates.len() == 1 {
+            return candidates.to_vec();
+        }
+        let picks = self.rng.sample_indices(candidates.len(), 2);
+        let (a, b) = (candidates[picks[0]], candidates[picks[1]]);
+        let winner = if self.outstanding(a) <= self.outstanding(b) {
+            a
+        } else {
+            b
+        };
+        // Winner first, then the loser, then everything else in order.
+        let mut out = vec![winner];
+        out.extend(candidates.iter().copied().filter(|&s| s != winner));
+        out
+    }
+
+    fn on_send(&mut self, server: ServerId, _now: SimTime) {
+        *self.outstanding.entry(server).or_default() += 1;
+    }
+
+    fn on_response(&mut self, fb: &Feedback, _now: SimTime) {
+        if let Some(os) = self.outstanding.get_mut(&fb.server) {
+            *os = os.saturating_sub(1);
+        }
+    }
+
+    fn outstanding(&self, server: ServerId) -> u32 {
+        self.outstanding.get(&server).copied().unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "power-of-two"
+    }
+}
+
+/// A simplified Cassandra dynamic snitch: rank by EWMA response latency,
+/// with an exploration probability so newly recovered servers are
+/// re-probed (Cassandra achieves the same with periodic score resets).
+#[derive(Debug)]
+pub struct DynamicSnitch {
+    explore: f64,
+    alpha: f64,
+    ewma_ns: HashMap<ServerId, f64>,
+    outstanding: HashMap<ServerId, u32>,
+    rng: SimRng,
+}
+
+impl DynamicSnitch {
+    /// Creates a dynamic snitch with exploration probability `explore`
+    /// and EWMA old-value weight `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `explore` is not in `[0, 1]` or `alpha` not in `[0, 1)`.
+    #[must_use]
+    pub fn new(explore: f64, alpha: f64, rng: SimRng) -> Self {
+        assert!((0.0..=1.0).contains(&explore), "explore must be in [0, 1]");
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+        DynamicSnitch {
+            explore,
+            alpha,
+            ewma_ns: HashMap::new(),
+            outstanding: HashMap::new(),
+            rng,
+        }
+    }
+}
+
+impl ReplicaSelector for DynamicSnitch {
+    fn rank(&mut self, candidates: &[ServerId], _now: SimTime) -> Vec<ServerId> {
+        assert_nonempty(candidates);
+        if self.rng.chance(self.explore) {
+            let mut out = candidates.to_vec();
+            self.rng.shuffle(&mut out);
+            return out;
+        }
+        let mut scored: Vec<(f64, u64, ServerId)> = candidates
+            .iter()
+            .map(|&s| {
+                (
+                    self.ewma_ns.get(&s).copied().unwrap_or(0.0),
+                    self.rng.next_u64(),
+                    s,
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        scored.into_iter().map(|(_, _, s)| s).collect()
+    }
+
+    fn on_send(&mut self, server: ServerId, _now: SimTime) {
+        *self.outstanding.entry(server).or_default() += 1;
+    }
+
+    fn on_response(&mut self, fb: &Feedback, _now: SimTime) {
+        let sample = fb.latency.as_nanos() as f64;
+        self.ewma_ns
+            .entry(fb.server)
+            .and_modify(|e| *e = self.alpha * *e + (1.0 - self.alpha) * sample)
+            .or_insert(sample);
+        if let Some(os) = self.outstanding.get_mut(&fb.server) {
+            *os = os.saturating_sub(1);
+        }
+    }
+
+    fn outstanding(&self, server: ServerId) -> u32 {
+        self.outstanding.get(&server).copied().unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "dynamic-snitch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrs_simcore::SimDuration;
+
+    const T: SimTime = SimTime::ZERO;
+
+    fn fb(server: u32, latency_ms: u64) -> Feedback {
+        Feedback {
+            server: ServerId(server),
+            queue_len: 0,
+            service_time: SimDuration::from_millis(1),
+            latency: SimDuration::from_millis(latency_ms),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new();
+        let c = [ServerId(0), ServerId(1), ServerId(2)];
+        let picks: Vec<_> = (0..6).map(|_| rr.select(&c, T)).collect();
+        assert_eq!(
+            picks,
+            vec![
+                ServerId(0),
+                ServerId(1),
+                ServerId(2),
+                ServerId(0),
+                ServerId(1),
+                ServerId(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn random_covers_all_candidates() {
+        let mut r = RandomSelector::new(SimRng::from_seed(4));
+        let c = [ServerId(0), ServerId(1), ServerId(2)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(r.select(&c, T));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn least_outstanding_avoids_loaded_server() {
+        let mut lo = LeastOutstanding::new(SimRng::from_seed(5));
+        let c = [ServerId(0), ServerId(1)];
+        for _ in 0..5 {
+            lo.on_send(ServerId(0), T);
+        }
+        for _ in 0..20 {
+            assert_eq!(lo.select(&c, T), ServerId(1));
+        }
+        // Responses rebalance.
+        for _ in 0..5 {
+            lo.on_response(&fb(0, 1), T);
+        }
+        assert_eq!(lo.outstanding(ServerId(0)), 0);
+    }
+
+    #[test]
+    fn p2c_prefers_less_loaded_of_its_sample() {
+        let mut p = PowerOfTwoChoices::new(SimRng::from_seed(6));
+        let c = [ServerId(0), ServerId(1)];
+        for _ in 0..10 {
+            p.on_send(ServerId(1), T);
+        }
+        // With only two candidates the sample is always {0, 1}.
+        for _ in 0..20 {
+            assert_eq!(p.select(&c, T), ServerId(0));
+        }
+    }
+
+    #[test]
+    fn p2c_single_candidate() {
+        let mut p = PowerOfTwoChoices::new(SimRng::from_seed(7));
+        assert_eq!(p.select(&[ServerId(3)], T), ServerId(3));
+    }
+
+    #[test]
+    fn snitch_tracks_latency_but_explores() {
+        let mut s = DynamicSnitch::new(0.1, 0.9, SimRng::from_seed(8));
+        let c = [ServerId(0), ServerId(1)];
+        for _ in 0..10 {
+            s.on_response(&fb(0, 50), T);
+            s.on_response(&fb(1, 2), T);
+        }
+        let picks: Vec<_> = (0..200).map(|_| s.select(&c, T)).collect();
+        let fast = picks.iter().filter(|&&p| p == ServerId(1)).count();
+        assert!(fast > 150, "snitch should mostly pick the fast server: {fast}");
+        assert!(fast < 200, "snitch should still explore sometimes: {fast}");
+    }
+
+    #[test]
+    fn snitch_validates_parameters() {
+        let r = SimRng::from_seed(0);
+        let result = std::panic::catch_unwind(move || DynamicSnitch::new(1.5, 0.9, r));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn outstanding_counters_never_underflow() {
+        let mut lo = LeastOutstanding::new(SimRng::from_seed(9));
+        lo.on_response(&fb(0, 1), T); // response without a send
+        assert_eq!(lo.outstanding(ServerId(0)), 0);
+    }
+}

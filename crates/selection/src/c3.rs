@@ -1,0 +1,355 @@
+//! The C3 replica-ranking algorithm (Suresh et al., NSDI'15).
+//!
+//! C3 scores each replica `s` with
+//!
+//! ```text
+//! Ψ(s) = R̄_s − T̄_s + q̂_s^b · T̄_s
+//! q̂_s = 1 + os_s · n + q̄_s
+//! ```
+//!
+//! where `R̄_s` is the EWMA of response times this RSNode observed from
+//! `s`, `T̄_s` the EWMA of the service-time estimates `s` piggybacks,
+//! `q̄_s` the EWMA of the queue sizes `s` piggybacks, `os_s` the requests
+//! this RSNode currently has outstanding at `s`, `n` the number of
+//! cooperating RSNodes (concurrency compensation: each RSNode assumes its
+//! peers behave like it does), and `b` the queue-penalty exponent (3 in
+//! the paper — the "cubic" in cubic replica selection). Lower is better.
+//!
+//! The cubic exponent is what suppresses herd behaviour: a replica whose
+//! queue estimate is stale-low attracts traffic only until its penalty
+//! term explodes, which happens *before* the queue physically builds up
+//! because `os_s · n` rises instantly at the RSNode itself.
+
+use std::collections::HashMap;
+
+use netrs_kvstore::ServerId;
+use netrs_simcore::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::{Feedback, ReplicaSelector};
+
+/// C3 parameters (paper defaults in [`Default`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct C3Config {
+    /// EWMA weight of the *old* value (C3 uses 0.9).
+    pub alpha: f64,
+    /// Queue-penalty exponent `b` (3 in C3; swept by the ABL-B ablation).
+    pub exponent: f64,
+    /// Concurrency compensation `n`: how many RSNodes share each server.
+    /// Under CliRS this is the client count; under NetRS the (much
+    /// smaller) RSNode count.
+    pub concurrency: f64,
+}
+
+impl Default for C3Config {
+    fn default() -> Self {
+        C3Config {
+            alpha: 0.9,
+            exponent: 3.0,
+            concurrency: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ServerEstimate {
+    ewma_latency_ns: f64,
+    ewma_service_ns: f64,
+    ewma_queue: f64,
+    outstanding: u32,
+    responses: u64,
+}
+
+/// The C3 selector state held by one RSNode.
+#[derive(Debug)]
+pub struct C3Selector {
+    cfg: C3Config,
+    servers: HashMap<ServerId, ServerEstimate>,
+    rng: SimRng,
+}
+
+impl C3Selector {
+    /// Creates a selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1)`, `exponent < 1` or
+    /// `concurrency < 1`.
+    #[must_use]
+    pub fn new(cfg: C3Config, rng: SimRng) -> Self {
+        assert!((0.0..1.0).contains(&cfg.alpha), "alpha must be in [0, 1)");
+        assert!(cfg.exponent >= 1.0, "exponent must be >= 1");
+        assert!(cfg.concurrency >= 1.0, "concurrency must be >= 1");
+        C3Selector {
+            cfg,
+            servers: HashMap::new(),
+            rng,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &C3Config {
+        &self.cfg
+    }
+
+    /// Updates the concurrency-compensation factor (the controller resets
+    /// it when the number of RSNodes changes after a re-plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 1`.
+    pub fn set_concurrency(&mut self, n: f64) {
+        assert!(n >= 1.0, "concurrency must be >= 1");
+        self.cfg.concurrency = n;
+    }
+
+    /// The Ψ score of one server (lower is better). Servers never heard
+    /// from score by their compensated-outstanding penalty only, so fresh
+    /// replicas are explored early.
+    #[must_use]
+    pub fn score(&self, server: ServerId) -> f64 {
+        let est = self.servers.get(&server).copied().unwrap_or_default();
+        let q_hat = 1.0 + f64::from(est.outstanding) * self.cfg.concurrency + est.ewma_queue;
+        est.ewma_latency_ns - est.ewma_service_ns
+            + q_hat.powf(self.cfg.exponent) * est.ewma_service_ns
+    }
+
+    /// Number of responses folded in from `server` (freshness indicator).
+    #[must_use]
+    pub fn responses_seen(&self, server: ServerId) -> u64 {
+        self.servers.get(&server).map_or(0, |e| e.responses)
+    }
+}
+
+fn ewma(old: f64, sample: f64, alpha: f64, first: bool) -> f64 {
+    if first {
+        sample
+    } else {
+        alpha * old + (1.0 - alpha) * sample
+    }
+}
+
+impl ReplicaSelector for C3Selector {
+    fn rank(&mut self, candidates: &[ServerId], _now: SimTime) -> Vec<ServerId> {
+        assert!(!candidates.is_empty(), "rank needs at least one candidate");
+        // Random jitter breaks ties among equally scored (e.g. unseen)
+        // servers so cold-start traffic spreads instead of herding.
+        let mut scored: Vec<(f64, u64, ServerId)> = candidates
+            .iter()
+            .map(|&s| (self.score(s), self.rng.next_u64(), s))
+            .collect();
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        scored.into_iter().map(|(_, _, s)| s).collect()
+    }
+
+    fn on_send(&mut self, server: ServerId, _now: SimTime) {
+        self.servers.entry(server).or_default().outstanding += 1;
+    }
+
+    fn on_response(&mut self, fb: &Feedback, _now: SimTime) {
+        let est = self.servers.entry(fb.server).or_default();
+        let first = est.responses == 0;
+        est.ewma_latency_ns = ewma(
+            est.ewma_latency_ns,
+            fb.latency.as_nanos() as f64,
+            self.cfg.alpha,
+            first,
+        );
+        est.ewma_service_ns = ewma(
+            est.ewma_service_ns,
+            fb.service_time.as_nanos() as f64,
+            self.cfg.alpha,
+            first,
+        );
+        est.ewma_queue = ewma(est.ewma_queue, f64::from(fb.queue_len), self.cfg.alpha, first);
+        est.outstanding = est.outstanding.saturating_sub(1);
+        est.responses += 1;
+    }
+
+    fn outstanding(&self, server: ServerId) -> u32 {
+        self.servers.get(&server).map_or(0, |e| e.outstanding)
+    }
+
+    fn name(&self) -> &'static str {
+        "c3"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrs_simcore::SimDuration;
+
+    fn fb(server: u32, queue: u32, service_ms: u64, latency_ms: u64) -> Feedback {
+        Feedback {
+            server: ServerId(server),
+            queue_len: queue,
+            service_time: SimDuration::from_millis(service_ms),
+            latency: SimDuration::from_millis(latency_ms),
+        }
+    }
+
+    fn c3() -> C3Selector {
+        C3Selector::new(C3Config::default(), SimRng::from_seed(11))
+    }
+
+    #[test]
+    fn prefers_lower_latency_server() {
+        let mut s = c3();
+        let t = SimTime::ZERO;
+        for _ in 0..5 {
+            s.on_response(&fb(0, 2, 4, 20), t);
+            s.on_response(&fb(1, 2, 4, 5), t);
+        }
+        assert_eq!(s.select(&[ServerId(0), ServerId(1)], t), ServerId(1));
+    }
+
+    #[test]
+    fn queue_penalty_is_cubic() {
+        let mut s = c3();
+        let t = SimTime::ZERO;
+        // Same latency/service, different queues.
+        s.on_response(&fb(0, 10, 4, 8), t);
+        s.on_response(&fb(1, 1, 4, 8), t);
+        let ratio = s.score(ServerId(0)) / s.score(ServerId(1));
+        // (1+10)^3 vs (1+1)^3 dominates: ratio should be large.
+        assert!(ratio > 50.0, "cubic penalty too weak: ratio {ratio}");
+        assert_eq!(s.select(&[ServerId(0), ServerId(1)], t), ServerId(1));
+    }
+
+    #[test]
+    fn outstanding_requests_push_score_up() {
+        let mut s = c3();
+        let t = SimTime::ZERO;
+        s.on_response(&fb(0, 1, 4, 8), t);
+        s.on_response(&fb(1, 1, 4, 8), t);
+        let before = s.score(ServerId(0));
+        for _ in 0..3 {
+            s.on_send(ServerId(0), t);
+        }
+        assert_eq!(s.outstanding(ServerId(0)), 3);
+        assert!(s.score(ServerId(0)) > before);
+        assert_eq!(s.select(&[ServerId(0), ServerId(1)], t), ServerId(1));
+        // Responses drain the outstanding count.
+        s.on_response(&fb(0, 1, 4, 8), t);
+        assert_eq!(s.outstanding(ServerId(0)), 2);
+    }
+
+    #[test]
+    fn concurrency_compensation_amplifies_outstanding() {
+        let mut low = C3Selector::new(
+            C3Config {
+                concurrency: 1.0,
+                ..C3Config::default()
+            },
+            SimRng::from_seed(1),
+        );
+        let mut high = C3Selector::new(
+            C3Config {
+                concurrency: 500.0,
+                ..C3Config::default()
+            },
+            SimRng::from_seed(1),
+        );
+        let t = SimTime::ZERO;
+        for s in [&mut low, &mut high] {
+            s.on_response(&fb(0, 1, 4, 8), t);
+            s.on_send(ServerId(0), t);
+        }
+        assert!(high.score(ServerId(0)) > low.score(ServerId(0)) * 100.0);
+    }
+
+    #[test]
+    fn unseen_servers_are_explored_first() {
+        let mut s = c3();
+        let t = SimTime::ZERO;
+        s.on_response(&fb(0, 3, 4, 10), t);
+        // Server 9 was never heard from: score 0 beats any positive score.
+        assert_eq!(s.select(&[ServerId(0), ServerId(9)], t), ServerId(9));
+        assert_eq!(s.responses_seen(ServerId(9)), 0);
+        assert_eq!(s.responses_seen(ServerId(0)), 1);
+    }
+
+    #[test]
+    fn ties_break_randomly_not_by_id() {
+        let mut s = c3();
+        let t = SimTime::ZERO;
+        let candidates = [ServerId(0), ServerId(1), ServerId(2)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.select(&candidates, t));
+        }
+        assert_eq!(seen.len(), 3, "cold-start picks must spread");
+    }
+
+    #[test]
+    fn first_sample_initializes_ewma_exactly() {
+        let mut s = c3();
+        let t = SimTime::ZERO;
+        s.on_response(&fb(0, 4, 2, 6), t);
+        // With a single sample: R̄ = 6ms, T̄ = 2ms, q̄ = 4, q̂ = 5.
+        let expected = 6.0e6 - 2.0e6 + 125.0 * 2.0e6;
+        assert!((s.score(ServerId(0)) - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn exponent_is_configurable() {
+        let mut linear = C3Selector::new(
+            C3Config {
+                exponent: 1.0,
+                ..C3Config::default()
+            },
+            SimRng::from_seed(2),
+        );
+        let t = SimTime::ZERO;
+        linear.on_response(&fb(0, 4, 2, 6), t);
+        let expected = 6.0e6 - 2.0e6 + 5.0 * 2.0e6;
+        assert!((linear.score(ServerId(0)) - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn rank_orders_by_score() {
+        let mut s = c3();
+        let t = SimTime::ZERO;
+        s.on_response(&fb(0, 8, 4, 30), t);
+        s.on_response(&fb(1, 2, 4, 10), t);
+        s.on_response(&fb(2, 0, 1, 2), t);
+        let ranked = s.rank(&[ServerId(0), ServerId(1), ServerId(2)], t);
+        assert_eq!(ranked, vec![ServerId(2), ServerId(1), ServerId(0)]);
+    }
+
+    #[test]
+    fn set_concurrency_takes_effect() {
+        let mut s = c3();
+        let t = SimTime::ZERO;
+        s.on_response(&fb(0, 0, 4, 4), t);
+        s.on_send(ServerId(0), t);
+        let before = s.score(ServerId(0));
+        s.set_concurrency(100.0);
+        assert!(s.score(ServerId(0)) > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panic() {
+        let mut s = c3();
+        let _ = s.rank(&[], SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        let _ = C3Selector::new(
+            C3Config {
+                alpha: 1.0,
+                ..C3Config::default()
+            },
+            SimRng::from_seed(0),
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Replica-selection algorithms.
+//!
+//! Every scheme in the NetRS evaluation ranks replicas with **C3**
+//! (Suresh et al., NSDI'15) — the state-of-the-art selector the paper
+//! builds on; what varies is *where* the selector runs (client vs.
+//! in-network RSNode). This crate implements C3 faithfully
+//! ([`C3Selector`]: EWMA tracking of response times and piggybacked server
+//! status, concurrency compensation, cubic queue penalty, and optional
+//! cubic rate control via [`CubicRateController`]) along with the classic
+//! baselines the C3 paper compares against: random, round-robin,
+//! least-outstanding-requests, power-of-two-choices, and Cassandra-style
+//! dynamic snitching.
+//!
+//! All selectors implement [`ReplicaSelector`], the interface NetRS
+//! operators and clients drive: rank candidates at request time, account
+//! an outstanding request on send, and fold in [`Feedback`] when a
+//! response passes by.
+//!
+//! # Examples
+//!
+//! ```
+//! use netrs_kvstore::ServerId;
+//! use netrs_selection::{C3Config, C3Selector, Feedback, ReplicaSelector};
+//! use netrs_simcore::{SimDuration, SimRng, SimTime};
+//!
+//! let mut c3 = C3Selector::new(C3Config::default(), SimRng::from_seed(7));
+//! let replicas = [ServerId(0), ServerId(1), ServerId(2)];
+//!
+//! // Tell the selector server 1 is fast and idle...
+//! c3.on_response(
+//!     &Feedback {
+//!         server: ServerId(1),
+//!         queue_len: 0,
+//!         service_time: SimDuration::from_millis(1),
+//!         latency: SimDuration::from_millis(1),
+//!     },
+//!     SimTime::ZERO,
+//! );
+//! // ...and server 0 is slow and deeply queued.
+//! c3.on_response(
+//!     &Feedback {
+//!         server: ServerId(0),
+//!         queue_len: 40,
+//!         service_time: SimDuration::from_millis(4),
+//!         latency: SimDuration::from_millis(90),
+//!     },
+//!     SimTime::ZERO,
+//! );
+//! let pick = c3.select(&replicas, SimTime::ZERO);
+//! assert_ne!(pick, ServerId(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod c3;
+mod cubic;
+
+pub use baselines::{
+    DynamicSnitch, LeastOutstanding, PowerOfTwoChoices, RandomSelector, RoundRobin,
+};
+pub use c3::{C3Config, C3Selector};
+pub use cubic::{CubicConfig, CubicRateController};
+
+use netrs_kvstore::ServerId;
+use netrs_simcore::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Everything an RSNode learns from one response: the piggybacked server
+/// status plus the response time it measured itself (via the retaining
+/// value, §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feedback {
+    /// The server that produced the response.
+    pub server: ServerId,
+    /// Piggybacked pending-request count.
+    pub queue_len: u32,
+    /// Piggybacked service-time estimate.
+    pub service_time: SimDuration,
+    /// Response time observed by this RSNode.
+    pub latency: SimDuration,
+}
+
+/// A replica-selection algorithm running at one RSNode (a client under
+/// CliRS, a network accelerator under NetRS).
+pub trait ReplicaSelector {
+    /// Orders `candidates` from most to least preferred.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `candidates` is empty.
+    fn rank(&mut self, candidates: &[ServerId], now: SimTime) -> Vec<ServerId>;
+
+    /// Picks the preferred replica (the head of [`ReplicaSelector::rank`]).
+    fn select(&mut self, candidates: &[ServerId], now: SimTime) -> ServerId {
+        self.rank(candidates, now)[0]
+    }
+
+    /// Accounts a request dispatched to `server`.
+    fn on_send(&mut self, server: ServerId, now: SimTime);
+
+    /// Folds in feedback from a response this RSNode observed.
+    fn on_response(&mut self, feedback: &Feedback, now: SimTime);
+
+    /// Outstanding requests this RSNode has routed to `server` and not yet
+    /// seen answered.
+    fn outstanding(&self, server: ServerId) -> u32;
+
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+/// Which selection algorithm to instantiate (config/CLI friendly).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum SelectorKind {
+    /// C3 scoring with default parameters (the paper's setting).
+    #[default]
+    C3,
+    /// Uniform random choice.
+    Random,
+    /// Round-robin over the candidate list.
+    RoundRobin,
+    /// Fewest outstanding requests.
+    LeastOutstanding,
+    /// Power of two choices by outstanding requests (Mitzenmacher).
+    PowerOfTwo,
+    /// Cassandra-style dynamic snitching on EWMA latency.
+    DynamicSnitch,
+}
+
+impl SelectorKind {
+    /// Builds a boxed selector of this kind. `c3` parameterizes the C3
+    /// variant and is ignored by the baselines.
+    #[must_use]
+    pub fn build(self, c3: C3Config, rng: SimRng) -> Box<dyn ReplicaSelector + Send> {
+        match self {
+            SelectorKind::C3 => Box::new(C3Selector::new(c3, rng)),
+            SelectorKind::Random => Box::new(RandomSelector::new(rng)),
+            SelectorKind::RoundRobin => Box::new(RoundRobin::new()),
+            SelectorKind::LeastOutstanding => Box::new(LeastOutstanding::new(rng)),
+            SelectorKind::PowerOfTwo => Box::new(PowerOfTwoChoices::new(rng)),
+            SelectorKind::DynamicSnitch => Box::new(DynamicSnitch::new(0.1, 0.9, rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_builds_every_selector() {
+        let kinds = [
+            (SelectorKind::C3, "c3"),
+            (SelectorKind::Random, "random"),
+            (SelectorKind::RoundRobin, "round-robin"),
+            (SelectorKind::LeastOutstanding, "least-outstanding"),
+            (SelectorKind::PowerOfTwo, "power-of-two"),
+            (SelectorKind::DynamicSnitch, "dynamic-snitch"),
+        ];
+        let candidates = [ServerId(0), ServerId(1), ServerId(2)];
+        for (kind, name) in kinds {
+            let mut s = kind.build(C3Config::default(), SimRng::from_seed(1));
+            assert_eq!(s.name(), name);
+            let pick = s.select(&candidates, SimTime::ZERO);
+            assert!(candidates.contains(&pick));
+            let ranked = s.rank(&candidates, SimTime::ZERO);
+            assert_eq!(ranked.len(), 3);
+            let mut sorted = ranked.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, candidates.to_vec(), "rank must permute candidates");
+        }
+    }
+}

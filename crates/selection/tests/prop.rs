@@ -1,0 +1,154 @@
+//! Property-based tests of the replica selectors.
+
+use netrs_kvstore::ServerId;
+use netrs_selection::{
+    C3Config, C3Selector, CubicConfig, CubicRateController, Feedback, ReplicaSelector,
+    SelectorKind,
+};
+use netrs_simcore::{SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+fn arb_feedback() -> impl Strategy<Value = Feedback> {
+    (0u32..16, 0u32..50, 1u64..20_000, 1u64..200_000).prop_map(|(s, q, svc_us, lat_us)| Feedback {
+        server: ServerId(s),
+        queue_len: q,
+        service_time: SimDuration::from_micros(svc_us),
+        latency: SimDuration::from_micros(lat_us),
+    })
+}
+
+proptest! {
+    /// Every selector kind: rank is always a permutation of the
+    /// candidates, select is its head, and outstanding counters never
+    /// underflow, across arbitrary interleavings of events.
+    #[test]
+    fn selectors_are_well_behaved(
+        kind in prop_oneof![
+            Just(SelectorKind::C3),
+            Just(SelectorKind::Random),
+            Just(SelectorKind::RoundRobin),
+            Just(SelectorKind::LeastOutstanding),
+            Just(SelectorKind::PowerOfTwo),
+            Just(SelectorKind::DynamicSnitch),
+        ],
+        seed in any::<u64>(),
+        events in proptest::collection::vec(prop_oneof![
+            arb_feedback().prop_map(Some),
+            Just(None), // None = a select+send round
+        ], 1..100),
+    ) {
+        let mut sel = kind.build(C3Config::default(), SimRng::from_seed(seed));
+        let candidates: Vec<ServerId> = (0..8).map(ServerId).collect();
+        let now = SimTime::ZERO;
+        for ev in events {
+            match ev {
+                Some(fb) => sel.on_response(&fb, now),
+                None => {
+                    let ranked = sel.rank(&candidates, now);
+                    let mut sorted = ranked.clone();
+                    sorted.sort_unstable();
+                    prop_assert_eq!(&sorted, &candidates, "rank must permute");
+                    let pick = ranked[0];
+                    sel.on_send(pick, now);
+                }
+            }
+            for &s in &candidates {
+                // Accessing outstanding never panics; its value is
+                // bounded by the number of sends (<= events).
+                prop_assert!(sel.outstanding(s) <= 100);
+            }
+        }
+    }
+
+    /// C3 score is monotone in the queue estimate: more queue, higher
+    /// (worse) score, all else equal.
+    #[test]
+    fn c3_score_monotone_in_queue(q1 in 0u32..100, q2 in 0u32..100, svc_us in 100u64..10_000) {
+        prop_assume!(q1 < q2);
+        let mk = |q: u32| {
+            let mut sel = C3Selector::new(C3Config::default(), SimRng::from_seed(1));
+            sel.on_response(&Feedback {
+                server: ServerId(0),
+                queue_len: q,
+                service_time: SimDuration::from_micros(svc_us),
+                latency: SimDuration::from_millis(5),
+            }, SimTime::ZERO);
+            sel.score(ServerId(0))
+        };
+        prop_assert!(mk(q1) < mk(q2));
+    }
+
+    /// C3 score is monotone in observed latency.
+    #[test]
+    fn c3_score_monotone_in_latency(l1 in 1u64..100_000, l2 in 1u64..100_000) {
+        prop_assume!(l1 < l2);
+        let mk = |lat: u64| {
+            let mut sel = C3Selector::new(C3Config::default(), SimRng::from_seed(1));
+            sel.on_response(&Feedback {
+                server: ServerId(0),
+                queue_len: 3,
+                service_time: SimDuration::from_millis(2),
+                latency: SimDuration::from_micros(lat),
+            }, SimTime::ZERO);
+            sel.score(ServerId(0))
+        };
+        prop_assert!(mk(l1) < mk(l2));
+    }
+
+    /// The token bucket never grants more sends than `burst + rate·t`.
+    #[test]
+    fn cubic_bucket_never_overspends(
+        rate in 1.0f64..1_000.0,
+        burst in 1.0f64..8.0,
+        attempts in 1usize..200,
+        gap_us in 0u64..5_000,
+    ) {
+        let cfg = CubicConfig { init_rate: rate, burst, ..CubicConfig::default() };
+        let mut ctl = CubicRateController::new(cfg);
+        let mut now = SimTime::ZERO;
+        let mut granted = 0u32;
+        for _ in 0..attempts {
+            now = now + SimDuration::from_micros(gap_us);
+            if ctl.try_send(ServerId(0), now) {
+                granted += 1;
+            }
+        }
+        let elapsed = now.as_secs_f64();
+        // No responses arrived, so the rate never grew past init_rate.
+        let ceiling = burst + rate * elapsed + 1.0;
+        prop_assert!(
+            f64::from(granted) <= ceiling,
+            "granted {granted} > ceiling {ceiling}"
+        );
+    }
+
+    /// Rate stays within [min_rate, +smax·responses] regardless of the
+    /// response pattern.
+    #[test]
+    fn cubic_rate_bounded(
+        seed in any::<u64>(),
+        events in proptest::collection::vec((any::<bool>(), 1u64..100_000), 1..100),
+    ) {
+        let cfg = CubicConfig::default();
+        let mut ctl = CubicRateController::new(cfg);
+        let mut rng = SimRng::from_seed(seed);
+        let mut now = SimTime::ZERO;
+        let mut responses = 0u32;
+        for (is_resp, gap) in events {
+            now = now + SimDuration::from_micros(gap);
+            if is_resp {
+                ctl.on_response(ServerId(0), now);
+                responses += 1;
+            } else {
+                let _ = ctl.try_send(ServerId(0), now);
+            }
+            let _ = rng.next_u64();
+            let r = ctl.rate(ServerId(0));
+            prop_assert!(r >= cfg.min_rate);
+            prop_assert!(
+                r <= cfg.init_rate + cfg.smax * f64::from(responses) + 1e-9,
+                "rate {r} grew past the per-response cap"
+            );
+        }
+    }
+}

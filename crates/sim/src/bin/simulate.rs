@@ -1,0 +1,135 @@
+//! `simulate` — run one NetRS experiment from the command line.
+//!
+//! ```text
+//! # paper-scale CliRS run, 100k requests
+//! cargo run --release -p netrs-sim --bin simulate -- --scheme netrs-ilp --requests 100000
+//!
+//! # emit the full §V-A default configuration for editing
+//! cargo run --release -p netrs-sim --bin simulate -- --emit-config > cfg.json
+//!
+//! # run an edited configuration
+//! cargo run --release -p netrs-sim --bin simulate -- --config cfg.json --json
+//! ```
+
+use netrs_sim::{run, Scheme, SimConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--config FILE] [--scheme clirs|clirs-r95|netrs-tor|netrs-ilp] \
+         [--requests N] [--clients N] [--utilization F] [--skew F] [--seed N] \
+         [--small] [--emit-config] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = SimConfig::paper();
+    cfg.requests = 100_000;
+    let mut json_out = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let mut next = || {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--config" => {
+                let path = next();
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                cfg = serde_json::from_str(&text).unwrap_or_else(|e| {
+                    eprintln!("cannot parse {path}: {e}");
+                    std::process::exit(1);
+                });
+            }
+            "--scheme" => {
+                cfg.scheme = match next().as_str() {
+                    "clirs" => Scheme::CliRs,
+                    "clirs-r95" => Scheme::CliRsR95,
+                    "netrs-tor" => Scheme::NetRsToR,
+                    "netrs-ilp" => Scheme::NetRsIlp,
+                    _ => usage(),
+                };
+            }
+            "--requests" => cfg.requests = next().parse().unwrap_or_else(|_| usage()),
+            "--clients" => cfg.clients = next().parse().unwrap_or_else(|_| usage()),
+            "--utilization" => cfg.utilization = next().parse().unwrap_or_else(|_| usage()),
+            "--skew" => cfg.demand_skew = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--seed" => cfg.seed = next().parse().unwrap_or_else(|_| usage()),
+            "--small" => {
+                let requests = cfg.requests;
+                cfg = SimConfig::small();
+                cfg.requests = requests;
+            }
+            "--emit-config" => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&cfg.finalize()).expect("config serializes")
+                );
+                return;
+            }
+            "--json" => json_out = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if let Err(msg) = cfg.clone().finalize().validate() {
+        eprintln!("invalid configuration: {msg}");
+        std::process::exit(1);
+    }
+
+    let scheme = cfg.scheme;
+    let stats = run(cfg);
+    if json_out {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).expect("stats serialize")
+        );
+    } else {
+        println!("scheme              : {scheme}");
+        println!(
+            "requests            : {} issued, {} completed",
+            stats.issued, stats.completed
+        );
+        println!("mean latency        : {}", stats.latency.mean);
+        println!("median              : {}", stats.latency.p50);
+        println!("95th percentile     : {}", stats.latency.p95);
+        println!("99th percentile     : {}", stats.latency.p99);
+        println!("99.9th percentile   : {}", stats.latency.p999);
+        if stats.rsnode_count > 0 {
+            println!(
+                "RSNodes             : {} (core/agg/tor = {:?}), {} DRS groups",
+                stats.rsnode_count, stats.rsnode_census, stats.drs_groups
+            );
+            println!(
+                "accelerator util    : {:.1}% mean / {:.1}% max, mean wait {}",
+                stats.mean_accel_utilization * 100.0,
+                stats.max_accel_utilization * 100.0,
+                stats.mean_selection_wait
+            );
+        }
+        if stats.duplicates > 0 {
+            println!("redundant copies    : {}", stats.duplicates);
+        }
+        if stats.writes_issued > 0 {
+            println!(
+                "writes              : {} (mean {})",
+                stats.writes_issued, stats.write_latency.mean
+            );
+        }
+        println!(
+            "server utilization  : {:.1}%",
+            stats.mean_server_utilization * 100.0
+        );
+        println!(
+            "events              : {} over {} simulated",
+            stats.events, stats.sim_end
+        );
+    }
+}

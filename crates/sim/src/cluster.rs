@@ -1,0 +1,1127 @@
+//! The full cluster simulation: clients, workload generators, the
+//! fat-tree network with NetRS rules, accelerators, monitors and storage
+//! servers, driven by the discrete-event engine.
+//!
+//! Timing model (all constants from §V-A): every network link traversal
+//! costs `link_latency` (30 µs); switch forwarding itself is free, so a
+//! packet's network time is `edges × link_latency` along its (possibly
+//! RSNode-detoured) path. Replica selection adds the accelerator's
+//! half-RTT + queueing + service + half-RTT. Response clones consume
+//! accelerator capacity but add no latency to the response itself.
+//! Servers are `Np`-slot FIFO queues with exponentially distributed,
+//! bimodally fluctuating service times.
+
+use std::collections::HashMap;
+
+use netrs::{NetRsController, Rsp, TrafficGroups, TrafficMatrix};
+use netrs_kvstore::{Arrival, Ring, Server, ServerId, ServerStatus};
+use netrs_netdev::{
+    Accelerator, IngressAction, Monitor, NetRsRules, PacketMeta,
+};
+use netrs_selection::{CubicRateController, Feedback, ReplicaSelector};
+use netrs_simcore::{
+    EventQueue, Histogram, SimDuration, SimRng, SimTime, World, Zipf,
+};
+use netrs_topology::{FatTree, HostId, SwitchId};
+use netrs_wire::{MagicField, RsnodeId};
+
+use crate::config::{PlanSource, Scheme, SimConfig};
+use crate::stats::RunStats;
+
+/// Identifies one logical client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReqId(pub u64);
+
+/// Everything a request copy carries through the network and the server
+/// queue.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerToken {
+    req: ReqId,
+    server: ServerId,
+    /// When this copy left its last sender (client or selector).
+    copy_sent_at: SimTime,
+    /// The RSNode the copy passed, if any, and when it left it.
+    rsnode: Option<SwitchId>,
+    rsnode_sent_at: SimTime,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+pub enum Ev {
+    /// A workload generator fires.
+    Generate {
+        /// Generator index.
+        gen: u32,
+    },
+    /// A rate-control-gated send retries (CliRS with CRC only).
+    GatedSend {
+        /// The waiting request.
+        req: ReqId,
+        /// Its chosen server.
+        server: ServerId,
+    },
+    /// A request reaches its RSNode's switch and enters the accelerator.
+    RsnodeArrive {
+        /// The request.
+        req: ReqId,
+        /// The operator's switch.
+        op: SwitchId,
+    },
+    /// The accelerator finishes a replica selection.
+    Select {
+        /// The request.
+        req: ReqId,
+        /// The operator's switch.
+        op: SwitchId,
+    },
+    /// A request copy arrives at a server.
+    ServerArrive {
+        /// The copy.
+        token: ServerToken,
+    },
+    /// A server finishes one request copy.
+    ServerDone {
+        /// The server.
+        server: ServerId,
+        /// The finished copy.
+        token: ServerToken,
+    },
+    /// An accelerator finishes processing a cloned response.
+    SelectorUpdate {
+        /// The operator's switch.
+        op: SwitchId,
+        /// The selector feedback derived from the clone.
+        fb: Feedback,
+    },
+    /// A response reaches the client.
+    ClientReceive {
+        /// The copy.
+        token: ServerToken,
+        /// Piggybacked server status at response time.
+        status: ServerStatus,
+    },
+    /// The CliRS-R95 duplicate timer fires.
+    R95Check {
+        /// The possibly still outstanding request.
+        req: ReqId,
+    },
+    /// A server redraws its mean service time (every 50 ms).
+    Fluctuate {
+        /// The server.
+        server: ServerId,
+    },
+    /// The controller checks operator utilization for overload
+    /// (§III-C(ii)).
+    OverloadCheck,
+    /// The controller re-plans from monitor statistics.
+    Replan,
+}
+
+#[derive(Debug)]
+struct RequestState {
+    client: u32,
+    rgid: u32,
+    issue_idx: u64,
+    sent_at: SimTime,
+    backup: ServerId,
+    primary: Option<ServerId>,
+    completed: bool,
+    copies: u8,
+    dup_sent: bool,
+    is_write: bool,
+}
+
+struct ClientState {
+    host: HostId,
+    selector: Option<Box<dyn ReplicaSelector + Send>>,
+    rate: Option<CubicRateController>,
+    hist: Histogram,
+    rng: SimRng,
+}
+
+struct Operator {
+    selector: Box<dyn ReplicaSelector + Send>,
+    accel: Accelerator,
+}
+
+/// The complete simulated cluster (implements
+/// [`netrs_simcore::World`]).
+pub struct Cluster {
+    cfg: SimConfig,
+    topo: FatTree,
+    ring: Ring,
+    zipf: Zipf,
+    server_hosts: Vec<HostId>,
+    clients: Vec<ClientState>,
+    servers: Vec<Server<ServerToken>>,
+    groups: TrafficGroups,
+    controller: Option<NetRsController>,
+    rules: HashMap<SwitchId, NetRsRules>,
+    operators: HashMap<SwitchId, Operator>,
+    monitors: HashMap<SwitchId, Monitor>,
+    requests: HashMap<u64, RequestState>,
+    issued: u64,
+    completed: u64,
+    duplicates: u64,
+    drained_replans: u64,
+    warmup_cutoff: u64,
+    hist: Histogram,
+    write_hist: Histogram,
+    writes_issued: u64,
+    overload_events: u64,
+    last_accel_busy: HashMap<SwitchId, u128>,
+    workload_rng: SimRng,
+    gen_interarrival: SimDuration,
+    top_clients: u32,
+    retired_operators: Vec<Operator>,
+}
+
+impl Cluster {
+    /// Builds the cluster for a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// ([`SimConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        let cfg = cfg.finalize();
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid simulation config: {msg}");
+        }
+        let root = SimRng::from_seed(cfg.seed);
+        let topo = FatTree::new(cfg.arity).expect("validated arity");
+
+        // Random non-overlapping placement of servers and clients
+        // ("clients and servers are randomly deployed across end-hosts,
+        // and each host only has one role", §V-A).
+        let mut placement_rng = root.fork(0);
+        let picks = placement_rng.sample_indices(
+            topo.num_hosts() as usize,
+            (cfg.servers + cfg.clients) as usize,
+        );
+        let mut picks: Vec<HostId> = picks.into_iter().map(|h| HostId(h as u32)).collect();
+        placement_rng.shuffle(&mut picks);
+        let server_hosts: Vec<HostId> = picks[..cfg.servers as usize].to_vec();
+        let client_hosts: Vec<HostId> = picks[cfg.servers as usize..].to_vec();
+
+        let ring = Ring::new(cfg.servers, cfg.vnodes, cfg.replication, root.fork(1).next_u64())
+            .expect("validated ring parameters");
+        let zipf = Zipf::new(cfg.keys, cfg.zipf);
+
+        let servers: Vec<Server<ServerToken>> = (0..cfg.servers)
+            .map(|i| {
+                Server::new(
+                    ServerId(i),
+                    cfg.server.clone(),
+                    root.fork(20_000 + u64::from(i)),
+                )
+            })
+            .collect();
+
+        let groups = TrafficGroups::build(&topo, &client_hosts, cfg.granularity);
+        let top_clients = (cfg.clients / 5).max(1);
+
+        let mut cluster = Cluster {
+            warmup_cutoff: (cfg.requests as f64 * cfg.warmup_fraction) as u64,
+            gen_interarrival: SimDuration::from_secs_f64(
+                f64::from(cfg.generators) / cfg.arrival_rate(),
+            ),
+            workload_rng: root.fork(2),
+            topo,
+            ring,
+            zipf,
+            server_hosts,
+            clients: Vec::new(),
+            servers,
+            groups,
+            controller: None,
+            rules: HashMap::new(),
+            operators: HashMap::new(),
+            monitors: HashMap::new(),
+            requests: HashMap::new(),
+            issued: 0,
+            completed: 0,
+            duplicates: 0,
+            drained_replans: 0,
+            hist: Histogram::new(),
+            write_hist: Histogram::new(),
+            writes_issued: 0,
+            overload_events: 0,
+            last_accel_busy: HashMap::new(),
+            top_clients,
+            retired_operators: Vec::new(),
+            cfg,
+        };
+        let built: Vec<ClientState> = client_hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &host)| cluster.build_client(i as u32, host, &root))
+            .collect();
+        cluster.clients = built;
+        cluster.setup_scheme(&root);
+        cluster
+    }
+
+    fn build_client(&self, idx: u32, host: HostId, root: &SimRng) -> ClientState {
+        let selector = if self.cfg.scheme.is_in_network() {
+            None
+        } else {
+            let mut c3 = self.cfg.c3;
+            c3.concurrency = f64::from(self.cfg.clients).max(1.0);
+            Some(
+                self.cfg
+                    .selector
+                    .build(c3, root.fork(10_000 + u64::from(idx))),
+            )
+        };
+        ClientState {
+            host,
+            selector,
+            rate: (!self.cfg.scheme.is_in_network())
+                .then(|| self.cfg.rate_control.map(CubicRateController::new))
+                .flatten(),
+            hist: Histogram::new(),
+            rng: root.fork(40_000 + u64::from(idx)),
+        }
+    }
+
+    /// Expected request rate of each client (requests/second), honouring
+    /// the demand skew.
+    fn client_rates(&self) -> Vec<(HostId, f64)> {
+        let a = self.cfg.arrival_rate();
+        let n = self.cfg.clients;
+        let top = self.top_clients;
+        self.clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let rate = match self.cfg.demand_skew {
+                    None => a / f64::from(n),
+                    Some(s) => {
+                        if (i as u32) < top {
+                            a * s / f64::from(top)
+                        } else {
+                            a * (1.0 - s) / f64::from(n - top)
+                        }
+                    }
+                };
+                (c.host, rate)
+            })
+            .collect()
+    }
+
+    fn setup_scheme(&mut self, root: &SimRng) {
+        if !self.cfg.scheme.is_in_network() {
+            return;
+        }
+        let mut controller = NetRsController::new(
+            self.topo.clone(),
+            netrs::ControllerConfig {
+                constraints: self.cfg.plan.clone(),
+            },
+        );
+        let rsp = match (self.cfg.scheme, self.cfg.plan_source) {
+            (Scheme::NetRsToR, _) | (Scheme::NetRsIlp, PlanSource::Monitored { .. }) => {
+                // NetRS-ToR, or the monitored bootstrap before the first
+                // measurement window completes.
+                Rsp::tor_plan(&self.groups)
+            }
+            (Scheme::NetRsIlp, PlanSource::Oracle) => {
+                let traffic = TrafficMatrix::oracle(
+                    &self.topo,
+                    &self.groups,
+                    &self.client_rates(),
+                    &self.server_hosts,
+                );
+                let solver = self.cfg.plan_solver;
+                controller.plan(&self.groups, &traffic, solver).clone()
+            }
+            _ => unreachable!("client schemes handled above"),
+        };
+        controller.install(rsp);
+        self.rules = controller.deploy(&self.groups);
+        self.controller = Some(controller);
+        self.rebuild_operators(root.clone());
+
+        // Monitors sit on every ToR with attached clients.
+        for info in self.groups.iter() {
+            let controller = self.controller.as_ref().expect("just set");
+            self.monitors
+                .entry(info.tor)
+                .or_insert_with(|| Monitor::new(controller.marker_of_rack(info.tor.0)));
+        }
+    }
+
+    /// (Re)creates operator state for the current plan: new RSNodes start
+    /// with fresh selectors (the paper's §II transient), retained RSNodes
+    /// keep their local information.
+    fn rebuild_operators(&mut self, root: SimRng) {
+        let rsnodes = self
+            .controller
+            .as_ref()
+            .expect("in-network scheme")
+            .current_plan()
+            .rsnodes();
+        let n = rsnodes.len().max(1) as f64;
+        let mut next = HashMap::new();
+        for sw in rsnodes {
+            let op = self.operators.remove(&sw).unwrap_or_else(|| {
+                let mut c3 = self.cfg.c3;
+                c3.concurrency = n;
+                Operator {
+                    selector: self
+                        .cfg
+                        .selector
+                        .build(c3, root.fork(30_000 + u64::from(sw.0))),
+                    accel: Accelerator::new(self.cfg.accelerator),
+                }
+            });
+            next.insert(sw, op);
+        }
+        // Keep retired accelerators so end-of-run statistics still see
+        // the work they performed.
+        self.retired_operators
+            .extend(self.operators.drain().map(|(_, op)| op));
+        self.operators = next;
+    }
+
+    /// Primes the event queue: generator arrivals, server fluctuation
+    /// timers and (for the monitored plan source) the re-plan timer.
+    pub fn prime(&mut self, queue: &mut EventQueue<Ev>) {
+        for gen in 0..self.cfg.generators {
+            let gap = self.workload_rng.exp_duration(self.gen_interarrival);
+            queue.schedule_at(SimTime::ZERO + gap, Ev::Generate { gen });
+        }
+        for s in 0..self.cfg.servers {
+            queue.schedule_after(
+                self.cfg.server.fluctuation_interval,
+                Ev::Fluctuate { server: ServerId(s) },
+            );
+        }
+        if let (true, PlanSource::Monitored { interval }) =
+            (self.cfg.scheme == Scheme::NetRsIlp, self.cfg.plan_source)
+        {
+            queue.schedule_after(interval, Ev::Replan);
+        }
+        if let (true, Some(policy)) = (self.cfg.scheme.is_in_network(), self.cfg.overload) {
+            queue.schedule_after(policy.interval, Ev::OverloadCheck);
+        }
+    }
+
+    /// Whether all issued requests have completed and no more will be
+    /// issued.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.issued >= self.cfg.requests && self.requests.is_empty()
+    }
+
+    // ---- timing helpers -------------------------------------------------
+
+    fn link(&self, edges: u32) -> SimDuration {
+        self.cfg.link_latency * u64::from(edges)
+    }
+
+    fn host_to_host(&self, a: HostId, b: HostId, hash: u64) -> SimDuration {
+        let p = self.topo.path(a, b, hash);
+        self.link(p.len() as u32 + 1)
+    }
+
+    fn host_to_switch(&self, a: HostId, sw: SwitchId, hash: u64) -> SimDuration {
+        let p = self.topo.path_host_to_switch(a, sw, hash);
+        self.link(p.len() as u32)
+    }
+
+    fn switch_to_host(&self, sw: SwitchId, b: HostId, hash: u64) -> SimDuration {
+        let p = self.topo.path_switch_to_host(sw, b, hash);
+        self.link(p.len() as u32 + 1)
+    }
+
+    fn flow_hash(&self, req: ReqId, salt: u64) -> u64 {
+        netrs_kvstore::hash64(req.0 ^ salt.wrapping_mul(0x9E37_79B9))
+    }
+
+    // ---- workload -------------------------------------------------------
+
+    fn pick_client(&mut self) -> u32 {
+        match self.cfg.demand_skew {
+            None => self.workload_rng.below(u64::from(self.cfg.clients)) as u32,
+            Some(s) => {
+                if self.workload_rng.chance(s) {
+                    self.workload_rng.below(u64::from(self.top_clients)) as u32
+                } else {
+                    let rest = u64::from(self.cfg.clients - self.top_clients);
+                    self.top_clients + self.workload_rng.below(rest) as u32
+                }
+            }
+        }
+    }
+
+    fn on_generate(&mut self, now: SimTime, gen: u32, queue: &mut EventQueue<Ev>) {
+        if self.issued >= self.cfg.requests {
+            return; // workload exhausted: let the generator die out
+        }
+        let gap = self.workload_rng.exp_duration(self.gen_interarrival);
+        queue.schedule_after(gap, Ev::Generate { gen });
+
+        let client_idx = self.pick_client();
+        let key = self.zipf.sample(&mut self.workload_rng);
+        let rgid = self.ring.group_of_key(key);
+        let replicas = self.ring.groups().replicas(rgid).to_vec();
+        let backup = replicas[self.clients[client_idx as usize]
+            .rng
+            .index(replicas.len())];
+
+        let is_write =
+            self.cfg.write_fraction > 0.0 && self.workload_rng.chance(self.cfg.write_fraction);
+        let req = ReqId(self.issued);
+        self.requests.insert(
+            req.0,
+            RequestState {
+                client: client_idx,
+                rgid,
+                issue_idx: self.issued,
+                sent_at: now,
+                backup,
+                primary: None,
+                completed: false,
+                copies: 0,
+                dup_sent: false,
+                is_write,
+            },
+        );
+        self.issued += 1;
+
+        if is_write {
+            // Writes are plain traffic: one copy per replica, no replica
+            // selection, complete when the last replica answers.
+            self.writes_issued += 1;
+            self.issue_write(now, req, &replicas, queue);
+        } else if self.cfg.scheme.is_in_network() {
+            self.netrs_send(now, req, queue);
+        } else {
+            self.client_select_and_send(now, req, &replicas, queue);
+        }
+    }
+
+    fn issue_write(
+        &mut self,
+        now: SimTime,
+        req: ReqId,
+        replicas: &[ServerId],
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let state = self.requests.get_mut(&req.0).expect("request just created");
+        state.copies = replicas.len() as u8;
+        let client_host = self.clients[state.client as usize].host;
+        for (i, &server) in replicas.iter().enumerate() {
+            let token = ServerToken {
+                req,
+                server,
+                copy_sent_at: now,
+                rsnode: None,
+                rsnode_sent_at: now,
+            };
+            let latency = self.host_to_host(
+                client_host,
+                self.server_hosts[server.0 as usize],
+                self.flow_hash(req, 31 + i as u64),
+            );
+            queue.schedule_after(latency, Ev::ServerArrive { token });
+        }
+    }
+
+    // ---- CliRS / CliRS-R95 ----------------------------------------------
+
+    fn client_select_and_send(
+        &mut self,
+        now: SimTime,
+        req: ReqId,
+        replicas: &[ServerId],
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let state = self.requests.get_mut(&req.0).expect("request just created");
+        let client = &mut self.clients[state.client as usize];
+        let target = client
+            .selector
+            .as_mut()
+            .expect("client schemes run selectors")
+            .select(replicas, now);
+        state.primary = Some(target);
+        self.dispatch_client_copy(now, req, target, queue);
+
+        if self.cfg.scheme == Scheme::CliRsR95 {
+            let state = &self.requests[&req.0];
+            let client = &self.clients[state.client as usize];
+            if client.hist.count() >= self.cfg.r95.min_samples {
+                let deadline = client.hist.value_at_quantile(self.cfg.r95.quantile);
+                queue.schedule_after(deadline, Ev::R95Check { req });
+            }
+        }
+    }
+
+    /// Sends one request copy from the client toward `server`, honouring
+    /// the optional cubic rate controller.
+    fn dispatch_client_copy(
+        &mut self,
+        now: SimTime,
+        req: ReqId,
+        server: ServerId,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let Some(state) = self.requests.get_mut(&req.0) else {
+            return;
+        };
+        let client_idx = state.client as usize;
+        let gated = if let Some(ctl) = self.clients[client_idx].rate.as_mut() {
+            if ctl.try_send(server, now) {
+                None
+            } else {
+                Some(ctl.next_permit_at(server, now))
+            }
+        } else {
+            None
+        };
+        if let Some(permit_at) = gated {
+            // Hold the request at the client until a send token accrues.
+            let at = permit_at.max(now + SimDuration::from_nanos(1));
+            queue.schedule_at(at, Ev::GatedSend { req, server });
+            return;
+        }
+        state.copies += 1;
+        let client = &mut self.clients[client_idx];
+        client
+            .selector
+            .as_mut()
+            .expect("client schemes run selectors")
+            .on_send(server, now);
+        let token = ServerToken {
+            req,
+            server,
+            copy_sent_at: now,
+            rsnode: None,
+            rsnode_sent_at: now,
+        };
+        let latency = self.host_to_host(
+            self.clients[client_idx].host,
+            self.server_hosts[server.0 as usize],
+            self.flow_hash(req, u64::from(server.0)),
+        );
+        queue.schedule_after(latency, Ev::ServerArrive { token });
+    }
+
+    fn on_r95_check(&mut self, now: SimTime, req: ReqId, queue: &mut EventQueue<Ev>) {
+        let Some(state) = self.requests.get_mut(&req.0) else {
+            return; // long since completed and cleaned up
+        };
+        if state.completed || state.dup_sent {
+            return;
+        }
+        state.dup_sent = true;
+        let rgid = state.rgid;
+        let primary = state.primary;
+        let client_idx = state.client as usize;
+        let replicas = self.ring.groups().replicas(rgid).to_vec();
+        let ranked = self.clients[client_idx]
+            .selector
+            .as_mut()
+            .expect("client schemes run selectors")
+            .rank(&replicas, now);
+        let Some(dup) = ranked.into_iter().find(|&s| Some(s) != primary) else {
+            return; // replication factor 1: nowhere else to go
+        };
+        self.duplicates += 1;
+        self.dispatch_client_copy(now, req, dup, queue);
+    }
+
+    // ---- NetRS ----------------------------------------------------------
+
+    fn netrs_send(&mut self, now: SimTime, req: ReqId, queue: &mut EventQueue<Ev>) {
+        let state = self.requests.get_mut(&req.0).expect("request just created");
+        let client_host = self.clients[state.client as usize].host;
+        let tor = self.topo.tor_of_host(client_host);
+        let mut pkt = PacketMeta::Request {
+            rid: RsnodeId(0),
+            magic: MagicField::REQUEST,
+            rgid: self
+                .groups
+                .group_of_host(client_host)
+                .expect("clients always have a traffic group"),
+            src_host: client_host.0,
+            dst_host: self.server_hosts[state.backup.0 as usize].0,
+        };
+        let action = self.rules[&tor].ingress(&mut pkt, true);
+        match action {
+            IngressAction::Forward => {
+                // Degraded Replica Selection: straight to the backup.
+                state.copies += 1;
+                let backup = state.backup;
+                let token = ServerToken {
+                    req,
+                    server: backup,
+                    copy_sent_at: now,
+                    rsnode: None,
+                    rsnode_sent_at: now,
+                };
+                let latency = self.host_to_host(
+                    client_host,
+                    self.server_hosts[backup.0 as usize],
+                    self.flow_hash(req, 7),
+                );
+                queue.schedule_after(latency, Ev::ServerArrive { token });
+            }
+            IngressAction::ToAccelerator => {
+                // The RSNode is this very ToR: one host→ToR link.
+                queue.schedule_after(self.link(1), Ev::RsnodeArrive { req, op: tor });
+            }
+            IngressAction::ForwardTowardRsnode(rid) => {
+                let op = self
+                    .controller
+                    .as_ref()
+                    .expect("in-network scheme")
+                    .switch_of_rsnode(rid)
+                    .expect("deployed rules only reference live operators");
+                let latency = self.host_to_switch(client_host, op, self.flow_hash(req, 11));
+                queue.schedule_after(latency, Ev::RsnodeArrive { req, op });
+            }
+            IngressAction::CloneToAcceleratorAndForward => {
+                unreachable!("requests are never cloned")
+            }
+        }
+    }
+
+    fn on_rsnode_arrive(&mut self, now: SimTime, req: ReqId, op: SwitchId, queue: &mut EventQueue<Ev>) {
+        let Some(operator) = self.operators.get_mut(&op) else {
+            // The operator was retired by a re-plan while the request was
+            // in flight; fall back to the client's backup replica (DRS
+            // semantics for in-flight stragglers).
+            self.forward_to_backup(now, req, op, queue);
+            return;
+        };
+        let done_at = operator.accel.schedule_selection(now);
+        queue.schedule_at(done_at, Ev::Select { req, op });
+    }
+
+    fn forward_to_backup(&mut self, now: SimTime, req: ReqId, from: SwitchId, queue: &mut EventQueue<Ev>) {
+        let Some(state) = self.requests.get_mut(&req.0) else {
+            return;
+        };
+        state.copies += 1;
+        let backup = state.backup;
+        let token = ServerToken {
+            req,
+            server: backup,
+            copy_sent_at: now,
+            rsnode: None,
+            rsnode_sent_at: now,
+        };
+        let latency = self.switch_to_host(
+            from,
+            self.server_hosts[backup.0 as usize],
+            self.flow_hash(req, 13),
+        );
+        queue.schedule_after(latency, Ev::ServerArrive { token });
+    }
+
+    fn on_select(&mut self, now: SimTime, req: ReqId, op: SwitchId, queue: &mut EventQueue<Ev>) {
+        let Some(operator) = self.operators.get_mut(&op) else {
+            self.forward_to_backup(now, req, op, queue);
+            return;
+        };
+        let Some(state) = self.requests.get_mut(&req.0) else {
+            return;
+        };
+        let replicas = self.ring.groups().replicas(state.rgid);
+        let target = operator.selector.select(replicas, now);
+        operator.selector.on_send(target, now);
+        state.primary = Some(target);
+        state.copies += 1;
+        let token = ServerToken {
+            req,
+            server: target,
+            copy_sent_at: now,
+            rsnode: Some(op),
+            rsnode_sent_at: now,
+        };
+        let latency = self.switch_to_host(
+            op,
+            self.server_hosts[target.0 as usize],
+            self.flow_hash(req, 17),
+        );
+        queue.schedule_after(latency, Ev::ServerArrive { token });
+    }
+
+    // ---- servers ----------------------------------------------------
+
+    fn on_server_arrive(&mut self, now: SimTime, token: ServerToken, queue: &mut EventQueue<Ev>) {
+        let server = &mut self.servers[token.server.0 as usize];
+        if let Arrival::Started { finish_at } = server.arrive(token, now) {
+            queue.schedule_at(
+                finish_at,
+                Ev::ServerDone {
+                    server: token.server,
+                    token,
+                },
+            );
+        }
+    }
+
+    fn on_server_done(
+        &mut self,
+        now: SimTime,
+        server_id: ServerId,
+        token: ServerToken,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let server = &mut self.servers[server_id.0 as usize];
+        let status = server.status();
+        if let Some((next_token, finish_at)) = server.complete(now).next {
+            queue.schedule_at(
+                finish_at,
+                Ev::ServerDone {
+                    server: server_id,
+                    token: next_token,
+                },
+            );
+        }
+
+        let Some(state) = self.requests.get(&token.req.0) else {
+            return;
+        };
+        let client_host = self.clients[state.client as usize].host;
+        let server_host = self.server_hosts[server_id.0 as usize];
+        let hash = self.flow_hash(token.req, 23);
+
+        match token.rsnode {
+            Some(op) => {
+                // The response must traverse its RSNode (§I "Multiple
+                // Paths"): server → RSNode switch → client, with a clone
+                // peeled off to the accelerator at the RSNode.
+                let at_rsnode = now + self.host_to_switch(server_host, op, hash);
+                if let Some(operator) = self.operators.get_mut(&op) {
+                    let update_at = operator.accel.schedule_clone(at_rsnode);
+                    let fb = Feedback {
+                        server: server_id,
+                        queue_len: status.queue_len,
+                        service_time: status.service_time(),
+                        latency: at_rsnode - token.rsnode_sent_at,
+                    };
+                    queue.schedule_at(update_at, Ev::SelectorUpdate { op, fb });
+                }
+                let at_client = at_rsnode + self.switch_to_host(op, client_host, hash);
+                queue.schedule_at(at_client, Ev::ClientReceive { token, status });
+            }
+            None => {
+                let latency = self.host_to_host(server_host, client_host, hash);
+                queue.schedule_after(latency, Ev::ClientReceive { token, status });
+            }
+        }
+    }
+
+    fn on_selector_update(&mut self, now: SimTime, op: SwitchId, fb: Feedback) {
+        if let Some(operator) = self.operators.get_mut(&op) {
+            operator.selector.on_response(&fb, now);
+        }
+    }
+
+    // ---- clients ----------------------------------------------------
+
+    fn on_client_receive(
+        &mut self,
+        now: SimTime,
+        token: ServerToken,
+        status: ServerStatus,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let _ = queue;
+        let Some(state) = self.requests.get_mut(&token.req.0) else {
+            return;
+        };
+        state.copies = state.copies.saturating_sub(1);
+        let client_idx = state.client as usize;
+        let is_write = state.is_write;
+        // Reads complete on the first response; writes on the last.
+        let first_completion = if is_write {
+            state.copies == 0 && !state.completed
+        } else {
+            !state.completed
+        };
+        if first_completion {
+            state.completed = true;
+            self.completed += 1;
+        }
+        let latency = now - state.sent_at;
+        let issue_idx = state.issue_idx;
+        let rgid = state.rgid;
+        let drained = state.copies == 0;
+        if drained {
+            self.requests.remove(&token.req.0);
+        }
+
+        if is_write {
+            // Plain traffic: no selector feedback, no monitor counting.
+            if first_completion && issue_idx >= self.warmup_cutoff {
+                self.write_hist.record(latency);
+            }
+            return;
+        }
+
+        // Client-side selector feedback (CliRS schemes observe every
+        // copy's response).
+        let copy_latency = now - token.copy_sent_at;
+        let client = &mut self.clients[client_idx];
+        if let Some(selector) = client.selector.as_mut() {
+            selector.on_response(
+                &Feedback {
+                    server: token.server,
+                    queue_len: status.queue_len,
+                    service_time: status.service_time(),
+                    latency: copy_latency,
+                },
+                now,
+            );
+        }
+        if let Some(ctl) = client.rate.as_mut() {
+            ctl.on_response(token.server, now);
+        }
+
+        if first_completion {
+            client.hist.record(latency);
+            if issue_idx >= self.warmup_cutoff {
+                self.hist.record(latency);
+            }
+            // Monitor accounting: the response leaves the network at the
+            // client's ToR (§IV-D).
+            if !self.monitors.is_empty() {
+                let client_host = client.host;
+                let server_rack = self
+                    .topo
+                    .rack_of_host(self.server_hosts[token.server.0 as usize]);
+                let marker = self
+                    .controller
+                    .as_ref()
+                    .expect("monitors only exist in-network")
+                    .marker_of_rack(server_rack);
+                let tor = self.topo.tor_of_host(client_host);
+                if let Some(m) = self.monitors.get_mut(&tor) {
+                    m.record(rgid, marker);
+                }
+            }
+        }
+    }
+
+    // ---- control plane ------------------------------------------------
+
+    /// §III-C(ii): an operator whose accelerator ran hotter than the
+    /// policy's limit over the last window has its traffic groups
+    /// degraded to DRS (they recover at the next re-plan, if any).
+    fn on_overload_check(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let Some(policy) = self.cfg.overload else {
+            return;
+        };
+        if !self.drained() {
+            queue.schedule_after(policy.interval, Ev::OverloadCheck);
+        }
+        let window_core_ns =
+            u128::from(policy.interval.as_nanos()) * u128::from(self.cfg.accelerator.cores);
+        let mut overloaded = Vec::new();
+        for (&sw, op) in &self.operators {
+            let busy = op.accel.stats().busy_core_ns;
+            let last = self.last_accel_busy.insert(sw, busy).unwrap_or(0);
+            // A re-plan may have recreated this operator with a fresh
+            // accelerator, putting its counter behind the recorded one.
+            let util = busy.saturating_sub(last) as f64 / window_core_ns as f64;
+            if util > policy.utilization_limit {
+                overloaded.push(sw);
+            }
+        }
+        if overloaded.is_empty() {
+            return;
+        }
+        let controller = self
+            .controller
+            .as_mut()
+            .expect("overload checks only run in-network");
+        for sw in overloaded {
+            let affected = controller.on_operator_overload(sw);
+            if !affected.is_empty() {
+                self.overload_events += 1;
+            }
+        }
+        self.rules = controller.deploy(&self.groups);
+        let _ = now;
+    }
+
+    fn on_replan(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        if self.issued >= self.cfg.requests {
+            return; // wind down with the workload
+        }
+        if let PlanSource::Monitored { interval } = self.cfg.plan_source {
+            queue.schedule_after(interval, Ev::Replan);
+            let snapshots: Vec<_> = self
+                .monitors
+                .values_mut()
+                .map(|m| m.snapshot(now))
+                .collect();
+            let traffic = TrafficMatrix::from_snapshots(self.groups.len(), &snapshots);
+            if traffic.total() <= 0.0 {
+                return; // no signal yet
+            }
+            let solver = self.cfg.plan_solver;
+            let controller = self.controller.as_mut().expect("monitored implies in-network");
+            controller.plan(&self.groups, &traffic, solver);
+            self.rules = controller.deploy(&self.groups);
+            self.rebuild_operators(SimRng::from_seed(
+                self.cfg.seed ^ 0xFEED_F00D ^ now.as_nanos(),
+            ));
+            self.drained_replans += 1;
+        }
+    }
+
+    /// Injects a fail-stop fault into the operator at `sw` (§III-C(iii)):
+    /// its traffic groups degrade to DRS and rules are redeployed.
+    /// In-flight requests already heading there are served best-effort.
+    pub fn fail_operator(&mut self, sw: SwitchId) -> Vec<u32> {
+        let controller = self
+            .controller
+            .as_mut()
+            .expect("operator failure only applies to in-network schemes");
+        let affected = controller.on_operator_failure(sw);
+        self.rules = controller.deploy(&self.groups);
+        affected
+    }
+
+    // ---- results --------------------------------------------------------
+
+    /// Collects run statistics (call after the engine drains).
+    #[must_use]
+    pub fn stats(&self, now: SimTime, events: u64) -> RunStats {
+        let rsnode_census = self
+            .controller
+            .as_ref()
+            .map(|c| c.current_plan().tier_census(&self.topo))
+            .unwrap_or([0; 3]);
+        let live_accels = self.operators.values().map(|op| &op.accel);
+        let retired_accels = self.retired_operators.iter().map(|op| &op.accel);
+        let accels: Vec<&Accelerator> = live_accels.chain(retired_accels).collect();
+        let mean_accel_util = if accels.is_empty() {
+            0.0
+        } else {
+            accels.iter().map(|a| a.utilization(now)).sum::<f64>() / accels.len() as f64
+        };
+        let max_accel_util = accels
+            .iter()
+            .map(|a| a.utilization(now))
+            .fold(0.0_f64, f64::max);
+        let mean_selection_wait = if accels.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(
+                (accels
+                    .iter()
+                    .map(|a| a.mean_selection_wait().as_nanos() as u128)
+                    .sum::<u128>()
+                    / accels.len() as u128) as u64,
+            )
+        };
+        RunStats {
+            scheme: self.cfg.scheme,
+            latency: self.hist.summary(),
+            issued: self.issued,
+            completed: self.completed,
+            duplicates: self.duplicates,
+            rsnode_count: rsnode_census.iter().sum(),
+            rsnode_census,
+            drs_groups: self
+                .controller
+                .as_ref()
+                .map_or(0, |c| c.current_plan().drs.len()),
+            mean_accel_utilization: mean_accel_util,
+            max_accel_utilization: max_accel_util,
+            mean_selection_wait,
+            mean_server_utilization: self
+                .servers
+                .iter()
+                .map(|s| s.utilization(now))
+                .sum::<f64>()
+                / f64::from(self.cfg.servers),
+            replans: self.drained_replans,
+            writes_issued: self.writes_issued,
+            write_latency: self.write_hist.summary(),
+            overload_events: self.overload_events,
+            sim_end: now,
+            events,
+        }
+    }
+
+    /// The latency histogram accumulated so far (post-warmup requests).
+    #[must_use]
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// The installed Replica Selection Plan, if the scheme has one.
+    #[must_use]
+    pub fn current_plan(&self) -> Option<&Rsp> {
+        self.controller.as_ref().map(NetRsController::current_plan)
+    }
+
+    /// The simulated topology.
+    #[must_use]
+    pub fn topology(&self) -> &FatTree {
+        &self.topo
+    }
+
+    /// Census of operators by tier currently holding selector state.
+    #[must_use]
+    pub fn operator_tiers(&self) -> [usize; 3] {
+        let mut census = [0usize; 3];
+        for sw in self.operators.keys() {
+            census[self.topo.tier(*sw).id() as usize] += 1;
+        }
+        census
+    }
+
+    /// Requests issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Logical requests completed so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+impl World for Cluster {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+        match event {
+            Ev::Generate { gen } => self.on_generate(now, gen, queue),
+            Ev::GatedSend { req, server } => self.dispatch_client_copy(now, req, server, queue),
+            Ev::RsnodeArrive { req, op } => self.on_rsnode_arrive(now, req, op, queue),
+            Ev::Select { req, op } => self.on_select(now, req, op, queue),
+            Ev::ServerArrive { token } => self.on_server_arrive(now, token, queue),
+            Ev::ServerDone { server, token } => self.on_server_done(now, server, token, queue),
+            Ev::SelectorUpdate { op, fb } => self.on_selector_update(now, op, fb),
+            Ev::ClientReceive { token, status } => {
+                self.on_client_receive(now, token, status, queue);
+            }
+            Ev::R95Check { req } => self.on_r95_check(now, req, queue),
+            Ev::Fluctuate { server } => {
+                self.servers[server.0 as usize].fluctuate();
+                if !self.drained() {
+                    queue.schedule_after(
+                        self.cfg.server.fluctuation_interval,
+                        Ev::Fluctuate { server },
+                    );
+                }
+            }
+            Ev::OverloadCheck => self.on_overload_check(now, queue),
+            Ev::Replan => self.on_replan(now, queue),
+        }
+    }
+}

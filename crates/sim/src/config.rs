@@ -1,0 +1,367 @@
+//! Simulation configuration: every §V-A parameter, with the paper's
+//! defaults.
+
+use netrs::{Granularity, PlanConstraints, PlanSolver};
+use netrs_kvstore::ServerConfig;
+use netrs_netdev::AcceleratorConfig;
+use netrs_selection::{C3Config, CubicConfig, SelectorKind};
+use netrs_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The replica-selection scheme under evaluation (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Scheme {
+    /// Clients select replicas (the conventional scheme).
+    #[default]
+    CliRs,
+    /// CliRS plus a redundant request once a primary has been outstanding
+    /// longer than the client's 95th-percentile expected latency.
+    CliRsR95,
+    /// NetRS with the straightforward plan: each rack's ToR operator is
+    /// the RSNode for the rack's requests.
+    NetRsToR,
+    /// NetRS with the RSNode placement determined by the ILP.
+    NetRsIlp,
+}
+
+impl Scheme {
+    /// All four evaluated schemes, in the paper's order.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::CliRs,
+        Scheme::CliRsR95,
+        Scheme::NetRsToR,
+        Scheme::NetRsIlp,
+    ];
+
+    /// The label used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::CliRs => "CliRS",
+            Scheme::CliRsR95 => "CliRS-R95",
+            Scheme::NetRsToR => "NetRS-ToR",
+            Scheme::NetRsIlp => "NetRS-ILP",
+        }
+    }
+
+    /// Whether the scheme performs replica selection in the network.
+    #[must_use]
+    pub fn is_in_network(self) -> bool {
+        matches!(self, Scheme::NetRsToR | Scheme::NetRsIlp)
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the controller obtains the traffic matrix for NetRS-ILP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum PlanSource {
+    /// Compute `T` analytically from the workload specification (the
+    /// steady state the monitors would converge to).
+    #[default]
+    Oracle,
+    /// Bootstrap with the ToR plan, then re-plan periodically from ToR
+    /// monitor snapshots — the paper's dynamic deployment, including the
+    /// transient after each new RSP.
+    Monitored {
+        /// Re-planning period.
+        interval: SimDuration,
+    },
+}
+
+/// Parameters of the CliRS-R95 redundant-request policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct R95Config {
+    /// Quantile of the client's own latency distribution after which a
+    /// duplicate is issued (0.95 in the paper's CliRS-R95).
+    pub quantile: f64,
+    /// Minimum completed samples before duplicates are armed.
+    pub min_samples: u64,
+}
+
+impl Default for R95Config {
+    fn default() -> Self {
+        R95Config {
+            quantile: 0.95,
+            min_samples: 30,
+        }
+    }
+}
+
+/// When the controller treats an operator as overloaded (§III-C(ii)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverloadPolicy {
+    /// How often accelerator utilization is checked.
+    pub interval: SimDuration,
+    /// Windowed core-utilization threshold above which the operator's
+    /// traffic groups degrade to DRS.
+    pub utilization_limit: f64,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        OverloadPolicy {
+            interval: SimDuration::from_millis(100),
+            utilization_limit: 0.9,
+        }
+    }
+}
+
+/// The full simulation configuration. [`SimConfig::paper`] reproduces the
+/// §V-A defaults; [`SimConfig::small`] is a laptop-scale setup for tests
+/// and examples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Fat-tree arity `k` (paper: 16 → 1024 hosts).
+    pub arity: u32,
+    /// Number of storage servers `Ns` (paper: 100).
+    pub servers: u32,
+    /// Number of client hosts (paper default: 500).
+    pub clients: u32,
+    /// Number of Poisson workload generators (paper: 200).
+    pub generators: u32,
+    /// Replication factor (paper: 3).
+    pub replication: u32,
+    /// Virtual nodes per server on the consistent-hash ring.
+    pub vnodes: u32,
+    /// Key-space size (paper: 100 million).
+    pub keys: u64,
+    /// Zipf exponent of key popularity (paper: 0.99).
+    pub zipf: f64,
+    /// Server queueing model (Np, tkv, fluctuation).
+    pub server: ServerConfig,
+    /// Nominal system utilization `tkv·A/(Ns·Np)` (paper default: 90 %).
+    pub utilization: f64,
+    /// Demand skew: fraction of requests issued by the top 20 % of
+    /// clients (`None` = uniform demand).
+    pub demand_skew: Option<f64>,
+    /// Total requests to issue (paper: 6 million).
+    pub requests: u64,
+    /// Leading fraction of requests excluded from latency statistics.
+    pub warmup_fraction: f64,
+    /// Latency of each network link traversal (paper: 30 µs between
+    /// directly connected switches).
+    pub link_latency: SimDuration,
+    /// The scheme under test.
+    pub scheme: Scheme,
+    /// Replica-selection algorithm run at RSNodes (paper: C3 throughout).
+    pub selector: SelectorKind,
+    /// C3 parameters (concurrency compensation is filled in per scheme).
+    pub c3: C3Config,
+    /// Cubic rate control at CliRS clients (`None` = scoring only; the
+    /// ABL-B ablation turns this on).
+    pub rate_control: Option<CubicConfig>,
+    /// Redundant-request policy for CliRS-R95.
+    pub r95: R95Config,
+    /// Accelerator model on each NetRS operator.
+    pub accelerator: AcceleratorConfig,
+    /// Placement constraints for NetRS-ILP (U, E, capacities).
+    pub plan: PlanConstraints,
+    /// Placement solver for NetRS-ILP.
+    pub plan_solver: PlanSolver,
+    /// Where the controller's traffic matrix comes from.
+    pub plan_source: PlanSource,
+    /// Traffic-group granularity (paper evaluates rack-level).
+    pub granularity: Granularity,
+    /// Fraction of requests that are writes (extension; the paper's
+    /// workload is read-only). Writes go to every replica as plain
+    /// traffic — no replica selection — and complete when the last
+    /// replica responds.
+    pub write_fraction: f64,
+    /// Overload detection at NetRS operators (§III-C(ii)); `None`
+    /// disables the check.
+    pub overload: Option<OverloadPolicy>,
+    /// Root random seed (placement, workload, service times).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The §V-A parameters: 16-ary fat-tree, 100 servers, 500 clients,
+    /// 200 generators, 6 M requests, 90 % utilization.
+    #[must_use]
+    pub fn paper() -> Self {
+        SimConfig {
+            arity: 16,
+            servers: 100,
+            clients: 500,
+            generators: 200,
+            replication: 3,
+            vnodes: 64,
+            keys: 100_000_000,
+            zipf: 0.99,
+            server: ServerConfig::default(),
+            utilization: 0.9,
+            demand_skew: None,
+            requests: 6_000_000,
+            warmup_fraction: 0.05,
+            link_latency: SimDuration::from_micros(30),
+            scheme: Scheme::CliRs,
+            selector: SelectorKind::C3,
+            c3: C3Config::default(),
+            rate_control: None,
+            r95: R95Config::default(),
+            accelerator: AcceleratorConfig::default(),
+            plan: PlanConstraints {
+                // E = 20%·A is filled in by `finalize_hop_budget`.
+                ..PlanConstraints::default()
+            },
+            plan_solver: PlanSolver::default(),
+            plan_source: PlanSource::Oracle,
+            granularity: Granularity::Rack,
+            write_fraction: 0.0,
+            overload: None,
+            seed: 1,
+        }
+    }
+
+    /// A small configuration (4-ary tree, 6 servers, 8 clients) for
+    /// tests, examples and doc runs.
+    #[must_use]
+    pub fn small() -> Self {
+        SimConfig {
+            arity: 4,
+            servers: 6,
+            clients: 8,
+            generators: 4,
+            vnodes: 16,
+            keys: 10_000,
+            requests: 5_000,
+            ..SimConfig::paper()
+        }
+    }
+
+    /// The aggregate request arrival rate `A` (requests/second) implied
+    /// by the configured nominal utilization: `A = u·Ns·Np / tkv`.
+    #[must_use]
+    pub fn arrival_rate(&self) -> f64 {
+        self.utilization * f64::from(self.servers) * f64::from(self.server.slots)
+            / self.server.base_service_time.as_secs_f64()
+    }
+
+    /// Fills the paper's `E = 20%·A` extra-hop budget (and leaves an
+    /// explicitly set finite budget alone).
+    #[must_use]
+    pub fn finalize(mut self) -> Self {
+        if self.plan.extra_hop_budget.is_infinite() {
+            self.plan.extra_hop_budget = 0.2 * self.arrival_rate();
+        }
+        self
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let hosts = self.arity * self.arity * self.arity / 4;
+        if self.servers + self.clients > hosts {
+            return Err(format!(
+                "{} servers + {} clients exceed {} hosts (each host has one role)",
+                self.servers, self.clients, hosts
+            ));
+        }
+        if self.servers < self.replication {
+            return Err(format!(
+                "replication factor {} exceeds server count {}",
+                self.replication, self.servers
+            ));
+        }
+        if self.generators == 0 || self.clients == 0 {
+            return Err("need at least one generator and one client".into());
+        }
+        if !(0.0..=1.0).contains(&self.warmup_fraction) {
+            return Err("warmup fraction must be in [0, 1]".into());
+        }
+        if let Some(s) = self.demand_skew {
+            if !(0.0..=1.0).contains(&s) {
+                return Err("demand skew must be in [0, 1]".into());
+            }
+        }
+        if self.utilization <= 0.0 {
+            return Err("utilization must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err("write fraction must be in [0, 1]".into());
+        }
+        if let Some(policy) = self.overload {
+            if policy.utilization_limit <= 0.0 || policy.interval == SimDuration::ZERO {
+                return Err("overload policy needs a positive limit and interval".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_arrival_rate_matches_formula() {
+        // A = 0.9 * 100 * 4 / 4ms = 90,000 requests/second.
+        let cfg = SimConfig::paper();
+        assert!((cfg.arrival_rate() - 90_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finalize_sets_hop_budget_to_20_percent() {
+        let cfg = SimConfig::paper().finalize();
+        assert!((cfg.plan.extra_hop_budget - 18_000.0).abs() < 1e-6);
+        // An explicit budget is preserved.
+        let mut cfg = SimConfig::paper();
+        cfg.plan.extra_hop_budget = 5.0;
+        assert_eq!(cfg.finalize().plan.extra_hop_budget, 5.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        assert!(SimConfig::paper().validate().is_ok());
+        assert!(SimConfig::small().validate().is_ok());
+
+        let mut too_many = SimConfig::small();
+        too_many.clients = 100;
+        assert!(too_many.validate().unwrap_err().contains("hosts"));
+
+        let mut low_rep = SimConfig::small();
+        low_rep.servers = 2;
+        assert!(low_rep.validate().unwrap_err().contains("replication"));
+
+        let mut bad_skew = SimConfig::small();
+        bad_skew.demand_skew = Some(1.5);
+        assert!(bad_skew.validate().is_err());
+
+        let mut bad_warm = SimConfig::small();
+        bad_warm.warmup_fraction = 2.0;
+        assert!(bad_warm.validate().is_err());
+    }
+
+    #[test]
+    fn scheme_labels_match_paper() {
+        assert_eq!(Scheme::CliRs.label(), "CliRS");
+        assert_eq!(Scheme::CliRsR95.label(), "CliRS-R95");
+        assert_eq!(Scheme::NetRsToR.to_string(), "NetRS-ToR");
+        assert_eq!(Scheme::NetRsIlp.to_string(), "NetRS-ILP");
+        assert!(Scheme::NetRsIlp.is_in_network());
+        assert!(!Scheme::CliRsR95.is_in_network());
+    }
+
+    #[test]
+    fn config_serializes_round_trip() {
+        let cfg = SimConfig::paper().finalize();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

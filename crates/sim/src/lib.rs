@@ -1,0 +1,40 @@
+//! Full-cluster simulation of the NetRS evaluation (§V).
+//!
+//! This crate assembles every substrate of the workspace — the
+//! discrete-event engine, the fat-tree network, the NetRS switch rules
+//! and accelerators, the key-value servers and the C3 selector — into the
+//! experiment the paper runs: an open-loop, Zipf-keyed, Poisson-arrival
+//! read workload against a replicated key-value store, under four
+//! replica-selection schemes:
+//!
+//! * [`Scheme::CliRs`] — clients select replicas (conventional),
+//! * [`Scheme::CliRsR95`] — CliRS plus redundant requests after the 95th
+//!   percentile expected latency,
+//! * [`Scheme::NetRsToR`] — NetRS with RSNodes fixed at rack ToRs,
+//! * [`Scheme::NetRsIlp`] — NetRS with ILP-placed RSNodes.
+//!
+//! # Examples
+//!
+//! ```
+//! use netrs_sim::{run, Scheme, SimConfig};
+//!
+//! let mut cfg = SimConfig::small();
+//! cfg.requests = 1_000;
+//! cfg.scheme = Scheme::NetRsToR;
+//! let stats = run(cfg);
+//! assert_eq!(stats.completed, 1_000);
+//! println!("mean latency: {}", stats.latency.mean);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod config;
+mod runner;
+mod stats;
+
+pub use cluster::{Cluster, Ev, ReqId, ServerToken};
+pub use config::{OverloadPolicy, PlanSource, R95Config, Scheme, SimConfig};
+pub use runner::{run, run_all_schemes, run_seeds};
+pub use stats::{MeanStats, RunStats};

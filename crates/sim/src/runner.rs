@@ -1,0 +1,142 @@
+//! Experiment execution: single runs, multi-seed repetition, and scheme
+//! sweeps.
+
+use crossbeam::thread;
+
+use netrs_simcore::Engine;
+
+use crate::cluster::Cluster;
+use crate::config::{Scheme, SimConfig};
+use crate::stats::RunStats;
+
+/// Runs one configuration to completion and returns its statistics.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+///
+/// # Examples
+///
+/// ```
+/// use netrs_sim::{run, SimConfig};
+///
+/// let mut cfg = SimConfig::small();
+/// cfg.requests = 500;
+/// let stats = run(cfg);
+/// assert_eq!(stats.completed, 500);
+/// ```
+#[must_use]
+pub fn run(cfg: SimConfig) -> RunStats {
+    let mut engine = Engine::new(Cluster::new(cfg));
+    {
+        // Split borrows: prime needs the world and the queue.
+        let engine = &mut engine;
+        let mut queue = std::mem::take(engine.queue_mut());
+        engine.world_mut().prime(&mut queue);
+        *engine.queue_mut() = queue;
+    }
+    engine.run();
+    let now = engine.now();
+    let events = engine.processed();
+    let cluster = engine.into_world();
+    debug_assert!(cluster.drained(), "simulation ended with work outstanding");
+    cluster.stats(now, events)
+}
+
+/// Runs the same configuration under `seeds.len()` different seeds (the
+/// paper repeats every experiment 3 times with different random
+/// deployments), in parallel threads.
+#[must_use]
+pub fn run_seeds(cfg: &SimConfig, seeds: &[u64]) -> Vec<RunStats> {
+    thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut cfg = cfg.clone();
+                cfg.seed = seed;
+                scope.spawn(move |_| run(cfg))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// Runs every scheme of the paper's comparison under the same base
+/// configuration and seeds. Returns `(scheme, per-seed stats)` in the
+/// paper's ordering.
+#[must_use]
+pub fn run_all_schemes(base: &SimConfig, seeds: &[u64]) -> Vec<(Scheme, Vec<RunStats>)> {
+    Scheme::ALL
+        .iter()
+        .map(|&scheme| {
+            let mut cfg = base.clone();
+            cfg.scheme = scheme;
+            (scheme, run_seeds(&cfg, seeds))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(scheme: Scheme) -> SimConfig {
+        let mut cfg = SimConfig::small();
+        cfg.requests = 2_000;
+        cfg.scheme = scheme;
+        cfg.seed = 7;
+        cfg
+    }
+
+    #[test]
+    fn clirs_run_completes_all_requests() {
+        let stats = run(tiny(Scheme::CliRs));
+        assert_eq!(stats.issued, 2_000);
+        assert_eq!(stats.completed, 2_000);
+        assert!(stats.latency.count > 0);
+        assert!(stats.latency.mean > netrs_simcore::SimDuration::ZERO);
+        assert_eq!(stats.rsnode_count, 0);
+        assert_eq!(stats.duplicates, 0);
+    }
+
+    #[test]
+    fn netrs_tor_run_completes_with_rsnodes() {
+        let stats = run(tiny(Scheme::NetRsToR));
+        assert_eq!(stats.completed, 2_000);
+        assert!(stats.rsnode_count > 0);
+        assert_eq!(
+            stats.rsnode_census[2], stats.rsnode_count,
+            "NetRS-ToR places every RSNode on a ToR: {:?}",
+            stats.rsnode_census
+        );
+        assert!(stats.mean_accel_utilization > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = run(tiny(Scheme::NetRsIlp));
+        let b = run(tiny(Scheme::NetRsIlp));
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.events, b.events);
+        let mut other = tiny(Scheme::NetRsIlp);
+        other.seed = 8;
+        let c = run(other);
+        assert_ne!(a.latency, c.latency, "different seeds should differ");
+    }
+
+    #[test]
+    fn run_seeds_spawns_one_run_per_seed() {
+        let runs = run_seeds(&tiny(Scheme::CliRs), &[1, 2, 3]);
+        assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.completed == 2_000));
+        let means: std::collections::HashSet<u64> = runs
+            .iter()
+            .map(|r| r.latency.mean.as_nanos())
+            .collect();
+        assert!(means.len() > 1, "seeds should differ");
+    }
+}

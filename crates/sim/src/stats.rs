@@ -1,0 +1,134 @@
+//! Run statistics: what one simulated experiment reports.
+
+use netrs_simcore::{SimDuration, SimTime, Summary};
+use serde::{Deserialize, Serialize};
+
+use crate::config::Scheme;
+
+/// The results of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunStats {
+    /// The scheme that ran.
+    pub scheme: Scheme,
+    /// End-to-end response-latency statistics over post-warmup requests
+    /// (the paper's Avg / 95th / 99th / 99.9th panels).
+    pub latency: Summary,
+    /// Logical requests issued.
+    pub issued: u64,
+    /// Logical requests completed.
+    pub completed: u64,
+    /// Redundant copies sent (CliRS-R95 only).
+    pub duplicates: u64,
+    /// RSNodes in the final plan (0 for client schemes).
+    pub rsnode_count: usize,
+    /// RSNodes per tier `[core, agg, tor]`.
+    pub rsnode_census: [usize; 3],
+    /// Traffic groups under Degraded Replica Selection at the end.
+    pub drs_groups: usize,
+    /// Mean accelerator core utilization across operators.
+    pub mean_accel_utilization: f64,
+    /// Maximum accelerator core utilization across operators.
+    pub max_accel_utilization: f64,
+    /// Mean queueing wait of replica selections at accelerators.
+    pub mean_selection_wait: SimDuration,
+    /// Mean storage-server slot utilization.
+    pub mean_server_utilization: f64,
+    /// Controller re-plans performed (monitored plan source).
+    pub replans: u64,
+    /// Write requests issued (the read/write-mix extension).
+    pub writes_issued: u64,
+    /// Write-latency statistics (last-replica completion).
+    pub write_latency: Summary,
+    /// Operators degraded for overload (§III-C(ii)).
+    pub overload_events: u64,
+    /// Simulated time at drain.
+    pub sim_end: SimTime,
+    /// Discrete events processed.
+    pub events: u64,
+}
+
+impl RunStats {
+    /// Merges latency summaries across seeds by averaging each reported
+    /// statistic (the paper plots the mean of repeated runs).
+    #[must_use]
+    pub fn mean_of(runs: &[RunStats]) -> MeanStats {
+        assert!(!runs.is_empty(), "need at least one run");
+        let n = runs.len() as f64;
+        let avg = |f: fn(&RunStats) -> f64| runs.iter().map(f).sum::<f64>() / n;
+        MeanStats {
+            scheme: runs[0].scheme,
+            runs: runs.len(),
+            mean_ms: avg(|r| r.latency.mean.as_millis_f64()),
+            p95_ms: avg(|r| r.latency.p95.as_millis_f64()),
+            p99_ms: avg(|r| r.latency.p99.as_millis_f64()),
+            p999_ms: avg(|r| r.latency.p999.as_millis_f64()),
+            rsnodes: avg(|r| r.rsnode_count as f64),
+            duplicates: avg(|r| r.duplicates as f64),
+        }
+    }
+}
+
+/// Seed-averaged statistics for one (scheme, sweep-point) cell.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MeanStats {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Number of seeds averaged.
+    pub runs: usize,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// 95th percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th percentile latency (ms).
+    pub p99_ms: f64,
+    /// 99.9th percentile latency (ms).
+    pub p999_ms: f64,
+    /// Mean RSNode count.
+    pub rsnodes: f64,
+    /// Mean redundant copies.
+    pub duplicates: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mean_ms: u64) -> RunStats {
+        let mut h = netrs_simcore::Histogram::new();
+        h.record(SimDuration::from_millis(mean_ms));
+        RunStats {
+            scheme: Scheme::CliRs,
+            latency: h.summary(),
+            issued: 1,
+            completed: 1,
+            duplicates: 0,
+            rsnode_count: 2,
+            rsnode_census: [1, 1, 0],
+            drs_groups: 0,
+            mean_accel_utilization: 0.0,
+            max_accel_utilization: 0.0,
+            mean_selection_wait: SimDuration::ZERO,
+            mean_server_utilization: 0.0,
+            replans: 0,
+            writes_issued: 0,
+            write_latency: Summary::default(),
+            overload_events: 0,
+            sim_end: SimTime::ZERO,
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn mean_of_averages_each_stat() {
+        let stats = RunStats::mean_of(&[run(2), run(4)]);
+        assert_eq!(stats.runs, 2);
+        assert!((stats.mean_ms - 3.0).abs() < 1e-9);
+        assert!((stats.rsnodes - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn mean_of_rejects_empty() {
+        let _ = RunStats::mean_of(&[]);
+    }
+}

@@ -1,0 +1,318 @@
+//! The discrete-event engine: a calendar queue plus a driver loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// The simulated world: all mutable state of a simulation plus the handler
+/// that advances it one event at a time.
+///
+/// The engine owns a `World` and feeds it events in non-decreasing time
+/// order. Handlers schedule follow-up events through the [`EventQueue`]
+/// passed to [`World::handle`].
+pub trait World: Sized {
+    /// The event type processed by this world.
+    type Event;
+
+    /// Processes one event occurring at `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // (breaking ties by insertion order) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list ordered by `(time, insertion sequence)`.
+///
+/// Ties in event time are broken by insertion order, which makes simulations
+/// fully deterministic for a fixed seed.
+///
+/// # Examples
+///
+/// ```
+/// use netrs_simcore::{EventQueue, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_at(SimTime::from_nanos(20), "later");
+/// q.schedule_at(SimTime::from_nanos(10), "sooner");
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t.as_nanos(), ev), (10, "sooner"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently
+    /// popped event.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — an event in the
+    /// past indicates a logic error in the caller.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` at `now() + delay`.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock
+    /// to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Returns the timestamp of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+/// Drives a [`World`] through its event queue.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Engine<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    processed: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// Creates an engine around `world` with an empty queue at time zero.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total number of events processed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to the world state.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world state.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Exclusive access to the event queue, e.g. to seed initial events.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
+        &mut self.queue
+    }
+
+    /// Consumes the engine and returns the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Processes a single event. Returns the time of the processed event, or
+    /// `None` if the queue was empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (at, event) = self.queue.pop()?;
+        self.processed += 1;
+        self.world.handle(at, event, &mut self.queue);
+        Some(at)
+    }
+
+    /// Runs until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Runs until the queue is empty or the next event would occur after
+    /// `deadline` (events exactly at `deadline` are processed).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs while `keep_going` returns true (checked before each event) and
+    /// events remain.
+    pub fn run_while(&mut self, mut keep_going: impl FnMut(&W) -> bool) {
+        while keep_going(&self.world) {
+            if self.step().is_none() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+            self.seen.push((now.as_nanos(), ev));
+            if ev == 1 {
+                // Handler-scheduled events interleave correctly.
+                queue.schedule_after(SimDuration::from_nanos(5), 100);
+            }
+        }
+    }
+
+    fn engine() -> Engine<Recorder> {
+        Engine::new(Recorder { seen: Vec::new() })
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = engine();
+        e.queue_mut().schedule_at(SimTime::from_nanos(30), 3);
+        e.queue_mut().schedule_at(SimTime::from_nanos(10), 1);
+        e.queue_mut().schedule_at(SimTime::from_nanos(20), 2);
+        e.run();
+        assert_eq!(e.world().seen, vec![(10, 1), (15, 100), (20, 2), (30, 3)]);
+        assert_eq!(e.processed(), 4);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e = engine();
+        // Start at 2 so no event triggers the handler's follow-up schedule.
+        for ev in 2..102 {
+            e.queue_mut().schedule_at(SimTime::from_nanos(7), ev);
+        }
+        e.run();
+        let expected: Vec<(u64, u32)> = (2..102).map(|ev| (7, ev)).collect();
+        assert_eq!(e.world().seen, expected);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut e = engine();
+        for t in [5u64, 10, 15, 20] {
+            e.queue_mut().schedule_at(SimTime::from_nanos(t), t as u32);
+        }
+        e.run_until(SimTime::from_nanos(15));
+        assert_eq!(e.world().seen, vec![(5, 5), (10, 10), (15, 15)]);
+        assert_eq!(e.queue_mut().len(), 1);
+        // The clock does not advance past the last processed event.
+        assert_eq!(e.now(), SimTime::from_nanos(15));
+    }
+
+    #[test]
+    fn run_while_respects_predicate() {
+        let mut e = engine();
+        for t in 1..=10u64 {
+            e.queue_mut().schedule_at(SimTime::from_nanos(t), 0);
+        }
+        e.run_while(|w| w.seen.len() < 4);
+        assert_eq!(e.world().seen.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = engine();
+        e.queue_mut().schedule_at(SimTime::from_nanos(50), 1);
+        e.step();
+        e.queue_mut().schedule_at(SimTime::from_nanos(10), 2);
+    }
+
+    #[test]
+    fn empty_queue_reports_exhaustion() {
+        let mut e = engine();
+        assert!(e.step().is_none());
+        assert!(e.queue_mut().is_empty());
+        assert_eq!(e.queue_mut().peek_time(), None);
+    }
+}

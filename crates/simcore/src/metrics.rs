@@ -1,0 +1,372 @@
+//! Latency metrics: a log-bucketed histogram with percentile queries.
+//!
+//! Every figure in the NetRS evaluation reports average, 95th, 99th and
+//! 99.9th percentile response latency, so the histogram is a first-class
+//! substrate here. The design follows HdrHistogram: exact counts below 256
+//! ns, then 128 linear sub-buckets per power of two, giving a worst-case
+//! relative quantization error below 1/128 (~0.8%) at any magnitude while
+//! using a few kilobytes of memory.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+const EXACT: usize = 256;
+const SUB: usize = 128;
+const LEVELS: usize = 56;
+const NBUCKETS: usize = EXACT + LEVELS * SUB;
+
+/// A log-bucketed histogram of durations (recorded in nanoseconds).
+///
+/// # Examples
+///
+/// ```
+/// use netrs_simcore::{Histogram, SimDuration};
+///
+/// let mut h = Histogram::new();
+/// for ms in 1..=100u64 {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p99 = h.value_at_quantile(0.99);
+/// assert!(p99 >= SimDuration::from_millis(99));
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p99", &self.value_at_quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT as u64 {
+        v as usize
+    } else {
+        let m = 63 - v.leading_zeros() as usize; // highest set bit, >= 8
+        let shift = m - 7;
+        let sub = (v >> shift) as usize; // in [128, 255]
+        EXACT + (m - 8) * SUB + (sub - SUB)
+    }
+}
+
+/// Upper bound of the value range covered by `idx`.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < EXACT {
+        idx as u64
+    } else {
+        let level = (idx - EXACT) / SUB;
+        let sub = ((idx - EXACT) % SUB + SUB) as u64;
+        let shift = level + 1;
+        (sub << shift) + (1u64 << shift) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NBUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_nanos(d.as_nanos());
+    }
+
+    /// Records one raw nanosecond value.
+    pub fn record_nanos(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of the recorded samples ([`SimDuration::ZERO`] when
+    /// empty).
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum / u128::from(self.count)) as u64)
+    }
+
+    /// Exact minimum recorded value ([`SimDuration::ZERO`] when empty).
+    #[must_use]
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min)
+        }
+    }
+
+    /// Exact maximum recorded value ([`SimDuration::ZERO`] when empty).
+    #[must_use]
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max)
+    }
+
+    /// The smallest recorded-bucket upper bound `v` such that at least
+    /// `q * count` samples are `<= v`, clamped to the exact recorded
+    /// extrema. `q` is clamped to `[0, 1]`. Returns zero when empty.
+    #[must_use]
+    pub fn value_at_quantile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= target {
+                return SimDuration::from_nanos(bucket_upper(idx).clamp(self.min, self.max));
+            }
+        }
+        SimDuration::from_nanos(self.max)
+    }
+
+    /// Shorthand for `value_at_quantile(p / 100.0)`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        self.value_at_quantile(p / 100.0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Produces the fixed set of statistics reported by the paper's
+    /// figures.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
+            max: self.max(),
+        }
+    }
+}
+
+/// The latency statistics reported in each NetRS figure (plus median and
+/// max for context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency ("Avg." panels).
+    pub mean: SimDuration,
+    /// Median latency.
+    pub p50: SimDuration,
+    /// 95th percentile ("95th Percentile" panels).
+    pub p95: SimDuration,
+    /// 99th percentile ("99th Percentile" panels).
+    pub p99: SimDuration,
+    /// 99.9th percentile ("99.9th Percentile" panels).
+    pub p999: SimDuration,
+    /// Maximum observed latency.
+    pub max: SimDuration,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            count: 0,
+            mean: SimDuration::ZERO,
+            p50: SimDuration::ZERO,
+            p95: SimDuration::ZERO,
+            p99: SimDuration::ZERO,
+            p999: SimDuration::ZERO,
+            max: SimDuration::ZERO,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p95={} p99={} p99.9={}",
+            self.count, self.mean, self.p95, self.p99, self.p999
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_dense_at_boundaries() {
+        let mut last = 0usize;
+        for v in 0u64..=4096 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index regressed at v={v}");
+            assert!(bucket_upper(idx) >= v, "upper bound below value at v={v}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_tight() {
+        for v in [0u64, 1, 255, 256, 257, 511, 512, 1 << 20, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            let upper = bucket_upper(idx);
+            assert!(upper >= v);
+            // Relative error bounded by 1/128.
+            if v >= EXACT as u64 {
+                assert!(
+                    (upper - v) as f64 / v as f64 <= 1.0 / 128.0 + 1e-9,
+                    "v={v} upper={upper}"
+                );
+            } else {
+                assert_eq!(upper, v, "exact range must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.value_at_quantile(0.99), SimDuration::ZERO);
+        assert_eq!(h.summary(), Summary::default());
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record_nanos(v * 1_000); // 1us .. 10ms
+        }
+        let p50 = h.percentile(50.0).as_nanos() as f64;
+        let p99 = h.percentile(99.0).as_nanos() as f64;
+        assert!((p50 / 5_000_000.0 - 1.0).abs() < 0.02, "p50={p50}");
+        assert!((p99 / 9_900_000.0 - 1.0).abs() < 0.02, "p99={p99}");
+        assert_eq!(h.percentile(100.0), SimDuration::from_millis(10));
+        assert_eq!(h.min(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record_nanos(v);
+        }
+        assert_eq!(h.mean().as_nanos(), 25);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_millis(4));
+        for q in [0.0, 0.5, 0.95, 0.999, 1.0] {
+            assert_eq!(h.value_at_quantile(q), SimDuration::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 1..=1000u64 {
+            if v % 2 == 0 {
+                a.record_nanos(v * 977);
+            } else {
+                b.record_nanos(v * 977);
+            }
+            all.record_nanos(v * 977);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.mean(), all.mean());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for p in [50.0, 95.0, 99.0, 99.9] {
+            assert_eq!(a.percentile(p), all.percentile(p));
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record_nanos(123_456);
+        let snapshot = a.summary();
+        a.merge(&Histogram::new());
+        assert_eq!(a.summary(), snapshot);
+    }
+
+    #[test]
+    fn quantile_is_clamped() {
+        let mut h = Histogram::new();
+        h.record_nanos(5);
+        h.record_nanos(10);
+        assert_eq!(h.value_at_quantile(-1.0).as_nanos(), 5);
+        assert_eq!(h.value_at_quantile(2.0).as_nanos(), 10);
+    }
+
+    #[test]
+    fn summary_display_is_nonempty() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(100));
+        let s = h.summary().to_string();
+        assert!(s.contains("n=1"));
+    }
+}

@@ -1,0 +1,462 @@
+//! Seeded randomness and the distributions used by the NetRS evaluation.
+//!
+//! The NetRS paper (§V-A) draws from three non-uniform distributions:
+//! exponential service times, Zipfian key popularity (Zipf parameter 0.99
+//! over 100 million keys) and a bimodal server-performance fluctuation.
+//! `rand` only gives us uniform bits; the distributions themselves are
+//! implemented here so the workspace has no further dependencies.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random stream for simulations.
+///
+/// All randomness in the workspace flows through `SimRng` values created
+/// from an explicit seed. Independent components receive independent
+/// sub-streams via [`SimRng::fork`], so adding a consumer in one component
+/// never perturbs the draws seen by another.
+///
+/// # Examples
+///
+/// ```
+/// use netrs_simcore::SimRng;
+///
+/// let mut a = SimRng::from_seed(42);
+/// let mut b = SimRng::from_seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let mut child = a.fork(7);
+/// let _ = child.f64(); // independent stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+/// SplitMix64 step, used to whiten seeds when forking sub-streams.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a stream from a 64-bit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            seed,
+        }
+    }
+
+    /// Derives an independent child stream identified by `stream`.
+    ///
+    /// Forking is a pure function of `(root seed, stream)`: it does not
+    /// consume randomness from `self`, so components can be created in any
+    /// order without changing each other's draws.
+    #[must_use]
+    pub fn fork(&self, stream: u64) -> SimRng {
+        let child = splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A_DEAD_BEEF)));
+        SimRng::from_seed(child)
+    }
+
+    /// Next raw 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `f64` in `(0, 1]` — safe as the argument of `ln`.
+    pub fn f64_open_closed(&mut self) -> f64 {
+        1.0 - self.f64()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform index in `[0, len)` for indexing slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "len must be positive");
+        self.inner.gen_range(0..len)
+    }
+
+    /// Bernoulli draw: returns `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential draw with the given mean (in the same unit as the
+    /// result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        -mean * self.f64_open_closed().ln()
+    }
+
+    /// Exponential draw expressed as a [`SimDuration`].
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(self.exp(mean.as_nanos() as f64).round() as u64)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (order unspecified but
+    /// deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} items from {n}");
+        // Floyd's algorithm: O(k) expected for k << n.
+        let mut chosen = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.index(j + 1);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen
+    }
+}
+
+/// Zipf-distributed integers over `1..=n` with exponent `s`, sampled by
+/// Hörmann's rejection-inversion method.
+///
+/// Rejection-inversion needs O(1) state and O(1) expected time per sample,
+/// which is what makes the paper's 100-million-key popularity distribution
+/// practical (building a 100M-entry CDF table would not be).
+///
+/// # Examples
+///
+/// ```
+/// use netrs_simcore::{SimRng, Zipf};
+///
+/// let zipf = Zipf::new(100_000_000, 0.99);
+/// let mut rng = SimRng::from_seed(1);
+/// let key = zipf.sample(&mut rng);
+/// assert!((1..=100_000_000).contains(&key));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not positive and finite.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one element");
+        assert!(s.is_finite() && s > 0.0, "zipf exponent must be positive");
+        let h = |x: f64| Self::h(x, s);
+        Zipf {
+            n,
+            s,
+            h_x1: h(1.5) - 1.0,
+            h_n: h(n as f64 + 0.5),
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the support is empty (never true; kept for API symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    // H(x) = integral of x^-s: x^(1-s)/(1-s) for s != 1, ln(x) for s == 1.
+    fn h(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            x.powf(1.0 - s) / (1.0 - s)
+        }
+    }
+
+    fn h_inv(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            ((1.0 - s) * x).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    /// Draws one rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        loop {
+            let u = self.h_n + rng.f64() * (self.h_x1 - self.h_n);
+            let x = Self::h_inv(u, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= 0.5 || u >= Self::h(k + 0.5, self.s) - k.powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// The bimodal performance-fluctuation model of §V-A: at each fluctuation
+/// interval a server's mean service time is redrawn as either `base` or
+/// `base / d` with equal probability (range parameter `d`, default 3 in the
+/// paper, taken from Schad et al.'s cloud measurements).
+///
+/// # Examples
+///
+/// ```
+/// use netrs_simcore::{Bimodal, SimDuration, SimRng};
+///
+/// let fluct = Bimodal::new(SimDuration::from_millis(4), 3.0);
+/// let mut rng = SimRng::from_seed(9);
+/// let mean = fluct.draw(&mut rng);
+/// assert!(mean == SimDuration::from_millis(4)
+///     || mean == SimDuration::from_millis(4).mul_f64(1.0 / 3.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    slow: SimDuration,
+    fast: SimDuration,
+}
+
+impl Bimodal {
+    /// Creates the fluctuation model with base (slow-mode) mean service
+    /// time `base` and range parameter `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 1` or non-finite.
+    #[must_use]
+    pub fn new(base: SimDuration, d: f64) -> Self {
+        assert!(d.is_finite() && d >= 1.0, "range parameter must be >= 1");
+        Bimodal {
+            slow: base,
+            fast: base.mul_f64(1.0 / d),
+        }
+    }
+
+    /// The slow-mode mean (`tkv`).
+    #[must_use]
+    pub fn slow(&self) -> SimDuration {
+        self.slow
+    }
+
+    /// The fast-mode mean (`tkv / d`).
+    #[must_use]
+    pub fn fast(&self) -> SimDuration {
+        self.fast
+    }
+
+    /// Draws the mean service time for the next fluctuation interval.
+    pub fn draw(&self, rng: &mut SimRng) -> SimDuration {
+        if rng.chance(0.5) {
+            self.slow
+        } else {
+            self.fast
+        }
+    }
+
+    /// The long-run average service *rate* (used by the paper to convert a
+    /// nominal utilization into an effective one: with equal time in each
+    /// mode the mean rate is `(1 + d) / (2 tkv)`).
+    #[must_use]
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        0.5 * (1.0 / self.slow.as_secs_f64() + 1.0 / self.fast.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_is_order_independent_and_distinct() {
+        let root = SimRng::from_seed(123);
+        let mut a1 = root.fork(1);
+        let mut b = root.fork(2);
+        let mut a2 = root.fork(1);
+        let x1 = a1.next_u64();
+        let _ = b.next_u64();
+        let x2 = a2.next_u64();
+        assert_eq!(x1, x2, "same stream id must replay identically");
+        let mut b2 = root.fork(2);
+        assert_ne!(x1, b2.next_u64(), "distinct streams must differ");
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = SimRng::from_seed(7);
+        let n = 200_000;
+        let mean = 4.0e6; // 4ms in ns
+        let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() / mean < 0.02,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exp_duration_is_positive_and_varies() {
+        let mut rng = SimRng::from_seed(8);
+        let mean = SimDuration::from_millis(4);
+        let a = rng.exp_duration(mean);
+        let b = rng.exp_duration(mean);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_respects_support_and_monotonicity() {
+        let zipf = Zipf::new(1000, 0.99);
+        let mut rng = SimRng::from_seed(5);
+        let mut counts = vec![0u32; 1001];
+        for _ in 0..200_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=1000).contains(&k));
+            counts[k as usize] += 1;
+        }
+        // Rank 1 must be clearly more popular than rank 100 and rank 1000.
+        assert!(counts[1] > counts[100] * 2);
+        assert!(counts[1] > counts[1000] * 10);
+    }
+
+    #[test]
+    fn zipf_matches_analytic_head_probability() {
+        // P(X = 1) = 1 / H_{n,s}; check within sampling error.
+        let n = 100u64;
+        let s = 0.99;
+        let norm: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        let p1 = 1.0 / norm;
+        let zipf = Zipf::new(n, s);
+        let mut rng = SimRng::from_seed(11);
+        let trials = 300_000;
+        let hits = (0..trials).filter(|_| zipf.sample(&mut rng) == 1).count();
+        let observed = hits as f64 / trials as f64;
+        assert!(
+            (observed - p1).abs() < 0.005,
+            "observed {observed}, analytic {p1}"
+        );
+    }
+
+    #[test]
+    fn zipf_handles_exponent_one_and_huge_n() {
+        let zipf = Zipf::new(100_000_000, 1.0);
+        let mut rng = SimRng::from_seed(3);
+        for _ in 0..10_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=100_000_000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn bimodal_draws_both_modes_evenly() {
+        let fluct = Bimodal::new(SimDuration::from_millis(4), 3.0);
+        let mut rng = SimRng::from_seed(21);
+        let mut slow = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            if fluct.draw(&mut rng) == fluct.slow() {
+                slow += 1;
+            }
+        }
+        let frac = slow as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "slow fraction {frac}");
+    }
+
+    #[test]
+    fn bimodal_mean_rate_matches_paper_formula() {
+        // With d = 3 and tkv = 4ms, mean rate = (1 + 3) / (2 * 4ms) = 500/s.
+        let fluct = Bimodal::new(SimDuration::from_millis(4), 3.0);
+        let expected = (1.0 + 3.0) / (2.0 * 0.004);
+        let got = fluct.mean_rate_per_sec();
+        assert!((got - expected).abs() / expected < 1e-3, "got {got}");
+    }
+
+    #[test]
+    fn sample_indices_are_distinct() {
+        let mut rng = SimRng::from_seed(77);
+        for _ in 0..100 {
+            let mut picks = rng.sample_indices(50, 10);
+            picks.sort_unstable();
+            picks.dedup();
+            assert_eq!(picks.len(), 10);
+            assert!(picks.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_range() {
+        let mut rng = SimRng::from_seed(78);
+        let mut picks = rng.sample_indices(10, 10);
+        picks.sort_unstable();
+        assert_eq!(picks, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::from_seed(79);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exp_rejects_nonpositive_mean() {
+        let mut rng = SimRng::from_seed(1);
+        let _ = rng.exp(0.0);
+    }
+}

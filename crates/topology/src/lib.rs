@@ -1,0 +1,741 @@
+//! The data-center network substrate of the NetRS reproduction.
+//!
+//! NetRS (§II) assumes the multi-rooted tree topology of modern data
+//! centers; the evaluation (§V-A) uses a 16-ary, 3-tier fat-tree with 1024
+//! end-hosts. This crate implements the k-ary fat-tree of Al-Fares et al.
+//! (SIGCOMM'08): `k` pods, each with `k/2` ToR and `k/2` aggregation
+//! switches, `(k/2)²` core switches, and `k³/4` hosts, with ECMP multipath
+//! routing between them.
+//!
+//! Besides plain shortest-path routing, the crate provides the two pieces
+//! NetRS needs from the network:
+//!
+//! * **via-waypoint routing** ([`FatTree::path_via`]) — the path a NetRS
+//!   packet takes when its RSNode is *not* on the default path, and
+//! * **tier/traffic classification** (§III-B): switch tier IDs counted from
+//!   the core tier downward ([`Tier`]), the Tier-0/1/2 classification of a
+//!   host pair's traffic ([`FatTree::traffic_tier`]), and the extra-hop cost
+//!   of detouring traffic of one tier through an RSNode of another
+//!   ([`extra_hops`], Eq. 7 of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use netrs_topology::{FatTree, HostId, Tier};
+//!
+//! let net = FatTree::new(4)?;
+//! assert_eq!(net.num_hosts(), 16);
+//! assert_eq!(net.num_switches(), 20);
+//!
+//! let (a, b) = (HostId(0), HostId(15));
+//! assert_eq!(net.traffic_tier(a, b), Tier::Core); // different pods
+//! let path = net.path(a, b, 7);
+//! assert_eq!(path.len(), 5); // ToR, Agg, Core, Agg, ToR
+//! # Ok::<(), netrs_topology::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies an end-host (`0..k³/4`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct HostId(pub u32);
+
+/// Identifies a switch by its global index: ToRs first, then aggregation
+/// switches, then cores.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SwitchId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Switch tiers, numbered as in §III-B of the paper: the tier ID is the
+/// minimum number of hops to the top (core) tier, so core = 0,
+/// aggregation = 1, ToR = 2.
+///
+/// The same numbers classify traffic: `Tier::Tor` ("Tier-2 traffic") is
+/// rack-local, `Tier::Agg` ("Tier-1") pod-local, and `Tier::Core`
+/// ("Tier-0") crosses pods.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Tier {
+    /// Core switches (tier ID 0, the top tier).
+    Core = 0,
+    /// Aggregation switches (tier ID 1).
+    Agg = 1,
+    /// Top-of-Rack switches (tier ID 2).
+    Tor = 2,
+}
+
+impl Tier {
+    /// The numeric tier ID used in the placement ILP (§III-B).
+    #[must_use]
+    pub fn id(self) -> u32 {
+        self as u32
+    }
+
+    /// All tiers, top (core) first.
+    pub const ALL: [Tier; 3] = [Tier::Core, Tier::Agg, Tier::Tor];
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Core => write!(f, "core"),
+            Tier::Agg => write!(f, "agg"),
+            Tier::Tor => write!(f, "tor"),
+        }
+    }
+}
+
+/// Errors building a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The fat-tree arity must be an even integer of at least 2.
+    BadArity(u32),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::BadArity(k) => {
+                write!(f, "fat-tree arity must be even and >= 2, got {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Extra forwarding hops paid by traffic whose natural highest tier is
+/// `traffic` when it is detoured through an RSNode at tier `rsnode`
+/// (Eq. 7 of the paper).
+///
+/// Climbing above the traffic's natural highest tier costs two extra
+/// forwardings per tier level (up and back down); an RSNode at or above the
+/// natural tier is on-path and free. E.g. rack-local (Tier-2) traffic pays
+/// 4 extra hops to reach a core RSNode — the paper's own worked example.
+///
+/// Note: the paper's Eq. 7 prints the coefficient as `2(h(i,j) + k)`; the
+/// worked example ("the extra hops of the request is 4 = 5 − 1") and a
+/// direct hop count both give `2(h(i,j) − k)`, i.e. `2 · (traffic tier −
+/// RSNode tier)`. We implement the version consistent with the example.
+///
+/// # Examples
+///
+/// ```
+/// use netrs_topology::{extra_hops, Tier};
+///
+/// assert_eq!(extra_hops(Tier::Tor, Tier::Core), 4); // paper's example
+/// assert_eq!(extra_hops(Tier::Tor, Tier::Agg), 2);
+/// assert_eq!(extra_hops(Tier::Agg, Tier::Agg), 0);
+/// assert_eq!(extra_hops(Tier::Core, Tier::Agg), 0); // on-path
+/// ```
+#[must_use]
+pub fn extra_hops(traffic: Tier, rsnode: Tier) -> u32 {
+    2 * traffic.id().saturating_sub(rsnode.id())
+}
+
+/// A k-ary, 3-tier fat-tree (Al-Fares et al., SIGCOMM'08).
+///
+/// All structure is computed arithmetically from `k`; the topology itself
+/// needs O(1) memory regardless of scale.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FatTree {
+    k: u32,
+}
+
+impl FatTree {
+    /// Builds a `k`-ary fat-tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::BadArity`] if `k` is odd or below 2.
+    pub fn new(k: u32) -> Result<Self, TopologyError> {
+        if k < 2 || !k.is_multiple_of(2) {
+            return Err(TopologyError::BadArity(k));
+        }
+        Ok(FatTree { k })
+    }
+
+    /// The arity `k`.
+    #[must_use]
+    pub fn arity(&self) -> u32 {
+        self.k
+    }
+
+    /// Half the arity (`k/2`) — ports per direction, hosts per rack, racks
+    /// per pod.
+    #[must_use]
+    fn half(&self) -> u32 {
+        self.k / 2
+    }
+
+    /// Number of pods (`k`).
+    #[must_use]
+    pub fn num_pods(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of end-hosts (`k³/4`).
+    #[must_use]
+    pub fn num_hosts(&self) -> u32 {
+        self.k * self.k * self.k / 4
+    }
+
+    /// Hosts attached to each ToR (`k/2`).
+    #[must_use]
+    pub fn hosts_per_rack(&self) -> u32 {
+        self.half()
+    }
+
+    /// Hosts in each pod (`(k/2)²`).
+    #[must_use]
+    pub fn hosts_per_pod(&self) -> u32 {
+        self.half() * self.half()
+    }
+
+    /// Number of ToR switches (`k²/2`).
+    #[must_use]
+    pub fn num_tors(&self) -> u32 {
+        self.k * self.half()
+    }
+
+    /// Number of aggregation switches (`k²/2`).
+    #[must_use]
+    pub fn num_aggs(&self) -> u32 {
+        self.k * self.half()
+    }
+
+    /// Number of core switches (`(k/2)²`).
+    #[must_use]
+    pub fn num_cores(&self) -> u32 {
+        self.half() * self.half()
+    }
+
+    /// Total number of switches.
+    #[must_use]
+    pub fn num_switches(&self) -> u32 {
+        self.num_tors() + self.num_aggs() + self.num_cores()
+    }
+
+    /// Iterates over all switch IDs (ToRs, then aggs, then cores).
+    pub fn switches(&self) -> impl Iterator<Item = SwitchId> {
+        (0..self.num_switches()).map(SwitchId)
+    }
+
+    /// Iterates over all host IDs.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> {
+        (0..self.num_hosts()).map(HostId)
+    }
+
+    /// The tier of a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn tier(&self, s: SwitchId) -> Tier {
+        if s.0 < self.num_tors() {
+            Tier::Tor
+        } else if s.0 < self.num_tors() + self.num_aggs() {
+            Tier::Agg
+        } else {
+            assert!(s.0 < self.num_switches(), "switch {s} out of range");
+            Tier::Core
+        }
+    }
+
+    /// The pod of a host.
+    #[must_use]
+    pub fn pod_of_host(&self, h: HostId) -> u32 {
+        h.0 / self.hosts_per_pod()
+    }
+
+    /// The rack (global ToR index, `0..num_tors`) of a host.
+    #[must_use]
+    pub fn rack_of_host(&self, h: HostId) -> u32 {
+        h.0 / self.hosts_per_rack()
+    }
+
+    /// The ToR switch a host is attached to.
+    #[must_use]
+    pub fn tor_of_host(&self, h: HostId) -> SwitchId {
+        SwitchId(self.rack_of_host(h))
+    }
+
+    /// The hosts attached to a rack (global ToR index).
+    pub fn hosts_in_rack(&self, rack: u32) -> impl Iterator<Item = HostId> {
+        let per = self.hosts_per_rack();
+        (rack * per..(rack + 1) * per).map(HostId)
+    }
+
+    /// The pod a switch belongs to; `None` for core switches, which belong
+    /// to no pod.
+    #[must_use]
+    pub fn pod_of_switch(&self, s: SwitchId) -> Option<u32> {
+        match self.tier(s) {
+            Tier::Tor => Some(s.0 / self.half()),
+            Tier::Agg => Some((s.0 - self.num_tors()) / self.half()),
+            Tier::Core => None,
+        }
+    }
+
+    /// The ToR switch with in-pod index `i` in pod `p`.
+    #[must_use]
+    pub fn tor(&self, pod: u32, i: u32) -> SwitchId {
+        debug_assert!(pod < self.k && i < self.half());
+        SwitchId(pod * self.half() + i)
+    }
+
+    /// The aggregation switch with in-pod index `i` in pod `p`.
+    #[must_use]
+    pub fn agg(&self, pod: u32, i: u32) -> SwitchId {
+        debug_assert!(pod < self.k && i < self.half());
+        SwitchId(self.num_tors() + pod * self.half() + i)
+    }
+
+    /// The core switch with global core index `c`.
+    #[must_use]
+    pub fn core(&self, c: u32) -> SwitchId {
+        debug_assert!(c < self.num_cores());
+        SwitchId(self.num_tors() + self.num_aggs() + c)
+    }
+
+    /// The core index of a core switch, or `None` for other tiers.
+    #[must_use]
+    pub fn core_index(&self, s: SwitchId) -> Option<u32> {
+        (self.tier(s) == Tier::Core).then(|| s.0 - self.num_tors() - self.num_aggs())
+    }
+
+    /// The in-pod index of a ToR or aggregation switch, or `None` for core
+    /// switches.
+    #[must_use]
+    pub fn index_in_pod(&self, s: SwitchId) -> Option<u32> {
+        match self.tier(s) {
+            Tier::Tor => Some(s.0 % self.half()),
+            Tier::Agg => Some((s.0 - self.num_tors()) % self.half()),
+            Tier::Core => None,
+        }
+    }
+
+    /// The in-pod index of the aggregation switches a core connects to
+    /// (every pod's aggregation switch with this index links to the core).
+    #[must_use]
+    fn core_group(&self, core_index: u32) -> u32 {
+        core_index / self.half()
+    }
+
+    /// Whether two switches are directly connected by a link.
+    #[must_use]
+    pub fn switches_adjacent(&self, a: SwitchId, b: SwitchId) -> bool {
+        let (lo, hi) = if self.tier(a) >= self.tier(b) {
+            (b, a) // lo is the higher tier (numerically smaller)
+        } else {
+            (a, b)
+        };
+        match (self.tier(lo), self.tier(hi)) {
+            (Tier::Agg, Tier::Tor) => self.pod_of_switch(lo) == self.pod_of_switch(hi),
+            (Tier::Core, Tier::Agg) => {
+                let c = self.core_index(lo).expect("lo is core");
+                self.index_in_pod(hi) == Some(self.core_group(c))
+            }
+            _ => false,
+        }
+    }
+
+    /// Classifies the traffic between two hosts by the highest tier its
+    /// default path touches: [`Tier::Tor`] (Tier-2) within a rack,
+    /// [`Tier::Agg`] (Tier-1) within a pod, [`Tier::Core`] (Tier-0) across
+    /// pods. Two equal hosts classify as rack-local.
+    #[must_use]
+    pub fn traffic_tier(&self, a: HostId, b: HostId) -> Tier {
+        if self.rack_of_host(a) == self.rack_of_host(b) {
+            Tier::Tor
+        } else if self.pod_of_host(a) == self.pod_of_host(b) {
+            Tier::Agg
+        } else {
+            Tier::Core
+        }
+    }
+
+    /// The ECMP default path between two hosts as the ordered list of
+    /// switches traversed. `flow_hash` selects among equal-cost paths
+    /// deterministically. Returns an empty path when `src == dst`.
+    #[must_use]
+    pub fn path(&self, src: HostId, dst: HostId, flow_hash: u64) -> Vec<SwitchId> {
+        if src == dst {
+            return Vec::new();
+        }
+        match self.traffic_tier(src, dst) {
+            Tier::Tor => vec![self.tor_of_host(src)],
+            Tier::Agg => {
+                let pod = self.pod_of_host(src);
+                let i = (flow_hash % u64::from(self.half())) as u32;
+                vec![self.tor_of_host(src), self.agg(pod, i), self.tor_of_host(dst)]
+            }
+            Tier::Core => {
+                let c = (flow_hash % u64::from(self.num_cores())) as u32;
+                self.path_via_core(src, dst, c)
+            }
+        }
+    }
+
+    fn path_via_core(&self, src: HostId, dst: HostId, core_index: u32) -> Vec<SwitchId> {
+        let g = self.core_group(core_index);
+        vec![
+            self.tor_of_host(src),
+            self.agg(self.pod_of_host(src), g),
+            self.core(core_index),
+            self.agg(self.pod_of_host(dst), g),
+            self.tor_of_host(dst),
+        ]
+    }
+
+    /// Path from a host up to a given switch (inclusive). Used to route a
+    /// request toward its RSNode.
+    #[must_use]
+    pub fn path_host_to_switch(&self, src: HostId, w: SwitchId, flow_hash: u64) -> Vec<SwitchId> {
+        let tor_s = self.tor_of_host(src);
+        let pod_s = self.pod_of_host(src);
+        match self.tier(w) {
+            Tier::Tor => {
+                if w == tor_s {
+                    vec![w]
+                } else if self.pod_of_switch(w) == Some(pod_s) {
+                    let i = (flow_hash % u64::from(self.half())) as u32;
+                    vec![tor_s, self.agg(pod_s, i), w]
+                } else {
+                    let c = (flow_hash % u64::from(self.num_cores())) as u32;
+                    let g = self.core_group(c);
+                    vec![
+                        tor_s,
+                        self.agg(pod_s, g),
+                        self.core(c),
+                        self.agg(self.pod_of_switch(w).expect("tor has a pod"), g),
+                        w,
+                    ]
+                }
+            }
+            Tier::Agg => {
+                let pod_w = self.pod_of_switch(w).expect("agg has a pod");
+                if pod_w == pod_s {
+                    vec![tor_s, w]
+                } else {
+                    // Reach the foreign agg through one of the cores it
+                    // connects to; its own pod index determines the group.
+                    let i_w = self.index_in_pod(w).expect("agg has an index");
+                    let c = i_w * self.half() + (flow_hash % u64::from(self.half())) as u32;
+                    vec![tor_s, self.agg(pod_s, i_w), self.core(c), w]
+                }
+            }
+            Tier::Core => {
+                let c = self.core_index(w).expect("w is core");
+                vec![tor_s, self.agg(pod_s, self.core_group(c)), w]
+            }
+        }
+    }
+
+    /// Path from a switch down (or over) to a host, *excluding* the
+    /// starting switch. Reversing the host-to-switch construction keeps
+    /// every consecutive pair directly connected.
+    #[must_use]
+    pub fn path_switch_to_host(&self, w: SwitchId, dst: HostId, flow_hash: u64) -> Vec<SwitchId> {
+        let mut up = self.path_host_to_switch(dst, w, flow_hash);
+        up.pop(); // drop `w` itself
+        up.reverse();
+        up
+    }
+
+    /// The full path between two hosts constrained to pass through the
+    /// waypoint switch `via` (the RSNode). If `via` already lies on a
+    /// default path, the result is simply a default path through it.
+    #[must_use]
+    pub fn path_via(
+        &self,
+        src: HostId,
+        via: SwitchId,
+        dst: HostId,
+        flow_hash: u64,
+    ) -> Vec<SwitchId> {
+        let mut p = self.path_host_to_switch(src, via, flow_hash);
+        p.extend(self.path_switch_to_host(via, dst, flow_hash));
+        p
+    }
+
+    /// Number of links traversed host-to-host along a switch path produced
+    /// by [`FatTree::path`] or [`FatTree::path_via`] (switch count + 1).
+    #[must_use]
+    pub fn link_count(path: &[SwitchId]) -> u32 {
+        if path.is_empty() {
+            0
+        } else {
+            path.len() as u32 + 1
+        }
+    }
+
+    /// Number of switch forwardings on the default path between two hosts
+    /// (1, 3 or 5 for rack-, pod- and core-tier traffic respectively).
+    #[must_use]
+    pub fn default_forwardings(&self, src: HostId, dst: HostId) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        match self.traffic_tier(src, dst) {
+            Tier::Tor => 1,
+            Tier::Agg => 3,
+            Tier::Core => 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> FatTree {
+        FatTree::new(4).unwrap()
+    }
+
+    #[test]
+    fn arity_validation() {
+        assert_eq!(FatTree::new(3), Err(TopologyError::BadArity(3)));
+        assert_eq!(FatTree::new(0), Err(TopologyError::BadArity(0)));
+        assert!(FatTree::new(2).is_ok());
+        let err = FatTree::new(5).unwrap_err();
+        assert!(err.to_string().contains("5"));
+    }
+
+    #[test]
+    fn counts_match_fat_tree_formulas() {
+        let n = net();
+        assert_eq!(n.num_hosts(), 16);
+        assert_eq!(n.num_tors(), 8);
+        assert_eq!(n.num_aggs(), 8);
+        assert_eq!(n.num_cores(), 4);
+        assert_eq!(n.num_pods(), 4);
+
+        let paper = FatTree::new(16).unwrap();
+        assert_eq!(paper.num_hosts(), 1024, "paper's 16-ary tree has 1024 hosts");
+        assert_eq!(paper.num_cores(), 64);
+        assert_eq!(paper.num_tors(), 128);
+    }
+
+    #[test]
+    fn tiers_partition_switches() {
+        let n = net();
+        let mut counts = [0u32; 3];
+        for s in n.switches() {
+            counts[n.tier(s).id() as usize] += 1;
+        }
+        assert_eq!(counts, [4, 8, 8]); // core, agg, tor
+    }
+
+    #[test]
+    fn host_coordinates() {
+        let n = net();
+        assert_eq!(n.pod_of_host(HostId(0)), 0);
+        assert_eq!(n.pod_of_host(HostId(15)), 3);
+        assert_eq!(n.rack_of_host(HostId(5)), 2);
+        assert_eq!(n.tor_of_host(HostId(5)), SwitchId(2));
+        let rack: Vec<_> = n.hosts_in_rack(2).collect();
+        assert_eq!(rack, vec![HostId(4), HostId(5)]);
+    }
+
+    #[test]
+    fn traffic_tier_classification() {
+        let n = net();
+        assert_eq!(n.traffic_tier(HostId(0), HostId(1)), Tier::Tor);
+        assert_eq!(n.traffic_tier(HostId(0), HostId(2)), Tier::Agg);
+        assert_eq!(n.traffic_tier(HostId(0), HostId(4)), Tier::Core);
+        assert_eq!(n.traffic_tier(HostId(9), HostId(9)), Tier::Tor);
+    }
+
+    #[test]
+    fn default_paths_have_expected_shape() {
+        let n = net();
+        assert_eq!(n.path(HostId(0), HostId(1), 0), vec![SwitchId(0)]);
+
+        let pod_path = n.path(HostId(0), HostId(2), 1);
+        assert_eq!(pod_path.len(), 3);
+        assert_eq!(n.tier(pod_path[1]), Tier::Agg);
+
+        let core_path = n.path(HostId(0), HostId(12), 2);
+        assert_eq!(core_path.len(), 5);
+        assert_eq!(n.tier(core_path[2]), Tier::Core);
+        assert!(core_path.windows(2).all(|w| n.switches_adjacent(w[0], w[1])));
+    }
+
+    #[test]
+    fn ecmp_spreads_over_all_cores() {
+        let n = net();
+        let mut seen = std::collections::HashSet::new();
+        for h in 0..100 {
+            let p = n.path(HostId(0), HostId(12), h);
+            seen.insert(p[2]);
+        }
+        assert_eq!(seen.len() as u32, n.num_cores());
+    }
+
+    #[test]
+    fn all_paths_are_link_connected() {
+        let n = net();
+        for src in n.hosts() {
+            for dst in n.hosts() {
+                if src == dst {
+                    continue;
+                }
+                for hash in [0u64, 1, 7, 13] {
+                    let p = n.path(src, dst, hash);
+                    assert_eq!(p[0], n.tor_of_host(src));
+                    assert_eq!(*p.last().unwrap(), n.tor_of_host(dst));
+                    assert!(
+                        p.windows(2).all(|w| n.switches_adjacent(w[0], w[1])),
+                        "disconnected path {p:?} for {src}->{dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn via_paths_contain_waypoint_and_are_connected() {
+        let n = net();
+        for src in n.hosts() {
+            for via in n.switches() {
+                let dst = HostId((src.0 + 5) % n.num_hosts());
+                if src == dst {
+                    continue;
+                }
+                let p = n.path_via(src, via, dst, 3);
+                assert!(p.contains(&via), "{src} via {via} to {dst}: {p:?}");
+                assert_eq!(p[0], n.tor_of_host(src));
+                assert_eq!(*p.last().unwrap(), n.tor_of_host(dst));
+                assert!(
+                    p.windows(2).all(|w| w[0] == w[1] || n.switches_adjacent(w[0], w[1])),
+                    "disconnected via-path {p:?} for {src} via {via} to {dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn via_own_tor_equals_default_for_rack_traffic() {
+        let n = net();
+        let p = n.path_via(HostId(0), SwitchId(0), HostId(1), 0);
+        assert_eq!(p, vec![SwitchId(0)]);
+    }
+
+    #[test]
+    fn extra_hops_matches_paper_example() {
+        // §III-B: rack-local traffic to a core RSNode pays 4 extra hops.
+        assert_eq!(extra_hops(Tier::Tor, Tier::Core), 4);
+        assert_eq!(extra_hops(Tier::Tor, Tier::Agg), 2);
+        assert_eq!(extra_hops(Tier::Tor, Tier::Tor), 0);
+        assert_eq!(extra_hops(Tier::Agg, Tier::Core), 2);
+        assert_eq!(extra_hops(Tier::Agg, Tier::Agg), 0);
+        assert_eq!(extra_hops(Tier::Core, Tier::Core), 0);
+        // RSNodes at or above the traffic tier are on-path.
+        assert_eq!(extra_hops(Tier::Core, Tier::Tor), 0);
+    }
+
+    #[test]
+    fn extra_hops_agrees_with_actual_path_lengths() {
+        // The Eq. 7 cost model must agree with the router: detouring
+        // rack-local traffic through a core adds exactly 4 forwardings.
+        let n = net();
+        let (src, dst) = (HostId(0), HostId(1));
+        let via = n.core(0);
+        let detoured = n.path_via(src, via, dst, 0).len() as u32;
+        let default = n.path(src, dst, 0).len() as u32;
+        assert_eq!(detoured - default, extra_hops(Tier::Tor, Tier::Core));
+
+        // Pod-local traffic through a core adds 2.
+        let (src, dst) = (HostId(0), HostId(2));
+        let detoured = n.path_via(src, via, dst, 0).len() as u32;
+        let default = n.path(src, dst, 0).len() as u32;
+        assert_eq!(detoured - default, extra_hops(Tier::Agg, Tier::Core));
+
+        // Cross-pod traffic through a core is free.
+        let (src, dst) = (HostId(0), HostId(12));
+        let detoured = n.path_via(src, via, dst, 0).len() as u32;
+        let default = n.path(src, dst, 0).len() as u32;
+        assert_eq!(detoured - default, 0);
+    }
+
+    #[test]
+    fn adjacency_rules() {
+        let n = net();
+        // ToR 0 (pod 0) connects to aggs of pod 0 only.
+        assert!(n.switches_adjacent(n.tor(0, 0), n.agg(0, 0)));
+        assert!(n.switches_adjacent(n.tor(0, 0), n.agg(0, 1)));
+        assert!(!n.switches_adjacent(n.tor(0, 0), n.agg(1, 0)));
+        // Agg with index i connects to cores in group i.
+        assert!(n.switches_adjacent(n.agg(0, 0), n.core(0)));
+        assert!(n.switches_adjacent(n.agg(0, 0), n.core(1)));
+        assert!(!n.switches_adjacent(n.agg(0, 0), n.core(2)));
+        assert!(n.switches_adjacent(n.agg(3, 1), n.core(3)));
+        // Same-tier switches never connect.
+        assert!(!n.switches_adjacent(n.tor(0, 0), n.tor(0, 1)));
+        assert!(!n.switches_adjacent(n.core(0), n.core(1)));
+    }
+
+    #[test]
+    fn core_degree_is_one_agg_per_pod() {
+        let n = net();
+        for c in 0..n.num_cores() {
+            let core = n.core(c);
+            for pod in 0..n.num_pods() {
+                let connected: Vec<_> = (0..n.half())
+                    .filter(|&i| n.switches_adjacent(core, n.agg(pod, i)))
+                    .collect();
+                assert_eq!(connected.len(), 1, "core {c} pod {pod}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_forwardings_match_paper() {
+        let n = net();
+        assert_eq!(n.default_forwardings(HostId(0), HostId(1)), 1);
+        assert_eq!(n.default_forwardings(HostId(0), HostId(2)), 3);
+        assert_eq!(n.default_forwardings(HostId(0), HostId(12)), 5);
+        assert_eq!(n.default_forwardings(HostId(3), HostId(3)), 0);
+    }
+
+    #[test]
+    fn link_count_is_switches_plus_one() {
+        let n = net();
+        let p = n.path(HostId(0), HostId(12), 0);
+        assert_eq!(FatTree::link_count(&p), 6);
+        assert_eq!(FatTree::link_count(&[]), 0);
+    }
+
+    #[test]
+    fn degenerate_two_ary_tree_works() {
+        let n = FatTree::new(2).unwrap();
+        assert_eq!(n.num_hosts(), 2);
+        assert_eq!(n.num_cores(), 1);
+        let p = n.path(HostId(0), HostId(1), 0);
+        assert!(p.windows(2).all(|w| n.switches_adjacent(w[0], w[1])));
+        assert_eq!(p.len(), 5); // the two hosts are in different pods
+    }
+}

@@ -1,0 +1,60 @@
+//! Exception handling (§III-C): fail a NetRS operator mid-run and watch
+//! Degraded Replica Selection keep the store available.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example failover
+//! ```
+
+use netrs_sim::{Cluster, Scheme, SimConfig};
+use netrs_simcore::{Engine, SimDuration, SimTime};
+
+fn main() {
+    let mut cfg = SimConfig::small();
+    cfg.requests = 40_000;
+    cfg.scheme = Scheme::NetRsToR;
+    cfg.seed = 11;
+
+    let mut engine = Engine::new(Cluster::new(cfg));
+    let mut queue = std::mem::take(engine.queue_mut());
+    engine.world_mut().prime(&mut queue);
+    *engine.queue_mut() = queue;
+
+    // Let the system reach steady state, then kill one operator.
+    let fail_at = SimTime::ZERO + SimDuration::from_millis(500);
+    engine.run_until(fail_at);
+    let before = engine.world().latency_histogram().summary();
+
+    let victim = engine
+        .world()
+        .current_plan()
+        .expect("NetRS scheme has a plan")
+        .rsnodes()
+        .into_iter()
+        .next()
+        .expect("plan has RSNodes");
+    let affected = engine.world_mut().fail_operator(victim);
+    println!(
+        "t=500ms: operator at switch {victim} failed; {} traffic group(s) degraded to DRS",
+        affected.len()
+    );
+
+    engine.run();
+    let cluster = engine.into_world();
+    let after = cluster.latency_histogram().summary();
+    let plan = cluster.current_plan().expect("plan persists");
+
+    println!("\nbefore failure : {before}");
+    println!("whole run      : {after}");
+    println!(
+        "final plan     : {} RSNodes, {} DRS group(s)",
+        plan.rsnodes().len(),
+        plan.drs.len()
+    );
+    println!(
+        "completed      : {}/{} requests (no request was lost)",
+        cluster.completed(),
+        cluster.issued()
+    );
+    assert_eq!(cluster.completed(), cluster.issued());
+}

@@ -1,0 +1,48 @@
+//! Quickstart: simulate a small key-value cluster under NetRS and print
+//! the latency statistics the paper's figures report.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use netrs_sim::{run, Scheme, SimConfig};
+
+fn main() {
+    // A laptop-scale cluster: 4-ary fat-tree (16 hosts), 6 servers,
+    // 8 clients. `SimConfig::paper()` gives the full §V-A setup instead.
+    let mut cfg = SimConfig::small();
+    cfg.requests = 50_000;
+    cfg.scheme = Scheme::NetRsIlp;
+    cfg.seed = 42;
+
+    println!("scheme          : {}", cfg.scheme);
+    println!("arrival rate    : {:.0} req/s", cfg.arrival_rate());
+    let stats = run(cfg);
+
+    println!(
+        "requests        : {} issued, {} completed",
+        stats.issued, stats.completed
+    );
+    println!(
+        "RSNodes         : {} (core/agg/tor = {:?})",
+        stats.rsnode_count, stats.rsnode_census
+    );
+    println!("mean latency    : {}", stats.latency.mean);
+    println!("95th percentile : {}", stats.latency.p95);
+    println!("99th percentile : {}", stats.latency.p99);
+    println!("99.9th pct      : {}", stats.latency.p999);
+    println!(
+        "server util     : {:.1}%",
+        stats.mean_server_utilization * 100.0
+    );
+    println!(
+        "accel util      : {:.1}% mean, {:.1}% max",
+        stats.mean_accel_utilization * 100.0,
+        stats.max_accel_utilization * 100.0
+    );
+    println!(
+        "events          : {} over {} simulated",
+        stats.events, stats.sim_end
+    );
+}

@@ -1,0 +1,75 @@
+//! The re-planning transient of §II: "the deployment of a new RSP may
+//! lead to a temporary latency increase" because newly introduced
+//! RSNodes must rebuild their view of the system from scratch.
+//!
+//! This example runs NetRS with the monitored plan source (bootstrap on
+//! the ToR plan, first ILP re-plan after one measurement window) and
+//! prints the mean latency of each 100 ms window, so the transient
+//! around the re-plan is visible.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example replan_transient
+//! ```
+
+use netrs_sim::{Cluster, PlanSource, Scheme, SimConfig};
+use netrs_simcore::{Engine, SimDuration, SimTime};
+
+fn main() {
+    let mut cfg = SimConfig::small();
+    cfg.arity = 8;
+    cfg.servers = 24;
+    cfg.clients = 64;
+    cfg.generators = 16;
+    cfg.requests = 80_000;
+    cfg.scheme = Scheme::NetRsIlp;
+    cfg.plan_source = PlanSource::Monitored {
+        interval: SimDuration::from_millis(800),
+    };
+    cfg.warmup_fraction = 0.0;
+    cfg.seed = 3;
+
+    let mut engine = Engine::new(Cluster::new(cfg));
+    let mut queue = std::mem::take(engine.queue_mut());
+    engine.world_mut().prime(&mut queue);
+    *engine.queue_mut() = queue;
+
+    println!("window(ms)  completed   mean(ms)   operators[core/agg/tor]");
+    let window = SimDuration::from_millis(100);
+    let mut t = SimTime::ZERO;
+    let mut last_count = 0u64;
+    let mut last_sum_ms = 0.0f64;
+    for i in 0..36 {
+        t = t + window;
+        engine.run_until(t);
+        let hist = engine.world().latency_histogram();
+        let count = hist.count();
+        let sum_ms = hist.mean().as_millis_f64() * count as f64;
+        let delta = count - last_count;
+        let mean = if delta > 0 {
+            (sum_ms - last_sum_ms) / delta as f64
+        } else {
+            0.0
+        };
+        let tiers = engine.world().operator_tiers();
+        let marker = if i == 8 { "  <- first ILP re-plan near here" } else { "" };
+        println!(
+            "{:>8}    {:>8}   {:>8.3}   {:?}{}",
+            (i + 1) * 100,
+            delta,
+            mean,
+            tiers,
+            marker
+        );
+        last_count = count;
+        last_sum_ms = sum_ms;
+    }
+    engine.run();
+    let cluster = engine.into_world();
+    println!(
+        "\ntotal: {}/{} completed; final operators by tier {:?}",
+        cluster.completed(),
+        cluster.issued(),
+        cluster.operator_tiers()
+    );
+}

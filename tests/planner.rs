@@ -1,0 +1,193 @@
+//! Integration tests of the placement stack: traffic measurement →
+//! ILP → plan → deployed rules, against topologies of several sizes.
+
+use std::collections::BTreeSet;
+
+use netrs::{
+    ControllerConfig, NetRsController, PlacementProblem, PlanConstraints, PlanSolver,
+    TrafficGroups, TrafficMatrix,
+};
+use netrs_ilp::{solve_lp, LpStatus};
+use netrs_simcore::SimRng;
+use netrs_topology::{FatTree, HostId, Tier};
+
+fn random_deployment(
+    arity: u32,
+    servers: usize,
+    clients: usize,
+    seed: u64,
+) -> (FatTree, Vec<HostId>, Vec<HostId>) {
+    let topo = FatTree::new(arity).unwrap();
+    let mut rng = SimRng::from_seed(seed);
+    let picks = rng.sample_indices(topo.num_hosts() as usize, servers + clients);
+    let hosts: Vec<HostId> = picks.into_iter().map(|h| HostId(h as u32)).collect();
+    let (s, c) = hosts.split_at(servers);
+    (topo, s.to_vec(), c.to_vec())
+}
+
+#[test]
+fn exact_plan_is_never_larger_than_greedy_across_seeds() {
+    for seed in 0..5u64 {
+        let (topo, servers, clients) = random_deployment(4, 5, 6, seed);
+        let groups = TrafficGroups::rack_level(&topo, &clients);
+        let rates: Vec<(HostId, f64)> = clients.iter().map(|&h| (h, 200.0)).collect();
+        let traffic = TrafficMatrix::oracle(&topo, &groups, &rates, &servers);
+        let mut cons = PlanConstraints::default();
+        // Moderate capacity so consolidation is non-trivial.
+        for sw in topo.switches() {
+            cons.capacity_overrides.insert(sw.0, 900.0);
+        }
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let greedy = p.solve_greedy();
+        let exact = p.solve(PlanSolver::Exact { node_limit: 50_000 });
+        assert!(exact.proven_optimal, "seed {seed}");
+        assert!(
+            exact.rsnodes().len() <= greedy.rsnodes().len(),
+            "seed {seed}: exact {} > greedy {}",
+            exact.rsnodes().len(),
+            greedy.rsnodes().len()
+        );
+        // Both must satisfy the capacity constraint.
+        for plan in [&greedy, &exact] {
+            let mut load = std::collections::HashMap::new();
+            for (&g, &sw) in &plan.assignment {
+                *load.entry(sw).or_insert(0.0) += p.load_of(g);
+            }
+            for (sw, l) in load {
+                assert!(l <= p.capacity_of(sw) + 1e-6, "seed {seed}: {sw} over capacity");
+            }
+        }
+    }
+}
+
+#[test]
+fn plans_respect_the_hop_budget() {
+    let (topo, servers, clients) = random_deployment(4, 5, 8, 3);
+    let groups = TrafficGroups::rack_level(&topo, &clients);
+    let rates: Vec<(HostId, f64)> = clients.iter().map(|&h| (h, 300.0)).collect();
+    let traffic = TrafficMatrix::oracle(&topo, &groups, &rates, &servers);
+    for budget in [0.0, 100.0, 5_000.0] {
+        let cons = PlanConstraints {
+            extra_hop_budget: budget,
+            ..PlanConstraints::default()
+        };
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        for solver in [PlanSolver::Greedy, PlanSolver::Exact { node_limit: 20_000 }] {
+            let plan = p.solve(solver);
+            let spent: f64 = plan
+                .assignment
+                .iter()
+                .map(|(&g, &sw)| p.extra_hop_rate(g, sw))
+                .sum();
+            assert!(
+                spent <= budget + 1e-6,
+                "budget {budget}, solver {solver:?}: spent {spent}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lp_relaxation_of_placement_is_feasible_and_bounds_plan_size() {
+    let (topo, servers, clients) = random_deployment(8, 12, 24, 9);
+    let groups = TrafficGroups::rack_level(&topo, &clients);
+    let rates: Vec<(HostId, f64)> = clients.iter().map(|&h| (h, 150.0)).collect();
+    let traffic = TrafficMatrix::oracle(&topo, &groups, &rates, &servers);
+    let mut cons = PlanConstraints::default();
+    for sw in topo.switches() {
+        cons.capacity_overrides.insert(sw.0, 2_000.0);
+    }
+    let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+    let (ilp, _, _) = p.to_ilp(&BTreeSet::new());
+    let lp = solve_lp(&ilp);
+    assert_eq!(lp.status, LpStatus::Optimal);
+    let plan = p.solve(PlanSolver::Auto { node_limit: 500 });
+    assert!(plan.drs.is_empty());
+    assert!(
+        lp.objective <= plan.rsnodes().len() as f64 + 1e-6,
+        "LP bound {} above plan size {}",
+        lp.objective,
+        plan.rsnodes().len()
+    );
+}
+
+#[test]
+fn monitored_traffic_agrees_with_oracle_shape() {
+    // The oracle matrix and a matrix built from simulated monitor counts
+    // must put each group's traffic in the same dominant tier.
+    use netrs_netdev::Monitor;
+    use netrs_wire::SourceMarker;
+
+    let (topo, servers, clients) = random_deployment(4, 6, 4, 21);
+    let groups = TrafficGroups::rack_level(&topo, &clients);
+    let rates: Vec<(HostId, f64)> = clients.iter().map(|&h| (h, 1_000.0)).collect();
+    let oracle = TrafficMatrix::oracle(&topo, &groups, &rates, &servers);
+
+    // Simulate uniform responses from every server to every client.
+    let controller = NetRsController::new(topo.clone(), ControllerConfig::default());
+    let mut monitors: std::collections::HashMap<u32, Monitor> = groups
+        .iter()
+        .map(|info| {
+            (
+                info.tor.0,
+                Monitor::new(controller.marker_of_rack(info.tor.0)),
+            )
+        })
+        .collect();
+    for info in groups.iter() {
+        for &client in &info.hosts {
+            let tor = topo.tor_of_host(client);
+            for &server in &servers {
+                let sm = SourceMarker {
+                    pod: topo.pod_of_host(server) as u16,
+                    rack: topo.rack_of_host(server) as u16,
+                };
+                for _ in 0..10 {
+                    monitors.get_mut(&tor.0).unwrap().record(info.id, sm);
+                }
+            }
+        }
+    }
+    let snaps: Vec<_> = monitors
+        .values_mut()
+        .map(|m| m.snapshot(netrs_simcore::SimTime::from_nanos(1_000_000_000)))
+        .collect();
+    let measured = TrafficMatrix::from_snapshots(groups.len(), &snaps);
+
+    for g in 0..groups.len() as u32 {
+        let o = oracle.tier_rates(g);
+        let m = measured.tier_rates(g);
+        let dominant = |r: [f64; 3]| {
+            (0..3)
+                .max_by(|&a, &b| r[a].partial_cmp(&r[b]).unwrap())
+                .unwrap()
+        };
+        assert_eq!(dominant(o), dominant(m), "group {g}: oracle {o:?} vs measured {m:?}");
+    }
+}
+
+#[test]
+fn deployed_rules_route_every_group_to_a_live_operator() {
+    let (topo, servers, clients) = random_deployment(8, 10, 30, 4);
+    let groups = TrafficGroups::rack_level(&topo, &clients);
+    let rates: Vec<(HostId, f64)> = clients.iter().map(|&h| (h, 100.0)).collect();
+    let traffic = TrafficMatrix::oracle(&topo, &groups, &rates, &servers);
+    let mut controller = NetRsController::new(topo.clone(), ControllerConfig::default());
+    let plan = controller
+        .plan(&groups, &traffic, PlanSolver::Auto { node_limit: 100 })
+        .clone();
+    let rules = controller.deploy(&groups);
+    for info in groups.iter() {
+        let tor = rules[&info.tor].tor.as_ref().expect("tor rules");
+        let rid = tor.rsnode_of_group[&info.id];
+        let sw = controller.switch_of_rsnode(rid).expect("legal id");
+        assert_eq!(plan.assignment[&info.id], sw);
+        // Candidate legality (the R matrix): the RSNode is the group's
+        // ToR, an agg of its pod, or a core switch.
+        match topo.tier(sw) {
+            Tier::Tor => assert_eq!(sw, info.tor),
+            Tier::Agg => assert_eq!(topo.pod_of_switch(sw), topo.pod_of_switch(info.tor)),
+            Tier::Core => {}
+        }
+    }
+}
