@@ -11,7 +11,9 @@ use netrs_netdev::{Accelerator, AcceleratorConfig};
 use netrs_selection::{C3Config, C3Selector, Feedback, ReplicaSelector};
 use netrs_simcore::{EventQueue, Histogram, SimDuration, SimRng, SimTime, Zipf};
 use netrs_topology::{FatTree, HostId};
-use netrs_wire::{classify, MagicField, RequestHeader, ResponseHeader, Rgid, RsnodeId, SourceMarker};
+use netrs_wire::{
+    classify, MagicField, RequestHeader, ResponseHeader, Rgid, RsnodeId, SourceMarker,
+};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/schedule_pop_1k", |b| {
@@ -132,7 +134,7 @@ fn bench_accelerator(c: &mut Criterion) {
         let mut accel = Accelerator::new(AcceleratorConfig::default());
         let mut t = SimTime::ZERO;
         b.iter(|| {
-            t = t + SimDuration::from_micros(10);
+            t += SimDuration::from_micros(10);
             black_box(accel.schedule_selection(t))
         });
     });

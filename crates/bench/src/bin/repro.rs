@@ -118,6 +118,10 @@ fn main() {
             );
             eprintln!("wrote {path}");
         }
-        eprintln!("{} finished in {:.1}s\n", spec.id, started.elapsed().as_secs_f64());
+        eprintln!(
+            "{} finished in {:.1}s\n",
+            spec.id,
+            started.elapsed().as_secs_f64()
+        );
     }
 }

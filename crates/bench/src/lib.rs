@@ -274,10 +274,7 @@ pub fn ablate_c3(base: &SimConfig) -> FigureSpec {
                 smax: 20.0,
                 ..CubicConfig::default()
             });
-            SweepPoint {
-                label,
-                config: cfg,
-            }
+            SweepPoint { label, config: cfg }
         })
         .collect();
     FigureSpec {

@@ -239,7 +239,10 @@ mod tests {
                 assert_eq!(tor_rules.group_of_host[&h.0], info.id);
             }
             let rid = tor_rules.rsnode_of_group[&info.id];
-            assert_eq!(c.switch_of_rsnode(rid), rsp.assignment.get(&info.id).copied());
+            assert_eq!(
+                c.switch_of_rsnode(rid),
+                rsp.assignment.get(&info.id).copied()
+            );
         }
         // Non-ToR switches carry no ToR rules.
         let agg = c.topology().agg(0, 0);

@@ -223,8 +223,7 @@ impl<'a> PlacementProblem<'a> {
         Tier::ALL
             .into_iter()
             .map(|traffic_tier| {
-                f64::from(extra_hops(traffic_tier, rsnode_tier))
-                    * rates[traffic_tier.id() as usize]
+                f64::from(extra_hops(traffic_tier, rsnode_tier)) * rates[traffic_tier.id() as usize]
             })
             .sum()
     }
@@ -319,8 +318,7 @@ impl<'a> PlacementProblem<'a> {
             let assigned: Vec<&(GroupId, SwitchId, VarId)> =
                 pvars.iter().filter(|&&(_, s, _)| s == sw).collect();
             // Eq. 3 (aggregated linking).
-            let mut link: Vec<(VarId, f64)> =
-                assigned.iter().map(|&&(_, _, v)| (v, 1.0)).collect();
+            let mut link: Vec<(VarId, f64)> = assigned.iter().map(|&&(_, _, v)| (v, 1.0)).collect();
             link.push((dv, -big_g));
             p.add_constraint(link, Sense::Le, 0.0);
             // Eq. 6 (capacity).
@@ -395,9 +393,7 @@ impl<'a> PlacementProblem<'a> {
         while !remaining.is_empty() {
             let mut best: Option<(f64, bool, SwitchId, Vec<GroupId>, f64)> = None;
             for &sw in &universe {
-                let mut cap = *cap_left
-                    .entry(sw)
-                    .or_insert_with(|| self.capacity_of(sw));
+                let mut cap = *cap_left.entry(sw).or_insert_with(|| self.capacity_of(sw));
                 if let Some(set) = self.shared_set_of(sw) {
                     cap = cap.min(shared_left[set]);
                 }
@@ -576,10 +572,7 @@ mod tests {
     use super::*;
     use netrs_topology::HostId;
 
-    fn setup(
-        clients: &[u32],
-        per_client_rate: f64,
-    ) -> (FatTree, TrafficGroups, TrafficMatrix) {
+    fn setup(clients: &[u32], per_client_rate: f64) -> (FatTree, TrafficGroups, TrafficMatrix) {
         let topo = FatTree::new(4).unwrap();
         let hosts: Vec<HostId> = clients.iter().map(|&h| HostId(h)).collect();
         let groups = TrafficGroups::rack_level(&topo, &hosts);
@@ -716,7 +709,9 @@ mod tests {
         let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
         let greedy = p.solve_greedy();
         let auto = p.solve(PlanSolver::Auto { node_limit: 5_000 });
-        let exact = p.solve(PlanSolver::Exact { node_limit: 100_000 });
+        let exact = p.solve(PlanSolver::Exact {
+            node_limit: 100_000,
+        });
         assert!(exact.proven_optimal);
         assert!(auto.rsnodes().len() <= greedy.rsnodes().len().max(1));
         assert!(exact.rsnodes().len() <= auto.rsnodes().len());
@@ -805,7 +800,11 @@ mod tests {
         };
         let p2 = PlacementProblem::new(&topo, &groups, &traffic, &unconstrained);
         let rsp2 = p2.solve(PlanSolver::Exact { node_limit: 10_000 });
-        assert_eq!(rsp2.rsnodes().len(), 1, "sanity: unconstrained uses one core");
+        assert_eq!(
+            rsp2.rsnodes().len(),
+            1,
+            "sanity: unconstrained uses one core"
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        assert_eq!(EmuFrame::decode(&[0u8; 4]).unwrap_err(), FrameError::Truncated);
+        assert_eq!(
+            EmuFrame::decode(&[0u8; 4]).unwrap_err(),
+            FrameError::Truncated
+        );
         let f = EmuFrame {
             src: 1,
             dst: 2,

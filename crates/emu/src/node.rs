@@ -163,8 +163,7 @@ impl EmuCluster {
 
         // Plan placement and deploy rules exactly as the controller does.
         let groups = TrafficGroups::rack_level(&topo, &client_hosts);
-        let rates: Vec<(HostId, f64)> =
-            client_hosts.iter().map(|&h| (h, 1_000.0)).collect();
+        let rates: Vec<(HostId, f64)> = client_hosts.iter().map(|&h| (h, 1_000.0)).collect();
         let traffic = TrafficMatrix::oracle(&topo, &groups, &rates, &server_hosts);
         let mut controller = NetRsController::new(topo.clone(), ControllerConfig::default());
         let mut rsp = controller
@@ -241,7 +240,9 @@ impl EmuCluster {
             let mean = cfg.mean_service;
             let mut srng = SimRng::from_seed(cfg.seed ^ (0x5E4 + u64::from(sid.0)));
             threads.push(std::thread::spawn(move || {
-                server_loop(socket, sid, host, &topo2, &book, &shutdown2, mean, &mut srng);
+                server_loop(
+                    socket, sid, host, &topo2, &book, &shutdown2, mean, &mut srng,
+                );
             }));
         }
 
@@ -447,8 +448,7 @@ fn switch_loop(socket: UdpSocket, mut ctx: SwitchCtx) {
         let (len, sender) = match socket.recv_from(&mut buf) {
             Ok(x) => x,
             Err(ref e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue;
             }
@@ -512,8 +512,7 @@ fn handle_request(socket: &UdpSocket, ctx: &mut SwitchCtx, mut frame: EmuFrame, 
                 // We are the stamping ToR: lay the source route via the
                 // RSNode's switch.
                 let via = SwitchId(u32::from(rid.0) - 1);
-                frame.route =
-                    ctx.route_via_to_host(via, HostId(frame.dst), u64::from(frame.src));
+                frame.route = ctx.route_via_to_host(via, HostId(frame.dst), u64::from(frame.src));
             }
             ctx.emit(socket, &frame);
         }
@@ -577,8 +576,7 @@ fn handle_response(socket: &UdpSocket, ctx: &mut SwitchCtx, mut frame: EmuFrame,
         IngressAction::ForwardTowardRsnode(rid) => {
             if from_host {
                 let via = SwitchId(u32::from(rid.0) - 1);
-                frame.route =
-                    ctx.route_via_to_host(via, HostId(frame.dst), u64::from(frame.src));
+                frame.route = ctx.route_via_to_host(via, HostId(frame.dst), u64::from(frame.src));
             }
             ctx.emit(socket, &frame);
         }
@@ -603,8 +601,7 @@ fn handle_response(socket: &UdpSocket, ctx: &mut SwitchCtx, mut frame: EmuFrame,
                     .server_host_of
                     .iter()
                     .find(|&(_, &h)| {
-                        ctx.topo.rack_of_host(HostId(h)) == u32::from(sm.rack)
-                            && h == frame.src
+                        ctx.topo.rack_of_host(HostId(h)) == u32::from(sm.rack) && h == frame.src
                     })
                     .map(|(&sid, _)| ServerId(sid));
                 if let Some(server) = server {
@@ -653,8 +650,7 @@ fn server_loop(
         let (len, _) = match socket.recv_from(&mut buf) {
             Ok(x) => x,
             Err(ref e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue;
             }
@@ -720,7 +716,10 @@ mod tests {
         let cluster = EmuCluster::start(cfg).expect("bind loopback");
         let report = cluster.run_workload(40).expect("workload");
         assert_eq!(report.completed, 40);
-        assert_eq!(report.drs_responses, 40, "all responses carry the illegal RID");
+        assert_eq!(
+            report.drs_responses, 40,
+            "all responses carry the illegal RID"
+        );
         assert_eq!(report.selections, 0, "no selector ever ran");
         cluster.shutdown();
     }

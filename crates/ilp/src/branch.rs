@@ -41,7 +41,10 @@ impl std::fmt::Display for IlpError {
             IlpError::Infeasible => write!(f, "no integer-feasible solution exists"),
             IlpError::Unbounded => write!(f, "relaxation is unbounded"),
             IlpError::BudgetExhausted => {
-                write!(f, "node budget exhausted before finding a feasible solution")
+                write!(
+                    f,
+                    "node budget exhausted before finding a feasible solution"
+                )
             }
         }
     }
@@ -293,7 +296,7 @@ mod tests {
             let x: Vec<f64> = (0..n).map(|j| f64::from((mask >> j) & 1)).collect();
             if p.is_feasible(&x, 1e-9) {
                 let obj = p.objective_value(&x);
-                if best.map_or(true, |b| obj < b) {
+                if best.is_none_or(|b| obj < b) {
                     best = Some(obj);
                 }
             }
@@ -445,7 +448,9 @@ mod tests {
         assert_eq!(sol.status, IlpStatus::Feasible);
         assert!((sol.objective - 5.0).abs() < 1e-9);
         // With budget, the warm start is improved to the optimum.
-        let sol = BranchAndBound::default().solve_from(&p, Some(&warm)).unwrap();
+        let sol = BranchAndBound::default()
+            .solve_from(&p, Some(&warm))
+            .unwrap();
         assert_eq!(sol.status, IlpStatus::Optimal);
         assert!((sol.objective - 2.0).abs() < 1e-9);
         // An infeasible warm start is ignored rather than trusted.

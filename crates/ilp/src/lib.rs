@@ -129,7 +129,10 @@ impl Problem {
     ) {
         let terms: Vec<(VarId, f64)> = terms.into_iter().collect();
         for &(v, a) in &terms {
-            assert!(v < self.num_vars(), "constraint references unknown variable {v}");
+            assert!(
+                v < self.num_vars(),
+                "constraint references unknown variable {v}"
+            );
             assert!(a.is_finite(), "constraint coefficient must be finite");
         }
         assert!(rhs.is_finite(), "constraint rhs must be finite");

@@ -329,8 +329,7 @@ impl Tableau {
             if self.basis[r] >= self.art_start {
                 // Degenerate pivot onto any usable structural/slack column.
                 let target = (0..self.art_start).find(|&j| {
-                    !matches!(self.status[j], VarStatus::Basic(_))
-                        && self.at(r, j).abs() > 1e-7
+                    !matches!(self.status[j], VarStatus::Basic(_)) && self.at(r, j).abs() > 1e-7
                 });
                 if let Some(j) = target {
                     let art = self.basis[r];
@@ -477,7 +476,11 @@ mod tests {
         p.add_constraint([(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
         let sol = solve_lp(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
-        assert!((sol.objective + 36.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective + 36.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!((sol.values[x] - 2.0).abs() < 1e-6);
         assert!((sol.values[y] - 6.0).abs() < 1e-6);
     }
@@ -559,12 +562,24 @@ mod tests {
         let x2 = p.add_continuous(150.0, 0.0, f64::INFINITY);
         let x3 = p.add_continuous(-0.02, 0.0, f64::INFINITY);
         let x4 = p.add_continuous(6.0, 0.0, f64::INFINITY);
-        p.add_constraint([(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Sense::Le, 0.0);
-        p.add_constraint([(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Sense::Le, 0.0);
+        p.add_constraint(
+            [(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            [(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Sense::Le,
+            0.0,
+        );
         p.add_constraint([(x3, 1.0)], Sense::Le, 1.0);
         let sol = solve_lp(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
-        assert!((sol.objective + 0.05).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective + 0.05).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
     }
 
     #[test]

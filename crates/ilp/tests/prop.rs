@@ -18,11 +18,7 @@ struct RandomIlp {
 fn arb_ilp() -> impl Strategy<Value = RandomIlp> {
     (1usize..8).prop_flat_map(|n| {
         let costs = proptest::collection::vec(-5i32..=5, n);
-        let row = (
-            proptest::collection::vec(-3i32..=3, n),
-            0u8..3,
-            -4i32..=6,
-        );
+        let row = (proptest::collection::vec(-3i32..=3, n), 0u8..3, -4i32..=6);
         let rows = proptest::collection::vec(row, 0..5);
         (costs, rows).prop_map(|(costs, rows)| RandomIlp { costs, rows })
     })
@@ -61,7 +57,7 @@ fn brute_force(p: &Problem) -> Option<f64> {
         let x: Vec<f64> = (0..n).map(|j| f64::from((mask >> j) & 1)).collect();
         if p.is_feasible(&x, 1e-9) {
             let obj = p.objective_value(&x);
-            if best.map_or(true, |b| obj < b - 1e-12) {
+            if best.is_none_or(|b| obj < b - 1e-12) {
                 best = Some(obj);
             }
         }

@@ -274,7 +274,7 @@ mod tests {
     #[test]
     fn placement_is_reasonably_balanced() {
         let r = Ring::new(10, 128, 3, 7).unwrap();
-        let mut primary_counts = vec![0u32; 10];
+        let mut primary_counts = [0u32; 10];
         for key in 0..30_000u64 {
             primary_counts[r.replicas_for_key(key)[0].0 as usize] += 1;
         }
@@ -305,7 +305,7 @@ mod tests {
     fn all_servers_appear_somewhere() {
         let r = Ring::new(10, 64, 3, 3);
         let r = r.unwrap();
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for (_, reps) in r.groups().iter() {
             for s in reps {
                 seen[s.0 as usize] = true;

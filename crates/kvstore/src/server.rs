@@ -159,6 +159,13 @@ impl<T> Server<T> {
         self.in_service
     }
 
+    /// Instantaneous fraction of service slots occupied, in `[0, 1]` —
+    /// the quantity the observability sampler tracks over virtual time.
+    #[must_use]
+    pub fn slot_occupancy(&self) -> f64 {
+        f64::from(self.in_service) / f64::from(self.cfg.slots)
+    }
+
     /// Aggregate counters.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
@@ -173,7 +180,8 @@ impl<T> Server<T> {
             return 0.0;
         }
         let busy = self.stats.busy_slot_ns
-            + u128::from(self.in_service) * u128::from(now.saturating_since(self.last_change).as_nanos());
+            + u128::from(self.in_service)
+                * u128::from(now.saturating_since(self.last_change).as_nanos());
         busy as f64 / (f64::from(self.cfg.slots) * elapsed as f64)
     }
 
@@ -227,7 +235,10 @@ impl<T> Server<T> {
     /// Panics if no request is in service — a completion without a start
     /// indicates an event-bookkeeping bug in the caller.
     pub fn complete(&mut self, now: SimTime) -> Completion<T> {
-        assert!(self.in_service > 0, "completion without a request in service");
+        assert!(
+            self.in_service > 0,
+            "completion without a request in service"
+        );
         self.account(now);
         self.stats.completed += 1;
         self.in_service -= 1;
@@ -270,6 +281,19 @@ mod tests {
         assert_eq!(s.arrive(5, t(0)), Arrival::Queued);
         assert_eq!(s.queue_len(), 6);
         assert_eq!(s.in_service(), 4);
+        assert!((s.slot_occupancy() - 1.0).abs() < 1e-12, "all slots busy");
+    }
+
+    #[test]
+    fn slot_occupancy_tracks_in_service() {
+        let mut s = server();
+        assert_eq!(s.slot_occupancy(), 0.0);
+        let _ = s.arrive(0, t(0));
+        assert!((s.slot_occupancy() - 0.25).abs() < 1e-12);
+        let _ = s.arrive(1, t(0));
+        assert!((s.slot_occupancy() - 0.5).abs() < 1e-12);
+        let _ = s.complete(t(1));
+        assert!((s.slot_occupancy() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -320,7 +344,10 @@ mod tests {
             let _ = s.complete(now);
         }
         let mean = total / f64::from(n);
-        assert!((mean - 4.0).abs() < 0.15, "observed mean {mean} ms, expected ~4");
+        assert!(
+            (mean - 4.0).abs() < 0.15,
+            "observed mean {mean} ms, expected ~4"
+        );
     }
 
     #[test]

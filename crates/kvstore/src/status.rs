@@ -66,9 +66,9 @@ pub enum StatusError {
 impl std::fmt::Display for StatusError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StatusError::BadLength(n) =>
-
-                write!(f, "server status must be {STATUS_WIRE_LEN} bytes, got {n}"),
+            StatusError::BadLength(n) => {
+                write!(f, "server status must be {STATUS_WIRE_LEN} bytes, got {n}")
+            }
         }
     }
 }

@@ -45,7 +45,7 @@ proptest! {
         let mut completed = 0u32;
         let mut scheduled: u32 = 0; // copies currently in service
         for (i, arrive) in ops.into_iter().enumerate() {
-            now = now + SimDuration::from_micros(10);
+            now += SimDuration::from_micros(10);
             if arrive {
                 match server.arrive(i as u32, now) {
                     Arrival::Started { finish_at } => {

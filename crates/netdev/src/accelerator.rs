@@ -115,10 +115,18 @@ impl Accelerator {
     /// Returns the instant the rebuilt request re-enters the switch
     /// (half-RTT in, queueing, service, half-RTT out).
     pub fn schedule_selection(&mut self, now: SimTime) -> SimTime {
+        self.schedule_selection_timed(now).0
+    }
+
+    /// Like [`Accelerator::schedule_selection`], but also returns the time
+    /// the task spent waiting for a free core (excluding the switch RTT
+    /// and the service time) — the "selection wait" phase of a latency
+    /// breakdown.
+    pub fn schedule_selection_timed(&mut self, now: SimTime) -> (SimTime, SimDuration) {
         let (done, waited) = self.run_task(now);
         self.stats.selections += 1;
         self.stats.selection_wait_ns += u128::from(waited.as_nanos());
-        done + self.cfg.switch_rtt / 2
+        (done + self.cfg.switch_rtt / 2, waited)
     }
 
     /// Schedules processing of a cloned response handed off at `now`.
@@ -190,6 +198,19 @@ mod tests {
     }
 
     #[test]
+    fn timed_selection_reports_queue_wait() {
+        let mut a = Accelerator::new(AcceleratorConfig::default());
+        let t = at_us(0);
+        let (first, wait0) = a.schedule_selection_timed(t);
+        assert_eq!(wait0, SimDuration::ZERO, "idle core: no wait");
+        assert_eq!(first, t + SimDuration::from_nanos(7_500));
+        let (second, wait1) = a.schedule_selection_timed(t);
+        assert_eq!(wait1, us(5), "queued behind one full service time");
+        // The timed variant and the plain one agree on the return time.
+        assert_eq!(second - first, us(5));
+    }
+
+    #[test]
     fn multiple_cores_serve_in_parallel() {
         let mut a = Accelerator::new(AcceleratorConfig {
             cores: 2,
@@ -224,7 +245,10 @@ mod tests {
         }
         let u = a.utilization(at_us(1_000));
         assert!((u - 0.5).abs() < 0.02, "utilization {u}");
-        assert_eq!(Accelerator::new(AcceleratorConfig::default()).utilization(at_us(1)), 0.0);
+        assert_eq!(
+            Accelerator::new(AcceleratorConfig::default()).utilization(at_us(1)),
+            0.0
+        );
     }
 
     #[test]

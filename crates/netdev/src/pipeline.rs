@@ -233,7 +233,9 @@ mod tests {
         let mut pkt = request(RsnodeId(0), 1);
         let action = rules.ingress(&mut pkt, true);
         assert_eq!(action, IngressAction::ForwardTowardRsnode(RsnodeId(7)));
-        let PacketMeta::Request { rid, .. } = pkt else { panic!() };
+        let PacketMeta::Request { rid, .. } = pkt else {
+            panic!()
+        };
         assert_eq!(rid, RsnodeId(7));
     }
 
@@ -259,7 +261,9 @@ mod tests {
         let mut pkt = request(RsnodeId(0), 2);
         let action = rules.ingress(&mut pkt, true);
         assert_eq!(action, IngressAction::Forward);
-        let PacketMeta::Request { rid, magic, .. } = pkt else { panic!() };
+        let PacketMeta::Request { rid, magic, .. } = pkt else {
+            panic!()
+        };
         assert_eq!(rid, RsnodeId::ILLEGAL);
         // f(M_mon): unrecognized by switches, recoverable by the server.
         assert_eq!(magic.kind(), PacketKind::Other);
@@ -271,7 +275,9 @@ mod tests {
         let rules = NetRsRules::switch(RsnodeId(4));
         let mut pkt = request(RsnodeId::ILLEGAL, 2);
         assert_eq!(rules.ingress(&mut pkt, false), IngressAction::Forward);
-        let PacketMeta::Request { magic, .. } = pkt else { panic!() };
+        let PacketMeta::Request { magic, .. } = pkt else {
+            panic!()
+        };
         assert_eq!(magic, MagicField::MONITORED.f());
     }
 
@@ -281,7 +287,9 @@ mod tests {
         let mut pkt = response(RsnodeId(7));
         let action = rules.ingress(&mut pkt, false);
         assert_eq!(action, IngressAction::CloneToAcceleratorAndForward);
-        let PacketMeta::Response { magic, .. } = pkt else { panic!() };
+        let PacketMeta::Response { magic, .. } = pkt else {
+            panic!()
+        };
         assert_eq!(magic, MagicField::MONITORED);
     }
 
@@ -300,7 +308,9 @@ mod tests {
         let rules = tor_rules();
         let mut pkt = response(RsnodeId(9));
         let _ = rules.ingress(&mut pkt, true);
-        let PacketMeta::Response { sm, .. } = pkt else { panic!() };
+        let PacketMeta::Response { sm, .. } = pkt else {
+            panic!()
+        };
         assert_eq!(sm, SourceMarker { pod: 2, rack: 17 });
     }
 

@@ -22,7 +22,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut last_done = SimTime::ZERO;
         for gap in gaps {
-            now = now + SimDuration::from_nanos(gap);
+            now += SimDuration::from_nanos(gap);
             let done = accel.schedule_selection(now);
             prop_assert!(done >= now + floor, "faster than physics: {done} vs {now}");
             prop_assert!(done >= last_done || cores > 1, "single-core FIFO must be ordered");

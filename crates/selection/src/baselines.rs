@@ -387,7 +387,10 @@ mod tests {
         }
         let picks: Vec<_> = (0..200).map(|_| s.select(&c, T)).collect();
         let fast = picks.iter().filter(|&&p| p == ServerId(1)).count();
-        assert!(fast > 150, "snitch should mostly pick the fast server: {fast}");
+        assert!(
+            fast > 150,
+            "snitch should mostly pick the fast server: {fast}"
+        );
         assert!(fast < 200, "snitch should still explore sometimes: {fast}");
     }
 

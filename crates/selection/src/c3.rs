@@ -166,7 +166,12 @@ impl ReplicaSelector for C3Selector {
             self.cfg.alpha,
             first,
         );
-        est.ewma_queue = ewma(est.ewma_queue, f64::from(fb.queue_len), self.cfg.alpha, first);
+        est.ewma_queue = ewma(
+            est.ewma_queue,
+            f64::from(fb.queue_len),
+            self.cfg.alpha,
+            first,
+        );
         est.outstanding = est.outstanding.saturating_sub(1);
         est.responses += 1;
     }

@@ -83,9 +83,18 @@ impl CubicRateController {
     /// `(0, 1)`, or `alpha` is outside `[0, 1)`.
     #[must_use]
     pub fn new(cfg: CubicConfig) -> Self {
-        assert!(cfg.init_rate > 0.0 && cfg.min_rate > 0.0, "rates must be positive");
-        assert!((0.0..1.0).contains(&cfg.beta) && cfg.beta > 0.0, "beta must be in (0, 1)");
-        assert!(cfg.c > 0.0 && cfg.smax > 0.0 && cfg.burst >= 1.0, "growth parameters must be positive");
+        assert!(
+            cfg.init_rate > 0.0 && cfg.min_rate > 0.0,
+            "rates must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&cfg.beta) && cfg.beta > 0.0,
+            "beta must be in (0, 1)"
+        );
+        assert!(
+            cfg.c > 0.0 && cfg.smax > 0.0 && cfg.burst >= 1.0,
+            "growth parameters must be positive"
+        );
         assert!((0.0..1.0).contains(&cfg.alpha), "alpha must be in [0, 1)");
         CubicRateController {
             cfg,
@@ -306,7 +315,10 @@ mod tests {
             ..CubicConfig::default()
         });
         assert!(ctl.try_send(ServerId(0), at(0)));
-        assert!(ctl.try_send(ServerId(1), at(0)), "separate bucket per server");
+        assert!(
+            ctl.try_send(ServerId(1), at(0)),
+            "separate bucket per server"
+        );
         assert!(!ctl.try_send(ServerId(0), at(0)));
     }
 

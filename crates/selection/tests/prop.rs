@@ -2,8 +2,7 @@
 
 use netrs_kvstore::ServerId;
 use netrs_selection::{
-    C3Config, C3Selector, CubicConfig, CubicRateController, Feedback, ReplicaSelector,
-    SelectorKind,
+    C3Config, C3Selector, CubicConfig, CubicRateController, Feedback, ReplicaSelector, SelectorKind,
 };
 use netrs_simcore::{SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
@@ -108,7 +107,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut granted = 0u32;
         for _ in 0..attempts {
-            now = now + SimDuration::from_micros(gap_us);
+            now += SimDuration::from_micros(gap_us);
             if ctl.try_send(ServerId(0), now) {
                 granted += 1;
             }
@@ -135,7 +134,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut responses = 0u32;
         for (is_resp, gap) in events {
-            now = now + SimDuration::from_micros(gap);
+            now += SimDuration::from_micros(gap);
             if is_resp {
                 ctl.on_response(ServerId(0), now);
                 responses += 1;

@@ -11,15 +11,27 @@
 //! cargo run --release -p netrs-sim --bin simulate -- --config cfg.json --json
 //! ```
 
-use netrs_sim::{run, Scheme, SimConfig};
+use std::fs::File;
+use std::io::BufWriter;
+
+use netrs_sim::{run_observed, ObsOptions, SamplerSpec, Scheme, SimConfig};
+use netrs_simcore::SimDuration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: simulate [--config FILE] [--scheme clirs|clirs-r95|netrs-tor|netrs-ilp] \
          [--requests N] [--clients N] [--utilization F] [--skew F] [--seed N] \
-         [--small] [--emit-config] [--json]"
+         [--small] [--emit-config] [--json] \
+         [--trace FILE] [--timeseries FILE] [--sample-every-us N] [--progress]"
     );
     std::process::exit(2);
+}
+
+fn create(path: &str) -> BufWriter<File> {
+    BufWriter::new(File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    }))
 }
 
 fn main() {
@@ -27,6 +39,10 @@ fn main() {
     let mut cfg = SimConfig::paper();
     cfg.requests = 100_000;
     let mut json_out = false;
+    let mut trace_path: Option<String> = None;
+    let mut timeseries_path: Option<String> = None;
+    let mut sample_every_us: u64 = 10_000;
+    let mut progress = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -74,6 +90,16 @@ fn main() {
                 return;
             }
             "--json" => json_out = true,
+            "--trace" => trace_path = Some(next()),
+            "--timeseries" => timeseries_path = Some(next()),
+            "--sample-every-us" => {
+                sample_every_us = next().parse().unwrap_or_else(|_| usage());
+                if sample_every_us == 0 {
+                    eprintln!("--sample-every-us must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--progress" => progress = true,
             _ => usage(),
         }
         i += 1;
@@ -85,8 +111,28 @@ fn main() {
     }
 
     let scheme = cfg.scheme;
-    let stats = run(cfg);
+    let obs = ObsOptions {
+        trace: trace_path
+            .as_deref()
+            .map(|p| Box::new(create(p)) as Box<dyn std::io::Write + Send>),
+        timeseries: timeseries_path.as_deref().map(|_| SamplerSpec {
+            interval: SimDuration::from_micros(sample_every_us),
+            ..SamplerSpec::default()
+        }),
+        progress,
+    };
+    let out = run_observed(cfg, obs);
+    let stats = out.stats;
+    if let (Some(path), Some(ts)) = (timeseries_path.as_deref(), out.timeseries.as_ref()) {
+        let mut w = create(path);
+        ts.write_jsonl(&mut w).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    }
     if json_out {
+        // Keep stdout pure JSON; the profile goes to stderr.
+        eprintln!("engine: {}", out.profile);
         println!(
             "{}",
             serde_json::to_string_pretty(&stats).expect("stats serialize")
@@ -102,6 +148,13 @@ fn main() {
         println!("95th percentile     : {}", stats.latency.p95);
         println!("99th percentile     : {}", stats.latency.p99);
         println!("99.9th percentile   : {}", stats.latency.p999);
+        let b = &stats.breakdown;
+        if b.count > 0 {
+            println!(
+                "latency breakdown   : network {} · selection {} · server queue {} · service {}",
+                b.network.mean, b.selection.mean, b.server_queue.mean, b.service.mean
+            );
+        }
         if stats.rsnode_count > 0 {
             println!(
                 "RSNodes             : {} (core/agg/tor = {:?}), {} DRS groups",
@@ -131,5 +184,13 @@ fn main() {
             "events              : {} over {} simulated",
             stats.events, stats.sim_end
         );
+        println!("engine              : {}", out.profile);
+        if let Some(ts) = out.timeseries.as_ref() {
+            println!(
+                "timeseries          : {} samples retained ({} taken)",
+                ts.len(),
+                ts.accel_util.total_pushed()
+            );
+        }
     }
 }

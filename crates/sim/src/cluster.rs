@@ -15,25 +15,24 @@ use std::collections::HashMap;
 
 use netrs::{NetRsController, Rsp, TrafficGroups, TrafficMatrix};
 use netrs_kvstore::{Arrival, Ring, Server, ServerId, ServerStatus};
-use netrs_netdev::{
-    Accelerator, IngressAction, Monitor, NetRsRules, PacketMeta,
-};
+use netrs_netdev::{Accelerator, IngressAction, Monitor, NetRsRules, PacketMeta};
 use netrs_selection::{CubicRateController, Feedback, ReplicaSelector};
-use netrs_simcore::{
-    EventQueue, Histogram, SimDuration, SimRng, SimTime, World, Zipf,
-};
+use netrs_simcore::{EventQueue, Histogram, SimDuration, SimRng, SimTime, World, Zipf};
 use netrs_topology::{FatTree, HostId, SwitchId};
 use netrs_wire::{MagicField, RsnodeId};
 
 use crate::config::{PlanSource, Scheme, SimConfig};
-use crate::stats::RunStats;
+use crate::obs::{SamplerSpec, TimeSeries, TraceRecord};
+use crate::stats::{LatencyBreakdown, RunStats};
 
 /// Identifies one logical client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReqId(pub u64);
 
 /// Everything a request copy carries through the network and the server
-/// queue.
+/// queue, including its observability timeline: the consecutive event
+/// timestamps that decompose end-to-end latency into exact phases
+/// (steer → selection → to-server → server queue → service → reply).
 #[derive(Debug, Clone, Copy)]
 pub struct ServerToken {
     req: ReqId,
@@ -43,6 +42,48 @@ pub struct ServerToken {
     /// The RSNode the copy passed, if any, and when it left it.
     rsnode: Option<SwitchId>,
     rsnode_sent_at: SimTime,
+    /// When the logical request was issued at the client.
+    issued_at: SimTime,
+    /// When the copy reached its selection point (the RSNode for
+    /// in-network schemes; `issued_at` for client-side selection).
+    steered_at: SimTime,
+    /// Accelerator queue wait (zero for client schemes).
+    selection_wait: SimDuration,
+    /// When the copy arrived at the server.
+    server_arrived_at: SimTime,
+    /// When the server started serving it (after any queueing).
+    service_started_at: SimTime,
+    /// When the server finished serving it.
+    served_at: SimTime,
+}
+
+impl ServerToken {
+    /// A token whose timeline starts at `issued_at` and whose selection
+    /// interval is `[steered_at, copy_sent_at]`; the server-side
+    /// timestamps are stamped as the copy progresses.
+    fn new(
+        req: ReqId,
+        server: ServerId,
+        issued_at: SimTime,
+        steered_at: SimTime,
+        selection_wait: SimDuration,
+        copy_sent_at: SimTime,
+        rsnode: Option<SwitchId>,
+    ) -> Self {
+        ServerToken {
+            req,
+            server,
+            copy_sent_at,
+            rsnode,
+            rsnode_sent_at: copy_sent_at,
+            issued_at,
+            steered_at,
+            selection_wait,
+            server_arrived_at: copy_sent_at,
+            service_started_at: copy_sent_at,
+            served_at: copy_sent_at,
+        }
+    }
 }
 
 /// Simulation events.
@@ -73,6 +114,11 @@ pub enum Ev {
         req: ReqId,
         /// The operator's switch.
         op: SwitchId,
+        /// When the request reached the RSNode (starts the selection
+        /// phase of the latency breakdown).
+        arrived: SimTime,
+        /// How long the selection waited for a free accelerator core.
+        waited: SimDuration,
     },
     /// A request copy arrives at a server.
     ServerArrive {
@@ -115,6 +161,8 @@ pub enum Ev {
     OverloadCheck,
     /// The controller re-plans from monitor statistics.
     Replan,
+    /// The observability sampler ticks (only scheduled when enabled).
+    Sample,
 }
 
 #[derive(Debug)]
@@ -142,6 +190,47 @@ struct ClientState {
 struct Operator {
     selector: Box<dyn ReplicaSelector + Send>,
     accel: Accelerator,
+}
+
+/// Virtual-time sampler state (present only when enabled).
+struct SamplerState {
+    interval: SimDuration,
+    series: TimeSeries,
+    /// Aggregate accelerator busy core-ns at the previous tick, for
+    /// windowed utilization.
+    last_busy_core_ns: u128,
+    last_tick: SimTime,
+}
+
+/// Per-phase histograms feeding [`LatencyBreakdown`]. Always on: four
+/// `record_nanos` calls per completed read are noise next to the event
+/// loop, and `RunStats` must carry a populated breakdown for every run.
+struct BreakdownHists {
+    network: Histogram,
+    selection: Histogram,
+    server_queue: Histogram,
+    service: Histogram,
+}
+
+impl BreakdownHists {
+    fn new() -> Self {
+        BreakdownHists {
+            network: Histogram::new(),
+            selection: Histogram::new(),
+            server_queue: Histogram::new(),
+            service: Histogram::new(),
+        }
+    }
+
+    fn summarize(&self) -> LatencyBreakdown {
+        LatencyBreakdown {
+            count: self.network.count(),
+            network: self.network.summary(),
+            selection: self.selection.summary(),
+            server_queue: self.server_queue.summary(),
+            service: self.service.summary(),
+        }
+    }
 }
 
 /// The complete simulated cluster (implements
@@ -174,6 +263,9 @@ pub struct Cluster {
     gen_interarrival: SimDuration,
     top_clients: u32,
     retired_operators: Vec<Operator>,
+    breakdown: BreakdownHists,
+    tracer: Option<Box<dyn std::io::Write + Send>>,
+    sampler: Option<SamplerState>,
 }
 
 impl Cluster {
@@ -205,8 +297,13 @@ impl Cluster {
         let server_hosts: Vec<HostId> = picks[..cfg.servers as usize].to_vec();
         let client_hosts: Vec<HostId> = picks[cfg.servers as usize..].to_vec();
 
-        let ring = Ring::new(cfg.servers, cfg.vnodes, cfg.replication, root.fork(1).next_u64())
-            .expect("validated ring parameters");
+        let ring = Ring::new(
+            cfg.servers,
+            cfg.vnodes,
+            cfg.replication,
+            root.fork(1).next_u64(),
+        )
+        .expect("validated ring parameters");
         let zipf = Zipf::new(cfg.keys, cfg.zipf);
 
         let servers: Vec<Server<ServerToken>> = (0..cfg.servers)
@@ -251,6 +348,9 @@ impl Cluster {
             last_accel_busy: HashMap::new(),
             top_clients,
             retired_operators: Vec::new(),
+            breakdown: BreakdownHists::new(),
+            tracer: None,
+            sampler: None,
             cfg,
         };
         let built: Vec<ClientState> = client_hosts
@@ -396,7 +496,9 @@ impl Cluster {
         for s in 0..self.cfg.servers {
             queue.schedule_after(
                 self.cfg.server.fluctuation_interval,
-                Ev::Fluctuate { server: ServerId(s) },
+                Ev::Fluctuate {
+                    server: ServerId(s),
+                },
             );
         }
         if let (true, PlanSource::Monitored { interval }) =
@@ -406,6 +508,93 @@ impl Cluster {
         }
         if let (true, Some(policy)) = (self.cfg.scheme.is_in_network(), self.cfg.overload) {
             queue.schedule_after(policy.interval, Ev::OverloadCheck);
+        }
+        if let Some(s) = &self.sampler {
+            queue.schedule_after(s.interval, Ev::Sample);
+        }
+    }
+
+    // ---- observability ---------------------------------------------------
+
+    /// Streams one JSONL [`TraceRecord`] per received request copy to
+    /// `w`. Tracing only writes; it never perturbs event timing.
+    pub fn set_tracer(&mut self, w: Box<dyn std::io::Write + Send>) {
+        self.tracer = Some(w);
+    }
+
+    /// Enables the virtual-time sampler (call before [`Cluster::prime`],
+    /// which schedules its first tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.interval` is zero — a zero-interval sampler would
+    /// re-arm at the current instant forever and sim time could never
+    /// advance.
+    pub fn enable_sampler(&mut self, spec: SamplerSpec) {
+        assert!(
+            spec.interval > SimDuration::ZERO,
+            "sampler interval must be positive"
+        );
+        self.sampler = Some(SamplerState {
+            interval: spec.interval,
+            series: TimeSeries::new(spec.capacity),
+            last_busy_core_ns: 0,
+            last_tick: SimTime::ZERO,
+        });
+    }
+
+    /// Takes the sampler's time series, if the sampler ran.
+    pub fn take_timeseries(&mut self) -> Option<TimeSeries> {
+        self.sampler.take().map(|s| s.series)
+    }
+
+    /// Flushes the trace sink, if any (call after the run drains).
+    pub fn flush_tracer(&mut self) {
+        use std::io::Write as _;
+        if let Some(w) = self.tracer.as_mut() {
+            let _ = w.flush();
+        }
+    }
+
+    /// One sampler tick: windowed accelerator utilization, instantaneous
+    /// server occupancy, outstanding requests, and the DRS group count.
+    fn on_sample(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let busy: u128 = self
+            .operators
+            .values()
+            .chain(self.retired_operators.iter())
+            .map(|op| op.accel.stats().busy_core_ns)
+            .sum();
+        let n_accels = (self.operators.len() + self.retired_operators.len()) as u128;
+        let occupancy = self.servers.iter().map(|s| s.slot_occupancy()).sum::<f64>()
+            / self.servers.len() as f64;
+        let outstanding = self.requests.len() as f64;
+        let drs = self
+            .controller
+            .as_ref()
+            .map_or(0, |c| c.current_plan().drs.len()) as f64;
+        let cores = u128::from(self.cfg.accelerator.cores);
+        let Some(s) = self.sampler.as_mut() else {
+            return;
+        };
+        let window_ns = u128::from(now.saturating_since(s.last_tick).as_nanos());
+        let capacity = window_ns * cores * n_accels;
+        let util = if capacity == 0 {
+            0.0
+        } else {
+            // busy counts scheduled work that may extend past `now`;
+            // clamp the window to the physically possible maximum.
+            (busy.saturating_sub(s.last_busy_core_ns) as f64 / capacity as f64).min(1.0)
+        };
+        s.last_busy_core_ns = busy;
+        s.last_tick = now;
+        s.series.accel_util.push(now, util);
+        s.series.server_occupancy.push(now, occupancy);
+        s.series.outstanding.push(now, outstanding);
+        s.series.drs_groups.push(now, drs);
+        let interval = s.interval;
+        if !self.drained() {
+            queue.schedule_after(interval, Ev::Sample);
         }
     }
 
@@ -468,9 +657,7 @@ impl Cluster {
         let key = self.zipf.sample(&mut self.workload_rng);
         let rgid = self.ring.group_of_key(key);
         let replicas = self.ring.groups().replicas(rgid).to_vec();
-        let backup = replicas[self.clients[client_idx as usize]
-            .rng
-            .index(replicas.len())];
+        let backup = replicas[self.clients[client_idx as usize].rng.index(replicas.len())];
 
         let is_write =
             self.cfg.write_fraction > 0.0 && self.workload_rng.chance(self.cfg.write_fraction);
@@ -515,13 +702,7 @@ impl Cluster {
         state.copies = replicas.len() as u8;
         let client_host = self.clients[state.client as usize].host;
         for (i, &server) in replicas.iter().enumerate() {
-            let token = ServerToken {
-                req,
-                server,
-                copy_sent_at: now,
-                rsnode: None,
-                rsnode_sent_at: now,
-            };
+            let token = ServerToken::new(req, server, now, now, SimDuration::ZERO, now, None);
             let latency = self.host_to_host(
                 client_host,
                 self.server_hosts[server.0 as usize],
@@ -589,19 +770,25 @@ impl Cluster {
             return;
         }
         state.copies += 1;
+        let issued_at = state.sent_at;
         let client = &mut self.clients[client_idx];
         client
             .selector
             .as_mut()
             .expect("client schemes run selectors")
             .on_send(server, now);
-        let token = ServerToken {
+        // Client-side selection has no steering hop: the interval from
+        // issue to departure (rate gating, duplicate timers) is the
+        // "selection" phase of the breakdown.
+        let token = ServerToken::new(
             req,
             server,
-            copy_sent_at: now,
-            rsnode: None,
-            rsnode_sent_at: now,
-        };
+            issued_at,
+            issued_at,
+            SimDuration::ZERO,
+            now,
+            None,
+        );
         let latency = self.host_to_host(
             self.clients[client_idx].host,
             self.server_hosts[server.0 as usize],
@@ -656,13 +843,7 @@ impl Cluster {
                 // Degraded Replica Selection: straight to the backup.
                 state.copies += 1;
                 let backup = state.backup;
-                let token = ServerToken {
-                    req,
-                    server: backup,
-                    copy_sent_at: now,
-                    rsnode: None,
-                    rsnode_sent_at: now,
-                };
+                let token = ServerToken::new(req, backup, now, now, SimDuration::ZERO, now, None);
                 let latency = self.host_to_host(
                     client_host,
                     self.server_hosts[backup.0 as usize],
@@ -690,7 +871,13 @@ impl Cluster {
         }
     }
 
-    fn on_rsnode_arrive(&mut self, now: SimTime, req: ReqId, op: SwitchId, queue: &mut EventQueue<Ev>) {
+    fn on_rsnode_arrive(
+        &mut self,
+        now: SimTime,
+        req: ReqId,
+        op: SwitchId,
+        queue: &mut EventQueue<Ev>,
+    ) {
         let Some(operator) = self.operators.get_mut(&op) else {
             // The operator was retired by a re-plan while the request was
             // in flight; fall back to the client's backup replica (DRS
@@ -698,23 +885,40 @@ impl Cluster {
             self.forward_to_backup(now, req, op, queue);
             return;
         };
-        let done_at = operator.accel.schedule_selection(now);
-        queue.schedule_at(done_at, Ev::Select { req, op });
+        let (done_at, waited) = operator.accel.schedule_selection_timed(now);
+        queue.schedule_at(
+            done_at,
+            Ev::Select {
+                req,
+                op,
+                arrived: now,
+                waited,
+            },
+        );
     }
 
-    fn forward_to_backup(&mut self, now: SimTime, req: ReqId, from: SwitchId, queue: &mut EventQueue<Ev>) {
+    fn forward_to_backup(
+        &mut self,
+        now: SimTime,
+        req: ReqId,
+        from: SwitchId,
+        queue: &mut EventQueue<Ev>,
+    ) {
         let Some(state) = self.requests.get_mut(&req.0) else {
             return;
         };
         state.copies += 1;
         let backup = state.backup;
-        let token = ServerToken {
+        // The hop to the retired RSNode was pure network steering.
+        let token = ServerToken::new(
             req,
-            server: backup,
-            copy_sent_at: now,
-            rsnode: None,
-            rsnode_sent_at: now,
-        };
+            backup,
+            state.sent_at,
+            now,
+            SimDuration::ZERO,
+            now,
+            None,
+        );
         let latency = self.switch_to_host(
             from,
             self.server_hosts[backup.0 as usize],
@@ -723,7 +927,15 @@ impl Cluster {
         queue.schedule_after(latency, Ev::ServerArrive { token });
     }
 
-    fn on_select(&mut self, now: SimTime, req: ReqId, op: SwitchId, queue: &mut EventQueue<Ev>) {
+    fn on_select(
+        &mut self,
+        now: SimTime,
+        req: ReqId,
+        op: SwitchId,
+        arrived: SimTime,
+        waited: SimDuration,
+        queue: &mut EventQueue<Ev>,
+    ) {
         let Some(operator) = self.operators.get_mut(&op) else {
             self.forward_to_backup(now, req, op, queue);
             return;
@@ -736,13 +948,7 @@ impl Cluster {
         operator.selector.on_send(target, now);
         state.primary = Some(target);
         state.copies += 1;
-        let token = ServerToken {
-            req,
-            server: target,
-            copy_sent_at: now,
-            rsnode: Some(op),
-            rsnode_sent_at: now,
-        };
+        let token = ServerToken::new(req, target, state.sent_at, arrived, waited, now, Some(op));
         let latency = self.switch_to_host(
             op,
             self.server_hosts[target.0 as usize],
@@ -753,7 +959,16 @@ impl Cluster {
 
     // ---- servers ----------------------------------------------------
 
-    fn on_server_arrive(&mut self, now: SimTime, token: ServerToken, queue: &mut EventQueue<Ev>) {
+    fn on_server_arrive(
+        &mut self,
+        now: SimTime,
+        mut token: ServerToken,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        token.server_arrived_at = now;
+        // Provisional: correct if a slot is free; a queued copy gets its
+        // real service start stamped when it is dispatched.
+        token.service_started_at = now;
         let server = &mut self.servers[token.server.0 as usize];
         if let Arrival::Started { finish_at } = server.arrive(token, now) {
             queue.schedule_at(
@@ -770,12 +985,15 @@ impl Cluster {
         &mut self,
         now: SimTime,
         server_id: ServerId,
-        token: ServerToken,
+        mut token: ServerToken,
         queue: &mut EventQueue<Ev>,
     ) {
+        token.served_at = now;
         let server = &mut self.servers[server_id.0 as usize];
         let status = server.status();
-        if let Some((next_token, finish_at)) = server.complete(now).next {
+        if let Some((mut next_token, finish_at)) = server.complete(now).next {
+            // The queued copy enters service now that a slot freed up.
+            next_token.service_started_at = now;
             queue.schedule_at(
                 finish_at,
                 Ev::ServerDone {
@@ -856,6 +1074,42 @@ impl Cluster {
         let drained = state.copies == 0;
         if drained {
             self.requests.remove(&token.req.0);
+        }
+
+        // Phase decomposition: consecutive timestamp differences along
+        // the copy's path, telescoping exactly to `now - issued_at`.
+        let steer = token.steered_at - token.issued_at;
+        let selection = token.copy_sent_at - token.steered_at;
+        let to_server = token.server_arrived_at - token.copy_sent_at;
+        let server_queue = token.service_started_at - token.server_arrived_at;
+        let service = token.served_at - token.service_started_at;
+        let reply = now - token.served_at;
+        if let Some(w) = self.tracer.as_mut() {
+            use std::io::Write as _;
+            let rec = TraceRecord {
+                req: token.req.0,
+                server: token.server.0,
+                first: first_completion,
+                write: is_write,
+                issued_ns: token.issued_at.as_nanos(),
+                received_ns: now.as_nanos(),
+                steer_ns: steer.as_nanos(),
+                selection_ns: selection.as_nanos(),
+                selection_wait_ns: token.selection_wait.as_nanos(),
+                to_server_ns: to_server.as_nanos(),
+                server_queue_ns: server_queue.as_nanos(),
+                service_ns: service.as_nanos(),
+                reply_ns: reply.as_nanos(),
+                e2e_ns: (now - token.issued_at).as_nanos(),
+            };
+            let line = serde_json::to_string(&rec).expect("trace record serializes");
+            let _ = writeln!(w, "{line}");
+        }
+        if first_completion && !is_write && issue_idx >= self.warmup_cutoff {
+            self.breakdown.network.record(steer + to_server + reply);
+            self.breakdown.selection.record(selection);
+            self.breakdown.server_queue.record(server_queue);
+            self.breakdown.service.record(service);
         }
 
         if is_write {
@@ -968,7 +1222,10 @@ impl Cluster {
                 return; // no signal yet
             }
             let solver = self.cfg.plan_solver;
-            let controller = self.controller.as_mut().expect("monitored implies in-network");
+            let controller = self
+                .controller
+                .as_mut()
+                .expect("monitored implies in-network");
             controller.plan(&self.groups, &traffic, solver);
             self.rules = controller.deploy(&self.groups);
             self.rebuild_operators(SimRng::from_seed(
@@ -1027,6 +1284,7 @@ impl Cluster {
         RunStats {
             scheme: self.cfg.scheme,
             latency: self.hist.summary(),
+            breakdown: self.breakdown.summarize(),
             issued: self.issued,
             completed: self.completed,
             duplicates: self.duplicates,
@@ -1039,11 +1297,7 @@ impl Cluster {
             mean_accel_utilization: mean_accel_util,
             max_accel_utilization: max_accel_util,
             mean_selection_wait,
-            mean_server_utilization: self
-                .servers
-                .iter()
-                .map(|s| s.utilization(now))
-                .sum::<f64>()
+            mean_server_utilization: self.servers.iter().map(|s| s.utilization(now)).sum::<f64>()
                 / f64::from(self.cfg.servers),
             replans: self.drained_replans,
             writes_issued: self.writes_issued,
@@ -1103,7 +1357,12 @@ impl World for Cluster {
             Ev::Generate { gen } => self.on_generate(now, gen, queue),
             Ev::GatedSend { req, server } => self.dispatch_client_copy(now, req, server, queue),
             Ev::RsnodeArrive { req, op } => self.on_rsnode_arrive(now, req, op, queue),
-            Ev::Select { req, op } => self.on_select(now, req, op, queue),
+            Ev::Select {
+                req,
+                op,
+                arrived,
+                waited,
+            } => self.on_select(now, req, op, arrived, waited, queue),
             Ev::ServerArrive { token } => self.on_server_arrive(now, token, queue),
             Ev::ServerDone { server, token } => self.on_server_done(now, server, token, queue),
             Ev::SelectorUpdate { op, fb } => self.on_selector_update(now, op, fb),
@@ -1122,6 +1381,7 @@ impl World for Cluster {
             }
             Ev::OverloadCheck => self.on_overload_check(now, queue),
             Ev::Replan => self.on_replan(now, queue),
+            Ev::Sample => self.on_sample(now, queue),
         }
     }
 }

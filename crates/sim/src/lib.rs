@@ -31,10 +31,13 @@
 
 mod cluster;
 mod config;
+mod obs;
 mod runner;
 mod stats;
 
 pub use cluster::{Cluster, Ev, ReqId, ServerToken};
 pub use config::{OverloadPolicy, PlanSource, R95Config, Scheme, SimConfig};
-pub use runner::{run, run_all_schemes, run_seeds};
-pub use stats::{MeanStats, RunStats};
+pub use netrs_simcore::EngineProfile;
+pub use obs::{ObsOptions, SamplePoint, SamplerSpec, TimeSeries, TraceRecord};
+pub use runner::{run, run_all_schemes, run_observed, run_seeds, RunOutput};
+pub use stats::{LatencyBreakdown, MeanStats, RunStats};

@@ -1,0 +1,260 @@
+//! Observability plumbing for the cluster simulation: per-request trace
+//! records (JSONL), the virtual-time sampler's time series, and the
+//! options block that [`run_observed`](crate::run_observed) takes.
+//!
+//! Everything here is strictly opt-in: a run with default
+//! [`ObsOptions`] executes the exact event sequence an unobserved run
+//! does (the sampler adds events only when enabled, and the tracer only
+//! writes — it never perturbs timing).
+
+use std::io::{self, Write};
+
+use netrs_simcore::{RingSeries, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// One JSONL line of `--trace` output: a request copy's full lifecycle,
+/// decomposed into consecutive sim-time phases.
+///
+/// The phases telescope: `steer + selection + to_server + server_queue +
+/// service + reply == e2e == received - issued`, exactly, in integer
+/// nanoseconds — each phase is the difference of two consecutive event
+/// timestamps along the copy's path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The logical request this copy belongs to.
+    pub req: u64,
+    /// The server that served the copy.
+    pub server: u32,
+    /// Whether this copy completed the logical request (first response
+    /// for reads, last for writes).
+    pub first: bool,
+    /// Whether the request was a write.
+    pub write: bool,
+    /// When the logical request was issued (sim nanoseconds).
+    pub issued_ns: u64,
+    /// When this copy's response reached the client.
+    pub received_ns: u64,
+    /// Network time from the client to the selection point (zero for
+    /// client-side selection, where no steering hop exists).
+    pub steer_ns: u64,
+    /// Time spent selecting a replica: the accelerator's half-RTT +
+    /// queue wait + processing + half-RTT in-network, or the client-side
+    /// hold (rate gating, duplicate timers) for client schemes.
+    pub selection_ns: u64,
+    /// Accelerator queue wait alone (a sub-interval of `selection_ns`;
+    /// zero for client schemes).
+    pub selection_wait_ns: u64,
+    /// Network time from the selection point to the server.
+    pub to_server_ns: u64,
+    /// Time queued at the server before a slot freed up.
+    pub server_queue_ns: u64,
+    /// Service time at the server.
+    pub service_ns: u64,
+    /// Network time from the server back to the client (via the RSNode
+    /// for in-network schemes).
+    pub reply_ns: u64,
+    /// End-to-end: `received_ns - issued_ns`.
+    pub e2e_ns: u64,
+}
+
+impl TraceRecord {
+    /// The sum of the six phases; equals [`TraceRecord::e2e_ns`] by
+    /// construction (the integration suite asserts it).
+    #[must_use]
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.steer_ns
+            + self.selection_ns
+            + self.to_server_ns
+            + self.server_queue_ns
+            + self.service_ns
+            + self.reply_ns
+    }
+}
+
+/// Configuration of the virtual-time sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerSpec {
+    /// Sim-time distance between samples.
+    pub interval: SimDuration,
+    /// Ring-buffer capacity per series (oldest samples evicted beyond
+    /// this).
+    pub capacity: usize,
+}
+
+impl Default for SamplerSpec {
+    fn default() -> Self {
+        SamplerSpec {
+            interval: SimDuration::from_millis(10),
+            capacity: 65_536,
+        }
+    }
+}
+
+/// The sampler's output: aligned bounded time series, one sample per
+/// tick in each.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// Mean accelerator core utilization over the last interval (zero
+    /// when the scheme has no accelerators).
+    pub accel_util: RingSeries,
+    /// Mean instantaneous server slot occupancy.
+    pub server_occupancy: RingSeries,
+    /// Logical requests outstanding (issued, not yet fully drained).
+    pub outstanding: RingSeries,
+    /// Traffic groups currently under Degraded Replica Selection.
+    pub drs_groups: RingSeries,
+}
+
+/// One JSONL line of `--timeseries` output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Sample time (sim nanoseconds).
+    pub t_ns: u64,
+    /// Mean accelerator core utilization over the last interval.
+    pub accel_util: f64,
+    /// Mean instantaneous server slot occupancy.
+    pub server_occupancy: f64,
+    /// Logical requests outstanding.
+    pub outstanding: f64,
+    /// Traffic groups under Degraded Replica Selection.
+    pub drs_groups: f64,
+}
+
+impl TimeSeries {
+    /// Creates empty, equally-bounded series.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TimeSeries {
+            accel_util: RingSeries::new(capacity),
+            server_occupancy: RingSeries::new(capacity),
+            outstanding: RingSeries::new(capacity),
+            drs_groups: RingSeries::new(capacity),
+        }
+    }
+
+    /// Retained samples (identical across the aligned series).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accel_util.len()
+    }
+
+    /// Whether no samples were taken.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accel_util.is_empty()
+    }
+
+    /// The retained samples, oldest first, re-zipped into points.
+    pub fn points(&self) -> impl Iterator<Item = SamplePoint> + '_ {
+        self.accel_util
+            .iter()
+            .zip(self.server_occupancy.iter())
+            .zip(self.outstanding.iter())
+            .zip(self.drs_groups.iter())
+            .map(|((((t, au), (_, so)), (_, out)), (_, drs))| SamplePoint {
+                t_ns: t.as_nanos(),
+                accel_util: au,
+                server_occupancy: so,
+                outstanding: out,
+                drs_groups: drs,
+            })
+    }
+
+    /// Writes the retained samples as JSONL, one [`SamplePoint`] per
+    /// line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        for p in self.points() {
+            let line = serde_json::to_string(&p).expect("sample point serializes");
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What to observe during a run. The default observes nothing and is
+/// exactly the classic [`run`](crate::run).
+#[derive(Default)]
+pub struct ObsOptions {
+    /// JSONL sink for per-request [`TraceRecord`] lines.
+    pub trace: Option<Box<dyn Write + Send>>,
+    /// Enable the virtual-time sampler.
+    pub timeseries: Option<SamplerSpec>,
+    /// Print a once-per-second heartbeat to stderr while running.
+    pub progress: bool,
+}
+
+impl std::fmt::Debug for ObsOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsOptions")
+            .field("trace", &self.trace.is_some())
+            .field("timeseries", &self.timeseries)
+            .field("progress", &self.progress)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use netrs_simcore::SimTime;
+
+    use super::*;
+
+    #[test]
+    fn trace_record_round_trips_through_json() {
+        let rec = TraceRecord {
+            req: 42,
+            server: 3,
+            first: true,
+            write: false,
+            issued_ns: 1_000,
+            received_ns: 9_000,
+            steer_ns: 1_000,
+            selection_ns: 2_000,
+            selection_wait_ns: 500,
+            to_server_ns: 1_500,
+            server_queue_ns: 1_000,
+            service_ns: 2_000,
+            reply_ns: 500,
+            e2e_ns: 8_000,
+        };
+        assert_eq!(rec.phase_sum_ns(), rec.e2e_ns);
+        let line = serde_json::to_string(&rec).unwrap();
+        let back: TraceRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn timeseries_points_zip_aligned_series() {
+        let mut ts = TimeSeries::new(8);
+        for i in 0..3u64 {
+            let t = SimTime::from_nanos(i * 100);
+            ts.accel_util.push(t, 0.1 * i as f64);
+            ts.server_occupancy.push(t, 0.2 * i as f64);
+            ts.outstanding.push(t, i as f64);
+            ts.drs_groups.push(t, 0.0);
+        }
+        let pts: Vec<_> = ts.points().collect();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[2].t_ns, 200);
+        assert!((pts[2].outstanding - 2.0).abs() < 1e-12);
+        let mut buf = Vec::new();
+        ts.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let p0: SamplePoint = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(p0.t_ns, 0);
+    }
+
+    #[test]
+    fn default_obs_options_observe_nothing() {
+        let obs = ObsOptions::default();
+        assert!(obs.trace.is_none());
+        assert!(obs.timeseries.is_none());
+        assert!(!obs.progress);
+        assert!(format!("{obs:?}").contains("trace: false"));
+    }
+}

@@ -1,13 +1,27 @@
-//! Experiment execution: single runs, multi-seed repetition, and scheme
-//! sweeps.
+//! Experiment execution: single runs (instrumented or not), multi-seed
+//! repetition, and scheme sweeps.
+
+use std::time::{Duration, Instant};
 
 use crossbeam::thread;
 
-use netrs_simcore::Engine;
+use netrs_simcore::{Engine, EngineProfile};
 
 use crate::cluster::Cluster;
 use crate::config::{Scheme, SimConfig};
+use crate::obs::{ObsOptions, TimeSeries};
 use crate::stats::RunStats;
+
+/// Everything an observed run produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The run's statistics (identical to what [`run`] returns).
+    pub stats: RunStats,
+    /// The engine's self-measurement.
+    pub profile: EngineProfile,
+    /// The sampler's time series, if [`ObsOptions::timeseries`] was set.
+    pub timeseries: Option<TimeSeries>,
+}
 
 /// Runs one configuration to completion and returns its statistics.
 ///
@@ -27,7 +41,27 @@ use crate::stats::RunStats;
 /// ```
 #[must_use]
 pub fn run(cfg: SimConfig) -> RunStats {
-    let mut engine = Engine::new(Cluster::new(cfg));
+    run_observed(cfg, ObsOptions::default()).stats
+}
+
+/// Runs one configuration with observability attached: an optional JSONL
+/// request tracer, the virtual-time sampler, and a stderr progress
+/// heartbeat. With default options this is exactly [`run`].
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+#[must_use]
+pub fn run_observed(cfg: SimConfig, obs: ObsOptions) -> RunOutput {
+    let total_requests = cfg.requests;
+    let mut cluster = Cluster::new(cfg);
+    if let Some(w) = obs.trace {
+        cluster.set_tracer(w);
+    }
+    if let Some(spec) = obs.timeseries {
+        cluster.enable_sampler(spec);
+    }
+    let mut engine = Engine::new(cluster);
     {
         // Split borrows: prime needs the world and the queue.
         let engine = &mut engine;
@@ -35,12 +69,58 @@ pub fn run(cfg: SimConfig) -> RunStats {
         engine.world_mut().prime(&mut queue);
         *engine.queue_mut() = queue;
     }
-    engine.run();
+    if obs.progress {
+        run_with_heartbeat(&mut engine, total_requests);
+    } else {
+        engine.run();
+    }
+    let profile = engine.profile();
     let now = engine.now();
     let events = engine.processed();
-    let cluster = engine.into_world();
+    let mut cluster = engine.into_world();
     debug_assert!(cluster.drained(), "simulation ended with work outstanding");
-    cluster.stats(now, events)
+    cluster.flush_tracer();
+    let timeseries = cluster.take_timeseries();
+    let stats = cluster.stats(now, events);
+    RunOutput {
+        stats,
+        profile,
+        timeseries,
+    }
+}
+
+/// Drains the engine while printing a once-per-second progress line to
+/// stderr (issued/completed counts, sim time, wall-clock event rate).
+fn run_with_heartbeat(engine: &mut Engine<Cluster>, total_requests: u64) {
+    const CHUNK: u32 = 16_384;
+    let start = Instant::now();
+    let mut last_beat = Instant::now();
+    loop {
+        let mut exhausted = false;
+        for _ in 0..CHUNK {
+            if engine.step().is_none() {
+                exhausted = true;
+                break;
+            }
+        }
+        if last_beat.elapsed() >= Duration::from_secs(1) {
+            last_beat = Instant::now();
+            let w = engine.world();
+            let rate = engine.processed() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            eprintln!(
+                "[simulate] issued {}/{} · completed {} · sim {} · {} events ({:.0}/s)",
+                w.issued(),
+                total_requests,
+                w.completed(),
+                engine.now(),
+                engine.processed(),
+                rate
+            );
+        }
+        if exhausted {
+            break;
+        }
+    }
 }
 
 /// Runs the same configuration under `seeds.len()` different seeds (the
@@ -133,10 +213,8 @@ mod tests {
         let runs = run_seeds(&tiny(Scheme::CliRs), &[1, 2, 3]);
         assert_eq!(runs.len(), 3);
         assert!(runs.iter().all(|r| r.completed == 2_000));
-        let means: std::collections::HashSet<u64> = runs
-            .iter()
-            .map(|r| r.latency.mean.as_nanos())
-            .collect();
+        let means: std::collections::HashSet<u64> =
+            runs.iter().map(|r| r.latency.mean.as_nanos()).collect();
         assert!(means.len() > 1, "seeds should differ");
     }
 }

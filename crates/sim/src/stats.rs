@@ -5,6 +5,31 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::Scheme;
 
+/// Where response latency accrues, phase by phase, over post-warmup
+/// first-completion reads — the decomposition behind the paper's Fig. 7/9
+/// panels (client-side selection vs. in-network selection wait vs. server
+/// queueing).
+///
+/// Each request's phases are differences of consecutive event timestamps
+/// along the winning copy's path, so per request they sum exactly to the
+/// end-to-end latency; the per-phase [`Summary`] means therefore sum to
+/// the end-to-end mean up to integer-division rounding.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Requests decomposed (equals `latency.count`).
+    pub count: u64,
+    /// Network propagation: client → selection point → server → client.
+    pub network: Summary,
+    /// Replica selection: the accelerator's half-RTT + queue wait +
+    /// processing + half-RTT in-network, or the client-side hold (rate
+    /// gating, duplicate timers) for client schemes.
+    pub selection: Summary,
+    /// Time queued at the server before a slot freed up.
+    pub server_queue: Summary,
+    /// Service time at the server.
+    pub service: Summary,
+}
+
 /// The results of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunStats {
@@ -13,6 +38,8 @@ pub struct RunStats {
     /// End-to-end response-latency statistics over post-warmup requests
     /// (the paper's Avg / 95th / 99th / 99.9th panels).
     pub latency: Summary,
+    /// Per-phase latency decomposition of the same requests.
+    pub breakdown: LatencyBreakdown,
     /// Logical requests issued.
     pub issued: u64,
     /// Logical requests completed.
@@ -99,6 +126,7 @@ mod tests {
         RunStats {
             scheme: Scheme::CliRs,
             latency: h.summary(),
+            breakdown: LatencyBreakdown::default(),
             issued: 1,
             completed: 1,
             duplicates: 0,

@@ -2,8 +2,10 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{EngineProfile, NoProbe, Probe};
 
 /// The simulated world: all mutable state of a simulation plus the handler
 /// that advances it one event at a time.
@@ -67,6 +69,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -83,6 +86,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            high_water: 0,
         }
     }
 
@@ -105,21 +109,36 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// Deepest the pending-event list has ever been.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Schedules `event` at absolute time `at`.
+    ///
+    /// An `at` earlier than the current time indicates a logic error in
+    /// the caller: the event would fire "before" events that already ran,
+    /// corrupting the timeline and the simulation's determinism. Debug
+    /// builds panic; release builds clamp the event to `now` so the
+    /// causal order of everything already processed still holds.
     ///
     /// # Panics
     ///
-    /// Panics if `at` is earlier than the current time — an event in the
-    /// past indicates a logic error in the caller.
+    /// Panics in debug builds if `at` is earlier than the current time.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(
+        debug_assert!(
             at >= self.now,
             "cannot schedule an event in the past: at={at}, now={}",
             self.now
         );
+        let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Schedules `event` at `now() + delay`.
@@ -145,20 +164,35 @@ impl<E> EventQueue<E> {
 
 /// Drives a [`World`] through its event queue.
 ///
-/// See the [crate-level documentation](crate) for a complete example.
-pub struct Engine<W: World> {
+/// The engine is generic over a [`Probe`] for instrumentation; the
+/// default [`NoProbe`] makes every hook a no-op that compiles away, so an
+/// uninstrumented engine pays nothing. See the
+/// [crate-level documentation](crate) for a complete example.
+pub struct Engine<W: World, P: Probe = NoProbe> {
     world: W,
     queue: EventQueue<W::Event>,
     processed: u64,
+    probe: P,
+    started: Instant,
 }
 
 impl<W: World> Engine<W> {
-    /// Creates an engine around `world` with an empty queue at time zero.
+    /// Creates an engine around `world` with an empty queue at time zero
+    /// and no instrumentation.
     pub fn new(world: W) -> Self {
+        Engine::with_probe(world, NoProbe)
+    }
+}
+
+impl<W: World, P: Probe> Engine<W, P> {
+    /// Creates an engine that reports each processed event to `probe`.
+    pub fn with_probe(world: W, probe: P) -> Self {
         Engine {
             world,
             queue: EventQueue::new(),
             processed: 0,
+            probe,
+            started: Instant::now(),
         }
     }
 
@@ -189,9 +223,31 @@ impl<W: World> Engine<W> {
         &mut self.queue
     }
 
+    /// Shared access to the probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Exclusive access to the probe.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
     /// Consumes the engine and returns the world.
     pub fn into_world(self) -> W {
         self.world
+    }
+
+    /// Consumes the engine and returns the world and the probe.
+    pub fn into_parts(self) -> (W, P) {
+        (self.world, self.probe)
+    }
+
+    /// The engine's self-measurement: events processed, queue-depth
+    /// high-water mark, and wall-clock throughput since construction.
+    #[must_use]
+    pub fn profile(&self) -> EngineProfile {
+        EngineProfile::capture(self.processed, self.queue.high_water(), self.started)
     }
 
     /// Processes a single event. Returns the time of the processed event, or
@@ -200,6 +256,7 @@ impl<W: World> Engine<W> {
         let (at, event) = self.queue.pop()?;
         self.processed += 1;
         self.world.handle(at, event, &mut self.queue);
+        self.probe.on_event(at, self.queue.len());
         Some(at)
     }
 
@@ -233,6 +290,7 @@ impl<W: World> Engine<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::CollectingProbe;
 
     struct Recorder {
         seen: Vec<(u64, u32)>,
@@ -300,12 +358,27 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "in the past")]
-    fn scheduling_in_the_past_panics() {
+    fn scheduling_in_the_past_panics_in_debug() {
         let mut e = engine();
         e.queue_mut().schedule_at(SimTime::from_nanos(50), 1);
         e.step();
         e.queue_mut().schedule_at(SimTime::from_nanos(10), 2);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn scheduling_in_the_past_clamps_to_now() {
+        // Regression guard: release builds must not let a past timestamp
+        // fire out of order (it would corrupt the trace timeline).
+        let mut e = engine();
+        e.queue_mut().schedule_at(SimTime::from_nanos(50), 1);
+        e.step();
+        e.queue_mut().schedule_at(SimTime::from_nanos(10), 2);
+        e.run();
+        // The late event fired at now (50), not in the causal past.
+        assert_eq!(e.world().seen, vec![(50, 1), (50, 2), (55, 100)]);
     }
 
     #[test]
@@ -314,5 +387,38 @@ mod tests {
         assert!(e.step().is_none());
         assert!(e.queue_mut().is_empty());
         assert_eq!(e.queue_mut().peek_time(), None);
+    }
+
+    #[test]
+    fn queue_tracks_high_water_mark() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        for t in [10u64, 20, 30] {
+            q.schedule_at(SimTime::from_nanos(t), 0);
+        }
+        assert_eq!(q.high_water(), 3);
+        let _ = q.pop();
+        let _ = q.pop();
+        q.schedule_at(SimTime::from_nanos(40), 0);
+        // Draining and refilling below the peak does not move the mark.
+        assert_eq!(q.high_water(), 3);
+    }
+
+    #[test]
+    fn probe_observes_every_event_and_profile_matches() {
+        let mut e = Engine::with_probe(Recorder { seen: Vec::new() }, CollectingProbe::new());
+        e.queue_mut().schedule_at(SimTime::from_nanos(10), 1);
+        e.queue_mut().schedule_at(SimTime::from_nanos(20), 2);
+        e.run();
+        // 1 schedules a follow-up, so three events total.
+        assert_eq!(e.probe().events, 3);
+        assert!(e.probe().max_queue_depth >= 1);
+        let profile = e.profile();
+        assert_eq!(profile.events, 3);
+        assert_eq!(profile.queue_high_water, 2);
+        assert!(profile.wall_seconds >= 0.0);
+        let (world, probe) = e.into_parts();
+        assert_eq!(world.seen.len(), 3);
+        assert_eq!(probe.events, 3);
     }
 }

@@ -11,7 +11,10 @@
 //!   (exponential service times, Poisson arrival processes, Zipfian key
 //!   popularity, and the bimodal performance-fluctuation model), and
 //! * [`Histogram`] — a log-bucketed latency histogram with percentile
-//!   queries, used for every latency figure in the evaluation.
+//!   queries, used for every latency figure in the evaluation, and
+//! * [`Probe`] / [`EngineProfile`] / [`RingSeries`] — zero-cost-when-
+//!   disabled engine instrumentation, self-profiling, and bounded
+//!   time-series buffers.
 //!
 //! Everything in this crate is deterministic given a seed: the engine breaks
 //! ties in event time by insertion sequence number and all randomness flows
@@ -55,8 +58,10 @@ mod engine;
 mod metrics;
 mod rng;
 mod time;
+mod trace;
 
 pub use engine::{Engine, EventQueue, World};
 pub use metrics::{Histogram, Summary};
 pub use rng::{Bimodal, SimRng, Zipf};
 pub use time::{SimDuration, SimTime};
+pub use trace::{CollectingProbe, EngineProfile, NoProbe, Probe, RingSeries, Span};

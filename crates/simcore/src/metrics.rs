@@ -354,6 +354,44 @@ mod tests {
     }
 
     #[test]
+    fn merge_into_empty_adopts_other() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [500u64, 1_500, 2_500] {
+            b.record_nanos(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(a.min(), b.min());
+        // Merging empty into empty stays empty (min sentinel untouched).
+        let mut e = Histogram::new();
+        e.merge(&Histogram::new());
+        assert!(e.is_empty());
+        assert_eq!(e.summary(), Summary::default());
+    }
+
+    #[test]
+    fn quantile_extremes_hit_recorded_extrema() {
+        let mut h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record_nanos(v * 10_007);
+        }
+        // q=0 lands in the smallest recorded bucket (within the 1/128
+        // quantization bound above the exact minimum); q=1 is clamped to
+        // the exact maximum.
+        let q0 = h.value_at_quantile(0.0).as_nanos();
+        let min = h.min().as_nanos();
+        assert!(q0 >= min && q0 <= min + min / 128 + 1, "q0={q0} min={min}");
+        assert_eq!(h.value_at_quantile(1.0), h.max());
+        // A single sample is every quantile at once.
+        let mut one = Histogram::new();
+        one.record_nanos(77);
+        assert_eq!(one.value_at_quantile(0.0).as_nanos(), 77);
+        assert_eq!(one.value_at_quantile(1.0).as_nanos(), 77);
+        assert_eq!(one.summary().p999.as_nanos(), 77);
+    }
+
+    #[test]
     fn quantile_is_clamped() {
         let mut h = Histogram::new();
         h.record_nanos(5);

@@ -1,0 +1,327 @@
+//! Zero-cost-when-disabled observability: engine probes, sim-time spans,
+//! engine profiles and bounded time-series buffers.
+//!
+//! The [`Probe`] trait is the engine's instrumentation hook. Every method
+//! has a no-op default body and the engine is monomorphized over the
+//! probe type, so with the default [`NoProbe`] the hooks compile away and
+//! the hot path is byte-for-byte what it was before instrumentation
+//! existed. Worlds that need richer, domain-specific telemetry (per
+//! request lifecycle spans, say) thread their own sinks; the probe layer
+//! covers what only the engine can see — the event stream itself.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Instrumentation sink driven by the [`Engine`](crate::Engine).
+///
+/// All methods default to no-ops so implementors opt into exactly the
+/// signals they need and an uninstrumented engine pays nothing.
+pub trait Probe {
+    /// Called once per processed event, after the world's handler ran.
+    /// `queue_depth` is the number of events pending afterwards.
+    fn on_event(&mut self, now: SimTime, queue_depth: usize) {
+        let _ = (now, queue_depth);
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    fn count(&mut self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records an instantaneous value of the named gauge.
+    fn gauge(&mut self, now: SimTime, name: &'static str, value: f64) {
+        let _ = (now, name, value);
+    }
+
+    /// Records a completed sim-time span.
+    fn span(&mut self, span: Span) {
+        let _ = span;
+    }
+}
+
+/// The default probe: every hook is a no-op and vanishes at compile time.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {}
+
+/// A named sim-time interval attributed to an entity (request, server…).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Span {
+    /// What happened during the interval.
+    pub name: &'static str,
+    /// The entity the span belongs to (caller-defined, e.g. request id).
+    pub id: u64,
+    /// When the interval began.
+    pub start: SimTime,
+    /// When the interval ended.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// The span's length.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// A probe that keeps everything it is told, for tests and offline export.
+#[derive(Debug, Default)]
+pub struct CollectingProbe {
+    /// Events observed via [`Probe::on_event`].
+    pub events: u64,
+    /// Deepest pending queue seen after any event.
+    pub max_queue_depth: usize,
+    /// Counter totals in first-use order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Every gauge observation, in order.
+    pub gauges: Vec<(SimTime, &'static str, f64)>,
+    /// Every recorded span, in order.
+    pub spans: Vec<Span>,
+}
+
+impl CollectingProbe {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The total of the named counter (zero if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+impl Probe for CollectingProbe {
+    fn on_event(&mut self, _now: SimTime, queue_depth: usize) {
+        self.events += 1;
+        self.max_queue_depth = self.max_queue_depth.max(queue_depth);
+    }
+
+    fn count(&mut self, name: &'static str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((name, delta)),
+        }
+    }
+
+    fn gauge(&mut self, now: SimTime, name: &'static str, value: f64) {
+        self.gauges.push((now, name, value));
+    }
+
+    fn span(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+}
+
+/// End-of-run engine self-measurement: how much work the event loop did
+/// and how fast the host machine chewed through it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineProfile {
+    /// Events processed.
+    pub events: u64,
+    /// Deepest the future-event list ever got.
+    pub queue_high_water: usize,
+    /// Wall-clock seconds since the engine was created.
+    pub wall_seconds: f64,
+    /// Events per wall-clock second (zero if no time elapsed).
+    pub events_per_sec: f64,
+}
+
+impl EngineProfile {
+    /// Builds a profile from raw engine counters and the construction
+    /// instant.
+    #[must_use]
+    pub fn capture(events: u64, queue_high_water: usize, started: Instant) -> Self {
+        let wall_seconds = started.elapsed().as_secs_f64();
+        let events_per_sec = if wall_seconds > 0.0 {
+            events as f64 / wall_seconds
+        } else {
+            0.0
+        };
+        EngineProfile {
+            events,
+            queue_high_water,
+            wall_seconds,
+            events_per_sec,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rate = if self.events_per_sec >= 1_000_000.0 {
+            format!("{:.2}M", self.events_per_sec / 1_000_000.0)
+        } else if self.events_per_sec >= 1_000.0 {
+            format!("{:.0}k", self.events_per_sec / 1_000.0)
+        } else {
+            format!("{:.0}", self.events_per_sec)
+        };
+        write!(
+            f,
+            "{} events in {:.2}s wall ({rate} events/s), queue high-water {}",
+            self.events, self.wall_seconds, self.queue_high_water
+        )
+    }
+}
+
+/// A bounded time series: a ring buffer of `(sim time, value)` samples
+/// that keeps the most recent `capacity` entries.
+#[derive(Debug, Clone)]
+pub struct RingSeries {
+    cap: usize,
+    buf: VecDeque<(SimTime, f64)>,
+    pushed: u64,
+}
+
+impl RingSeries {
+    /// Creates an empty series keeping at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring series needs a positive capacity");
+        RingSeries {
+            cap: capacity,
+            buf: VecDeque::with_capacity(capacity),
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest if the buffer is full.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back((t, value));
+        self.pushed += 1;
+    }
+
+    /// Samples currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no samples are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retention bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Samples ever pushed, including evicted ones.
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The most recent sample, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<(SimTime, f64)> {
+        self.buf.back().copied()
+    }
+
+    /// Retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.buf.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn collecting_probe_aggregates_counters() {
+        let mut p = CollectingProbe::new();
+        p.count("steps", 2);
+        p.count("steps", 3);
+        p.count("drops", 1);
+        assert_eq!(p.counter("steps"), 5);
+        assert_eq!(p.counter("drops"), 1);
+        assert_eq!(p.counter("missing"), 0);
+    }
+
+    #[test]
+    fn collecting_probe_keeps_spans_and_gauges_in_order() {
+        let mut p = CollectingProbe::new();
+        p.gauge(t(5), "util", 0.5);
+        p.span(Span {
+            name: "service",
+            id: 7,
+            start: t(10),
+            end: t(40),
+        });
+        assert_eq!(p.gauges, vec![(t(5), "util", 0.5)]);
+        assert_eq!(p.spans[0].duration(), SimDuration::from_nanos(30));
+    }
+
+    #[test]
+    fn no_probe_is_trivially_usable() {
+        let mut p = NoProbe;
+        p.on_event(t(1), 3);
+        p.count("x", 1);
+        p.gauge(t(2), "y", 0.0);
+        p.span(Span {
+            name: "z",
+            id: 0,
+            start: t(0),
+            end: t(1),
+        });
+    }
+
+    #[test]
+    fn ring_series_evicts_oldest_beyond_capacity() {
+        let mut s = RingSeries::new(3);
+        for i in 0..5u64 {
+            s.push(t(i * 10), i as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.capacity(), 3);
+        assert_eq!(s.total_pushed(), 5);
+        let kept: Vec<_> = s.iter().collect();
+        assert_eq!(kept, vec![(t(20), 2.0), (t(30), 3.0), (t(40), 4.0)]);
+        assert_eq!(s.latest(), Some((t(40), 4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn ring_series_rejects_zero_capacity() {
+        let _ = RingSeries::new(0);
+    }
+
+    #[test]
+    fn profile_display_is_human_readable() {
+        let p = EngineProfile {
+            events: 1_000,
+            queue_high_water: 42,
+            wall_seconds: 2.0,
+            events_per_sec: 500.0,
+        };
+        let s = p.to_string();
+        assert!(s.contains("1000 events"), "{s}");
+        assert!(s.contains("high-water 42"), "{s}");
+    }
+}

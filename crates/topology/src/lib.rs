@@ -73,9 +73,7 @@ impl fmt::Display for SwitchId {
 /// The same numbers classify traffic: `Tier::Tor` ("Tier-2 traffic") is
 /// rack-local, `Tier::Agg` ("Tier-1") pod-local, and `Tier::Core`
 /// ("Tier-0") crosses pods.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Tier {
     /// Core switches (tier ID 0, the top tier).
     Core = 0,
@@ -390,7 +388,11 @@ impl FatTree {
             Tier::Agg => {
                 let pod = self.pod_of_host(src);
                 let i = (flow_hash % u64::from(self.half())) as u32;
-                vec![self.tor_of_host(src), self.agg(pod, i), self.tor_of_host(dst)]
+                vec![
+                    self.tor_of_host(src),
+                    self.agg(pod, i),
+                    self.tor_of_host(dst),
+                ]
             }
             Tier::Core => {
                 let c = (flow_hash % u64::from(self.num_cores())) as u32;
@@ -534,7 +536,11 @@ mod tests {
         assert_eq!(n.num_pods(), 4);
 
         let paper = FatTree::new(16).unwrap();
-        assert_eq!(paper.num_hosts(), 1024, "paper's 16-ary tree has 1024 hosts");
+        assert_eq!(
+            paper.num_hosts(),
+            1024,
+            "paper's 16-ary tree has 1024 hosts"
+        );
         assert_eq!(paper.num_cores(), 64);
         assert_eq!(paper.num_tors(), 128);
     }
@@ -581,7 +587,9 @@ mod tests {
         let core_path = n.path(HostId(0), HostId(12), 2);
         assert_eq!(core_path.len(), 5);
         assert_eq!(n.tier(core_path[2]), Tier::Core);
-        assert!(core_path.windows(2).all(|w| n.switches_adjacent(w[0], w[1])));
+        assert!(core_path
+            .windows(2)
+            .all(|w| n.switches_adjacent(w[0], w[1])));
     }
 
     #[test]
@@ -630,7 +638,8 @@ mod tests {
                 assert_eq!(p[0], n.tor_of_host(src));
                 assert_eq!(*p.last().unwrap(), n.tor_of_host(dst));
                 assert!(
-                    p.windows(2).all(|w| w[0] == w[1] || n.switches_adjacent(w[0], w[1])),
+                    p.windows(2)
+                        .all(|w| w[0] == w[1] || n.switches_adjacent(w[0], w[1])),
                     "disconnected via-path {p:?} for {src} via {via} to {dst}"
                 );
             }

@@ -208,9 +208,7 @@ pub enum PacketKind {
 
 /// The source marker (SM segment): the network location a response comes
 /// from, stamped by the server-side ToR switch (§IV-D).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub struct SourceMarker {
     /// Pod ID of the sending host.
     pub pod: u16,

@@ -48,19 +48,16 @@ fn main() {
                 ..PlanConstraints::default()
             },
         ),
-        (
-            "shared accelerators (~15k tasks/s each), E=20%A",
-            {
-                let mut c = PlanConstraints {
-                    extra_hop_budget: 0.2 * a,
-                    ..PlanConstraints::default()
-                };
-                for sw in topo.switches() {
-                    c.capacity_overrides.insert(sw.0, 15_000.0);
-                }
-                c
-            },
-        ),
+        ("shared accelerators (~15k tasks/s each), E=20%A", {
+            let mut c = PlanConstraints {
+                extra_hop_budget: 0.2 * a,
+                ..PlanConstraints::default()
+            };
+            for sw in topo.switches() {
+                c.capacity_overrides.insert(sw.0, 15_000.0);
+            }
+            c
+        }),
         (
             "tight hop budget (E=2%A)",
             PlanConstraints {
@@ -88,7 +85,10 @@ fn main() {
             }
         );
         if !rsp.drs.is_empty() {
-            println!("  {} groups degraded to client-side backup (DRS)", rsp.drs.len());
+            println!(
+                "  {} groups degraded to client-side backup (DRS)",
+                rsp.drs.len()
+            );
         }
         println!();
     }

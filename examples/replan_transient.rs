@@ -40,7 +40,7 @@ fn main() {
     let mut last_count = 0u64;
     let mut last_sum_ms = 0.0f64;
     for i in 0..36 {
-        t = t + window;
+        t += window;
         engine.run_until(t);
         let hist = engine.world().latency_histogram();
         let count = hist.count();
@@ -52,7 +52,11 @@ fn main() {
             0.0
         };
         let tiers = engine.world().operator_tiers();
-        let marker = if i == 8 { "  <- first ILP re-plan near here" } else { "" };
+        let marker = if i == 8 {
+            "  <- first ILP re-plan near here"
+        } else {
+            ""
+        };
         println!(
             "{:>8}    {:>8}   {:>8.3}   {:?}{}",
             (i + 1) * 100,

@@ -140,7 +140,10 @@ fn every_scheme_completes_and_reports_sane_latency() {
         assert_eq!(stats.completed, 3_000, "{scheme}");
         let l = &stats.latency;
         assert!(l.count > 0, "{scheme}");
-        assert!(l.mean >= SimDuration::from_micros(60), "{scheme}: network floor");
+        assert!(
+            l.mean >= SimDuration::from_micros(60),
+            "{scheme}: network floor"
+        );
         assert!(l.p95 >= l.p50, "{scheme}");
         assert!(l.p99 >= l.p95, "{scheme}");
         assert!(l.p999 >= l.p99, "{scheme}");

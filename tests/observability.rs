@@ -1,0 +1,226 @@
+//! Integration tests for the observability layer: JSONL request traces
+//! whose phases telescope exactly to the end-to-end latency, a populated
+//! per-phase latency breakdown for every scheme, the virtual-time
+//! sampler's time series, the engine profile, and — crucially — that
+//! attaching any of it does not perturb the simulated event sequence.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use netrs_sim::{
+    run, run_observed, ObsOptions, SamplePoint, SamplerSpec, Scheme, SimConfig, TimeSeries,
+    TraceRecord,
+};
+use netrs_simcore::SimDuration;
+
+/// A `Write` sink the test can inspect after the run consumed the box.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn take_string(&self) -> String {
+        let bytes = std::mem::take(&mut *self.0.lock().unwrap());
+        String::from_utf8(bytes).expect("trace output is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn small(scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::small();
+    cfg.scheme = scheme;
+    cfg.requests = 3_000;
+    cfg.seed = 11;
+    cfg
+}
+
+fn traced_run(scheme: Scheme) -> (Vec<TraceRecord>, netrs_sim::RunOutput) {
+    let sink = SharedBuf::default();
+    let obs = ObsOptions {
+        trace: Some(Box::new(sink.clone())),
+        timeseries: Some(SamplerSpec {
+            interval: SimDuration::from_millis(5),
+            capacity: 4_096,
+        }),
+        progress: false,
+    };
+    let out = run_observed(small(scheme), obs);
+    let text = sink.take_string();
+    let records: Vec<TraceRecord> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("every trace line parses as a TraceRecord"))
+        .collect();
+    (records, out)
+}
+
+/// The acceptance criterion: every trace line's phase durations sum to
+/// its end-to-end latency — exactly, because each phase is a difference
+/// of consecutive event timestamps.
+#[test]
+fn trace_phases_telescope_to_end_to_end_latency() {
+    for scheme in Scheme::ALL {
+        let (records, out) = traced_run(scheme);
+        assert!(
+            !records.is_empty(),
+            "{scheme}: trace should contain records"
+        );
+        for r in &records {
+            assert_eq!(
+                r.e2e_ns,
+                r.received_ns - r.issued_ns,
+                "{scheme}: e2e must equal received - issued for req {}",
+                r.req
+            );
+            assert_eq!(
+                r.phase_sum_ns(),
+                r.e2e_ns,
+                "{scheme}: phases must sum to e2e for req {} ({r:?})",
+                r.req
+            );
+            assert!(
+                r.selection_wait_ns <= r.selection_ns,
+                "{scheme}: queue wait is a sub-interval of selection"
+            );
+        }
+        let firsts = records.iter().filter(|r| r.first && !r.write).count() as u64;
+        assert_eq!(
+            firsts, out.stats.completed,
+            "{scheme}: one winning trace record per completed read"
+        );
+    }
+}
+
+/// In-network schemes steer through an RSNode, so the steering and
+/// selection phases must be non-zero there and zero-steer for client
+/// schemes.
+#[test]
+fn in_network_schemes_show_selection_time() {
+    let (clirs, _) = traced_run(Scheme::CliRs);
+    assert!(
+        clirs.iter().all(|r| r.steer_ns == 0),
+        "CliRS has no steering hop"
+    );
+    let (ilp, _) = traced_run(Scheme::NetRsIlp);
+    assert!(
+        ilp.iter().filter(|r| r.first).all(|r| r.steer_ns > 0),
+        "NetRS winners travel client -> RSNode first"
+    );
+    assert!(
+        ilp.iter().any(|r| r.selection_ns > 0),
+        "accelerator selection takes sim time"
+    );
+}
+
+/// The breakdown on `RunStats` must be populated for all four schemes,
+/// and its per-phase means must sum to the end-to-end mean (up to one
+/// integer division's rounding per phase).
+#[test]
+fn breakdown_is_populated_and_sums_to_latency_for_all_schemes() {
+    for scheme in Scheme::ALL {
+        let stats = run(small(scheme));
+        let b = &stats.breakdown;
+        assert_eq!(
+            b.count, stats.latency.count,
+            "{scheme}: breakdown covers the same requests as the latency summary"
+        );
+        assert!(b.count > 0, "{scheme}: breakdown must be populated");
+        assert!(
+            b.network.mean > SimDuration::ZERO,
+            "{scheme}: network propagation is never free"
+        );
+        assert!(
+            b.service.mean > SimDuration::ZERO,
+            "{scheme}: service time is never free"
+        );
+        let phase_sum = b.network.mean.as_nanos()
+            + b.selection.mean.as_nanos()
+            + b.server_queue.mean.as_nanos()
+            + b.service.mean.as_nanos();
+        let e2e = stats.latency.mean.as_nanos();
+        let diff = phase_sum.abs_diff(e2e);
+        assert!(
+            diff <= 8,
+            "{scheme}: phase means ({phase_sum}ns) must sum to the e2e mean \
+             ({e2e}ns) within integer-division rounding, off by {diff}ns"
+        );
+    }
+}
+
+/// The sampler produces aligned, bounded series with sane values.
+#[test]
+fn sampler_produces_aligned_bounded_series() {
+    let (_, out) = traced_run(Scheme::NetRsToR);
+    let ts: &TimeSeries = out.timeseries.as_ref().expect("sampler was enabled");
+    assert!(!ts.is_empty(), "a multi-ms run spans several 5ms ticks");
+    assert_eq!(ts.accel_util.len(), ts.server_occupancy.len());
+    assert_eq!(ts.accel_util.len(), ts.outstanding.len());
+    assert_eq!(ts.accel_util.len(), ts.drs_groups.len());
+    let points: Vec<SamplePoint> = ts.points().collect();
+    assert_eq!(points.len(), ts.len());
+    let mut last_t = 0;
+    for p in &points {
+        assert!(p.t_ns > last_t, "sample times strictly increase");
+        last_t = p.t_ns;
+        assert!((0.0..=1.0).contains(&p.accel_util), "util in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p.server_occupancy),
+            "occupancy in [0,1]"
+        );
+        assert!(p.outstanding >= 0.0 && p.drs_groups >= 0.0);
+    }
+    assert!(
+        points.iter().any(|p| p.accel_util > 0.0),
+        "a NetRS run exercises its accelerators"
+    );
+    assert!(
+        points.iter().any(|p| p.server_occupancy > 0.0),
+        "servers see load"
+    );
+}
+
+/// The engine profile agrees with the run's own event count.
+#[test]
+fn engine_profile_matches_run_stats() {
+    let (_, out) = traced_run(Scheme::CliRs);
+    assert_eq!(out.profile.events, out.stats.events);
+    assert!(out.profile.queue_high_water > 0);
+    assert!(out.profile.wall_seconds > 0.0);
+    assert!(out.profile.events_per_sec > 0.0);
+}
+
+/// Observation must not perturb the simulation: a traced run reports
+/// byte-identical latency statistics to a plain `run` of the same
+/// configuration. (The sampler adds events, so only event *timing* of
+/// requests is compared, via the latency summary and completion counts.)
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let plain = run(small(Scheme::NetRsIlp));
+    let (_, traced) = traced_run(Scheme::NetRsIlp);
+    assert_eq!(plain.latency, traced.stats.latency);
+    assert_eq!(plain.completed, traced.stats.completed);
+    assert_eq!(plain.duplicates, traced.stats.duplicates);
+    assert_eq!(
+        plain.breakdown.network.mean,
+        traced.stats.breakdown.network.mean
+    );
+
+    // With the sampler off, even the event count is identical.
+    let sink = SharedBuf::default();
+    let obs = ObsOptions {
+        trace: Some(Box::new(sink.clone())),
+        timeseries: None,
+        progress: false,
+    };
+    let trace_only = run_observed(small(Scheme::NetRsIlp), obs);
+    assert_eq!(plain.events, trace_only.stats.events);
+    assert!(!sink.take_string().is_empty());
+}

@@ -54,7 +54,10 @@ fn exact_plan_is_never_larger_than_greedy_across_seeds() {
                 *load.entry(sw).or_insert(0.0) += p.load_of(g);
             }
             for (sw, l) in load {
-                assert!(l <= p.capacity_of(sw) + 1e-6, "seed {seed}: {sw} over capacity");
+                assert!(
+                    l <= p.capacity_of(sw) + 1e-6,
+                    "seed {seed}: {sw} over capacity"
+                );
             }
         }
     }
@@ -162,7 +165,11 @@ fn monitored_traffic_agrees_with_oracle_shape() {
                 .max_by(|&a, &b| r[a].partial_cmp(&r[b]).unwrap())
                 .unwrap()
         };
-        assert_eq!(dominant(o), dominant(m), "group {g}: oracle {o:?} vs measured {m:?}");
+        assert_eq!(
+            dominant(o),
+            dominant(m),
+            "group {g}: oracle {o:?} vs measured {m:?}"
+        );
     }
 }
 

@@ -1,0 +1,177 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the harness API (`criterion_group!` / `criterion_main!`,
+//! [`Criterion::bench_function`], benchmark groups with inputs) so the
+//! workspace's `harness = false` bench targets compile and run without
+//! crates.io. Statistics are deliberately simple: after a short warm-up
+//! each benchmark reports the mean wall-clock time per iteration over a
+//! fixed measurement window.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring in growing
+    /// batches until the measurement window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost for batching.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (WARMUP.as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Batch size targeting ~1ms per timing read, to keep clock
+        // overhead negligible for nanosecond-scale routines.
+        let batch = ((1_000_000.0 / est_ns).ceil() as u64).clamp(1, 1 << 20);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < MEASURE {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let mean = b.mean_ns;
+    let human = if mean >= 1_000_000.0 {
+        format!("{:.3} ms", mean / 1_000_000.0)
+    } else if mean >= 1_000.0 {
+        format!("{:.3} µs", mean / 1_000.0)
+    } else {
+        format!("{mean:.1} ns")
+    };
+    println!("{name:<45} {human:>12}/iter   ({} iters)", b.iters);
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An ID from the parameter's display form (grouped benches).
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+
+    /// An ID from a function name and a parameter.
+    pub fn new(function: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{param}", function.into()),
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's fixed measurement
+    /// window ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides only `crossbeam::thread::scope`, implemented over
+//! `std::thread::scope` (stable since Rust 1.63, which postdates
+//! crossbeam's scoped-thread API). The crossbeam flavor differs from
+//! std's in two ways this shim papers over: spawned closures receive the
+//! scope as an argument (enabling nested spawns), and `scope` returns a
+//! `Result`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads with the crossbeam calling convention.
+pub mod thread {
+    use std::any::Any;
+
+    /// Panic payload of a joined thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle: spawns threads that may borrow from `'env`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (or its panic
+        /// payload).
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload when the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope again, so it can spawn siblings (crossbeam's
+        /// signature — hence `|_|` at most call sites here).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope whose threads all join before `scope`
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// The std backend propagates unjoined child panics by panicking,
+    /// so this always returns `Ok`; the `Result` exists to match
+    /// crossbeam's signature (call sites `.expect()` it).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3];
+        let doubled = thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&n| scope.spawn(move |_| n * 2)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope");
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let total = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().expect("inner") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let res = thread::scope(|scope| {
+            let h = scope.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .expect("scope");
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,551 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, range and `any::<T>()` strategies,
+//! `prop_map`/`prop_flat_map` combinators, tuple and
+//! [`collection::vec`] strategies, [`prelude::Just`], [`prop_oneof!`],
+//! and the `prop_assert*`/[`prop_assume!`] macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing
+//! cases are **not shrunk** — the failing input is reported as drawn.
+//! Sampling is deterministic (fixed seed per test function), so failures
+//! reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic random source for strategies.
+pub mod test_runner {
+    /// xoshiro256++ seeded from a fixed constant: every test function
+    /// draws the same case sequence on every run.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// The fixed-seed generator used by generated test functions.
+        #[must_use]
+        pub fn deterministic() -> Self {
+            Self::from_seed(0x9E37_79B9_0BAD_CAFE)
+        }
+
+        /// A generator from an explicit seed.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            TestRng { s }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw below `bound` (unbiased).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling range");
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let zone = bound.wrapping_neg() % bound;
+            loop {
+                let v = self.next_u64();
+                let m = u128::from(v) * u128::from(bound);
+                if (m as u64) >= zone {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases drawn per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the heavier
+            // simulation properties fast while still exploring widely.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Strategies: value generators composable with map/flat-map.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies ([`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A uniform union; `options` must be non-empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! int_ranges {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide - self.start as $wide) as u64;
+                    (self.start as $wide + rng.below(span) as $wide) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as $wide - lo as $wide) as u128 + 1;
+                    if span > u128::from(u64::MAX) {
+                        // Only reachable for u64/i64 full ranges: raw bits.
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as $wide + rng.below(span as u64) as $wide) as $t
+                }
+            }
+        )*};
+    }
+
+    int_ranges!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u128, usize => u128,
+        i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+    );
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!(
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    );
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A length specification: exact or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with the given length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property-test functions: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running the body over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        );
+    };
+}
+
+/// Internal: expands each test function inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                // The closure gives `prop_assume!` an early-exit scope;
+                // panics (prop_assert) propagate and fail the test with
+                // the case number visible in the message below.
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body }),
+                );
+                if let ::std::result::Result::Err(__payload) = __outcome {
+                    eprintln!(
+                        "property `{}` failed on case {} of {} (panic above has details)",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                    );
+                    ::std::panic::resume_unwind(__payload);
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts two values differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// (The stub counts skipped cases as passed rather than redrawing.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Wrapper(u16);
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3u32..17,
+            b in -5i32..=5,
+            f in 0.25f64..4.0,
+            n in any::<u64>(),
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.25..4.0).contains(&f));
+            let _ = n;
+        }
+
+        #[test]
+        fn vec_and_oneof_compose(
+            items in collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..20),
+            exact in collection::vec(any::<u8>(), 7usize),
+            w in any::<[u8; 6]>().prop_map(|_| 0u8).prop_flat_map(|_| 0u16..4),
+        ) {
+            prop_assert!(!items.is_empty() && items.len() < 20);
+            prop_assert!(items.iter().all(|&x| x == 1 || x == 2));
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!(w < 4);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_override_applies(x in any::<u16>().prop_map(Wrapper)) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let mut r1 = TestRng::deterministic();
+        let mut r2 = TestRng::deterministic();
+        let s = 0u64..1_000;
+        for _ in 0..50 {
+            assert_eq!(s.clone().sample(&mut r1), s.clone().sample(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! a self-contained data model the workspace can serialize through: every
+//! [`Serialize`] type lowers itself to a [`Value`] tree and every
+//! [`Deserialize`] type rebuilds itself from one. `serde_json` (the
+//! sibling stub) prints and parses `Value` as JSON text.
+//!
+//! The derive macros re-exported here (from `serde_derive`) generate the
+//! same externally-tagged shapes real serde uses: named-field structs
+//! become objects, newtype structs serialize as their inner value, unit
+//! enum variants as strings, and data-carrying variants as single-key
+//! objects.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped tree: the interchange format between `Serialize`,
+/// `Deserialize` and the `serde_json` printer/parser.
+///
+/// Integers keep full `u128`/`i128` width so `SimTime` nanosecond values
+/// round-trip exactly. Objects preserve insertion order (stable output).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    U(u128),
+    /// A negative integer.
+    I(i128),
+    /// A float.
+    F(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `name` in an object.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.as_obj()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == name))
+            .map(|(_, v)| v)
+    }
+}
+
+/// Deserialization error: a message describing the shape mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// Builds the `Value` tree for `self`.
+    fn ser(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, or reports the first shape mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `v` does not have the expected shape.
+    fn deser(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Finds a required struct field in an object's entries (derive helper).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when `name` is absent.
+pub fn field<'a>(
+    entries: &'a [(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<&'a Value, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}` for {ty}")))
+}
+
+impl Serialize for Value {
+    fn ser(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::custom(format!("expected char, got {v:?}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                Value::U(*self as u128)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deser(v: &Value) -> Result<Self, DeError> {
+                let n: u128 = match v {
+                    Value::U(n) => *n,
+                    Value::I(n) => u128::try_from(*n).map_err(|_| {
+                        DeError::custom(format!(
+                            "expected {}, got negative {n}", stringify!($t)
+                        ))
+                    })?,
+                    // JSON object keys arrive as strings; integer map keys
+                    // parse themselves back out.
+                    Value::Str(s) => s.parse().map_err(|_| {
+                        DeError::custom(format!(
+                            "expected {}, got string {s:?}", stringify!($t)
+                        ))
+                    })?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected {}, got {other:?}", stringify!($t)
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn ser(&self) -> Value {
+        Value::U(*self)
+    }
+}
+
+impl Deserialize for u128 {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::U(n) => Ok(*n),
+            Value::I(n) => {
+                u128::try_from(*n).map_err(|_| DeError::custom(format!("negative {n} for u128")))
+            }
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| DeError::custom(format!("expected u128, got string {s:?}"))),
+            other => Err(DeError::custom(format!("expected u128, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                let n = *self as i128;
+                if n >= 0 {
+                    Value::U(n as u128)
+                } else {
+                    Value::I(n)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deser(v: &Value) -> Result<Self, DeError> {
+                let n: i128 = match v {
+                    Value::I(n) => *n,
+                    Value::U(n) => i128::try_from(*n).map_err(|_| {
+                        DeError::custom(format!(
+                            "{n} out of range for {}", stringify!($t)
+                        ))
+                    })?,
+                    Value::Str(s) => s.parse().map_err(|_| {
+                        DeError::custom(format!(
+                            "expected {}, got string {s:?}", stringify!($t)
+                        ))
+                    })?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected {}, got {other:?}", stringify!($t)
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                Value::F(f64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deser(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F(f) => Ok(*f as $t),
+                    Value::U(n) => Ok(*n as $t),
+                    Value::I(n) => Ok(*n as $t),
+                    // Non-finite floats print as null (JSON has no NaN).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::custom(format!(
+                        "expected {}, got {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Value {
+        match self {
+            Some(inner) => inner.ser(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deser(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::deser)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::deser(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of {N}, got {got}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        T::deser(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn ser(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.ser()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deser(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = v
+                    .as_arr()
+                    .ok_or_else(|| DeError::custom(format!("expected tuple, got {v:?}")))?;
+                if items.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {LEN}, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::deser(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Stringifies a serialized map key for use as a JSON object key.
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::U(n) => n.to_string(),
+        Value::I(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::F(f) => f.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+macro_rules! impl_map {
+    ($map:ident, $debounds:path) => {
+        impl<K: Serialize, V: Serialize> Serialize for $map<K, V> {
+            fn ser(&self) -> Value {
+                Value::Obj(
+                    self.iter()
+                        .map(|(k, v)| (key_string(&k.ser()), v.ser()))
+                        .collect(),
+                )
+            }
+        }
+
+        impl<K: Deserialize + $debounds, V: Deserialize> Deserialize for $map<K, V> {
+            fn deser(v: &Value) -> Result<Self, DeError> {
+                v.as_obj()
+                    .ok_or_else(|| DeError::custom(format!("expected map, got {v:?}")))?
+                    .iter()
+                    .map(|(k, val)| Ok((K::deser(&Value::Str(k.clone()))?, V::deser(val)?)))
+                    .collect()
+            }
+        }
+    };
+}
+
+/// Bound alias for `HashMap` key deserialization.
+pub trait HashKey: std::hash::Hash + Eq {}
+impl<T: std::hash::Hash + Eq> HashKey for T {}
+
+impl_map!(HashMap, HashKey);
+impl_map!(BTreeMap, Ord);
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::custom(format!("expected set, got {v:?}")))?
+            .iter()
+            .map(T::deser)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for HashSet<T> {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::custom(format!("expected set, got {v:?}")))?
+            .iter()
+            .map(T::deser)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deser(&42u64.ser()), Ok(42));
+        assert_eq!(i32::deser(&(-7i32).ser()), Ok(-7));
+        assert_eq!(bool::deser(&true.ser()), Ok(true));
+        assert_eq!(String::deser(&"hi".to_string().ser()), Ok("hi".into()));
+        assert_eq!(f64::deser(&1.5f64.ser()), Ok(1.5));
+    }
+
+    #[test]
+    fn unsigned_range_checked() {
+        assert!(u8::deser(&Value::U(300)).is_err());
+        assert!(u32::deser(&Value::I(-1)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deser(&v.ser()), Ok(v));
+
+        let arr = [5u8, 6, 7];
+        assert_eq!(<[u8; 3]>::deser(&arr.ser()), Ok(arr));
+        assert!(<[u8; 2]>::deser(&arr.ser()).is_err());
+
+        let mut m = BTreeMap::new();
+        m.insert(4u32, 0.5f64);
+        m.insert(9u32, 1.5f64);
+        assert_eq!(BTreeMap::<u32, f64>::deser(&m.ser()), Ok(m));
+    }
+
+    #[test]
+    fn integer_map_keys_stringify() {
+        let mut m = HashMap::new();
+        m.insert(12u32, 3.0f64);
+        let ser = m.ser();
+        let entries = ser.as_obj().unwrap();
+        assert_eq!(entries[0].0, "12");
+        assert_eq!(HashMap::<u32, f64>::deser(&ser), Ok(m));
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<u32>::deser(&Value::Null), Ok(None));
+        assert_eq!(Some(3u32).ser(), Value::U(3));
+        assert_eq!(Option::<u32>::deser(&Value::U(3)), Ok(Some(3)));
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let t = (1u32, "x".to_string());
+        assert_eq!(<(u32, String)>::deser(&t.ser()), Ok(t));
+    }
+}

@@ -1,0 +1,486 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Parses the item declaration by walking `proc_macro::TokenTree`s
+//! directly (the environment has no `syn`/`quote`), extracts the struct
+//! or enum shape, and emits `Serialize`/`Deserialize` impls as formatted
+//! source text parsed back into a `TokenStream`.
+//!
+//! Generated shapes mirror real serde's externally-tagged defaults:
+//! named-field structs ↔ objects, newtype structs ↔ the inner value,
+//! multi-field tuple structs ↔ arrays, unit enum variants ↔ strings,
+//! data variants ↔ `{"Variant": payload}` single-key objects.
+//!
+//! Generics and `where` clauses are not supported (the workspace derives
+//! only on concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of one enum variant.
+enum VariantShape {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Struct variant with these field names.
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+/// A parsed derive input.
+enum Input {
+    UnitStruct {
+        name: String,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips `#[...]` attribute groups at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips `pub` / `pub(...)` at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a field/variant list body on commas at angle-bracket depth 0.
+/// Commas inside `(...)`/`[...]`/`{...}` never appear because groups are
+/// single trees; only `<...>` needs explicit depth tracking.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field name from one named-field chunk
+/// (`[attrs] [vis] name : ty`).
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    skip_attrs(chunk, &mut i);
+    skip_vis(chunk, &mut i);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses one enum variant chunk
+/// (`[attrs] Name [(..) | {..}] [= discriminant]`).
+fn parse_variant(chunk: &[TokenTree]) -> Option<Variant> {
+    let mut i = 0;
+    skip_attrs(chunk, &mut i);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    i += 1;
+    let shape = match chunk.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            VariantShape::Tuple(split_top_commas(&inner).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let fields = split_top_commas(&inner)
+                .iter()
+                .filter_map(|c| field_name(c))
+                .collect();
+            VariantShape::Struct(fields)
+        }
+        // Bare name, or `Name = discriminant` (rest of chunk ignored).
+        _ => VariantShape::Unit,
+    };
+    Some(Variant { name, shape })
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the serde stub"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let fields = split_top_commas(&inner)
+                    .iter()
+                    .filter_map(|c| field_name(c))
+                    .collect();
+                Ok(Input::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Input::TupleStruct {
+                    name,
+                    arity: split_top_commas(&inner).len(),
+                })
+            }
+            _ => Ok(Input::UnitStruct { name }),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let variants = split_top_commas(&inner)
+                    .iter()
+                    .filter_map(|c| parse_variant(c))
+                    .collect();
+                Ok(Input::Enum { name, variants })
+            }
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match parsed {
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn ser(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn ser(&self) -> ::serde::Value {{ ::serde::Serialize::ser(&self.0) }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Serialize::ser(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Arr(vec![{}])\n\
+                 }}\n}}",
+                elems.join(", ")
+            )
+        }
+        Input::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::ser(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(vec![{}])\n\
+                 }}\n}}",
+                entries.join(",\n")
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Obj(vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Serialize::ser(__f0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::ser(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Obj(vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Arr(vec![{}]))])",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::ser({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Obj(vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Obj(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n\
+                 }}\n}}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde_derive generated invalid code: {e:?}")))
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match parsed {
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deser(_v: &::serde::Value) -> \
+             ::core::result::Result<Self, ::serde::DeError> {{\n\
+             ::core::result::Result::Ok({name})\n\
+             }}\n}}"
+        ),
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deser(v: &::serde::Value) -> \
+             ::core::result::Result<Self, ::serde::DeError> {{\n\
+             ::core::result::Result::Ok({name}(::serde::Deserialize::deser(v)?))\n\
+             }}\n}}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Deserialize::deser(&__items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deser(v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 let __items = v.as_arr().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {arity} {{\n\
+                 return ::core::result::Result::Err(::serde::DeError::custom(\
+                 \"wrong tuple length for {name}\"));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({}))\n\
+                 }}\n}}",
+                elems.join(", ")
+            )
+        }
+        Input::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deser(\
+                         ::serde::field(__entries, {f:?}, {name:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deser(v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 let __entries = v.as_obj().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{}\n}})\n\
+                 }}\n}}",
+                inits.join(",\n")
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::core::result::Result::Ok({name}::{vname})")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deser(__payload)?))"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::deser(&__items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let __items = __payload.as_arr().ok_or_else(|| \
+                                 ::serde::DeError::custom(\
+                                 \"expected array for {name}::{vname}\"))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                 return ::core::result::Result::Err(\
+                                 ::serde::DeError::custom(\
+                                 \"wrong tuple length for {name}::{vname}\"));\n\
+                                 }}\n\
+                                 ::core::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deser(\
+                                         ::serde::field(__fields, {f:?}, \
+                                         \"{name}::{vname}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let __fields = __payload.as_obj().ok_or_else(|| \
+                                 ::serde::DeError::custom(\
+                                 \"expected object for {name}::{vname}\"))?;\n\
+                                 ::core::result::Result::Ok({name}::{vname} {{\n{}\n}})\n\
+                                 }}",
+                                inits.join(",\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deser(v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }},\n\
+                 __other => {{\n\
+                 let __entries = __other.as_obj().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected variant for {name}\"))?;\n\
+                 if __entries.len() != 1 {{\n\
+                 return ::core::result::Result::Err(::serde::DeError::custom(\
+                 \"expected single-key variant object for {name}\"));\n\
+                 }}\n\
+                 let (__tag, __payload) = (&__entries[0].0, &__entries[0].1);\n\
+                 let _ = __payload;\n\
+                 match __tag.as_str() {{\n\
+                 {}\n\
+                 __unknown => ::core::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__unknown}}` for {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n\
+                 }}\n}}",
+                if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", tagged_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    code.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde_derive generated invalid code: {e:?}")))
+}
