@@ -12,4 +12,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> observability smoke (simulate + netrs-analyze)"
+cargo build -q -p netrs-sim --bin simulate -p netrs-analyze
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+for scheme in clirs netrs-ilp; do
+    ./target/debug/simulate --small --scheme "$scheme" --requests 5000 --seed 5 \
+        --trace "$SMOKE/$scheme.jsonl" --trace-hops \
+        --timeseries "$SMOKE/$scheme-ts.jsonl" \
+        --devices "$SMOKE/$scheme-dev.jsonl" --json > "$SMOKE/$scheme-stats.json"
+done
+./target/debug/netrs-analyze report \
+    --trace "clirs=$SMOKE/clirs.jsonl" --trace "netrs-ilp=$SMOKE/netrs-ilp.jsonl" \
+    --devices "$SMOKE/netrs-ilp-dev.jsonl" --timeseries "$SMOKE/netrs-ilp-ts.jsonl" \
+    --bench-json "$SMOKE/bench.json" --top 5 > "$SMOKE/report.txt"
+grep -q "Per-phase latency comparison" "$SMOKE/report.txt"
+./target/debug/netrs-analyze check-bench "$SMOKE/bench.json"
+
 echo "==> CI green"

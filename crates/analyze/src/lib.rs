@@ -1,0 +1,574 @@
+//! Offline analysis of NetRS simulation artifacts.
+//!
+//! The `simulate` binary emits three JSONL artifact kinds: per-request
+//! traces (`--trace`, one [`TraceRecord`] per copy), virtual-time series
+//! (`--timeseries`, one [`SamplePoint`] per tick) and end-of-run device
+//! telemetry (`--devices`, one [`DeviceRecord`] per device). This crate —
+//! and its `netrs-analyze` CLI — turns those files into the reports the
+//! paper's evaluation is built from:
+//!
+//! * **scheme comparison** — mean / median / p95 / p99 per latency phase,
+//!   side by side across labeled traces (CliRS vs NetRS-ILP, …);
+//! * **tail attribution** — which phases and which servers the slowest
+//!   1% of requests spend their time in;
+//! * **hotspot tables** — the busiest devices per kind, per-tier traffic
+//!   totals, and ECMP path skew from per-link packet counts;
+//! * **bench artifact** — a small JSON regression file
+//!   (`label → {mean_ns, p50_ns, p95_ns, p99_ns, …}`) that CI can diff.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+use netrs_sim::{DeviceRecord, SamplePoint, TraceRecord};
+use netrs_simcore::{Histogram, SimDuration, Summary};
+use serde::Value;
+
+/// One labeled trace: a scheme (or experiment) name plus its records.
+#[derive(Debug, Clone)]
+pub struct LabeledTrace {
+    /// Column label in comparison tables and the bench artifact.
+    pub label: String,
+    /// Every record of the trace file, in file order.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Pulls one phase duration (ns) out of a trace record.
+pub type PhaseExtractor = fn(&TraceRecord) -> u64;
+
+/// The six phases of the request-latency decomposition, in causal order,
+/// each paired with its extractor. `e2e` is reported separately.
+pub const PHASES: [(&str, PhaseExtractor); 6] = [
+    ("steer", |r| r.steer_ns),
+    ("selection", |r| r.selection_ns),
+    ("to-server", |r| r.to_server_ns),
+    ("server-queue", |r| r.server_queue_ns),
+    ("service", |r| r.service_ns),
+    ("reply", |r| r.reply_ns),
+];
+
+/// Parses a `[LABEL=]PATH` trace argument: an explicit label before the
+/// first `=`, otherwise the file stem.
+#[must_use]
+pub fn split_label(arg: &str) -> (String, &str) {
+    if let Some((label, path)) = arg.split_once('=') {
+        if !label.is_empty() && !label.contains(['/', '\\']) {
+            return (label.to_string(), path);
+        }
+    }
+    let stem = Path::new(arg)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(arg);
+    (stem.to_string(), arg)
+}
+
+fn parse_jsonl<T: serde::Deserialize>(path: &str) -> io::Result<Vec<T>> {
+    let file = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (i, line) in file.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let item = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{path}:{}: {e}", i + 1))
+        })?;
+        out.push(item);
+    }
+    Ok(out)
+}
+
+/// Loads a `--trace` JSONL file.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or [`io::ErrorKind::InvalidData`]
+/// naming the offending line when a line fails to parse.
+pub fn load_trace(path: &str) -> io::Result<Vec<TraceRecord>> {
+    parse_jsonl(path)
+}
+
+/// Loads a `--devices` JSONL file (same error contract as
+/// [`load_trace`]).
+///
+/// # Errors
+///
+/// See [`load_trace`].
+pub fn load_devices(path: &str) -> io::Result<Vec<DeviceRecord>> {
+    parse_jsonl(path)
+}
+
+/// Loads a `--timeseries` JSONL file (same error contract as
+/// [`load_trace`]).
+///
+/// # Errors
+///
+/// See [`load_trace`].
+pub fn load_timeseries(path: &str) -> io::Result<Vec<SamplePoint>> {
+    parse_jsonl(path)
+}
+
+/// The records the latency analysis is over: winning read copies — the
+/// same population as `RunStats::latency`.
+#[must_use]
+pub fn winning_reads(records: &[TraceRecord]) -> Vec<&TraceRecord> {
+    records.iter().filter(|r| r.first && !r.write).collect()
+}
+
+fn summarize(records: &[&TraceRecord], extract: fn(&TraceRecord) -> u64) -> Summary {
+    let mut h = Histogram::new();
+    for r in records {
+        h.record_nanos(extract(r));
+    }
+    h.summary()
+}
+
+fn fmt_dur(ns: SimDuration) -> String {
+    ns.to_string()
+}
+
+/// Renders the side-by-side per-phase comparison: one table per
+/// statistic (mean, median, p95, p99), phases as rows, labels as
+/// columns. Statistics are over winning reads.
+#[must_use]
+pub fn comparison_report(traces: &[LabeledTrace]) -> String {
+    let per_label: Vec<(String, Vec<Summary>, Summary)> = traces
+        .iter()
+        .map(|t| {
+            let reads = winning_reads(&t.records);
+            let phases = PHASES.iter().map(|&(_, f)| summarize(&reads, f)).collect();
+            (t.label.clone(), phases, summarize(&reads, |r| r.e2e_ns))
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Per-phase latency comparison (winning reads)");
+    for (label, _, e2e) in &per_label {
+        let _ = writeln!(out, "   {label}: {} requests", e2e.count);
+    }
+    type StatPick = fn(&Summary) -> SimDuration;
+    let stats: [(&str, StatPick); 4] = [
+        ("mean", |s| s.mean),
+        ("median", |s| s.p50),
+        ("p95", |s| s.p95),
+        ("p99", |s| s.p99),
+    ];
+    for (stat_name, pick) in stats {
+        let _ = writeln!(out);
+        let _ = write!(out, "{:<14}", stat_name);
+        for (label, _, _) in &per_label {
+            let _ = write!(out, " {:>14}", label);
+        }
+        let _ = writeln!(out);
+        for (pi, &(phase, _)) in PHASES.iter().enumerate() {
+            let _ = write!(out, "{:<14}", phase);
+            for (_, phases, _) in &per_label {
+                let _ = write!(out, " {:>14}", fmt_dur(pick(&phases[pi])));
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "{:<14}", "e2e");
+        for (_, _, e2e) in &per_label {
+            let _ = write!(out, " {:>14}", fmt_dur(pick(e2e)));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the tail attribution for one trace: over the winning reads at
+/// or above the e2e 99th percentile, the share of tail time each phase
+/// accounts for, plus the servers that serve the most tail requests.
+#[must_use]
+pub fn tail_report(label: &str, records: &[TraceRecord], top: usize) -> String {
+    let reads = winning_reads(records);
+    let mut out = String::new();
+    let _ = writeln!(out, "## Tail attribution: {label}");
+    if reads.is_empty() {
+        let _ = writeln!(out, "   (no winning reads in trace)");
+        return out;
+    }
+    let mut h = Histogram::new();
+    for r in &reads {
+        h.record_nanos(r.e2e_ns);
+    }
+    let p99 = h.percentile(99.0).as_nanos();
+    let tail: Vec<&&TraceRecord> = reads.iter().filter(|r| r.e2e_ns >= p99).collect();
+    let _ = writeln!(
+        out,
+        "   p99 = {} · {} requests at or above it",
+        fmt_dur(SimDuration::from_nanos(p99)),
+        tail.len()
+    );
+    let tail_e2e: u128 = tail.iter().map(|r| u128::from(r.e2e_ns)).sum();
+    if tail_e2e > 0 {
+        let _ = writeln!(out, "   phase shares of tail time:");
+        for (phase, extract) in PHASES {
+            let spent: u128 = tail.iter().map(|r| u128::from(extract(r))).sum();
+            let share = spent as f64 / tail_e2e as f64 * 100.0;
+            let _ = writeln!(out, "     {phase:<14} {share:5.1}%");
+        }
+    }
+    let mut by_server: Vec<(u32, u64)> = Vec::new();
+    for r in &tail {
+        match by_server.iter_mut().find(|(s, _)| *s == r.server) {
+            Some((_, n)) => *n += 1,
+            None => by_server.push((r.server, 1)),
+        }
+    }
+    by_server.sort_by_key(|&(s, n)| (std::cmp::Reverse(n), s));
+    let _ = writeln!(out, "   top tail servers (server · tail requests):");
+    for (server, n) in by_server.iter().take(top) {
+        let _ = writeln!(out, "     server:{server:<8} {n}");
+    }
+    out
+}
+
+fn link_source(dev: &str) -> Option<&str> {
+    dev.strip_prefix("link:")?.split('>').next()
+}
+
+/// Renders the device hotspot tables: busiest devices per kind, per-tier
+/// traffic totals, and ECMP skew (how unevenly an endpoint's outgoing
+/// links are loaded).
+#[must_use]
+pub fn hotspot_report(devices: &[DeviceRecord], top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Device hotspots");
+
+    // Per-tier traffic totals across all devices that forward traffic.
+    let mut tier_packets = [0u64; 3];
+    let mut tier_bytes = [0u64; 3];
+    for d in devices.iter().filter(|d| d.kind == "link") {
+        for t in 0..3 {
+            tier_packets[t] += d.packets[t];
+            tier_bytes[t] += d.bytes[t];
+        }
+    }
+    let _ = writeln!(out, "   link traffic per tier (packets · bytes):");
+    for t in 0..3 {
+        let _ = writeln!(
+            out,
+            "     Tier-{t}          {:>12} · {:>12}",
+            tier_packets[t], tier_bytes[t]
+        );
+    }
+
+    for (kind, plural) in [
+        ("switch", "switches"),
+        ("accel", "accelerators"),
+        ("server", "servers"),
+        ("link", "links"),
+    ] {
+        let mut of_kind: Vec<&DeviceRecord> = devices.iter().filter(|d| d.kind == kind).collect();
+        if of_kind.is_empty() {
+            continue;
+        }
+        of_kind.sort_by(|a, b| {
+            b.utilization
+                .total_cmp(&a.utilization)
+                .then_with(|| b.total_packets().cmp(&a.total_packets()))
+                .then_with(|| a.dev.cmp(&b.dev))
+        });
+        let _ = writeln!(
+            out,
+            "   top {plural} (device · util · packets · ops/selections · max queue):"
+        );
+        for d in of_kind.iter().take(top) {
+            let work = if kind == "accel" { d.selections } else { d.ops };
+            let _ = writeln!(
+                out,
+                "     {:<14} {:6.2}% {:>10} {:>8} {:>6}",
+                d.dev,
+                d.utilization * 100.0,
+                d.total_packets(),
+                work,
+                d.max_queue_depth
+            );
+        }
+    }
+
+    // ECMP skew: group directed links by source endpoint; endpoints with
+    // several outgoing links (hosts have one) show hash imbalance as
+    // max/mean packet ratio.
+    let mut groups: Vec<(&str, Vec<u64>)> = Vec::new();
+    for d in devices.iter().filter(|d| d.kind == "link") {
+        if let Some(src) = link_source(&d.dev) {
+            match groups.iter_mut().find(|(s, _)| *s == src) {
+                Some((_, counts)) => counts.push(d.total_packets()),
+                None => groups.push((src, vec![d.total_packets()])),
+            }
+        }
+    }
+    let mut skews: Vec<(&str, usize, f64)> = groups
+        .iter()
+        .filter(|(_, c)| c.len() > 1 && c.iter().sum::<u64>() > 0)
+        .map(|(src, counts)| {
+            let max = *counts.iter().max().unwrap() as f64;
+            let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+            (*src, counts.len(), max / mean)
+        })
+        .collect();
+    skews.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(b.0)));
+    let _ = writeln!(
+        out,
+        "   ECMP skew (endpoint · outgoing links · max/mean packets):"
+    );
+    for (src, fanout, skew) in skews.iter().take(top) {
+        let _ = writeln!(out, "     {src:<8} {fanout:>3} {skew:8.3}");
+    }
+    out
+}
+
+/// Renders a short summary of a `--timeseries` file: sample count, span,
+/// and the peak / mean of each sampled series.
+#[must_use]
+pub fn timeseries_report(points: &[SamplePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Time series");
+    if points.is_empty() {
+        let _ = writeln!(out, "   (no samples)");
+        return out;
+    }
+    let span = points.last().unwrap().t_ns - points.first().unwrap().t_ns;
+    let _ = writeln!(
+        out,
+        "   {} samples over {}",
+        points.len(),
+        fmt_dur(SimDuration::from_nanos(span))
+    );
+    type SeriesPick = fn(&SamplePoint) -> f64;
+    let series: [(&str, SeriesPick); 4] = [
+        ("accel util", |p| p.accel_util),
+        ("server occupancy", |p| p.server_occupancy),
+        ("outstanding", |p| p.outstanding),
+        ("DRS groups", |p| p.drs_groups),
+    ];
+    for (name, pick) in series {
+        let mean = points.iter().map(pick).sum::<f64>() / points.len() as f64;
+        let peak = points.iter().map(pick).fold(f64::MIN, f64::max);
+        let _ = writeln!(out, "   {name:<18} mean {mean:8.3} · peak {peak:8.3}");
+    }
+    out
+}
+
+/// The keys every per-label bench entry must carry, in artifact order.
+pub const BENCH_KEYS: [&str; 7] = [
+    "mean_ns",
+    "p50_ns",
+    "p95_ns",
+    "p99_ns",
+    "requests",
+    "sim_seconds",
+    "requests_per_sim_sec",
+];
+
+/// Builds the bench regression artifact: one entry per labeled trace
+/// with the e2e latency statistics over winning reads plus throughput
+/// derived from the trace's time span.
+#[must_use]
+pub fn bench_artifact(traces: &[LabeledTrace]) -> Value {
+    let entries = traces
+        .iter()
+        .map(|t| {
+            let reads = winning_reads(&t.records);
+            let s = summarize(&reads, |r| r.e2e_ns);
+            let end_ns = t.records.iter().map(|r| r.received_ns).max().unwrap_or(0);
+            let sim_seconds = end_ns as f64 / 1e9;
+            let rps = if sim_seconds > 0.0 {
+                s.count as f64 / sim_seconds
+            } else {
+                0.0
+            };
+            let entry = Value::Obj(vec![
+                ("mean_ns".into(), Value::U(u128::from(s.mean.as_nanos()))),
+                ("p50_ns".into(), Value::U(u128::from(s.p50.as_nanos()))),
+                ("p95_ns".into(), Value::U(u128::from(s.p95.as_nanos()))),
+                ("p99_ns".into(), Value::U(u128::from(s.p99.as_nanos()))),
+                ("requests".into(), Value::U(u128::from(s.count))),
+                ("sim_seconds".into(), Value::F(sim_seconds)),
+                ("requests_per_sim_sec".into(), Value::F(rps)),
+            ]);
+            (t.label.clone(), entry)
+        })
+        .collect();
+    Value::Obj(entries)
+}
+
+/// Validates a bench artifact: a non-empty object whose every entry
+/// carries all of [`BENCH_KEYS`] as numbers.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn check_bench(artifact: &Value) -> Result<(), String> {
+    let entries = artifact
+        .as_obj()
+        .ok_or_else(|| "bench artifact must be a JSON object".to_string())?;
+    if entries.is_empty() {
+        return Err("bench artifact has no entries".to_string());
+    }
+    for (label, entry) in entries {
+        let fields = entry
+            .as_obj()
+            .ok_or_else(|| format!("entry {label:?} must be an object"))?;
+        for key in BENCH_KEYS {
+            match entry.get(key) {
+                Some(Value::U(_) | Value::I(_) | Value::F(_)) => {}
+                Some(other) => {
+                    return Err(format!(
+                        "entry {label:?} key {key:?} is not a number: {other:?}"
+                    ))
+                }
+                None => return Err(format!("entry {label:?} is missing key {key:?}")),
+            }
+        }
+        for (key, _) in fields {
+            if !BENCH_KEYS.contains(&key.as_str()) {
+                return Err(format!("entry {label:?} has unknown key {key:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(req: u64, server: u32, e2e: u64) -> TraceRecord {
+        // Split e2e across phases so shares and sums are non-trivial.
+        let part = e2e / 6;
+        TraceRecord {
+            req,
+            server,
+            first: true,
+            write: false,
+            issued_ns: 1_000,
+            received_ns: 1_000 + e2e,
+            steer_ns: part,
+            selection_ns: part,
+            selection_wait_ns: part / 2,
+            to_server_ns: part,
+            server_queue_ns: part,
+            service_ns: part,
+            reply_ns: e2e - 5 * part,
+            e2e_ns: e2e,
+            hops: Vec::new(),
+        }
+    }
+
+    fn trace(label: &str, e2es: &[u64]) -> LabeledTrace {
+        LabeledTrace {
+            label: label.to_string(),
+            records: e2es
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| record(i as u64, (i % 3) as u32, e))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn split_label_prefers_explicit_label() {
+        assert_eq!(
+            split_label("clirs=/tmp/a.jsonl"),
+            ("clirs".into(), "/tmp/a.jsonl")
+        );
+        assert_eq!(
+            split_label("/tmp/netrs-ilp.jsonl"),
+            ("netrs-ilp".into(), "/tmp/netrs-ilp.jsonl")
+        );
+        // A path containing '=' only in a directory name is not a label.
+        assert_eq!(split_label("/tmp/x=y/t.jsonl").1, "/tmp/x=y/t.jsonl");
+    }
+
+    #[test]
+    fn winning_reads_filters_losers_and_writes() {
+        let mut records = vec![record(0, 0, 600)];
+        let mut loser = record(0, 1, 900);
+        loser.first = false;
+        let mut write = record(1, 0, 600);
+        write.write = true;
+        records.push(loser);
+        records.push(write);
+        assert_eq!(winning_reads(&records).len(), 1);
+    }
+
+    #[test]
+    fn comparison_report_lists_all_labels_and_phases() {
+        let traces = vec![
+            trace("clirs", &[600, 1_200, 2_400]),
+            trace("netrs-ilp", &[300, 600, 900]),
+        ];
+        let report = comparison_report(&traces);
+        for needle in ["clirs", "netrs-ilp", "mean", "median", "p95", "p99", "e2e"] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+        for (phase, _) in PHASES {
+            assert!(report.contains(phase), "missing phase {phase:?}");
+        }
+    }
+
+    #[test]
+    fn tail_report_attributes_full_tail_time() {
+        let t = trace("x", &[600, 600, 600, 600, 60_000]);
+        let report = tail_report("x", &t.records, 5);
+        assert!(report.contains("phase shares"));
+        assert!(report.contains("server:"), "top servers listed:\n{report}");
+        // The slowest request defines the tail; its phases sum to its
+        // e2e, so the printed shares must sum to ~100%.
+        let total: f64 = report
+            .lines()
+            .filter_map(|l| l.trim().strip_suffix('%'))
+            .filter_map(|l| l.rsplit(' ').next())
+            .filter_map(|n| n.parse::<f64>().ok())
+            .sum();
+        assert!((total - 100.0).abs() < 0.5, "shares sum to {total}");
+    }
+
+    #[test]
+    fn link_source_parses_device_keys() {
+        assert_eq!(link_source("link:h3>s0"), Some("h3"));
+        assert_eq!(link_source("link:s12>h40"), Some("s12"));
+        assert_eq!(link_source("server:3"), None);
+    }
+
+    #[test]
+    fn bench_artifact_round_trips_and_validates() {
+        let traces = vec![trace("clirs", &[600, 1_200]), trace("ilp", &[300])];
+        let artifact = bench_artifact(&traces);
+        check_bench(&artifact).expect("generated artifact is valid");
+        let text = serde_json::to_string_pretty(&artifact).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        check_bench(&back).expect("artifact survives a round trip");
+        let clirs = back.get("clirs").expect("labels are keys");
+        assert_eq!(clirs.get("requests"), Some(&Value::U(2)));
+    }
+
+    #[test]
+    fn check_bench_rejects_malformed_artifacts() {
+        assert!(check_bench(&Value::Arr(vec![])).is_err());
+        assert!(check_bench(&Value::Obj(vec![])).is_err());
+        let missing = Value::Obj(vec![(
+            "x".into(),
+            Value::Obj(vec![("mean_ns".into(), Value::U(1))]),
+        )]);
+        assert!(check_bench(&missing).unwrap_err().contains("missing"));
+        let extra_entries: Vec<(String, Value)> = BENCH_KEYS
+            .iter()
+            .map(|k| ((*k).to_string(), Value::U(1)))
+            .chain([("bogus".to_string(), Value::U(1))])
+            .collect();
+        let extra = Value::Obj(vec![("x".into(), Value::Obj(extra_entries))]);
+        assert!(check_bench(&extra).unwrap_err().contains("unknown key"));
+        let wrong_type: Vec<(String, Value)> = BENCH_KEYS
+            .iter()
+            .map(|k| ((*k).to_string(), Value::Str("nope".into())))
+            .collect();
+        let wrong = Value::Obj(vec![("x".into(), Value::Obj(wrong_type))]);
+        assert!(check_bench(&wrong).unwrap_err().contains("not a number"));
+    }
+}

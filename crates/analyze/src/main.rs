@@ -1,0 +1,122 @@
+//! `netrs-analyze` — turn `simulate` JSONL artifacts into reports.
+//!
+//! ```text
+//! # compare two schemes, emit a regression artifact
+//! simulate --scheme clirs --trace clirs.jsonl --trace-hops --devices clirs-dev.jsonl
+//! simulate --scheme netrs-ilp --trace ilp.jsonl --trace-hops --devices ilp-dev.jsonl
+//! netrs-analyze report --trace clirs=clirs.jsonl --trace netrs-ilp=ilp.jsonl \
+//!     --devices ilp-dev.jsonl --bench-json bench.json
+//!
+//! # gate CI on the artifact's shape
+//! netrs-analyze check-bench bench.json
+//! ```
+
+use std::io::Write;
+
+use netrs_analyze::{
+    bench_artifact, check_bench, comparison_report, hotspot_report, load_devices, load_timeseries,
+    load_trace, split_label, tail_report, timeseries_report, LabeledTrace,
+};
+use serde::Value;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netrs-analyze report --trace [LABEL=]FILE [--trace [LABEL=]FILE ...] \
+         [--devices FILE] [--timeseries FILE] [--bench-json OUT] [--top N]\n\
+         \x20      netrs-analyze check-bench FILE"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("netrs-analyze: {msg}");
+    std::process::exit(1);
+}
+
+fn report(args: &[String]) {
+    let mut traces: Vec<LabeledTrace> = Vec::new();
+    let mut devices_path: Option<String> = None;
+    let mut timeseries_path: Option<String> = None;
+    let mut bench_path: Option<String> = None;
+    let mut top = 10usize;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let mut next = || {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--trace" => {
+                let spec = next();
+                let (label, path) = split_label(&spec);
+                let records =
+                    load_trace(path).unwrap_or_else(|e| fail(&format!("cannot load {path}: {e}")));
+                traces.push(LabeledTrace { label, records });
+            }
+            "--devices" => devices_path = Some(next()),
+            "--timeseries" => timeseries_path = Some(next()),
+            "--bench-json" => bench_path = Some(next()),
+            "--top" => top = next().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if traces.is_empty() {
+        usage();
+    }
+
+    print!("{}", comparison_report(&traces));
+    for t in &traces {
+        println!();
+        print!("{}", tail_report(&t.label, &t.records, top));
+    }
+    if let Some(path) = devices_path.as_deref() {
+        let devices =
+            load_devices(path).unwrap_or_else(|e| fail(&format!("cannot load {path}: {e}")));
+        println!();
+        print!("{}", hotspot_report(&devices, top));
+    }
+    if let Some(path) = timeseries_path.as_deref() {
+        let points =
+            load_timeseries(path).unwrap_or_else(|e| fail(&format!("cannot load {path}: {e}")));
+        println!();
+        print!("{}", timeseries_report(&points));
+    }
+    if let Some(path) = bench_path.as_deref() {
+        let artifact = bench_artifact(&traces);
+        check_bench(&artifact)
+            .unwrap_or_else(|e| fail(&format!("generated artifact invalid: {e}")));
+        let text = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+        writeln!(f, "{text}").unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!();
+        println!("## Bench artifact");
+        println!("   wrote {} ({} entries)", path, traces.len());
+    }
+}
+
+fn check_bench_file(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let artifact: Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+    match check_bench(&artifact) {
+        Ok(()) => {
+            let n = artifact.as_obj().map_or(0, <[_]>::len);
+            println!("{path}: valid bench artifact ({n} entries)");
+        }
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => report(&args[1..]),
+        Some("check-bench") if args.len() == 2 => check_bench_file(&args[1]),
+        _ => usage(),
+    }
+}

@@ -159,6 +159,14 @@ impl<T> Server<T> {
         self.in_service
     }
 
+    /// Requests waiting for a slot, *excluding* those in service — the
+    /// head-of-line depth device telemetry tracks (a request in service
+    /// occupies a slot, not the queue).
+    #[must_use]
+    pub fn waiting(&self) -> u32 {
+        self.queue.len() as u32
+    }
+
     /// Instantaneous fraction of service slots occupied, in `[0, 1]` —
     /// the quantity the observability sampler tracks over virtual time.
     #[must_use]
@@ -282,6 +290,18 @@ mod tests {
         assert_eq!(s.queue_len(), 6);
         assert_eq!(s.in_service(), 4);
         assert!((s.slot_occupancy() - 1.0).abs() < 1e-12, "all slots busy");
+    }
+
+    #[test]
+    fn waiting_excludes_in_service() {
+        let mut s = server();
+        for i in 0..6 {
+            let _ = s.arrive(i, t(0));
+        }
+        assert_eq!(s.waiting(), 2, "four in slots, two behind them");
+        assert_eq!(s.queue_len(), s.waiting() + s.in_service());
+        let _ = s.complete(t(1)); // dispatches one waiter into the slot
+        assert_eq!(s.waiting(), 1);
     }
 
     #[test]

@@ -63,17 +63,26 @@ impl Monitor {
         }
     }
 
-    /// The tier index (0/1/2) a response from `sm` falls into when seen
-    /// from this ToR.
+    /// The paper's Tier-0/1/2 traffic classification as a pure function:
+    /// same rack → 2, same pod → 1, otherwise 0. This is the single
+    /// definition every consumer (monitor accounting, the device
+    /// telemetry registry) classifies against.
     #[must_use]
-    pub fn tier_of(&self, sm: SourceMarker) -> usize {
-        if sm.same_rack(self.local) {
+    pub fn classify(local: SourceMarker, remote: SourceMarker) -> usize {
+        if remote.same_rack(local) {
             2
-        } else if sm.same_pod(self.local) {
+        } else if remote.same_pod(local) {
             1
         } else {
             0
         }
+    }
+
+    /// The tier index (0/1/2) a response from `sm` falls into when seen
+    /// from this ToR.
+    #[must_use]
+    pub fn tier_of(&self, sm: SourceMarker) -> usize {
+        Self::classify(self.local, sm)
     }
 
     /// Counts one monitored response leaving the network toward a host of
@@ -140,6 +149,46 @@ mod tests {
         let second = m.snapshot(SimTime::ZERO + SimDuration::from_millis(200));
         assert!(second.counts.is_empty());
         assert_eq!(second.from, SimTime::ZERO + SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn consecutive_snapshots_have_abutting_windows_and_reset_counters() {
+        // The controller divides counters by `to - from` to build the
+        // ILP's T matrix; a gap or overlap between windows, or counters
+        // surviving a snapshot, would silently skew every planned rate.
+        let mut m = Monitor::new(marker(0, 0));
+        let t1 = SimTime::ZERO + SimDuration::from_millis(100);
+        let t2 = t1 + SimDuration::from_millis(250);
+        m.record(3, marker(0, 0));
+        m.record(3, marker(7, 70));
+        let first = m.snapshot(t1);
+        assert_eq!(first.from, SimTime::ZERO);
+        assert_eq!(first.to, t1);
+        assert_eq!(first.counts, vec![(3, [1, 0, 1])]);
+
+        m.record(4, marker(0, 5));
+        let second = m.snapshot(t2);
+        assert_eq!(
+            second.from, first.to,
+            "windows must abut: [from, to) with no gap or overlap"
+        );
+        assert_eq!(second.to, t2);
+        assert_eq!(
+            second.counts,
+            vec![(4, [0, 1, 0])],
+            "first window's counters must not leak into the second"
+        );
+    }
+
+    #[test]
+    fn classify_is_the_instance_classification() {
+        let local = marker(1, 10);
+        for remote in [marker(1, 10), marker(1, 11), marker(2, 20)] {
+            assert_eq!(
+                Monitor::classify(local, remote),
+                Monitor::new(local).tier_of(remote)
+            );
+        }
     }
 
     #[test]

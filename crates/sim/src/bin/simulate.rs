@@ -22,7 +22,8 @@ fn usage() -> ! {
         "usage: simulate [--config FILE] [--scheme clirs|clirs-r95|netrs-tor|netrs-ilp] \
          [--requests N] [--clients N] [--utilization F] [--skew F] [--seed N] \
          [--small] [--emit-config] [--json] \
-         [--trace FILE] [--timeseries FILE] [--sample-every-us N] [--progress]"
+         [--trace FILE] [--trace-hops] [--timeseries FILE] [--sample-every-us N] \
+         [--devices FILE] [--progress]"
     );
     std::process::exit(2);
 }
@@ -40,7 +41,9 @@ fn main() {
     cfg.requests = 100_000;
     let mut json_out = false;
     let mut trace_path: Option<String> = None;
+    let mut trace_hops = false;
     let mut timeseries_path: Option<String> = None;
+    let mut devices_path: Option<String> = None;
     let mut sample_every_us: u64 = 10_000;
     let mut progress = false;
 
@@ -91,7 +94,9 @@ fn main() {
             }
             "--json" => json_out = true,
             "--trace" => trace_path = Some(next()),
+            "--trace-hops" => trace_hops = true,
             "--timeseries" => timeseries_path = Some(next()),
+            "--devices" => devices_path = Some(next()),
             "--sample-every-us" => {
                 sample_every_us = next().parse().unwrap_or_else(|_| usage());
                 if sample_every_us == 0 {
@@ -111,22 +116,33 @@ fn main() {
     }
 
     let scheme = cfg.scheme;
+    // Open every output file before the run so a bad path fails in
+    // milliseconds, not after minutes of simulation.
+    let mut timeseries_file = timeseries_path.as_deref().map(create);
+    let mut devices_file = devices_path.as_deref().map(create);
     let obs = ObsOptions {
         trace: trace_path
             .as_deref()
             .map(|p| Box::new(create(p)) as Box<dyn std::io::Write + Send>),
+        trace_hops,
         timeseries: timeseries_path.as_deref().map(|_| SamplerSpec {
             interval: SimDuration::from_micros(sample_every_us),
             ..SamplerSpec::default()
         }),
+        device_stats: devices_path.is_some(),
         progress,
     };
     let out = run_observed(cfg, obs);
     let stats = out.stats;
-    if let (Some(path), Some(ts)) = (timeseries_path.as_deref(), out.timeseries.as_ref()) {
-        let mut w = create(path);
-        ts.write_jsonl(&mut w).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
+    if let (Some(w), Some(ts)) = (timeseries_file.as_mut(), out.timeseries.as_ref()) {
+        ts.write_jsonl(w).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", timeseries_path.as_deref().unwrap());
+            std::process::exit(1);
+        });
+    }
+    if let (Some(w), Some(report)) = (devices_file.as_mut(), out.devices.as_ref()) {
+        report.write_jsonl(w).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", devices_path.as_deref().unwrap());
             std::process::exit(1);
         });
     }

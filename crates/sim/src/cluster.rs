@@ -17,13 +17,32 @@ use netrs::{NetRsController, Rsp, TrafficGroups, TrafficMatrix};
 use netrs_kvstore::{Arrival, Ring, Server, ServerId, ServerStatus};
 use netrs_netdev::{Accelerator, IngressAction, Monitor, NetRsRules, PacketMeta};
 use netrs_selection::{CubicRateController, Feedback, ReplicaSelector};
-use netrs_simcore::{EventQueue, Histogram, SimDuration, SimRng, SimTime, World, Zipf};
+use netrs_simcore::{
+    DeviceCounter, DeviceId, DeviceProbe, EventQueue, Histogram, NoDeviceProbe, NodeId,
+    SimDuration, SimRng, SimTime, World, Zipf,
+};
 use netrs_topology::{FatTree, HostId, SwitchId};
-use netrs_wire::{MagicField, RsnodeId};
+use netrs_wire::{MagicField, RsnodeId, REQUEST_HEADER_LEN, RESPONSE_FIXED_LEN};
 
 use crate::config::{PlanSource, Scheme, SimConfig};
-use crate::obs::{SamplerSpec, TimeSeries, TraceRecord};
+use crate::obs::{DeviceRecord, DeviceStatsReport, HopSpan, SamplerSpec, TimeSeries, TraceRecord};
 use crate::stats::{LatencyBreakdown, RunStats};
+
+/// Simulated size of one request packet on the wire (the NetRS request
+/// header; payloads are not modelled).
+const REQ_BYTES: u64 = REQUEST_HEADER_LEN as u64;
+/// Simulated size of one response packet (fixed NetRS response fields).
+const RESP_BYTES: u64 = RESPONSE_FIXED_LEN as u64;
+
+/// Where observed hop spans accumulate while a copy is in flight.
+#[derive(Debug, Clone, Copy)]
+enum HopSink {
+    /// Steer-phase hops of an in-network request whose target server is
+    /// not known yet; sealed into a copy log at selection time.
+    Pending(u64),
+    /// Hops of a concrete copy `(request, server)`.
+    Copy(u64, u32),
+}
 
 /// Identifies one logical client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -235,7 +254,16 @@ impl BreakdownHists {
 
 /// The complete simulated cluster (implements
 /// [`netrs_simcore::World`]).
-pub struct Cluster {
+///
+/// Generic over a [`DeviceProbe`]: with the default [`NoDeviceProbe`]
+/// every device-telemetry hook compiles away and the run is exactly what
+/// it was before the registry existed; with
+/// [`DeviceStatsRegistry`](netrs_simcore::DeviceStatsRegistry) the
+/// cluster accumulates per-device statistics (see
+/// [`Cluster::take_device_report`]). Either way the probe only records —
+/// it never touches event timing or randomness, so `RunStats` are
+/// identical whichever probe is compiled in.
+pub struct Cluster<D: DeviceProbe = NoDeviceProbe> {
     cfg: SimConfig,
     topo: FatTree,
     ring: Ring,
@@ -266,10 +294,19 @@ pub struct Cluster {
     breakdown: BreakdownHists,
     tracer: Option<Box<dyn std::io::Write + Send>>,
     sampler: Option<SamplerState>,
+    devices: D,
+    /// Per-copy hop spans keyed by `(request, server)`, drained into
+    /// [`TraceRecord::hops`] when the copy's response arrives. `None`
+    /// unless hop tracing is enabled.
+    hop_log: Option<HashMap<(u64, u32), Vec<HopSpan>>>,
+    /// Steer-phase hops of in-network requests whose server is not yet
+    /// selected, keyed by request.
+    pending_hops: HashMap<u64, Vec<HopSpan>>,
 }
 
 impl Cluster {
-    /// Builds the cluster for a validated configuration.
+    /// Builds the cluster for a validated configuration, without device
+    /// telemetry (the [`NoDeviceProbe`] monomorphization).
     ///
     /// # Panics
     ///
@@ -277,6 +314,20 @@ impl Cluster {
     /// ([`SimConfig::validate`]).
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
+        Cluster::with_device_probe(cfg, NoDeviceProbe)
+    }
+}
+
+impl<D: DeviceProbe> Cluster<D> {
+    /// Builds the cluster with an explicit device probe (see
+    /// [`Cluster::new`] for the uninstrumented entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// ([`SimConfig::validate`]).
+    #[must_use]
+    pub fn with_device_probe(cfg: SimConfig, devices: D) -> Self {
         let cfg = cfg.finalize();
         if let Err(msg) = cfg.validate() {
             panic!("invalid simulation config: {msg}");
@@ -351,6 +402,9 @@ impl Cluster {
             breakdown: BreakdownHists::new(),
             tracer: None,
             sampler: None,
+            devices,
+            hop_log: None,
+            pending_hops: HashMap::new(),
             cfg,
         };
         let built: Vec<ClientState> = client_hosts
@@ -522,6 +576,222 @@ impl Cluster {
         self.tracer = Some(w);
     }
 
+    /// Attaches hop-by-hop route spans to every trace record (see
+    /// [`HopSpan`]). Independent of the device probe; like it, this only
+    /// records and never perturbs event timing.
+    pub fn enable_hop_tracing(&mut self) {
+        self.hop_log = Some(HashMap::new());
+    }
+
+    /// Whether packet paths need to be walked for observation. With the
+    /// default probe and hop tracing off this is `false` and every
+    /// observation site reduces to an untaken branch.
+    fn observing(&self) -> bool {
+        D::ENABLED || self.hop_log.is_some()
+    }
+
+    fn push_hops(&mut self, sink: HopSink, hops: Vec<HopSpan>) {
+        let Some(log) = self.hop_log.as_mut() else {
+            return;
+        };
+        match sink {
+            HopSink::Pending(req) => self.pending_hops.entry(req).or_default().extend(hops),
+            HopSink::Copy(req, server) => log.entry((req, server)).or_default().extend(hops),
+        }
+    }
+
+    /// Records the copy occupying `dev` over `[arrive, depart]` (client
+    /// hold, accelerator selection, server queue + service).
+    fn push_residency_hop(
+        &mut self,
+        sink: HopSink,
+        dev: DeviceId,
+        arrive: SimTime,
+        depart: SimTime,
+    ) {
+        if self.hop_log.is_none() {
+            return;
+        }
+        let hop = HopSpan {
+            dev: dev.to_string(),
+            arrive_ns: arrive.as_nanos(),
+            depart_ns: depart.as_nanos(),
+        };
+        self.push_hops(sink, vec![hop]);
+    }
+
+    /// Walks one network segment (consecutive `nodes`, one link latency
+    /// per edge, free switch forwarding) starting at `t0`: counts a
+    /// tier-`tier` packet of `bytes` bytes at every link and switch it
+    /// crosses, and logs the covering hop spans.
+    fn observe_nodes(
+        &mut self,
+        t0: SimTime,
+        nodes: &[NodeId],
+        tier: usize,
+        sink: HopSink,
+        bytes: u64,
+    ) {
+        let link_latency = self.cfg.link_latency;
+        let logging = self.hop_log.is_some();
+        let mut hops: Vec<HopSpan> = Vec::new();
+        let mut t = t0;
+        for pair in nodes.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            self.devices.packet(DeviceId::Link(a, b), tier, bytes);
+            // A packet occupies the (serialized) link for one traversal.
+            self.devices.busy(DeviceId::Link(a, b), link_latency);
+            let arrived = t + link_latency;
+            if logging {
+                hops.push(HopSpan {
+                    dev: DeviceId::Link(a, b).to_string(),
+                    arrive_ns: t.as_nanos(),
+                    depart_ns: arrived.as_nanos(),
+                });
+            }
+            t = arrived;
+            if let NodeId::Switch(s) = b {
+                self.devices.packet(DeviceId::Switch(s), tier, bytes);
+                if logging {
+                    // Forwarding is free in the timing model: zero-width.
+                    hops.push(HopSpan {
+                        dev: DeviceId::Switch(s).to_string(),
+                        arrive_ns: t.as_nanos(),
+                        depart_ns: t.as_nanos(),
+                    });
+                }
+            }
+        }
+        if logging {
+            self.push_hops(sink, hops);
+        }
+    }
+
+    /// Observes a host-to-host packet leaving at `t0` along the same
+    /// ECMP path the timing helper charged for.
+    fn observe_host_to_host(
+        &mut self,
+        t0: SimTime,
+        a: HostId,
+        b: HostId,
+        hash: u64,
+        sink: HopSink,
+        bytes: u64,
+    ) {
+        let p = self.topo.path(a, b, hash);
+        let tier = self.topo.path_tier(&p).id() as usize;
+        let mut nodes = Vec::with_capacity(p.len() + 2);
+        nodes.push(NodeId::Host(a.0));
+        nodes.extend(p.iter().map(|s| NodeId::Switch(s.0)));
+        nodes.push(NodeId::Host(b.0));
+        self.observe_nodes(t0, &nodes, tier, sink, bytes);
+    }
+
+    /// Observes a host-to-switch packet along `path` (which includes the
+    /// destination switch, matching
+    /// [`FatTree::path_host_to_switch`]).
+    fn observe_host_to_switch(
+        &mut self,
+        t0: SimTime,
+        a: HostId,
+        path: &[SwitchId],
+        sink: HopSink,
+        bytes: u64,
+    ) {
+        let tier = self.topo.path_tier(path).id() as usize;
+        let mut nodes = Vec::with_capacity(path.len() + 1);
+        nodes.push(NodeId::Host(a.0));
+        nodes.extend(path.iter().map(|s| NodeId::Switch(s.0)));
+        self.observe_nodes(t0, &nodes, tier, sink, bytes);
+    }
+
+    /// Observes a switch-to-host packet (the starting switch is part of
+    /// the segment for tier classification but was already counted on
+    /// arrival there).
+    fn observe_switch_to_host(
+        &mut self,
+        t0: SimTime,
+        sw: SwitchId,
+        b: HostId,
+        hash: u64,
+        sink: HopSink,
+        bytes: u64,
+    ) {
+        let p = self.topo.path_switch_to_host(sw, b, hash);
+        let tier = self.topo.path_tier(&p).min(self.topo.tier(sw)).id() as usize;
+        let mut nodes = Vec::with_capacity(p.len() + 2);
+        nodes.push(NodeId::Switch(sw.0));
+        nodes.extend(p.iter().map(|s| NodeId::Switch(s.0)));
+        nodes.push(NodeId::Host(b.0));
+        self.observe_nodes(t0, &nodes, tier, sink, bytes);
+    }
+
+    /// Closes the steer phase of an in-network request: appends the
+    /// residency at `dev` (the accelerator, or the retired operator's
+    /// switch) ending at `until`, and moves the request's pending hops
+    /// into the copy log under `(req, server)`.
+    fn seal_steer_hops(&mut self, req: u64, server: u32, dev: DeviceId, until: SimTime) {
+        if self.hop_log.is_none() {
+            return;
+        }
+        let mut hops = self.pending_hops.remove(&req).unwrap_or_default();
+        let arrive_ns = hops.last().map_or(until.as_nanos(), |h| h.depart_ns);
+        hops.push(HopSpan {
+            dev: dev.to_string(),
+            arrive_ns,
+            depart_ns: until.as_nanos(),
+        });
+        self.push_hops(HopSink::Copy(req, server), hops);
+    }
+
+    /// Takes the accumulated per-device statistics as export-ready
+    /// records, if a recording probe was compiled in. Call after the run
+    /// drains; `now` is the utilization / mean-depth denominator.
+    pub fn take_device_report(&mut self, now: SimTime) -> Option<DeviceStatsReport> {
+        let registry = std::mem::take(&mut self.devices).into_registry()?;
+        let node_tier = |n: NodeId| match n {
+            NodeId::Host(_) => 3,
+            NodeId::Switch(s) => self.topo.tier(SwitchId(s)).id(),
+        };
+        let records = registry
+            .iter()
+            .map(|(&dev, s)| {
+                let (kind, tier, capacity) = match dev {
+                    DeviceId::Switch(s) => ("switch", self.topo.tier(SwitchId(s)).id(), 1),
+                    DeviceId::Accelerator(s) => (
+                        "accel",
+                        self.topo.tier(SwitchId(s)).id(),
+                        self.cfg.accelerator.cores,
+                    ),
+                    DeviceId::Server(_) => ("server", 3, self.cfg.server.slots),
+                    DeviceId::Client(_) => ("client", 3, 1),
+                    DeviceId::Link(a, b) => ("link", node_tier(a).min(node_tier(b)), 1),
+                };
+                DeviceRecord {
+                    dev: dev.to_string(),
+                    kind: kind.to_string(),
+                    tier,
+                    packets: s.packets,
+                    bytes: s.bytes,
+                    ops: s.ops,
+                    selections: s.selections,
+                    mean_selection_wait_ns: s.mean_selection_wait().as_nanos(),
+                    clone_updates: s.clone_updates,
+                    busy_ns: u64::try_from(s.busy_ns).unwrap_or(u64::MAX),
+                    utilization: s.utilization(now, capacity),
+                    mean_queue_depth: s.mean_queue_depth(now),
+                    max_queue_depth: s.max_depth,
+                    drops: s.drops,
+                    clamps: s.clamps,
+                }
+            })
+            .collect();
+        Some(DeviceStatsReport {
+            records,
+            sim_end_ns: now.as_nanos(),
+        })
+    }
+
     /// Enables the virtual-time sampler (call before [`Cluster::prime`],
     /// which schedules its first tick).
     ///
@@ -678,6 +948,8 @@ impl Cluster {
             },
         );
         self.issued += 1;
+        self.devices
+            .bump(DeviceId::Client(client_idx), DeviceCounter::Op, 1);
 
         if is_write {
             // Writes are plain traffic: one copy per replica, no replica
@@ -700,15 +972,26 @@ impl Cluster {
     ) {
         let state = self.requests.get_mut(&req.0).expect("request just created");
         state.copies = replicas.len() as u8;
-        let client_host = self.clients[state.client as usize].host;
+        let client_idx = state.client;
+        let client_host = self.clients[client_idx as usize].host;
         for (i, &server) in replicas.iter().enumerate() {
             let token = ServerToken::new(req, server, now, now, SimDuration::ZERO, now, None);
-            let latency = self.host_to_host(
-                client_host,
-                self.server_hosts[server.0 as usize],
-                self.flow_hash(req, 31 + i as u64),
-            );
+            let hash = self.flow_hash(req, 31 + i as u64);
+            let latency =
+                self.host_to_host(client_host, self.server_hosts[server.0 as usize], hash);
             queue.schedule_after(latency, Ev::ServerArrive { token });
+            if self.observing() {
+                let sink = HopSink::Copy(req.0, server.0);
+                self.push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
+                self.observe_host_to_host(
+                    now,
+                    client_host,
+                    self.server_hosts[server.0 as usize],
+                    hash,
+                    sink,
+                    REQ_BYTES,
+                );
+            }
         }
     }
 
@@ -765,6 +1048,8 @@ impl Cluster {
         };
         if let Some(permit_at) = gated {
             // Hold the request at the client until a send token accrues.
+            self.devices
+                .bump(DeviceId::Client(client_idx as u32), DeviceCounter::Clamp, 1);
             let at = permit_at.max(now + SimDuration::from_nanos(1));
             queue.schedule_at(at, Ev::GatedSend { req, server });
             return;
@@ -789,12 +1074,23 @@ impl Cluster {
             now,
             None,
         );
-        let latency = self.host_to_host(
-            self.clients[client_idx].host,
-            self.server_hosts[server.0 as usize],
-            self.flow_hash(req, u64::from(server.0)),
-        );
+        let hash = self.flow_hash(req, u64::from(server.0));
+        let client_host = self.clients[client_idx].host;
+        let latency = self.host_to_host(client_host, self.server_hosts[server.0 as usize], hash);
         queue.schedule_after(latency, Ev::ServerArrive { token });
+        if self.observing() {
+            let sink = HopSink::Copy(req.0, server.0);
+            // The copy sat at the client from issue to departure.
+            self.push_residency_hop(sink, DeviceId::Client(client_idx as u32), issued_at, now);
+            self.observe_host_to_host(
+                now,
+                client_host,
+                self.server_hosts[server.0 as usize],
+                hash,
+                sink,
+                REQ_BYTES,
+            );
+        }
     }
 
     fn on_r95_check(&mut self, now: SimTime, req: ReqId, queue: &mut EventQueue<Ev>) {
@@ -838,22 +1134,40 @@ impl Cluster {
             dst_host: self.server_hosts[state.backup.0 as usize].0,
         };
         let action = self.rules[&tor].ingress(&mut pkt, true);
+        let client_idx = state.client;
         match action {
             IngressAction::Forward => {
                 // Degraded Replica Selection: straight to the backup.
                 state.copies += 1;
                 let backup = state.backup;
                 let token = ServerToken::new(req, backup, now, now, SimDuration::ZERO, now, None);
-                let latency = self.host_to_host(
-                    client_host,
-                    self.server_hosts[backup.0 as usize],
-                    self.flow_hash(req, 7),
-                );
+                let hash = self.flow_hash(req, 7);
+                let latency =
+                    self.host_to_host(client_host, self.server_hosts[backup.0 as usize], hash);
                 queue.schedule_after(latency, Ev::ServerArrive { token });
+                self.devices
+                    .bump(DeviceId::Switch(tor.0), DeviceCounter::Clamp, 1);
+                if self.observing() {
+                    let sink = HopSink::Copy(req.0, backup.0);
+                    self.push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
+                    self.observe_host_to_host(
+                        now,
+                        client_host,
+                        self.server_hosts[backup.0 as usize],
+                        hash,
+                        sink,
+                        REQ_BYTES,
+                    );
+                }
             }
             IngressAction::ToAccelerator => {
                 // The RSNode is this very ToR: one host→ToR link.
                 queue.schedule_after(self.link(1), Ev::RsnodeArrive { req, op: tor });
+                if self.observing() {
+                    let sink = HopSink::Pending(req.0);
+                    self.push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
+                    self.observe_host_to_switch(now, client_host, &[tor], sink, REQ_BYTES);
+                }
             }
             IngressAction::ForwardTowardRsnode(rid) => {
                 let op = self
@@ -862,8 +1176,15 @@ impl Cluster {
                     .expect("in-network scheme")
                     .switch_of_rsnode(rid)
                     .expect("deployed rules only reference live operators");
-                let latency = self.host_to_switch(client_host, op, self.flow_hash(req, 11));
+                let hash = self.flow_hash(req, 11);
+                let latency = self.host_to_switch(client_host, op, hash);
                 queue.schedule_after(latency, Ev::RsnodeArrive { req, op });
+                if self.observing() {
+                    let sink = HopSink::Pending(req.0);
+                    self.push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
+                    let p = self.topo.path_host_to_switch(client_host, op, hash);
+                    self.observe_host_to_switch(now, client_host, &p, sink, REQ_BYTES);
+                }
             }
             IngressAction::CloneToAcceleratorAndForward => {
                 unreachable!("requests are never cloned")
@@ -919,12 +1240,24 @@ impl Cluster {
             now,
             None,
         );
-        let latency = self.switch_to_host(
-            from,
-            self.server_hosts[backup.0 as usize],
-            self.flow_hash(req, 13),
-        );
+        let hash = self.flow_hash(req, 13);
+        let latency = self.switch_to_host(from, self.server_hosts[backup.0 as usize], hash);
         queue.schedule_after(latency, Ev::ServerArrive { token });
+        self.devices
+            .bump(DeviceId::Switch(from.0), DeviceCounter::Drop, 1);
+        if self.observing() {
+            // Any time spent at the retired operator belongs to its
+            // switch; then the copy heads for the backup replica.
+            self.seal_steer_hops(req.0, backup.0, DeviceId::Switch(from.0), now);
+            self.observe_switch_to_host(
+                now,
+                from,
+                self.server_hosts[backup.0 as usize],
+                hash,
+                HopSink::Copy(req.0, backup.0),
+                REQ_BYTES,
+            );
+        }
     }
 
     fn on_select(
@@ -949,12 +1282,24 @@ impl Cluster {
         state.primary = Some(target);
         state.copies += 1;
         let token = ServerToken::new(req, target, state.sent_at, arrived, waited, now, Some(op));
-        let latency = self.switch_to_host(
-            op,
-            self.server_hosts[target.0 as usize],
-            self.flow_hash(req, 17),
-        );
+        let hash = self.flow_hash(req, 17);
+        let latency = self.switch_to_host(op, self.server_hosts[target.0 as usize], hash);
         queue.schedule_after(latency, Ev::ServerArrive { token });
+        let accel = DeviceId::Accelerator(op.0);
+        self.devices.selection(accel, waited);
+        self.devices.busy(accel, self.cfg.accelerator.service_time);
+        if self.observing() {
+            // The copy occupied the RSNode from arrival through selection.
+            self.seal_steer_hops(req.0, target.0, accel, now);
+            self.observe_switch_to_host(
+                now,
+                op,
+                self.server_hosts[target.0 as usize],
+                hash,
+                HopSink::Copy(req.0, target.0),
+                REQ_BYTES,
+            );
+        }
     }
 
     // ---- servers ----------------------------------------------------
@@ -969,15 +1314,24 @@ impl Cluster {
         // Provisional: correct if a slot is free; a queued copy gets its
         // real service start stamped when it is dispatched.
         token.service_started_at = now;
+        let dev = DeviceId::Server(token.server.0);
+        self.devices.bump(dev, DeviceCounter::Op, 1);
         let server = &mut self.servers[token.server.0 as usize];
-        if let Arrival::Started { finish_at } = server.arrive(token, now) {
-            queue.schedule_at(
-                finish_at,
-                Ev::ServerDone {
-                    server: token.server,
-                    token,
-                },
-            );
+        match server.arrive(token, now) {
+            Arrival::Started { finish_at } => {
+                queue.schedule_at(
+                    finish_at,
+                    Ev::ServerDone {
+                        server: token.server,
+                        token,
+                    },
+                );
+            }
+            Arrival::Queued => {
+                // All slots busy: the copy joins the wait queue
+                // (depth matches `Server::waiting`).
+                self.devices.queue_delta(now, dev, 1);
+            }
         }
     }
 
@@ -989,6 +1343,9 @@ impl Cluster {
         queue: &mut EventQueue<Ev>,
     ) {
         token.served_at = now;
+        let server_dev = DeviceId::Server(server_id.0);
+        self.devices
+            .busy(server_dev, now - token.service_started_at);
         let server = &mut self.servers[server_id.0 as usize];
         let status = server.status();
         if let Some((mut next_token, finish_at)) = server.complete(now).next {
@@ -1001,6 +1358,7 @@ impl Cluster {
                     token: next_token,
                 },
             );
+            self.devices.queue_delta(now, server_dev, -1);
         }
 
         let Some(state) = self.requests.get(&token.req.0) else {
@@ -1009,6 +1367,11 @@ impl Cluster {
         let client_host = self.clients[state.client as usize].host;
         let server_host = self.server_hosts[server_id.0 as usize];
         let hash = self.flow_hash(token.req, 23);
+        let sink = HopSink::Copy(token.req.0, token.server.0);
+        if self.observing() {
+            // The copy occupied the server from arrival (queue + service).
+            self.push_residency_hop(sink, server_dev, token.server_arrived_at, now);
+        }
 
         match token.rsnode {
             Some(op) => {
@@ -1025,13 +1388,31 @@ impl Cluster {
                         latency: at_rsnode - token.rsnode_sent_at,
                     };
                     queue.schedule_at(update_at, Ev::SelectorUpdate { op, fb });
+                    let accel = DeviceId::Accelerator(op.0);
+                    self.devices.bump(accel, DeviceCounter::CloneUpdate, 1);
+                    self.devices.busy(accel, self.cfg.accelerator.service_time);
                 }
                 let at_client = at_rsnode + self.switch_to_host(op, client_host, hash);
                 queue.schedule_at(at_client, Ev::ClientReceive { token, status });
+                if self.observing() {
+                    let p = self.topo.path_host_to_switch(server_host, op, hash);
+                    self.observe_host_to_switch(now, server_host, &p, sink, RESP_BYTES);
+                    self.observe_switch_to_host(at_rsnode, op, client_host, hash, sink, RESP_BYTES);
+                }
             }
             None => {
                 let latency = self.host_to_host(server_host, client_host, hash);
                 queue.schedule_after(latency, Ev::ClientReceive { token, status });
+                if self.observing() {
+                    self.observe_host_to_host(
+                        now,
+                        server_host,
+                        client_host,
+                        hash,
+                        sink,
+                        RESP_BYTES,
+                    );
+                }
             }
         }
     }
@@ -1084,6 +1465,11 @@ impl Cluster {
         let server_queue = token.service_started_at - token.server_arrived_at;
         let service = token.served_at - token.service_started_at;
         let reply = now - token.served_at;
+        let hops = self
+            .hop_log
+            .as_mut()
+            .and_then(|log| log.remove(&(token.req.0, token.server.0)))
+            .unwrap_or_default();
         if let Some(w) = self.tracer.as_mut() {
             use std::io::Write as _;
             let rec = TraceRecord {
@@ -1101,6 +1487,7 @@ impl Cluster {
                 service_ns: service.as_nanos(),
                 reply_ns: reply.as_nanos(),
                 e2e_ns: (now - token.issued_at).as_nanos(),
+                hops,
             };
             let line = serde_json::to_string(&rec).expect("trace record serializes");
             let _ = writeln!(w, "{line}");
@@ -1258,7 +1645,13 @@ impl Cluster {
             .as_ref()
             .map(|c| c.current_plan().tier_census(&self.topo))
             .unwrap_or([0; 3]);
-        let live_accels = self.operators.values().map(|op| &op.accel);
+        // Sort live operators by switch id: float summation order must
+        // not depend on HashMap iteration, or repeated identical runs
+        // disagree in the last bits of the mean.
+        let mut live: Vec<(SwitchId, &Operator)> =
+            self.operators.iter().map(|(&sw, op)| (sw, op)).collect();
+        live.sort_unstable_by_key(|&(sw, _)| sw);
+        let live_accels = live.into_iter().map(|(_, op)| &op.accel);
         let retired_accels = self.retired_operators.iter().map(|op| &op.accel);
         let accels: Vec<&Accelerator> = live_accels.chain(retired_accels).collect();
         let mean_accel_util = if accels.is_empty() {
@@ -1349,7 +1742,7 @@ impl Cluster {
     }
 }
 
-impl World for Cluster {
+impl<D: DeviceProbe> World for Cluster<D> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {

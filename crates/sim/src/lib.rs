@@ -38,6 +38,9 @@ mod stats;
 pub use cluster::{Cluster, Ev, ReqId, ServerToken};
 pub use config::{OverloadPolicy, PlanSource, R95Config, Scheme, SimConfig};
 pub use netrs_simcore::EngineProfile;
-pub use obs::{ObsOptions, SamplePoint, SamplerSpec, TimeSeries, TraceRecord};
+pub use obs::{
+    DeviceRecord, DeviceStatsReport, HopSpan, ObsOptions, SamplePoint, SamplerSpec, TimeSeries,
+    TraceRecord,
+};
 pub use runner::{run, run_all_schemes, run_observed, run_seeds, RunOutput};
 pub use stats::{LatencyBreakdown, MeanStats, RunStats};

@@ -10,7 +10,37 @@
 use std::io::{self, Write};
 
 use netrs_simcore::{RingSeries, SimDuration};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// One hop of a request copy's route: the sim-time interval the copy
+/// occupied one device. Emitted under `--trace-hops`.
+///
+/// Hops are *covering* spans: within one [`TraceRecord`] they are
+/// contiguous (`hops[i].depart_ns == hops[i + 1].arrive_ns`), the first
+/// arrives at `issued_ns`, the last departs at `received_ns`, and the
+/// hop durations therefore telescope to `e2e_ns` exactly. Link hops
+/// last one link latency; switch forwarding hops are zero-width
+/// (forwarding is free in the timing model); residency hops (client
+/// hold, accelerator selection, server queue + service) carry the time
+/// the copy actually waited there.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopSpan {
+    /// The device occupied, in [`netrs_simcore::DeviceId`] display form
+    /// (`switch:5`, `accel:5`, `server:3`, `client:7`, `link:h3>s0`).
+    pub dev: String,
+    /// When the copy arrived at the device (sim nanoseconds).
+    pub arrive_ns: u64,
+    /// When the copy left the device.
+    pub depart_ns: u64,
+}
+
+impl HopSpan {
+    /// Time spent on the device.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.depart_ns - self.arrive_ns
+    }
+}
 
 /// One JSONL line of `--trace` output: a request copy's full lifecycle,
 /// decomposed into consecutive sim-time phases.
@@ -19,7 +49,12 @@ use serde::{Deserialize, Serialize};
 /// service + reply == e2e == received - issued`, exactly, in integer
 /// nanoseconds — each phase is the difference of two consecutive event
 /// timestamps along the copy's path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) to pin the JSONL schema:
+/// field order is fixed, and `hops` is omitted entirely when empty so
+/// traces without `--trace-hops` are byte-identical to the pre-hop
+/// format. A golden-file test guards both shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
     /// The logical request this copy belongs to.
     pub req: u64,
@@ -55,6 +90,9 @@ pub struct TraceRecord {
     pub reply_ns: u64,
     /// End-to-end: `received_ns - issued_ns`.
     pub e2e_ns: u64,
+    /// The copy's hop-by-hop route ([`HopSpan`]s, chronological); empty
+    /// unless hop tracing was enabled.
+    pub hops: Vec<HopSpan>,
 }
 
 impl TraceRecord {
@@ -68,6 +106,80 @@ impl TraceRecord {
             + self.server_queue_ns
             + self.service_ns
             + self.reply_ns
+    }
+
+    /// The sum of all hop durations; equals [`TraceRecord::e2e_ns`] when
+    /// hops were traced (they are contiguous covering spans).
+    #[must_use]
+    pub fn hop_sum_ns(&self) -> u64 {
+        self.hops.iter().map(HopSpan::duration_ns).sum()
+    }
+}
+
+impl Serialize for TraceRecord {
+    fn ser(&self) -> Value {
+        let mut o: Vec<(String, Value)> = vec![
+            ("req".into(), Value::U(u128::from(self.req))),
+            ("server".into(), Value::U(u128::from(self.server))),
+            ("first".into(), Value::Bool(self.first)),
+            ("write".into(), Value::Bool(self.write)),
+            ("issued_ns".into(), Value::U(u128::from(self.issued_ns))),
+            ("received_ns".into(), Value::U(u128::from(self.received_ns))),
+            ("steer_ns".into(), Value::U(u128::from(self.steer_ns))),
+            (
+                "selection_ns".into(),
+                Value::U(u128::from(self.selection_ns)),
+            ),
+            (
+                "selection_wait_ns".into(),
+                Value::U(u128::from(self.selection_wait_ns)),
+            ),
+            (
+                "to_server_ns".into(),
+                Value::U(u128::from(self.to_server_ns)),
+            ),
+            (
+                "server_queue_ns".into(),
+                Value::U(u128::from(self.server_queue_ns)),
+            ),
+            ("service_ns".into(), Value::U(u128::from(self.service_ns))),
+            ("reply_ns".into(), Value::U(u128::from(self.reply_ns))),
+            ("e2e_ns".into(), Value::U(u128::from(self.e2e_ns))),
+        ];
+        if !self.hops.is_empty() {
+            o.push(("hops".into(), self.hops.ser()));
+        }
+        Value::Obj(o)
+    }
+}
+
+impl Deserialize for TraceRecord {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_obj()
+            .ok_or_else(|| DeError::custom("expected object for TraceRecord"))?;
+        let f = |name: &str| serde::field(entries, name, "TraceRecord").and_then(u64::deser);
+        let b = |name: &str| serde::field(entries, name, "TraceRecord").and_then(bool::deser);
+        Ok(TraceRecord {
+            req: f("req")?,
+            server: serde::field(entries, "server", "TraceRecord").and_then(u32::deser)?,
+            first: b("first")?,
+            write: b("write")?,
+            issued_ns: f("issued_ns")?,
+            received_ns: f("received_ns")?,
+            steer_ns: f("steer_ns")?,
+            selection_ns: f("selection_ns")?,
+            selection_wait_ns: f("selection_wait_ns")?,
+            to_server_ns: f("to_server_ns")?,
+            server_queue_ns: f("server_queue_ns")?,
+            service_ns: f("service_ns")?,
+            reply_ns: f("reply_ns")?,
+            e2e_ns: f("e2e_ns")?,
+            hops: match v.get("hops") {
+                Some(hops) => Vec::<HopSpan>::deser(hops)?,
+                None => Vec::new(),
+            },
+        })
     }
 }
 
@@ -175,14 +287,105 @@ impl TimeSeries {
     }
 }
 
+/// One JSONL line of `--devices` output: everything one device
+/// accumulated over the run, flattened for offline analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRecord {
+    /// Stable device key (`switch:5`, `accel:5`, `server:3`,
+    /// `client:7`, `link:h3>s0`).
+    pub dev: String,
+    /// Device kind (`switch`, `accel`, `server`, `client`, `link`).
+    pub kind: String,
+    /// The device's own tier: 0/1/2 for core/agg/ToR switches (and
+    /// their accelerators), the touched switch tier for links, 3 for
+    /// end-hosts.
+    pub tier: u32,
+    /// Packets forwarded per traffic tier (Tier-0/1/2 classification).
+    pub packets: [u64; 3],
+    /// Bytes forwarded per traffic tier.
+    pub bytes: [u64; 3],
+    /// Requests handled (server arrivals, client issues).
+    pub ops: u64,
+    /// Replica selections performed (accelerators only).
+    pub selections: u64,
+    /// Mean accelerator queue wait per selection (ns).
+    pub mean_selection_wait_ns: u64,
+    /// Response clones processed for selector state.
+    pub clone_updates: u64,
+    /// Device busy time (core-ns / slot-ns).
+    pub busy_ns: u64,
+    /// Busy fraction of the device's capacity over the run.
+    pub utilization: f64,
+    /// Sim-time-weighted mean queue depth.
+    pub mean_queue_depth: f64,
+    /// Deepest the device's queue ever got.
+    pub max_queue_depth: u32,
+    /// Work abandoned at the device (retired-RSNode fallbacks).
+    pub drops: u64,
+    /// Load-induced degradations (rate-controller holds, DRS
+    /// forwarding).
+    pub clamps: u64,
+}
+
+/// End-of-run device telemetry: one [`DeviceRecord`] per device ever
+/// touched, in stable device order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceStatsReport {
+    /// The per-device records.
+    pub records: Vec<DeviceRecord>,
+    /// When the run ended (sim nanoseconds) — the utilization /
+    /// mean-depth denominator.
+    pub sim_end_ns: u64,
+}
+
+impl DeviceRecord {
+    /// Packets forwarded across all three traffic tiers.
+    #[must_use]
+    pub fn total_packets(&self) -> u64 {
+        self.packets.iter().sum()
+    }
+
+    /// Bytes forwarded across all three traffic tiers.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+}
+
+impl DeviceStatsReport {
+    /// Records of one kind, registry order preserved.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a DeviceRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Writes the report as JSONL, one [`DeviceRecord`] per line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        for r in &self.records {
+            let line = serde_json::to_string(r).expect("device record serializes");
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
 /// What to observe during a run. The default observes nothing and is
 /// exactly the classic [`run`](crate::run).
 #[derive(Default)]
 pub struct ObsOptions {
     /// JSONL sink for per-request [`TraceRecord`] lines.
     pub trace: Option<Box<dyn Write + Send>>,
+    /// Attach hop-by-hop route spans to each trace record (requires
+    /// `trace`; adds a `hops` array per line).
+    pub trace_hops: bool,
     /// Enable the virtual-time sampler.
     pub timeseries: Option<SamplerSpec>,
+    /// Accumulate the per-device telemetry registry and return a
+    /// [`DeviceStatsReport`].
+    pub device_stats: bool,
     /// Print a once-per-second heartbeat to stderr while running.
     pub progress: bool,
 }
@@ -191,7 +394,9 @@ impl std::fmt::Debug for ObsOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ObsOptions")
             .field("trace", &self.trace.is_some())
+            .field("trace_hops", &self.trace_hops)
             .field("timeseries", &self.timeseries)
+            .field("device_stats", &self.device_stats)
             .field("progress", &self.progress)
             .finish()
     }
@@ -220,11 +425,34 @@ mod tests {
             service_ns: 2_000,
             reply_ns: 500,
             e2e_ns: 8_000,
+            hops: Vec::new(),
         };
         assert_eq!(rec.phase_sum_ns(), rec.e2e_ns);
         let line = serde_json::to_string(&rec).unwrap();
+        assert!(
+            !line.contains("hops"),
+            "empty hops must be omitted for schema stability: {line}"
+        );
         let back: TraceRecord = serde_json::from_str(&line).unwrap();
         assert_eq!(back, rec);
+
+        let mut with_hops = rec;
+        with_hops.hops = vec![
+            HopSpan {
+                dev: "client:0".into(),
+                arrive_ns: 1_000,
+                depart_ns: 3_000,
+            },
+            HopSpan {
+                dev: "link:h0>s1".into(),
+                arrive_ns: 3_000,
+                depart_ns: 4_500,
+            },
+        ];
+        assert_eq!(with_hops.hop_sum_ns(), 3_500);
+        let line = serde_json::to_string(&with_hops).unwrap();
+        let back: TraceRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, with_hops);
     }
 
     #[test]

@@ -5,11 +5,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::thread;
 
-use netrs_simcore::{Engine, EngineProfile};
+use netrs_simcore::{DeviceProbe, DeviceStatsRegistry, Engine, EngineProfile, NoDeviceProbe};
 
 use crate::cluster::Cluster;
 use crate::config::{Scheme, SimConfig};
-use crate::obs::{ObsOptions, TimeSeries};
+use crate::obs::{DeviceStatsReport, ObsOptions, TimeSeries};
 use crate::stats::RunStats;
 
 /// Everything an observed run produces.
@@ -21,6 +21,8 @@ pub struct RunOutput {
     pub profile: EngineProfile,
     /// The sampler's time series, if [`ObsOptions::timeseries`] was set.
     pub timeseries: Option<TimeSeries>,
+    /// Per-device telemetry, if [`ObsOptions::device_stats`] was set.
+    pub devices: Option<DeviceStatsReport>,
 }
 
 /// Runs one configuration to completion and returns its statistics.
@@ -53,13 +55,27 @@ pub fn run(cfg: SimConfig) -> RunStats {
 /// Panics if the configuration is invalid (see [`SimConfig::validate`]).
 #[must_use]
 pub fn run_observed(cfg: SimConfig, obs: ObsOptions) -> RunOutput {
+    // Dispatch once on the probe type so the default path keeps the
+    // monomorphized no-op probe (acceptance: disabled telemetry is
+    // byte-for-byte the uninstrumented simulation).
+    if obs.device_stats {
+        run_observed_with(cfg, obs, DeviceStatsRegistry::default())
+    } else {
+        run_observed_with(cfg, obs, NoDeviceProbe)
+    }
+}
+
+fn run_observed_with<D: DeviceProbe>(cfg: SimConfig, obs: ObsOptions, devices: D) -> RunOutput {
     let total_requests = cfg.requests;
-    let mut cluster = Cluster::new(cfg);
+    let mut cluster = Cluster::with_device_probe(cfg, devices);
     if let Some(w) = obs.trace {
         cluster.set_tracer(w);
     }
     if let Some(spec) = obs.timeseries {
         cluster.enable_sampler(spec);
+    }
+    if obs.trace_hops {
+        cluster.enable_hop_tracing();
     }
     let mut engine = Engine::new(cluster);
     {
@@ -81,17 +97,19 @@ pub fn run_observed(cfg: SimConfig, obs: ObsOptions) -> RunOutput {
     debug_assert!(cluster.drained(), "simulation ended with work outstanding");
     cluster.flush_tracer();
     let timeseries = cluster.take_timeseries();
+    let devices = cluster.take_device_report(now);
     let stats = cluster.stats(now, events);
     RunOutput {
         stats,
         profile,
         timeseries,
+        devices,
     }
 }
 
 /// Drains the engine while printing a once-per-second progress line to
 /// stderr (issued/completed counts, sim time, wall-clock event rate).
-fn run_with_heartbeat(engine: &mut Engine<Cluster>, total_requests: u64) {
+fn run_with_heartbeat<D: DeviceProbe>(engine: &mut Engine<Cluster<D>>, total_requests: u64) {
     const CHUNK: u32 = 16_384;
     let start = Instant::now();
     let mut last_beat = Instant::now();

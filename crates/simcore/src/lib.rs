@@ -14,7 +14,11 @@
 //!   queries, used for every latency figure in the evaluation, and
 //! * [`Probe`] / [`EngineProfile`] / [`RingSeries`] — zero-cost-when-
 //!   disabled engine instrumentation, self-profiling, and bounded
-//!   time-series buffers.
+//!   time-series buffers, and
+//! * [`DeviceProbe`] / [`DeviceStatsRegistry`] — the same monomorphized
+//!   zero-cost pattern one layer down: per-device (switch, link,
+//!   accelerator, server, client) telemetry keyed by stable
+//!   [`DeviceId`]s.
 //!
 //! Everything in this crate is deterministic given a seed: the engine breaks
 //! ties in event time by insertion sequence number and all randomness flows
@@ -54,12 +58,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod device;
 mod engine;
 mod metrics;
 mod rng;
 mod time;
 mod trace;
 
+pub use device::{
+    DeviceCounter, DeviceId, DeviceProbe, DeviceStats, DeviceStatsRegistry, NoDeviceProbe, NodeId,
+};
 pub use engine::{Engine, EventQueue, World};
 pub use metrics::{Histogram, Summary};
 pub use rng::{Bimodal, SimRng, Zipf};

@@ -494,6 +494,20 @@ impl FatTree {
         }
     }
 
+    /// Classifies a path segment by the topologically highest tier it
+    /// touches (the tier of smallest numeric ID: core = 0). For a full
+    /// host-to-host default path this agrees with
+    /// [`FatTree::traffic_tier`]; it also classifies partial segments
+    /// (host→RSNode, RSNode→host) where no host pair exists. An empty
+    /// path (same-host traffic) classifies as rack-local.
+    #[must_use]
+    pub fn path_tier(&self, path: &[SwitchId]) -> Tier {
+        path.iter()
+            .map(|&s| self.tier(s))
+            .min()
+            .unwrap_or(Tier::Tor)
+    }
+
     /// Number of switch forwardings on the default path between two hosts
     /// (1, 3 or 5 for rack-, pod- and core-tier traffic respectively).
     #[must_use]
@@ -515,6 +529,50 @@ mod tests {
 
     fn net() -> FatTree {
         FatTree::new(4).unwrap()
+    }
+
+    #[test]
+    fn path_tier_matches_traffic_tier_on_default_paths() {
+        let net = net();
+        for a in net.hosts() {
+            for b in net.hosts() {
+                if a == b {
+                    continue;
+                }
+                for hash in [0u64, 7, 13] {
+                    let p = net.path(a, b, hash);
+                    assert_eq!(
+                        net.path_tier(&p),
+                        net.traffic_tier(a, b),
+                        "{a}->{b} hash {hash}"
+                    );
+                }
+            }
+        }
+        assert_eq!(net.path_tier(&[]), Tier::Tor, "same-host is rack-local");
+    }
+
+    #[test]
+    fn path_tier_classifies_partial_segments() {
+        let net = net();
+        // Host 0 up to its own ToR: rack-local.
+        let tor = net.tor_of_host(HostId(0));
+        assert_eq!(
+            net.path_tier(&net.path_host_to_switch(HostId(0), tor, 0)),
+            Tier::Tor
+        );
+        // Host 0 up to an agg in its pod: pod-local.
+        let agg = net.agg(0, 0);
+        assert_eq!(
+            net.path_tier(&net.path_host_to_switch(HostId(0), agg, 0)),
+            Tier::Agg
+        );
+        // Host 0 up to a core: cross-pod class.
+        let core = net.core(0);
+        assert_eq!(
+            net.path_tier(&net.path_host_to_switch(HostId(0), core, 0)),
+            Tier::Core
+        );
     }
 
     #[test]

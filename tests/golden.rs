@@ -1,0 +1,164 @@
+//! Golden-file tests for the observability JSONL schemas.
+//!
+//! Offline tooling (`netrs-analyze`, notebooks, CI diffs) parses these
+//! lines by key, so the exact serialized form — key names, key order,
+//! number formatting, and the optionality of `hops` — is a public
+//! contract. These tests pin it byte for byte: a failing golden here
+//! means a schema break that every downstream consumer will see.
+
+use netrs_sim::{DeviceRecord, HopSpan, SamplePoint, TraceRecord};
+
+fn trace_record() -> TraceRecord {
+    TraceRecord {
+        req: 42,
+        server: 3,
+        first: true,
+        write: false,
+        issued_ns: 1_000,
+        received_ns: 601_000,
+        steer_ns: 90_000,
+        selection_ns: 40_000,
+        selection_wait_ns: 10_000,
+        to_server_ns: 60_000,
+        server_queue_ns: 0,
+        service_ns: 350_000,
+        reply_ns: 60_000,
+        e2e_ns: 600_000,
+        hops: Vec::new(),
+    }
+}
+
+#[test]
+fn trace_record_without_hops_matches_golden() {
+    let golden = concat!(
+        "{\"req\":42,\"server\":3,\"first\":true,\"write\":false,",
+        "\"issued_ns\":1000,\"received_ns\":601000,",
+        "\"steer_ns\":90000,\"selection_ns\":40000,\"selection_wait_ns\":10000,",
+        "\"to_server_ns\":60000,\"server_queue_ns\":0,\"service_ns\":350000,",
+        "\"reply_ns\":60000,\"e2e_ns\":600000}"
+    );
+    let record = trace_record();
+    assert_eq!(serde_json::to_string(&record).unwrap(), golden);
+    let back: TraceRecord = serde_json::from_str(golden).unwrap();
+    assert_eq!(back, record);
+}
+
+#[test]
+fn trace_record_with_hops_matches_golden() {
+    let mut record = trace_record();
+    record.hops = vec![
+        HopSpan {
+            dev: "client:0".into(),
+            arrive_ns: 1_000,
+            depart_ns: 1_000,
+        },
+        HopSpan {
+            dev: "link:h0>s0".into(),
+            arrive_ns: 1_000,
+            depart_ns: 31_000,
+        },
+    ];
+    let golden = concat!(
+        "{\"req\":42,\"server\":3,\"first\":true,\"write\":false,",
+        "\"issued_ns\":1000,\"received_ns\":601000,",
+        "\"steer_ns\":90000,\"selection_ns\":40000,\"selection_wait_ns\":10000,",
+        "\"to_server_ns\":60000,\"server_queue_ns\":0,\"service_ns\":350000,",
+        "\"reply_ns\":60000,\"e2e_ns\":600000,\"hops\":[",
+        "{\"dev\":\"client:0\",\"arrive_ns\":1000,\"depart_ns\":1000},",
+        "{\"dev\":\"link:h0>s0\",\"arrive_ns\":1000,\"depart_ns\":31000}]}"
+    );
+    assert_eq!(serde_json::to_string(&record).unwrap(), golden);
+    let back: TraceRecord = serde_json::from_str(golden).unwrap();
+    assert_eq!(back, record);
+}
+
+#[test]
+fn sample_point_matches_golden() {
+    let point = SamplePoint {
+        t_ns: 5_000_000,
+        accel_util: 0.5,
+        server_occupancy: 0.25,
+        outstanding: 12.0,
+        drs_groups: 0.0,
+    };
+    let golden = concat!(
+        "{\"t_ns\":5000000,\"accel_util\":0.5,\"server_occupancy\":0.25,",
+        "\"outstanding\":12,\"drs_groups\":0}"
+    );
+    assert_eq!(serde_json::to_string(&point).unwrap(), golden);
+    let back: SamplePoint = serde_json::from_str(golden).unwrap();
+    assert_eq!(serde_json::to_string(&back).unwrap(), golden);
+}
+
+#[test]
+fn device_record_matches_golden() {
+    let record = DeviceRecord {
+        dev: "link:h3>s0".into(),
+        kind: "link".into(),
+        tier: 2,
+        packets: [10, 20, 30],
+        bytes: [130, 260, 390],
+        ops: 0,
+        selections: 0,
+        mean_selection_wait_ns: 0,
+        clone_updates: 0,
+        busy_ns: 1_800_000,
+        utilization: 0.5,
+        mean_queue_depth: 0.0,
+        max_queue_depth: 0,
+        drops: 0,
+        clamps: 0,
+    };
+    let golden = concat!(
+        "{\"dev\":\"link:h3>s0\",\"kind\":\"link\",\"tier\":2,",
+        "\"packets\":[10,20,30],\"bytes\":[130,260,390],",
+        "\"ops\":0,\"selections\":0,\"mean_selection_wait_ns\":0,",
+        "\"clone_updates\":0,\"busy_ns\":1800000,\"utilization\":0.5,",
+        "\"mean_queue_depth\":0,\"max_queue_depth\":0,\"drops\":0,\"clamps\":0}"
+    );
+    assert_eq!(serde_json::to_string(&record).unwrap(), golden);
+    let back: DeviceRecord = serde_json::from_str(golden).unwrap();
+    assert_eq!(back, record);
+}
+
+/// The two tier classifications in the codebase must agree: the
+/// topology's path-based [`path_tier`] (what the device registry tags
+/// packets with) and the monitor's marker-based [`Monitor::classify`]
+/// (what the controller's T matrix is built from). On a default
+/// host-to-host path they are the same classification by construction —
+/// for every host pair and any ECMP hash.
+///
+/// [`path_tier`]: netrs_topology::FatTree::path_tier
+/// [`Monitor::classify`]: netrs_netdev::Monitor::classify
+#[test]
+fn path_tier_agrees_with_monitor_classify_for_all_host_pairs() {
+    use netrs_netdev::Monitor;
+    use netrs_topology::{FatTree, Tier};
+    use netrs_wire::SourceMarker;
+
+    let topo = FatTree::new(4).unwrap();
+    let marker = |h| SourceMarker {
+        pod: topo.pod_of_host(h) as u16,
+        rack: topo.rack_of_host(h) as u16,
+    };
+    for a in topo.hosts() {
+        for b in topo.hosts() {
+            if a == b {
+                continue;
+            }
+            for hash in [0u64, 7, 13, 0xdead_beef] {
+                let path = topo.path(a, b, hash);
+                let tier_index = match topo.path_tier(&path) {
+                    Tier::Core => 0,
+                    Tier::Agg => 1,
+                    Tier::Tor => 2,
+                };
+                assert_eq!(
+                    tier_index,
+                    Monitor::classify(marker(a), marker(b)),
+                    "hosts {a:?} -> {b:?}, hash {hash}"
+                );
+            }
+        }
+    }
+}

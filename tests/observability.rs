@@ -47,10 +47,12 @@ fn traced_run(scheme: Scheme) -> (Vec<TraceRecord>, netrs_sim::RunOutput) {
     let sink = SharedBuf::default();
     let obs = ObsOptions {
         trace: Some(Box::new(sink.clone())),
+        trace_hops: false,
         timeseries: Some(SamplerSpec {
             interval: SimDuration::from_millis(5),
             capacity: 4_096,
         }),
+        device_stats: false,
         progress: false,
     };
     let out = run_observed(small(scheme), obs);
@@ -217,10 +219,160 @@ fn tracing_does_not_perturb_the_simulation() {
     let sink = SharedBuf::default();
     let obs = ObsOptions {
         trace: Some(Box::new(sink.clone())),
+        trace_hops: false,
         timeseries: None,
+        device_stats: false,
         progress: false,
     };
     let trace_only = run_observed(small(Scheme::NetRsIlp), obs);
     assert_eq!(plain.events, trace_only.stats.events);
     assert!(!sink.take_string().is_empty());
+}
+
+fn hop_traced_run(scheme: Scheme) -> (Vec<TraceRecord>, netrs_sim::RunOutput) {
+    let sink = SharedBuf::default();
+    let obs = ObsOptions {
+        trace: Some(Box::new(sink.clone())),
+        trace_hops: true,
+        timeseries: None,
+        device_stats: false,
+        progress: false,
+    };
+    let out = run_observed(small(scheme), obs);
+    let text = sink.take_string();
+    let records: Vec<TraceRecord> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("every trace line parses as a TraceRecord"))
+        .collect();
+    (records, out)
+}
+
+/// The hop-span acceptance criterion: under `--trace-hops`, every record
+/// carries a covering walk of the request's path — hops are contiguous
+/// (each departure is the next arrival), the walk starts at issue and
+/// ends at receive, and hop durations sum *exactly* to the end-to-end
+/// latency. Holds for all four schemes.
+#[test]
+fn hop_spans_telescope_exactly_for_all_schemes() {
+    for scheme in Scheme::ALL {
+        let (records, out) = hop_traced_run(scheme);
+        assert!(!records.is_empty(), "{scheme}: trace should have records");
+        assert_eq!(
+            records.iter().filter(|r| r.first && !r.write).count() as u64,
+            out.stats.completed,
+            "{scheme}: one winning record per completed read"
+        );
+        for r in &records {
+            assert!(
+                !r.hops.is_empty(),
+                "{scheme}: hop tracing fills hops for req {}",
+                r.req
+            );
+            assert_eq!(
+                r.hops.first().unwrap().arrive_ns,
+                r.issued_ns,
+                "{scheme}: the walk starts when the request is issued (req {})",
+                r.req
+            );
+            assert_eq!(
+                r.hops.last().unwrap().depart_ns,
+                r.received_ns,
+                "{scheme}: the walk ends when the reply is received (req {})",
+                r.req
+            );
+            for pair in r.hops.windows(2) {
+                assert_eq!(
+                    pair[0].depart_ns, pair[1].arrive_ns,
+                    "{scheme}: hops must be contiguous for req {} ({:?} -> {:?})",
+                    r.req, pair[0], pair[1]
+                );
+            }
+            assert_eq!(
+                r.hop_sum_ns(),
+                r.e2e_ns,
+                "{scheme}: hop durations must sum to e2e for req {} (hops {:?})",
+                r.req,
+                r.hops
+            );
+        }
+    }
+}
+
+/// Without `--trace-hops` the hops vector stays empty (and, per the
+/// serializer, absent from the JSONL line), so the PR 1 trace schema is
+/// unchanged by default.
+#[test]
+fn hops_stay_empty_without_the_flag() {
+    let (records, _) = traced_run(Scheme::NetRsIlp);
+    assert!(records.iter().all(|r| r.hops.is_empty()));
+}
+
+/// Acceptance criterion: compiling the registry in but leaving it
+/// disabled changes nothing — a plain run and a device-stats run report
+/// identical statistics (same events, same latency distribution), and
+/// only the latter yields a report.
+#[test]
+fn device_stats_do_not_perturb_the_simulation() {
+    let plain = run(small(Scheme::NetRsIlp));
+    let obs = ObsOptions {
+        trace: None,
+        trace_hops: false,
+        timeseries: None,
+        device_stats: true,
+        progress: false,
+    };
+    let instrumented = run_observed(small(Scheme::NetRsIlp), obs);
+    assert_eq!(plain.events, instrumented.stats.events);
+    assert_eq!(plain.latency, instrumented.stats.latency);
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&instrumented.stats).unwrap(),
+        "RunStats must be byte-identical with telemetry on"
+    );
+    let report = instrumented.devices.expect("device stats were enabled");
+    assert!(!report.records.is_empty());
+
+    let disabled = run_observed(small(Scheme::NetRsIlp), ObsOptions::default());
+    assert!(disabled.devices.is_none(), "no report without the flag");
+}
+
+/// The device report is internally consistent: every completed request
+/// shows up as a client op, selections happen on accelerators only, and
+/// traffic traverses links of every tier the scheme exercises.
+#[test]
+fn device_report_accounts_for_the_run() {
+    let obs = ObsOptions {
+        trace: None,
+        trace_hops: false,
+        timeseries: None,
+        device_stats: true,
+        progress: false,
+    };
+    let out = run_observed(small(Scheme::NetRsIlp), obs);
+    let report = out.devices.expect("device stats were enabled");
+
+    let client_ops: u64 = report.of_kind("client").map(|r| r.ops).sum();
+    assert_eq!(client_ops, out.stats.issued, "one client op per request");
+
+    let selections: u64 = report.of_kind("accel").map(|r| r.selections).sum();
+    assert!(
+        selections > 0 && selections <= out.stats.completed,
+        "reads steered through an RSNode are selected exactly once \
+         ({selections} selections, {} completed)",
+        out.stats.completed
+    );
+    assert!(report.of_kind("server").all(|r| r.tier == 3));
+    assert!(
+        report.of_kind("accel").any(|r| r.busy_ns > 0),
+        "accelerators accumulate busy time"
+    );
+    let link_packets: u64 = report.of_kind("link").map(|r| r.total_packets()).sum();
+    assert!(link_packets > 0, "traffic crossed links");
+    assert!(
+        report
+            .of_kind("link")
+            .any(|r| r.utilization > 0.0 && r.utilization <= 1.0),
+        "link utilization is in (0, 1]"
+    );
+    assert_eq!(report.sim_end_ns, out.stats.sim_end.as_nanos());
 }
