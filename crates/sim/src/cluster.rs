@@ -534,9 +534,13 @@ impl<D: DeviceProbe> Cluster<D> {
             next.insert(sw, op);
         }
         // Keep retired accelerators so end-of-run statistics still see
-        // the work they performed.
+        // the work they performed. Drain in switch order: the retirement
+        // order fixes the float summation order in `stats`, and HashMap
+        // iteration order varies between runs.
+        let mut retired: Vec<(SwitchId, Operator)> = self.operators.drain().collect();
+        retired.sort_unstable_by_key(|&(sw, _)| sw);
         self.retired_operators
-            .extend(self.operators.drain().map(|(_, op)| op));
+            .extend(retired.into_iter().map(|(_, op)| op));
         self.operators = next;
     }
 
@@ -1566,7 +1570,10 @@ impl<D: DeviceProbe> Cluster<D> {
         let window_core_ns =
             u128::from(policy.interval.as_nanos()) * u128::from(self.cfg.accelerator.cores);
         let mut overloaded = Vec::new();
-        for (&sw, op) in &self.operators {
+        let mut ops: Vec<(SwitchId, &Operator)> =
+            self.operators.iter().map(|(&sw, op)| (sw, op)).collect();
+        ops.sort_unstable_by_key(|&(sw, _)| sw);
+        for (sw, op) in ops {
             let busy = op.accel.stats().busy_core_ns;
             let last = self.last_accel_busy.insert(sw, busy).unwrap_or(0);
             // A re-plan may have recreated this operator with a fresh
@@ -1599,10 +1606,18 @@ impl<D: DeviceProbe> Cluster<D> {
         }
         if let PlanSource::Monitored { interval } = self.cfg.plan_source {
             queue.schedule_after(interval, Ev::Replan);
-            let snapshots: Vec<_> = self
-                .monitors
-                .values_mut()
-                .map(|m| m.snapshot(now))
+            // Snapshot in switch order so the traffic matrix accumulates
+            // rates in a run-independent float order.
+            let mut tors: Vec<SwitchId> = self.monitors.keys().copied().collect();
+            tors.sort_unstable();
+            let snapshots: Vec<_> = tors
+                .iter()
+                .map(|tor| {
+                    self.monitors
+                        .get_mut(tor)
+                        .expect("key just listed")
+                        .snapshot(now)
+                })
                 .collect();
             let traffic = TrafficMatrix::from_snapshots(self.groups.len(), &snapshots);
             if traffic.total() <= 0.0 {

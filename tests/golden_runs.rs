@@ -1,0 +1,182 @@
+//! Golden end-to-end run snapshots: the refactoring safety net.
+//!
+//! Each case runs one fixed-seed `SimConfig::small()` configuration with
+//! the full observability stack attached (request trace with hops,
+//! device telemetry) and pins three artifacts byte for byte:
+//!
+//! * the serialized [`RunStats`] JSON (stored verbatim, human-reviewable),
+//! * the `--trace` JSONL stream (pinned by FNV-1a hash + length),
+//! * the `--devices` JSONL report (pinned by FNV-1a hash + length).
+//!
+//! Together the six cases cover every scheme and every event path of the
+//! simulator: client selection, R95 duplicates, cubic rate gating,
+//! writes, demand skew, in-network steering, the monitored re-plan loop
+//! and operator overload degradation. Any refactor of the cluster must
+//! keep these bytes identical — the fixtures were captured before the
+//! fabric/server/policy split and have not been regenerated since.
+//!
+//! To (re)generate after an *intentional* behavior change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_runs -- --test-threads=1
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use netrs_selection::CubicConfig;
+use netrs_sim::{run_observed, ObsOptions, OverloadPolicy, PlanSource, Scheme, SimConfig};
+use netrs_simcore::SimDuration;
+
+/// A `Write` sink the test can read back after the run consumed the box.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.0.lock().unwrap())
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit over the artifact bytes. Not cryptographic — it only
+/// needs to make an accidental behavior change during a refactor visible,
+/// and a 64-bit digest plus the exact byte length does that while keeping
+/// multi-megabyte trace files out of the repository.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden")
+}
+
+/// The pinned configurations. Names are fixture file stems; keep them
+/// stable.
+fn cases() -> Vec<(&'static str, SimConfig)> {
+    let mut cases = Vec::new();
+    for (name, scheme) in [
+        ("clirs", Scheme::CliRs),
+        ("clirs-r95", Scheme::CliRsR95),
+        ("netrs-tor", Scheme::NetRsToR),
+        ("netrs-ilp", Scheme::NetRsIlp),
+    ] {
+        let mut cfg = SimConfig::small();
+        cfg.scheme = scheme;
+        cfg.seed = 42;
+        cases.push((name, cfg));
+    }
+
+    // The monitored control loop: bootstrap ToR plan, periodic re-plans
+    // from monitor snapshots (with operator churn), overload detection.
+    let mut cfg = SimConfig::small();
+    cfg.scheme = Scheme::NetRsIlp;
+    cfg.seed = 7;
+    cfg.plan_source = PlanSource::Monitored {
+        interval: SimDuration::from_millis(500),
+    };
+    cfg.overload = Some(OverloadPolicy::default());
+    cases.push(("netrs-ilp-monitored", cfg));
+
+    // Client-side extras: cubic rate gating (GatedSend events), a write
+    // mix (per-replica fan-out, last-response completion) and demand skew.
+    let mut cfg = SimConfig::small();
+    cfg.scheme = Scheme::CliRs;
+    cfg.seed = 9;
+    cfg.write_fraction = 0.2;
+    cfg.demand_skew = Some(0.7);
+    cfg.rate_control = Some(CubicConfig {
+        init_rate: 2_000.0,
+        ..CubicConfig::default()
+    });
+    cases.push(("clirs-gated-writes", cfg));
+
+    cases
+}
+
+struct Artifacts {
+    stats_json: String,
+    trace: Vec<u8>,
+    devices: Vec<u8>,
+}
+
+fn run_case(cfg: SimConfig) -> Artifacts {
+    let trace_sink = SharedBuf::default();
+    let obs = ObsOptions {
+        trace: Some(Box::new(trace_sink.clone())),
+        trace_hops: true,
+        timeseries: None,
+        device_stats: true,
+        progress: false,
+    };
+    let out = run_observed(cfg, obs);
+    let mut devices = Vec::new();
+    out.devices
+        .as_ref()
+        .expect("device stats were enabled")
+        .write_jsonl(&mut devices)
+        .expect("writing to a Vec cannot fail");
+    Artifacts {
+        stats_json: serde_json::to_string_pretty(&out.stats).expect("stats serialize"),
+        trace: trace_sink.take(),
+        devices,
+    }
+}
+
+fn digest_line(kind: &str, bytes: &[u8]) -> String {
+    format!("{kind} {:016x} {}", fnv1a64(bytes), bytes.len())
+}
+
+#[test]
+fn golden_runs_are_byte_identical() {
+    let dir = fixtures_dir();
+    let regen = std::env::var_os("GOLDEN_REGEN").is_some();
+    if regen {
+        std::fs::create_dir_all(&dir).expect("create fixture dir");
+    }
+    for (name, cfg) in cases() {
+        let art = run_case(cfg);
+        assert!(!art.trace.is_empty(), "{name}: trace must not be empty");
+        assert!(!art.devices.is_empty(), "{name}: devices must not be empty");
+        let digests = format!(
+            "{}\n{}\n",
+            digest_line("trace", &art.trace),
+            digest_line("devices", &art.devices)
+        );
+        let stats_path = dir.join(format!("{name}.stats.json"));
+        let digest_path = dir.join(format!("{name}.digests.txt"));
+        if regen {
+            std::fs::write(&stats_path, &art.stats_json).expect("write stats fixture");
+            std::fs::write(&digest_path, &digests).expect("write digest fixture");
+            continue;
+        }
+        let want_stats = std::fs::read_to_string(&stats_path)
+            .unwrap_or_else(|e| panic!("{name}: missing fixture {}: {e}", stats_path.display()));
+        assert_eq!(
+            art.stats_json, want_stats,
+            "{name}: RunStats JSON diverged from the pre-refactor golden"
+        );
+        let want_digests = std::fs::read_to_string(&digest_path)
+            .unwrap_or_else(|e| panic!("{name}: missing fixture {}: {e}", digest_path.display()));
+        assert_eq!(
+            digests, want_digests,
+            "{name}: --trace/--devices output diverged from the pre-refactor golden"
+        );
+    }
+}
