@@ -29,4 +29,13 @@ done
 grep -q "Per-phase latency comparison" "$SMOKE/report.txt"
 ./target/debug/netrs-analyze check-bench "$SMOKE/bench.json"
 
+echo "==> determinism smoke (same seed, twice, byte-identical stats)"
+for scheme in clirs-r95 netrs-tor; do
+    ./target/debug/simulate --small --scheme "$scheme" --requests 5000 --seed 7 \
+        --json > "$SMOKE/$scheme-det-a.json"
+    ./target/debug/simulate --small --scheme "$scheme" --requests 5000 --seed 7 \
+        --json > "$SMOKE/$scheme-det-b.json"
+    diff -u "$SMOKE/$scheme-det-a.json" "$SMOKE/$scheme-det-b.json"
+done
+
 echo "==> CI green"

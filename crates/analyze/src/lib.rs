@@ -21,7 +21,7 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader};
 use std::path::Path;
 
-use netrs_sim::{DeviceRecord, SamplePoint, TraceRecord};
+use netrs_sim::{DeviceRecord, SamplePoint, Scheme, TraceRecord};
 use netrs_simcore::{Histogram, SimDuration, Summary};
 use serde::Value;
 
@@ -49,19 +49,30 @@ pub const PHASES: [(&str, PhaseExtractor); 6] = [
 ];
 
 /// Parses a `[LABEL=]PATH` trace argument: an explicit label before the
-/// first `=`, otherwise the file stem.
+/// first `=`, otherwise the file stem. Labels naming one of the four
+/// schemes (in any case) are canonicalized to the paper spelling, so
+/// `clirs=a.jsonl` and `netrs-ilp.jsonl` line up with `CliRS` /
+/// `NetRS-ILP` columns from other runs.
 #[must_use]
 pub fn split_label(arg: &str) -> (String, &str) {
     if let Some((label, path)) = arg.split_once('=') {
         if !label.is_empty() && !label.contains(['/', '\\']) {
-            return (label.to_string(), path);
+            return (canonical_label(label), path);
         }
     }
     let stem = Path::new(arg)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or(arg);
-    (stem.to_string(), arg)
+    (canonical_label(stem), arg)
+}
+
+/// Rewrites scheme-name labels to their paper spelling; anything that is
+/// not a scheme name passes through untouched.
+fn canonical_label(label: &str) -> String {
+    label
+        .parse::<Scheme>()
+        .map_or_else(|_| label.to_string(), |s| s.label().to_string())
 }
 
 fn parse_jsonl<T: serde::Deserialize>(path: &str) -> io::Result<Vec<T>> {
@@ -473,13 +484,23 @@ mod tests {
 
     #[test]
     fn split_label_prefers_explicit_label() {
+        // Scheme-name labels canonicalize to the paper spelling.
         assert_eq!(
             split_label("clirs=/tmp/a.jsonl"),
-            ("clirs".into(), "/tmp/a.jsonl")
+            ("CliRS".into(), "/tmp/a.jsonl")
         );
         assert_eq!(
             split_label("/tmp/netrs-ilp.jsonl"),
-            ("netrs-ilp".into(), "/tmp/netrs-ilp.jsonl")
+            ("NetRS-ILP".into(), "/tmp/netrs-ilp.jsonl")
+        );
+        // Non-scheme labels pass through untouched.
+        assert_eq!(
+            split_label("baseline=/tmp/b.jsonl"),
+            ("baseline".into(), "/tmp/b.jsonl")
+        );
+        assert_eq!(
+            split_label("/tmp/run-42.jsonl"),
+            ("run-42".into(), "/tmp/run-42.jsonl")
         );
         // A path containing '=' only in a directory name is not a label.
         assert_eq!(split_label("/tmp/x=y/t.jsonl").1, "/tmp/x=y/t.jsonl");

@@ -25,8 +25,10 @@
 
 mod accelerator;
 mod monitor;
+mod operator;
 mod pipeline;
 
 pub use accelerator::{Accelerator, AcceleratorConfig, AcceleratorStats};
 pub use monitor::{Monitor, TrafficSnapshot};
+pub use operator::RsOperator;
 pub use pipeline::{GroupId, IngressAction, NetRsRules, PacketMeta, TorRules};

@@ -1,0 +1,66 @@
+//! The NetRS operator: the state one RSNode keeps on its switch.
+//!
+//! §IV composes an operator out of the ingress pipeline (shared, in
+//! [`crate::NetRsRules`]), plus two per-RSNode pieces that live and die
+//! with the node's plan assignment: the replica-selection algorithm with
+//! its locally learned server view, and the accelerator that executes it.
+//! [`RsOperator`] bundles those two so the control plane can create,
+//! retain, and retire RSNodes as one unit across re-plans.
+
+use netrs_selection::ReplicaSelector;
+
+use crate::{Accelerator, AcceleratorConfig};
+
+/// One RSNode's device-resident state: its replica selector (the local
+/// information the paper's §II transient is about) and the accelerator
+/// executing selections and folding in cloned responses.
+pub struct RsOperator {
+    /// The selection algorithm with this RSNode's learned server view.
+    pub selector: Box<dyn ReplicaSelector + Send>,
+    /// The accelerator attached to this RSNode's switch.
+    pub accel: Accelerator,
+}
+
+impl RsOperator {
+    /// A fresh operator: the given selector (typically built via
+    /// [`netrs_selection::SelectorKind::build_with_concurrency`]) and a
+    /// new, idle accelerator.
+    #[must_use]
+    pub fn new(selector: Box<dyn ReplicaSelector + Send>, accel: AcceleratorConfig) -> Self {
+        RsOperator {
+            selector,
+            accel: Accelerator::new(accel),
+        }
+    }
+}
+
+impl std::fmt::Debug for RsOperator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RsOperator")
+            .field("selector", &self.selector.name())
+            .field("accel", &self.accel.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrs_kvstore::ServerId;
+    use netrs_selection::{C3Config, SelectorKind};
+    use netrs_simcore::{SimRng, SimTime};
+
+    #[test]
+    fn operator_bundles_selector_and_idle_accelerator() {
+        let selector =
+            SelectorKind::C3.build_with_concurrency(C3Config::default(), 2.0, SimRng::from_seed(1));
+        let mut op = RsOperator::new(selector, AcceleratorConfig::default());
+        assert_eq!(op.selector.name(), "c3");
+        assert_eq!(op.accel.stats().busy_core_ns, 0);
+        let pick = op
+            .selector
+            .select(&[ServerId(0), ServerId(1)], SimTime::ZERO);
+        assert!(pick == ServerId(0) || pick == ServerId(1));
+        assert!(format!("{op:?}").contains("c3"));
+    }
+}

@@ -143,11 +143,51 @@ impl SelectorKind {
             SelectorKind::DynamicSnitch => Box::new(DynamicSnitch::new(0.1, 0.9, rng)),
         }
     }
+
+    /// Builds a boxed selector with C3's concurrency compensation set to
+    /// the number of peer selectors sharing the server pool — the one
+    /// piece of `c3` that depends on where the selector runs (every
+    /// client under CliRS, every RSNode under NetRS) rather than on the
+    /// configuration. This is the single entry point schemes should use.
+    #[must_use]
+    pub fn build_with_concurrency(
+        self,
+        mut c3: C3Config,
+        concurrency: f64,
+        rng: SimRng,
+    ) -> Box<dyn ReplicaSelector + Send> {
+        c3.concurrency = concurrency;
+        self.build(c3, rng)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn build_with_concurrency_overrides_config() {
+        // The helper must override whatever concurrency the config
+        // carries; both calls below must behave like the explicit form.
+        let c3 = C3Config {
+            concurrency: 1.0,
+            ..C3Config::default()
+        };
+        let candidates = [ServerId(0), ServerId(1)];
+        let mut explicit = {
+            let mut c = c3;
+            c.concurrency = 8.0;
+            SelectorKind::C3.build(c, SimRng::from_seed(3))
+        };
+        let mut via_helper = SelectorKind::C3.build_with_concurrency(c3, 8.0, SimRng::from_seed(3));
+        for step in 0..16u64 {
+            let now = SimTime::ZERO + SimDuration::from_micros(step);
+            assert_eq!(
+                explicit.select(&candidates, now),
+                via_helper.select(&candidates, now)
+            );
+        }
+    }
 
     #[test]
     fn kind_builds_every_selector() {

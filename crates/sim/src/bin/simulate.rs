@@ -14,7 +14,7 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use netrs_sim::{run_observed, ObsOptions, SamplerSpec, Scheme, SimConfig};
+use netrs_sim::{run_observed, ObsOptions, SamplerSpec, SimConfig};
 use netrs_simcore::SimDuration;
 
 fn usage() -> ! {
@@ -67,13 +67,10 @@ fn main() {
                 });
             }
             "--scheme" => {
-                cfg.scheme = match next().as_str() {
-                    "clirs" => Scheme::CliRs,
-                    "clirs-r95" => Scheme::CliRsR95,
-                    "netrs-tor" => Scheme::NetRsToR,
-                    "netrs-ilp" => Scheme::NetRsIlp,
-                    _ => usage(),
-                };
+                cfg.scheme = next().parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
             }
             "--requests" => cfg.requests = next().parse().unwrap_or_else(|_| usage()),
             "--clients" => cfg.clients = next().parse().unwrap_or_else(|_| usage()),

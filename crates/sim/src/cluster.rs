@@ -1,6 +1,25 @@
-//! The full cluster simulation: clients, workload generators, the
-//! fat-tree network with NetRS rules, accelerators, monitors and storage
-//! servers, driven by the discrete-event engine.
+//! The simulated cluster: the thin facade tying the three layers
+//! together and dispatching events to them.
+//!
+//! The simulation is layered (see DESIGN.md):
+//!
+//! * [`crate::fabric`] — packet movement over the fat-tree: ECMP path
+//!   replay, link timing, and passive observation (device probe, hop
+//!   log).
+//! * [`crate::server`] — storage-server queueing and service, and the
+//!   per-copy timeline token.
+//! * [`crate::policy`] — the per-scheme decision points behind
+//!   [`SchemePolicy`](crate::policy::SchemePolicy): request steering,
+//!   replica-selection locus, feedback propagation, redundant requests,
+//!   and the control plane.
+//! * [`crate::state`] — the scheme-independent [`Core`]: workload,
+//!   clients, request bookkeeping, and result accounting, owning the
+//!   fabric and server layers.
+//!
+//! [`Cluster`] owns one [`Core`] and one boxed policy and implements
+//! [`World`]: each event is dispatched either to the core (workload,
+//! servers, replies, sampling) or to the policy (steering, selection,
+//! duplicates, control plane), never both ad hoc.
 //!
 //! Timing model (all constants from §V-A): every network link traversal
 //! costs `link_latency` (30 µs); switch forwarding itself is free, so a
@@ -11,99 +30,24 @@
 //! Servers are `Np`-slot FIFO queues with exponentially distributed,
 //! bimodally fluctuating service times.
 
-use std::collections::HashMap;
-
-use netrs::{NetRsController, Rsp, TrafficGroups, TrafficMatrix};
-use netrs_kvstore::{Arrival, Ring, Server, ServerId, ServerStatus};
-use netrs_netdev::{Accelerator, IngressAction, Monitor, NetRsRules, PacketMeta};
-use netrs_selection::{CubicRateController, Feedback, ReplicaSelector};
+use netrs::Rsp;
+use netrs_kvstore::{ServerId, ServerStatus};
+use netrs_selection::Feedback;
 use netrs_simcore::{
-    DeviceCounter, DeviceId, DeviceProbe, EventQueue, Histogram, NoDeviceProbe, NodeId,
-    SimDuration, SimRng, SimTime, World, Zipf,
+    DeviceProbe, EventQueue, Histogram, NoDeviceProbe, SimDuration, SimRng, SimTime, World,
 };
-use netrs_topology::{FatTree, HostId, SwitchId};
-use netrs_wire::{MagicField, RsnodeId, REQUEST_HEADER_LEN, RESPONSE_FIXED_LEN};
+use netrs_topology::{FatTree, SwitchId};
 
-use crate::config::{PlanSource, Scheme, SimConfig};
-use crate::obs::{DeviceRecord, DeviceStatsReport, HopSpan, SamplerSpec, TimeSeries, TraceRecord};
-use crate::stats::{LatencyBreakdown, RunStats};
-
-/// Simulated size of one request packet on the wire (the NetRS request
-/// header; payloads are not modelled).
-const REQ_BYTES: u64 = REQUEST_HEADER_LEN as u64;
-/// Simulated size of one response packet (fixed NetRS response fields).
-const RESP_BYTES: u64 = RESPONSE_FIXED_LEN as u64;
-
-/// Where observed hop spans accumulate while a copy is in flight.
-#[derive(Debug, Clone, Copy)]
-enum HopSink {
-    /// Steer-phase hops of an in-network request whose target server is
-    /// not known yet; sealed into a copy log at selection time.
-    Pending(u64),
-    /// Hops of a concrete copy `(request, server)`.
-    Copy(u64, u32),
-}
+use crate::config::SimConfig;
+use crate::obs::{DeviceStatsReport, SamplerSpec, TimeSeries};
+use crate::policy::SchemePolicy;
+use crate::server::ServerToken;
+use crate::state::Core;
+use crate::stats::RunStats;
 
 /// Identifies one logical client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReqId(pub u64);
-
-/// Everything a request copy carries through the network and the server
-/// queue, including its observability timeline: the consecutive event
-/// timestamps that decompose end-to-end latency into exact phases
-/// (steer → selection → to-server → server queue → service → reply).
-#[derive(Debug, Clone, Copy)]
-pub struct ServerToken {
-    req: ReqId,
-    server: ServerId,
-    /// When this copy left its last sender (client or selector).
-    copy_sent_at: SimTime,
-    /// The RSNode the copy passed, if any, and when it left it.
-    rsnode: Option<SwitchId>,
-    rsnode_sent_at: SimTime,
-    /// When the logical request was issued at the client.
-    issued_at: SimTime,
-    /// When the copy reached its selection point (the RSNode for
-    /// in-network schemes; `issued_at` for client-side selection).
-    steered_at: SimTime,
-    /// Accelerator queue wait (zero for client schemes).
-    selection_wait: SimDuration,
-    /// When the copy arrived at the server.
-    server_arrived_at: SimTime,
-    /// When the server started serving it (after any queueing).
-    service_started_at: SimTime,
-    /// When the server finished serving it.
-    served_at: SimTime,
-}
-
-impl ServerToken {
-    /// A token whose timeline starts at `issued_at` and whose selection
-    /// interval is `[steered_at, copy_sent_at]`; the server-side
-    /// timestamps are stamped as the copy progresses.
-    fn new(
-        req: ReqId,
-        server: ServerId,
-        issued_at: SimTime,
-        steered_at: SimTime,
-        selection_wait: SimDuration,
-        copy_sent_at: SimTime,
-        rsnode: Option<SwitchId>,
-    ) -> Self {
-        ServerToken {
-            req,
-            server,
-            copy_sent_at,
-            rsnode,
-            rsnode_sent_at: copy_sent_at,
-            issued_at,
-            steered_at,
-            selection_wait,
-            server_arrived_at: copy_sent_at,
-            service_started_at: copy_sent_at,
-            served_at: copy_sent_at,
-        }
-    }
-}
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -184,74 +128,6 @@ pub enum Ev {
     Sample,
 }
 
-#[derive(Debug)]
-struct RequestState {
-    client: u32,
-    rgid: u32,
-    issue_idx: u64,
-    sent_at: SimTime,
-    backup: ServerId,
-    primary: Option<ServerId>,
-    completed: bool,
-    copies: u8,
-    dup_sent: bool,
-    is_write: bool,
-}
-
-struct ClientState {
-    host: HostId,
-    selector: Option<Box<dyn ReplicaSelector + Send>>,
-    rate: Option<CubicRateController>,
-    hist: Histogram,
-    rng: SimRng,
-}
-
-struct Operator {
-    selector: Box<dyn ReplicaSelector + Send>,
-    accel: Accelerator,
-}
-
-/// Virtual-time sampler state (present only when enabled).
-struct SamplerState {
-    interval: SimDuration,
-    series: TimeSeries,
-    /// Aggregate accelerator busy core-ns at the previous tick, for
-    /// windowed utilization.
-    last_busy_core_ns: u128,
-    last_tick: SimTime,
-}
-
-/// Per-phase histograms feeding [`LatencyBreakdown`]. Always on: four
-/// `record_nanos` calls per completed read are noise next to the event
-/// loop, and `RunStats` must carry a populated breakdown for every run.
-struct BreakdownHists {
-    network: Histogram,
-    selection: Histogram,
-    server_queue: Histogram,
-    service: Histogram,
-}
-
-impl BreakdownHists {
-    fn new() -> Self {
-        BreakdownHists {
-            network: Histogram::new(),
-            selection: Histogram::new(),
-            server_queue: Histogram::new(),
-            service: Histogram::new(),
-        }
-    }
-
-    fn summarize(&self) -> LatencyBreakdown {
-        LatencyBreakdown {
-            count: self.network.count(),
-            network: self.network.summary(),
-            selection: self.selection.summary(),
-            server_queue: self.server_queue.summary(),
-            service: self.service.summary(),
-        }
-    }
-}
-
 /// The complete simulated cluster (implements
 /// [`netrs_simcore::World`]).
 ///
@@ -264,44 +140,8 @@ impl BreakdownHists {
 /// it never touches event timing or randomness, so `RunStats` are
 /// identical whichever probe is compiled in.
 pub struct Cluster<D: DeviceProbe = NoDeviceProbe> {
-    cfg: SimConfig,
-    topo: FatTree,
-    ring: Ring,
-    zipf: Zipf,
-    server_hosts: Vec<HostId>,
-    clients: Vec<ClientState>,
-    servers: Vec<Server<ServerToken>>,
-    groups: TrafficGroups,
-    controller: Option<NetRsController>,
-    rules: HashMap<SwitchId, NetRsRules>,
-    operators: HashMap<SwitchId, Operator>,
-    monitors: HashMap<SwitchId, Monitor>,
-    requests: HashMap<u64, RequestState>,
-    issued: u64,
-    completed: u64,
-    duplicates: u64,
-    drained_replans: u64,
-    warmup_cutoff: u64,
-    hist: Histogram,
-    write_hist: Histogram,
-    writes_issued: u64,
-    overload_events: u64,
-    last_accel_busy: HashMap<SwitchId, u128>,
-    workload_rng: SimRng,
-    gen_interarrival: SimDuration,
-    top_clients: u32,
-    retired_operators: Vec<Operator>,
-    breakdown: BreakdownHists,
-    tracer: Option<Box<dyn std::io::Write + Send>>,
-    sampler: Option<SamplerState>,
-    devices: D,
-    /// Per-copy hop spans keyed by `(request, server)`, drained into
-    /// [`TraceRecord::hops`] when the copy's response arrives. `None`
-    /// unless hop tracing is enabled.
-    hop_log: Option<HashMap<(u64, u32), Vec<HopSpan>>>,
-    /// Steer-phase hops of in-network requests whose server is not yet
-    /// selected, keyed by request.
-    pending_hops: HashMap<u64, Vec<HopSpan>>,
+    core: Core<D>,
+    policy: Box<dyn SchemePolicy<D> + Send>,
 }
 
 impl Cluster {
@@ -332,468 +172,43 @@ impl<D: DeviceProbe> Cluster<D> {
         if let Err(msg) = cfg.validate() {
             panic!("invalid simulation config: {msg}");
         }
+        // Every random stream is a pure fork of the root: construction
+        // and scheme order never perturb each other's draws.
         let root = SimRng::from_seed(cfg.seed);
-        let topo = FatTree::new(cfg.arity).expect("validated arity");
-
-        // Random non-overlapping placement of servers and clients
-        // ("clients and servers are randomly deployed across end-hosts,
-        // and each host only has one role", §V-A).
-        let mut placement_rng = root.fork(0);
-        let picks = placement_rng.sample_indices(
-            topo.num_hosts() as usize,
-            (cfg.servers + cfg.clients) as usize,
-        );
-        let mut picks: Vec<HostId> = picks.into_iter().map(|h| HostId(h as u32)).collect();
-        placement_rng.shuffle(&mut picks);
-        let server_hosts: Vec<HostId> = picks[..cfg.servers as usize].to_vec();
-        let client_hosts: Vec<HostId> = picks[cfg.servers as usize..].to_vec();
-
-        let ring = Ring::new(
-            cfg.servers,
-            cfg.vnodes,
-            cfg.replication,
-            root.fork(1).next_u64(),
-        )
-        .expect("validated ring parameters");
-        let zipf = Zipf::new(cfg.keys, cfg.zipf);
-
-        let servers: Vec<Server<ServerToken>> = (0..cfg.servers)
-            .map(|i| {
-                Server::new(
-                    ServerId(i),
-                    cfg.server.clone(),
-                    root.fork(20_000 + u64::from(i)),
-                )
-            })
-            .collect();
-
-        let groups = TrafficGroups::build(&topo, &client_hosts, cfg.granularity);
-        let top_clients = (cfg.clients / 5).max(1);
-
-        let mut cluster = Cluster {
-            warmup_cutoff: (cfg.requests as f64 * cfg.warmup_fraction) as u64,
-            gen_interarrival: SimDuration::from_secs_f64(
-                f64::from(cfg.generators) / cfg.arrival_rate(),
-            ),
-            workload_rng: root.fork(2),
-            topo,
-            ring,
-            zipf,
-            server_hosts,
-            clients: Vec::new(),
-            servers,
-            groups,
-            controller: None,
-            rules: HashMap::new(),
-            operators: HashMap::new(),
-            monitors: HashMap::new(),
-            requests: HashMap::new(),
-            issued: 0,
-            completed: 0,
-            duplicates: 0,
-            drained_replans: 0,
-            hist: Histogram::new(),
-            write_hist: Histogram::new(),
-            writes_issued: 0,
-            overload_events: 0,
-            last_accel_busy: HashMap::new(),
-            top_clients,
-            retired_operators: Vec::new(),
-            breakdown: BreakdownHists::new(),
-            tracer: None,
-            sampler: None,
-            devices,
-            hop_log: None,
-            pending_hops: HashMap::new(),
-            cfg,
-        };
-        let built: Vec<ClientState> = client_hosts
-            .iter()
-            .enumerate()
-            .map(|(i, &host)| cluster.build_client(i as u32, host, &root))
-            .collect();
-        cluster.clients = built;
-        cluster.setup_scheme(&root);
-        cluster
-    }
-
-    fn build_client(&self, idx: u32, host: HostId, root: &SimRng) -> ClientState {
-        let selector = if self.cfg.scheme.is_in_network() {
-            None
-        } else {
-            let mut c3 = self.cfg.c3;
-            c3.concurrency = f64::from(self.cfg.clients).max(1.0);
-            Some(
-                self.cfg
-                    .selector
-                    .build(c3, root.fork(10_000 + u64::from(idx))),
-            )
-        };
-        ClientState {
-            host,
-            selector,
-            rate: (!self.cfg.scheme.is_in_network())
-                .then(|| self.cfg.rate_control.map(CubicRateController::new))
-                .flatten(),
-            hist: Histogram::new(),
-            rng: root.fork(40_000 + u64::from(idx)),
-        }
-    }
-
-    /// Expected request rate of each client (requests/second), honouring
-    /// the demand skew.
-    fn client_rates(&self) -> Vec<(HostId, f64)> {
-        let a = self.cfg.arrival_rate();
-        let n = self.cfg.clients;
-        let top = self.top_clients;
-        self.clients
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let rate = match self.cfg.demand_skew {
-                    None => a / f64::from(n),
-                    Some(s) => {
-                        if (i as u32) < top {
-                            a * s / f64::from(top)
-                        } else {
-                            a * (1.0 - s) / f64::from(n - top)
-                        }
-                    }
-                };
-                (c.host, rate)
-            })
-            .collect()
-    }
-
-    fn setup_scheme(&mut self, root: &SimRng) {
-        if !self.cfg.scheme.is_in_network() {
-            return;
-        }
-        let mut controller = NetRsController::new(
-            self.topo.clone(),
-            netrs::ControllerConfig {
-                constraints: self.cfg.plan.clone(),
-            },
-        );
-        let rsp = match (self.cfg.scheme, self.cfg.plan_source) {
-            (Scheme::NetRsToR, _) | (Scheme::NetRsIlp, PlanSource::Monitored { .. }) => {
-                // NetRS-ToR, or the monitored bootstrap before the first
-                // measurement window completes.
-                Rsp::tor_plan(&self.groups)
-            }
-            (Scheme::NetRsIlp, PlanSource::Oracle) => {
-                let traffic = TrafficMatrix::oracle(
-                    &self.topo,
-                    &self.groups,
-                    &self.client_rates(),
-                    &self.server_hosts,
-                );
-                let solver = self.cfg.plan_solver;
-                controller.plan(&self.groups, &traffic, solver).clone()
-            }
-            _ => unreachable!("client schemes handled above"),
-        };
-        controller.install(rsp);
-        self.rules = controller.deploy(&self.groups);
-        self.controller = Some(controller);
-        self.rebuild_operators(root.clone());
-
-        // Monitors sit on every ToR with attached clients.
-        for info in self.groups.iter() {
-            let controller = self.controller.as_ref().expect("just set");
-            self.monitors
-                .entry(info.tor)
-                .or_insert_with(|| Monitor::new(controller.marker_of_rack(info.tor.0)));
-        }
-    }
-
-    /// (Re)creates operator state for the current plan: new RSNodes start
-    /// with fresh selectors (the paper's §II transient), retained RSNodes
-    /// keep their local information.
-    fn rebuild_operators(&mut self, root: SimRng) {
-        let rsnodes = self
-            .controller
-            .as_ref()
-            .expect("in-network scheme")
-            .current_plan()
-            .rsnodes();
-        let n = rsnodes.len().max(1) as f64;
-        let mut next = HashMap::new();
-        for sw in rsnodes {
-            let op = self.operators.remove(&sw).unwrap_or_else(|| {
-                let mut c3 = self.cfg.c3;
-                c3.concurrency = n;
-                Operator {
-                    selector: self
-                        .cfg
-                        .selector
-                        .build(c3, root.fork(30_000 + u64::from(sw.0))),
-                    accel: Accelerator::new(self.cfg.accelerator),
-                }
-            });
-            next.insert(sw, op);
-        }
-        // Keep retired accelerators so end-of-run statistics still see
-        // the work they performed. Drain in switch order: the retirement
-        // order fixes the float summation order in `stats`, and HashMap
-        // iteration order varies between runs.
-        let mut retired: Vec<(SwitchId, Operator)> = self.operators.drain().collect();
-        retired.sort_unstable_by_key(|&(sw, _)| sw);
-        self.retired_operators
-            .extend(retired.into_iter().map(|(_, op)| op));
-        self.operators = next;
+        let core = Core::new(cfg, devices, &root);
+        let policy = crate::policy::build(&core, &root);
+        Cluster { core, policy }
     }
 
     /// Primes the event queue: generator arrivals, server fluctuation
-    /// timers and (for the monitored plan source) the re-plan timer.
+    /// timers, the scheme's control-plane timers, and the sampler tick.
     pub fn prime(&mut self, queue: &mut EventQueue<Ev>) {
-        for gen in 0..self.cfg.generators {
-            let gap = self.workload_rng.exp_duration(self.gen_interarrival);
-            queue.schedule_at(SimTime::ZERO + gap, Ev::Generate { gen });
-        }
-        for s in 0..self.cfg.servers {
-            queue.schedule_after(
-                self.cfg.server.fluctuation_interval,
-                Ev::Fluctuate {
-                    server: ServerId(s),
-                },
-            );
-        }
-        if let (true, PlanSource::Monitored { interval }) =
-            (self.cfg.scheme == Scheme::NetRsIlp, self.cfg.plan_source)
-        {
-            queue.schedule_after(interval, Ev::Replan);
-        }
-        if let (true, Some(policy)) = (self.cfg.scheme.is_in_network(), self.cfg.overload) {
-            queue.schedule_after(policy.interval, Ev::OverloadCheck);
-        }
-        if let Some(s) = &self.sampler {
-            queue.schedule_after(s.interval, Ev::Sample);
-        }
+        self.core.prime_workload(queue);
+        self.policy.prime(&mut self.core, queue);
+        self.core.prime_sampler(queue);
     }
 
     // ---- observability ---------------------------------------------------
 
-    /// Streams one JSONL [`TraceRecord`] per received request copy to
-    /// `w`. Tracing only writes; it never perturbs event timing.
+    /// Streams one JSONL [`TraceRecord`](crate::obs::TraceRecord) per
+    /// received request copy to `w`. Tracing only writes; it never
+    /// perturbs event timing.
     pub fn set_tracer(&mut self, w: Box<dyn std::io::Write + Send>) {
-        self.tracer = Some(w);
+        self.core.set_tracer(w);
     }
 
     /// Attaches hop-by-hop route spans to every trace record (see
-    /// [`HopSpan`]). Independent of the device probe; like it, this only
-    /// records and never perturbs event timing.
+    /// [`HopSpan`](crate::obs::HopSpan)). Independent of the device
+    /// probe; like it, this only records and never perturbs event timing.
     pub fn enable_hop_tracing(&mut self) {
-        self.hop_log = Some(HashMap::new());
-    }
-
-    /// Whether packet paths need to be walked for observation. With the
-    /// default probe and hop tracing off this is `false` and every
-    /// observation site reduces to an untaken branch.
-    fn observing(&self) -> bool {
-        D::ENABLED || self.hop_log.is_some()
-    }
-
-    fn push_hops(&mut self, sink: HopSink, hops: Vec<HopSpan>) {
-        let Some(log) = self.hop_log.as_mut() else {
-            return;
-        };
-        match sink {
-            HopSink::Pending(req) => self.pending_hops.entry(req).or_default().extend(hops),
-            HopSink::Copy(req, server) => log.entry((req, server)).or_default().extend(hops),
-        }
-    }
-
-    /// Records the copy occupying `dev` over `[arrive, depart]` (client
-    /// hold, accelerator selection, server queue + service).
-    fn push_residency_hop(
-        &mut self,
-        sink: HopSink,
-        dev: DeviceId,
-        arrive: SimTime,
-        depart: SimTime,
-    ) {
-        if self.hop_log.is_none() {
-            return;
-        }
-        let hop = HopSpan {
-            dev: dev.to_string(),
-            arrive_ns: arrive.as_nanos(),
-            depart_ns: depart.as_nanos(),
-        };
-        self.push_hops(sink, vec![hop]);
-    }
-
-    /// Walks one network segment (consecutive `nodes`, one link latency
-    /// per edge, free switch forwarding) starting at `t0`: counts a
-    /// tier-`tier` packet of `bytes` bytes at every link and switch it
-    /// crosses, and logs the covering hop spans.
-    fn observe_nodes(
-        &mut self,
-        t0: SimTime,
-        nodes: &[NodeId],
-        tier: usize,
-        sink: HopSink,
-        bytes: u64,
-    ) {
-        let link_latency = self.cfg.link_latency;
-        let logging = self.hop_log.is_some();
-        let mut hops: Vec<HopSpan> = Vec::new();
-        let mut t = t0;
-        for pair in nodes.windows(2) {
-            let (a, b) = (pair[0], pair[1]);
-            self.devices.packet(DeviceId::Link(a, b), tier, bytes);
-            // A packet occupies the (serialized) link for one traversal.
-            self.devices.busy(DeviceId::Link(a, b), link_latency);
-            let arrived = t + link_latency;
-            if logging {
-                hops.push(HopSpan {
-                    dev: DeviceId::Link(a, b).to_string(),
-                    arrive_ns: t.as_nanos(),
-                    depart_ns: arrived.as_nanos(),
-                });
-            }
-            t = arrived;
-            if let NodeId::Switch(s) = b {
-                self.devices.packet(DeviceId::Switch(s), tier, bytes);
-                if logging {
-                    // Forwarding is free in the timing model: zero-width.
-                    hops.push(HopSpan {
-                        dev: DeviceId::Switch(s).to_string(),
-                        arrive_ns: t.as_nanos(),
-                        depart_ns: t.as_nanos(),
-                    });
-                }
-            }
-        }
-        if logging {
-            self.push_hops(sink, hops);
-        }
-    }
-
-    /// Observes a host-to-host packet leaving at `t0` along the same
-    /// ECMP path the timing helper charged for.
-    fn observe_host_to_host(
-        &mut self,
-        t0: SimTime,
-        a: HostId,
-        b: HostId,
-        hash: u64,
-        sink: HopSink,
-        bytes: u64,
-    ) {
-        let p = self.topo.path(a, b, hash);
-        let tier = self.topo.path_tier(&p).id() as usize;
-        let mut nodes = Vec::with_capacity(p.len() + 2);
-        nodes.push(NodeId::Host(a.0));
-        nodes.extend(p.iter().map(|s| NodeId::Switch(s.0)));
-        nodes.push(NodeId::Host(b.0));
-        self.observe_nodes(t0, &nodes, tier, sink, bytes);
-    }
-
-    /// Observes a host-to-switch packet along `path` (which includes the
-    /// destination switch, matching
-    /// [`FatTree::path_host_to_switch`]).
-    fn observe_host_to_switch(
-        &mut self,
-        t0: SimTime,
-        a: HostId,
-        path: &[SwitchId],
-        sink: HopSink,
-        bytes: u64,
-    ) {
-        let tier = self.topo.path_tier(path).id() as usize;
-        let mut nodes = Vec::with_capacity(path.len() + 1);
-        nodes.push(NodeId::Host(a.0));
-        nodes.extend(path.iter().map(|s| NodeId::Switch(s.0)));
-        self.observe_nodes(t0, &nodes, tier, sink, bytes);
-    }
-
-    /// Observes a switch-to-host packet (the starting switch is part of
-    /// the segment for tier classification but was already counted on
-    /// arrival there).
-    fn observe_switch_to_host(
-        &mut self,
-        t0: SimTime,
-        sw: SwitchId,
-        b: HostId,
-        hash: u64,
-        sink: HopSink,
-        bytes: u64,
-    ) {
-        let p = self.topo.path_switch_to_host(sw, b, hash);
-        let tier = self.topo.path_tier(&p).min(self.topo.tier(sw)).id() as usize;
-        let mut nodes = Vec::with_capacity(p.len() + 2);
-        nodes.push(NodeId::Switch(sw.0));
-        nodes.extend(p.iter().map(|s| NodeId::Switch(s.0)));
-        nodes.push(NodeId::Host(b.0));
-        self.observe_nodes(t0, &nodes, tier, sink, bytes);
-    }
-
-    /// Closes the steer phase of an in-network request: appends the
-    /// residency at `dev` (the accelerator, or the retired operator's
-    /// switch) ending at `until`, and moves the request's pending hops
-    /// into the copy log under `(req, server)`.
-    fn seal_steer_hops(&mut self, req: u64, server: u32, dev: DeviceId, until: SimTime) {
-        if self.hop_log.is_none() {
-            return;
-        }
-        let mut hops = self.pending_hops.remove(&req).unwrap_or_default();
-        let arrive_ns = hops.last().map_or(until.as_nanos(), |h| h.depart_ns);
-        hops.push(HopSpan {
-            dev: dev.to_string(),
-            arrive_ns,
-            depart_ns: until.as_nanos(),
-        });
-        self.push_hops(HopSink::Copy(req, server), hops);
+        self.core.fabric.enable_hop_tracing();
     }
 
     /// Takes the accumulated per-device statistics as export-ready
     /// records, if a recording probe was compiled in. Call after the run
     /// drains; `now` is the utilization / mean-depth denominator.
     pub fn take_device_report(&mut self, now: SimTime) -> Option<DeviceStatsReport> {
-        let registry = std::mem::take(&mut self.devices).into_registry()?;
-        let node_tier = |n: NodeId| match n {
-            NodeId::Host(_) => 3,
-            NodeId::Switch(s) => self.topo.tier(SwitchId(s)).id(),
-        };
-        let records = registry
-            .iter()
-            .map(|(&dev, s)| {
-                let (kind, tier, capacity) = match dev {
-                    DeviceId::Switch(s) => ("switch", self.topo.tier(SwitchId(s)).id(), 1),
-                    DeviceId::Accelerator(s) => (
-                        "accel",
-                        self.topo.tier(SwitchId(s)).id(),
-                        self.cfg.accelerator.cores,
-                    ),
-                    DeviceId::Server(_) => ("server", 3, self.cfg.server.slots),
-                    DeviceId::Client(_) => ("client", 3, 1),
-                    DeviceId::Link(a, b) => ("link", node_tier(a).min(node_tier(b)), 1),
-                };
-                DeviceRecord {
-                    dev: dev.to_string(),
-                    kind: kind.to_string(),
-                    tier,
-                    packets: s.packets,
-                    bytes: s.bytes,
-                    ops: s.ops,
-                    selections: s.selections,
-                    mean_selection_wait_ns: s.mean_selection_wait().as_nanos(),
-                    clone_updates: s.clone_updates,
-                    busy_ns: u64::try_from(s.busy_ns).unwrap_or(u64::MAX),
-                    utilization: s.utilization(now, capacity),
-                    mean_queue_depth: s.mean_queue_depth(now),
-                    max_queue_depth: s.max_depth,
-                    drops: s.drops,
-                    clamps: s.clamps,
-                }
-            })
-            .collect();
-        Some(DeviceStatsReport {
-            records,
-            sim_end_ns: now.as_nanos(),
-        })
+        self.core.take_device_report(now)
     }
 
     /// Enables the virtual-time sampler (call before [`Cluster::prime`],
@@ -805,955 +220,82 @@ impl<D: DeviceProbe> Cluster<D> {
     /// re-arm at the current instant forever and sim time could never
     /// advance.
     pub fn enable_sampler(&mut self, spec: SamplerSpec) {
-        assert!(
-            spec.interval > SimDuration::ZERO,
-            "sampler interval must be positive"
-        );
-        self.sampler = Some(SamplerState {
-            interval: spec.interval,
-            series: TimeSeries::new(spec.capacity),
-            last_busy_core_ns: 0,
-            last_tick: SimTime::ZERO,
-        });
+        self.core.enable_sampler(spec);
     }
 
     /// Takes the sampler's time series, if the sampler ran.
     pub fn take_timeseries(&mut self) -> Option<TimeSeries> {
-        self.sampler.take().map(|s| s.series)
+        self.core.take_timeseries()
     }
 
     /// Flushes the trace sink, if any (call after the run drains).
     pub fn flush_tracer(&mut self) {
-        use std::io::Write as _;
-        if let Some(w) = self.tracer.as_mut() {
-            let _ = w.flush();
-        }
-    }
-
-    /// One sampler tick: windowed accelerator utilization, instantaneous
-    /// server occupancy, outstanding requests, and the DRS group count.
-    fn on_sample(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
-        let busy: u128 = self
-            .operators
-            .values()
-            .chain(self.retired_operators.iter())
-            .map(|op| op.accel.stats().busy_core_ns)
-            .sum();
-        let n_accels = (self.operators.len() + self.retired_operators.len()) as u128;
-        let occupancy = self.servers.iter().map(|s| s.slot_occupancy()).sum::<f64>()
-            / self.servers.len() as f64;
-        let outstanding = self.requests.len() as f64;
-        let drs = self
-            .controller
-            .as_ref()
-            .map_or(0, |c| c.current_plan().drs.len()) as f64;
-        let cores = u128::from(self.cfg.accelerator.cores);
-        let Some(s) = self.sampler.as_mut() else {
-            return;
-        };
-        let window_ns = u128::from(now.saturating_since(s.last_tick).as_nanos());
-        let capacity = window_ns * cores * n_accels;
-        let util = if capacity == 0 {
-            0.0
-        } else {
-            // busy counts scheduled work that may extend past `now`;
-            // clamp the window to the physically possible maximum.
-            (busy.saturating_sub(s.last_busy_core_ns) as f64 / capacity as f64).min(1.0)
-        };
-        s.last_busy_core_ns = busy;
-        s.last_tick = now;
-        s.series.accel_util.push(now, util);
-        s.series.server_occupancy.push(now, occupancy);
-        s.series.outstanding.push(now, outstanding);
-        s.series.drs_groups.push(now, drs);
-        let interval = s.interval;
-        if !self.drained() {
-            queue.schedule_after(interval, Ev::Sample);
-        }
+        self.core.flush_tracer();
     }
 
     /// Whether all issued requests have completed and no more will be
     /// issued.
     #[must_use]
     pub fn drained(&self) -> bool {
-        self.issued >= self.cfg.requests && self.requests.is_empty()
+        self.core.drained()
     }
 
-    // ---- timing helpers -------------------------------------------------
-
-    fn link(&self, edges: u32) -> SimDuration {
-        self.cfg.link_latency * u64::from(edges)
-    }
-
-    fn host_to_host(&self, a: HostId, b: HostId, hash: u64) -> SimDuration {
-        let p = self.topo.path(a, b, hash);
-        self.link(p.len() as u32 + 1)
-    }
-
-    fn host_to_switch(&self, a: HostId, sw: SwitchId, hash: u64) -> SimDuration {
-        let p = self.topo.path_host_to_switch(a, sw, hash);
-        self.link(p.len() as u32)
-    }
-
-    fn switch_to_host(&self, sw: SwitchId, b: HostId, hash: u64) -> SimDuration {
-        let p = self.topo.path_switch_to_host(sw, b, hash);
-        self.link(p.len() as u32 + 1)
-    }
-
-    fn flow_hash(&self, req: ReqId, salt: u64) -> u64 {
-        netrs_kvstore::hash64(req.0 ^ salt.wrapping_mul(0x9E37_79B9))
-    }
-
-    // ---- workload -------------------------------------------------------
-
-    fn pick_client(&mut self) -> u32 {
-        match self.cfg.demand_skew {
-            None => self.workload_rng.below(u64::from(self.cfg.clients)) as u32,
-            Some(s) => {
-                if self.workload_rng.chance(s) {
-                    self.workload_rng.below(u64::from(self.top_clients)) as u32
-                } else {
-                    let rest = u64::from(self.cfg.clients - self.top_clients);
-                    self.top_clients + self.workload_rng.below(rest) as u32
-                }
-            }
-        }
-    }
-
-    fn on_generate(&mut self, now: SimTime, gen: u32, queue: &mut EventQueue<Ev>) {
-        if self.issued >= self.cfg.requests {
-            return; // workload exhausted: let the generator die out
-        }
-        let gap = self.workload_rng.exp_duration(self.gen_interarrival);
-        queue.schedule_after(gap, Ev::Generate { gen });
-
-        let client_idx = self.pick_client();
-        let key = self.zipf.sample(&mut self.workload_rng);
-        let rgid = self.ring.group_of_key(key);
-        let replicas = self.ring.groups().replicas(rgid).to_vec();
-        let backup = replicas[self.clients[client_idx as usize].rng.index(replicas.len())];
-
-        let is_write =
-            self.cfg.write_fraction > 0.0 && self.workload_rng.chance(self.cfg.write_fraction);
-        let req = ReqId(self.issued);
-        self.requests.insert(
-            req.0,
-            RequestState {
-                client: client_idx,
-                rgid,
-                issue_idx: self.issued,
-                sent_at: now,
-                backup,
-                primary: None,
-                completed: false,
-                copies: 0,
-                dup_sent: false,
-                is_write,
-            },
-        );
-        self.issued += 1;
-        self.devices
-            .bump(DeviceId::Client(client_idx), DeviceCounter::Op, 1);
-
-        if is_write {
-            // Writes are plain traffic: one copy per replica, no replica
-            // selection, complete when the last replica answers.
-            self.writes_issued += 1;
-            self.issue_write(now, req, &replicas, queue);
-        } else if self.cfg.scheme.is_in_network() {
-            self.netrs_send(now, req, queue);
-        } else {
-            self.client_select_and_send(now, req, &replicas, queue);
-        }
-    }
-
-    fn issue_write(
-        &mut self,
-        now: SimTime,
-        req: ReqId,
-        replicas: &[ServerId],
-        queue: &mut EventQueue<Ev>,
-    ) {
-        let state = self.requests.get_mut(&req.0).expect("request just created");
-        state.copies = replicas.len() as u8;
-        let client_idx = state.client;
-        let client_host = self.clients[client_idx as usize].host;
-        for (i, &server) in replicas.iter().enumerate() {
-            let token = ServerToken::new(req, server, now, now, SimDuration::ZERO, now, None);
-            let hash = self.flow_hash(req, 31 + i as u64);
-            let latency =
-                self.host_to_host(client_host, self.server_hosts[server.0 as usize], hash);
-            queue.schedule_after(latency, Ev::ServerArrive { token });
-            if self.observing() {
-                let sink = HopSink::Copy(req.0, server.0);
-                self.push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
-                self.observe_host_to_host(
-                    now,
-                    client_host,
-                    self.server_hosts[server.0 as usize],
-                    hash,
-                    sink,
-                    REQ_BYTES,
-                );
-            }
-        }
-    }
-
-    // ---- CliRS / CliRS-R95 ----------------------------------------------
-
-    fn client_select_and_send(
-        &mut self,
-        now: SimTime,
-        req: ReqId,
-        replicas: &[ServerId],
-        queue: &mut EventQueue<Ev>,
-    ) {
-        let state = self.requests.get_mut(&req.0).expect("request just created");
-        let client = &mut self.clients[state.client as usize];
-        let target = client
-            .selector
-            .as_mut()
-            .expect("client schemes run selectors")
-            .select(replicas, now);
-        state.primary = Some(target);
-        self.dispatch_client_copy(now, req, target, queue);
-
-        if self.cfg.scheme == Scheme::CliRsR95 {
-            let state = &self.requests[&req.0];
-            let client = &self.clients[state.client as usize];
-            if client.hist.count() >= self.cfg.r95.min_samples {
-                let deadline = client.hist.value_at_quantile(self.cfg.r95.quantile);
-                queue.schedule_after(deadline, Ev::R95Check { req });
-            }
-        }
-    }
-
-    /// Sends one request copy from the client toward `server`, honouring
-    /// the optional cubic rate controller.
-    fn dispatch_client_copy(
-        &mut self,
-        now: SimTime,
-        req: ReqId,
-        server: ServerId,
-        queue: &mut EventQueue<Ev>,
-    ) {
-        let Some(state) = self.requests.get_mut(&req.0) else {
-            return;
-        };
-        let client_idx = state.client as usize;
-        let gated = if let Some(ctl) = self.clients[client_idx].rate.as_mut() {
-            if ctl.try_send(server, now) {
-                None
-            } else {
-                Some(ctl.next_permit_at(server, now))
-            }
-        } else {
-            None
-        };
-        if let Some(permit_at) = gated {
-            // Hold the request at the client until a send token accrues.
-            self.devices
-                .bump(DeviceId::Client(client_idx as u32), DeviceCounter::Clamp, 1);
-            let at = permit_at.max(now + SimDuration::from_nanos(1));
-            queue.schedule_at(at, Ev::GatedSend { req, server });
-            return;
-        }
-        state.copies += 1;
-        let issued_at = state.sent_at;
-        let client = &mut self.clients[client_idx];
-        client
-            .selector
-            .as_mut()
-            .expect("client schemes run selectors")
-            .on_send(server, now);
-        // Client-side selection has no steering hop: the interval from
-        // issue to departure (rate gating, duplicate timers) is the
-        // "selection" phase of the breakdown.
-        let token = ServerToken::new(
-            req,
-            server,
-            issued_at,
-            issued_at,
-            SimDuration::ZERO,
-            now,
-            None,
-        );
-        let hash = self.flow_hash(req, u64::from(server.0));
-        let client_host = self.clients[client_idx].host;
-        let latency = self.host_to_host(client_host, self.server_hosts[server.0 as usize], hash);
-        queue.schedule_after(latency, Ev::ServerArrive { token });
-        if self.observing() {
-            let sink = HopSink::Copy(req.0, server.0);
-            // The copy sat at the client from issue to departure.
-            self.push_residency_hop(sink, DeviceId::Client(client_idx as u32), issued_at, now);
-            self.observe_host_to_host(
-                now,
-                client_host,
-                self.server_hosts[server.0 as usize],
-                hash,
-                sink,
-                REQ_BYTES,
-            );
-        }
-    }
-
-    fn on_r95_check(&mut self, now: SimTime, req: ReqId, queue: &mut EventQueue<Ev>) {
-        let Some(state) = self.requests.get_mut(&req.0) else {
-            return; // long since completed and cleaned up
-        };
-        if state.completed || state.dup_sent {
-            return;
-        }
-        state.dup_sent = true;
-        let rgid = state.rgid;
-        let primary = state.primary;
-        let client_idx = state.client as usize;
-        let replicas = self.ring.groups().replicas(rgid).to_vec();
-        let ranked = self.clients[client_idx]
-            .selector
-            .as_mut()
-            .expect("client schemes run selectors")
-            .rank(&replicas, now);
-        let Some(dup) = ranked.into_iter().find(|&s| Some(s) != primary) else {
-            return; // replication factor 1: nowhere else to go
-        };
-        self.duplicates += 1;
-        self.dispatch_client_copy(now, req, dup, queue);
-    }
-
-    // ---- NetRS ----------------------------------------------------------
-
-    fn netrs_send(&mut self, now: SimTime, req: ReqId, queue: &mut EventQueue<Ev>) {
-        let state = self.requests.get_mut(&req.0).expect("request just created");
-        let client_host = self.clients[state.client as usize].host;
-        let tor = self.topo.tor_of_host(client_host);
-        let mut pkt = PacketMeta::Request {
-            rid: RsnodeId(0),
-            magic: MagicField::REQUEST,
-            rgid: self
-                .groups
-                .group_of_host(client_host)
-                .expect("clients always have a traffic group"),
-            src_host: client_host.0,
-            dst_host: self.server_hosts[state.backup.0 as usize].0,
-        };
-        let action = self.rules[&tor].ingress(&mut pkt, true);
-        let client_idx = state.client;
-        match action {
-            IngressAction::Forward => {
-                // Degraded Replica Selection: straight to the backup.
-                state.copies += 1;
-                let backup = state.backup;
-                let token = ServerToken::new(req, backup, now, now, SimDuration::ZERO, now, None);
-                let hash = self.flow_hash(req, 7);
-                let latency =
-                    self.host_to_host(client_host, self.server_hosts[backup.0 as usize], hash);
-                queue.schedule_after(latency, Ev::ServerArrive { token });
-                self.devices
-                    .bump(DeviceId::Switch(tor.0), DeviceCounter::Clamp, 1);
-                if self.observing() {
-                    let sink = HopSink::Copy(req.0, backup.0);
-                    self.push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
-                    self.observe_host_to_host(
-                        now,
-                        client_host,
-                        self.server_hosts[backup.0 as usize],
-                        hash,
-                        sink,
-                        REQ_BYTES,
-                    );
-                }
-            }
-            IngressAction::ToAccelerator => {
-                // The RSNode is this very ToR: one host→ToR link.
-                queue.schedule_after(self.link(1), Ev::RsnodeArrive { req, op: tor });
-                if self.observing() {
-                    let sink = HopSink::Pending(req.0);
-                    self.push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
-                    self.observe_host_to_switch(now, client_host, &[tor], sink, REQ_BYTES);
-                }
-            }
-            IngressAction::ForwardTowardRsnode(rid) => {
-                let op = self
-                    .controller
-                    .as_ref()
-                    .expect("in-network scheme")
-                    .switch_of_rsnode(rid)
-                    .expect("deployed rules only reference live operators");
-                let hash = self.flow_hash(req, 11);
-                let latency = self.host_to_switch(client_host, op, hash);
-                queue.schedule_after(latency, Ev::RsnodeArrive { req, op });
-                if self.observing() {
-                    let sink = HopSink::Pending(req.0);
-                    self.push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
-                    let p = self.topo.path_host_to_switch(client_host, op, hash);
-                    self.observe_host_to_switch(now, client_host, &p, sink, REQ_BYTES);
-                }
-            }
-            IngressAction::CloneToAcceleratorAndForward => {
-                unreachable!("requests are never cloned")
-            }
-        }
-    }
-
-    fn on_rsnode_arrive(
-        &mut self,
-        now: SimTime,
-        req: ReqId,
-        op: SwitchId,
-        queue: &mut EventQueue<Ev>,
-    ) {
-        let Some(operator) = self.operators.get_mut(&op) else {
-            // The operator was retired by a re-plan while the request was
-            // in flight; fall back to the client's backup replica (DRS
-            // semantics for in-flight stragglers).
-            self.forward_to_backup(now, req, op, queue);
-            return;
-        };
-        let (done_at, waited) = operator.accel.schedule_selection_timed(now);
-        queue.schedule_at(
-            done_at,
-            Ev::Select {
-                req,
-                op,
-                arrived: now,
-                waited,
-            },
-        );
-    }
-
-    fn forward_to_backup(
-        &mut self,
-        now: SimTime,
-        req: ReqId,
-        from: SwitchId,
-        queue: &mut EventQueue<Ev>,
-    ) {
-        let Some(state) = self.requests.get_mut(&req.0) else {
-            return;
-        };
-        state.copies += 1;
-        let backup = state.backup;
-        // The hop to the retired RSNode was pure network steering.
-        let token = ServerToken::new(
-            req,
-            backup,
-            state.sent_at,
-            now,
-            SimDuration::ZERO,
-            now,
-            None,
-        );
-        let hash = self.flow_hash(req, 13);
-        let latency = self.switch_to_host(from, self.server_hosts[backup.0 as usize], hash);
-        queue.schedule_after(latency, Ev::ServerArrive { token });
-        self.devices
-            .bump(DeviceId::Switch(from.0), DeviceCounter::Drop, 1);
-        if self.observing() {
-            // Any time spent at the retired operator belongs to its
-            // switch; then the copy heads for the backup replica.
-            self.seal_steer_hops(req.0, backup.0, DeviceId::Switch(from.0), now);
-            self.observe_switch_to_host(
-                now,
-                from,
-                self.server_hosts[backup.0 as usize],
-                hash,
-                HopSink::Copy(req.0, backup.0),
-                REQ_BYTES,
-            );
-        }
-    }
-
-    fn on_select(
-        &mut self,
-        now: SimTime,
-        req: ReqId,
-        op: SwitchId,
-        arrived: SimTime,
-        waited: SimDuration,
-        queue: &mut EventQueue<Ev>,
-    ) {
-        let Some(operator) = self.operators.get_mut(&op) else {
-            self.forward_to_backup(now, req, op, queue);
-            return;
-        };
-        let Some(state) = self.requests.get_mut(&req.0) else {
-            return;
-        };
-        let replicas = self.ring.groups().replicas(state.rgid);
-        let target = operator.selector.select(replicas, now);
-        operator.selector.on_send(target, now);
-        state.primary = Some(target);
-        state.copies += 1;
-        let token = ServerToken::new(req, target, state.sent_at, arrived, waited, now, Some(op));
-        let hash = self.flow_hash(req, 17);
-        let latency = self.switch_to_host(op, self.server_hosts[target.0 as usize], hash);
-        queue.schedule_after(latency, Ev::ServerArrive { token });
-        let accel = DeviceId::Accelerator(op.0);
-        self.devices.selection(accel, waited);
-        self.devices.busy(accel, self.cfg.accelerator.service_time);
-        if self.observing() {
-            // The copy occupied the RSNode from arrival through selection.
-            self.seal_steer_hops(req.0, target.0, accel, now);
-            self.observe_switch_to_host(
-                now,
-                op,
-                self.server_hosts[target.0 as usize],
-                hash,
-                HopSink::Copy(req.0, target.0),
-                REQ_BYTES,
-            );
-        }
-    }
-
-    // ---- servers ----------------------------------------------------
-
-    fn on_server_arrive(
-        &mut self,
-        now: SimTime,
-        mut token: ServerToken,
-        queue: &mut EventQueue<Ev>,
-    ) {
-        token.server_arrived_at = now;
-        // Provisional: correct if a slot is free; a queued copy gets its
-        // real service start stamped when it is dispatched.
-        token.service_started_at = now;
-        let dev = DeviceId::Server(token.server.0);
-        self.devices.bump(dev, DeviceCounter::Op, 1);
-        let server = &mut self.servers[token.server.0 as usize];
-        match server.arrive(token, now) {
-            Arrival::Started { finish_at } => {
-                queue.schedule_at(
-                    finish_at,
-                    Ev::ServerDone {
-                        server: token.server,
-                        token,
-                    },
-                );
-            }
-            Arrival::Queued => {
-                // All slots busy: the copy joins the wait queue
-                // (depth matches `Server::waiting`).
-                self.devices.queue_delta(now, dev, 1);
-            }
-        }
-    }
-
-    fn on_server_done(
-        &mut self,
-        now: SimTime,
-        server_id: ServerId,
-        mut token: ServerToken,
-        queue: &mut EventQueue<Ev>,
-    ) {
-        token.served_at = now;
-        let server_dev = DeviceId::Server(server_id.0);
-        self.devices
-            .busy(server_dev, now - token.service_started_at);
-        let server = &mut self.servers[server_id.0 as usize];
-        let status = server.status();
-        if let Some((mut next_token, finish_at)) = server.complete(now).next {
-            // The queued copy enters service now that a slot freed up.
-            next_token.service_started_at = now;
-            queue.schedule_at(
-                finish_at,
-                Ev::ServerDone {
-                    server: server_id,
-                    token: next_token,
-                },
-            );
-            self.devices.queue_delta(now, server_dev, -1);
-        }
-
-        let Some(state) = self.requests.get(&token.req.0) else {
-            return;
-        };
-        let client_host = self.clients[state.client as usize].host;
-        let server_host = self.server_hosts[server_id.0 as usize];
-        let hash = self.flow_hash(token.req, 23);
-        let sink = HopSink::Copy(token.req.0, token.server.0);
-        if self.observing() {
-            // The copy occupied the server from arrival (queue + service).
-            self.push_residency_hop(sink, server_dev, token.server_arrived_at, now);
-        }
-
-        match token.rsnode {
-            Some(op) => {
-                // The response must traverse its RSNode (§I "Multiple
-                // Paths"): server → RSNode switch → client, with a clone
-                // peeled off to the accelerator at the RSNode.
-                let at_rsnode = now + self.host_to_switch(server_host, op, hash);
-                if let Some(operator) = self.operators.get_mut(&op) {
-                    let update_at = operator.accel.schedule_clone(at_rsnode);
-                    let fb = Feedback {
-                        server: server_id,
-                        queue_len: status.queue_len,
-                        service_time: status.service_time(),
-                        latency: at_rsnode - token.rsnode_sent_at,
-                    };
-                    queue.schedule_at(update_at, Ev::SelectorUpdate { op, fb });
-                    let accel = DeviceId::Accelerator(op.0);
-                    self.devices.bump(accel, DeviceCounter::CloneUpdate, 1);
-                    self.devices.busy(accel, self.cfg.accelerator.service_time);
-                }
-                let at_client = at_rsnode + self.switch_to_host(op, client_host, hash);
-                queue.schedule_at(at_client, Ev::ClientReceive { token, status });
-                if self.observing() {
-                    let p = self.topo.path_host_to_switch(server_host, op, hash);
-                    self.observe_host_to_switch(now, server_host, &p, sink, RESP_BYTES);
-                    self.observe_switch_to_host(at_rsnode, op, client_host, hash, sink, RESP_BYTES);
-                }
-            }
-            None => {
-                let latency = self.host_to_host(server_host, client_host, hash);
-                queue.schedule_after(latency, Ev::ClientReceive { token, status });
-                if self.observing() {
-                    self.observe_host_to_host(
-                        now,
-                        server_host,
-                        client_host,
-                        hash,
-                        sink,
-                        RESP_BYTES,
-                    );
-                }
-            }
-        }
-    }
-
-    fn on_selector_update(&mut self, now: SimTime, op: SwitchId, fb: Feedback) {
-        if let Some(operator) = self.operators.get_mut(&op) {
-            operator.selector.on_response(&fb, now);
-        }
-    }
-
-    // ---- clients ----------------------------------------------------
-
-    fn on_client_receive(
-        &mut self,
-        now: SimTime,
-        token: ServerToken,
-        status: ServerStatus,
-        queue: &mut EventQueue<Ev>,
-    ) {
-        let _ = queue;
-        let Some(state) = self.requests.get_mut(&token.req.0) else {
-            return;
-        };
-        state.copies = state.copies.saturating_sub(1);
-        let client_idx = state.client as usize;
-        let is_write = state.is_write;
-        // Reads complete on the first response; writes on the last.
-        let first_completion = if is_write {
-            state.copies == 0 && !state.completed
-        } else {
-            !state.completed
-        };
-        if first_completion {
-            state.completed = true;
-            self.completed += 1;
-        }
-        let latency = now - state.sent_at;
-        let issue_idx = state.issue_idx;
-        let rgid = state.rgid;
-        let drained = state.copies == 0;
-        if drained {
-            self.requests.remove(&token.req.0);
-        }
-
-        // Phase decomposition: consecutive timestamp differences along
-        // the copy's path, telescoping exactly to `now - issued_at`.
-        let steer = token.steered_at - token.issued_at;
-        let selection = token.copy_sent_at - token.steered_at;
-        let to_server = token.server_arrived_at - token.copy_sent_at;
-        let server_queue = token.service_started_at - token.server_arrived_at;
-        let service = token.served_at - token.service_started_at;
-        let reply = now - token.served_at;
-        let hops = self
-            .hop_log
-            .as_mut()
-            .and_then(|log| log.remove(&(token.req.0, token.server.0)))
-            .unwrap_or_default();
-        if let Some(w) = self.tracer.as_mut() {
-            use std::io::Write as _;
-            let rec = TraceRecord {
-                req: token.req.0,
-                server: token.server.0,
-                first: first_completion,
-                write: is_write,
-                issued_ns: token.issued_at.as_nanos(),
-                received_ns: now.as_nanos(),
-                steer_ns: steer.as_nanos(),
-                selection_ns: selection.as_nanos(),
-                selection_wait_ns: token.selection_wait.as_nanos(),
-                to_server_ns: to_server.as_nanos(),
-                server_queue_ns: server_queue.as_nanos(),
-                service_ns: service.as_nanos(),
-                reply_ns: reply.as_nanos(),
-                e2e_ns: (now - token.issued_at).as_nanos(),
-                hops,
-            };
-            let line = serde_json::to_string(&rec).expect("trace record serializes");
-            let _ = writeln!(w, "{line}");
-        }
-        if first_completion && !is_write && issue_idx >= self.warmup_cutoff {
-            self.breakdown.network.record(steer + to_server + reply);
-            self.breakdown.selection.record(selection);
-            self.breakdown.server_queue.record(server_queue);
-            self.breakdown.service.record(service);
-        }
-
-        if is_write {
-            // Plain traffic: no selector feedback, no monitor counting.
-            if first_completion && issue_idx >= self.warmup_cutoff {
-                self.write_hist.record(latency);
-            }
-            return;
-        }
-
-        // Client-side selector feedback (CliRS schemes observe every
-        // copy's response).
-        let copy_latency = now - token.copy_sent_at;
-        let client = &mut self.clients[client_idx];
-        if let Some(selector) = client.selector.as_mut() {
-            selector.on_response(
-                &Feedback {
-                    server: token.server,
-                    queue_len: status.queue_len,
-                    service_time: status.service_time(),
-                    latency: copy_latency,
-                },
-                now,
-            );
-        }
-        if let Some(ctl) = client.rate.as_mut() {
-            ctl.on_response(token.server, now);
-        }
-
-        if first_completion {
-            client.hist.record(latency);
-            if issue_idx >= self.warmup_cutoff {
-                self.hist.record(latency);
-            }
-            // Monitor accounting: the response leaves the network at the
-            // client's ToR (§IV-D).
-            if !self.monitors.is_empty() {
-                let client_host = client.host;
-                let server_rack = self
-                    .topo
-                    .rack_of_host(self.server_hosts[token.server.0 as usize]);
-                let marker = self
-                    .controller
-                    .as_ref()
-                    .expect("monitors only exist in-network")
-                    .marker_of_rack(server_rack);
-                let tor = self.topo.tor_of_host(client_host);
-                if let Some(m) = self.monitors.get_mut(&tor) {
-                    m.record(rgid, marker);
-                }
-            }
-        }
-    }
-
-    // ---- control plane ------------------------------------------------
-
-    /// §III-C(ii): an operator whose accelerator ran hotter than the
-    /// policy's limit over the last window has its traffic groups
-    /// degraded to DRS (they recover at the next re-plan, if any).
-    fn on_overload_check(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
-        let Some(policy) = self.cfg.overload else {
-            return;
-        };
-        if !self.drained() {
-            queue.schedule_after(policy.interval, Ev::OverloadCheck);
-        }
-        let window_core_ns =
-            u128::from(policy.interval.as_nanos()) * u128::from(self.cfg.accelerator.cores);
-        let mut overloaded = Vec::new();
-        let mut ops: Vec<(SwitchId, &Operator)> =
-            self.operators.iter().map(|(&sw, op)| (sw, op)).collect();
-        ops.sort_unstable_by_key(|&(sw, _)| sw);
-        for (sw, op) in ops {
-            let busy = op.accel.stats().busy_core_ns;
-            let last = self.last_accel_busy.insert(sw, busy).unwrap_or(0);
-            // A re-plan may have recreated this operator with a fresh
-            // accelerator, putting its counter behind the recorded one.
-            let util = busy.saturating_sub(last) as f64 / window_core_ns as f64;
-            if util > policy.utilization_limit {
-                overloaded.push(sw);
-            }
-        }
-        if overloaded.is_empty() {
-            return;
-        }
-        let controller = self
-            .controller
-            .as_mut()
-            .expect("overload checks only run in-network");
-        for sw in overloaded {
-            let affected = controller.on_operator_overload(sw);
-            if !affected.is_empty() {
-                self.overload_events += 1;
-            }
-        }
-        self.rules = controller.deploy(&self.groups);
-        let _ = now;
-    }
-
-    fn on_replan(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
-        if self.issued >= self.cfg.requests {
-            return; // wind down with the workload
-        }
-        if let PlanSource::Monitored { interval } = self.cfg.plan_source {
-            queue.schedule_after(interval, Ev::Replan);
-            // Snapshot in switch order so the traffic matrix accumulates
-            // rates in a run-independent float order.
-            let mut tors: Vec<SwitchId> = self.monitors.keys().copied().collect();
-            tors.sort_unstable();
-            let snapshots: Vec<_> = tors
-                .iter()
-                .map(|tor| {
-                    self.monitors
-                        .get_mut(tor)
-                        .expect("key just listed")
-                        .snapshot(now)
-                })
-                .collect();
-            let traffic = TrafficMatrix::from_snapshots(self.groups.len(), &snapshots);
-            if traffic.total() <= 0.0 {
-                return; // no signal yet
-            }
-            let solver = self.cfg.plan_solver;
-            let controller = self
-                .controller
-                .as_mut()
-                .expect("monitored implies in-network");
-            controller.plan(&self.groups, &traffic, solver);
-            self.rules = controller.deploy(&self.groups);
-            self.rebuild_operators(SimRng::from_seed(
-                self.cfg.seed ^ 0xFEED_F00D ^ now.as_nanos(),
-            ));
-            self.drained_replans += 1;
-        }
-    }
+    // ---- control plane ---------------------------------------------------
 
     /// Injects a fail-stop fault into the operator at `sw` (§III-C(iii)):
     /// its traffic groups degrade to DRS and rules are redeployed.
     /// In-flight requests already heading there are served best-effort.
+    ///
+    /// # Panics
+    ///
+    /// Panics for client-side schemes, which have no operators.
     pub fn fail_operator(&mut self, sw: SwitchId) -> Vec<u32> {
-        let controller = self
-            .controller
-            .as_mut()
-            .expect("operator failure only applies to in-network schemes");
-        let affected = controller.on_operator_failure(sw);
-        self.rules = controller.deploy(&self.groups);
-        affected
+        self.policy.fail_operator(sw)
     }
 
-    // ---- results --------------------------------------------------------
+    // ---- results ---------------------------------------------------------
 
     /// Collects run statistics (call after the engine drains).
     #[must_use]
     pub fn stats(&self, now: SimTime, events: u64) -> RunStats {
-        let rsnode_census = self
-            .controller
-            .as_ref()
-            .map(|c| c.current_plan().tier_census(&self.topo))
-            .unwrap_or([0; 3]);
-        // Sort live operators by switch id: float summation order must
-        // not depend on HashMap iteration, or repeated identical runs
-        // disagree in the last bits of the mean.
-        let mut live: Vec<(SwitchId, &Operator)> =
-            self.operators.iter().map(|(&sw, op)| (sw, op)).collect();
-        live.sort_unstable_by_key(|&(sw, _)| sw);
-        let live_accels = live.into_iter().map(|(_, op)| &op.accel);
-        let retired_accels = self.retired_operators.iter().map(|op| &op.accel);
-        let accels: Vec<&Accelerator> = live_accels.chain(retired_accels).collect();
-        let mean_accel_util = if accels.is_empty() {
-            0.0
-        } else {
-            accels.iter().map(|a| a.utilization(now)).sum::<f64>() / accels.len() as f64
-        };
-        let max_accel_util = accels
-            .iter()
-            .map(|a| a.utilization(now))
-            .fold(0.0_f64, f64::max);
-        let mean_selection_wait = if accels.is_empty() {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_nanos(
-                (accels
-                    .iter()
-                    .map(|a| a.mean_selection_wait().as_nanos() as u128)
-                    .sum::<u128>()
-                    / accels.len() as u128) as u64,
-            )
-        };
-        RunStats {
-            scheme: self.cfg.scheme,
-            latency: self.hist.summary(),
-            breakdown: self.breakdown.summarize(),
-            issued: self.issued,
-            completed: self.completed,
-            duplicates: self.duplicates,
-            rsnode_count: rsnode_census.iter().sum(),
-            rsnode_census,
-            drs_groups: self
-                .controller
-                .as_ref()
-                .map_or(0, |c| c.current_plan().drs.len()),
-            mean_accel_utilization: mean_accel_util,
-            max_accel_utilization: max_accel_util,
-            mean_selection_wait,
-            mean_server_utilization: self.servers.iter().map(|s| s.utilization(now)).sum::<f64>()
-                / f64::from(self.cfg.servers),
-            replans: self.drained_replans,
-            writes_issued: self.writes_issued,
-            write_latency: self.write_hist.summary(),
-            overload_events: self.overload_events,
-            sim_end: now,
-            events,
-        }
+        let control = self.policy.control_stats(now, &self.core.fabric.topo);
+        self.core.stats(now, events, control)
     }
 
     /// The latency histogram accumulated so far (post-warmup requests).
     #[must_use]
     pub fn latency_histogram(&self) -> &Histogram {
-        &self.hist
+        &self.core.hist
     }
 
     /// The installed Replica Selection Plan, if the scheme has one.
     #[must_use]
     pub fn current_plan(&self) -> Option<&Rsp> {
-        self.controller.as_ref().map(NetRsController::current_plan)
+        self.policy.current_plan()
     }
 
     /// The simulated topology.
     #[must_use]
     pub fn topology(&self) -> &FatTree {
-        &self.topo
+        &self.core.fabric.topo
     }
 
     /// Census of operators by tier currently holding selector state.
     #[must_use]
     pub fn operator_tiers(&self) -> [usize; 3] {
-        let mut census = [0usize; 3];
-        for sw in self.operators.keys() {
-            census[self.topo.tier(*sw).id() as usize] += 1;
-        }
-        census
+        self.policy.operator_tiers(&self.core.fabric.topo)
     }
 
     /// Requests issued so far.
     #[must_use]
     pub fn issued(&self) -> u64 {
-        self.issued
+        self.core.issued
     }
 
     /// Logical requests completed so far.
     #[must_use]
     pub fn completed(&self) -> u64 {
-        self.completed
+        self.core.completed
     }
 }
 
@@ -1762,34 +304,59 @@ impl<D: DeviceProbe> World for Cluster<D> {
 
     fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
         match event {
-            Ev::Generate { gen } => self.on_generate(now, gen, queue),
-            Ev::GatedSend { req, server } => self.dispatch_client_copy(now, req, server, queue),
-            Ev::RsnodeArrive { req, op } => self.on_rsnode_arrive(now, req, op, queue),
+            Ev::Generate { gen } => {
+                if let Some((req, replicas)) = self.core.generate(now, gen, queue) {
+                    self.policy
+                        .steer_read(&mut self.core, now, req, &replicas, queue);
+                }
+            }
+            Ev::GatedSend { req, server } => {
+                self.policy
+                    .on_gated_send(&mut self.core, now, req, server, queue);
+            }
+            Ev::RsnodeArrive { req, op } => {
+                self.policy
+                    .on_rsnode_arrive(&mut self.core, now, req, op, queue);
+            }
             Ev::Select {
                 req,
                 op,
                 arrived,
                 waited,
-            } => self.on_select(now, req, op, arrived, waited, queue),
-            Ev::ServerArrive { token } => self.on_server_arrive(now, token, queue),
-            Ev::ServerDone { server, token } => self.on_server_done(now, server, token, queue),
-            Ev::SelectorUpdate { op, fb } => self.on_selector_update(now, op, fb),
-            Ev::ClientReceive { token, status } => {
-                self.on_client_receive(now, token, status, queue);
+            } => {
+                self.policy
+                    .on_select(&mut self.core, now, req, op, arrived, waited, queue);
             }
-            Ev::R95Check { req } => self.on_r95_check(now, req, queue),
+            Ev::ServerArrive { token } => self.core.server_arrive(now, token, queue),
+            Ev::ServerDone { server, mut token } => {
+                if let Some(status) = self.core.finish_service(now, server, &mut token, queue) {
+                    self.policy
+                        .route_reply(&mut self.core, now, token, status, queue);
+                }
+            }
+            Ev::SelectorUpdate { op, fb } => self.policy.on_selector_update(now, op, fb),
+            Ev::ClientReceive { token, status } => {
+                if let Some(info) = self.core.receive_reply(now, token, status) {
+                    self.policy.on_reply(&mut self.core, now, &info);
+                }
+            }
+            Ev::R95Check { req } => self.policy.on_r95_check(&mut self.core, now, req, queue),
             Ev::Fluctuate { server } => {
-                self.servers[server.0 as usize].fluctuate();
-                if !self.drained() {
+                self.core.servers.fluctuate(server);
+                if !self.core.drained() {
                     queue.schedule_after(
-                        self.cfg.server.fluctuation_interval,
+                        self.core.cfg.server.fluctuation_interval,
                         Ev::Fluctuate { server },
                     );
                 }
             }
-            Ev::OverloadCheck => self.on_overload_check(now, queue),
-            Ev::Replan => self.on_replan(now, queue),
-            Ev::Sample => self.on_sample(now, queue),
+            Ev::OverloadCheck => self.policy.on_overload_check(&mut self.core, now, queue),
+            Ev::Replan => self.policy.on_replan(&mut self.core, now, queue),
+            Ev::Sample => {
+                let (accel_busy, n_accels) = self.policy.accel_busy();
+                let drs = self.policy.drs_groups();
+                self.core.sample(now, accel_busy, n_accels, drs, queue);
+            }
         }
     }
 }

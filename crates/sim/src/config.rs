@@ -57,6 +57,25 @@ impl std::fmt::Display for Scheme {
     }
 }
 
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    /// Parses a paper label case-insensitively (`"CliRS"`, `"clirs-r95"`,
+    /// `"netrs-tor"`, `"NetRS-ILP"`, …), round-tripping with
+    /// [`Scheme::label`] / [`std::fmt::Display`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scheme::ALL
+            .into_iter()
+            .find(|scheme| scheme.label().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                format!(
+                    "unknown scheme '{s}' (expected one of: {})",
+                    Scheme::ALL.map(Scheme::label).join(", ")
+                )
+            })
+    }
+}
+
 /// How the controller obtains the traffic matrix for NetRS-ILP.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum PlanSource {
@@ -266,6 +285,12 @@ impl SimConfig {
                 self.servers, self.clients, hosts
             ));
         }
+        if self.servers == 0 {
+            return Err("need at least one server".into());
+        }
+        if self.replication == 0 {
+            return Err("replication factor must be at least 1".into());
+        }
         if self.servers < self.replication {
             return Err(format!(
                 "replication factor {} exceeds server count {}",
@@ -293,6 +318,13 @@ impl SimConfig {
             if policy.utilization_limit <= 0.0 || policy.interval == SimDuration::ZERO {
                 return Err("overload policy needs a positive limit and interval".into());
             }
+        }
+        if self.r95.quantile <= 0.0 || self.r95.quantile >= 1.0 || self.r95.min_samples == 0 {
+            return Err(format!(
+                "inconsistent R95 config: quantile {} must be in (0, 1) and \
+                 min_samples {} must be at least 1",
+                self.r95.quantile, self.r95.min_samples
+            ));
         }
         Ok(())
     }
@@ -345,6 +377,83 @@ mod tests {
         let mut bad_warm = SimConfig::small();
         bad_warm.warmup_fraction = 2.0;
         assert!(bad_warm.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_servers() {
+        let mut cfg = SimConfig::small();
+        cfg.servers = 0;
+        cfg.replication = 0; // slip past the replication-vs-servers check
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::small();
+        cfg.servers = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_replication() {
+        let mut cfg = SimConfig::small();
+        cfg.replication = 0;
+        assert!(cfg
+            .validate()
+            .unwrap_err()
+            .contains("replication factor must be at least 1"));
+    }
+
+    #[test]
+    fn validation_rejects_zero_generators_and_clients() {
+        let mut cfg = SimConfig::small();
+        cfg.generators = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::small();
+        cfg.clients = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_r95() {
+        for (quantile, min_samples) in [(0.0, 30), (1.0, 30), (-0.5, 30), (1.5, 30), (0.95, 0)] {
+            let mut cfg = SimConfig::small();
+            cfg.r95 = R95Config {
+                quantile,
+                min_samples,
+            };
+            assert!(
+                cfg.validate().unwrap_err().contains("R95"),
+                "quantile {quantile} / min_samples {min_samples} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_overload_policy() {
+        let mut cfg = SimConfig::small();
+        cfg.overload = Some(OverloadPolicy {
+            interval: SimDuration::ZERO,
+            utilization_limit: 0.9,
+        });
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::small();
+        cfg.overload = Some(OverloadPolicy {
+            interval: SimDuration::from_millis(100),
+            utilization_limit: 0.0,
+        });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn scheme_parse_round_trips_with_display() {
+        for scheme in Scheme::ALL {
+            let parsed: Scheme = scheme.to_string().parse().unwrap();
+            assert_eq!(parsed, scheme);
+            // CLI-style lowercase labels parse too.
+            let parsed: Scheme = scheme.label().to_ascii_lowercase().parse().unwrap();
+            assert_eq!(parsed, scheme);
+        }
+        assert_eq!("netrs-tor".parse::<Scheme>(), Ok(Scheme::NetRsToR));
+        let err = "paxos".parse::<Scheme>().unwrap_err();
+        assert!(err.contains("unknown scheme 'paxos'"));
+        assert!(err.contains("CliRS-R95"), "error lists valid labels: {err}");
     }
 
     #[test]

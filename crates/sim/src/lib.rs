@@ -31,11 +31,15 @@
 
 mod cluster;
 mod config;
+mod fabric;
 mod obs;
+mod policy;
 mod runner;
+mod server;
+mod state;
 mod stats;
 
-pub use cluster::{Cluster, Ev, ReqId, ServerToken};
+pub use cluster::{Cluster, Ev, ReqId};
 pub use config::{OverloadPolicy, PlanSource, R95Config, Scheme, SimConfig};
 pub use netrs_simcore::EngineProfile;
 pub use obs::{
@@ -43,4 +47,5 @@ pub use obs::{
     TraceRecord,
 };
 pub use runner::{run, run_all_schemes, run_observed, run_seeds, RunOutput};
+pub use server::ServerToken;
 pub use stats::{LatencyBreakdown, MeanStats, RunStats};

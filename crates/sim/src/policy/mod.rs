@@ -1,0 +1,223 @@
+//! The policy layer: per-scheme decision points behind one trait.
+//!
+//! [`SchemePolicy`] captures every place the four schemes of the paper's
+//! comparison differ — how a read is steered to a replica, where
+//! selection state lives, how feedback propagates back to selectors, and
+//! the redundant-request / control-plane timers. The fabric and server
+//! layers, and the [`Core`] state they share, are scheme-blind: they call
+//! into the policy object at these decision points and nowhere else
+//! branch on the configured scheme.
+//!
+//! Adding a scheme means adding one implementation here and one arm to
+//! [`build`]; see DESIGN.md for the walkthrough.
+
+mod client;
+mod netrs;
+
+use ::netrs::Rsp;
+use netrs_kvstore::{ServerId, ServerStatus};
+use netrs_selection::Feedback;
+use netrs_simcore::{DeviceProbe, EventQueue, SimDuration, SimRng, SimTime};
+use netrs_topology::{FatTree, SwitchId};
+
+use crate::cluster::{Ev, ReqId};
+use crate::config::Scheme;
+use crate::server::ServerToken;
+use crate::state::Core;
+
+pub(crate) use self::client::{CliRsPolicy, CliRsR95Policy};
+pub(crate) use self::netrs::{NetRsIlpPolicy, NetRsToRPolicy};
+
+/// Scheme-owned contributions to [`crate::stats::RunStats`], all zero for
+/// schemes without in-network state.
+#[derive(Debug, Default)]
+pub(crate) struct ControlStats {
+    pub(crate) rsnode_census: [usize; 3],
+    pub(crate) drs_groups: usize,
+    pub(crate) mean_accel_utilization: f64,
+    pub(crate) max_accel_utilization: f64,
+    pub(crate) mean_selection_wait: SimDuration,
+}
+
+/// Context of one received (non-write) response copy, handed to
+/// [`SchemePolicy::on_reply`] after [`Core::receive_reply`] has done the
+/// scheme-independent accounting.
+pub(crate) struct ReplyInfo {
+    pub(crate) token: ServerToken,
+    pub(crate) status: ServerStatus,
+    /// Index of the issuing client.
+    pub(crate) client: u32,
+    /// The request's replication group.
+    pub(crate) rgid: u32,
+    /// Whether this copy completed the logical request.
+    pub(crate) first_completion: bool,
+}
+
+/// One scheme's decision points.
+///
+/// Required: [`steer_read`](SchemePolicy::steer_read) (every scheme must
+/// move a read toward a replica). The event hooks default to
+/// `unreachable!` because each is only ever scheduled by the policy that
+/// handles it; the query hooks default to the client-scheme answer
+/// (no plan, no operators, zero control stats).
+pub(crate) trait SchemePolicy<D: DeviceProbe>: Send {
+    /// Schedules the scheme's control-plane timers (re-plan, overload)
+    /// during [`crate::Cluster::prime`]. Runs after the workload
+    /// generators and server timers, before the sampler.
+    fn prime(&mut self, core: &mut Core<D>, queue: &mut EventQueue<Ev>) {
+        let _ = (core, queue);
+    }
+
+    /// Steers a freshly issued read toward a replica: client-side
+    /// selection or in-network forwarding.
+    fn steer_read(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        replicas: &[ServerId],
+        queue: &mut EventQueue<Ev>,
+    );
+
+    /// A rate-gated client send retries ([`Ev::GatedSend`]).
+    fn on_gated_send(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        server: ServerId,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let _ = (core, now, req, server, queue);
+        unreachable!("GatedSend is only scheduled by client policies");
+    }
+
+    /// A request reaches its RSNode's switch ([`Ev::RsnodeArrive`]).
+    fn on_rsnode_arrive(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        op: SwitchId,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let _ = (core, now, req, op, queue);
+        unreachable!("RsnodeArrive is only scheduled by in-network policies");
+    }
+
+    /// The accelerator finishes a replica selection ([`Ev::Select`]).
+    #[allow(clippy::too_many_arguments)]
+    fn on_select(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        op: SwitchId,
+        arrived: SimTime,
+        waited: SimDuration,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let _ = (core, now, req, op, arrived, waited, queue);
+        unreachable!("Select is only scheduled by in-network policies");
+    }
+
+    /// An accelerator finishes folding a cloned response into its
+    /// selector ([`Ev::SelectorUpdate`]).
+    fn on_selector_update(&mut self, now: SimTime, op: SwitchId, fb: Feedback) {
+        let _ = (now, op, fb);
+        unreachable!("SelectorUpdate is only scheduled by in-network policies");
+    }
+
+    /// The CliRS-R95 duplicate timer fires ([`Ev::R95Check`]).
+    fn on_r95_check(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let _ = (core, now, req, queue);
+        unreachable!("R95Check is only scheduled by the CliRS-R95 policy");
+    }
+
+    /// The controller checks operator utilization ([`Ev::OverloadCheck`]).
+    fn on_overload_check(&mut self, core: &mut Core<D>, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let _ = (core, now, queue);
+        unreachable!("OverloadCheck is only scheduled by in-network policies");
+    }
+
+    /// The controller re-plans from monitor statistics ([`Ev::Replan`]).
+    fn on_replan(&mut self, core: &mut Core<D>, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let _ = (core, now, queue);
+        unreachable!("Replan is only scheduled by the NetRS-ILP policy");
+    }
+
+    /// Routes a finished copy's response back to the client (the
+    /// in-network schemes detour reads through their RSNode).
+    fn route_reply(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        token: ServerToken,
+        status: ServerStatus,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        core.send_reply_direct(now, token, status, queue);
+    }
+
+    /// Feedback when a response copy reaches the client: selector /
+    /// rate-controller updates (client schemes) or ToR monitor counting
+    /// (in-network schemes).
+    fn on_reply(&mut self, core: &mut Core<D>, now: SimTime, info: &ReplyInfo) {
+        let _ = (core, now, info);
+    }
+
+    /// The installed Replica Selection Plan, if the scheme has one.
+    fn current_plan(&self) -> Option<&Rsp> {
+        None
+    }
+
+    /// Injects a fail-stop operator fault (§III-C(iii)).
+    fn fail_operator(&mut self, sw: SwitchId) -> Vec<u32> {
+        let _ = sw;
+        panic!("operator failure only applies to in-network schemes");
+    }
+
+    /// Census of operators by tier currently holding selector state.
+    fn operator_tiers(&self, topo: &FatTree) -> [usize; 3] {
+        let _ = topo;
+        [0; 3]
+    }
+
+    /// Aggregate accelerator busy core-nanoseconds and accelerator count
+    /// (live + retired), for the sampler's windowed utilization.
+    fn accel_busy(&self) -> (u128, usize) {
+        (0, 0)
+    }
+
+    /// Number of traffic groups currently degraded to DRS.
+    fn drs_groups(&self) -> usize {
+        0
+    }
+
+    /// The scheme's contribution to end-of-run statistics.
+    fn control_stats(&self, now: SimTime, topo: &FatTree) -> ControlStats {
+        let _ = (now, topo);
+        ControlStats::default()
+    }
+}
+
+/// Builds the policy object for the configured scheme. `root` is the same
+/// seed-pure RNG root the [`Core`] forked its streams from; policies fork
+/// their own selector streams from it.
+pub(crate) fn build<D: DeviceProbe>(
+    core: &Core<D>,
+    root: &SimRng,
+) -> Box<dyn SchemePolicy<D> + Send> {
+    match core.cfg.scheme {
+        Scheme::CliRs => Box::new(CliRsPolicy::new(core, root)),
+        Scheme::CliRsR95 => Box::new(CliRsR95Policy::new(core, root)),
+        Scheme::NetRsToR => Box::new(NetRsToRPolicy::new(core, root)),
+        Scheme::NetRsIlp => Box::new(NetRsIlpPolicy::new(core, root)),
+    }
+}

@@ -1,0 +1,709 @@
+//! In-network replica selection: the NetRS-ToR and NetRS-ILP schemes.
+//!
+//! Both run the same data plane — requests detour through an RSNode whose
+//! accelerator picks the replica, responses detour back through it so a
+//! clone can update the selector — and differ only in how the controller
+//! places RSNodes: NetRS-ToR pins one to every client ToR, NetRS-ILP
+//! optimizes placement (from an oracle traffic matrix, or periodically
+//! from ToR monitor measurements). [`InNetwork`] holds the shared control
+//! and device state; the two policy types wrap it.
+
+use std::collections::HashMap;
+
+use netrs::{ControllerConfig, NetRsController, Rsp, TrafficGroups, TrafficMatrix};
+use netrs_kvstore::ServerId;
+use netrs_netdev::{Accelerator, IngressAction, Monitor, NetRsRules, PacketMeta, RsOperator};
+use netrs_selection::Feedback;
+use netrs_simcore::{
+    DeviceCounter, DeviceId, DeviceProbe, EventQueue, SimDuration, SimRng, SimTime,
+};
+use netrs_topology::{FatTree, HostId, SwitchId};
+use netrs_wire::{MagicField, RsnodeId};
+
+use crate::cluster::{Ev, ReqId};
+use crate::config::{PlanSource, SimConfig};
+use crate::fabric::HopSink;
+use crate::server::ServerToken;
+use crate::state::{flow_hash, Core, REQ_BYTES, RESP_BYTES};
+
+use super::{ControlStats, ReplyInfo, SchemePolicy};
+
+/// Control-plane and device state shared by both in-network schemes: the
+/// controller with its installed plan, the deployed switch rules, the
+/// live and retired operators, and the ToR monitors.
+struct InNetwork {
+    groups: TrafficGroups,
+    controller: NetRsController,
+    rules: HashMap<SwitchId, NetRsRules>,
+    operators: HashMap<SwitchId, RsOperator>,
+    monitors: HashMap<SwitchId, Monitor>,
+    /// Retired accelerators kept so end-of-run statistics still see the
+    /// work they performed.
+    retired_operators: Vec<RsOperator>,
+    /// Per-operator busy counter at the last overload check.
+    last_accel_busy: HashMap<SwitchId, u128>,
+}
+
+impl InNetwork {
+    /// Builds the control plane with its initial plan: the oracle ILP
+    /// placement when `oracle` is set, the every-client-ToR plan
+    /// otherwise (NetRS-ToR, and the monitored bootstrap before the
+    /// first measurement window completes).
+    fn new<D: DeviceProbe>(core: &Core<D>, root: &SimRng, oracle: bool) -> Self {
+        let cfg = &core.cfg;
+        let client_hosts: Vec<HostId> = core.clients.iter().map(|c| c.host).collect();
+        let groups = TrafficGroups::build(&core.fabric.topo, &client_hosts, cfg.granularity);
+        let mut controller = NetRsController::new(
+            core.fabric.topo.clone(),
+            ControllerConfig {
+                constraints: cfg.plan.clone(),
+            },
+        );
+        let rsp = if oracle {
+            let traffic = TrafficMatrix::oracle(
+                &core.fabric.topo,
+                &groups,
+                &core.client_rates(),
+                &core.server_hosts,
+            );
+            controller.plan(&groups, &traffic, cfg.plan_solver).clone()
+        } else {
+            Rsp::tor_plan(&groups)
+        };
+        controller.install(rsp);
+        let rules = controller.deploy(&groups);
+        let mut net = InNetwork {
+            groups,
+            controller,
+            rules,
+            operators: HashMap::new(),
+            monitors: HashMap::new(),
+            retired_operators: Vec::new(),
+            last_accel_busy: HashMap::new(),
+        };
+        net.rebuild_operators(cfg, root.clone());
+
+        // Monitors sit on every ToR with attached clients.
+        for info in net.groups.iter() {
+            let marker = net.controller.marker_of_rack(info.tor.0);
+            net.monitors
+                .entry(info.tor)
+                .or_insert_with(|| Monitor::new(marker));
+        }
+        net
+    }
+
+    /// (Re)creates operator state for the current plan: new RSNodes start
+    /// with fresh selectors (the paper's §II transient), retained RSNodes
+    /// keep their local information.
+    fn rebuild_operators(&mut self, cfg: &SimConfig, root: SimRng) {
+        let rsnodes = self.controller.current_plan().rsnodes();
+        // Each RSNode's C3 concurrency estimate is the RSNode count: the
+        // plan's operators contend for the same servers.
+        let n = rsnodes.len().max(1) as f64;
+        let mut next = HashMap::new();
+        for sw in rsnodes {
+            let op = self.operators.remove(&sw).unwrap_or_else(|| {
+                RsOperator::new(
+                    cfg.selector.build_with_concurrency(
+                        cfg.c3,
+                        n,
+                        root.fork(30_000 + u64::from(sw.0)),
+                    ),
+                    cfg.accelerator,
+                )
+            });
+            next.insert(sw, op);
+        }
+        // Keep retired accelerators so end-of-run statistics still see
+        // the work they performed. Drain in switch order: the retirement
+        // order fixes the float summation order in `control_stats`, and
+        // HashMap iteration order varies between runs.
+        let mut retired: Vec<(SwitchId, RsOperator)> = self.operators.drain().collect();
+        retired.sort_unstable_by_key(|&(sw, _)| sw);
+        self.retired_operators
+            .extend(retired.into_iter().map(|(_, op)| op));
+        self.operators = next;
+    }
+
+    /// Schedules the overload-check timer, if the config has an overload
+    /// policy.
+    fn prime_overload<D: DeviceProbe>(&self, core: &Core<D>, queue: &mut EventQueue<Ev>) {
+        if let Some(policy) = core.cfg.overload {
+            queue.schedule_after(policy.interval, Ev::OverloadCheck);
+        }
+    }
+
+    /// Sends a freshly issued read into the network: the client's ToR
+    /// classifies it and either hands it to the local accelerator,
+    /// forwards it toward its RSNode, or (Degraded Replica Selection)
+    /// lets it through to the client-chosen backup.
+    fn steer_read<D: DeviceProbe>(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let state = core.requests.get_mut(&req.0).expect("request just created");
+        let client_host = core.clients[state.client as usize].host;
+        let tor = core.fabric.topo.tor_of_host(client_host);
+        let mut pkt = PacketMeta::Request {
+            rid: RsnodeId(0),
+            magic: MagicField::REQUEST,
+            rgid: self
+                .groups
+                .group_of_host(client_host)
+                .expect("clients always have a traffic group"),
+            src_host: client_host.0,
+            dst_host: core.server_hosts[state.backup.0 as usize].0,
+        };
+        let action = self.rules[&tor].ingress(&mut pkt, true);
+        let client_idx = state.client;
+        match action {
+            IngressAction::Forward => {
+                // Degraded Replica Selection: straight to the backup.
+                state.copies += 1;
+                let backup = state.backup;
+                let token = ServerToken::new(req, backup, now, now, SimDuration::ZERO, now, None);
+                let hash = flow_hash(req, 7);
+                let latency = core.fabric.host_to_host(
+                    client_host,
+                    core.server_hosts[backup.0 as usize],
+                    hash,
+                );
+                queue.schedule_after(latency, Ev::ServerArrive { token });
+                core.fabric
+                    .devices
+                    .bump(DeviceId::Switch(tor.0), DeviceCounter::Clamp, 1);
+                if core.fabric.observing() {
+                    let sink = HopSink::Copy(req.0, backup.0);
+                    core.fabric
+                        .push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
+                    core.fabric.observe_host_to_host(
+                        now,
+                        client_host,
+                        core.server_hosts[backup.0 as usize],
+                        hash,
+                        sink,
+                        REQ_BYTES,
+                    );
+                }
+            }
+            IngressAction::ToAccelerator => {
+                // The RSNode is this very ToR: one host→ToR link.
+                queue.schedule_after(core.fabric.link(1), Ev::RsnodeArrive { req, op: tor });
+                if core.fabric.observing() {
+                    let sink = HopSink::Pending(req.0);
+                    core.fabric
+                        .push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
+                    core.fabric
+                        .observe_host_to_switch(now, client_host, &[tor], sink, REQ_BYTES);
+                }
+            }
+            IngressAction::ForwardTowardRsnode(rid) => {
+                let op = self
+                    .controller
+                    .switch_of_rsnode(rid)
+                    .expect("deployed rules only reference live operators");
+                let hash = flow_hash(req, 11);
+                let latency = core.fabric.host_to_switch(client_host, op, hash);
+                queue.schedule_after(latency, Ev::RsnodeArrive { req, op });
+                if core.fabric.observing() {
+                    let sink = HopSink::Pending(req.0);
+                    core.fabric
+                        .push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
+                    let p = core.fabric.topo.path_host_to_switch(client_host, op, hash);
+                    core.fabric
+                        .observe_host_to_switch(now, client_host, &p, sink, REQ_BYTES);
+                }
+            }
+            IngressAction::CloneToAcceleratorAndForward => {
+                unreachable!("requests are never cloned")
+            }
+        }
+    }
+
+    fn on_rsnode_arrive<D: DeviceProbe>(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        op: SwitchId,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let Some(operator) = self.operators.get_mut(&op) else {
+            // The operator was retired by a re-plan while the request was
+            // in flight; fall back to the client's backup replica (DRS
+            // semantics for in-flight stragglers).
+            self.forward_to_backup(core, now, req, op, queue);
+            return;
+        };
+        let (done_at, waited) = operator.accel.schedule_selection_timed(now);
+        queue.schedule_at(
+            done_at,
+            Ev::Select {
+                req,
+                op,
+                arrived: now,
+                waited,
+            },
+        );
+    }
+
+    fn forward_to_backup<D: DeviceProbe>(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        from: SwitchId,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let Some(state) = core.requests.get_mut(&req.0) else {
+            return;
+        };
+        state.copies += 1;
+        let backup = state.backup;
+        // The hop to the retired RSNode was pure network steering.
+        let token = ServerToken::new(
+            req,
+            backup,
+            state.sent_at,
+            now,
+            SimDuration::ZERO,
+            now,
+            None,
+        );
+        let hash = flow_hash(req, 13);
+        let latency = core
+            .fabric
+            .switch_to_host(from, core.server_hosts[backup.0 as usize], hash);
+        queue.schedule_after(latency, Ev::ServerArrive { token });
+        core.fabric
+            .devices
+            .bump(DeviceId::Switch(from.0), DeviceCounter::Drop, 1);
+        if core.fabric.observing() {
+            // Any time spent at the retired operator belongs to its
+            // switch; then the copy heads for the backup replica.
+            core.fabric
+                .seal_steer_hops(req.0, backup.0, DeviceId::Switch(from.0), now);
+            core.fabric.observe_switch_to_host(
+                now,
+                from,
+                core.server_hosts[backup.0 as usize],
+                hash,
+                HopSink::Copy(req.0, backup.0),
+                REQ_BYTES,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_select<D: DeviceProbe>(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        op: SwitchId,
+        arrived: SimTime,
+        waited: SimDuration,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let Some(operator) = self.operators.get_mut(&op) else {
+            self.forward_to_backup(core, now, req, op, queue);
+            return;
+        };
+        let Some(state) = core.requests.get_mut(&req.0) else {
+            return;
+        };
+        let replicas = core.ring.groups().replicas(state.rgid);
+        let target = operator.selector.select(replicas, now);
+        operator.selector.on_send(target, now);
+        state.primary = Some(target);
+        state.copies += 1;
+        let token = ServerToken::new(req, target, state.sent_at, arrived, waited, now, Some(op));
+        let hash = flow_hash(req, 17);
+        let latency = core
+            .fabric
+            .switch_to_host(op, core.server_hosts[target.0 as usize], hash);
+        queue.schedule_after(latency, Ev::ServerArrive { token });
+        let accel = DeviceId::Accelerator(op.0);
+        core.fabric.devices.selection(accel, waited);
+        core.fabric
+            .devices
+            .busy(accel, core.cfg.accelerator.service_time);
+        if core.fabric.observing() {
+            // The copy occupied the RSNode from arrival through selection.
+            core.fabric.seal_steer_hops(req.0, target.0, accel, now);
+            core.fabric.observe_switch_to_host(
+                now,
+                op,
+                core.server_hosts[target.0 as usize],
+                hash,
+                HopSink::Copy(req.0, target.0),
+                REQ_BYTES,
+            );
+        }
+    }
+
+    fn on_selector_update(&mut self, now: SimTime, op: SwitchId, fb: Feedback) {
+        if let Some(operator) = self.operators.get_mut(&op) {
+            operator.selector.on_response(&fb, now);
+        }
+    }
+
+    /// The response must traverse its RSNode (§I "Multiple Paths"):
+    /// server → RSNode switch → client, with a clone peeled off to the
+    /// accelerator at the RSNode. Copies without an RSNode (DRS,
+    /// retired-operator fallbacks, writes) go straight back.
+    fn route_reply<D: DeviceProbe>(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        token: ServerToken,
+        status: netrs_kvstore::ServerStatus,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let Some(op) = token.rsnode else {
+            core.send_reply_direct(now, token, status, queue);
+            return;
+        };
+        let Some(state) = core.requests.get(&token.req.0) else {
+            return;
+        };
+        let client_host = core.clients[state.client as usize].host;
+        let server_host = core.server_hosts[token.server.0 as usize];
+        let hash = flow_hash(token.req, 23);
+        let sink = HopSink::Copy(token.req.0, token.server.0);
+        let at_rsnode = now + core.fabric.host_to_switch(server_host, op, hash);
+        if let Some(operator) = self.operators.get_mut(&op) {
+            let update_at = operator.accel.schedule_clone(at_rsnode);
+            let fb = Feedback {
+                server: token.server,
+                queue_len: status.queue_len,
+                service_time: status.service_time(),
+                latency: at_rsnode - token.rsnode_sent_at,
+            };
+            queue.schedule_at(update_at, Ev::SelectorUpdate { op, fb });
+            let accel = DeviceId::Accelerator(op.0);
+            core.fabric
+                .devices
+                .bump(accel, DeviceCounter::CloneUpdate, 1);
+            core.fabric
+                .devices
+                .busy(accel, core.cfg.accelerator.service_time);
+        }
+        let at_client = at_rsnode + core.fabric.switch_to_host(op, client_host, hash);
+        queue.schedule_at(at_client, Ev::ClientReceive { token, status });
+        if core.fabric.observing() {
+            let p = core.fabric.topo.path_host_to_switch(server_host, op, hash);
+            core.fabric
+                .observe_host_to_switch(now, server_host, &p, sink, RESP_BYTES);
+            core.fabric
+                .observe_switch_to_host(at_rsnode, op, client_host, hash, sink, RESP_BYTES);
+        }
+    }
+
+    /// Monitor accounting: the response leaves the network at the
+    /// client's ToR (§IV-D).
+    fn on_reply<D: DeviceProbe>(&mut self, core: &Core<D>, info: &ReplyInfo) {
+        if !info.first_completion || self.monitors.is_empty() {
+            return;
+        }
+        let client_host = core.clients[info.client as usize].host;
+        let server_rack = core
+            .fabric
+            .topo
+            .rack_of_host(core.server_hosts[info.token.server.0 as usize]);
+        let marker = self.controller.marker_of_rack(server_rack);
+        let tor = core.fabric.topo.tor_of_host(client_host);
+        if let Some(m) = self.monitors.get_mut(&tor) {
+            m.record(info.rgid, marker);
+        }
+    }
+
+    /// §III-C(ii): an operator whose accelerator ran hotter than the
+    /// policy's limit over the last window has its traffic groups
+    /// degraded to DRS (they recover at the next re-plan, if any).
+    fn on_overload_check<D: DeviceProbe>(
+        &mut self,
+        core: &mut Core<D>,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let Some(policy) = core.cfg.overload else {
+            return;
+        };
+        if !core.drained() {
+            queue.schedule_after(policy.interval, Ev::OverloadCheck);
+        }
+        let window_core_ns =
+            u128::from(policy.interval.as_nanos()) * u128::from(core.cfg.accelerator.cores);
+        let mut overloaded = Vec::new();
+        // Check in switch order: HashMap iteration order varies between
+        // runs.
+        let mut ops: Vec<(SwitchId, &RsOperator)> =
+            self.operators.iter().map(|(&sw, op)| (sw, op)).collect();
+        ops.sort_unstable_by_key(|&(sw, _)| sw);
+        for (sw, op) in ops {
+            let busy = op.accel.stats().busy_core_ns;
+            let last = self.last_accel_busy.insert(sw, busy).unwrap_or(0);
+            // A re-plan may have recreated this operator with a fresh
+            // accelerator, putting its counter behind the recorded one.
+            let util = busy.saturating_sub(last) as f64 / window_core_ns as f64;
+            if util > policy.utilization_limit {
+                overloaded.push(sw);
+            }
+        }
+        if overloaded.is_empty() {
+            return;
+        }
+        for sw in overloaded {
+            let affected = self.controller.on_operator_overload(sw);
+            if !affected.is_empty() {
+                core.overload_events += 1;
+            }
+        }
+        self.rules = self.controller.deploy(&self.groups);
+    }
+
+    fn fail_operator(&mut self, sw: SwitchId) -> Vec<u32> {
+        let affected = self.controller.on_operator_failure(sw);
+        self.rules = self.controller.deploy(&self.groups);
+        affected
+    }
+
+    fn operator_tiers(&self, topo: &FatTree) -> [usize; 3] {
+        let mut census = [0usize; 3];
+        for sw in self.operators.keys() {
+            census[topo.tier(*sw).id() as usize] += 1;
+        }
+        census
+    }
+
+    fn accel_busy(&self) -> (u128, usize) {
+        let busy = self
+            .operators
+            .values()
+            .chain(self.retired_operators.iter())
+            .map(|op| op.accel.stats().busy_core_ns)
+            .sum();
+        (busy, self.operators.len() + self.retired_operators.len())
+    }
+
+    fn control_stats(&self, now: SimTime, topo: &FatTree) -> ControlStats {
+        let rsnode_census = self.controller.current_plan().tier_census(topo);
+        // Sort live operators by switch id: float summation order must
+        // not depend on HashMap iteration, or repeated identical runs
+        // disagree in the last bits of the mean.
+        let mut live: Vec<(SwitchId, &RsOperator)> =
+            self.operators.iter().map(|(&sw, op)| (sw, op)).collect();
+        live.sort_unstable_by_key(|&(sw, _)| sw);
+        let live_accels = live.into_iter().map(|(_, op)| &op.accel);
+        let retired_accels = self.retired_operators.iter().map(|op| &op.accel);
+        let accels: Vec<&Accelerator> = live_accels.chain(retired_accels).collect();
+        let mean_accel_utilization = if accels.is_empty() {
+            0.0
+        } else {
+            accels.iter().map(|a| a.utilization(now)).sum::<f64>() / accels.len() as f64
+        };
+        let max_accel_utilization = accels
+            .iter()
+            .map(|a| a.utilization(now))
+            .fold(0.0_f64, f64::max);
+        let mean_selection_wait = if accels.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(
+                (accels
+                    .iter()
+                    .map(|a| a.mean_selection_wait().as_nanos() as u128)
+                    .sum::<u128>()
+                    / accels.len() as u128) as u64,
+            )
+        };
+        ControlStats {
+            rsnode_census,
+            drs_groups: self.controller.current_plan().drs.len(),
+            mean_accel_utilization,
+            max_accel_utilization,
+            mean_selection_wait,
+        }
+    }
+}
+
+/// Implements the [`SchemePolicy`] hooks both in-network schemes share by
+/// delegating to the wrapped [`InNetwork`] state. The caller supplies the
+/// type name and the field path to that state.
+macro_rules! delegate_in_network {
+    ($field:ident) => {
+        fn steer_read(
+            &mut self,
+            core: &mut Core<D>,
+            now: SimTime,
+            req: ReqId,
+            _replicas: &[ServerId],
+            queue: &mut EventQueue<Ev>,
+        ) {
+            self.$field.steer_read(core, now, req, queue);
+        }
+
+        fn on_rsnode_arrive(
+            &mut self,
+            core: &mut Core<D>,
+            now: SimTime,
+            req: ReqId,
+            op: SwitchId,
+            queue: &mut EventQueue<Ev>,
+        ) {
+            self.$field.on_rsnode_arrive(core, now, req, op, queue);
+        }
+
+        fn on_select(
+            &mut self,
+            core: &mut Core<D>,
+            now: SimTime,
+            req: ReqId,
+            op: SwitchId,
+            arrived: SimTime,
+            waited: SimDuration,
+            queue: &mut EventQueue<Ev>,
+        ) {
+            self.$field
+                .on_select(core, now, req, op, arrived, waited, queue);
+        }
+
+        fn on_selector_update(&mut self, now: SimTime, op: SwitchId, fb: Feedback) {
+            self.$field.on_selector_update(now, op, fb);
+        }
+
+        fn on_overload_check(
+            &mut self,
+            core: &mut Core<D>,
+            _now: SimTime,
+            queue: &mut EventQueue<Ev>,
+        ) {
+            self.$field.on_overload_check(core, queue);
+        }
+
+        fn route_reply(
+            &mut self,
+            core: &mut Core<D>,
+            now: SimTime,
+            token: ServerToken,
+            status: netrs_kvstore::ServerStatus,
+            queue: &mut EventQueue<Ev>,
+        ) {
+            self.$field.route_reply(core, now, token, status, queue);
+        }
+
+        fn on_reply(&mut self, core: &mut Core<D>, _now: SimTime, info: &ReplyInfo) {
+            self.$field.on_reply(core, info);
+        }
+
+        fn current_plan(&self) -> Option<&Rsp> {
+            Some(self.$field.controller.current_plan())
+        }
+
+        fn fail_operator(&mut self, sw: SwitchId) -> Vec<u32> {
+            self.$field.fail_operator(sw)
+        }
+
+        fn operator_tiers(&self, topo: &FatTree) -> [usize; 3] {
+            self.$field.operator_tiers(topo)
+        }
+
+        fn accel_busy(&self) -> (u128, usize) {
+            self.$field.accel_busy()
+        }
+
+        fn drs_groups(&self) -> usize {
+            self.$field.controller.current_plan().drs.len()
+        }
+
+        fn control_stats(&self, now: SimTime, topo: &FatTree) -> ControlStats {
+            self.$field.control_stats(now, topo)
+        }
+    };
+}
+
+/// NetRS-ToR: one RSNode on every client ToR, no re-planning.
+pub(crate) struct NetRsToRPolicy {
+    net: InNetwork,
+}
+
+impl NetRsToRPolicy {
+    pub(crate) fn new<D: DeviceProbe>(core: &Core<D>, root: &SimRng) -> Self {
+        NetRsToRPolicy {
+            net: InNetwork::new(core, root, false),
+        }
+    }
+}
+
+impl<D: DeviceProbe> SchemePolicy<D> for NetRsToRPolicy {
+    fn prime(&mut self, core: &mut Core<D>, queue: &mut EventQueue<Ev>) {
+        self.net.prime_overload(core, queue);
+    }
+
+    delegate_in_network!(net);
+}
+
+/// NetRS-ILP: optimized RSNode placement — from the oracle traffic matrix
+/// up front, or re-planned periodically from ToR monitor measurements.
+pub(crate) struct NetRsIlpPolicy {
+    net: InNetwork,
+}
+
+impl NetRsIlpPolicy {
+    pub(crate) fn new<D: DeviceProbe>(core: &Core<D>, root: &SimRng) -> Self {
+        let oracle = matches!(core.cfg.plan_source, PlanSource::Oracle);
+        NetRsIlpPolicy {
+            net: InNetwork::new(core, root, oracle),
+        }
+    }
+}
+
+impl<D: DeviceProbe> SchemePolicy<D> for NetRsIlpPolicy {
+    fn prime(&mut self, core: &mut Core<D>, queue: &mut EventQueue<Ev>) {
+        if let PlanSource::Monitored { interval } = core.cfg.plan_source {
+            queue.schedule_after(interval, Ev::Replan);
+        }
+        self.net.prime_overload(core, queue);
+    }
+
+    fn on_replan(&mut self, core: &mut Core<D>, now: SimTime, queue: &mut EventQueue<Ev>) {
+        if core.issued >= core.cfg.requests {
+            return; // wind down with the workload
+        }
+        let net = &mut self.net;
+        if let PlanSource::Monitored { interval } = core.cfg.plan_source {
+            queue.schedule_after(interval, Ev::Replan);
+            // Snapshot in switch order so the traffic matrix accumulates
+            // rates in a run-independent float order.
+            let mut tors: Vec<SwitchId> = net.monitors.keys().copied().collect();
+            tors.sort_unstable();
+            let snapshots: Vec<_> = tors
+                .iter()
+                .map(|tor| {
+                    net.monitors
+                        .get_mut(tor)
+                        .expect("key just listed")
+                        .snapshot(now)
+                })
+                .collect();
+            let traffic = TrafficMatrix::from_snapshots(net.groups.len(), &snapshots);
+            if traffic.total() <= 0.0 {
+                return; // no signal yet
+            }
+            net.controller
+                .plan(&net.groups, &traffic, core.cfg.plan_solver);
+            net.rules = net.controller.deploy(&net.groups);
+            net.rebuild_operators(
+                &core.cfg,
+                SimRng::from_seed(core.cfg.seed ^ 0xFEED_F00D ^ now.as_nanos()),
+            );
+            core.replans += 1;
+        }
+    }
+
+    delegate_in_network!(net);
+}

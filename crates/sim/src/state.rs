@@ -1,0 +1,637 @@
+//! Shared simulation state the layers operate on.
+//!
+//! [`Core`] owns everything that is the same for all four schemes: the
+//! workload (generators, Zipf keys, the consistent-hash ring), client and
+//! request bookkeeping, the [`Fabric`] and [`ServerPool`] layers, and the
+//! always-on result accounting (latency histograms, phase breakdown,
+//! trace stream, sampler). Scheme-conditional behavior lives behind
+//! [`crate::policy::SchemePolicy`]; policies receive `&mut Core` at every
+//! decision point.
+
+use std::collections::HashMap;
+
+use netrs_kvstore::{Ring, ServerId, ServerStatus};
+use netrs_simcore::{
+    DeviceCounter, DeviceId, DeviceProbe, EventQueue, Histogram, SimDuration, SimRng, SimTime, Zipf,
+};
+use netrs_topology::{FatTree, HostId};
+
+use crate::cluster::{Ev, ReqId};
+use crate::config::SimConfig;
+use crate::fabric::{DeviceCapacities, Fabric, HopSink};
+use crate::obs::{DeviceStatsReport, SamplerSpec, TimeSeries, TraceRecord};
+use crate::policy::{ControlStats, ReplyInfo};
+use crate::server::{ServerPool, ServerToken};
+use crate::stats::{LatencyBreakdown, RunStats};
+
+/// Simulated size of one request packet on the wire (the NetRS request
+/// header; payloads are not modelled).
+pub(crate) const REQ_BYTES: u64 = netrs_wire::REQUEST_HEADER_LEN as u64;
+/// Simulated size of one response packet (fixed NetRS response fields).
+pub(crate) const RESP_BYTES: u64 = netrs_wire::RESPONSE_FIXED_LEN as u64;
+
+/// The flow hash ECMP spreads a copy's packets with. Pure in `(req,
+/// salt)` so replies replay the request's path decisions.
+pub(crate) fn flow_hash(req: ReqId, salt: u64) -> u64 {
+    netrs_kvstore::hash64(req.0 ^ salt.wrapping_mul(0x9E37_79B9))
+}
+
+/// One logical client request in flight.
+#[derive(Debug)]
+pub(crate) struct RequestState {
+    pub(crate) client: u32,
+    pub(crate) rgid: u32,
+    pub(crate) issue_idx: u64,
+    pub(crate) sent_at: SimTime,
+    pub(crate) backup: ServerId,
+    pub(crate) primary: Option<ServerId>,
+    pub(crate) completed: bool,
+    pub(crate) copies: u8,
+    pub(crate) dup_sent: bool,
+    pub(crate) is_write: bool,
+}
+
+/// Scheme-independent per-client state. Selectors and rate controllers
+/// are per-scheme and live in the policy.
+pub(crate) struct ClientState {
+    pub(crate) host: HostId,
+    /// The client's own completed-request latencies (feeds the CliRS-R95
+    /// duplicate deadline; recorded for every scheme).
+    pub(crate) hist: Histogram,
+    /// Per-client stream for backup-replica picks.
+    pub(crate) rng: SimRng,
+}
+
+/// Virtual-time sampler state (present only when enabled).
+struct SamplerState {
+    interval: SimDuration,
+    series: TimeSeries,
+    /// Aggregate accelerator busy core-ns at the previous tick, for
+    /// windowed utilization.
+    last_busy_core_ns: u128,
+    last_tick: SimTime,
+}
+
+/// Per-phase histograms feeding [`LatencyBreakdown`]. Always on: four
+/// `record_nanos` calls per completed read are noise next to the event
+/// loop, and `RunStats` must carry a populated breakdown for every run.
+struct BreakdownHists {
+    network: Histogram,
+    selection: Histogram,
+    server_queue: Histogram,
+    service: Histogram,
+}
+
+impl BreakdownHists {
+    fn new() -> Self {
+        BreakdownHists {
+            network: Histogram::new(),
+            selection: Histogram::new(),
+            server_queue: Histogram::new(),
+            service: Histogram::new(),
+        }
+    }
+
+    fn summarize(&self) -> LatencyBreakdown {
+        LatencyBreakdown {
+            count: self.network.count(),
+            network: self.network.summary(),
+            selection: self.selection.summary(),
+            server_queue: self.server_queue.summary(),
+            service: self.service.summary(),
+        }
+    }
+}
+
+/// The scheme-independent cluster state: fabric + servers + clients +
+/// workload + results.
+pub(crate) struct Core<D: DeviceProbe> {
+    pub(crate) cfg: SimConfig,
+    pub(crate) fabric: Fabric<D>,
+    pub(crate) servers: ServerPool,
+    pub(crate) ring: Ring,
+    zipf: Zipf,
+    pub(crate) server_hosts: Vec<HostId>,
+    pub(crate) clients: Vec<ClientState>,
+    pub(crate) requests: HashMap<u64, RequestState>,
+    pub(crate) issued: u64,
+    pub(crate) completed: u64,
+    /// Redundant copies sent (bumped by the R95 policy).
+    pub(crate) duplicates: u64,
+    /// Controller re-plans performed (bumped by the NetRS-ILP policy).
+    pub(crate) replans: u64,
+    /// Operators degraded for overload (bumped by in-network policies).
+    pub(crate) overload_events: u64,
+    warmup_cutoff: u64,
+    pub(crate) hist: Histogram,
+    write_hist: Histogram,
+    writes_issued: u64,
+    workload_rng: SimRng,
+    gen_interarrival: SimDuration,
+    pub(crate) top_clients: u32,
+    breakdown: BreakdownHists,
+    tracer: Option<Box<dyn std::io::Write + Send>>,
+    sampler: Option<SamplerState>,
+}
+
+impl<D: DeviceProbe> Core<D> {
+    /// Builds the scheme-independent state for a validated, finalized
+    /// configuration. Placement, ring, server and client RNG streams are
+    /// pure forks of `root`, so construction order never matters.
+    pub(crate) fn new(cfg: SimConfig, devices: D, root: &SimRng) -> Self {
+        let topo = FatTree::new(cfg.arity).expect("validated arity");
+
+        // Random non-overlapping placement of servers and clients
+        // ("clients and servers are randomly deployed across end-hosts,
+        // and each host only has one role", §V-A).
+        let mut placement_rng = root.fork(0);
+        let picks = placement_rng.sample_indices(
+            topo.num_hosts() as usize,
+            (cfg.servers + cfg.clients) as usize,
+        );
+        let mut picks: Vec<HostId> = picks.into_iter().map(|h| HostId(h as u32)).collect();
+        placement_rng.shuffle(&mut picks);
+        let server_hosts: Vec<HostId> = picks[..cfg.servers as usize].to_vec();
+        let client_hosts: Vec<HostId> = picks[cfg.servers as usize..].to_vec();
+
+        let ring = Ring::new(
+            cfg.servers,
+            cfg.vnodes,
+            cfg.replication,
+            root.fork(1).next_u64(),
+        )
+        .expect("validated ring parameters");
+        let zipf = Zipf::new(cfg.keys, cfg.zipf);
+        let servers = ServerPool::new(cfg.servers, &cfg.server, root);
+        let clients: Vec<ClientState> = client_hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &host)| ClientState {
+                host,
+                hist: Histogram::new(),
+                rng: root.fork(40_000 + i as u64),
+            })
+            .collect();
+        let top_clients = (cfg.clients / 5).max(1);
+
+        Core {
+            warmup_cutoff: (cfg.requests as f64 * cfg.warmup_fraction) as u64,
+            gen_interarrival: SimDuration::from_secs_f64(
+                f64::from(cfg.generators) / cfg.arrival_rate(),
+            ),
+            workload_rng: root.fork(2),
+            fabric: Fabric::new(topo, cfg.link_latency, devices),
+            servers,
+            ring,
+            zipf,
+            server_hosts,
+            clients,
+            requests: HashMap::new(),
+            issued: 0,
+            completed: 0,
+            duplicates: 0,
+            replans: 0,
+            overload_events: 0,
+            hist: Histogram::new(),
+            write_hist: Histogram::new(),
+            writes_issued: 0,
+            top_clients,
+            breakdown: BreakdownHists::new(),
+            tracer: None,
+            sampler: None,
+            cfg,
+        }
+    }
+
+    /// Expected request rate of each client (requests/second), honouring
+    /// the demand skew.
+    pub(crate) fn client_rates(&self) -> Vec<(HostId, f64)> {
+        let a = self.cfg.arrival_rate();
+        let n = self.cfg.clients;
+        let top = self.top_clients;
+        self.clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let rate = match self.cfg.demand_skew {
+                    None => a / f64::from(n),
+                    Some(s) => {
+                        if (i as u32) < top {
+                            a * s / f64::from(top)
+                        } else {
+                            a * (1.0 - s) / f64::from(n - top)
+                        }
+                    }
+                };
+                (c.host, rate)
+            })
+            .collect()
+    }
+
+    // ---- observability ---------------------------------------------------
+
+    pub(crate) fn set_tracer(&mut self, w: Box<dyn std::io::Write + Send>) {
+        self.tracer = Some(w);
+    }
+
+    pub(crate) fn flush_tracer(&mut self) {
+        use std::io::Write as _;
+        if let Some(w) = self.tracer.as_mut() {
+            let _ = w.flush();
+        }
+    }
+
+    pub(crate) fn enable_sampler(&mut self, spec: SamplerSpec) {
+        assert!(
+            spec.interval > SimDuration::ZERO,
+            "sampler interval must be positive"
+        );
+        self.sampler = Some(SamplerState {
+            interval: spec.interval,
+            series: TimeSeries::new(spec.capacity),
+            last_busy_core_ns: 0,
+            last_tick: SimTime::ZERO,
+        });
+    }
+
+    pub(crate) fn take_timeseries(&mut self) -> Option<TimeSeries> {
+        self.sampler.take().map(|s| s.series)
+    }
+
+    pub(crate) fn take_device_report(&mut self, now: SimTime) -> Option<DeviceStatsReport> {
+        let caps = DeviceCapacities {
+            accelerator_cores: self.cfg.accelerator.cores,
+            server_slots: self.cfg.server.slots,
+        };
+        self.fabric.take_device_report(now, &caps)
+    }
+
+    // ---- event-queue priming --------------------------------------------
+
+    /// Schedules the workload generators and server fluctuation timers
+    /// (the scheme-independent half of priming; policies add their own
+    /// control timers after this).
+    pub(crate) fn prime_workload(&mut self, queue: &mut EventQueue<Ev>) {
+        for gen in 0..self.cfg.generators {
+            let gap = self.workload_rng.exp_duration(self.gen_interarrival);
+            queue.schedule_at(SimTime::ZERO + gap, Ev::Generate { gen });
+        }
+        for s in 0..self.cfg.servers {
+            queue.schedule_after(
+                self.cfg.server.fluctuation_interval,
+                Ev::Fluctuate {
+                    server: ServerId(s),
+                },
+            );
+        }
+    }
+
+    /// Schedules the sampler's first tick, if the sampler is enabled
+    /// (last in priming order).
+    pub(crate) fn prime_sampler(&mut self, queue: &mut EventQueue<Ev>) {
+        if let Some(s) = &self.sampler {
+            queue.schedule_after(s.interval, Ev::Sample);
+        }
+    }
+
+    // ---- workload -------------------------------------------------------
+
+    fn pick_client(&mut self) -> u32 {
+        match self.cfg.demand_skew {
+            None => self.workload_rng.below(u64::from(self.cfg.clients)) as u32,
+            Some(s) => {
+                if self.workload_rng.chance(s) {
+                    self.workload_rng.below(u64::from(self.top_clients)) as u32
+                } else {
+                    let rest = u64::from(self.cfg.clients - self.top_clients);
+                    self.top_clients + self.workload_rng.below(rest) as u32
+                }
+            }
+        }
+    }
+
+    /// One workload-generator firing: draws the client, key and replica
+    /// set, registers the request, and handles writes (plain fan-out
+    /// traffic) directly. Returns the request and its replicas when a
+    /// read needs the policy to steer it, `None` otherwise.
+    pub(crate) fn generate(
+        &mut self,
+        now: SimTime,
+        gen: u32,
+        queue: &mut EventQueue<Ev>,
+    ) -> Option<(ReqId, Vec<ServerId>)> {
+        if self.issued >= self.cfg.requests {
+            return None; // workload exhausted: let the generator die out
+        }
+        let gap = self.workload_rng.exp_duration(self.gen_interarrival);
+        queue.schedule_after(gap, Ev::Generate { gen });
+
+        let client_idx = self.pick_client();
+        let key = self.zipf.sample(&mut self.workload_rng);
+        let rgid = self.ring.group_of_key(key);
+        let replicas = self.ring.groups().replicas(rgid).to_vec();
+        let backup = replicas[self.clients[client_idx as usize].rng.index(replicas.len())];
+
+        let is_write =
+            self.cfg.write_fraction > 0.0 && self.workload_rng.chance(self.cfg.write_fraction);
+        let req = ReqId(self.issued);
+        self.requests.insert(
+            req.0,
+            RequestState {
+                client: client_idx,
+                rgid,
+                issue_idx: self.issued,
+                sent_at: now,
+                backup,
+                primary: None,
+                completed: false,
+                copies: 0,
+                dup_sent: false,
+                is_write,
+            },
+        );
+        self.issued += 1;
+        self.fabric
+            .devices
+            .bump(DeviceId::Client(client_idx), DeviceCounter::Op, 1);
+
+        if is_write {
+            // Writes are plain traffic: one copy per replica, no replica
+            // selection, complete when the last replica answers.
+            self.writes_issued += 1;
+            self.issue_write(now, req, &replicas, queue);
+            return None;
+        }
+        Some((req, replicas))
+    }
+
+    fn issue_write(
+        &mut self,
+        now: SimTime,
+        req: ReqId,
+        replicas: &[ServerId],
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let state = self.requests.get_mut(&req.0).expect("request just created");
+        state.copies = replicas.len() as u8;
+        let client_idx = state.client;
+        let client_host = self.clients[client_idx as usize].host;
+        for (i, &server) in replicas.iter().enumerate() {
+            let token = ServerToken::new(req, server, now, now, SimDuration::ZERO, now, None);
+            let hash = flow_hash(req, 31 + i as u64);
+            let latency =
+                self.fabric
+                    .host_to_host(client_host, self.server_hosts[server.0 as usize], hash);
+            queue.schedule_after(latency, Ev::ServerArrive { token });
+            if self.fabric.observing() {
+                let sink = HopSink::Copy(req.0, server.0);
+                self.fabric
+                    .push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
+                self.fabric.observe_host_to_host(
+                    now,
+                    client_host,
+                    self.server_hosts[server.0 as usize],
+                    hash,
+                    sink,
+                    REQ_BYTES,
+                );
+            }
+        }
+    }
+
+    // ---- servers --------------------------------------------------------
+
+    /// [`Ev::ServerArrive`] mechanics: hand the copy to its server.
+    pub(crate) fn server_arrive(
+        &mut self,
+        now: SimTime,
+        token: ServerToken,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        self.servers.arrive(now, token, &mut self.fabric, queue);
+    }
+
+    /// [`Ev::ServerDone`] mechanics: completion bookkeeping at the server,
+    /// then — if the logical request is still live — the copy's server
+    /// residency hop. Returns the piggybacked status for reply routing,
+    /// or `None` when the request was already cleaned up.
+    pub(crate) fn finish_service(
+        &mut self,
+        now: SimTime,
+        server_id: ServerId,
+        token: &mut ServerToken,
+        queue: &mut EventQueue<Ev>,
+    ) -> Option<ServerStatus> {
+        let status = self
+            .servers
+            .finish_service(now, server_id, token, &mut self.fabric, queue);
+        if !self.requests.contains_key(&token.req.0) {
+            return None;
+        }
+        if self.fabric.observing() {
+            // The copy occupied the server from arrival (queue + service).
+            self.fabric.push_residency_hop(
+                HopSink::Copy(token.req.0, token.server.0),
+                DeviceId::Server(server_id.0),
+                token.server_arrived_at,
+                now,
+            );
+        }
+        Some(status)
+    }
+
+    /// Routes a response directly server → client (every reply path that
+    /// does not detour through an RSNode: client schemes, writes, DRS).
+    pub(crate) fn send_reply_direct(
+        &mut self,
+        now: SimTime,
+        token: ServerToken,
+        status: ServerStatus,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let Some(state) = self.requests.get(&token.req.0) else {
+            return;
+        };
+        let client_host = self.clients[state.client as usize].host;
+        let server_host = self.server_hosts[token.server.0 as usize];
+        let hash = flow_hash(token.req, 23);
+        let latency = self.fabric.host_to_host(server_host, client_host, hash);
+        queue.schedule_after(latency, Ev::ClientReceive { token, status });
+        if self.fabric.observing() {
+            self.fabric.observe_host_to_host(
+                now,
+                server_host,
+                client_host,
+                hash,
+                HopSink::Copy(token.req.0, token.server.0),
+                RESP_BYTES,
+            );
+        }
+    }
+
+    // ---- clients --------------------------------------------------------
+
+    /// [`Ev::ClientReceive`] mechanics: completion accounting, the trace
+    /// record, the phase breakdown, and the latency histograms. Returns
+    /// the reply context for the policy's feedback hooks, or `None` for
+    /// writes (plain traffic: no selector feedback, no monitor counting).
+    pub(crate) fn receive_reply(
+        &mut self,
+        now: SimTime,
+        token: ServerToken,
+        status: ServerStatus,
+    ) -> Option<ReplyInfo> {
+        let state = self.requests.get_mut(&token.req.0)?;
+        state.copies = state.copies.saturating_sub(1);
+        let client_idx = state.client as usize;
+        let is_write = state.is_write;
+        // Reads complete on the first response; writes on the last.
+        let first_completion = if is_write {
+            state.copies == 0 && !state.completed
+        } else {
+            !state.completed
+        };
+        if first_completion {
+            state.completed = true;
+            self.completed += 1;
+        }
+        let latency = now - state.sent_at;
+        let issue_idx = state.issue_idx;
+        let rgid = state.rgid;
+        let drained = state.copies == 0;
+        if drained {
+            self.requests.remove(&token.req.0);
+        }
+
+        // Phase decomposition: consecutive timestamp differences along
+        // the copy's path, telescoping exactly to `now - issued_at`.
+        let steer = token.steered_at - token.issued_at;
+        let selection = token.copy_sent_at - token.steered_at;
+        let to_server = token.server_arrived_at - token.copy_sent_at;
+        let server_queue = token.service_started_at - token.server_arrived_at;
+        let service = token.served_at - token.service_started_at;
+        let reply = now - token.served_at;
+        let hops = self.fabric.take_copy_hops(token.req.0, token.server.0);
+        if let Some(w) = self.tracer.as_mut() {
+            use std::io::Write as _;
+            let rec = TraceRecord {
+                req: token.req.0,
+                server: token.server.0,
+                first: first_completion,
+                write: is_write,
+                issued_ns: token.issued_at.as_nanos(),
+                received_ns: now.as_nanos(),
+                steer_ns: steer.as_nanos(),
+                selection_ns: selection.as_nanos(),
+                selection_wait_ns: token.selection_wait.as_nanos(),
+                to_server_ns: to_server.as_nanos(),
+                server_queue_ns: server_queue.as_nanos(),
+                service_ns: service.as_nanos(),
+                reply_ns: reply.as_nanos(),
+                e2e_ns: (now - token.issued_at).as_nanos(),
+                hops,
+            };
+            let line = serde_json::to_string(&rec).expect("trace record serializes");
+            let _ = writeln!(w, "{line}");
+        }
+        if first_completion && !is_write && issue_idx >= self.warmup_cutoff {
+            self.breakdown.network.record(steer + to_server + reply);
+            self.breakdown.selection.record(selection);
+            self.breakdown.server_queue.record(server_queue);
+            self.breakdown.service.record(service);
+        }
+
+        if is_write {
+            if first_completion && issue_idx >= self.warmup_cutoff {
+                self.write_hist.record(latency);
+            }
+            return None;
+        }
+
+        if first_completion {
+            self.clients[client_idx].hist.record(latency);
+            if issue_idx >= self.warmup_cutoff {
+                self.hist.record(latency);
+            }
+        }
+        Some(ReplyInfo {
+            token,
+            status,
+            client: client_idx as u32,
+            rgid,
+            first_completion,
+        })
+    }
+
+    // ---- sampling and results -------------------------------------------
+
+    /// Whether all issued requests have completed and no more will be
+    /// issued.
+    pub(crate) fn drained(&self) -> bool {
+        self.issued >= self.cfg.requests && self.requests.is_empty()
+    }
+
+    /// One sampler tick. `accel_busy_core_ns` and `n_accels` come from
+    /// the policy (zero for client schemes), as does the DRS group count.
+    pub(crate) fn sample(
+        &mut self,
+        now: SimTime,
+        accel_busy_core_ns: u128,
+        n_accels: usize,
+        drs_groups: usize,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let occupancy = self.servers.mean_occupancy();
+        let outstanding = self.requests.len() as f64;
+        let cores = u128::from(self.cfg.accelerator.cores);
+        let Some(s) = self.sampler.as_mut() else {
+            return;
+        };
+        let window_ns = u128::from(now.saturating_since(s.last_tick).as_nanos());
+        let capacity = window_ns * cores * n_accels as u128;
+        let util = if capacity == 0 {
+            0.0
+        } else {
+            // busy counts scheduled work that may extend past `now`;
+            // clamp the window to the physically possible maximum.
+            (accel_busy_core_ns.saturating_sub(s.last_busy_core_ns) as f64 / capacity as f64)
+                .min(1.0)
+        };
+        s.last_busy_core_ns = accel_busy_core_ns;
+        s.last_tick = now;
+        s.series.accel_util.push(now, util);
+        s.series.server_occupancy.push(now, occupancy);
+        s.series.outstanding.push(now, outstanding);
+        s.series.drs_groups.push(now, drs_groups as f64);
+        let interval = s.interval;
+        if !self.drained() {
+            queue.schedule_after(interval, Ev::Sample);
+        }
+    }
+
+    /// Merges the scheme-independent accounting with the policy's control
+    /// statistics into the final [`RunStats`].
+    pub(crate) fn stats(&self, now: SimTime, events: u64, control: ControlStats) -> RunStats {
+        RunStats {
+            scheme: self.cfg.scheme,
+            latency: self.hist.summary(),
+            breakdown: self.breakdown.summarize(),
+            issued: self.issued,
+            completed: self.completed,
+            duplicates: self.duplicates,
+            rsnode_count: control.rsnode_census.iter().sum(),
+            rsnode_census: control.rsnode_census,
+            drs_groups: control.drs_groups,
+            mean_accel_utilization: control.mean_accel_utilization,
+            max_accel_utilization: control.max_accel_utilization,
+            mean_selection_wait: control.mean_selection_wait,
+            mean_server_utilization: self.servers.mean_utilization(now),
+            replans: self.replans,
+            writes_issued: self.writes_issued,
+            write_latency: self.write_hist.summary(),
+            overload_events: self.overload_events,
+            sim_end: now,
+            events,
+        }
+    }
+}
