@@ -13,7 +13,9 @@ echo "==> cargo test"
 cargo test -q --workspace
 
 echo "==> observability smoke (simulate + netrs-analyze)"
-cargo build -q -p netrs-sim --bin simulate -p netrs-analyze
+# NB: a --bin filter would apply across both -p flags and silently skip
+# the netrs-analyze binary, leaving a stale copy in target/debug.
+cargo build -q -p netrs-sim -p netrs-analyze
 SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
 for scheme in clirs netrs-ilp; do
@@ -37,5 +39,18 @@ for scheme in clirs-r95 netrs-tor; do
         --json > "$SMOKE/$scheme-det-b.json"
     diff -u "$SMOKE/$scheme-det-a.json" "$SMOKE/$scheme-det-b.json"
 done
+
+echo "==> fault-injection smoke (scripted plan, same seed twice, byte-identical stats)"
+for scheme in clirs netrs-tor; do
+    ./target/debug/simulate --small --scheme "$scheme" --requests 5000 --seed 7 \
+        --faults tests/fixtures/faults/smoke.json --json > "$SMOKE/$scheme-faults-a.json"
+    ./target/debug/simulate --small --scheme "$scheme" --requests 5000 --seed 7 \
+        --faults tests/fixtures/faults/smoke.json --json > "$SMOKE/$scheme-faults-b.json"
+    diff -u "$SMOKE/$scheme-faults-a.json" "$SMOKE/$scheme-faults-b.json"
+    grep -q '"availability"' "$SMOKE/$scheme-faults-a.json"
+done
+./target/debug/netrs-analyze availability \
+    --stats "clirs=$SMOKE/clirs-faults-a.json" --stats "netrs-tor=$SMOKE/netrs-tor-faults-a.json" \
+    | grep -q "Availability under faults"
 
 echo "==> CI green"

@@ -14,14 +14,16 @@
 //! * **hotspot tables** — the busiest devices per kind, per-tier traffic
 //!   totals, and ECMP path skew from per-link packet counts;
 //! * **bench artifact** — a small JSON regression file
-//!   (`label → {mean_ns, p50_ns, p95_ns, p99_ns, …}`) that CI can diff.
+//!   (`label → {mean_ns, p50_ns, p95_ns, p99_ns, …}`) that CI can diff;
+//! * **availability tables** — timeout rate, retries and time-to-recover
+//!   per scheme from `simulate --faults … --json` stats files.
 
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader};
 use std::path::Path;
 
-use netrs_sim::{DeviceRecord, SamplePoint, Scheme, TraceRecord};
+use netrs_sim::{DeviceRecord, RunStats, SamplePoint, Scheme, TraceRecord};
 use netrs_simcore::{Histogram, SimDuration, Summary};
 use serde::Value;
 
@@ -365,6 +367,69 @@ pub fn timeseries_report(points: &[SamplePoint]) -> String {
     out
 }
 
+/// Loads a `simulate --json` stats file (one [`RunStats`] JSON object).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or [`io::ErrorKind::InvalidData`]
+/// when the file is not a stats JSON.
+pub fn load_stats(path: &str) -> io::Result<RunStats> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path}: {e}")))
+}
+
+/// Renders the per-run availability table: timeout rate, retries,
+/// dropped copies, the p99 of the failed window and the time back to the
+/// steady-state latency band, one row per labeled stats file. Runs
+/// without a fault plan report as fault-free.
+#[must_use]
+pub fn availability_report(entries: &[(String, RunStats)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Availability under faults");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>9} {:>12} {:>8} {:>9} {:>12} {:>12}",
+        "label",
+        "issued",
+        "timeouts",
+        "timeout-rate",
+        "retries",
+        "dropped",
+        "failed-p99",
+        "recover"
+    );
+    for (label, stats) in entries {
+        match stats.availability.as_ref() {
+            Some(a) => {
+                let rate = if stats.issued > 0 {
+                    a.timeouts as f64 / stats.issued as f64 * 100.0
+                } else {
+                    0.0
+                };
+                let recover = a
+                    .time_to_recover
+                    .map_or_else(|| "never".to_string(), |t| t.to_string());
+                let _ = writeln!(
+                    out,
+                    "{label:<14} {:>8} {:>9} {:>11.3}% {:>8} {:>9} {:>12} {:>12}",
+                    stats.issued,
+                    a.timeouts,
+                    rate,
+                    a.retries,
+                    a.copies_dropped,
+                    fmt_dur(a.failed_window_p99),
+                    recover
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{label:<14} {:>8} (fault-free run)", stats.issued);
+            }
+        }
+    }
+    out
+}
+
 /// The keys every per-label bench entry must carry, in artifact order.
 pub const BENCH_KEYS: [&str; 7] = [
     "mean_ns",
@@ -567,6 +632,79 @@ mod tests {
         check_bench(&back).expect("artifact survives a round trip");
         let clirs = back.get("clirs").expect("labels are keys");
         assert_eq!(clirs.get("requests"), Some(&Value::U(2)));
+    }
+
+    #[test]
+    fn availability_report_pins_its_format() {
+        use netrs_sim::AvailabilityStats;
+        use netrs_simcore::SimTime;
+
+        fn stats(issued: u64, avail: Option<AvailabilityStats>) -> RunStats {
+            RunStats {
+                scheme: Scheme::CliRs,
+                latency: Summary::default(),
+                breakdown: Default::default(),
+                issued,
+                completed: issued,
+                duplicates: 0,
+                rsnode_count: 0,
+                rsnode_census: [0, 0, 0],
+                drs_groups: 0,
+                mean_accel_utilization: 0.0,
+                max_accel_utilization: 0.0,
+                mean_selection_wait: SimDuration::ZERO,
+                mean_server_utilization: 0.0,
+                replans: 0,
+                writes_issued: 0,
+                write_latency: Summary::default(),
+                overload_events: 0,
+                sim_end: SimTime::ZERO,
+                events: 0,
+                availability: avail,
+            }
+        }
+
+        let entries = vec![
+            (
+                "CliRS".to_string(),
+                stats(
+                    8_000,
+                    Some(AvailabilityStats {
+                        faults_injected: 1,
+                        timeouts: 40,
+                        retries: 120,
+                        duplicate_drops: 3,
+                        copies_dropped: 160,
+                        failed_window_p99: SimDuration::from_micros(11_534),
+                        time_to_recover: Some(SimDuration::from_micros(20_022)),
+                    }),
+                ),
+            ),
+            (
+                "NetRS-ToR".to_string(),
+                stats(
+                    8_000,
+                    Some(AvailabilityStats {
+                        faults_injected: 1,
+                        timeouts: 0,
+                        retries: 9,
+                        duplicate_drops: 0,
+                        copies_dropped: 9,
+                        failed_window_p99: SimDuration::from_micros(2_100),
+                        time_to_recover: None,
+                    }),
+                ),
+            ),
+            ("baseline".to_string(), stats(8_000, None)),
+        ];
+        let expected = "\
+## Availability under faults
+label            issued  timeouts timeout-rate  retries   dropped   failed-p99      recover
+CliRS              8000        40       0.500%      120       160     11.534ms     20.022ms
+NetRS-ToR          8000         0       0.000%        9         9      2.100ms        never
+baseline           8000 (fault-free run)
+";
+        assert_eq!(availability_report(&entries), expected);
     }
 
     #[test]

@@ -14,8 +14,9 @@
 use std::io::Write;
 
 use netrs_analyze::{
-    bench_artifact, check_bench, comparison_report, hotspot_report, load_devices, load_timeseries,
-    load_trace, split_label, tail_report, timeseries_report, LabeledTrace,
+    availability_report, bench_artifact, check_bench, comparison_report, hotspot_report,
+    load_devices, load_stats, load_timeseries, load_trace, split_label, tail_report,
+    timeseries_report, LabeledTrace,
 };
 use serde::Value;
 
@@ -23,6 +24,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: netrs-analyze report --trace [LABEL=]FILE [--trace [LABEL=]FILE ...] \
          [--devices FILE] [--timeseries FILE] [--bench-json OUT] [--top N]\n\
+         \x20      netrs-analyze availability --stats [LABEL=]FILE [--stats [LABEL=]FILE ...]\n\
          \x20      netrs-analyze check-bench FILE"
     );
     std::process::exit(2);
@@ -98,6 +100,29 @@ fn report(args: &[String]) {
     }
 }
 
+fn availability(args: &[String]) {
+    let mut entries = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" => {
+                i += 1;
+                let spec = args.get(i).cloned().unwrap_or_else(|| usage());
+                let (label, path) = split_label(&spec);
+                let stats =
+                    load_stats(path).unwrap_or_else(|e| fail(&format!("cannot load {path}: {e}")));
+                entries.push((label, stats));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if entries.is_empty() {
+        usage();
+    }
+    print!("{}", availability_report(&entries));
+}
+
 fn check_bench_file(path: &str) {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
@@ -116,6 +141,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("report") => report(&args[1..]),
+        Some("availability") => availability(&args[1..]),
         Some("check-bench") if args.len() == 2 => check_bench_file(&args[1]),
         _ => usage(),
     }

@@ -2,7 +2,7 @@
 //! Replica Selection Plans into per-switch rules, and keeps the system
 //! available through the Degraded-Replica-Selection exception mechanism.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use netrs_netdev::{NetRsRules, TorRules};
 use netrs_topology::{FatTree, SwitchId, Tier};
@@ -32,6 +32,9 @@ pub struct NetRsController {
     cfg: ControllerConfig,
     current: Rsp,
     failed: BTreeSet<SwitchId>,
+    /// Traffic groups each failed operator held at failure time, so a
+    /// later recovery can restore them (those still degraded).
+    displaced: BTreeMap<SwitchId, Vec<u32>>,
 }
 
 impl NetRsController {
@@ -43,6 +46,7 @@ impl NetRsController {
             cfg,
             current: Rsp::default(),
             failed: BTreeSet::new(),
+            displaced: BTreeMap::new(),
         }
     }
 
@@ -125,7 +129,28 @@ impl NetRsController {
             self.current.drs.insert(g);
             self.current.proven_optimal = false;
         }
+        self.displaced.insert(sw, affected.clone());
         affected
+    }
+
+    /// Marks a failed operator recovered and restores the traffic groups
+    /// it held at failure time, except those a re-plan has since
+    /// reassigned elsewhere. Returns the restored groups; the caller
+    /// should re-deploy rules (and rebuild operator state — the recovered
+    /// RSNode starts with a fresh selector).
+    pub fn on_operator_recovery(&mut self, sw: SwitchId) -> Vec<u32> {
+        self.failed.remove(&sw);
+        let mut restored = Vec::new();
+        for g in self.displaced.remove(&sw).unwrap_or_default() {
+            // Only groups still degraded come back; a re-plan may have
+            // found them a different operator in the meantime.
+            if self.current.drs.remove(&g) {
+                self.current.assignment.insert(g, sw);
+                self.current.proven_optimal = false;
+                restored.push(g);
+            }
+        }
+        restored
     }
 
     /// The set of operators marked failed.
@@ -286,6 +311,44 @@ mod tests {
         let rsp = c.plan(&groups, &traffic, PlanSolver::default()).clone();
         assert!(!rsp.rsnodes().contains(&victim_op));
         assert!(rsp.assignment.contains_key(&victim_group), "group recovers");
+    }
+
+    #[test]
+    fn operator_recovery_restores_displaced_groups() {
+        let (mut c, groups, traffic) = controller();
+        c.plan(&groups, &traffic, PlanSolver::default());
+        let (&victim_group, &victim_op) = c.current_plan().assignment.iter().next().unwrap();
+        c.on_operator_failure(victim_op);
+        assert!(c.current_plan().drs.contains(&victim_group));
+
+        let restored = c.on_operator_recovery(victim_op);
+        assert!(restored.contains(&victim_group));
+        assert!(c.failed_operators().is_empty());
+        assert_eq!(
+            c.current_plan().assignment.get(&victim_group),
+            Some(&victim_op)
+        );
+        assert!(!c.current_plan().drs.contains(&victim_group));
+
+        // Recovering again (or an unknown switch) is a no-op.
+        assert!(c.on_operator_recovery(victim_op).is_empty());
+        assert!(c.on_operator_recovery(SwitchId(999)).is_empty());
+    }
+
+    #[test]
+    fn recovery_skips_groups_a_replan_reassigned() {
+        let (mut c, groups, traffic) = controller();
+        c.plan(&groups, &traffic, PlanSolver::default());
+        let (&victim_group, &victim_op) = c.current_plan().assignment.iter().next().unwrap();
+        c.on_operator_failure(victim_op);
+        // A re-plan finds the degraded group a new home.
+        c.plan(&groups, &traffic, PlanSolver::default());
+        assert!(c.current_plan().assignment.contains_key(&victim_group));
+        let restored = c.on_operator_recovery(victim_op);
+        assert!(
+            !restored.contains(&victim_group),
+            "reassigned groups stay where the re-plan put them"
+        );
     }
 
     #[test]

@@ -96,6 +96,10 @@ pub struct Server<T> {
     stats: ServerStats,
     last_change: SimTime,
     rng: SimRng,
+    /// False after a fail-stop ([`Server::crash`]) until recovery.
+    up: bool,
+    /// Service-rate multiplier from fault injection (1.0 = nominal).
+    rate_factor: f64,
 }
 
 impl<T> Server<T> {
@@ -125,6 +129,8 @@ impl<T> Server<T> {
             stats: ServerStats::default(),
             last_change: SimTime::ZERO,
             rng,
+            up: true,
+            rate_factor: 1.0,
         }
     }
 
@@ -209,7 +215,13 @@ impl<T> Server<T> {
     }
 
     fn draw_service(&mut self) -> SimDuration {
-        let sample = self.rng.exp_duration(self.current_mean);
+        // Gate on the nominal rate so fault-free runs stay bit-identical.
+        let mean = if self.rate_factor == 1.0 {
+            self.current_mean
+        } else {
+            self.current_mean.mul_f64(1.0 / self.rate_factor)
+        };
+        let sample = self.rng.exp_duration(mean);
         let a = self.cfg.status_ewma_alpha;
         self.svc_ewma_ns = a * self.svc_ewma_ns + (1.0 - a) * sample.as_nanos() as f64;
         sample
@@ -220,6 +232,7 @@ impl<T> Server<T> {
     /// otherwise the token is queued and will be returned by a later
     /// [`Server::complete`].
     pub fn arrive(&mut self, token: T, now: SimTime) -> Arrival {
+        debug_assert!(self.up, "arrival at a crashed server must be gated");
         self.account(now);
         self.stats.arrived += 1;
         let arrival = if self.in_service < self.cfg.slots {
@@ -261,6 +274,50 @@ impl<T> Server<T> {
     /// (call every [`ServerConfig::fluctuation_interval`]).
     pub fn fluctuate(&mut self) {
         self.current_mean = self.fluct.draw(&mut self.rng);
+    }
+
+    /// Whether the server is up (it is until [`Server::crash`]).
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// The current service-rate multiplier (1.0 = nominal).
+    #[must_use]
+    pub fn rate_factor(&self) -> f64 {
+        self.rate_factor
+    }
+
+    /// Sets the service-rate multiplier: 0.5 halves the service rate
+    /// (doubling mean service time), 2.0 doubles it. Applies to services
+    /// drawn from now on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn set_rate_factor(&mut self, factor: f64) {
+        assert!(factor > 0.0, "service-rate factor must be positive");
+        self.rate_factor = factor;
+    }
+
+    /// The server fail-stops: every queued token is returned to the
+    /// caller (to be dropped and accounted), the count of in-service
+    /// requests is reported (their already-scheduled completion events
+    /// must be absorbed by the caller), and the service slots reset. The
+    /// rate factor returns to nominal — a rebooted server starts fresh.
+    pub fn crash(&mut self, now: SimTime) -> (Vec<T>, u32) {
+        self.account(now);
+        self.up = false;
+        self.rate_factor = 1.0;
+        let lost_in_service = self.in_service;
+        self.in_service = 0;
+        (self.queue.drain(..).collect(), lost_in_service)
+    }
+
+    /// A crashed server comes back empty and ready for arrivals.
+    pub fn recover(&mut self, now: SimTime) {
+        self.account(now);
+        self.up = true;
     }
 }
 
@@ -416,6 +473,80 @@ mod tests {
         // Before any elapsed time utilization is defined as zero.
         let fresh = server();
         assert_eq!(fresh.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn crash_drains_queue_and_reports_in_flight() {
+        let mut s = server();
+        for i in 0..6 {
+            let _ = s.arrive(i, t(0));
+        }
+        assert!(s.is_up());
+        let (queued, in_flight) = s.crash(t(1));
+        assert_eq!(queued, vec![4, 5], "FIFO order preserved");
+        assert_eq!(in_flight, 4);
+        assert!(!s.is_up());
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.in_service(), 0);
+        // Recovery brings the server back empty.
+        s.recover(t(2));
+        assert!(s.is_up());
+        assert!(matches!(s.arrive(9, t(2)), Arrival::Started { .. }));
+    }
+
+    #[test]
+    fn crash_accounts_busy_time_up_to_the_crash() {
+        let cfg = ServerConfig {
+            slots: 2,
+            ..ServerConfig::default()
+        };
+        let mut s: Server<u32> = Server::new(ServerId(3), cfg, SimRng::from_seed(5));
+        let _ = s.arrive(0, t(0));
+        let _ = s.arrive(1, t(0));
+        let (_, lost) = s.crash(t(10));
+        assert_eq!(lost, 2);
+        // Busy: 2 slots × 10ms over 2 slots × 20ms = 0.5.
+        let u = s.utilization(t(20));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn rate_factor_scales_mean_service_time() {
+        let run = |factor: f64| {
+            let cfg = ServerConfig {
+                slots: 1,
+                ..ServerConfig::default()
+            };
+            let mut s: Server<u32> = Server::new(ServerId(1), cfg, SimRng::from_seed(3));
+            s.set_rate_factor(factor);
+            let mut total = 0.0;
+            let n = 10_000;
+            let mut now = SimTime::ZERO;
+            for i in 0..n {
+                let Arrival::Started { finish_at } = s.arrive(i, now) else {
+                    panic!("idle single-slot server starts immediately");
+                };
+                total += (finish_at - now).as_millis_f64();
+                now = finish_at;
+                let _ = s.complete(now);
+            }
+            total / f64::from(n)
+        };
+        let nominal = run(1.0);
+        let half_rate = run(0.5);
+        assert!(
+            (half_rate / nominal - 2.0).abs() < 1e-3,
+            "half rate doubles service time: {nominal} vs {half_rate}"
+        );
+        // Same seed, same draws: factor 1.0 never perturbs the stream.
+        assert!((nominal - run(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn zero_rate_factor_rejected() {
+        let mut s = server();
+        s.set_rate_factor(0.0);
     }
 
     #[test]

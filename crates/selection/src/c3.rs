@@ -58,7 +58,13 @@ struct ServerEstimate {
     ewma_queue: f64,
     outstanding: u32,
     responses: u64,
+    timeout_penalty_ns: f64,
 }
+
+/// Additive score penalty applied after the first timeout (100 ms in
+/// nanoseconds); doubles on each further timeout until a response clears
+/// it. Large enough to outrank any healthy replica under normal load.
+const TIMEOUT_PENALTY_BASE_NS: f64 = 100.0e6;
 
 /// The C3 selector state held by one RSNode.
 #[derive(Debug)]
@@ -113,6 +119,7 @@ impl C3Selector {
         let q_hat = 1.0 + f64::from(est.outstanding) * self.cfg.concurrency + est.ewma_queue;
         est.ewma_latency_ns - est.ewma_service_ns
             + q_hat.powf(self.cfg.exponent) * est.ewma_service_ns
+            + est.timeout_penalty_ns
     }
 
     /// Number of responses folded in from `server` (freshness indicator).
@@ -174,6 +181,13 @@ impl ReplicaSelector for C3Selector {
         );
         est.outstanding = est.outstanding.saturating_sub(1);
         est.responses += 1;
+        // A response proves the server answers again; drop the penalty.
+        est.timeout_penalty_ns = 0.0;
+    }
+
+    fn on_timeout(&mut self, server: ServerId, _now: SimTime) {
+        let est = self.servers.entry(server).or_default();
+        est.timeout_penalty_ns = (est.timeout_penalty_ns * 2.0).max(TIMEOUT_PENALTY_BASE_NS);
     }
 
     fn outstanding(&self, server: ServerId) -> u32 {
@@ -337,6 +351,26 @@ mod tests {
         let before = s.score(ServerId(0));
         s.set_concurrency(100.0);
         assert!(s.score(ServerId(0)) > before);
+    }
+
+    #[test]
+    fn timeouts_demote_and_responses_forgive() {
+        let mut s = c3();
+        let t = SimTime::ZERO;
+        s.on_response(&fb(0, 1, 4, 8), t);
+        s.on_response(&fb(1, 1, 4, 8), t);
+        // One timeout pushes server 0 behind server 1 — even behind a
+        // never-seen server (whose score is 0).
+        s.on_timeout(ServerId(0), t);
+        assert_eq!(s.select(&[ServerId(0), ServerId(1)], t), ServerId(1));
+        assert_eq!(s.select(&[ServerId(0), ServerId(9)], t), ServerId(9));
+        // Repeated timeouts double the penalty.
+        let one = s.score(ServerId(0));
+        s.on_timeout(ServerId(0), t);
+        assert!(s.score(ServerId(0)) > one + TIMEOUT_PENALTY_BASE_NS * 0.9);
+        // A successful response clears it entirely.
+        s.on_response(&fb(0, 1, 4, 8), t);
+        assert!(s.score(ServerId(0)) < TIMEOUT_PENALTY_BASE_NS);
     }
 
     #[test]

@@ -103,6 +103,17 @@ pub trait ReplicaSelector {
     /// Folds in feedback from a response this RSNode observed.
     fn on_response(&mut self, feedback: &Feedback, now: SimTime);
 
+    /// Notes that a request sent to `server` timed out at the client.
+    ///
+    /// Selectors may use this to steer subsequent picks away from a
+    /// server that has stopped answering (crashed, partitioned, or
+    /// overwhelmed). The default implementation ignores the signal;
+    /// [`C3Selector`] applies an additive score penalty that doubles on
+    /// each repeated timeout and clears on the next successful response.
+    fn on_timeout(&mut self, server: ServerId, now: SimTime) {
+        let _ = (server, now);
+    }
+
     /// Outstanding requests this RSNode has routed to `server` and not yet
     /// seen answered.
     fn outstanding(&self, server: ServerId) -> u32;

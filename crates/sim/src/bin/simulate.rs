@@ -14,14 +14,14 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use netrs_sim::{run_observed, ObsOptions, SamplerSpec, SimConfig};
+use netrs_sim::{run_observed, FaultPlan, ObsOptions, SamplerSpec, SimConfig};
 use netrs_simcore::SimDuration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: simulate [--config FILE] [--scheme clirs|clirs-r95|netrs-tor|netrs-ilp] \
          [--requests N] [--clients N] [--utilization F] [--skew F] [--seed N] \
-         [--small] [--emit-config] [--json] \
+         [--small] [--faults FILE] [--emit-config] [--json] \
          [--trace FILE] [--trace-hops] [--timeseries FILE] [--sample-every-us N] \
          [--devices FILE] [--progress]"
     );
@@ -81,6 +81,17 @@ fn main() {
                 let requests = cfg.requests;
                 cfg = SimConfig::small();
                 cfg.requests = requests;
+            }
+            "--faults" => {
+                let path = next();
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                cfg.faults = Some(FaultPlan::from_json(&text).unwrap_or_else(|e| {
+                    eprintln!("cannot parse fault plan {path}: {e}");
+                    std::process::exit(1);
+                }));
             }
             "--emit-config" => {
                 println!(
@@ -188,6 +199,17 @@ fn main() {
                 "writes              : {} (mean {})",
                 stats.writes_issued, stats.write_latency.mean
             );
+        }
+        if let Some(a) = stats.availability.as_ref() {
+            println!(
+                "availability        : {} fault(s), {} timeouts, {} retries, {} copies dropped",
+                a.faults_injected, a.timeouts, a.retries, a.copies_dropped
+            );
+            println!("failed-window p99   : {}", a.failed_window_p99);
+            match a.time_to_recover {
+                Some(t) => println!("time to recover     : {t}"),
+                None => println!("time to recover     : never (run ended degraded)"),
+            }
         }
         println!(
             "server utilization  : {:.1}%",

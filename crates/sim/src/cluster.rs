@@ -38,11 +38,13 @@ use netrs_simcore::{
 };
 use netrs_topology::{FatTree, SwitchId};
 
+use netrs_faults::FaultEvent;
+
 use crate::config::SimConfig;
 use crate::obs::{DeviceStatsReport, SamplerSpec, TimeSeries};
-use crate::policy::SchemePolicy;
+use crate::policy::{NotInNetwork, SchemePolicy};
 use crate::server::ServerToken;
-use crate::state::Core;
+use crate::state::{Core, RetryAction};
 use crate::stats::RunStats;
 
 /// Identifies one logical client request.
@@ -126,6 +128,25 @@ pub enum Ev {
     Replan,
     /// The observability sampler ticks (only scheduled when enabled).
     Sample,
+    /// A scripted fault from the run's fault plan fires.
+    Fault {
+        /// Index into the plan's event timeline.
+        idx: u32,
+    },
+    /// The client-side timeout machinery checks on a request (only
+    /// scheduled when a fault plan is active).
+    RetryCheck {
+        /// The possibly still outstanding request.
+        req: ReqId,
+        /// How many checks have already fired for it.
+        attempt: u32,
+    },
+    /// The controller detects an operator fail-stop (scheduled
+    /// `detection_delay` after an `OperatorFail` fault).
+    OperatorDetect {
+        /// The dead operator's switch.
+        sw: SwitchId,
+    },
 }
 
 /// The complete simulated cluster (implements
@@ -184,6 +205,7 @@ impl<D: DeviceProbe> Cluster<D> {
     /// timers, the scheme's control-plane timers, and the sampler tick.
     pub fn prime(&mut self, queue: &mut EventQueue<Ev>) {
         self.core.prime_workload(queue);
+        self.core.prime_faults(queue);
         self.policy.prime(&mut self.core, queue);
         self.core.prime_sampler(queue);
     }
@@ -246,10 +268,11 @@ impl<D: DeviceProbe> Cluster<D> {
     /// its traffic groups degrade to DRS and rules are redeployed.
     /// In-flight requests already heading there are served best-effort.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for client-side schemes, which have no operators.
-    pub fn fail_operator(&mut self, sw: SwitchId) -> Vec<u32> {
+    /// Returns [`NotInNetwork`] for client-side schemes, which have no
+    /// operators to fail.
+    pub fn fail_operator(&mut self, sw: SwitchId) -> Result<Vec<u32>, NotInNetwork> {
         self.policy.fail_operator(sw)
     }
 
@@ -327,16 +350,29 @@ impl<D: DeviceProbe> World for Cluster<D> {
                 self.policy
                     .on_select(&mut self.core, now, req, op, arrived, waited, queue);
             }
-            Ev::ServerArrive { token } => self.core.server_arrive(now, token, queue),
+            Ev::ServerArrive { token } => {
+                if self.core.packet_lost(now) {
+                    self.core.drop_copy(token.req.0);
+                } else {
+                    self.core.server_arrive(now, token, queue);
+                }
+            }
             Ev::ServerDone { server, mut token } => {
-                if let Some(status) = self.core.finish_service(now, server, &mut token, queue) {
+                if self.core.servers.absorb_ghost(server, &token) {
+                    // The copy was in service when the server crashed.
+                    self.core.drop_copy(token.req.0);
+                } else if let Some(status) =
+                    self.core.finish_service(now, server, &mut token, queue)
+                {
                     self.policy
                         .route_reply(&mut self.core, now, token, status, queue);
                 }
             }
             Ev::SelectorUpdate { op, fb } => self.policy.on_selector_update(now, op, fb),
             Ev::ClientReceive { token, status } => {
-                if let Some(info) = self.core.receive_reply(now, token, status) {
+                if self.core.packet_lost(now) {
+                    self.core.drop_copy(token.req.0);
+                } else if let Some(info) = self.core.receive_reply(now, token, status) {
                     self.policy.on_reply(&mut self.core, now, &info);
                 }
             }
@@ -356,6 +392,44 @@ impl<D: DeviceProbe> World for Cluster<D> {
                 let (accel_busy, n_accels) = self.policy.accel_busy();
                 let drs = self.policy.drs_groups();
                 self.core.sample(now, accel_busy, n_accels, drs, queue);
+            }
+            Ev::Fault { idx } => match self.core.inject_fault(now, idx) {
+                Some(FaultEvent::OperatorFail { switch }) => {
+                    let sw = SwitchId(switch);
+                    if self.policy.operator_crashed(sw) {
+                        // The controller only learns of the fail-stop
+                        // after the plan's detection delay; until then
+                        // steered packets blackhole.
+                        queue
+                            .schedule_after(self.core.detection_delay(), Ev::OperatorDetect { sw });
+                    }
+                }
+                Some(FaultEvent::OperatorRecover { switch }) => {
+                    self.policy
+                        .recover_operator(&mut self.core, now, SwitchId(switch));
+                }
+                _ => {} // server / link / loss faults applied by the core
+            },
+            Ev::RetryCheck { req, attempt } => match self.core.retry_decision(req, attempt) {
+                RetryAction::Done | RetryAction::Abandon => {}
+                RetryAction::Retry { replicas, primary } => {
+                    self.policy
+                        .on_request_timeout(&mut self.core, now, req, primary);
+                    self.policy
+                        .steer_read(&mut self.core, now, req, &replicas, queue);
+                    queue.schedule_after(
+                        self.core.retry_backoff(attempt + 1),
+                        Ev::RetryCheck {
+                            req,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+            },
+            Ev::OperatorDetect { sw } => {
+                // For client schemes (a cross-applied plan) there is
+                // nothing to reroute.
+                let _ = self.policy.fail_operator(sw);
             }
         }
     }

@@ -2,6 +2,7 @@
 //! defaults.
 
 use netrs::{Granularity, PlanConstraints, PlanSolver};
+use netrs_faults::{FaultEvent, FaultPlan, LinkRef};
 use netrs_kvstore::ServerConfig;
 use netrs_netdev::AcceleratorConfig;
 use netrs_selection::{C3Config, CubicConfig, SelectorKind};
@@ -194,6 +195,11 @@ pub struct SimConfig {
     /// Overload detection at NetRS operators (§III-C(ii)); `None`
     /// disables the check.
     pub overload: Option<OverloadPolicy>,
+    /// Scripted fault plan (crashes, link failures, operator fail-stops,
+    /// loss bursts) with its retry and recovery-detection policies.
+    /// `None` — or a plan with no events — leaves the run byte-identical
+    /// to the fault-free simulation.
+    pub faults: Option<FaultPlan>,
     /// Root random seed (placement, workload, service times).
     pub seed: u64,
 }
@@ -233,6 +239,7 @@ impl SimConfig {
             granularity: Granularity::Rack,
             write_fraction: 0.0,
             overload: None,
+            faults: None,
             seed: 1,
         }
     }
@@ -325,6 +332,55 @@ impl SimConfig {
                  min_samples {} must be at least 1",
                 self.r95.quantile, self.r95.min_samples
             ));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+            self.validate_fault_targets(plan)?;
+        }
+        Ok(())
+    }
+
+    /// Checks every fault target against this configuration's topology
+    /// and server count (the plan's own invariants are
+    /// [`FaultPlan::validate`]'s job).
+    fn validate_fault_targets(&self, plan: &FaultPlan) -> Result<(), String> {
+        let hosts = self.arity * self.arity * self.arity / 4;
+        // ToRs + aggs + cores of a k-ary fat-tree.
+        let switches =
+            self.arity * self.arity / 2 + self.arity * self.arity / 2 + self.arity * self.arity / 4;
+        let check_link = |i: usize, link: LinkRef| match link {
+            LinkRef::HostUplink { host } if host >= hosts => {
+                Err(format!("fault {i}: host {host} out of range (< {hosts})"))
+            }
+            LinkRef::SwitchLink { a, b } if a >= switches || b >= switches => Err(format!(
+                "fault {i}: switch link {a}-{b} out of range (< {switches})"
+            )),
+            _ => Ok(()),
+        };
+        for (i, ev) in plan.events.iter().enumerate() {
+            match ev.fault {
+                FaultEvent::ServerCrash { server }
+                | FaultEvent::ServerRecover { server }
+                | FaultEvent::ServerSlowdown { server, .. } => {
+                    if server >= self.servers {
+                        return Err(format!(
+                            "fault {i}: server {server} out of range (< {})",
+                            self.servers
+                        ));
+                    }
+                }
+                FaultEvent::LinkFail { link }
+                | FaultEvent::LinkDegrade { link, .. }
+                | FaultEvent::LinkRecover { link } => check_link(i, link)?,
+                FaultEvent::OperatorFail { switch } | FaultEvent::OperatorRecover { switch } => {
+                    if switch >= switches {
+                        return Err(format!(
+                            "fault {i}: switch {switch} out of range (< {switches})"
+                        ));
+                    }
+                }
+                FaultEvent::PacketLossBurst { .. } => {}
+            }
         }
         Ok(())
     }
@@ -472,5 +528,53 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn validation_checks_fault_targets_against_topology() {
+        use netrs_faults::TimedFault;
+
+        let with_fault = |fault: FaultEvent| {
+            let mut cfg = SimConfig::small(); // arity 4: 16 hosts, 20 switches
+            cfg.faults = Some(FaultPlan {
+                events: vec![TimedFault {
+                    at: SimDuration::from_millis(1),
+                    fault,
+                }],
+                ..FaultPlan::default()
+            });
+            cfg
+        };
+        assert!(with_fault(FaultEvent::ServerCrash { server: 0 })
+            .validate()
+            .is_ok());
+        assert!(with_fault(FaultEvent::ServerCrash { server: 6 })
+            .validate()
+            .unwrap_err()
+            .contains("server 6"));
+        assert!(with_fault(FaultEvent::LinkFail {
+            link: LinkRef::HostUplink { host: 16 }
+        })
+        .validate()
+        .unwrap_err()
+        .contains("host 16"));
+        assert!(with_fault(FaultEvent::LinkDegrade {
+            link: LinkRef::SwitchLink { a: 0, b: 20 },
+            factor: 2.0,
+        })
+        .validate()
+        .unwrap_err()
+        .contains("out of range"));
+        assert!(with_fault(FaultEvent::OperatorFail { switch: 20 })
+            .validate()
+            .unwrap_err()
+            .contains("switch 20"));
+        // The plan's own invariants are checked through the same path.
+        let mut cfg = SimConfig::small();
+        cfg.faults = Some(FaultPlan {
+            recovery_tolerance: 0.5,
+            ..FaultPlan::default()
+        });
+        assert!(cfg.validate().unwrap_err().contains("tolerance"));
     }
 }

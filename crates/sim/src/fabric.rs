@@ -12,10 +12,10 @@
 //! (30 µs); switch forwarding itself is free, so a packet's network time
 //! is `edges × link_latency` along its (possibly RSNode-detoured) path.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use netrs_simcore::{DeviceId, DeviceProbe, NodeId, SimDuration, SimTime};
-use netrs_topology::{FatTree, HostId, SwitchId};
+use netrs_topology::{FatTree, HostId, Link, LinkSet, SwitchId};
 
 use crate::obs::{DeviceRecord, DeviceStatsReport, HopSpan};
 
@@ -49,6 +49,12 @@ pub(crate) struct Fabric<D: DeviceProbe> {
     /// Steer-phase hops of in-network requests whose server is not yet
     /// selected, keyed by request.
     pending_hops: HashMap<u64, Vec<HopSpan>>,
+    /// Links currently failed by the fault plan; packets reroute around
+    /// them (or are dropped when no alternative exists). Empty in
+    /// fault-free runs, keeping the integer fast path bit-identical.
+    dead: LinkSet,
+    /// Per-link latency multipliers from `LinkDegrade` faults.
+    degraded: BTreeMap<Link, f64>,
 }
 
 impl<D: DeviceProbe> Fabric<D> {
@@ -59,6 +65,8 @@ impl<D: DeviceProbe> Fabric<D> {
             devices,
             hop_log: None,
             pending_hops: HashMap::new(),
+            dead: LinkSet::new(),
+            degraded: BTreeMap::new(),
         }
     }
 
@@ -71,6 +79,128 @@ impl<D: DeviceProbe> Fabric<D> {
     /// observation site reduces to an untaken branch.
     pub(crate) fn observing(&self) -> bool {
         D::ENABLED || self.hop_log.is_some()
+    }
+
+    // ---- link faults ----------------------------------------------------
+
+    /// Marks `link` failed: ECMP reroutes around it, and copies whose only
+    /// path crosses it are dropped by the caller (the `try_*` timing
+    /// helpers return `None`).
+    pub(crate) fn fail_link(&mut self, link: Link) {
+        self.degraded.remove(&link);
+        self.dead.insert(link);
+    }
+
+    /// Multiplies the latency of `link` by `factor`.
+    pub(crate) fn degrade_link(&mut self, link: Link, factor: f64) {
+        self.degraded.insert(link, factor);
+    }
+
+    /// Clears any failure or degradation of `link`.
+    pub(crate) fn recover_link(&mut self, link: Link) {
+        self.dead.remove(&link);
+        self.degraded.remove(&link);
+    }
+
+    fn links_healthy(&self) -> bool {
+        self.dead.is_empty() && self.degraded.is_empty()
+    }
+
+    /// Latency of one traversal of `link`, honouring degradation.
+    fn edge(&self, link: Link) -> SimDuration {
+        match self.degraded.get(&link) {
+            Some(&f) => self.link_latency.mul_f64(f),
+            None => self.link_latency,
+        }
+    }
+
+    fn cost_host_to_host(&self, a: HostId, p: &[SwitchId], b: HostId) -> SimDuration {
+        if p.is_empty() {
+            return self.edge(Link::uplink(a));
+        }
+        let mut t = self.edge(Link::uplink(a));
+        for w in p.windows(2) {
+            t += self.edge(Link::between(w[0], w[1]));
+        }
+        t + self.edge(Link::uplink(b))
+    }
+
+    fn cost_host_to_switch(&self, a: HostId, p: &[SwitchId]) -> SimDuration {
+        if p.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut t = self.edge(Link::uplink(a));
+        for w in p.windows(2) {
+            t += self.edge(Link::between(w[0], w[1]));
+        }
+        t
+    }
+
+    fn cost_switch_to_host(&self, sw: SwitchId, p: &[SwitchId], b: HostId) -> SimDuration {
+        let mut t = SimDuration::ZERO;
+        let mut prev = sw;
+        for &s in p {
+            t += self.edge(Link::between(prev, s));
+            prev = s;
+        }
+        t + self.edge(Link::uplink(b))
+    }
+
+    /// Fault-aware [`Fabric::host_to_host`]: `None` when every candidate
+    /// path crosses a failed link (the copy is lost).
+    pub(crate) fn try_host_to_host(&self, a: HostId, b: HostId, hash: u64) -> Option<SimDuration> {
+        if self.links_healthy() {
+            return Some(self.host_to_host(a, b, hash));
+        }
+        let p = self.topo.path_avoiding(a, b, hash, &self.dead).ok()?;
+        Some(self.cost_host_to_host(a, &p, b))
+    }
+
+    /// The (possibly rerouted) host-to-switch path, or `None` when severed.
+    pub(crate) fn host_to_switch_path(
+        &self,
+        a: HostId,
+        sw: SwitchId,
+        hash: u64,
+    ) -> Option<Vec<SwitchId>> {
+        if self.dead.is_empty() {
+            Some(self.topo.path_host_to_switch(a, sw, hash))
+        } else {
+            self.topo
+                .path_host_to_switch_avoiding(a, sw, hash, &self.dead)
+                .ok()
+        }
+    }
+
+    /// Fault-aware [`Fabric::host_to_switch`].
+    pub(crate) fn try_host_to_switch(
+        &self,
+        a: HostId,
+        sw: SwitchId,
+        hash: u64,
+    ) -> Option<SimDuration> {
+        if self.links_healthy() {
+            return Some(self.host_to_switch(a, sw, hash));
+        }
+        let p = self.host_to_switch_path(a, sw, hash)?;
+        Some(self.cost_host_to_switch(a, &p))
+    }
+
+    /// Fault-aware [`Fabric::switch_to_host`].
+    pub(crate) fn try_switch_to_host(
+        &self,
+        sw: SwitchId,
+        b: HostId,
+        hash: u64,
+    ) -> Option<SimDuration> {
+        if self.links_healthy() {
+            return Some(self.switch_to_host(sw, b, hash));
+        }
+        let p = self
+            .topo
+            .path_switch_to_host_avoiding(sw, b, hash, &self.dead)
+            .ok()?;
+        Some(self.cost_switch_to_host(sw, &p, b))
     }
 
     // ---- timing ---------------------------------------------------------
@@ -184,7 +314,13 @@ impl<D: DeviceProbe> Fabric<D> {
         sink: HopSink,
         bytes: u64,
     ) {
-        let p = self.topo.path(a, b, hash);
+        let p = if self.dead.is_empty() {
+            self.topo.path(a, b, hash)
+        } else {
+            self.topo
+                .path_avoiding(a, b, hash, &self.dead)
+                .expect("observed copy must have had a live path")
+        };
         let tier = self.topo.path_tier(&p).id() as usize;
         let mut nodes = Vec::with_capacity(p.len() + 2);
         nodes.push(NodeId::Host(a.0));
@@ -222,7 +358,13 @@ impl<D: DeviceProbe> Fabric<D> {
         sink: HopSink,
         bytes: u64,
     ) {
-        let p = self.topo.path_switch_to_host(sw, b, hash);
+        let p = if self.dead.is_empty() {
+            self.topo.path_switch_to_host(sw, b, hash)
+        } else {
+            self.topo
+                .path_switch_to_host_avoiding(sw, b, hash, &self.dead)
+                .expect("observed copy must have had a live path")
+        };
         let tier = self.topo.path_tier(&p).min(self.topo.tier(sw)).id() as usize;
         let mut nodes = Vec::with_capacity(p.len() + 2);
         nodes.push(NodeId::Switch(sw.0));

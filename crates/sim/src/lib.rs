@@ -41,11 +41,15 @@ mod stats;
 
 pub use cluster::{Cluster, Ev, ReqId};
 pub use config::{OverloadPolicy, PlanSource, R95Config, Scheme, SimConfig};
+pub use netrs_faults::{
+    AvailabilityStats, FaultEvent, FaultPlan, LinkRef, RetryPolicy, TimedFault,
+};
 pub use netrs_simcore::EngineProfile;
 pub use obs::{
     DeviceRecord, DeviceStatsReport, HopSpan, ObsOptions, SamplePoint, SamplerSpec, TimeSeries,
     TraceRecord,
 };
+pub use policy::NotInNetwork;
 pub use runner::{run, run_all_schemes, run_observed, run_seeds, RunOutput};
 pub use server::ServerToken;
 pub use stats::{LatencyBreakdown, MeanStats, RunStats};

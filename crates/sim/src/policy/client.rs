@@ -114,9 +114,13 @@ impl CliRsPolicy {
         );
         let hash = flow_hash(req, u64::from(server.0));
         let client_host = core.clients[client_idx].host;
-        let latency =
+        let Some(latency) =
             core.fabric
-                .host_to_host(client_host, core.server_hosts[server.0 as usize], hash);
+                .try_host_to_host(client_host, core.server_hosts[server.0 as usize], hash)
+        else {
+            core.drop_copy(req.0); // partitioned by link faults
+            return;
+        };
         queue.schedule_after(latency, Ev::ServerArrive { token });
         if core.fabric.observing() {
             let sink = HopSink::Copy(req.0, server.0);
@@ -135,6 +139,23 @@ impl CliRsPolicy {
                 sink,
                 REQ_BYTES,
             );
+        }
+    }
+
+    /// Lets the issuing client's selector penalize the replica whose
+    /// answer never came (fault runs only).
+    fn note_timeout<D: DeviceProbe>(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        primary: Option<ServerId>,
+    ) {
+        let Some(state) = core.requests.get(&req.0) else {
+            return;
+        };
+        if let Some(server) = primary {
+            self.selectors[state.client as usize].on_timeout(server, now);
         }
     }
 
@@ -183,6 +204,16 @@ impl<D: DeviceProbe> SchemePolicy<D> for CliRsPolicy {
 
     fn on_reply(&mut self, _core: &mut Core<D>, now: SimTime, info: &ReplyInfo) {
         self.feed_back(now, info);
+    }
+
+    fn on_request_timeout(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        primary: Option<ServerId>,
+    ) {
+        self.note_timeout(core, now, req, primary);
     }
 }
 
@@ -260,5 +291,15 @@ impl<D: DeviceProbe> SchemePolicy<D> for CliRsR95Policy {
 
     fn on_reply(&mut self, _core: &mut Core<D>, now: SimTime, info: &ReplyInfo) {
         self.inner.feed_back(now, info);
+    }
+
+    fn on_request_timeout(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        primary: Option<ServerId>,
+    ) {
+        self.inner.note_timeout(core, now, req, primary);
     }
 }

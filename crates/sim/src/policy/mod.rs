@@ -28,6 +28,19 @@ use crate::state::Core;
 pub(crate) use self::client::{CliRsPolicy, CliRsR95Policy};
 pub(crate) use self::netrs::{NetRsIlpPolicy, NetRsToRPolicy};
 
+/// Error returned by operator-fault hooks on schemes with no in-network
+/// operators (CliRS, CliRS-R95).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotInNetwork;
+
+impl std::fmt::Display for NotInNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scheme has no in-network operators")
+    }
+}
+
+impl std::error::Error for NotInNetwork {}
+
 /// Scheme-owned contributions to [`crate::stats::RunStats`], all zero for
 /// schemes without in-network state.
 #[derive(Debug, Default)]
@@ -177,10 +190,40 @@ pub(crate) trait SchemePolicy<D: DeviceProbe>: Send {
         None
     }
 
-    /// Injects a fail-stop operator fault (§III-C(iii)).
-    fn fail_operator(&mut self, sw: SwitchId) -> Vec<u32> {
+    /// Injects a fail-stop operator fault (§III-C(iii)): degrade its
+    /// traffic groups to DRS and redeploy. Returns the affected groups,
+    /// or [`NotInNetwork`] for schemes without operators.
+    fn fail_operator(&mut self, sw: SwitchId) -> Result<Vec<u32>, NotInNetwork> {
         let _ = sw;
-        panic!("operator failure only applies to in-network schemes");
+        Err(NotInNetwork)
+    }
+
+    /// An operator fail-stops *silently* (fault plan `OperatorFail`):
+    /// packets steered to it must blackhole until the controller detects
+    /// the failure. Returns whether the scheme has detection to schedule.
+    fn operator_crashed(&mut self, sw: SwitchId) -> bool {
+        let _ = sw;
+        false
+    }
+
+    /// A crashed operator comes back (fault plan `OperatorRecover`): the
+    /// controller restores its traffic groups and reinstalls a fresh
+    /// selector.
+    fn recover_operator(&mut self, core: &mut Core<D>, now: SimTime, sw: SwitchId) {
+        let _ = (core, now, sw);
+    }
+
+    /// A read's retry timer fired and the request is being re-steered
+    /// (fault runs only): let client-side selectors penalize the replica
+    /// that failed to answer.
+    fn on_request_timeout(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        primary: Option<ServerId>,
+    ) {
+        let _ = (core, now, req, primary);
     }
 
     /// Census of operators by tier currently holding selector state.

@@ -8,7 +8,7 @@
 //! from ToR monitor measurements). [`InNetwork`] holds the shared control
 //! and device state; the two policy types wrap it.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use netrs::{ControllerConfig, NetRsController, Rsp, TrafficGroups, TrafficMatrix};
 use netrs_kvstore::ServerId;
@@ -42,6 +42,10 @@ struct InNetwork {
     retired_operators: Vec<RsOperator>,
     /// Per-operator busy counter at the last overload check.
     last_accel_busy: HashMap<SwitchId, u128>,
+    /// Switches whose operator fail-stopped (fault plan) and has not
+    /// recovered: packets steered there blackhole until the controller
+    /// detects the failure and reroutes.
+    dead_operators: BTreeSet<SwitchId>,
 }
 
 impl InNetwork {
@@ -80,6 +84,7 @@ impl InNetwork {
             monitors: HashMap::new(),
             retired_operators: Vec::new(),
             last_accel_busy: HashMap::new(),
+            dead_operators: BTreeSet::new(),
         };
         net.rebuild_operators(cfg, root.clone());
 
@@ -167,11 +172,14 @@ impl InNetwork {
                 let backup = state.backup;
                 let token = ServerToken::new(req, backup, now, now, SimDuration::ZERO, now, None);
                 let hash = flow_hash(req, 7);
-                let latency = core.fabric.host_to_host(
+                let Some(latency) = core.fabric.try_host_to_host(
                     client_host,
                     core.server_hosts[backup.0 as usize],
                     hash,
-                );
+                ) else {
+                    core.drop_copy(req.0); // partitioned by link faults
+                    return;
+                };
                 queue.schedule_after(latency, Ev::ServerArrive { token });
                 core.fabric
                     .devices
@@ -192,7 +200,12 @@ impl InNetwork {
             }
             IngressAction::ToAccelerator => {
                 // The RSNode is this very ToR: one host→ToR link.
-                queue.schedule_after(core.fabric.link(1), Ev::RsnodeArrive { req, op: tor });
+                let hash = flow_hash(req, 11);
+                let Some(latency) = core.fabric.try_host_to_switch(client_host, tor, hash) else {
+                    core.drop_copy(req.0); // the client's uplink is dark
+                    return;
+                };
+                queue.schedule_after(latency, Ev::RsnodeArrive { req, op: tor });
                 if core.fabric.observing() {
                     let sink = HopSink::Pending(req.0);
                     core.fabric
@@ -207,13 +220,19 @@ impl InNetwork {
                     .switch_of_rsnode(rid)
                     .expect("deployed rules only reference live operators");
                 let hash = flow_hash(req, 11);
-                let latency = core.fabric.host_to_switch(client_host, op, hash);
+                let Some(latency) = core.fabric.try_host_to_switch(client_host, op, hash) else {
+                    core.drop_copy(req.0); // no live path to the RSNode
+                    return;
+                };
                 queue.schedule_after(latency, Ev::RsnodeArrive { req, op });
                 if core.fabric.observing() {
                     let sink = HopSink::Pending(req.0);
                     core.fabric
                         .push_residency_hop(sink, DeviceId::Client(client_idx), now, now);
-                    let p = core.fabric.topo.path_host_to_switch(client_host, op, hash);
+                    let p = core
+                        .fabric
+                        .host_to_switch_path(client_host, op, hash)
+                        .expect("copy was just timed over a live path");
                     core.fabric
                         .observe_host_to_switch(now, client_host, &p, sink, REQ_BYTES);
                 }
@@ -232,6 +251,15 @@ impl InNetwork {
         op: SwitchId,
         queue: &mut EventQueue<Ev>,
     ) {
+        if self.dead_operators.contains(&op) {
+            // Fail-stopped operator (fault plan): the packet blackholes;
+            // the client's timeout machinery recovers the request.
+            core.fabric
+                .devices
+                .bump(DeviceId::Switch(op.0), DeviceCounter::Drop, 1);
+            core.drop_copy(req.0);
+            return;
+        }
         let Some(operator) = self.operators.get_mut(&op) else {
             // The operator was retired by a re-plan while the request was
             // in flight; fall back to the client's backup replica (DRS
@@ -275,9 +303,13 @@ impl InNetwork {
             None,
         );
         let hash = flow_hash(req, 13);
-        let latency = core
-            .fabric
-            .switch_to_host(from, core.server_hosts[backup.0 as usize], hash);
+        let Some(latency) =
+            core.fabric
+                .try_switch_to_host(from, core.server_hosts[backup.0 as usize], hash)
+        else {
+            core.drop_copy(req.0); // no live path to the backup
+            return;
+        };
         queue.schedule_after(latency, Ev::ServerArrive { token });
         core.fabric
             .devices
@@ -309,6 +341,14 @@ impl InNetwork {
         waited: SimDuration,
         queue: &mut EventQueue<Ev>,
     ) {
+        if self.dead_operators.contains(&op) {
+            // The operator died while the selection was in flight.
+            core.fabric
+                .devices
+                .bump(DeviceId::Switch(op.0), DeviceCounter::Drop, 1);
+            core.drop_copy(req.0);
+            return;
+        }
         let Some(operator) = self.operators.get_mut(&op) else {
             self.forward_to_backup(core, now, req, op, queue);
             return;
@@ -323,9 +363,13 @@ impl InNetwork {
         state.copies += 1;
         let token = ServerToken::new(req, target, state.sent_at, arrived, waited, now, Some(op));
         let hash = flow_hash(req, 17);
-        let latency = core
-            .fabric
-            .switch_to_host(op, core.server_hosts[target.0 as usize], hash);
+        let Some(latency) =
+            core.fabric
+                .try_switch_to_host(op, core.server_hosts[target.0 as usize], hash)
+        else {
+            core.drop_copy(req.0); // no live path to the chosen replica
+            return;
+        };
         queue.schedule_after(latency, Ev::ServerArrive { token });
         let accel = DeviceId::Accelerator(op.0);
         core.fabric.devices.selection(accel, waited);
@@ -375,7 +419,11 @@ impl InNetwork {
         let server_host = core.server_hosts[token.server.0 as usize];
         let hash = flow_hash(token.req, 23);
         let sink = HopSink::Copy(token.req.0, token.server.0);
-        let at_rsnode = now + core.fabric.host_to_switch(server_host, op, hash);
+        let Some(to_rsnode) = core.fabric.try_host_to_switch(server_host, op, hash) else {
+            core.drop_copy(token.req.0); // reply path to the RSNode severed
+            return;
+        };
+        let at_rsnode = now + to_rsnode;
         if let Some(operator) = self.operators.get_mut(&op) {
             let update_at = operator.accel.schedule_clone(at_rsnode);
             let fb = Feedback {
@@ -393,10 +441,17 @@ impl InNetwork {
                 .devices
                 .busy(accel, core.cfg.accelerator.service_time);
         }
-        let at_client = at_rsnode + core.fabric.switch_to_host(op, client_host, hash);
+        let Some(to_client) = core.fabric.try_switch_to_host(op, client_host, hash) else {
+            core.drop_copy(token.req.0); // reply path to the client severed
+            return;
+        };
+        let at_client = at_rsnode + to_client;
         queue.schedule_at(at_client, Ev::ClientReceive { token, status });
         if core.fabric.observing() {
-            let p = core.fabric.topo.path_host_to_switch(server_host, op, hash);
+            let p = core
+                .fabric
+                .host_to_switch_path(server_host, op, hash)
+                .expect("reply was just timed over a live path");
             core.fabric
                 .observe_host_to_switch(now, server_host, &p, sink, RESP_BYTES);
             core.fabric
@@ -470,6 +525,47 @@ impl InNetwork {
         let affected = self.controller.on_operator_failure(sw);
         self.rules = self.controller.deploy(&self.groups);
         affected
+    }
+
+    /// Fault-plan `OperatorFail`: the accelerator dies silently. Its
+    /// operator state retires (the work it performed stays in the
+    /// statistics) and the switch blackholes steered packets until the
+    /// controller's detection fires.
+    fn operator_crashed(&mut self, sw: SwitchId) {
+        if let Some(op) = self.operators.remove(&sw) {
+            self.retired_operators.push(op);
+        }
+        self.dead_operators.insert(sw);
+    }
+
+    /// Fault-plan `OperatorRecover`: the controller restores the
+    /// operator's baseline traffic groups (unless a re-plan reassigned
+    /// them meanwhile) and installs a fresh selector — the §II cold-start
+    /// transient applies.
+    fn recover_operator<D: DeviceProbe>(&mut self, core: &Core<D>, now: SimTime, sw: SwitchId) {
+        if !self.dead_operators.remove(&sw) {
+            return; // never crashed (or already recovered)
+        }
+        self.controller.on_operator_recovery(sw);
+        self.rules = self.controller.deploy(&self.groups);
+        let rsnodes = self.controller.current_plan().rsnodes();
+        if !rsnodes.contains(&sw) {
+            return; // a re-plan moved its groups elsewhere for good
+        }
+        let cfg = &core.cfg;
+        let n = rsnodes.len().max(1) as f64;
+        self.operators.entry(sw).or_insert_with(|| {
+            RsOperator::new(
+                cfg.selector.build_with_concurrency(
+                    cfg.c3,
+                    n,
+                    SimRng::from_seed(
+                        cfg.seed ^ 0x0DD0_FA17 ^ (u64::from(sw.0) << 32) ^ now.as_nanos(),
+                    ),
+                ),
+                cfg.accelerator,
+            )
+        });
     }
 
     fn operator_tiers(&self, topo: &FatTree) -> [usize; 3] {
@@ -604,8 +700,17 @@ macro_rules! delegate_in_network {
             Some(self.$field.controller.current_plan())
         }
 
-        fn fail_operator(&mut self, sw: SwitchId) -> Vec<u32> {
-            self.$field.fail_operator(sw)
+        fn fail_operator(&mut self, sw: SwitchId) -> Result<Vec<u32>, crate::policy::NotInNetwork> {
+            Ok(self.$field.fail_operator(sw))
+        }
+
+        fn operator_crashed(&mut self, sw: SwitchId) -> bool {
+            self.$field.operator_crashed(sw);
+            true
+        }
+
+        fn recover_operator(&mut self, core: &mut Core<D>, now: SimTime, sw: SwitchId) {
+            self.$field.recover_operator(core, now, sw);
         }
 
         fn operator_tiers(&self, topo: &FatTree) -> [usize; 3] {

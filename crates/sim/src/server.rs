@@ -77,16 +77,26 @@ impl ServerToken {
 /// The cluster's storage servers.
 pub(crate) struct ServerPool {
     servers: Vec<Server<ServerToken>>,
+    /// Per server: in-service copies lost to a crash whose `ServerDone`
+    /// events are still in the event queue and must be absorbed.
+    ghosts: Vec<u32>,
+    /// Per server: when it last crashed (distinguishes ghost completions
+    /// from post-recovery ones).
+    crash_at: Vec<SimTime>,
 }
 
 impl ServerPool {
     /// Builds `count` servers, each with its own deterministic RNG stream
     /// (`root.fork(20_000 + i)`).
     pub(crate) fn new(count: u32, cfg: &ServerConfig, root: &SimRng) -> Self {
-        let servers = (0..count)
+        let servers: Vec<_> = (0..count)
             .map(|i| Server::new(ServerId(i), cfg.clone(), root.fork(20_000 + u64::from(i))))
             .collect();
-        ServerPool { servers }
+        ServerPool {
+            ghosts: vec![0; servers.len()],
+            crash_at: vec![SimTime::ZERO; servers.len()],
+            servers,
+        }
     }
 
     /// A server redraws its mean service time (the bimodal fluctuation).
@@ -161,6 +171,64 @@ impl ServerPool {
             fabric.devices.queue_delta(now, server_dev, -1);
         }
         status
+    }
+
+    // ---- faults ---------------------------------------------------------
+
+    /// Whether the server is currently crashed.
+    pub(crate) fn is_down(&self, server: ServerId) -> bool {
+        !self.servers[server.0 as usize].is_up()
+    }
+
+    /// Fail-stops a server. Queued copies are drained (their device queue
+    /// accounting reversed) and returned as lost request ids; in-service
+    /// copies become ghosts whose pending `ServerDone` events
+    /// [`Self::absorb_ghost`] swallows. No-op if already down.
+    pub(crate) fn crash<D: DeviceProbe>(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        fabric: &mut Fabric<D>,
+    ) -> Vec<u64> {
+        let idx = server.0 as usize;
+        if !self.servers[idx].is_up() {
+            return Vec::new();
+        }
+        let (queued, in_service) = self.servers[idx].crash(now);
+        self.ghosts[idx] += in_service;
+        self.crash_at[idx] = now;
+        let dev = DeviceId::Server(server.0);
+        let mut lost = Vec::with_capacity(queued.len());
+        for t in queued {
+            fabric.devices.queue_delta(now, dev, -1);
+            lost.push(t.req.0);
+        }
+        lost
+    }
+
+    /// A crashed server comes back empty. No-op if already up.
+    pub(crate) fn recover(&mut self, now: SimTime, server: ServerId) {
+        let idx = server.0 as usize;
+        if !self.servers[idx].is_up() {
+            self.servers[idx].recover(now);
+        }
+    }
+
+    /// Applies a service-rate multiplier (the `ServerSlowdown` fault).
+    pub(crate) fn set_rate_factor(&mut self, server: ServerId, factor: f64) {
+        self.servers[server.0 as usize].set_rate_factor(factor);
+    }
+
+    /// Whether this `ServerDone` belongs to a copy that was in service
+    /// when the server crashed (its completion must be discarded). Ghost
+    /// tokens started service at or before the crash instant.
+    pub(crate) fn absorb_ghost(&mut self, server: ServerId, token: &ServerToken) -> bool {
+        let idx = server.0 as usize;
+        if self.ghosts[idx] > 0 && token.service_started_at <= self.crash_at[idx] {
+            self.ghosts[idx] -= 1;
+            return true;
+        }
+        false
     }
 
     /// Mean instantaneous slot occupancy across servers.

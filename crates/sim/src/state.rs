@@ -10,11 +10,12 @@
 
 use std::collections::HashMap;
 
+use netrs_faults::{AvailabilityStats, FaultEvent, FaultPlan, LinkRef};
 use netrs_kvstore::{Ring, ServerId, ServerStatus};
 use netrs_simcore::{
     DeviceCounter, DeviceId, DeviceProbe, EventQueue, Histogram, SimDuration, SimRng, SimTime, Zipf,
 };
-use netrs_topology::{FatTree, HostId};
+use netrs_topology::{FatTree, HostId, Link, SwitchId};
 
 use crate::cluster::{Ev, ReqId};
 use crate::config::SimConfig;
@@ -103,6 +104,85 @@ impl BreakdownHists {
     }
 }
 
+/// Runtime state of the fault-injection subsystem. Present on the
+/// [`Core`] only when the run was given an *active* fault plan, so
+/// fault-free runs never arm the timeout machinery and stay
+/// byte-identical to runs built before the subsystem existed.
+pub(crate) struct FaultRuntime {
+    pub(crate) plan: FaultPlan,
+    /// Stream for packet-loss-burst coin flips (fork 50_000 of the root).
+    rng: SimRng,
+    /// Current loss-burst drop probability (meaningful until
+    /// `loss_until`).
+    loss_probability: f64,
+    loss_until: SimTime,
+    faults_injected: u64,
+    timeouts: u64,
+    retries: u64,
+    duplicate_drops: u64,
+    copies_dropped: u64,
+    /// When the most recent fault fired (recovery is measured from
+    /// here).
+    last_fault_at: Option<SimTime>,
+    /// Steady-state mean read latency, snapshotted when the first fault
+    /// fires (the recovery band is relative to this).
+    steady_mean: Option<SimDuration>,
+    /// Read completions observed between the first fault and detected
+    /// recovery (feeds `failed_window_p99`).
+    fault_hist: Histogram,
+    window_start: SimTime,
+    window_sum_ns: u128,
+    window_count: u64,
+    /// A timeout, retry, or dropped copy happened inside the current
+    /// observation window, disqualifying it as "recovered".
+    window_disrupted: bool,
+    recovered_at: Option<SimTime>,
+}
+
+impl FaultRuntime {
+    fn new(plan: FaultPlan, root: &SimRng) -> Self {
+        FaultRuntime {
+            rng: root.fork(50_000),
+            loss_probability: 0.0,
+            loss_until: SimTime::ZERO,
+            faults_injected: 0,
+            timeouts: 0,
+            retries: 0,
+            duplicate_drops: 0,
+            copies_dropped: 0,
+            last_fault_at: None,
+            steady_mean: None,
+            fault_hist: Histogram::new(),
+            window_start: SimTime::ZERO,
+            window_sum_ns: 0,
+            window_count: 0,
+            window_disrupted: false,
+            recovered_at: None,
+            plan,
+        }
+    }
+
+    /// A disruption (timeout / retry / lost copy) voids the current
+    /// recovery observation window.
+    fn disrupt(&mut self) {
+        self.window_disrupted = true;
+    }
+}
+
+/// What [`Core::retry_decision`] told the cluster to do about a request
+/// whose retry timer fired.
+pub(crate) enum RetryAction {
+    /// Request completed (or was already resolved): nothing to do.
+    Done,
+    /// Request abandoned and counted as a timeout.
+    Abandon,
+    /// Re-steer the read through the policy and arm the next check.
+    Retry {
+        replicas: Vec<ServerId>,
+        primary: Option<ServerId>,
+    },
+}
+
 /// The scheme-independent cluster state: fabric + servers + clients +
 /// workload + results.
 pub(crate) struct Core<D: DeviceProbe> {
@@ -132,6 +212,9 @@ pub(crate) struct Core<D: DeviceProbe> {
     breakdown: BreakdownHists,
     tracer: Option<Box<dyn std::io::Write + Send>>,
     sampler: Option<SamplerState>,
+    /// Fault-injection runtime; `None` unless an active fault plan was
+    /// configured.
+    pub(crate) faults: Option<FaultRuntime>,
 }
 
 impl<D: DeviceProbe> Core<D> {
@@ -173,6 +256,11 @@ impl<D: DeviceProbe> Core<D> {
             })
             .collect();
         let top_clients = (cfg.clients / 5).max(1);
+        let faults = cfg
+            .faults
+            .as_ref()
+            .filter(|p| p.is_active())
+            .map(|p| FaultRuntime::new(p.clone(), root));
 
         Core {
             warmup_cutoff: (cfg.requests as f64 * cfg.warmup_fraction) as u64,
@@ -199,6 +287,7 @@ impl<D: DeviceProbe> Core<D> {
             breakdown: BreakdownHists::new(),
             tracer: None,
             sampler: None,
+            faults,
             cfg,
         }
     }
@@ -286,6 +375,16 @@ impl<D: DeviceProbe> Core<D> {
         }
     }
 
+    /// Schedules every scripted fault from the plan's timeline as an
+    /// ordinary engine event (no-op when no active plan is configured).
+    pub(crate) fn prime_faults(&mut self, queue: &mut EventQueue<Ev>) {
+        if let Some(f) = &self.faults {
+            for (idx, ev) in f.plan.events.iter().enumerate() {
+                queue.schedule_at(SimTime::ZERO + ev.at, Ev::Fault { idx: idx as u32 });
+            }
+        }
+    }
+
     /// Schedules the sampler's first tick, if the sampler is enabled
     /// (last in priming order).
     pub(crate) fn prime_sampler(&mut self, queue: &mut EventQueue<Ev>) {
@@ -354,6 +453,11 @@ impl<D: DeviceProbe> Core<D> {
         self.fabric
             .devices
             .bump(DeviceId::Client(client_idx), DeviceCounter::Op, 1);
+        if let Some(f) = &self.faults {
+            // Only fault-injected runs arm the client timeout machinery,
+            // so fault-free event streams are untouched.
+            queue.schedule_after(f.plan.retry.timeout, Ev::RetryCheck { req, attempt: 0 });
+        }
 
         if is_write {
             // Writes are plain traffic: one copy per replica, no replica
@@ -379,9 +483,14 @@ impl<D: DeviceProbe> Core<D> {
         for (i, &server) in replicas.iter().enumerate() {
             let token = ServerToken::new(req, server, now, now, SimDuration::ZERO, now, None);
             let hash = flow_hash(req, 31 + i as u64);
-            let latency =
-                self.fabric
-                    .host_to_host(client_host, self.server_hosts[server.0 as usize], hash);
+            let Some(latency) = self.fabric.try_host_to_host(
+                client_host,
+                self.server_hosts[server.0 as usize],
+                hash,
+            ) else {
+                self.drop_copy(req.0); // partitioned by link faults
+                continue;
+            };
             queue.schedule_after(latency, Ev::ServerArrive { token });
             if self.fabric.observing() {
                 let sink = HopSink::Copy(req.0, server.0);
@@ -401,13 +510,22 @@ impl<D: DeviceProbe> Core<D> {
 
     // ---- servers --------------------------------------------------------
 
-    /// [`Ev::ServerArrive`] mechanics: hand the copy to its server.
+    /// [`Ev::ServerArrive`] mechanics: hand the copy to its server. A
+    /// crashed server drops the copy on the floor (the client timeout
+    /// machinery recovers it).
     pub(crate) fn server_arrive(
         &mut self,
         now: SimTime,
         token: ServerToken,
         queue: &mut EventQueue<Ev>,
     ) {
+        if self.servers.is_down(token.server) {
+            self.fabric
+                .devices
+                .bump(DeviceId::Server(token.server.0), DeviceCounter::Drop, 1);
+            self.drop_copy(token.req.0);
+            return;
+        }
         self.servers.arrive(now, token, &mut self.fabric, queue);
     }
 
@@ -426,6 +544,11 @@ impl<D: DeviceProbe> Core<D> {
             .servers
             .finish_service(now, server_id, token, &mut self.fabric, queue);
         if !self.requests.contains_key(&token.req.0) {
+            // The request was resolved without this copy (fault runs:
+            // abandoned after timing out). The reply has nowhere to go.
+            if let Some(f) = &mut self.faults {
+                f.duplicate_drops += 1;
+            }
             return None;
         }
         if self.fabric.observing() {
@@ -455,7 +578,10 @@ impl<D: DeviceProbe> Core<D> {
         let client_host = self.clients[state.client as usize].host;
         let server_host = self.server_hosts[token.server.0 as usize];
         let hash = flow_hash(token.req, 23);
-        let latency = self.fabric.host_to_host(server_host, client_host, hash);
+        let Some(latency) = self.fabric.try_host_to_host(server_host, client_host, hash) else {
+            self.drop_copy(token.req.0); // reply path severed by link faults
+            return;
+        };
         queue.schedule_after(latency, Ev::ClientReceive { token, status });
         if self.fabric.observing() {
             self.fabric.observe_host_to_host(
@@ -481,7 +607,14 @@ impl<D: DeviceProbe> Core<D> {
         token: ServerToken,
         status: ServerStatus,
     ) -> Option<ReplyInfo> {
-        let state = self.requests.get_mut(&token.req.0)?;
+        let Some(state) = self.requests.get_mut(&token.req.0) else {
+            // A straggler reply for a request already resolved (fault
+            // runs only: the client abandoned it after a timeout).
+            if let Some(f) = &mut self.faults {
+                f.duplicate_drops += 1;
+            }
+            return None;
+        };
         state.copies = state.copies.saturating_sub(1);
         let client_idx = state.client as usize;
         let is_write = state.is_write;
@@ -553,6 +686,7 @@ impl<D: DeviceProbe> Core<D> {
             if issue_idx >= self.warmup_cutoff {
                 self.hist.record(latency);
             }
+            self.track_recovery(now, latency);
         }
         Some(ReplyInfo {
             token,
@@ -560,6 +694,185 @@ impl<D: DeviceProbe> Core<D> {
             client: client_idx as u32,
             rgid,
             first_completion,
+        })
+    }
+
+    // ---- fault injection ------------------------------------------------
+
+    /// Injects the plan's fault `idx` ([`Ev::Fault`] mechanics). Server,
+    /// link, and packet-loss faults are applied here; operator faults are
+    /// returned for the cluster to route to the scheme policy.
+    pub(crate) fn inject_fault(&mut self, now: SimTime, idx: u32) -> Option<FaultEvent> {
+        let ev = {
+            let f = self.faults.as_ref()?;
+            f.plan.events.get(idx as usize)?.fault
+        };
+        let steady = if self.hist.count() > 0 {
+            Some(self.hist.mean())
+        } else {
+            None
+        };
+        let f = self.faults.as_mut().expect("checked above");
+        f.faults_injected += 1;
+        if f.steady_mean.is_none() {
+            f.steady_mean = steady;
+        }
+        // Recovery is measured from the most recent fault; each new one
+        // restarts the observation window.
+        f.last_fault_at = Some(now);
+        f.recovered_at = None;
+        f.window_start = now;
+        f.window_sum_ns = 0;
+        f.window_count = 0;
+        f.window_disrupted = false;
+        match ev {
+            FaultEvent::ServerCrash { server } => self.crash_server(now, ServerId(server)),
+            FaultEvent::ServerRecover { server } => self.servers.recover(now, ServerId(server)),
+            FaultEvent::ServerSlowdown { server, factor } => {
+                self.servers.set_rate_factor(ServerId(server), factor);
+            }
+            FaultEvent::LinkFail { link } => self.fabric.fail_link(resolve_link(link)),
+            FaultEvent::LinkDegrade { link, factor } => {
+                self.fabric.degrade_link(resolve_link(link), factor);
+            }
+            FaultEvent::LinkRecover { link } => self.fabric.recover_link(resolve_link(link)),
+            FaultEvent::PacketLossBurst {
+                probability,
+                duration,
+            } => {
+                f.loss_probability = probability;
+                f.loss_until = now + duration;
+            }
+            op @ (FaultEvent::OperatorFail { .. } | FaultEvent::OperatorRecover { .. }) => {
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    /// Fail-stops a server: queued and in-service copies are lost.
+    fn crash_server(&mut self, now: SimTime, server: ServerId) {
+        let dropped = self.servers.crash(now, server, &mut self.fabric);
+        for req in dropped {
+            self.drop_copy(req);
+        }
+    }
+
+    /// Loses one in-flight copy of request `req`. The logical request
+    /// survives (the timeout machinery decides its fate) unless it had
+    /// already completed and this was its last outstanding copy.
+    pub(crate) fn drop_copy(&mut self, req: u64) {
+        if let Some(f) = &mut self.faults {
+            f.copies_dropped += 1;
+            f.disrupt();
+        }
+        if let Some(state) = self.requests.get_mut(&req) {
+            state.copies = state.copies.saturating_sub(1);
+            if state.copies == 0 && state.completed {
+                self.requests.remove(&req);
+            }
+        }
+    }
+
+    /// Draws the packet-loss-burst coin for one delivery.
+    pub(crate) fn packet_lost(&mut self, now: SimTime) -> bool {
+        match &mut self.faults {
+            Some(f) if now < f.loss_until => f.rng.chance(f.loss_probability),
+            _ => false,
+        }
+    }
+
+    /// [`Ev::RetryCheck`] mechanics: decides whether the request is done,
+    /// must be abandoned (counted as a timeout), or should be re-steered.
+    pub(crate) fn retry_decision(&mut self, req: ReqId, attempt: u32) -> RetryAction {
+        let Some(f) = &mut self.faults else {
+            return RetryAction::Done;
+        };
+        let Some(state) = self.requests.get(&req.0) else {
+            return RetryAction::Done;
+        };
+        if state.completed {
+            return RetryAction::Done;
+        }
+        if !state.is_write && attempt < f.plan.retry.max_retries {
+            f.retries += 1;
+            f.disrupt();
+            return RetryAction::Retry {
+                replicas: self.ring.groups().replicas(state.rgid).to_vec(),
+                primary: state.primary,
+            };
+        }
+        // Writes abandon at their first timeout; reads after exhausting
+        // their retries.
+        f.timeouts += 1;
+        f.disrupt();
+        self.requests.remove(&req.0);
+        RetryAction::Abandon
+    }
+
+    /// Feeds one first-completion read latency to the recovery detector:
+    /// recovered once a disruption-free window's mean re-enters the
+    /// steady-state band.
+    fn track_recovery(&mut self, now: SimTime, latency: SimDuration) {
+        let Some(f) = &mut self.faults else {
+            return;
+        };
+        if f.last_fault_at.is_none() || f.recovered_at.is_some() {
+            return;
+        }
+        f.fault_hist.record(latency);
+        f.window_sum_ns += u128::from(latency.as_nanos());
+        f.window_count += 1;
+        if now < f.window_start + f.plan.recovery_window {
+            return;
+        }
+        let window_mean_ns = f.window_sum_ns / u128::from(f.window_count);
+        let in_band = match f.steady_mean {
+            Some(m) => {
+                window_mean_ns <= u128::from(m.mul_f64(f.plan.recovery_tolerance).as_nanos())
+            }
+            // No pre-fault completions to define the band: any clean
+            // window counts.
+            None => true,
+        };
+        if !f.window_disrupted && in_band {
+            f.recovered_at = Some(now);
+        } else {
+            f.window_start = now;
+            f.window_sum_ns = 0;
+            f.window_count = 0;
+            f.window_disrupted = false;
+        }
+    }
+
+    /// The plan's operator-failure detection delay.
+    pub(crate) fn detection_delay(&self) -> SimDuration {
+        self.faults
+            .as_ref()
+            .map_or(SimDuration::ZERO, |f| f.plan.detection_delay)
+    }
+
+    /// The wait before retry check `attempt + 1`.
+    pub(crate) fn retry_backoff(&self, attempt: u32) -> SimDuration {
+        self.faults
+            .as_ref()
+            .map_or(SimDuration::ZERO, |f| f.plan.backoff(attempt))
+    }
+
+    /// The run's availability outcome (`None` for fault-free runs).
+    pub(crate) fn availability(&self) -> Option<AvailabilityStats> {
+        let f = self.faults.as_ref()?;
+        Some(AvailabilityStats {
+            faults_injected: f.faults_injected,
+            timeouts: f.timeouts,
+            retries: f.retries,
+            duplicate_drops: f.duplicate_drops,
+            copies_dropped: f.copies_dropped,
+            failed_window_p99: f.fault_hist.value_at_quantile(0.99),
+            time_to_recover: match (f.recovered_at, f.last_fault_at) {
+                (Some(r), Some(l)) => Some(r.saturating_since(l)),
+                _ => None,
+            },
         })
     }
 
@@ -632,6 +945,15 @@ impl<D: DeviceProbe> Core<D> {
             overload_events: self.overload_events,
             sim_end: now,
             events,
+            availability: self.availability(),
         }
+    }
+}
+
+/// Resolves a plan's symbolic link name to a concrete fat-tree link.
+fn resolve_link(l: LinkRef) -> Link {
+    match l {
+        LinkRef::HostUplink { host } => Link::uplink(HostId(host)),
+        LinkRef::SwitchLink { a, b } => Link::between(SwitchId(a), SwitchId(b)),
     }
 }

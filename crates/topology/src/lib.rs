@@ -104,11 +104,16 @@ impl fmt::Display for Tier {
     }
 }
 
-/// Errors building a topology.
+/// Errors building a topology or routing through one with failed links.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologyError {
     /// The fat-tree arity must be an even integer of at least 2.
     BadArity(u32),
+    /// The host's access link is down: nothing can reach it and it can
+    /// reach nothing.
+    HostPartitioned(HostId),
+    /// Every equal-cost path between the endpoints crosses a dead link.
+    NoAlivePath,
 }
 
 impl fmt::Display for TopologyError {
@@ -117,11 +122,105 @@ impl fmt::Display for TopologyError {
             TopologyError::BadArity(k) => {
                 write!(f, "fat-tree arity must be even and >= 2, got {k}")
             }
+            TopologyError::HostPartitioned(h) => {
+                write!(f, "host {h} is partitioned (its access link is down)")
+            }
+            TopologyError::NoAlivePath => {
+                write!(f, "every equal-cost path crosses a dead link")
+            }
         }
     }
 }
 
 impl std::error::Error for TopologyError {}
+
+/// An undirected physical link of the fat-tree: a host's access link or
+/// a switch-to-switch link. Switch endpoints are stored in ascending id
+/// order so either naming order compares equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Link {
+    /// The access link between a host and its ToR.
+    HostUplink(HostId),
+    /// A link between two switches (normalized: lower id first).
+    SwitchLink(SwitchId, SwitchId),
+}
+
+impl Link {
+    /// The access link of a host.
+    #[must_use]
+    pub fn uplink(h: HostId) -> Link {
+        Link::HostUplink(h)
+    }
+
+    /// The link between two switches, in either naming order.
+    #[must_use]
+    pub fn between(a: SwitchId, b: SwitchId) -> Link {
+        if a.0 <= b.0 {
+            Link::SwitchLink(a, b)
+        } else {
+            Link::SwitchLink(b, a)
+        }
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Link::HostUplink(h) => write!(f, "{h}<->s{}", h.0),
+            Link::SwitchLink(a, b) => write!(f, "{a}<->{b}"),
+        }
+    }
+}
+
+/// A set of links — typically the currently failed ones that routing
+/// must steer around.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkSet {
+    links: std::collections::BTreeSet<Link>,
+}
+
+impl LinkSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        LinkSet::default()
+    }
+
+    /// Adds a link; returns whether it was newly inserted.
+    pub fn insert(&mut self, link: Link) -> bool {
+        self.links.insert(link)
+    }
+
+    /// Removes a link; returns whether it was present.
+    pub fn remove(&mut self, link: &Link) -> bool {
+        self.links.remove(link)
+    }
+
+    /// Whether the set contains a link.
+    #[must_use]
+    pub fn contains(&self, link: &Link) -> bool {
+        self.links.contains(link)
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Number of links in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether every switch-to-switch hop of `path` avoids this set.
+    #[must_use]
+    pub fn switch_path_avoids(&self, path: &[SwitchId]) -> bool {
+        path.windows(2)
+            .all(|w| !self.contains(&Link::between(w[0], w[1])))
+    }
+}
 
 /// Extra forwarding hops paid by traffic whose natural highest tier is
 /// `traffic` when it is detoured through an RSNode at tier `rsnode`
@@ -483,6 +582,183 @@ impl FatTree {
         p
     }
 
+    /// Like [`FatTree::path`], but masks the ECMP choice over `dead`
+    /// links: candidates are probed starting from the hash-selected one,
+    /// and the first fully alive path wins. With an empty `dead` set the
+    /// result is exactly [`FatTree::path`].
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::HostPartitioned`] when either host's access link
+    /// is dead; [`TopologyError::NoAlivePath`] when every equal-cost
+    /// path crosses a dead link.
+    pub fn path_avoiding(
+        &self,
+        src: HostId,
+        dst: HostId,
+        flow_hash: u64,
+        dead: &LinkSet,
+    ) -> Result<Vec<SwitchId>, TopologyError> {
+        if dead.is_empty() {
+            return Ok(self.path(src, dst, flow_hash));
+        }
+        if src == dst {
+            return Ok(Vec::new());
+        }
+        self.check_uplink(src, dead)?;
+        self.check_uplink(dst, dead)?;
+        match self.traffic_tier(src, dst) {
+            // Both hosts hang off one ToR: the uplinks are the whole path.
+            Tier::Tor => Ok(vec![self.tor_of_host(src)]),
+            Tier::Agg => {
+                let pod = self.pod_of_host(src);
+                let n = u64::from(self.half());
+                Self::first_alive(n, flow_hash, dead, |i| {
+                    vec![
+                        self.tor_of_host(src),
+                        self.agg(pod, i),
+                        self.tor_of_host(dst),
+                    ]
+                })
+            }
+            Tier::Core => {
+                let n = u64::from(self.num_cores());
+                Self::first_alive(n, flow_hash, dead, |c| self.path_via_core(src, dst, c))
+            }
+        }
+    }
+
+    /// Like [`FatTree::path_host_to_switch`], but masks the ECMP choice
+    /// over `dead` links (see [`FatTree::path_avoiding`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`FatTree::path_avoiding`].
+    pub fn path_host_to_switch_avoiding(
+        &self,
+        src: HostId,
+        w: SwitchId,
+        flow_hash: u64,
+        dead: &LinkSet,
+    ) -> Result<Vec<SwitchId>, TopologyError> {
+        if dead.is_empty() {
+            return Ok(self.path_host_to_switch(src, w, flow_hash));
+        }
+        self.check_uplink(src, dead)?;
+        let tor_s = self.tor_of_host(src);
+        let pod_s = self.pod_of_host(src);
+        match self.tier(w) {
+            Tier::Tor => {
+                if w == tor_s {
+                    Ok(vec![w])
+                } else if self.pod_of_switch(w) == Some(pod_s) {
+                    let n = u64::from(self.half());
+                    Self::first_alive(n, flow_hash, dead, |i| vec![tor_s, self.agg(pod_s, i), w])
+                } else {
+                    let n = u64::from(self.num_cores());
+                    let pod_w = self.pod_of_switch(w).expect("tor has a pod");
+                    Self::first_alive(n, flow_hash, dead, |c| {
+                        let g = self.core_group(c);
+                        vec![
+                            tor_s,
+                            self.agg(pod_s, g),
+                            self.core(c),
+                            self.agg(pod_w, g),
+                            w,
+                        ]
+                    })
+                }
+            }
+            Tier::Agg => {
+                let pod_w = self.pod_of_switch(w).expect("agg has a pod");
+                if pod_w == pod_s {
+                    // A pod's ToR reaches each of its aggs by one link.
+                    Self::first_alive(1, flow_hash, dead, |_| vec![tor_s, w])
+                } else {
+                    // A foreign agg is reachable through the k/2 cores of
+                    // its group; the group is fixed by its in-pod index.
+                    let i_w = self.index_in_pod(w).expect("agg has an index");
+                    let n = u64::from(self.half());
+                    Self::first_alive(n, flow_hash, dead, |j| {
+                        let c = i_w * self.half() + j;
+                        vec![tor_s, self.agg(pod_s, i_w), self.core(c), w]
+                    })
+                }
+            }
+            Tier::Core => {
+                // Exactly one agg per pod reaches a given core.
+                let c = self.core_index(w).expect("w is core");
+                Self::first_alive(1, flow_hash, dead, |_| {
+                    vec![tor_s, self.agg(pod_s, self.core_group(c)), w]
+                })
+            }
+        }
+    }
+
+    /// Like [`FatTree::path_switch_to_host`], but masks the ECMP choice
+    /// over `dead` links (see [`FatTree::path_avoiding`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`FatTree::path_avoiding`].
+    pub fn path_switch_to_host_avoiding(
+        &self,
+        w: SwitchId,
+        dst: HostId,
+        flow_hash: u64,
+        dead: &LinkSet,
+    ) -> Result<Vec<SwitchId>, TopologyError> {
+        let mut up = self.path_host_to_switch_avoiding(dst, w, flow_hash, dead)?;
+        up.pop(); // drop `w` itself
+        up.reverse();
+        Ok(up)
+    }
+
+    /// Like [`FatTree::path_via`], but masks the ECMP choice over `dead`
+    /// links (see [`FatTree::path_avoiding`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`FatTree::path_avoiding`].
+    pub fn path_via_avoiding(
+        &self,
+        src: HostId,
+        via: SwitchId,
+        dst: HostId,
+        flow_hash: u64,
+        dead: &LinkSet,
+    ) -> Result<Vec<SwitchId>, TopologyError> {
+        let mut p = self.path_host_to_switch_avoiding(src, via, flow_hash, dead)?;
+        p.extend(self.path_switch_to_host_avoiding(via, dst, flow_hash, dead)?);
+        Ok(p)
+    }
+
+    /// [`TopologyError::HostPartitioned`] when the host's uplink is dead.
+    fn check_uplink(&self, h: HostId, dead: &LinkSet) -> Result<(), TopologyError> {
+        if dead.contains(&Link::uplink(h)) {
+            Err(TopologyError::HostPartitioned(h))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Probes the `n` equal-cost candidates starting at the hash-selected
+    /// one and returns the first whose switch hops all avoid `dead`.
+    fn first_alive(
+        n: u64,
+        flow_hash: u64,
+        dead: &LinkSet,
+        build: impl Fn(u32) -> Vec<SwitchId>,
+    ) -> Result<Vec<SwitchId>, TopologyError> {
+        for probe in 0..n {
+            let candidate = build(((flow_hash + probe) % n) as u32);
+            if dead.switch_path_avoids(&candidate) {
+                return Ok(candidate);
+            }
+        }
+        Err(TopologyError::NoAlivePath)
+    }
+
     /// Number of links traversed host-to-host along a switch path produced
     /// by [`FatTree::path`] or [`FatTree::path_via`] (switch count + 1).
     #[must_use]
@@ -794,6 +1070,165 @@ mod tests {
         let p = n.path(HostId(0), HostId(12), 0);
         assert_eq!(FatTree::link_count(&p), 6);
         assert_eq!(FatTree::link_count(&[]), 0);
+    }
+
+    #[test]
+    fn avoiding_with_empty_set_is_exactly_the_default_path() {
+        let n = net();
+        let dead = LinkSet::new();
+        for src in n.hosts() {
+            for dst in n.hosts() {
+                for hash in [0u64, 7, 13] {
+                    assert_eq!(
+                        n.path_avoiding(src, dst, hash, &dead).unwrap(),
+                        n.path(src, dst, hash)
+                    );
+                }
+            }
+        }
+        for src in n.hosts() {
+            for w in n.switches() {
+                assert_eq!(
+                    n.path_host_to_switch_avoiding(src, w, 5, &dead).unwrap(),
+                    n.path_host_to_switch(src, w, 5)
+                );
+                assert_eq!(
+                    n.path_switch_to_host_avoiding(w, src, 5, &dead).unwrap(),
+                    n.path_switch_to_host(w, src, 5)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_core_link_reroutes_cross_pod_traffic() {
+        let n = net();
+        let (src, dst) = (HostId(0), HostId(12));
+        // Find the hash-preferred path and kill its agg->core link.
+        let preferred = n.path(src, dst, 3);
+        let mut dead = LinkSet::new();
+        dead.insert(Link::between(preferred[1], preferred[2]));
+        let rerouted = n.path_avoiding(src, dst, 3, &dead).unwrap();
+        assert_ne!(rerouted, preferred, "route must change");
+        assert_eq!(rerouted.len(), 5, "still a core-tier path");
+        assert!(dead.switch_path_avoids(&rerouted));
+        assert!(
+            rerouted.windows(2).all(|w| n.switches_adjacent(w[0], w[1])),
+            "rerouted path stays link-connected: {rerouted:?}"
+        );
+        // Unaffected flows keep their original route.
+        let other = n.path(src, dst, 0);
+        if dead.switch_path_avoids(&other) {
+            assert_eq!(n.path_avoiding(src, dst, 0, &dead).unwrap(), other);
+        }
+    }
+
+    #[test]
+    fn dead_uplink_partitions_the_host() {
+        let n = net();
+        let mut dead = LinkSet::new();
+        dead.insert(Link::uplink(HostId(5)));
+        assert_eq!(
+            n.path_avoiding(HostId(5), HostId(12), 0, &dead),
+            Err(TopologyError::HostPartitioned(HostId(5))),
+            "partitioned as source"
+        );
+        assert_eq!(
+            n.path_avoiding(HostId(0), HostId(5), 0, &dead),
+            Err(TopologyError::HostPartitioned(HostId(5))),
+            "partitioned as destination"
+        );
+        assert_eq!(
+            n.path_host_to_switch_avoiding(HostId(5), n.core(0), 0, &dead),
+            Err(TopologyError::HostPartitioned(HostId(5)))
+        );
+        assert_eq!(
+            n.path_switch_to_host_avoiding(n.core(0), HostId(5), 0, &dead),
+            Err(TopologyError::HostPartitioned(HostId(5)))
+        );
+        // Other hosts in the same rack are unaffected.
+        assert!(n.path_avoiding(HostId(4), HostId(12), 0, &dead).is_ok());
+        // Recovery restores the original route.
+        dead.remove(&Link::uplink(HostId(5)));
+        assert_eq!(
+            n.path_avoiding(HostId(5), HostId(12), 0, &dead).unwrap(),
+            n.path(HostId(5), HostId(12), 0)
+        );
+    }
+
+    #[test]
+    fn severed_tor_reports_no_alive_path() {
+        let n = net();
+        // Kill both uplinks of ToR 0 toward its pod's aggs: hosts 0 and 1
+        // can still talk to each other but not beyond the rack.
+        let mut dead = LinkSet::new();
+        dead.insert(Link::between(n.tor(0, 0), n.agg(0, 0)));
+        dead.insert(Link::between(n.tor(0, 0), n.agg(0, 1)));
+        assert_eq!(
+            n.path_avoiding(HostId(0), HostId(1), 0, &dead).unwrap(),
+            vec![SwitchId(0)],
+            "rack-local traffic survives"
+        );
+        assert_eq!(
+            n.path_avoiding(HostId(0), HostId(2), 0, &dead),
+            Err(TopologyError::NoAlivePath),
+            "pod-tier traffic has no route"
+        );
+        assert_eq!(
+            n.path_avoiding(HostId(0), HostId(12), 0, &dead),
+            Err(TopologyError::NoAlivePath),
+            "core-tier traffic has no route"
+        );
+    }
+
+    #[test]
+    fn single_path_segments_fail_without_detours() {
+        let n = net();
+        // A ToR reaches a same-pod agg over exactly one link.
+        let mut dead = LinkSet::new();
+        dead.insert(Link::between(n.tor(0, 0), n.agg(0, 0)));
+        assert_eq!(
+            n.path_host_to_switch_avoiding(HostId(0), n.agg(0, 0), 0, &dead),
+            Err(TopologyError::NoAlivePath)
+        );
+        // The sibling agg is still reachable.
+        assert!(n
+            .path_host_to_switch_avoiding(HostId(0), n.agg(0, 1), 0, &dead)
+            .is_ok());
+    }
+
+    #[test]
+    fn link_normalization_ignores_naming_order() {
+        assert_eq!(
+            Link::between(SwitchId(9), SwitchId(2)),
+            Link::between(SwitchId(2), SwitchId(9))
+        );
+        let mut set = LinkSet::new();
+        assert!(set.insert(Link::between(SwitchId(9), SwitchId(2))));
+        assert!(set.contains(&Link::between(SwitchId(2), SwitchId(9))));
+        assert!(!set.insert(Link::between(SwitchId(2), SwitchId(9))));
+        assert_eq!(set.len(), 1);
+        assert!(set.remove(&Link::between(SwitchId(9), SwitchId(2))));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn rerouted_paths_avoid_every_dead_candidate() {
+        let n = net();
+        // Kill three of the four cores' uplinks from pod 0's agg group 0;
+        // flows that hashed onto them must all fall back to the survivor.
+        let mut dead = LinkSet::new();
+        for c in 0..3 {
+            let core = n.core(c);
+            let g = c / n.half();
+            dead.insert(Link::between(n.agg(0, g), core));
+            dead.insert(Link::between(n.agg(3, g), core));
+        }
+        for hash in 0..16u64 {
+            let p = n.path_avoiding(HostId(0), HostId(12), hash, &dead).unwrap();
+            assert!(dead.switch_path_avoids(&p), "hash {hash}: {p:?}");
+            assert!(p.windows(2).all(|w| n.switches_adjacent(w[0], w[1])));
+        }
     }
 
     #[test]

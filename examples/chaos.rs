@@ -1,0 +1,101 @@
+//! Chaos run: a multi-fault plan layered over one NetRS-ToR experiment.
+//!
+//! An RSNode fail-stops, a storage server crashes and later recovers, a
+//! core link degrades, and a packet-loss burst sweeps the fabric — all
+//! from one declarative [`FaultPlan`]. The run prints the availability
+//! outcome: how many requests timed out, how many retried their way to
+//! an answer, and how long the cluster took to re-enter its
+//! steady-state latency band.
+//!
+//! Run with: `cargo run --release --example chaos`
+
+use netrs_sim::{run, Cluster, FaultEvent, FaultPlan, LinkRef, Scheme, SimConfig, TimedFault};
+use netrs_simcore::SimDuration;
+
+fn at(ms: u64, fault: FaultEvent) -> TimedFault {
+    TimedFault {
+        at: SimDuration::from_millis(ms),
+        fault,
+    }
+}
+
+fn main() {
+    let mut cfg = SimConfig::small();
+    cfg.scheme = Scheme::NetRsToR;
+    cfg.requests = 20_000;
+    cfg.seed = 42;
+
+    // Pick the first RSNode of the plan this config installs, so the
+    // operator fault hits a switch that actually runs a selector.
+    let victim = Cluster::new(cfg.clone())
+        .current_plan()
+        .expect("NetRS scheme installs a plan")
+        .rsnodes()
+        .into_iter()
+        .next()
+        .expect("plan has RSNodes");
+
+    cfg.faults = Some(FaultPlan {
+        events: vec![
+            at(100, FaultEvent::OperatorFail { switch: victim.0 }),
+            at(200, FaultEvent::ServerCrash { server: 3 }),
+            at(
+                250,
+                FaultEvent::LinkDegrade {
+                    link: LinkRef::SwitchLink { a: 16, b: 18 },
+                    factor: 6.0,
+                },
+            ),
+            at(
+                300,
+                FaultEvent::PacketLossBurst {
+                    probability: 0.15,
+                    duration: SimDuration::from_millis(25),
+                },
+            ),
+            at(400, FaultEvent::ServerRecover { server: 3 }),
+            at(
+                400,
+                FaultEvent::LinkRecover {
+                    link: LinkRef::SwitchLink { a: 16, b: 18 },
+                },
+            ),
+            at(450, FaultEvent::OperatorRecover { switch: victim.0 }),
+        ],
+        ..FaultPlan::default()
+    });
+    cfg.validate().expect("valid chaos config");
+
+    println!(
+        "chaos plan: 7 faults against {:?}, RSNode victim {victim:?}",
+        cfg.scheme
+    );
+    let stats = run(cfg);
+    let avail = stats
+        .availability
+        .as_ref()
+        .expect("active plan attaches availability stats");
+
+    println!();
+    println!(
+        "issued {}  completed {}  (accounted: {})",
+        stats.issued,
+        stats.completed,
+        stats.completed + avail.timeouts == stats.issued
+    );
+    println!("faults injected      {}", avail.faults_injected);
+    println!("timeouts             {}", avail.timeouts);
+    println!("retries              {}", avail.retries);
+    println!("copies dropped       {}", avail.copies_dropped);
+    println!("duplicate drops      {}", avail.duplicate_drops);
+    println!("failed-window p99    {}", avail.failed_window_p99);
+    match avail.time_to_recover {
+        Some(t) => println!("time to recover      {t}"),
+        None => println!("time to recover      never (run ended degraded)"),
+    }
+    println!();
+    println!(
+        "overall latency: mean {}  p99 {}",
+        stats.latency.mean, stats.latency.p99
+    );
+}

@@ -1,13 +1,19 @@
 //! Exception handling (§III-C): fail a NetRS operator mid-run and watch
-//! Degraded Replica Selection keep the store available.
+//! the timeout/retry machinery plus Degraded Replica Selection keep the
+//! store available.
+//!
+//! The failure is expressed as a declarative [`FaultPlan`] — the same
+//! JSON-serializable timeline `simulate --faults` accepts — rather than
+//! by poking the cluster mid-run, so the run stays a single
+//! deterministic event stream.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example failover
 //! ```
 
-use netrs_sim::{Cluster, Scheme, SimConfig};
-use netrs_simcore::{Engine, SimDuration, SimTime};
+use netrs_sim::{run, Cluster, FaultEvent, FaultPlan, Scheme, SimConfig, TimedFault};
+use netrs_simcore::SimDuration;
 
 fn main() {
     let mut cfg = SimConfig::small();
@@ -15,46 +21,49 @@ fn main() {
     cfg.scheme = Scheme::NetRsToR;
     cfg.seed = 11;
 
-    let mut engine = Engine::new(Cluster::new(cfg));
-    let mut queue = std::mem::take(engine.queue_mut());
-    engine.world_mut().prime(&mut queue);
-    *engine.queue_mut() = queue;
-
-    // Let the system reach steady state, then kill one operator.
-    let fail_at = SimTime::ZERO + SimDuration::from_millis(500);
-    engine.run_until(fail_at);
-    let before = engine.world().latency_histogram().summary();
-
-    let victim = engine
-        .world()
+    // Learn the victim from the plan this config installs: the first
+    // RSNode, so the fault hits a switch that actually runs a selector.
+    let victim = Cluster::new(cfg.clone())
         .current_plan()
         .expect("NetRS scheme has a plan")
         .rsnodes()
         .into_iter()
         .next()
         .expect("plan has RSNodes");
-    let affected = engine.world_mut().fail_operator(victim);
-    println!(
-        "t=500ms: operator at switch {victim} failed; {} traffic group(s) degraded to DRS",
-        affected.len()
-    );
 
-    engine.run();
-    let cluster = engine.into_world();
-    let after = cluster.latency_histogram().summary();
-    let plan = cluster.current_plan().expect("plan persists");
+    // Baseline: the identical run without the fault.
+    let baseline = run(cfg.clone());
 
-    println!("\nbefore failure : {before}");
-    println!("whole run      : {after}");
+    // Let the system reach steady state, then kill the operator.
+    cfg.faults = Some(FaultPlan {
+        events: vec![TimedFault {
+            at: SimDuration::from_millis(500),
+            fault: FaultEvent::OperatorFail { switch: victim.0 },
+        }],
+        ..FaultPlan::default()
+    });
+    cfg.validate().expect("valid failover config");
+    let faulted = run(cfg);
+    let avail = faulted
+        .availability
+        .as_ref()
+        .expect("active plan attaches availability stats");
+
+    println!("t=500ms: operator at switch {victim} fail-stops");
+    println!("\nhealthy run : {}", baseline.latency);
+    println!("faulted run : {}", faulted.latency);
     println!(
-        "final plan     : {} RSNodes, {} DRS group(s)",
-        plan.rsnodes().len(),
-        plan.drs.len()
+        "\ntimeouts {}  retries {}  copies dropped {}",
+        avail.timeouts, avail.retries, avail.copies_dropped
     );
+    println!("p99 during the failed window : {}", avail.failed_window_p99);
+    match avail.time_to_recover {
+        Some(t) => println!("time to recover              : {t}"),
+        None => println!("time to recover              : never (run ended degraded)"),
+    }
     println!(
-        "completed      : {}/{} requests (no request was lost)",
-        cluster.completed(),
-        cluster.issued()
+        "\ncompleted {} + timed out {} = issued {} (no request was lost)",
+        faulted.completed, avail.timeouts, faulted.issued
     );
-    assert_eq!(cluster.completed(), cluster.issued());
+    assert_eq!(faulted.completed + avail.timeouts, faulted.issued);
 }

@@ -2,17 +2,18 @@
 //! lead to a temporary latency increase" because newly introduced
 //! RSNodes must rebuild their view of the system from scratch.
 //!
-//! This example runs NetRS with the monitored plan source (bootstrap on
-//! the ToR plan, first ILP re-plan after one measurement window) and
-//! prints the mean latency of each 100 ms window, so the transient
-//! around the re-plan is visible.
+//! This example runs NetRS with the monitored plan source and, via the
+//! fault plan, fail-stops one RSNode at t=1.2s and recovers it at
+//! t=2.0s — so the windowed latency trace shows *two* transients: the
+//! scheduled ILP re-plan and the fault-driven DRS degradation plus
+//! recovery.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example replan_transient
 //! ```
 
-use netrs_sim::{Cluster, PlanSource, Scheme, SimConfig};
+use netrs_sim::{Cluster, FaultEvent, FaultPlan, PlanSource, Scheme, SimConfig, TimedFault};
 use netrs_simcore::{Engine, SimDuration, SimTime};
 
 fn main() {
@@ -29,11 +30,36 @@ fn main() {
     cfg.warmup_fraction = 0.0;
     cfg.seed = 3;
 
+    // Fault timeline: one RSNode of the bootstrap (ToR) plan dies after
+    // the first re-plan and comes back 800 ms later.
+    let victim = Cluster::new(cfg.clone())
+        .current_plan()
+        .expect("NetRS scheme has a plan")
+        .rsnodes()
+        .into_iter()
+        .next()
+        .expect("plan has RSNodes");
+    cfg.faults = Some(FaultPlan {
+        events: vec![
+            TimedFault {
+                at: SimDuration::from_millis(1_200),
+                fault: FaultEvent::OperatorFail { switch: victim.0 },
+            },
+            TimedFault {
+                at: SimDuration::from_millis(2_000),
+                fault: FaultEvent::OperatorRecover { switch: victim.0 },
+            },
+        ],
+        ..FaultPlan::default()
+    });
+    cfg.validate().expect("valid transient config");
+
     let mut engine = Engine::new(Cluster::new(cfg));
     let mut queue = std::mem::take(engine.queue_mut());
     engine.world_mut().prime(&mut queue);
     *engine.queue_mut() = queue;
 
+    println!("RSNode victim: switch {victim}");
     println!("window(ms)  completed   mean(ms)   operators[core/agg/tor]");
     let window = SimDuration::from_millis(100);
     let mut t = SimTime::ZERO;
@@ -52,10 +78,11 @@ fn main() {
             0.0
         };
         let tiers = engine.world().operator_tiers();
-        let marker = if i == 8 {
-            "  <- first ILP re-plan near here"
-        } else {
-            ""
+        let marker = match i {
+            8 => "  <- first ILP re-plan near here",
+            12 => "  <- RSNode fail-stop (DRS takes over)",
+            20 => "  <- RSNode recovers",
+            _ => "",
         };
         println!(
             "{:>8}    {:>8}   {:>8.3}   {:?}{}",

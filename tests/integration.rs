@@ -209,7 +209,10 @@ fn operator_failure_mid_run_engages_drs_and_loses_nothing() {
         .into_iter()
         .next()
         .unwrap();
-    let affected = engine.world_mut().fail_operator(victim);
+    let affected = engine
+        .world_mut()
+        .fail_operator(victim)
+        .expect("NetRS schemes have in-network operators");
     assert!(!affected.is_empty());
     engine.run();
     let cluster = engine.into_world();
