@@ -7,7 +7,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::redundant_clone
 
 echo "==> cargo test"
 cargo test -q --workspace
@@ -39,6 +39,14 @@ for scheme in clirs-r95 netrs-tor; do
         --json > "$SMOKE/$scheme-det-b.json"
     diff -u "$SMOKE/$scheme-det-a.json" "$SMOKE/$scheme-det-b.json"
 done
+
+echo "==> perf smoke (tiny perf suite, artifact validates)"
+# Runs the perf harness end to end at test scale and validates the merged
+# artifact's shape. Deliberately no time gating: CI boxes are too noisy
+# for that; real baselines are pinned in BENCH_PERF.json at the repo root.
+cargo build -q -p netrs-bench --bin repro
+./target/debug/repro perf --small --tag smoke --out "$SMOKE/perf.json"
+./target/debug/netrs-analyze check-bench "$SMOKE/perf.json"
 
 echo "==> fault-injection smoke (scripted plan, same seed twice, byte-identical stats)"
 for scheme in clirs netrs-tor; do

@@ -441,6 +441,11 @@ pub const BENCH_KEYS: [&str; 7] = [
     "requests_per_sim_sec",
 ];
 
+/// The keys every per-label *perf* entry must carry (wall-clock runs of
+/// the `repro perf` subcommand, as opposed to sim-time latency entries).
+/// An entry is classified as perf by the presence of `"wall_clock_s"`.
+pub const PERF_KEYS: [&str; 4] = ["events", "events_per_sec", "peak_rss_kb", "wall_clock_s"];
+
 /// Builds the bench regression artifact: one entry per labeled trace
 /// with the e2e latency statistics over winning reads plus throughput
 /// derived from the trace's time span.
@@ -474,7 +479,10 @@ pub fn bench_artifact(traces: &[LabeledTrace]) -> Value {
 }
 
 /// Validates a bench artifact: a non-empty object whose every entry
-/// carries all of [`BENCH_KEYS`] as numbers.
+/// carries all of [`BENCH_KEYS`] (sim-time latency entries) or all of
+/// [`PERF_KEYS`] (wall-clock perf entries, recognized by the presence of
+/// `"wall_clock_s"`) as numbers. The two kinds may be mixed within one
+/// artifact, but an entry must be exactly one of them.
 ///
 /// # Errors
 ///
@@ -490,7 +498,12 @@ pub fn check_bench(artifact: &Value) -> Result<(), String> {
         let fields = entry
             .as_obj()
             .ok_or_else(|| format!("entry {label:?} must be an object"))?;
-        for key in BENCH_KEYS {
+        let keys: &[&str] = if entry.get("wall_clock_s").is_some() {
+            &PERF_KEYS
+        } else {
+            &BENCH_KEYS
+        };
+        for &key in keys {
             match entry.get(key) {
                 Some(Value::U(_) | Value::I(_) | Value::F(_)) => {}
                 Some(other) => {
@@ -502,7 +515,7 @@ pub fn check_bench(artifact: &Value) -> Result<(), String> {
             }
         }
         for (key, _) in fields {
-            if !BENCH_KEYS.contains(&key.as_str()) {
+            if !keys.contains(&key.as_str()) {
                 return Err(format!("entry {label:?} has unknown key {key:?}"));
             }
         }
@@ -729,5 +742,41 @@ baseline           8000 (fault-free run)
             .collect();
         let wrong = Value::Obj(vec![("x".into(), Value::Obj(wrong_type))]);
         assert!(check_bench(&wrong).unwrap_err().contains("not a number"));
+    }
+
+    #[test]
+    fn check_bench_accepts_and_polices_perf_entries() {
+        let perf_entry = |extra: Option<(&str, Value)>| {
+            let fields: Vec<(String, Value)> = PERF_KEYS
+                .iter()
+                .map(|k| ((*k).to_string(), Value::F(1.5)))
+                .chain(extra.map(|(k, v)| (k.to_string(), v)))
+                .collect();
+            Value::Obj(fields)
+        };
+        // A pure perf artifact validates.
+        let ok = Value::Obj(vec![("before/CliRS".into(), perf_entry(None))]);
+        check_bench(&ok).expect("perf entries validate");
+        // Perf and sim-time entries can coexist in one artifact.
+        let bench_fields: Vec<(String, Value)> = BENCH_KEYS
+            .iter()
+            .map(|k| ((*k).to_string(), Value::U(1)))
+            .collect();
+        let mixed = Value::Obj(vec![
+            ("after/CliRS".into(), perf_entry(None)),
+            ("clirs".into(), Value::Obj(bench_fields)),
+        ]);
+        check_bench(&mixed).expect("mixed artifacts validate");
+        // Perf entries are policed against PERF_KEYS, not BENCH_KEYS.
+        let extra = Value::Obj(vec![(
+            "x".into(),
+            perf_entry(Some(("mean_ns", Value::U(1)))),
+        )]);
+        assert!(check_bench(&extra).unwrap_err().contains("unknown key"));
+        let missing = Value::Obj(vec![(
+            "x".into(),
+            Value::Obj(vec![("wall_clock_s".into(), Value::F(1.0))]),
+        )]);
+        assert!(check_bench(&missing).unwrap_err().contains("missing"));
     }
 }

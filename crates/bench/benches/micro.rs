@@ -91,6 +91,20 @@ fn bench_topology(c: &mut Criterion) {
             black_box(topo.path_via(HostId(3), core, HostId(900), h))
         });
     });
+    // Closed-form hop counts — what the Fabric timing fast path uses
+    // instead of materializing the paths above.
+    c.bench_function("topology/hops_cross_pod", |b| {
+        b.iter(|| black_box(topo.hops(black_box(HostId(3)), black_box(HostId(900)))));
+    });
+    c.bench_function("topology/hops_via_rsnode", |b| {
+        b.iter(|| {
+            black_box(topo.hops_via(
+                black_box(HostId(3)),
+                black_box(core),
+                black_box(HostId(900)),
+            ))
+        });
+    });
 }
 
 fn bench_ring(c: &mut Criterion) {

@@ -5,29 +5,54 @@
 //! cargo run --release -p netrs-bench --bin repro -- all --requests 100000 --seeds 1,2
 //! cargo run --release -p netrs-bench --bin repro -- rsp
 //! cargo run --release -p netrs-bench --bin repro -- fig6 --paper-scale
+//! cargo run --release -p netrs-bench --bin repro -- perf --tag after
 //! ```
 //!
 //! Results print as the four text panels of each figure and are also
-//! written as JSON under `target/repro/`.
+//! written as JSON under `target/repro/`; a run log accumulates in
+//! `target/repro/repro.log`.
 
 use std::io::Write as _;
 
 use netrs_bench::{
-    ablate_c3, ablate_cap, ablate_group, ablate_hops, fig4, fig5, fig6, fig7, paper_base,
-    render_tables, rsp_experiment, run_figure, FigureSpec,
+    ablate_c3, ablate_cap, ablate_group, ablate_hops, fig4, fig5, fig6, fig7, merge_perf_artifact,
+    paper_base, render_tables, rsp_experiment, run_figure, run_perf_suite, FigureSpec,
 };
+use netrs_sim::SimConfig;
 
 struct Options {
     requests: u64,
     seeds: Vec<u64>,
+    /// `perf`: shrink the fixed perf config to the tiny test scale (CI
+    /// schema smoke, not a meaningful measurement).
+    small: bool,
+    /// `perf`: label prefix distinguishing suites in one artifact.
+    tag: Option<String>,
+    /// `perf`: artifact path (default `target/repro/BENCH_PERF.json`).
+    out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig4|fig5|fig6|fig7|rsp|ablate-hops|ablate-cap|ablate-group|ablate-c3|all> \
-         [--requests N] [--seeds a,b,c] [--paper-scale]"
+        "usage: repro <fig4|fig5|fig6|fig7|rsp|perf|ablate-hops|ablate-cap|ablate-group|ablate-c3|all> \
+         [--requests N] [--seeds a,b,c] [--paper-scale] [--small] [--tag NAME] [--out FILE]"
     );
     std::process::exit(2);
+}
+
+/// Logs a progress line to stderr and to the persistent run log under
+/// `target/repro/` (best-effort: a read-only tree only loses the file
+/// copy).
+fn log_line(msg: &str) {
+    eprintln!("{msg}");
+    std::fs::create_dir_all("target/repro").ok();
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("target/repro/repro.log")
+    {
+        let _ = writeln!(f, "{msg}");
+    }
 }
 
 fn main() {
@@ -39,6 +64,9 @@ fn main() {
     let mut opts = Options {
         requests: 200_000,
         seeds: vec![1, 2, 3],
+        small: false,
+        tag: None,
+        out: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -64,9 +92,23 @@ fn main() {
             "--paper-scale" => {
                 opts.requests = 6_000_000;
             }
+            "--small" => opts.small = true,
+            "--tag" => {
+                i += 1;
+                opts.tag = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--out" => {
+                i += 1;
+                opts.out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
+    }
+
+    if command == "perf" {
+        run_perf(&opts);
+        return;
     }
 
     let base = paper_base(opts.requests);
@@ -99,14 +141,14 @@ fn main() {
     std::fs::create_dir_all("target/repro").ok();
     for spec in figures {
         let started = std::time::Instant::now();
-        eprintln!(
+        log_line(&format!(
             "running {} ({} points x {} schemes x {} seeds, {} requests each)...",
             spec.id,
             spec.points.len(),
             spec.schemes.len(),
             opts.seeds.len(),
             opts.requests
-        );
+        ));
         let result = run_figure(&spec, &opts.seeds);
         println!("{}", render_tables(&result, spec.sweep));
         let path = format!("target/repro/{}.json", spec.id);
@@ -116,12 +158,52 @@ fn main() {
                 "{}",
                 serde_json::to_string_pretty(&result).expect("serializable result")
             );
-            eprintln!("wrote {path}");
+            log_line(&format!("wrote {path}"));
         }
-        eprintln!(
-            "{} finished in {:.1}s\n",
+        log_line(&format!(
+            "{} finished in {:.1}s",
             spec.id,
             started.elapsed().as_secs_f64()
-        );
+        ));
     }
+}
+
+/// The `perf` subcommand: time every scheme on the fixed perf config and
+/// merge the results into the bench artifact (`--out`, default
+/// `target/repro/BENCH_PERF.json`). `--tag before|after` prefixes the
+/// entry labels so successive suites coexist; `--small` substitutes the
+/// tiny test config for CI schema smoke.
+fn run_perf(opts: &Options) {
+    let mut cfg = if opts.small {
+        let mut c = SimConfig::small();
+        c.requests = 2_000;
+        c
+    } else {
+        SimConfig::perf()
+    };
+    cfg.seed = 1;
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "target/repro/BENCH_PERF.json".to_string());
+    let entries = run_perf_suite(&cfg, opts.tag.as_deref());
+    for (label, e) in &entries {
+        log_line(&format!(
+            "perf: {label}: {:.3}s wall, {} events, {:.0} events/s, peak RSS {} kB",
+            e.wall_clock_s, e.events, e.events_per_sec, e.peak_rss_kb
+        ));
+    }
+    let existing = std::fs::read_to_string(&out).ok();
+    let artifact = merge_perf_artifact(existing.as_deref(), &entries).unwrap_or_else(|e| {
+        eprintln!("cannot merge into {out}: {e}");
+        std::process::exit(1);
+    });
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out, artifact + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    log_line(&format!("wrote {out}"));
 }

@@ -20,8 +20,6 @@
 //! term explodes, which happens *before* the queue physically builds up
 //! because `os_s · n` rises instantly at the RSNode itself.
 
-use std::collections::HashMap;
-
 use netrs_kvstore::ServerId;
 use netrs_simcore::{SimRng, SimTime};
 use serde::{Deserialize, Serialize};
@@ -70,7 +68,11 @@ const TIMEOUT_PENALTY_BASE_NS: f64 = 100.0e6;
 #[derive(Debug)]
 pub struct C3Selector {
     cfg: C3Config,
-    servers: HashMap<ServerId, ServerEstimate>,
+    /// Per-server estimates indexed by `ServerId.0` (server ids are
+    /// dense). A missing slot means "never heard from", which is exactly
+    /// the all-zero [`ServerEstimate`] — so reads fall back to the
+    /// default and writes grow the table on demand.
+    servers: Vec<ServerEstimate>,
     rng: SimRng,
 }
 
@@ -88,7 +90,7 @@ impl C3Selector {
         assert!(cfg.concurrency >= 1.0, "concurrency must be >= 1");
         C3Selector {
             cfg,
-            servers: HashMap::new(),
+            servers: Vec::new(),
             rng,
         }
     }
@@ -110,12 +112,27 @@ impl C3Selector {
         self.cfg.concurrency = n;
     }
 
+    fn est(&self, server: ServerId) -> ServerEstimate {
+        self.servers
+            .get(server.0 as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn est_mut(&mut self, server: ServerId) -> &mut ServerEstimate {
+        let i = server.0 as usize;
+        if i >= self.servers.len() {
+            self.servers.resize_with(i + 1, ServerEstimate::default);
+        }
+        &mut self.servers[i]
+    }
+
     /// The Ψ score of one server (lower is better). Servers never heard
     /// from score by their compensated-outstanding penalty only, so fresh
     /// replicas are explored early.
     #[must_use]
     pub fn score(&self, server: ServerId) -> f64 {
-        let est = self.servers.get(&server).copied().unwrap_or_default();
+        let est = self.est(server);
         let q_hat = 1.0 + f64::from(est.outstanding) * self.cfg.concurrency + est.ewma_queue;
         est.ewma_latency_ns - est.ewma_service_ns
             + q_hat.powf(self.cfg.exponent) * est.ewma_service_ns
@@ -125,7 +142,7 @@ impl C3Selector {
     /// Number of responses folded in from `server` (freshness indicator).
     #[must_use]
     pub fn responses_seen(&self, server: ServerId) -> u64 {
-        self.servers.get(&server).map_or(0, |e| e.responses)
+        self.est(server).responses
     }
 }
 
@@ -154,31 +171,53 @@ impl ReplicaSelector for C3Selector {
         scored.into_iter().map(|(_, _, s)| s).collect()
     }
 
+    /// Allocation-free pick of the best-ranked replica: a single scan
+    /// that keeps the first minimum under `rank`'s exact comparator
+    /// (score, then jitter), drawing the per-candidate jitter in the
+    /// same order — so the choice *and* the RNG stream match
+    /// `rank(...)[0]` bit for bit without building the two vectors.
+    fn select(&mut self, candidates: &[ServerId], _now: SimTime) -> ServerId {
+        assert!(!candidates.is_empty(), "rank needs at least one candidate");
+        let mut best = (
+            self.score(candidates[0]),
+            self.rng.next_u64(),
+            candidates[0],
+        );
+        for &s in &candidates[1..] {
+            let key = (self.score(s), self.rng.next_u64(), s);
+            let better = match key.0.partial_cmp(&best.0) {
+                Some(std::cmp::Ordering::Less) => true,
+                Some(std::cmp::Ordering::Greater) => false,
+                Some(std::cmp::Ordering::Equal) | None => key.1 < best.1,
+            };
+            if better {
+                best = key;
+            }
+        }
+        best.2
+    }
+
     fn on_send(&mut self, server: ServerId, _now: SimTime) {
-        self.servers.entry(server).or_default().outstanding += 1;
+        self.est_mut(server).outstanding += 1;
     }
 
     fn on_response(&mut self, fb: &Feedback, _now: SimTime) {
-        let est = self.servers.entry(fb.server).or_default();
+        let alpha = self.cfg.alpha;
+        let est = self.est_mut(fb.server);
         let first = est.responses == 0;
         est.ewma_latency_ns = ewma(
             est.ewma_latency_ns,
             fb.latency.as_nanos() as f64,
-            self.cfg.alpha,
+            alpha,
             first,
         );
         est.ewma_service_ns = ewma(
             est.ewma_service_ns,
             fb.service_time.as_nanos() as f64,
-            self.cfg.alpha,
+            alpha,
             first,
         );
-        est.ewma_queue = ewma(
-            est.ewma_queue,
-            f64::from(fb.queue_len),
-            self.cfg.alpha,
-            first,
-        );
+        est.ewma_queue = ewma(est.ewma_queue, f64::from(fb.queue_len), alpha, first);
         est.outstanding = est.outstanding.saturating_sub(1);
         est.responses += 1;
         // A response proves the server answers again; drop the penalty.
@@ -186,12 +225,12 @@ impl ReplicaSelector for C3Selector {
     }
 
     fn on_timeout(&mut self, server: ServerId, _now: SimTime) {
-        let est = self.servers.entry(server).or_default();
+        let est = self.est_mut(server);
         est.timeout_penalty_ns = (est.timeout_penalty_ns * 2.0).max(TIMEOUT_PENALTY_BASE_NS);
     }
 
     fn outstanding(&self, server: ServerId) -> u32 {
-        self.servers.get(&server).map_or(0, |e| e.outstanding)
+        self.est(server).outstanding
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,340 @@
+//! Dense, hash-free state tables for the simulator hot path.
+//!
+//! The event loop touches per-request and per-switch state on every
+//! packet; `HashMap` put a SipHash round and a cache-hostile probe on
+//! that path, and its unordered iteration forced sort-before-iterate
+//! workarounds wherever float summation order mattered. Both tables here
+//! exploit structure the simulator guarantees:
+//!
+//! * [`RequestTable`] — request ids are the monotonically increasing
+//!   issue index, and only a bounded in-flight window is live at once,
+//!   so `id & mask` over a power-of-two ring almost never collides. A
+//!   collision between two *live* ids doubles the ring (ids a ≡ b mod 2n
+//!   implies a ≡ b mod n, so surviving entries never re-collide).
+//! * [`SwitchTable`] — switch ids are dense (`0..num_switches`), so a
+//!   `Vec<Option<T>>` plus a sorted occupancy list gives O(1) access and
+//!   naturally ascending iteration, which *is* the determinism contract
+//!   the old sort workarounds bolted onto `HashMap`.
+
+use netrs_topology::SwitchId;
+
+/// Ring-slab keyed by the monotonically increasing request id.
+#[derive(Debug, Clone)]
+pub(crate) struct RequestTable<T> {
+    /// Power-of-two slot ring; each occupied slot stores the exact id it
+    /// holds so stale slots never alias a different request.
+    slots: Vec<Option<(u64, T)>>,
+    mask: u64,
+    len: usize,
+}
+
+impl<T> RequestTable<T> {
+    /// At least `cap` slots (rounded up to a power of two). The table
+    /// grows itself when the live-id span ever exceeds the ring.
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(16).next_power_of_two();
+        let mut slots = Vec::with_capacity(cap);
+        slots.resize_with(cap, || None);
+        RequestTable {
+            slots,
+            mask: cap as u64 - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, id: u64) -> usize {
+        (id & self.mask) as usize
+    }
+
+    pub(crate) fn insert(&mut self, id: u64, value: T) {
+        while matches!(&self.slots[self.slot(id)], Some((other, _)) if *other != id) {
+            self.grow();
+        }
+        let s = self.slot(id);
+        if self.slots[s].replace((id, value)).is_none() {
+            self.len += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, id: u64) -> Option<&T> {
+        match &self.slots[self.slot(id)] {
+            Some((stored, v)) if *stored == id => Some(v),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        let s = self.slot(id);
+        match &mut self.slots[s] {
+            Some((stored, v)) if *stored == id => Some(v),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, id: u64) -> bool {
+        self.get(id).is_some()
+    }
+
+    pub(crate) fn remove(&mut self, id: u64) -> Option<T> {
+        let s = self.slot(id);
+        match &self.slots[s] {
+            Some((stored, _)) if *stored == id => {
+                self.len -= 1;
+                self.slots[s].take().map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        let mask = cap as u64 - 1;
+        let mut slots = Vec::with_capacity(cap);
+        slots.resize_with(cap, || None);
+        for (id, v) in self.slots.drain(..).flatten() {
+            let s = (id & mask) as usize;
+            debug_assert!(slots[s].is_none(), "doubling cannot introduce collisions");
+            slots[s] = Some((id, v));
+        }
+        self.slots = slots;
+        self.mask = mask;
+    }
+}
+
+/// `Vec<Option<T>>` keyed by [`SwitchId`], with a sorted occupancy list
+/// so iteration runs in ascending switch order — the order every
+/// float-summing consumer needs for run-to-run determinism.
+#[derive(Debug, Clone)]
+pub(crate) struct SwitchTable<T> {
+    slots: Vec<Option<T>>,
+    /// Occupied switch ids, kept sorted ascending.
+    occupied: Vec<SwitchId>,
+}
+
+impl<T> SwitchTable<T> {
+    /// A table covering switch ids `0..num_switches`.
+    pub(crate) fn new(num_switches: u32) -> Self {
+        let mut slots = Vec::with_capacity(num_switches as usize);
+        slots.resize_with(num_switches as usize, || None);
+        SwitchTable {
+            slots,
+            occupied: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn idx(sw: SwitchId) -> usize {
+        sw.0 as usize
+    }
+
+    pub(crate) fn insert(&mut self, sw: SwitchId, value: T) -> Option<T> {
+        let prev = self.slots[Self::idx(sw)].replace(value);
+        if prev.is_none() {
+            let at = self.occupied.partition_point(|&s| s < sw);
+            self.occupied.insert(at, sw);
+        }
+        prev
+    }
+
+    pub(crate) fn remove(&mut self, sw: SwitchId) -> Option<T> {
+        let prev = self.slots[Self::idx(sw)].take();
+        if prev.is_some() {
+            let at = self.occupied.partition_point(|&s| s < sw);
+            self.occupied.remove(at);
+        }
+        prev
+    }
+
+    #[inline]
+    #[allow(dead_code)] // API symmetry with `get_mut`; exercised in tests
+    pub(crate) fn get(&self, sw: SwitchId) -> Option<&T> {
+        self.slots[Self::idx(sw)].as_ref()
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, sw: SwitchId) -> Option<&mut T> {
+        self.slots[Self::idx(sw)].as_mut()
+    }
+
+    pub(crate) fn get_or_insert_with(&mut self, sw: SwitchId, f: impl FnOnce() -> T) -> &mut T {
+        if self.slots[Self::idx(sw)].is_none() {
+            self.insert(sw, f());
+        }
+        self.slots[Self::idx(sw)].as_mut().expect("just ensured")
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.occupied.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.occupied.is_empty()
+    }
+
+    /// Occupied switch ids in ascending order.
+    pub(crate) fn keys(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        self.occupied.iter().copied()
+    }
+
+    /// Entries in ascending switch order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (SwitchId, &T)> + '_ {
+        self.occupied
+            .iter()
+            .map(|&sw| (sw, self.slots[Self::idx(sw)].as_ref().expect("occupied")))
+    }
+
+    /// Mutable entries in ascending switch order.
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = (SwitchId, &mut T)> + '_ {
+        let occupied = &self.occupied;
+        // Walk the slots alongside the sorted occupancy list; the list
+        // holds distinct indices so each slot is yielded at most once.
+        let mut next = 0;
+        self.slots.iter_mut().enumerate().filter_map(move |(i, v)| {
+            if next < occupied.len() && Self::idx(occupied[next]) == i {
+                next += 1;
+                Some((SwitchId(i as u32), v.as_mut().expect("occupied")))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Values in ascending switch order.
+    pub(crate) fn values(&self) -> impl Iterator<Item = &T> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Empties the table, yielding entries in ascending switch order.
+    pub(crate) fn drain(&mut self) -> impl Iterator<Item = (SwitchId, T)> + '_ {
+        let slots = &mut self.slots;
+        self.occupied
+            .drain(..)
+            .map(|sw| (sw, slots[Self::idx(sw)].take().expect("occupied")))
+    }
+
+    /// The id range this table covers (`0..capacity`).
+    pub(crate) fn capacity(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Rebuilds the table from an unordered map (a controller `deploy`
+    /// boundary); dense storage makes the input order irrelevant.
+    pub(crate) fn from_map(num_switches: u32, map: std::collections::HashMap<SwitchId, T>) -> Self {
+        let mut table = SwitchTable::new(num_switches);
+        for (sw, v) in map {
+            table.insert(sw, v);
+        }
+        table
+    }
+
+    /// Replaces every entry with the map's contents, keeping the
+    /// allocated slots.
+    pub(crate) fn reset_from_map(&mut self, map: std::collections::HashMap<SwitchId, T>) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.occupied.clear();
+        for (sw, v) in map {
+            self.insert(sw, v);
+        }
+    }
+}
+
+impl<T> std::ops::Index<SwitchId> for SwitchTable<T> {
+    type Output = T;
+
+    fn index(&self, sw: SwitchId) -> &T {
+        self.slots[Self::idx(sw)]
+            .as_ref()
+            .expect("indexed switch has an entry")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_table_basic_ops() {
+        let mut t: RequestTable<u64> = RequestTable::with_capacity(4);
+        assert!(t.is_empty());
+        for id in 0..100 {
+            t.insert(id, id * 10);
+        }
+        assert_eq!(t.len(), 100, "grows past the initial capacity");
+        for id in 0..100 {
+            assert_eq!(t.get(id), Some(&(id * 10)));
+            assert!(t.contains(id));
+        }
+        assert_eq!(t.get(100), None);
+        *t.get_mut(7).unwrap() = 99;
+        assert_eq!(t.remove(7), Some(99));
+        assert_eq!(t.remove(7), None);
+        assert!(!t.contains(7));
+        assert_eq!(t.len(), 99);
+    }
+
+    #[test]
+    fn request_table_ring_reuse_keeps_ids_distinct() {
+        // A sliding in-flight window over monotonically increasing ids —
+        // the simulator's actual access pattern — must never alias.
+        let mut t: RequestTable<u64> = RequestTable::with_capacity(16);
+        for id in 0u64..10_000 {
+            t.insert(id, id);
+            if id >= 8 {
+                assert_eq!(t.remove(id - 8), Some(id - 8));
+            }
+            // An id far outside the window maps to some live slot but
+            // must not be reported present.
+            assert!(!t.contains(id + 1));
+        }
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn switch_table_iterates_in_ascending_order() {
+        let mut t: SwitchTable<&str> = SwitchTable::new(10);
+        t.insert(SwitchId(7), "g");
+        t.insert(SwitchId(2), "b");
+        t.insert(SwitchId(5), "e");
+        assert_eq!(
+            t.keys().collect::<Vec<_>>(),
+            vec![SwitchId(2), SwitchId(5), SwitchId(7)]
+        );
+        assert_eq!(t.values().copied().collect::<Vec<_>>(), vec!["b", "e", "g"]);
+        assert_eq!(
+            t.iter_mut().map(|(sw, v)| (sw, *v)).collect::<Vec<_>>(),
+            vec![(SwitchId(2), "b"), (SwitchId(5), "e"), (SwitchId(7), "g")]
+        );
+        assert_eq!(t.insert(SwitchId(5), "E"), Some("e"));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[SwitchId(5)], "E");
+        assert_eq!(t.remove(SwitchId(5)), Some("E"));
+        assert_eq!(t.get(SwitchId(5)), None);
+        assert_eq!(
+            t.drain().collect::<Vec<_>>(),
+            vec![(SwitchId(2), "b"), (SwitchId(7), "g")]
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn switch_table_get_or_insert_with() {
+        let mut t: SwitchTable<u32> = SwitchTable::new(4);
+        *t.get_or_insert_with(SwitchId(3), || 1) += 10;
+        *t.get_or_insert_with(SwitchId(3), || 1) += 10;
+        assert_eq!(t[SwitchId(3)], 21, "the closure runs only once");
+    }
+}

@@ -150,7 +150,7 @@ impl<D: DeviceProbe> Fabric<D> {
     /// path crosses a failed link (the copy is lost).
     pub(crate) fn try_host_to_host(&self, a: HostId, b: HostId, hash: u64) -> Option<SimDuration> {
         if self.links_healthy() {
-            return Some(self.host_to_host(a, b, hash));
+            return Some(self.host_to_host(a, b));
         }
         let p = self.topo.path_avoiding(a, b, hash, &self.dead).ok()?;
         Some(self.cost_host_to_host(a, &p, b))
@@ -180,7 +180,7 @@ impl<D: DeviceProbe> Fabric<D> {
         hash: u64,
     ) -> Option<SimDuration> {
         if self.links_healthy() {
-            return Some(self.host_to_switch(a, sw, hash));
+            return Some(self.host_to_switch(a, sw));
         }
         let p = self.host_to_switch_path(a, sw, hash)?;
         Some(self.cost_host_to_switch(a, &p))
@@ -194,7 +194,7 @@ impl<D: DeviceProbe> Fabric<D> {
         hash: u64,
     ) -> Option<SimDuration> {
         if self.links_healthy() {
-            return Some(self.switch_to_host(sw, b, hash));
+            return Some(self.switch_to_host(sw, b));
         }
         let p = self
             .topo
@@ -209,19 +209,20 @@ impl<D: DeviceProbe> Fabric<D> {
         self.link_latency * u64::from(edges)
     }
 
-    pub(crate) fn host_to_host(&self, a: HostId, b: HostId, hash: u64) -> SimDuration {
-        let p = self.topo.path(a, b, hash);
-        self.link(p.len() as u32 + 1)
+    // Every ECMP candidate between two endpoints has the same hop count,
+    // so healthy-fabric timing is hash-independent and allocation-free
+    // (`hops_agree_with_path_lengths` in netrs-topology pins this).
+
+    pub(crate) fn host_to_host(&self, a: HostId, b: HostId) -> SimDuration {
+        self.link(self.topo.hops(a, b) + 1)
     }
 
-    pub(crate) fn host_to_switch(&self, a: HostId, sw: SwitchId, hash: u64) -> SimDuration {
-        let p = self.topo.path_host_to_switch(a, sw, hash);
-        self.link(p.len() as u32)
+    pub(crate) fn host_to_switch(&self, a: HostId, sw: SwitchId) -> SimDuration {
+        self.link(self.topo.hops_host_to_switch(a, sw))
     }
 
-    pub(crate) fn switch_to_host(&self, sw: SwitchId, b: HostId, hash: u64) -> SimDuration {
-        let p = self.topo.path_switch_to_host(sw, b, hash);
-        self.link(p.len() as u32 + 1)
+    pub(crate) fn switch_to_host(&self, sw: SwitchId, b: HostId) -> SimDuration {
+        self.link(self.topo.hops_switch_to_host(sw, b) + 1)
     }
 
     // ---- observation ----------------------------------------------------
@@ -449,5 +450,35 @@ impl<D: DeviceProbe> Fabric<D> {
             records,
             sim_end_ns: now.as_nanos(),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrs_simcore::NoDeviceProbe;
+
+    #[test]
+    fn faulted_timing_matches_path_walk() {
+        // Once a link dies the slow path walks real (rerouted) paths;
+        // spot-check it against the closed-form fast path on a healthy
+        // twin for endpoints the fault cannot affect.
+        let topo = FatTree::new(4).unwrap();
+        let mut faulted = Fabric::new(topo.clone(), SimDuration::from_micros(30), NoDeviceProbe);
+        let healthy = Fabric::new(topo, SimDuration::from_micros(30), NoDeviceProbe);
+        faulted.fail_link(Link::uplink(HostId(15)));
+        for h in 0..32u64 {
+            let (a, b) = (HostId(0), HostId(9));
+            assert_eq!(
+                faulted.try_host_to_host(a, b, h),
+                Some(healthy.host_to_host(a, b)),
+                "reroute-free pairs must keep fast-path timing"
+            );
+        }
+        assert_eq!(
+            faulted.try_host_to_host(HostId(15), HostId(0), 1),
+            None,
+            "a severed host has no path"
+        );
     }
 }

@@ -31,6 +31,7 @@
 
 mod cluster;
 mod config;
+mod dense;
 mod fabric;
 mod obs;
 mod policy;
@@ -38,6 +39,8 @@ mod runner;
 mod server;
 mod state;
 mod stats;
+#[doc(hidden)]
+pub mod testhooks;
 
 pub use cluster::{Cluster, Ev, ReqId};
 pub use config::{OverloadPolicy, PlanSource, R95Config, Scheme, SimConfig};

@@ -59,7 +59,7 @@ impl CliRsPolicy {
         replicas: &[ServerId],
         queue: &mut EventQueue<Ev>,
     ) {
-        let state = core.requests.get_mut(&req.0).expect("request just created");
+        let state = core.requests.get_mut(req.0).expect("request just created");
         let target = self.selectors[state.client as usize].select(replicas, now);
         state.primary = Some(target);
         self.dispatch_copy(core, now, req, target, queue);
@@ -75,7 +75,7 @@ impl CliRsPolicy {
         server: ServerId,
         queue: &mut EventQueue<Ev>,
     ) {
-        let Some(state) = core.requests.get_mut(&req.0) else {
+        let Some(state) = core.requests.get_mut(req.0) else {
             return;
         };
         let client_idx = state.client as usize;
@@ -151,7 +151,7 @@ impl CliRsPolicy {
         req: ReqId,
         primary: Option<ServerId>,
     ) {
-        let Some(state) = core.requests.get(&req.0) else {
+        let Some(state) = core.requests.get(req.0) else {
             return;
         };
         if let Some(server) = primary {
@@ -244,7 +244,7 @@ impl<D: DeviceProbe> SchemePolicy<D> for CliRsR95Policy {
         self.inner.select_and_send(core, now, req, replicas, queue);
         // Arm the duplicate timer once the client has a usable quantile
         // estimate.
-        let state = &core.requests[&req.0];
+        let state = core.requests.get(req.0).expect("request still in flight");
         let client = &core.clients[state.client as usize];
         if client.hist.count() >= core.cfg.r95.min_samples {
             let deadline = client.hist.value_at_quantile(core.cfg.r95.quantile);
@@ -270,7 +270,7 @@ impl<D: DeviceProbe> SchemePolicy<D> for CliRsR95Policy {
         req: ReqId,
         queue: &mut EventQueue<Ev>,
     ) {
-        let Some(state) = core.requests.get_mut(&req.0) else {
+        let Some(state) = core.requests.get_mut(req.0) else {
             return; // long since completed and cleaned up
         };
         if state.completed || state.dup_sent {

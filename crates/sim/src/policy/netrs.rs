@@ -8,7 +8,7 @@
 //! from ToR monitor measurements). [`InNetwork`] holds the shared control
 //! and device state; the two policy types wrap it.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use netrs::{ControllerConfig, NetRsController, Rsp, TrafficGroups, TrafficMatrix};
 use netrs_kvstore::ServerId;
@@ -22,6 +22,7 @@ use netrs_wire::{MagicField, RsnodeId};
 
 use crate::cluster::{Ev, ReqId};
 use crate::config::{PlanSource, SimConfig};
+use crate::dense::SwitchTable;
 use crate::fabric::HopSink;
 use crate::server::ServerToken;
 use crate::state::{flow_hash, Core, REQ_BYTES, RESP_BYTES};
@@ -34,14 +35,15 @@ use super::{ControlStats, ReplyInfo, SchemePolicy};
 struct InNetwork {
     groups: TrafficGroups,
     controller: NetRsController,
-    rules: HashMap<SwitchId, NetRsRules>,
-    operators: HashMap<SwitchId, RsOperator>,
-    monitors: HashMap<SwitchId, Monitor>,
+    rules: SwitchTable<NetRsRules>,
+    operators: SwitchTable<RsOperator>,
+    monitors: SwitchTable<Monitor>,
     /// Retired accelerators kept so end-of-run statistics still see the
     /// work they performed.
     retired_operators: Vec<RsOperator>,
-    /// Per-operator busy counter at the last overload check.
-    last_accel_busy: HashMap<SwitchId, u128>,
+    /// Per-operator busy counter at the last overload check, indexed by
+    /// switch id (0 until first checked).
+    last_accel_busy: Vec<u128>,
     /// Switches whose operator fail-stopped (fault plan) and has not
     /// recovered: packets steered there blackhole until the controller
     /// detects the failure and reroutes.
@@ -75,15 +77,16 @@ impl InNetwork {
             Rsp::tor_plan(&groups)
         };
         controller.install(rsp);
-        let rules = controller.deploy(&groups);
+        let num_switches = core.fabric.topo.num_switches();
+        let rules = SwitchTable::from_map(num_switches, controller.deploy(&groups));
         let mut net = InNetwork {
             groups,
             controller,
             rules,
-            operators: HashMap::new(),
-            monitors: HashMap::new(),
+            operators: SwitchTable::new(num_switches),
+            monitors: SwitchTable::new(num_switches),
             retired_operators: Vec::new(),
-            last_accel_busy: HashMap::new(),
+            last_accel_busy: vec![0; num_switches as usize],
             dead_operators: BTreeSet::new(),
         };
         net.rebuild_operators(cfg, root.clone());
@@ -92,8 +95,7 @@ impl InNetwork {
         for info in net.groups.iter() {
             let marker = net.controller.marker_of_rack(info.tor.0);
             net.monitors
-                .entry(info.tor)
-                .or_insert_with(|| Monitor::new(marker));
+                .get_or_insert_with(info.tor, || Monitor::new(marker));
         }
         net
     }
@@ -106,9 +108,9 @@ impl InNetwork {
         // Each RSNode's C3 concurrency estimate is the RSNode count: the
         // plan's operators contend for the same servers.
         let n = rsnodes.len().max(1) as f64;
-        let mut next = HashMap::new();
+        let mut next = SwitchTable::new(self.operators.capacity());
         for sw in rsnodes {
-            let op = self.operators.remove(&sw).unwrap_or_else(|| {
+            let op = self.operators.remove(sw).unwrap_or_else(|| {
                 RsOperator::new(
                     cfg.selector.build_with_concurrency(
                         cfg.c3,
@@ -121,13 +123,11 @@ impl InNetwork {
             next.insert(sw, op);
         }
         // Keep retired accelerators so end-of-run statistics still see
-        // the work they performed. Drain in switch order: the retirement
-        // order fixes the float summation order in `control_stats`, and
-        // HashMap iteration order varies between runs.
-        let mut retired: Vec<(SwitchId, RsOperator)> = self.operators.drain().collect();
-        retired.sort_unstable_by_key(|&(sw, _)| sw);
+        // the work they performed. The drain runs in ascending switch
+        // order, which fixes the float summation order in
+        // `control_stats`.
         self.retired_operators
-            .extend(retired.into_iter().map(|(_, op)| op));
+            .extend(self.operators.drain().map(|(_, op)| op));
         self.operators = next;
     }
 
@@ -150,7 +150,7 @@ impl InNetwork {
         req: ReqId,
         queue: &mut EventQueue<Ev>,
     ) {
-        let state = core.requests.get_mut(&req.0).expect("request just created");
+        let state = core.requests.get_mut(req.0).expect("request just created");
         let client_host = core.clients[state.client as usize].host;
         let tor = core.fabric.topo.tor_of_host(client_host);
         let mut pkt = PacketMeta::Request {
@@ -163,7 +163,7 @@ impl InNetwork {
             src_host: client_host.0,
             dst_host: core.server_hosts[state.backup.0 as usize].0,
         };
-        let action = self.rules[&tor].ingress(&mut pkt, true);
+        let action = self.rules[tor].ingress(&mut pkt, true);
         let client_idx = state.client;
         match action {
             IngressAction::Forward => {
@@ -260,7 +260,7 @@ impl InNetwork {
             core.drop_copy(req.0);
             return;
         }
-        let Some(operator) = self.operators.get_mut(&op) else {
+        let Some(operator) = self.operators.get_mut(op) else {
             // The operator was retired by a re-plan while the request was
             // in flight; fall back to the client's backup replica (DRS
             // semantics for in-flight stragglers).
@@ -287,7 +287,7 @@ impl InNetwork {
         from: SwitchId,
         queue: &mut EventQueue<Ev>,
     ) {
-        let Some(state) = core.requests.get_mut(&req.0) else {
+        let Some(state) = core.requests.get_mut(req.0) else {
             return;
         };
         state.copies += 1;
@@ -349,11 +349,11 @@ impl InNetwork {
             core.drop_copy(req.0);
             return;
         }
-        let Some(operator) = self.operators.get_mut(&op) else {
+        let Some(operator) = self.operators.get_mut(op) else {
             self.forward_to_backup(core, now, req, op, queue);
             return;
         };
-        let Some(state) = core.requests.get_mut(&req.0) else {
+        let Some(state) = core.requests.get_mut(req.0) else {
             return;
         };
         let replicas = core.ring.groups().replicas(state.rgid);
@@ -391,7 +391,7 @@ impl InNetwork {
     }
 
     fn on_selector_update(&mut self, now: SimTime, op: SwitchId, fb: Feedback) {
-        if let Some(operator) = self.operators.get_mut(&op) {
+        if let Some(operator) = self.operators.get_mut(op) {
             operator.selector.on_response(&fb, now);
         }
     }
@@ -412,7 +412,7 @@ impl InNetwork {
             core.send_reply_direct(now, token, status, queue);
             return;
         };
-        let Some(state) = core.requests.get(&token.req.0) else {
+        let Some(state) = core.requests.get(token.req.0) else {
             return;
         };
         let client_host = core.clients[state.client as usize].host;
@@ -424,7 +424,7 @@ impl InNetwork {
             return;
         };
         let at_rsnode = now + to_rsnode;
-        if let Some(operator) = self.operators.get_mut(&op) {
+        if let Some(operator) = self.operators.get_mut(op) {
             let update_at = operator.accel.schedule_clone(at_rsnode);
             let fb = Feedback {
                 server: token.server,
@@ -472,7 +472,7 @@ impl InNetwork {
             .rack_of_host(core.server_hosts[info.token.server.0 as usize]);
         let marker = self.controller.marker_of_rack(server_rack);
         let tor = core.fabric.topo.tor_of_host(client_host);
-        if let Some(m) = self.monitors.get_mut(&tor) {
+        if let Some(m) = self.monitors.get_mut(tor) {
             m.record(info.rgid, marker);
         }
     }
@@ -494,14 +494,10 @@ impl InNetwork {
         let window_core_ns =
             u128::from(policy.interval.as_nanos()) * u128::from(core.cfg.accelerator.cores);
         let mut overloaded = Vec::new();
-        // Check in switch order: HashMap iteration order varies between
-        // runs.
-        let mut ops: Vec<(SwitchId, &RsOperator)> =
-            self.operators.iter().map(|(&sw, op)| (sw, op)).collect();
-        ops.sort_unstable_by_key(|&(sw, _)| sw);
-        for (sw, op) in ops {
+        let last_busy = &mut self.last_accel_busy;
+        for (sw, op) in self.operators.iter() {
             let busy = op.accel.stats().busy_core_ns;
-            let last = self.last_accel_busy.insert(sw, busy).unwrap_or(0);
+            let last = std::mem::replace(&mut last_busy[sw.0 as usize], busy);
             // A re-plan may have recreated this operator with a fresh
             // accelerator, putting its counter behind the recorded one.
             let util = busy.saturating_sub(last) as f64 / window_core_ns as f64;
@@ -518,12 +514,14 @@ impl InNetwork {
                 core.overload_events += 1;
             }
         }
-        self.rules = self.controller.deploy(&self.groups);
+        self.rules
+            .reset_from_map(self.controller.deploy(&self.groups));
     }
 
     fn fail_operator(&mut self, sw: SwitchId) -> Vec<u32> {
         let affected = self.controller.on_operator_failure(sw);
-        self.rules = self.controller.deploy(&self.groups);
+        self.rules
+            .reset_from_map(self.controller.deploy(&self.groups));
         affected
     }
 
@@ -532,7 +530,7 @@ impl InNetwork {
     /// statistics) and the switch blackholes steered packets until the
     /// controller's detection fires.
     fn operator_crashed(&mut self, sw: SwitchId) {
-        if let Some(op) = self.operators.remove(&sw) {
+        if let Some(op) = self.operators.remove(sw) {
             self.retired_operators.push(op);
         }
         self.dead_operators.insert(sw);
@@ -547,14 +545,15 @@ impl InNetwork {
             return; // never crashed (or already recovered)
         }
         self.controller.on_operator_recovery(sw);
-        self.rules = self.controller.deploy(&self.groups);
+        self.rules
+            .reset_from_map(self.controller.deploy(&self.groups));
         let rsnodes = self.controller.current_plan().rsnodes();
         if !rsnodes.contains(&sw) {
             return; // a re-plan moved its groups elsewhere for good
         }
         let cfg = &core.cfg;
         let n = rsnodes.len().max(1) as f64;
-        self.operators.entry(sw).or_insert_with(|| {
+        self.operators.get_or_insert_with(sw, || {
             RsOperator::new(
                 cfg.selector.build_with_concurrency(
                     cfg.c3,
@@ -571,7 +570,7 @@ impl InNetwork {
     fn operator_tiers(&self, topo: &FatTree) -> [usize; 3] {
         let mut census = [0usize; 3];
         for sw in self.operators.keys() {
-            census[topo.tier(*sw).id() as usize] += 1;
+            census[topo.tier(sw).id() as usize] += 1;
         }
         census
     }
@@ -588,13 +587,9 @@ impl InNetwork {
 
     fn control_stats(&self, now: SimTime, topo: &FatTree) -> ControlStats {
         let rsnode_census = self.controller.current_plan().tier_census(topo);
-        // Sort live operators by switch id: float summation order must
-        // not depend on HashMap iteration, or repeated identical runs
-        // disagree in the last bits of the mean.
-        let mut live: Vec<(SwitchId, &RsOperator)> =
-            self.operators.iter().map(|(&sw, op)| (sw, op)).collect();
-        live.sort_unstable_by_key(|&(sw, _)| sw);
-        let live_accels = live.into_iter().map(|(_, op)| &op.accel);
+        // The table iterates in ascending switch order, so the float
+        // summation order below never depends on run-to-run state.
+        let live_accels = self.operators.values().map(|op| &op.accel);
         let retired_accels = self.retired_operators.iter().map(|op| &op.accel);
         let accels: Vec<&Accelerator> = live_accels.chain(retired_accels).collect();
         let mean_accel_utilization = if accels.is_empty() {
@@ -782,18 +777,13 @@ impl<D: DeviceProbe> SchemePolicy<D> for NetRsIlpPolicy {
         let net = &mut self.net;
         if let PlanSource::Monitored { interval } = core.cfg.plan_source {
             queue.schedule_after(interval, Ev::Replan);
-            // Snapshot in switch order so the traffic matrix accumulates
-            // rates in a run-independent float order.
-            let mut tors: Vec<SwitchId> = net.monitors.keys().copied().collect();
-            tors.sort_unstable();
-            let snapshots: Vec<_> = tors
-                .iter()
-                .map(|tor| {
-                    net.monitors
-                        .get_mut(tor)
-                        .expect("key just listed")
-                        .snapshot(now)
-                })
+            // The monitor table iterates in ascending switch order, so
+            // the traffic matrix accumulates rates in a run-independent
+            // float order.
+            let snapshots: Vec<_> = net
+                .monitors
+                .iter_mut()
+                .map(|(_, m)| m.snapshot(now))
                 .collect();
             let traffic = TrafficMatrix::from_snapshots(net.groups.len(), &snapshots);
             if traffic.total() <= 0.0 {
@@ -801,7 +791,7 @@ impl<D: DeviceProbe> SchemePolicy<D> for NetRsIlpPolicy {
             }
             net.controller
                 .plan(&net.groups, &traffic, core.cfg.plan_solver);
-            net.rules = net.controller.deploy(&net.groups);
+            net.rules.reset_from_map(net.controller.deploy(&net.groups));
             net.rebuild_operators(
                 &core.cfg,
                 SimRng::from_seed(core.cfg.seed ^ 0xFEED_F00D ^ now.as_nanos()),

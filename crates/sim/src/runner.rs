@@ -227,6 +227,26 @@ mod tests {
     }
 
     #[test]
+    fn run_seeds_parallel_matches_sequential_runs() {
+        // Thread scheduling must not leak into results: each seed's run
+        // is self-contained, so the parallel fan-out serializes to the
+        // same bytes as running the seeds one after another.
+        let cfg = tiny(Scheme::NetRsToR);
+        let seeds = [11u64, 12, 13];
+        let parallel = run_seeds(&cfg, &seeds);
+        for (&seed, p) in seeds.iter().zip(&parallel) {
+            let mut one = cfg.clone();
+            one.seed = seed;
+            let s = run(one);
+            assert_eq!(
+                serde_json::to_string_pretty(p).expect("stats serialize"),
+                serde_json::to_string_pretty(&s).expect("stats serialize"),
+                "seed {seed}: parallel and sequential runs diverged"
+            );
+        }
+    }
+
+    #[test]
     fn run_seeds_spawns_one_run_per_seed() {
         let runs = run_seeds(&tiny(Scheme::CliRs), &[1, 2, 3]);
         assert_eq!(runs.len(), 3);

@@ -8,8 +8,6 @@
 //! [`crate::policy::SchemePolicy`]; policies receive `&mut Core` at every
 //! decision point.
 
-use std::collections::HashMap;
-
 use netrs_faults::{AvailabilityStats, FaultEvent, FaultPlan, LinkRef};
 use netrs_kvstore::{Ring, ServerId, ServerStatus};
 use netrs_simcore::{
@@ -19,6 +17,7 @@ use netrs_topology::{FatTree, HostId, Link, SwitchId};
 
 use crate::cluster::{Ev, ReqId};
 use crate::config::SimConfig;
+use crate::dense::RequestTable;
 use crate::fabric::{DeviceCapacities, Fabric, HopSink};
 use crate::obs::{DeviceStatsReport, SamplerSpec, TimeSeries, TraceRecord};
 use crate::policy::{ControlStats, ReplyInfo};
@@ -193,7 +192,7 @@ pub(crate) struct Core<D: DeviceProbe> {
     zipf: Zipf,
     pub(crate) server_hosts: Vec<HostId>,
     pub(crate) clients: Vec<ClientState>,
-    pub(crate) requests: HashMap<u64, RequestState>,
+    pub(crate) requests: RequestTable<RequestState>,
     pub(crate) issued: u64,
     pub(crate) completed: u64,
     /// Redundant copies sent (bumped by the R95 policy).
@@ -274,7 +273,7 @@ impl<D: DeviceProbe> Core<D> {
             zipf,
             server_hosts,
             clients,
-            requests: HashMap::new(),
+            requests: RequestTable::with_capacity(1024),
             issued: 0,
             completed: 0,
             duplicates: 0,
@@ -476,7 +475,7 @@ impl<D: DeviceProbe> Core<D> {
         replicas: &[ServerId],
         queue: &mut EventQueue<Ev>,
     ) {
-        let state = self.requests.get_mut(&req.0).expect("request just created");
+        let state = self.requests.get_mut(req.0).expect("request just created");
         state.copies = replicas.len() as u8;
         let client_idx = state.client;
         let client_host = self.clients[client_idx as usize].host;
@@ -543,7 +542,7 @@ impl<D: DeviceProbe> Core<D> {
         let status = self
             .servers
             .finish_service(now, server_id, token, &mut self.fabric, queue);
-        if !self.requests.contains_key(&token.req.0) {
+        if !self.requests.contains(token.req.0) {
             // The request was resolved without this copy (fault runs:
             // abandoned after timing out). The reply has nowhere to go.
             if let Some(f) = &mut self.faults {
@@ -572,7 +571,7 @@ impl<D: DeviceProbe> Core<D> {
         status: ServerStatus,
         queue: &mut EventQueue<Ev>,
     ) {
-        let Some(state) = self.requests.get(&token.req.0) else {
+        let Some(state) = self.requests.get(token.req.0) else {
             return;
         };
         let client_host = self.clients[state.client as usize].host;
@@ -607,7 +606,7 @@ impl<D: DeviceProbe> Core<D> {
         token: ServerToken,
         status: ServerStatus,
     ) -> Option<ReplyInfo> {
-        let Some(state) = self.requests.get_mut(&token.req.0) else {
+        let Some(state) = self.requests.get_mut(token.req.0) else {
             // A straggler reply for a request already resolved (fault
             // runs only: the client abandoned it after a timeout).
             if let Some(f) = &mut self.faults {
@@ -633,7 +632,7 @@ impl<D: DeviceProbe> Core<D> {
         let rgid = state.rgid;
         let drained = state.copies == 0;
         if drained {
-            self.requests.remove(&token.req.0);
+            self.requests.remove(token.req.0);
         }
 
         // Phase decomposition: consecutive timestamp differences along
@@ -766,10 +765,10 @@ impl<D: DeviceProbe> Core<D> {
             f.copies_dropped += 1;
             f.disrupt();
         }
-        if let Some(state) = self.requests.get_mut(&req) {
+        if let Some(state) = self.requests.get_mut(req) {
             state.copies = state.copies.saturating_sub(1);
             if state.copies == 0 && state.completed {
-                self.requests.remove(&req);
+                self.requests.remove(req);
             }
         }
     }
@@ -788,7 +787,7 @@ impl<D: DeviceProbe> Core<D> {
         let Some(f) = &mut self.faults else {
             return RetryAction::Done;
         };
-        let Some(state) = self.requests.get(&req.0) else {
+        let Some(state) = self.requests.get(req.0) else {
             return RetryAction::Done;
         };
         if state.completed {
@@ -806,7 +805,7 @@ impl<D: DeviceProbe> Core<D> {
         // their retries.
         f.timeouts += 1;
         f.disrupt();
-        self.requests.remove(&req.0);
+        self.requests.remove(req.0);
         RetryAction::Abandon
     }
 

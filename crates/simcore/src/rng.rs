@@ -176,8 +176,17 @@ impl SimRng {
 pub struct Zipf {
     n: u64,
     s: f64,
-    h_x1: f64,
     h_n: f64,
+    // Constants hoisted out of `sample`'s rejection loop. Each stores the
+    // bit-exact f64 the loop used to recompute per draw, so hoisting them
+    // cannot perturb a single sample.
+    /// `h(1.5) - 1.0 - h_n` — the width of the inversion interval.
+    span: f64,
+    n_f64: f64,
+    s_near_one: bool,
+    one_minus_s: f64,
+    inv_one_minus_s: f64,
+    neg_s: f64,
 }
 
 impl Zipf {
@@ -191,11 +200,18 @@ impl Zipf {
         assert!(n > 0, "zipf needs at least one element");
         assert!(s.is_finite() && s > 0.0, "zipf exponent must be positive");
         let h = |x: f64| Self::h(x, s);
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(n as f64 + 0.5);
         Zipf {
             n,
             s,
-            h_x1: h(1.5) - 1.0,
-            h_n: h(n as f64 + 0.5),
+            h_n,
+            span: h_x1 - h_n,
+            n_f64: n as f64,
+            s_near_one: (s - 1.0).abs() < 1e-12,
+            one_minus_s: 1.0 - s,
+            inv_one_minus_s: 1.0 / (1.0 - s),
+            neg_s: -s,
         }
     }
 
@@ -226,21 +242,33 @@ impl Zipf {
         }
     }
 
-    fn h_inv(x: f64, s: f64) -> f64 {
-        if (s - 1.0).abs() < 1e-12 {
+    /// `H(x)` on the hot path, using the precomputed constants.
+    #[inline]
+    fn h_hot(&self, x: f64) -> f64 {
+        if self.s_near_one {
+            x.ln()
+        } else {
+            x.powf(self.one_minus_s) / self.one_minus_s
+        }
+    }
+
+    /// `H^-1(x)` on the hot path, using the precomputed constants.
+    #[inline]
+    fn h_inv_hot(&self, x: f64) -> f64 {
+        if self.s_near_one {
             x.exp()
         } else {
-            ((1.0 - s) * x).powf(1.0 / (1.0 - s))
+            (self.one_minus_s * x).powf(self.inv_one_minus_s)
         }
     }
 
     /// Draws one rank in `1..=n` (rank 1 is the most popular).
     pub fn sample(&self, rng: &mut SimRng) -> u64 {
         loop {
-            let u = self.h_n + rng.f64() * (self.h_x1 - self.h_n);
-            let x = Self::h_inv(u, self.s);
-            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
-            if k - x <= 0.5 || u >= Self::h(k + 0.5, self.s) - k.powf(-self.s) {
+            let u = self.h_n + rng.f64() * self.span;
+            let x = self.h_inv_hot(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n_f64);
+            if k - x <= 0.5 || u >= self.h_hot(k + 0.5) - k.powf(self.neg_s) {
                 return k as u64;
             }
         }
@@ -385,6 +413,37 @@ mod tests {
         assert!(
             (observed - p1).abs() < 0.005,
             "observed {observed}, analytic {p1}"
+        );
+    }
+
+    #[test]
+    fn zipf_rank_frequency_slope_matches_exponent() {
+        // On a log-log plot a Zipf law is a line of slope -s
+        // (log P(rank r) = -s log r - log H_{n,s}). Fit a least-squares
+        // line over the well-sampled head ranks and check the slope.
+        let s = 0.99;
+        let zipf = Zipf::new(100_000, s);
+        let mut rng = SimRng::from_seed(4242);
+        let mut counts = vec![0u64; 51];
+        let trials = 2_000_000;
+        for _ in 0..trials {
+            let k = zipf.sample(&mut rng) as usize;
+            if k <= 50 {
+                counts[k] += 1;
+            }
+        }
+        let xs: Vec<f64> = (1..=50).map(|r| (r as f64).ln()).collect();
+        let ys: Vec<f64> = (1..=50).map(|r| (counts[r] as f64).ln()).collect();
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let slope = cov / var;
+        assert!(
+            (slope + s).abs() < 0.05,
+            "fitted rank-frequency slope {slope}, expected {}",
+            -s
         );
     }
 

@@ -582,6 +582,66 @@ impl FatTree {
         p
     }
 
+    // ---- closed-form hop counts -----------------------------------------
+    //
+    // Every equal-cost ECMP candidate between two endpoints has the same
+    // length, so hop counts depend only on the tier classification — not
+    // on the flow hash. These closed forms let timing-only callers skip
+    // materializing a path `Vec` entirely; each is pinned to its path
+    // builder by the `hops_agree_with_path_lengths` test.
+
+    /// `self.path(src, dst, _).len()` in O(1): the number of switches on
+    /// a default host-to-host path (0 same-host, 1 rack, 3 pod, 5 core).
+    #[must_use]
+    pub fn hops(&self, src: HostId, dst: HostId) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        match self.traffic_tier(src, dst) {
+            Tier::Tor => 1,
+            Tier::Agg => 3,
+            Tier::Core => 5,
+        }
+    }
+
+    /// `self.path_host_to_switch(src, w, _).len()` in O(1).
+    #[must_use]
+    pub fn hops_host_to_switch(&self, src: HostId, w: SwitchId) -> u32 {
+        let pod_s = self.pod_of_host(src);
+        match self.tier(w) {
+            Tier::Tor => {
+                if w == self.tor_of_host(src) {
+                    1
+                } else if self.pod_of_switch(w) == Some(pod_s) {
+                    3
+                } else {
+                    5
+                }
+            }
+            Tier::Agg => {
+                if self.pod_of_switch(w) == Some(pod_s) {
+                    2
+                } else {
+                    4
+                }
+            }
+            Tier::Core => 3,
+        }
+    }
+
+    /// `self.path_switch_to_host(w, dst, _).len()` in O(1): the upward
+    /// construction minus the starting switch itself.
+    #[must_use]
+    pub fn hops_switch_to_host(&self, w: SwitchId, dst: HostId) -> u32 {
+        self.hops_host_to_switch(dst, w) - 1
+    }
+
+    /// `self.path_via(src, via, dst, _).len()` in O(1).
+    #[must_use]
+    pub fn hops_via(&self, src: HostId, via: SwitchId, dst: HostId) -> u32 {
+        self.hops_host_to_switch(src, via) + self.hops_switch_to_host(via, dst)
+    }
+
     /// Like [`FatTree::path`], but masks the ECMP choice over `dead`
     /// links: candidates are probed starting from the hash-selected one,
     /// and the first fully alive path wins. With an empty `dead` set the
@@ -788,14 +848,7 @@ impl FatTree {
     /// (1, 3 or 5 for rack-, pod- and core-tier traffic respectively).
     #[must_use]
     pub fn default_forwardings(&self, src: HostId, dst: HostId) -> u32 {
-        if src == dst {
-            return 0;
-        }
-        match self.traffic_tier(src, dst) {
-            Tier::Tor => 1,
-            Tier::Agg => 3,
-            Tier::Core => 5,
-        }
+        self.hops(src, dst)
     }
 }
 
@@ -826,6 +879,43 @@ mod tests {
             }
         }
         assert_eq!(net.path_tier(&[]), Tier::Tor, "same-host is rack-local");
+    }
+
+    #[test]
+    fn hops_agree_with_path_lengths() {
+        // The closed-form hop counts must equal the materialized path
+        // lengths for every endpoint pair and several ECMP hashes — the
+        // allocation-free Fabric timing fast path leans on this.
+        for net in [FatTree::new(4).unwrap(), FatTree::new(8).unwrap()] {
+            for a in net.hosts() {
+                for b in net.hosts() {
+                    for hash in [0u64, 7, 13] {
+                        assert_eq!(
+                            net.hops(a, b),
+                            net.path(a, b, hash).len() as u32,
+                            "hops {a}->{b} hash {hash}"
+                        );
+                    }
+                    for w in net.switches() {
+                        assert_eq!(
+                            net.hops_host_to_switch(a, w),
+                            net.path_host_to_switch(a, w, 5).len() as u32,
+                            "host_to_switch {a}->{w}"
+                        );
+                        assert_eq!(
+                            net.hops_switch_to_host(w, a),
+                            net.path_switch_to_host(w, a, 5).len() as u32,
+                            "switch_to_host {w}->{a}"
+                        );
+                        assert_eq!(
+                            net.hops_via(a, w, b),
+                            net.path_via(a, w, b, 5).len() as u32,
+                            "via {a}->{w}->{b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Allocation audit of the per-packet hot path.
+//!
+//! A counting `#[global_allocator]` (which needs `unsafe`, so it cannot
+//! live inside the `#![forbid(unsafe_code)]` library) proves that the
+//! healthy-fabric timing trio — the code that runs for every simulated
+//! packet — never touches the heap, and pins the size of the event
+//! payload the queue copies around.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use netrs_sim::testhooks::TimingProbe;
+use netrs_sim::Ev;
+use netrs_simcore::SimDuration;
+
+// Per-thread counter so the measurement ignores allocations made by
+// other tests the harness runs concurrently. `Cell<u64>` is const-init
+// and has no destructor, so touching it from inside the allocator cannot
+// recurse through lazy TLS setup.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(Cell::get);
+    f();
+    ALLOCS.with(Cell::get) - before
+}
+
+#[test]
+fn healthy_timing_fast_path_never_allocates() {
+    let probe = TimingProbe::new(8);
+    let hosts = u64::from(probe.num_hosts());
+    let switches = u64::from(probe.num_switches());
+    let mut total = SimDuration::ZERO;
+    let allocs = allocs_during(|| {
+        for h in 0..256u64 {
+            let a = (h % hosts) as u32;
+            let b = ((h * 31 + 7) % hosts) as u32;
+            let sw = ((h * 13 + 3) % switches) as u32;
+            total += probe.trio(a, b, sw, h).expect("healthy fabric");
+        }
+    });
+    assert!(total > SimDuration::ZERO, "sanity: timing was computed");
+    assert_eq!(
+        allocs, 0,
+        "per-packet timing on a healthy fabric must not touch the heap"
+    );
+}
+
+#[test]
+fn event_payload_stays_within_audited_size() {
+    // Every scheduled event is moved into the queue's payload slab; the
+    // heap entries themselves are a fixed 24 bytes. The audited bound
+    // here is set by the `ServerToken`-carrying variants (~104 bytes) —
+    // a new variant or field that pushes past it deserves a Box.
+    let size = std::mem::size_of::<Ev>();
+    assert!(
+        size <= 112,
+        "Ev grew to {size} bytes; box the large variant"
+    );
+}
