@@ -40,6 +40,20 @@ for scheme in clirs-r95 netrs-tor; do
     diff -u "$SMOKE/$scheme-det-a.json" "$SMOKE/$scheme-det-b.json"
 done
 
+echo "==> control-plane smoke (deterministic stream, run unperturbed)"
+./target/debug/simulate --small --scheme netrs-ilp --requests 5000 --seed 5 \
+    --control "$SMOKE/ctl-a.jsonl" --json > "$SMOKE/ctl-stats-a.json"
+./target/debug/simulate --small --scheme netrs-ilp --requests 5000 --seed 5 \
+    --control "$SMOKE/ctl-b.jsonl" --json > "$SMOKE/ctl-stats-b.json"
+# Same seed twice: the control stream must be byte-identical.
+diff -u "$SMOKE/ctl-a.jsonl" "$SMOKE/ctl-b.jsonl"
+# Without --control the run itself must not change: identical stats.
+./target/debug/simulate --small --scheme netrs-ilp --requests 5000 --seed 5 \
+    --json > "$SMOKE/ctl-stats-plain.json"
+diff -u "$SMOKE/ctl-stats-a.json" "$SMOKE/ctl-stats-plain.json"
+./target/debug/netrs-analyze control "netrs-ilp=$SMOKE/ctl-a.jsonl" \
+    | grep -q "plan churn"
+
 echo "==> perf smoke (tiny perf suite, artifact validates)"
 # Runs the perf harness end to end at test scale and validates the merged
 # artifact's shape. Deliberately no time gating: CI boxes are too noisy
@@ -47,6 +61,9 @@ echo "==> perf smoke (tiny perf suite, artifact validates)"
 cargo build -q -p netrs-bench --bin repro
 ./target/debug/repro perf --small --tag smoke --out "$SMOKE/perf.json"
 ./target/debug/netrs-analyze check-bench "$SMOKE/perf.json"
+# Two-artifact mode: an artifact never regresses against itself.
+./target/debug/netrs-analyze check-bench "$SMOKE/perf.json" "$SMOKE/perf.json" \
+    --threshold 0.05 | grep -q "Bench comparison"
 
 echo "==> fault-injection smoke (scripted plan, same seed twice, byte-identical stats)"
 for scheme in clirs netrs-tor; do

@@ -23,8 +23,10 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader};
 use std::path::Path;
 
-use netrs_sim::{DeviceRecord, RunStats, SamplePoint, Scheme, TraceRecord};
-use netrs_simcore::{Histogram, SimDuration, Summary};
+use netrs_sim::{
+    ControlRecord, DeviceRecord, RunStats, SamplePoint, Scheme, SnapshotRecord, TraceRecord,
+};
+use netrs_simcore::{Histogram, SimDuration, SimTime, Summary};
 use serde::Value;
 
 /// One labeled trace: a scheme (or experiment) name plus its records.
@@ -430,6 +432,234 @@ pub fn availability_report(entries: &[(String, RunStats)]) -> String {
     out
 }
 
+/// Loads a `--control` JSONL file (same error contract as
+/// [`load_trace`]).
+///
+/// # Errors
+///
+/// See [`load_trace`].
+pub fn load_control(path: &str) -> io::Result<Vec<ControlRecord>> {
+    parse_jsonl(path)
+}
+
+fn fmt_time(ns: u64) -> String {
+    SimTime::from_nanos(ns).to_string()
+}
+
+/// One batch of monitor windows consumed by the plan decision that
+/// follows it in the stream: window count, reporting ToRs, and the
+/// summed response rates per tier (exactly what the controller's
+/// `TrafficMatrix` aggregation sums them into).
+struct SnapshotBatch {
+    windows: usize,
+    tors: usize,
+    tier_rates: [f64; 3],
+}
+
+fn batch_of(snaps: &[&SnapshotRecord]) -> SnapshotBatch {
+    let mut tors: Vec<u32> = snaps.iter().map(|s| s.tor).collect();
+    tors.sort_unstable();
+    tors.dedup();
+    let mut tier_rates = [0.0f64; 3];
+    for s in snaps {
+        for g in &s.groups {
+            for (t, r) in g.rates.iter().enumerate() {
+                tier_rates[t] += r;
+            }
+        }
+    }
+    SnapshotBatch {
+        windows: snaps.len(),
+        tors: tors.len(),
+        tier_rates,
+    }
+}
+
+/// Renders the control-plane report for labeled `--control` streams:
+/// the traffic-matrix evolution (one row per snapshot batch), the plan
+/// churn table (one row per controller decision, with solver effort),
+/// and the DRS span timeline. With more than one label, a side-by-side
+/// summary table closes the report.
+#[must_use]
+pub fn control_report(entries: &[(String, Vec<ControlRecord>)]) -> String {
+    let mut out = String::new();
+    for (i, (label, records)) in entries.iter().enumerate() {
+        if i > 0 {
+            let _ = writeln!(out);
+        }
+        let snapshots = records
+            .iter()
+            .filter(|r| matches!(r, ControlRecord::Snapshot(_)))
+            .count();
+        let plans = records
+            .iter()
+            .filter(|r| matches!(r, ControlRecord::Plan(_)))
+            .count();
+        let spans = records
+            .iter()
+            .filter(|r| matches!(r, ControlRecord::DrsSpan(_)))
+            .count();
+        let _ = writeln!(out, "## Control plane: {label}");
+        let _ = writeln!(
+            out,
+            "   {} records: {snapshots} snapshots · {plans} plan events · {spans} DRS spans",
+            records.len()
+        );
+
+        // Traffic-matrix evolution: consecutive snapshots form a batch;
+        // the plan decision that follows consumed exactly that batch.
+        let mut batches: Vec<SnapshotBatch> = Vec::new();
+        let mut pending: Vec<&SnapshotRecord> = Vec::new();
+        for rec in records {
+            match rec {
+                ControlRecord::Snapshot(s) => pending.push(s),
+                ControlRecord::Plan(_) if !pending.is_empty() => {
+                    batches.push(batch_of(&pending));
+                    pending.clear();
+                }
+                _ => {}
+            }
+        }
+        if !pending.is_empty() {
+            batches.push(batch_of(&pending));
+        }
+        if !batches.is_empty() {
+            let _ = writeln!(
+                out,
+                "   traffic evolution (batch · windows · ToRs · resp/s by tier):"
+            );
+            for (bi, b) in batches.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "     {:<5} {:>7} {:>5} {:>10.1} {:>10.1} {:>10.1}",
+                    bi + 1,
+                    b.windows,
+                    b.tors,
+                    b.tier_rates[0],
+                    b.tier_rates[1],
+                    b.tier_rates[2]
+                );
+            }
+        }
+
+        let _ = writeln!(
+            out,
+            "   plan churn (t · trigger · groups re/new/un · RSNodes +/- · DRS · rules · solve):"
+        );
+        for rec in records {
+            let ControlRecord::Plan(p) = rec else {
+                continue;
+            };
+            let trigger = match p.switch {
+                Some(sw) => format!("{}(sw{sw})", p.trigger),
+                None => p.trigger.clone(),
+            };
+            let solve = match &p.solve {
+                Some(s) if s.greedy => "greedy".to_string(),
+                Some(s) => format!(
+                    "ilp {} it · {} nodes · obj {}",
+                    s.lp_iterations, s.branch_nodes, s.objective
+                ),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "     {:<11} {:<20} {:>3}/{:>3}/{:>3}  {:>3} (+{}/-{}) {:>4} {:>6}  {solve}",
+                fmt_time(p.t_ns),
+                trigger,
+                p.reassigned.len(),
+                p.newly_assigned.len(),
+                p.unassigned.len(),
+                p.rsnodes,
+                p.rsnodes_added.len(),
+                p.rsnodes_removed.len(),
+                p.drs_groups,
+                p.rules_recompiled
+            );
+        }
+
+        if spans > 0 {
+            let _ = writeln!(
+                out,
+                "   DRS spans (switch · fail · detect-lag · recover · groups · displaced):"
+            );
+            for rec in records {
+                let ControlRecord::DrsSpan(s) = rec else {
+                    continue;
+                };
+                let detect = s.detect_ns.map_or_else(
+                    || "-".to_string(),
+                    |d| format!("+{}", fmt_dur(SimDuration::from_nanos(d - s.fail_ns))),
+                );
+                let recover = s.recover_ns.map_or_else(|| "open".to_string(), fmt_time);
+                let _ = writeln!(
+                    out,
+                    "     sw{:<4} {:>11} {:>11} {:>11} {:>3} {:>11}",
+                    s.switch,
+                    fmt_time(s.fail_ns),
+                    detect,
+                    recover,
+                    s.groups.len(),
+                    fmt_dur(SimDuration::from_nanos(s.total_displaced_ns()))
+                );
+            }
+        }
+    }
+
+    // Side-by-side: how much the control plane worked per run.
+    if entries.len() > 1 {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Control plane comparison");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>6} {:>8} {:>7} {:>12} {:>10} {:>6} {:>12}",
+            "label", "plans", "replans", "solves", "lp-it/solve", "snapshots", "spans", "displaced"
+        );
+        for (label, records) in entries {
+            let mut plans = 0usize;
+            let mut replans = 0usize;
+            let mut solves = 0usize;
+            let mut lp_iterations = 0u64;
+            let mut snapshots = 0usize;
+            let mut spans = 0usize;
+            let mut displaced = 0u64;
+            for rec in records {
+                match rec {
+                    ControlRecord::Snapshot(_) => snapshots += 1,
+                    ControlRecord::Plan(p) => {
+                        plans += 1;
+                        if p.trigger == "replan" {
+                            replans += 1;
+                        }
+                        if let Some(s) = &p.solve {
+                            if !s.greedy {
+                                solves += 1;
+                                lp_iterations += s.lp_iterations;
+                            }
+                        }
+                    }
+                    ControlRecord::DrsSpan(s) => {
+                        spans += 1;
+                        displaced += s.total_displaced_ns();
+                    }
+                }
+            }
+            let mean_it = if solves > 0 {
+                format!("{:.1}", lp_iterations as f64 / solves as f64)
+            } else {
+                "-".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{label:<14} {plans:>6} {replans:>8} {solves:>7} {mean_it:>12} {snapshots:>10} \
+                 {spans:>6} {:>12}",
+                fmt_dur(SimDuration::from_nanos(displaced))
+            );
+        }
+    }
+    out
+}
+
 /// The keys every per-label bench entry must carry, in artifact order.
 pub const BENCH_KEYS: [&str; 7] = [
     "mean_ns",
@@ -521,6 +751,104 @@ pub fn check_bench(artifact: &Value) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The outcome of a two-artifact bench comparison: the rendered table
+/// plus the labels that regressed beyond the threshold (empty → pass).
+#[derive(Debug)]
+pub struct BenchComparison {
+    /// The comparison table, one row per label present in both artifacts.
+    pub report: String,
+    /// `label: old → new (−x%)` lines for throughput drops beyond the
+    /// threshold.
+    pub regressions: Vec<String>,
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::U(u) => Some(*u as f64),
+        Value::I(i) => Some(*i as f64),
+        Value::F(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Compares two bench artifacts label by label and flags throughput
+/// regressions beyond `threshold` (a fraction: 0.1 → a 10% drop fails).
+/// Perf entries compare `events_per_sec`, sim-time latency entries
+/// `requests_per_sim_sec`; labels present in only one artifact are
+/// reported but never fail the gate.
+///
+/// # Errors
+///
+/// Returns a description when either artifact is malformed (see
+/// [`check_bench`]) or when the two artifacts share no label.
+pub fn compare_bench(base: &Value, new: &Value, threshold: f64) -> Result<BenchComparison, String> {
+    check_bench(base).map_err(|e| format!("baseline: {e}"))?;
+    check_bench(new).map_err(|e| format!("candidate: {e}"))?;
+    let base_entries = base.as_obj().expect("validated above");
+    let new_entries = new.as_obj().expect("validated above");
+
+    let mut out = String::new();
+    let mut regressions = Vec::new();
+    let mut shared = 0usize;
+    let _ = writeln!(
+        out,
+        "## Bench comparison (threshold {:.1}%)",
+        threshold * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>14} {:>14} {:>8}  verdict",
+        "label", "metric", "baseline", "candidate", "delta"
+    );
+    for (label, b_entry) in base_entries {
+        let Some(n_entry) = new.get(label) else {
+            let _ = writeln!(out, "{label:<18} (only in baseline)");
+            continue;
+        };
+        let metric = if b_entry.get("wall_clock_s").is_some() {
+            "events_per_sec"
+        } else {
+            "requests_per_sim_sec"
+        };
+        let (Some(b), Some(n)) = (
+            b_entry.get(metric).and_then(as_f64),
+            n_entry.get(metric).and_then(as_f64),
+        ) else {
+            let _ = writeln!(out, "{label:<18} (entry kinds differ; skipped)");
+            continue;
+        };
+        shared += 1;
+        let delta = if b > 0.0 { (n - b) / b } else { 0.0 };
+        let regressed = delta < -threshold;
+        let verdict = if regressed { "REGRESSION" } else { "ok" };
+        // The bench metrics shorten to fit the row; full precision lives
+        // in the artifacts themselves.
+        let _ = writeln!(
+            out,
+            "{label:<18} {metric:>14} {b:>14.1} {n:>14.1} {:>7.1}%  {verdict}",
+            delta * 100.0
+        );
+        if regressed {
+            regressions.push(format!(
+                "{label}: {metric} {b:.1} -> {n:.1} ({:.1}%)",
+                delta * 100.0
+            ));
+        }
+    }
+    for (label, _) in new_entries {
+        if base.get(label).is_none() {
+            let _ = writeln!(out, "{label:<18} (only in candidate)");
+        }
+    }
+    if shared == 0 {
+        return Err("the two artifacts share no comparable label".to_string());
+    }
+    Ok(BenchComparison {
+        report: out,
+        regressions,
+    })
 }
 
 #[cfg(test)]
@@ -718,6 +1046,146 @@ NetRS-ToR          8000         0       0.000%        9         9      2.100ms  
 baseline           8000 (fault-free run)
 ";
         assert_eq!(availability_report(&entries), expected);
+    }
+
+    #[test]
+    fn control_report_pins_its_format() {
+        use netrs_sim::{
+            DisplacedGroup, DrsSpanRecord, PlanEventRecord, SnapshotGroup, SolveRecord,
+        };
+
+        let snapshot = |tor: u32, from_ns: u64, to_ns: u64| {
+            ControlRecord::Snapshot(SnapshotRecord {
+                tor,
+                pod: tor / 2,
+                from_ns,
+                to_ns,
+                groups: vec![SnapshotGroup {
+                    group: 0,
+                    counts: [50, 100, 350],
+                    rates: [100.0, 200.0, 700.0],
+                }],
+            })
+        };
+        let records = vec![
+            ControlRecord::Plan(PlanEventRecord {
+                t_ns: 0,
+                trigger: "initial".into(),
+                switch: None,
+                solve: Some(SolveRecord {
+                    greedy: false,
+                    variables: 52,
+                    constraints: 42,
+                    lp_iterations: 13_766,
+                    branch_nodes: 200,
+                    objective: 4.0,
+                }),
+                reassigned: vec![],
+                newly_assigned: vec![0, 1, 2, 3, 4, 5, 6],
+                unassigned: vec![],
+                rsnodes_added: vec![3, 4, 5, 16],
+                rsnodes_removed: vec![],
+                rsnodes: 4,
+                drs_groups: 0,
+                rules_recompiled: 20,
+            }),
+            snapshot(0, 0, 500_000_000),
+            snapshot(1, 0, 500_000_000),
+            ControlRecord::Plan(PlanEventRecord {
+                t_ns: 500_000_000,
+                trigger: "operator_fail".into(),
+                switch: Some(16),
+                solve: None,
+                reassigned: vec![],
+                newly_assigned: vec![],
+                unassigned: vec![5, 6],
+                rsnodes_added: vec![],
+                rsnodes_removed: vec![16],
+                rsnodes: 4,
+                drs_groups: 2,
+                rules_recompiled: 20,
+            }),
+            ControlRecord::DrsSpan(DrsSpanRecord {
+                switch: 16,
+                fail_ns: 490_000_000,
+                detect_ns: Some(500_000_000),
+                recover_ns: Some(900_000_000),
+                groups: vec![
+                    DisplacedGroup {
+                        group: 5,
+                        displaced_ns: 400_000_000,
+                    },
+                    DisplacedGroup {
+                        group: 6,
+                        displaced_ns: 400_000_000,
+                    },
+                ],
+            }),
+        ];
+        let expected = "\
+## Control plane: NetRS-ILP
+   5 records: 2 snapshots · 2 plan events · 1 DRS spans
+   traffic evolution (batch · windows · ToRs · resp/s by tier):
+     1           2     2      200.0      400.0     1400.0
+   plan churn (t · trigger · groups re/new/un · RSNodes +/- · DRS · rules · solve):
+     0.000000s   initial                0/  7/  0    4 (+4/-0)    0     20  ilp 13766 it · 200 nodes · obj 4
+     0.500000s   operator_fail(sw16)    0/  0/  2    4 (+0/-1)    2     20  -
+   DRS spans (switch · fail · detect-lag · recover · groups · displaced):
+     sw16     0.490000s   +10.000ms   0.900000s   2   800.000ms
+";
+        let entries = vec![("NetRS-ILP".to_string(), records)];
+        assert_eq!(control_report(&entries), expected);
+        // A second label appends the side-by-side summary.
+        let two = vec![entries[0].clone(), ("NetRS-ToR".to_string(), Vec::new())];
+        let report = control_report(&two);
+        assert!(report.contains("## Control plane comparison"));
+        assert!(report.contains("lp-it/solve"));
+        assert!(report.contains("800.000ms"), "displaced total:\n{report}");
+    }
+
+    #[test]
+    fn compare_bench_flags_regressions_beyond_threshold() {
+        let perf = |eps: f64| {
+            Value::Obj(vec![
+                ("events".into(), Value::U(1_000)),
+                ("events_per_sec".into(), Value::F(eps)),
+                ("peak_rss_kb".into(), Value::U(10_000)),
+                ("wall_clock_s".into(), Value::F(1.0)),
+            ])
+        };
+        let base = Value::Obj(vec![
+            ("CliRS".into(), perf(1_000_000.0)),
+            ("NetRS-ILP".into(), perf(800_000.0)),
+            ("gone".into(), perf(1.0)),
+        ]);
+        let ok_new = Value::Obj(vec![
+            ("CliRS".into(), perf(950_000.0)),
+            ("NetRS-ILP".into(), perf(850_000.0)),
+        ]);
+        let cmp = compare_bench(&base, &ok_new, 0.1).expect("valid artifacts compare");
+        assert!(cmp.regressions.is_empty(), "5% drop is within 10%");
+        assert!(cmp.report.contains("only in baseline"));
+        assert!(cmp.report.contains("ok"));
+
+        let bad_new = Value::Obj(vec![
+            ("CliRS".into(), perf(850_000.0)),
+            ("NetRS-ILP".into(), perf(850_000.0)),
+        ]);
+        let cmp = compare_bench(&base, &bad_new, 0.1).expect("valid artifacts compare");
+        assert_eq!(cmp.regressions.len(), 1, "15% drop fails a 10% gate");
+        assert!(cmp.regressions[0].contains("CliRS"));
+        assert!(cmp.report.contains("REGRESSION"));
+
+        // Tightening the threshold flags the 5% drop too.
+        let cmp = compare_bench(&base, &ok_new, 0.01).expect("valid artifacts compare");
+        assert_eq!(cmp.regressions.len(), 1);
+
+        // Malformed or disjoint artifacts are errors, not empty passes.
+        assert!(compare_bench(&Value::Arr(vec![]), &ok_new, 0.1).is_err());
+        let disjoint = Value::Obj(vec![("other".into(), perf(1.0))]);
+        assert!(compare_bench(&base, &disjoint, 0.1)
+            .unwrap_err()
+            .contains("no comparable label"));
     }
 
     #[test]

@@ -14,9 +14,9 @@
 use std::io::Write;
 
 use netrs_analyze::{
-    availability_report, bench_artifact, check_bench, comparison_report, hotspot_report,
-    load_devices, load_stats, load_timeseries, load_trace, split_label, tail_report,
-    timeseries_report, LabeledTrace,
+    availability_report, bench_artifact, check_bench, compare_bench, comparison_report,
+    control_report, hotspot_report, load_control, load_devices, load_stats, load_timeseries,
+    load_trace, split_label, tail_report, timeseries_report, LabeledTrace,
 };
 use serde::Value;
 
@@ -24,8 +24,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: netrs-analyze report --trace [LABEL=]FILE [--trace [LABEL=]FILE ...] \
          [--devices FILE] [--timeseries FILE] [--bench-json OUT] [--top N]\n\
+         \x20      netrs-analyze control [LABEL=]FILE [[LABEL=]FILE ...]\n\
          \x20      netrs-analyze availability --stats [LABEL=]FILE [--stats [LABEL=]FILE ...]\n\
-         \x20      netrs-analyze check-bench FILE"
+         \x20      netrs-analyze check-bench FILE [BASELINE] [--threshold F]"
     );
     std::process::exit(2);
 }
@@ -123,11 +124,56 @@ fn availability(args: &[String]) {
     print!("{}", availability_report(&entries));
 }
 
-fn check_bench_file(path: &str) {
+fn control(args: &[String]) {
+    let mut entries = Vec::new();
+    for spec in args {
+        let (label, path) = split_label(spec);
+        let records =
+            load_control(path).unwrap_or_else(|e| fail(&format!("cannot load {path}: {e}")));
+        entries.push((label, records));
+    }
+    if entries.is_empty() {
+        usage();
+    }
+    print!("{}", control_report(&entries));
+}
+
+fn load_artifact(path: &str) -> Value {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-    let artifact: Value =
-        serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+    serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+}
+
+/// `check-bench FILE` validates the artifact's shape; `check-bench FILE
+/// BASELINE` additionally compares it against the baseline and fails on
+/// throughput regressions beyond `--threshold` (default 10%).
+fn check_bench_cmd(args: &[String]) {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 0.1f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if !(0.0..1.0).contains(&threshold) {
+                    fail("--threshold must be a fraction in [0, 1)");
+                }
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (path, baseline) = match paths.as_slice() {
+        [path] => (path.clone(), None),
+        [path, base] => (path.clone(), Some(base.clone())),
+        _ => usage(),
+    };
+    let artifact = load_artifact(&path);
     match check_bench(&artifact) {
         Ok(()) => {
             let n = artifact.as_obj().map_or(0, <[_]>::len);
@@ -135,14 +181,27 @@ fn check_bench_file(path: &str) {
         }
         Err(e) => fail(&format!("{path}: {e}")),
     }
+    if let Some(base_path) = baseline {
+        let base = load_artifact(&base_path);
+        let cmp = compare_bench(&base, &artifact, threshold)
+            .unwrap_or_else(|e| fail(&format!("{base_path} vs {path}: {e}")));
+        print!("{}", cmp.report);
+        if !cmp.regressions.is_empty() {
+            for r in &cmp.regressions {
+                eprintln!("netrs-analyze: regression: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("report") => report(&args[1..]),
+        Some("control") => control(&args[1..]),
         Some("availability") => availability(&args[1..]),
-        Some("check-bench") if args.len() == 2 => check_bench_file(&args[1]),
+        Some("check-bench") => check_bench_cmd(&args[1..]),
         _ => usage(),
     }
 }

@@ -10,7 +10,7 @@ use netrs_wire::{RsnodeId, SourceMarker};
 use serde::{Deserialize, Serialize};
 
 use crate::group::TrafficGroups;
-use crate::plan::{PlacementProblem, PlanConstraints, PlanSolver, Rsp};
+use crate::plan::{PlacementProblem, PlanConstraints, PlanDiff, PlanSolveStats, PlanSolver, Rsp};
 use crate::traffic::TrafficMatrix;
 
 /// Controller configuration.
@@ -92,10 +92,25 @@ impl NetRsController {
         traffic: &TrafficMatrix,
         solver: PlanSolver,
     ) -> &Rsp {
+        let _ = self.plan_with_stats(groups, traffic, solver);
+        &self.current
+    }
+
+    /// Like [`NetRsController::plan`], but also returns what the plan
+    /// event changed ([`PlanDiff`] against the previously installed plan)
+    /// and the solver-effort metrics, for the decision audit log.
+    pub fn plan_with_stats(
+        &mut self,
+        groups: &TrafficGroups,
+        traffic: &TrafficMatrix,
+        solver: PlanSolver,
+    ) -> (PlanDiff, PlanSolveStats) {
         let problem = PlacementProblem::new(&self.topo, groups, traffic, &self.cfg.constraints)
             .without_operators(self.failed.iter().copied());
-        self.current = problem.solve(solver);
-        &self.current
+        let (rsp, stats) = problem.solve_with_stats(solver);
+        let diff = PlanDiff::between(&self.current, &rsp);
+        self.current = rsp;
+        (diff, stats)
     }
 
     /// Installs an externally produced plan (e.g. [`Rsp::tor_plan`] for

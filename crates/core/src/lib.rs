@@ -58,7 +58,9 @@ mod traffic;
 
 pub use controller::{ControllerConfig, NetRsController};
 pub use group::{Granularity, GroupInfo, TrafficGroups};
-pub use plan::{AssignmentVars, PlacementProblem, PlanConstraints, PlanSolver, Rsp};
+pub use plan::{
+    AssignmentVars, PlacementProblem, PlanConstraints, PlanDiff, PlanSolveStats, PlanSolver, Rsp,
+};
 pub use traffic::TrafficMatrix;
 
 pub use netrs_netdev::GroupId;

@@ -109,6 +109,33 @@ impl Default for PlanSolver {
     }
 }
 
+/// Solver-effort metrics of one placement solve, surfaced to the
+/// control-plane audit log.
+///
+/// Every field is a *deterministic* function of the model and solver
+/// configuration — deliberately no wall-clock time, so audit records
+/// stay byte-identical across repeated runs of the same seed. Simplex
+/// iterations plus branch-and-bound nodes are the solve-cost proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanSolveStats {
+    /// Decision variables of the (last) solved ILP model; zero when the
+    /// greedy heuristic produced the plan without building a model.
+    pub variables: usize,
+    /// Constraint rows of the (last) solved ILP model.
+    pub constraints: usize,
+    /// Simplex iterations summed over every LP solved (root and nodes,
+    /// across DRS-degradation retries).
+    pub lp_iterations: u64,
+    /// Branch-and-bound nodes expanded, summed across retries.
+    pub branch_nodes: u64,
+    /// Objective value of the returned plan — the number of opened
+    /// RSNodes (Eq. 1).
+    pub objective: f64,
+    /// Whether the greedy heuristic produced the final assignment
+    /// (pure-greedy solver, oversized Auto model, or budget fallback).
+    pub greedy: bool,
+}
+
 /// A Replica Selection Plan: the output of the controller (§II).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct Rsp {
@@ -148,6 +175,63 @@ impl Rsp {
             drs: BTreeSet::new(),
             proven_optimal: false,
         }
+    }
+}
+
+/// The structured difference between two consecutive [`Rsp`]s — what a
+/// plan event actually changed, for the control-plane audit log. Every
+/// list is in ascending id order (the plans are `BTreeMap`/`BTreeSet`
+/// based), so the diff is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanDiff {
+    /// Groups assigned in both plans but moved to a different operator.
+    pub reassigned: Vec<GroupId>,
+    /// Groups that gained an operator (previously DRS or absent).
+    pub newly_assigned: Vec<GroupId>,
+    /// Groups that lost their operator (now DRS or absent).
+    pub unassigned: Vec<GroupId>,
+    /// Switches hosting an RSNode only in the new plan.
+    pub rsnodes_added: Vec<SwitchId>,
+    /// Switches hosting an RSNode only in the old plan.
+    pub rsnodes_removed: Vec<SwitchId>,
+}
+
+impl PlanDiff {
+    /// Computes the diff from `old` to `new`.
+    #[must_use]
+    pub fn between(old: &Rsp, new: &Rsp) -> PlanDiff {
+        let mut diff = PlanDiff::default();
+        for (&g, &sw) in &new.assignment {
+            match old.assignment.get(&g) {
+                Some(&prev) if prev != sw => diff.reassigned.push(g),
+                Some(_) => {}
+                None => diff.newly_assigned.push(g),
+            }
+        }
+        for &g in old.assignment.keys() {
+            if !new.assignment.contains_key(&g) {
+                diff.unassigned.push(g);
+            }
+        }
+        let old_nodes = old.rsnodes();
+        let new_nodes = new.rsnodes();
+        diff.rsnodes_added = new_nodes.difference(&old_nodes).copied().collect();
+        diff.rsnodes_removed = old_nodes.difference(&new_nodes).copied().collect();
+        diff
+    }
+
+    /// Total groups whose steering changed.
+    #[must_use]
+    pub fn groups_touched(&self) -> usize {
+        self.reassigned.len() + self.newly_assigned.len() + self.unassigned.len()
+    }
+
+    /// Whether the two plans steer identically.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups_touched() == 0
+            && self.rsnodes_added.is_empty()
+            && self.rsnodes_removed.is_empty()
     }
 }
 
@@ -480,11 +564,27 @@ impl<'a> PlacementProblem<'a> {
     /// group is degraded and the model re-solved, until feasible.
     #[must_use]
     pub fn solve(&self, solver: PlanSolver) -> Rsp {
+        self.solve_with_stats(solver).0
+    }
+
+    /// A greedy plan plus the solve stats it deterministically implies.
+    fn greedy_with_stats(&self, mut stats: PlanSolveStats) -> (Rsp, PlanSolveStats) {
+        let rsp = self.solve_greedy();
+        stats.greedy = true;
+        stats.objective = rsp.rsnodes().len() as f64;
+        (rsp, stats)
+    }
+
+    /// Like [`PlacementProblem::solve`], but also returns the
+    /// [`PlanSolveStats`] of the solve for the control-plane audit log.
+    #[must_use]
+    pub fn solve_with_stats(&self, solver: PlanSolver) -> (Rsp, PlanSolveStats) {
+        let mut stats = PlanSolveStats::default();
         if self.groups.is_empty() {
-            return Rsp::default();
+            return (Rsp::default(), stats);
         }
         let (node_limit, warm) = match solver {
-            PlanSolver::Greedy => return self.solve_greedy(),
+            PlanSolver::Greedy => return self.greedy_with_stats(stats),
             PlanSolver::Exact { node_limit } => (node_limit, None),
             PlanSolver::Auto { node_limit } => {
                 // The dense-simplex improvement phase pays off only while
@@ -494,7 +594,7 @@ impl<'a> PlacementProblem<'a> {
                     .map(|g| self.candidates(g).len())
                     .sum();
                 if model_size > 2_500 {
-                    return self.solve_greedy();
+                    return self.greedy_with_stats(stats);
                 }
                 (node_limit, Some(self.solve_greedy()))
             }
@@ -503,6 +603,8 @@ impl<'a> PlacementProblem<'a> {
         let mut drs: BTreeSet<GroupId> = warm.as_ref().map(|w| w.drs.clone()).unwrap_or_default();
         loop {
             let (problem, pvars, dvars) = self.to_ilp(&drs);
+            stats.variables = problem.num_vars();
+            stats.constraints = problem.num_constraints();
             let warm_vec = warm.as_ref().map(|w| {
                 let mut x = vec![0.0; problem.num_vars()];
                 for &(g, sw, v) in &pvars {
@@ -519,6 +621,9 @@ impl<'a> PlacementProblem<'a> {
             };
             match bnb.solve_from(&problem, warm_vec.as_deref()) {
                 Ok(sol) => {
+                    stats.lp_iterations += sol.lp_iterations;
+                    stats.branch_nodes += sol.nodes;
+                    stats.objective = sol.objective;
                     let mut rsp = Rsp {
                         drs,
                         proven_optimal: sol.status == netrs_ilp::IlpStatus::Optimal,
@@ -529,13 +634,13 @@ impl<'a> PlacementProblem<'a> {
                             rsp.assignment.insert(g, sw);
                         }
                     }
-                    return rsp;
+                    return (rsp, stats);
                 }
                 Err(IlpError::BudgetExhausted) => {
                     // Only possible without a warm start (Exact mode with
                     // a tiny budget): fall back to the heuristic rather
                     // than degrading groups that may well be placeable.
-                    return self.solve_greedy();
+                    return self.greedy_with_stats(stats);
                 }
                 Err(IlpError::Infeasible) => {
                     // §III-C(i): no feasible RSP — degrade the
@@ -552,10 +657,13 @@ impl<'a> PlacementProblem<'a> {
                             drs.insert(g);
                         }
                         None => {
-                            return Rsp {
-                                drs,
-                                ..Rsp::default()
-                            }
+                            return (
+                                Rsp {
+                                    drs,
+                                    ..Rsp::default()
+                                },
+                                stats,
+                            )
                         }
                     }
                 }
@@ -761,6 +869,49 @@ mod tests {
         assert_eq!(ilp.num_vars(), 15);
         // Rows: 2 assignment + 7 linking + 7 capacity + 1 hop budget.
         assert_eq!(ilp.num_constraints(), 17);
+    }
+
+    #[test]
+    fn solve_stats_are_plausible_for_the_exact_solver() {
+        let (topo, groups, traffic) = setup(&[0, 1, 4, 12], 100.0);
+        let cons = PlanConstraints::default();
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let (rsp, stats) = p.solve_with_stats(PlanSolver::Exact { node_limit: 10_000 });
+        assert!(!stats.greedy);
+        assert!(stats.variables > 0 && stats.constraints > 0);
+        assert!(
+            stats.lp_iterations > 0,
+            "solving a non-trivial model must pivot at least once: {stats:?}"
+        );
+        // Eq. 1: D vars cost 1, P vars cost 0, so the objective IS the
+        // number of opened RSNodes.
+        assert!(
+            (stats.objective - rsp.rsnodes().len() as f64).abs() < 1e-6,
+            "objective {} vs {} RSNodes",
+            stats.objective,
+            rsp.rsnodes().len()
+        );
+        // The model sizes must match what to_ilp builds.
+        let (ilp, _, _) = p.to_ilp(&rsp.drs);
+        assert_eq!(stats.variables, ilp.num_vars());
+        assert_eq!(stats.constraints, ilp.num_constraints());
+    }
+
+    #[test]
+    fn solve_stats_flag_greedy_fallbacks() {
+        let (topo, groups, traffic) = setup(&[0, 4], 100.0);
+        let cons = PlanConstraints::default();
+        let p = PlacementProblem::new(&topo, &groups, &traffic, &cons);
+        let (rsp, stats) = p.solve_with_stats(PlanSolver::Greedy);
+        assert!(stats.greedy);
+        assert_eq!(stats.lp_iterations, 0);
+        assert_eq!(stats.branch_nodes, 0);
+        assert!((stats.objective - rsp.rsnodes().len() as f64).abs() < 1e-9);
+        // Auto on a small model runs the ILP and reports its effort.
+        let (auto_rsp, auto_stats) = p.solve_with_stats(PlanSolver::Auto { node_limit: 5_000 });
+        assert!(!auto_stats.greedy);
+        assert!(auto_stats.lp_iterations > 0);
+        assert!((auto_stats.objective - auto_rsp.rsnodes().len() as f64).abs() < 1e-6);
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub struct IlpSolution {
     pub bound: f64,
     /// Branch-and-bound nodes expanded.
     pub nodes: u64,
+    /// Simplex iterations summed across the root and every node LP.
+    pub lp_iterations: u64,
 }
 
 impl IlpSolution {
@@ -167,6 +169,7 @@ impl BranchAndBound {
             LpStatus::IterationLimit => return Err(IlpError::BudgetExhausted),
             LpStatus::Optimal => {}
         }
+        let mut lp_iterations = root_lp.iterations;
 
         let mut heap = BinaryHeap::new();
         heap.push(Node {
@@ -197,6 +200,7 @@ impl BranchAndBound {
             nodes += 1;
 
             let lp = solve_lp_with_bounds(p, &node.lower, &node.upper, self.lp_iteration_limit);
+            lp_iterations += lp.iterations;
             if lp.status != LpStatus::Optimal {
                 continue; // infeasible (or stalled) subtree
             }
@@ -268,6 +272,7 @@ impl BranchAndBound {
                     objective,
                     bound: open_bound.map_or(objective, |b| b.min(objective)),
                     nodes,
+                    lp_iterations,
                 })
             }
             None => {

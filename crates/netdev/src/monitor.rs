@@ -8,7 +8,7 @@
 //! per traffic group. Snapshots of these counters are what the controller
 //! turns into the `T` matrix of the placement ILP.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netrs_simcore::SimTime;
 use netrs_wire::SourceMarker;
@@ -21,8 +21,10 @@ use crate::pipeline::GroupId;
 pub struct Monitor {
     local: SourceMarker,
     /// `counts[group][tier]` with tier indices 0 (core) / 1 (agg) /
-    /// 2 (rack), matching the paper's Tier-k naming.
-    counts: HashMap<GroupId, [u64; 3]>,
+    /// 2 (rack), matching the paper's Tier-k naming. Ordered so
+    /// [`Monitor::snapshot`] emits groups in ascending id order without
+    /// a per-window sort.
+    counts: BTreeMap<GroupId, [u64; 3]>,
     window_start: SimTime,
 }
 
@@ -58,7 +60,7 @@ impl Monitor {
     pub fn new(local: SourceMarker) -> Self {
         Monitor {
             local,
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             window_start: SimTime::ZERO,
         }
     }
@@ -95,8 +97,10 @@ impl Monitor {
     /// Returns the counters accumulated since the last snapshot and
     /// resets the window.
     pub fn snapshot(&mut self, now: SimTime) -> TrafficSnapshot {
-        let mut counts: Vec<(GroupId, [u64; 3])> = self.counts.drain().collect();
-        counts.sort_unstable_by_key(|&(g, _)| g);
+        // BTreeMap iterates in ascending group order, so the snapshot is
+        // sorted by construction.
+        let counts: Vec<(GroupId, [u64; 3])> =
+            std::mem::take(&mut self.counts).into_iter().collect();
         let snap = TrafficSnapshot {
             local: self.local,
             counts,

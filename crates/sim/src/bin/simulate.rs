@@ -23,7 +23,7 @@ fn usage() -> ! {
          [--requests N] [--clients N] [--utilization F] [--skew F] [--seed N] \
          [--small] [--faults FILE] [--emit-config] [--json] \
          [--trace FILE] [--trace-hops] [--timeseries FILE] [--sample-every-us N] \
-         [--devices FILE] [--progress]"
+         [--devices FILE] [--control FILE] [--progress]"
     );
     std::process::exit(2);
 }
@@ -44,6 +44,7 @@ fn main() {
     let mut trace_hops = false;
     let mut timeseries_path: Option<String> = None;
     let mut devices_path: Option<String> = None;
+    let mut control_path: Option<String> = None;
     let mut sample_every_us: u64 = 10_000;
     let mut progress = false;
 
@@ -105,6 +106,7 @@ fn main() {
             "--trace-hops" => trace_hops = true,
             "--timeseries" => timeseries_path = Some(next()),
             "--devices" => devices_path = Some(next()),
+            "--control" => control_path = Some(next()),
             "--sample-every-us" => {
                 sample_every_us = next().parse().unwrap_or_else(|_| usage());
                 if sample_every_us == 0 {
@@ -138,6 +140,9 @@ fn main() {
             ..SamplerSpec::default()
         }),
         device_stats: devices_path.is_some(),
+        control: control_path
+            .as_deref()
+            .map(|p| Box::new(create(p)) as Box<dyn std::io::Write + Send>),
         progress,
     };
     let out = run_observed(cfg, obs);

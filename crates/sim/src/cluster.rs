@@ -41,7 +41,7 @@ use netrs_topology::{FatTree, SwitchId};
 use netrs_faults::FaultEvent;
 
 use crate::config::SimConfig;
-use crate::obs::{DeviceStatsReport, SamplerSpec, TimeSeries};
+use crate::obs::{DeviceStatsReport, PlanEventRecord, SamplerSpec, TimeSeries};
 use crate::policy::{NotInNetwork, SchemePolicy};
 use crate::server::ServerToken;
 use crate::state::{Core, RetryAction};
@@ -255,6 +255,21 @@ impl<D: DeviceProbe> Cluster<D> {
         self.core.flush_tracer();
     }
 
+    /// Streams control-plane observability to `w`: one JSONL
+    /// [`ControlRecord`](crate::obs::ControlRecord) per monitor snapshot
+    /// window, controller decision, and DRS failure span. Like the
+    /// tracer, the sink only writes; it never perturbs event timing,
+    /// randomness or the controller's decisions.
+    pub fn set_control(&mut self, w: Box<dyn std::io::Write + Send>) {
+        self.core.set_control(w);
+    }
+
+    /// Closes still-open DRS failure spans at `now` and flushes the
+    /// control sink, if any (call after the run drains).
+    pub fn flush_control(&mut self, now: SimTime) {
+        self.core.flush_control(now);
+    }
+
     /// Whether all issued requests have completed and no more will be
     /// issued.
     #[must_use]
@@ -313,6 +328,48 @@ impl<D: DeviceProbe> Cluster<D> {
     #[must_use]
     pub fn issued(&self) -> u64 {
         self.core.issued
+    }
+
+    /// Builds the decision-audit record for a fault-triggered plan edit
+    /// (failure detection or recovery) against the now-installed plan.
+    /// No solve runs for these: the controller edits the plan directly.
+    fn fault_audit(
+        &self,
+        now: SimTime,
+        trigger: &str,
+        sw: SwitchId,
+        groups: &[u32],
+        recovery: bool,
+    ) -> PlanEventRecord {
+        let (rsnodes, drs_groups) = match self.policy.current_plan() {
+            Some(p) => (p.rsnodes().len() as u32, p.drs.len() as u32),
+            None => (0, 0),
+        };
+        let touched = groups.to_vec();
+        let op_change = if touched.is_empty() {
+            Vec::new()
+        } else {
+            vec![sw.0]
+        };
+        let (newly_assigned, unassigned, rsnodes_added, rsnodes_removed) = if recovery {
+            (touched, Vec::new(), op_change, Vec::new())
+        } else {
+            (Vec::new(), touched, Vec::new(), op_change)
+        };
+        PlanEventRecord {
+            t_ns: now.as_nanos(),
+            trigger: trigger.into(),
+            switch: Some(sw.0),
+            solve: None,
+            reassigned: Vec::new(),
+            newly_assigned,
+            unassigned,
+            rsnodes_added,
+            rsnodes_removed,
+            rsnodes,
+            drs_groups,
+            rules_recompiled: self.core.fabric.topo.num_switches(),
+        }
     }
 
     /// Logical requests completed so far.
@@ -397,6 +454,9 @@ impl<D: DeviceProbe> World for Cluster<D> {
                 Some(FaultEvent::OperatorFail { switch }) => {
                     let sw = SwitchId(switch);
                     if self.policy.operator_crashed(sw) {
+                        if let Some(log) = self.core.control_log() {
+                            log.operator_failed(now.as_nanos(), sw.0);
+                        }
                         // The controller only learns of the fail-stop
                         // after the plan's detection delay; until then
                         // steered packets blackhole.
@@ -405,8 +465,14 @@ impl<D: DeviceProbe> World for Cluster<D> {
                     }
                 }
                 Some(FaultEvent::OperatorRecover { switch }) => {
-                    self.policy
-                        .recover_operator(&mut self.core, now, SwitchId(switch));
+                    let sw = SwitchId(switch);
+                    let restored = self.policy.recover_operator(&mut self.core, now, sw);
+                    if self.core.control_log().is_some() {
+                        let rec = self.fault_audit(now, "operator_recover", sw, &restored, true);
+                        if let Some(log) = self.core.control_log() {
+                            log.operator_recovered(rec);
+                        }
+                    }
                 }
                 _ => {} // server / link / loss faults applied by the core
             },
@@ -429,7 +495,14 @@ impl<D: DeviceProbe> World for Cluster<D> {
             Ev::OperatorDetect { sw } => {
                 // For client schemes (a cross-applied plan) there is
                 // nothing to reroute.
-                let _ = self.policy.fail_operator(sw);
+                if let Ok(affected) = self.policy.fail_operator(sw) {
+                    if self.core.control_log().is_some() {
+                        let rec = self.fault_audit(now, "operator_fail", sw, &affected, false);
+                        if let Some(log) = self.core.control_log() {
+                            log.operator_detected(rec, &affected);
+                        }
+                    }
+                }
             }
         }
     }

@@ -49,8 +49,9 @@ pub use netrs_faults::{
 };
 pub use netrs_simcore::EngineProfile;
 pub use obs::{
-    DeviceRecord, DeviceStatsReport, HopSpan, ObsOptions, SamplePoint, SamplerSpec, TimeSeries,
-    TraceRecord,
+    ControlRecord, DeviceRecord, DeviceStatsReport, DisplacedGroup, DrsSpanRecord, HopSpan,
+    ObsOptions, PlanEventRecord, SamplePoint, SamplerSpec, SnapshotGroup, SnapshotRecord,
+    SolveRecord, TimeSeries, TraceRecord,
 };
 pub use policy::NotInNetwork;
 pub use runner::{run, run_all_schemes, run_observed, run_seeds, RunOutput};

@@ -7,8 +7,10 @@
 //! does (the sampler adds events only when enabled, and the tracer only
 //! writes — it never perturbs timing).
 
+use std::collections::BTreeMap;
 use std::io::{self, Write};
 
+use netrs_netdev::TrafficSnapshot;
 use netrs_simcore::{RingSeries, SimDuration};
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -372,6 +374,546 @@ impl DeviceStatsReport {
     }
 }
 
+// ---- control-plane observability ------------------------------------------
+
+/// One traffic group's share of a monitor window (a [`SnapshotRecord`]
+/// entry): raw per-tier packet counts and the rates the controller's
+/// [`TrafficMatrix`](netrs::TrafficMatrix) aggregation derives from them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotGroup {
+    /// The traffic group.
+    pub group: u32,
+    /// `[tier0, tier1, tier2]` responses observed in the window.
+    pub counts: [u64; 3],
+    /// The per-tier rates (responses/second) over the window.
+    pub rates: [f64; 3],
+}
+
+impl Serialize for SnapshotGroup {
+    fn ser(&self) -> Value {
+        Value::Obj(vec![
+            ("group".into(), Value::U(u128::from(self.group))),
+            ("counts".into(), self.counts.ser()),
+            ("rates".into(), self.rates.ser()),
+        ])
+    }
+}
+
+impl Deserialize for SnapshotGroup {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_obj()
+            .ok_or_else(|| DeError::custom("expected object for SnapshotGroup"))?;
+        Ok(SnapshotGroup {
+            group: serde::field(entries, "group", "SnapshotGroup").and_then(u32::deser)?,
+            counts: serde::field(entries, "counts", "SnapshotGroup").and_then(<[u64; 3]>::deser)?,
+            rates: serde::field(entries, "rates", "SnapshotGroup").and_then(<[f64; 3]>::deser)?,
+        })
+    }
+}
+
+/// One `--control` JSONL line of kind `snapshot`: a per-ToR monitor
+/// window ([`TrafficSnapshot`]) exactly as the controller consumed it.
+/// Windows of one ToR abut (`to_ns` of one window is `from_ns` of the
+/// next) and `groups` is sorted by group id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotRecord {
+    /// The measuring ToR switch.
+    pub tor: u32,
+    /// The ToR's pod.
+    pub pod: u32,
+    /// Window start (sim nanoseconds).
+    pub from_ns: u64,
+    /// Window end (the snapshot instant).
+    pub to_ns: u64,
+    /// Per-group counts and rates, ascending group order.
+    pub groups: Vec<SnapshotGroup>,
+}
+
+impl SnapshotRecord {
+    /// Flattens a monitor window into its export record.
+    #[must_use]
+    pub fn from_snapshot(snap: &TrafficSnapshot) -> Self {
+        SnapshotRecord {
+            tor: u32::from(snap.local.rack),
+            pod: u32::from(snap.local.pod),
+            from_ns: snap.from.as_nanos(),
+            to_ns: snap.to.as_nanos(),
+            groups: snap
+                .counts
+                .iter()
+                .map(|&(g, counts)| SnapshotGroup {
+                    group: g,
+                    counts,
+                    rates: snap.rates(counts),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Serialize for SnapshotRecord {
+    fn ser(&self) -> Value {
+        Value::Obj(vec![
+            ("kind".into(), Value::Str("snapshot".into())),
+            ("tor".into(), Value::U(u128::from(self.tor))),
+            ("pod".into(), Value::U(u128::from(self.pod))),
+            ("from_ns".into(), Value::U(u128::from(self.from_ns))),
+            ("to_ns".into(), Value::U(u128::from(self.to_ns))),
+            ("groups".into(), self.groups.ser()),
+        ])
+    }
+}
+
+impl Deserialize for SnapshotRecord {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_obj()
+            .ok_or_else(|| DeError::custom("expected object for SnapshotRecord"))?;
+        let f = |name: &str| serde::field(entries, name, "SnapshotRecord");
+        Ok(SnapshotRecord {
+            tor: f("tor").and_then(u32::deser)?,
+            pod: f("pod").and_then(u32::deser)?,
+            from_ns: f("from_ns").and_then(u64::deser)?,
+            to_ns: f("to_ns").and_then(u64::deser)?,
+            groups: f("groups").and_then(Vec::<SnapshotGroup>::deser)?,
+        })
+    }
+}
+
+/// Solver-effort metrics of one plan solve, carried by
+/// [`PlanEventRecord`].
+///
+/// Effort is reported in deterministic units — simplex iterations and
+/// branch-and-bound nodes — rather than wall-clock time, so the control
+/// stream stays byte-identical across runs of the same seed (wall time
+/// is not; DESIGN.md discusses the tradeoff).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveRecord {
+    /// Whether the greedy fallback produced the plan (no ILP ran).
+    pub greedy: bool,
+    /// ILP decision variables (0 for greedy plans).
+    pub variables: u64,
+    /// ILP constraint rows (0 for greedy plans).
+    pub constraints: u64,
+    /// Simplex iterations summed over every LP relaxation solved.
+    pub lp_iterations: u64,
+    /// Branch-and-bound nodes expanded.
+    pub branch_nodes: u64,
+    /// The objective value of the installed plan (RSNode count).
+    pub objective: f64,
+}
+
+impl Serialize for SolveRecord {
+    fn ser(&self) -> Value {
+        Value::Obj(vec![
+            ("greedy".into(), Value::Bool(self.greedy)),
+            ("variables".into(), Value::U(u128::from(self.variables))),
+            ("constraints".into(), Value::U(u128::from(self.constraints))),
+            (
+                "lp_iterations".into(),
+                Value::U(u128::from(self.lp_iterations)),
+            ),
+            (
+                "branch_nodes".into(),
+                Value::U(u128::from(self.branch_nodes)),
+            ),
+            ("objective".into(), Value::F(self.objective)),
+        ])
+    }
+}
+
+impl Deserialize for SolveRecord {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_obj()
+            .ok_or_else(|| DeError::custom("expected object for SolveRecord"))?;
+        let f = |name: &str| serde::field(entries, name, "SolveRecord");
+        Ok(SolveRecord {
+            greedy: f("greedy").and_then(bool::deser)?,
+            variables: f("variables").and_then(u64::deser)?,
+            constraints: f("constraints").and_then(u64::deser)?,
+            lp_iterations: f("lp_iterations").and_then(u64::deser)?,
+            branch_nodes: f("branch_nodes").and_then(u64::deser)?,
+            objective: f("objective").and_then(f64::deser)?,
+        })
+    }
+}
+
+/// One `--control` JSONL line of kind `plan`: a controller decision —
+/// what triggered it, the solver effort (when a solve ran), and the
+/// structured diff against the previously installed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEventRecord {
+    /// When the decision was made (sim nanoseconds).
+    pub t_ns: u64,
+    /// What prompted it: `initial`, `replan`, `operator_fail`,
+    /// `operator_recover` or `overload`.
+    pub trigger: String,
+    /// The operator switch concerned (fault/overload triggers only).
+    pub switch: Option<u32>,
+    /// Solver-effort metrics; absent when no solve ran (fault/overload
+    /// degradations and the NetRS-ToR bootstrap edit the plan directly).
+    pub solve: Option<SolveRecord>,
+    /// Groups moved from one RSNode to another.
+    pub reassigned: Vec<u32>,
+    /// Groups that gained an RSNode (previously DRS or unplanned).
+    pub newly_assigned: Vec<u32>,
+    /// Groups that lost their RSNode (now DRS).
+    pub unassigned: Vec<u32>,
+    /// Switches that newly host an RSNode.
+    pub rsnodes_added: Vec<u32>,
+    /// Switches that no longer host one.
+    pub rsnodes_removed: Vec<u32>,
+    /// RSNodes in the installed plan after the decision.
+    pub rsnodes: u32,
+    /// Groups under Degraded Replica Selection after the decision.
+    pub drs_groups: u32,
+    /// Per-switch rule sets recompiled by the redeploy that followed.
+    pub rules_recompiled: u32,
+}
+
+impl PlanEventRecord {
+    /// Groups whose routing the decision changed.
+    #[must_use]
+    pub fn groups_touched(&self) -> usize {
+        self.reassigned.len() + self.newly_assigned.len() + self.unassigned.len()
+    }
+}
+
+fn group_list(v: &[u32]) -> Value {
+    Value::Arr(v.iter().map(|&g| Value::U(u128::from(g))).collect())
+}
+
+impl Serialize for PlanEventRecord {
+    fn ser(&self) -> Value {
+        let mut o: Vec<(String, Value)> = vec![
+            ("kind".into(), Value::Str("plan".into())),
+            ("t_ns".into(), Value::U(u128::from(self.t_ns))),
+            ("trigger".into(), Value::Str(self.trigger.clone())),
+        ];
+        if let Some(sw) = self.switch {
+            o.push(("switch".into(), Value::U(u128::from(sw))));
+        }
+        if let Some(solve) = &self.solve {
+            o.push(("solve".into(), solve.ser()));
+        }
+        o.push(("reassigned".into(), group_list(&self.reassigned)));
+        o.push(("newly_assigned".into(), group_list(&self.newly_assigned)));
+        o.push(("unassigned".into(), group_list(&self.unassigned)));
+        o.push(("rsnodes_added".into(), group_list(&self.rsnodes_added)));
+        o.push(("rsnodes_removed".into(), group_list(&self.rsnodes_removed)));
+        o.push(("rsnodes".into(), Value::U(u128::from(self.rsnodes))));
+        o.push(("drs_groups".into(), Value::U(u128::from(self.drs_groups))));
+        o.push((
+            "rules_recompiled".into(),
+            Value::U(u128::from(self.rules_recompiled)),
+        ));
+        Value::Obj(o)
+    }
+}
+
+impl Deserialize for PlanEventRecord {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_obj()
+            .ok_or_else(|| DeError::custom("expected object for PlanEventRecord"))?;
+        let f = |name: &str| serde::field(entries, name, "PlanEventRecord");
+        let groups = |name: &str| f(name).and_then(Vec::<u32>::deser);
+        Ok(PlanEventRecord {
+            t_ns: f("t_ns").and_then(u64::deser)?,
+            trigger: f("trigger").and_then(String::deser)?,
+            switch: match v.get("switch") {
+                Some(sw) => Some(u32::deser(sw)?),
+                None => None,
+            },
+            solve: match v.get("solve") {
+                Some(solve) => Some(SolveRecord::deser(solve)?),
+                None => None,
+            },
+            reassigned: groups("reassigned")?,
+            newly_assigned: groups("newly_assigned")?,
+            unassigned: groups("unassigned")?,
+            rsnodes_added: groups("rsnodes_added")?,
+            rsnodes_removed: groups("rsnodes_removed")?,
+            rsnodes: f("rsnodes").and_then(u32::deser)?,
+            drs_groups: f("drs_groups").and_then(u32::deser)?,
+            rules_recompiled: f("rules_recompiled").and_then(u32::deser)?,
+        })
+    }
+}
+
+/// One traffic group's displacement inside a [`DrsSpanRecord`]: how long
+/// the group routed via Degraded Replica Selection before a re-plan
+/// re-homed it or its operator recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisplacedGroup {
+    /// The displaced traffic group.
+    pub group: u32,
+    /// Total sim time the group spent degraded during the episode.
+    pub displaced_ns: u64,
+}
+
+impl Serialize for DisplacedGroup {
+    fn ser(&self) -> Value {
+        Value::Obj(vec![
+            ("group".into(), Value::U(u128::from(self.group))),
+            (
+                "displaced_ns".into(),
+                Value::U(u128::from(self.displaced_ns)),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for DisplacedGroup {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_obj()
+            .ok_or_else(|| DeError::custom("expected object for DisplacedGroup"))?;
+        Ok(DisplacedGroup {
+            group: serde::field(entries, "group", "DisplacedGroup").and_then(u32::deser)?,
+            displaced_ns: serde::field(entries, "displaced_ns", "DisplacedGroup")
+                .and_then(u64::deser)?,
+        })
+    }
+}
+
+/// One `--control` JSONL line of kind `drs_span`: an operator-failure
+/// episode joined end-to-end — crash, controller detection (when the
+/// affected groups degrade to DRS), and recovery — with per-group
+/// displaced-time attribution. Emitted when the operator recovers, or at
+/// end of run with `recover_ns` omitted if it never did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrsSpanRecord {
+    /// The failed operator's switch.
+    pub switch: u32,
+    /// When the operator crashed (sim nanoseconds).
+    pub fail_ns: u64,
+    /// When the controller detected the crash and degraded the groups;
+    /// absent if the run ended inside the detection delay.
+    pub detect_ns: Option<u64>,
+    /// When the operator recovered; absent if the run ended first.
+    pub recover_ns: Option<u64>,
+    /// Displaced groups, ascending group order.
+    pub groups: Vec<DisplacedGroup>,
+}
+
+impl DrsSpanRecord {
+    /// Total group-time displaced over the episode (ns summed across
+    /// groups).
+    #[must_use]
+    pub fn total_displaced_ns(&self) -> u64 {
+        self.groups.iter().map(|g| g.displaced_ns).sum()
+    }
+}
+
+impl Serialize for DrsSpanRecord {
+    fn ser(&self) -> Value {
+        let mut o: Vec<(String, Value)> = vec![
+            ("kind".into(), Value::Str("drs_span".into())),
+            ("switch".into(), Value::U(u128::from(self.switch))),
+            ("fail_ns".into(), Value::U(u128::from(self.fail_ns))),
+        ];
+        if let Some(t) = self.detect_ns {
+            o.push(("detect_ns".into(), Value::U(u128::from(t))));
+        }
+        if let Some(t) = self.recover_ns {
+            o.push(("recover_ns".into(), Value::U(u128::from(t))));
+        }
+        o.push(("groups".into(), self.groups.ser()));
+        Value::Obj(o)
+    }
+}
+
+impl Deserialize for DrsSpanRecord {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_obj()
+            .ok_or_else(|| DeError::custom("expected object for DrsSpanRecord"))?;
+        let f = |name: &str| serde::field(entries, name, "DrsSpanRecord");
+        let opt = |name: &str| match v.get(name) {
+            Some(t) => u64::deser(t).map(Some),
+            None => Ok(None),
+        };
+        Ok(DrsSpanRecord {
+            switch: f("switch").and_then(u32::deser)?,
+            fail_ns: f("fail_ns").and_then(u64::deser)?,
+            detect_ns: opt("detect_ns")?,
+            recover_ns: opt("recover_ns")?,
+            groups: f("groups").and_then(Vec::<DisplacedGroup>::deser)?,
+        })
+    }
+}
+
+/// One parsed `--control` JSONL line, tagged by its `kind` field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlRecord {
+    /// A per-ToR monitor window (`kind: "snapshot"`).
+    Snapshot(SnapshotRecord),
+    /// A controller decision (`kind: "plan"`).
+    Plan(PlanEventRecord),
+    /// A joined operator-failure episode (`kind: "drs_span"`).
+    DrsSpan(DrsSpanRecord),
+}
+
+impl Serialize for ControlRecord {
+    fn ser(&self) -> Value {
+        match self {
+            ControlRecord::Snapshot(r) => r.ser(),
+            ControlRecord::Plan(r) => r.ser(),
+            ControlRecord::DrsSpan(r) => r.ser(),
+        }
+    }
+}
+
+impl Deserialize for ControlRecord {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let kind = v
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or_else(|| DeError::custom("control record without a kind field"))?;
+        match kind {
+            "snapshot" => SnapshotRecord::deser(v).map(ControlRecord::Snapshot),
+            "plan" => PlanEventRecord::deser(v).map(ControlRecord::Plan),
+            "drs_span" => DrsSpanRecord::deser(v).map(ControlRecord::DrsSpan),
+            other => Err(DeError::custom(format!(
+                "unknown control record kind {other:?}"
+            ))),
+        }
+    }
+}
+
+/// An operator-failure episode still in flight.
+struct OpenSpan {
+    fail_ns: u64,
+    detect_ns: Option<u64>,
+    /// Degraded groups still displaced → when each entered DRS.
+    in_drs: BTreeMap<u32, u64>,
+    /// Groups whose displacement already ended (a re-plan re-homed
+    /// them), with their accumulated displaced time.
+    displaced: Vec<DisplacedGroup>,
+}
+
+/// The control-plane observability sink: serializes snapshot, plan and
+/// DRS-span records to one JSONL stream and joins operator-failure
+/// episodes across crash / detection / recovery so each is emitted as a
+/// single span.
+///
+/// Like the tracer, the sink only writes — it never perturbs event
+/// timing, randomness or the controller's decisions.
+pub struct ControlLog {
+    w: Box<dyn Write + Send>,
+    open: BTreeMap<u32, OpenSpan>,
+}
+
+impl ControlLog {
+    pub(crate) fn new(w: Box<dyn Write + Send>) -> Self {
+        ControlLog {
+            w,
+            open: BTreeMap::new(),
+        }
+    }
+
+    fn write(&mut self, rec: &ControlRecord) {
+        let line = serde_json::to_string(rec).expect("control record serializes");
+        let _ = writeln!(self.w, "{line}");
+    }
+
+    /// Emits one monitor window.
+    pub(crate) fn snapshot(&mut self, snap: &TrafficSnapshot) {
+        let rec = ControlRecord::Snapshot(SnapshotRecord::from_snapshot(snap));
+        self.write(&rec);
+    }
+
+    /// Emits one controller decision. Groups the decision (re)assigned
+    /// stop accruing displaced time in any open failure episode.
+    pub(crate) fn plan_event(&mut self, rec: PlanEventRecord) {
+        for &g in rec.newly_assigned.iter().chain(rec.reassigned.iter()) {
+            for span in self.open.values_mut() {
+                if let Some(since) = span.in_drs.remove(&g) {
+                    span.displaced.push(DisplacedGroup {
+                        group: g,
+                        displaced_ns: rec.t_ns - since,
+                    });
+                }
+            }
+        }
+        self.write(&ControlRecord::Plan(rec));
+    }
+
+    /// Opens a failure episode: the operator at `sw` crashed (the
+    /// controller does not know yet).
+    pub(crate) fn operator_failed(&mut self, t_ns: u64, sw: u32) {
+        self.open.entry(sw).or_insert(OpenSpan {
+            fail_ns: t_ns,
+            detect_ns: None,
+            in_drs: BTreeMap::new(),
+            displaced: Vec::new(),
+        });
+    }
+
+    /// The controller detected the crash: records the detection instant
+    /// and the groups that started routing via DRS, then emits the
+    /// decision record.
+    pub(crate) fn operator_detected(&mut self, rec: PlanEventRecord, affected: &[u32]) {
+        let sw = rec.switch.expect("failure records name their switch");
+        let t_ns = rec.t_ns;
+        let span = self.open.entry(sw).or_insert(OpenSpan {
+            fail_ns: t_ns,
+            detect_ns: None,
+            in_drs: BTreeMap::new(),
+            displaced: Vec::new(),
+        });
+        span.detect_ns = Some(t_ns);
+        for &g in affected {
+            span.in_drs.insert(g, t_ns);
+        }
+        self.plan_event(rec);
+    }
+
+    /// The operator recovered: emits the decision record, closes the
+    /// episode and emits its joined span. No-op if no episode was open
+    /// (recover faults against never-failed operators).
+    pub(crate) fn operator_recovered(&mut self, rec: PlanEventRecord) {
+        let sw = rec.switch.expect("recovery records name their switch");
+        if !self.open.contains_key(&sw) {
+            return;
+        }
+        let t_ns = rec.t_ns;
+        // plan_event closes the restored groups' displacement windows.
+        self.plan_event(rec);
+        let span = self.open.remove(&sw).expect("episode checked above");
+        self.emit_span(sw, span, Some(t_ns), t_ns);
+    }
+
+    /// Emits spans for episodes still open at end of run (never
+    /// recovered) and flushes the sink.
+    pub(crate) fn finish(&mut self, t_ns: u64) {
+        for (sw, span) in std::mem::take(&mut self.open) {
+            self.emit_span(sw, span, None, t_ns);
+        }
+        let _ = self.w.flush();
+    }
+
+    fn emit_span(&mut self, sw: u32, mut span: OpenSpan, recover_ns: Option<u64>, t_ns: u64) {
+        for (g, since) in std::mem::take(&mut span.in_drs) {
+            span.displaced.push(DisplacedGroup {
+                group: g,
+                displaced_ns: t_ns - since,
+            });
+        }
+        span.displaced.sort_unstable_by_key(|d| d.group);
+        self.write(&ControlRecord::DrsSpan(DrsSpanRecord {
+            switch: sw,
+            fail_ns: span.fail_ns,
+            detect_ns: span.detect_ns,
+            recover_ns,
+            groups: span.displaced,
+        }));
+    }
+}
+
 /// What to observe during a run. The default observes nothing and is
 /// exactly the classic [`run`](crate::run).
 #[derive(Default)]
@@ -386,6 +928,10 @@ pub struct ObsOptions {
     /// Accumulate the per-device telemetry registry and return a
     /// [`DeviceStatsReport`].
     pub device_stats: bool,
+    /// JSONL sink for control-plane [`ControlRecord`] lines: monitor
+    /// snapshot windows, controller decision audits and DRS failure
+    /// spans.
+    pub control: Option<Box<dyn Write + Send>>,
     /// Print a once-per-second heartbeat to stderr while running.
     pub progress: bool,
 }
@@ -397,6 +943,7 @@ impl std::fmt::Debug for ObsOptions {
             .field("trace_hops", &self.trace_hops)
             .field("timeseries", &self.timeseries)
             .field("device_stats", &self.device_stats)
+            .field("control", &self.control.is_some())
             .field("progress", &self.progress)
             .finish()
     }
@@ -477,12 +1024,144 @@ mod tests {
         assert_eq!(p0.t_ns, 0);
     }
 
+    fn plan_rec(t_ns: u64, trigger: &str, switch: Option<u32>) -> PlanEventRecord {
+        PlanEventRecord {
+            t_ns,
+            trigger: trigger.into(),
+            switch,
+            solve: None,
+            reassigned: Vec::new(),
+            newly_assigned: Vec::new(),
+            unassigned: Vec::new(),
+            rsnodes_added: Vec::new(),
+            rsnodes_removed: Vec::new(),
+            rsnodes: 2,
+            drs_groups: 0,
+            rules_recompiled: 20,
+        }
+    }
+
+    #[test]
+    fn control_records_round_trip_through_json() {
+        let snap = ControlRecord::Snapshot(SnapshotRecord {
+            tor: 3,
+            pod: 1,
+            from_ns: 0,
+            to_ns: 500_000_000,
+            groups: vec![SnapshotGroup {
+                group: 2,
+                counts: [1, 2, 3],
+                rates: [2.0, 4.0, 6.0],
+            }],
+        });
+        let mut plan = plan_rec(500_000_000, "replan", None);
+        plan.solve = Some(SolveRecord {
+            greedy: false,
+            variables: 40,
+            constraints: 21,
+            lp_iterations: 37,
+            branch_nodes: 1,
+            objective: 2.0,
+        });
+        plan.reassigned = vec![1];
+        let span = ControlRecord::DrsSpan(DrsSpanRecord {
+            switch: 5,
+            fail_ns: 100,
+            detect_ns: Some(200),
+            recover_ns: None,
+            groups: vec![DisplacedGroup {
+                group: 1,
+                displaced_ns: 300,
+            }],
+        });
+        for rec in [snap, ControlRecord::Plan(plan), span] {
+            let line = serde_json::to_string(&rec).unwrap();
+            let back: ControlRecord = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, rec);
+        }
+        // Optional fields are omitted, not null.
+        let bare = ControlRecord::Plan(plan_rec(0, "initial", None));
+        let line = serde_json::to_string(&bare).unwrap();
+        assert!(
+            !line.contains("switch") && !line.contains("solve"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn control_log_joins_failure_episodes_into_spans() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf(Arc::new(Mutex::new(Vec::new())));
+        let mut log = ControlLog::new(Box::new(buf.clone()));
+        log.operator_failed(100, 5);
+        let mut detect = plan_rec(200, "operator_fail", Some(5));
+        detect.unassigned = vec![1, 2];
+        log.operator_detected(detect, &[1, 2]);
+        // A re-plan re-homes group 1 mid-episode.
+        let mut replan = plan_rec(600, "replan", None);
+        replan.newly_assigned = vec![1];
+        log.plan_event(replan);
+        let mut recover = plan_rec(1_000, "operator_recover", Some(5));
+        recover.newly_assigned = vec![2];
+        log.operator_recovered(recover);
+        log.finish(1_000);
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let recs: Vec<ControlRecord> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(recs.len(), 4, "{text}");
+        let ControlRecord::DrsSpan(span) = &recs[3] else {
+            panic!("last record is the joined span: {text}");
+        };
+        assert_eq!(span.switch, 5);
+        assert_eq!(span.fail_ns, 100);
+        assert_eq!(span.detect_ns, Some(200));
+        assert_eq!(span.recover_ns, Some(1_000));
+        assert_eq!(
+            span.groups,
+            vec![
+                DisplacedGroup {
+                    group: 1,
+                    displaced_ns: 400, // re-homed at the 600 ns re-plan
+                },
+                DisplacedGroup {
+                    group: 2,
+                    displaced_ns: 800, // displaced until recovery
+                },
+            ]
+        );
+        assert_eq!(span.total_displaced_ns(), 1_200);
+
+        // Recover faults against never-failed operators emit nothing.
+        log.operator_recovered(plan_rec(2_000, "operator_recover", Some(9)));
+        log.finish(2_000);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 4);
+    }
+
     #[test]
     fn default_obs_options_observe_nothing() {
         let obs = ObsOptions::default();
         assert!(obs.trace.is_none());
         assert!(obs.timeseries.is_none());
+        assert!(obs.control.is_none());
         assert!(!obs.progress);
         assert!(format!("{obs:?}").contains("trace: false"));
+        assert!(format!("{obs:?}").contains("control: false"));
     }
 }

@@ -208,9 +208,11 @@ pub(crate) trait SchemePolicy<D: DeviceProbe>: Send {
 
     /// A crashed operator comes back (fault plan `OperatorRecover`): the
     /// controller restores its traffic groups and reinstalls a fresh
-    /// selector.
-    fn recover_operator(&mut self, core: &mut Core<D>, now: SimTime, sw: SwitchId) {
+    /// selector. Returns the restored groups (empty for client schemes
+    /// and for operators that never failed).
+    fn recover_operator(&mut self, core: &mut Core<D>, now: SimTime, sw: SwitchId) -> Vec<u32> {
         let _ = (core, now, sw);
+        Vec::new()
     }
 
     /// A read's retry timer fired and the request is being re-steered

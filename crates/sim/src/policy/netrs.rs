@@ -10,7 +10,9 @@
 
 use std::collections::BTreeSet;
 
-use netrs::{ControllerConfig, NetRsController, Rsp, TrafficGroups, TrafficMatrix};
+use netrs::{
+    ControllerConfig, NetRsController, PlanDiff, PlanSolveStats, Rsp, TrafficGroups, TrafficMatrix,
+};
 use netrs_kvstore::ServerId;
 use netrs_netdev::{Accelerator, IngressAction, Monitor, NetRsRules, PacketMeta, RsOperator};
 use netrs_selection::Feedback;
@@ -24,10 +26,45 @@ use crate::cluster::{Ev, ReqId};
 use crate::config::{PlanSource, SimConfig};
 use crate::dense::SwitchTable;
 use crate::fabric::HopSink;
+use crate::obs::{PlanEventRecord, SolveRecord};
 use crate::server::ServerToken;
 use crate::state::{flow_hash, Core, REQ_BYTES, RESP_BYTES};
 
 use super::{ControlStats, ReplyInfo, SchemePolicy};
+
+/// Builds the decision-audit record for a plan event, from the diff the
+/// solve produced and the plan it installed.
+fn plan_record(
+    t_ns: u64,
+    trigger: &str,
+    switch: Option<u32>,
+    stats: Option<PlanSolveStats>,
+    diff: PlanDiff,
+    plan: &Rsp,
+    rules_recompiled: u32,
+) -> PlanEventRecord {
+    PlanEventRecord {
+        t_ns,
+        trigger: trigger.into(),
+        switch,
+        solve: stats.map(|s| SolveRecord {
+            greedy: s.greedy,
+            variables: s.variables as u64,
+            constraints: s.constraints as u64,
+            lp_iterations: s.lp_iterations,
+            branch_nodes: s.branch_nodes,
+            objective: s.objective,
+        }),
+        reassigned: diff.reassigned,
+        newly_assigned: diff.newly_assigned,
+        unassigned: diff.unassigned,
+        rsnodes_added: diff.rsnodes_added.iter().map(|sw| sw.0).collect(),
+        rsnodes_removed: diff.rsnodes_removed.iter().map(|sw| sw.0).collect(),
+        rsnodes: plan.rsnodes().len() as u32,
+        drs_groups: plan.drs.len() as u32,
+        rules_recompiled,
+    }
+}
 
 /// Control-plane and device state shared by both in-network schemes: the
 /// controller with its installed plan, the deployed switch rules, the
@@ -48,6 +85,9 @@ struct InNetwork {
     /// recovered: packets steered there blackhole until the controller
     /// detects the failure and reroutes.
     dead_operators: BTreeSet<SwitchId>,
+    /// The bootstrap plan's audit payload, held until `prime` (the first
+    /// hook with mutable core access) can emit it. `None` afterwards.
+    bootstrap: Option<(PlanDiff, Option<PlanSolveStats>)>,
 }
 
 impl InNetwork {
@@ -65,18 +105,21 @@ impl InNetwork {
                 constraints: cfg.plan.clone(),
             },
         );
-        let rsp = if oracle {
+        let bootstrap = if oracle {
             let traffic = TrafficMatrix::oracle(
                 &core.fabric.topo,
                 &groups,
                 &core.client_rates(),
                 &core.server_hosts,
             );
-            controller.plan(&groups, &traffic, cfg.plan_solver).clone()
+            let (diff, stats) = controller.plan_with_stats(&groups, &traffic, cfg.plan_solver);
+            (diff, Some(stats))
         } else {
-            Rsp::tor_plan(&groups)
+            let rsp = Rsp::tor_plan(&groups);
+            let diff = PlanDiff::between(&Rsp::default(), &rsp);
+            controller.install(rsp);
+            (diff, None)
         };
-        controller.install(rsp);
         let num_switches = core.fabric.topo.num_switches();
         let rules = SwitchTable::from_map(num_switches, controller.deploy(&groups));
         let mut net = InNetwork {
@@ -88,6 +131,7 @@ impl InNetwork {
             retired_operators: Vec::new(),
             last_accel_busy: vec![0; num_switches as usize],
             dead_operators: BTreeSet::new(),
+            bootstrap: Some(bootstrap),
         };
         net.rebuild_operators(cfg, root.clone());
 
@@ -136,6 +180,30 @@ impl InNetwork {
     fn prime_overload<D: DeviceProbe>(&self, core: &Core<D>, queue: &mut EventQueue<Ev>) {
         if let Some(policy) = core.cfg.overload {
             queue.schedule_after(policy.interval, Ev::OverloadCheck);
+        }
+    }
+
+    /// Emits the bootstrap plan's decision-audit record, once, if a
+    /// control sink is attached (called from `prime`, the first hook
+    /// with mutable core access; the plan itself was computed at
+    /// construction, before sim time started).
+    fn audit_bootstrap<D: DeviceProbe>(&mut self, core: &mut Core<D>) {
+        let Some((diff, stats)) = self.bootstrap.take() else {
+            return;
+        };
+        if core.control_log().is_some() {
+            let rec = plan_record(
+                0,
+                "initial",
+                None,
+                stats,
+                diff,
+                self.controller.current_plan(),
+                core.fabric.topo.num_switches(),
+            );
+            if let Some(log) = core.control_log() {
+                log.plan_event(rec);
+            }
         }
     }
 
@@ -483,6 +551,7 @@ impl InNetwork {
     fn on_overload_check<D: DeviceProbe>(
         &mut self,
         core: &mut Core<D>,
+        now: SimTime,
         queue: &mut EventQueue<Ev>,
     ) {
         let Some(policy) = core.cfg.overload else {
@@ -513,6 +582,29 @@ impl InNetwork {
             if !affected.is_empty() {
                 core.overload_events += 1;
             }
+            if core.control_log().is_some() {
+                let diff = PlanDiff {
+                    rsnodes_removed: if affected.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![sw]
+                    },
+                    unassigned: affected,
+                    ..PlanDiff::default()
+                };
+                let rec = plan_record(
+                    now.as_nanos(),
+                    "overload",
+                    Some(sw.0),
+                    None,
+                    diff,
+                    self.controller.current_plan(),
+                    self.rules.capacity(),
+                );
+                if let Some(log) = core.control_log() {
+                    log.plan_event(rec);
+                }
+            }
         }
         self.rules
             .reset_from_map(self.controller.deploy(&self.groups));
@@ -539,17 +631,22 @@ impl InNetwork {
     /// Fault-plan `OperatorRecover`: the controller restores the
     /// operator's baseline traffic groups (unless a re-plan reassigned
     /// them meanwhile) and installs a fresh selector — the §II cold-start
-    /// transient applies.
-    fn recover_operator<D: DeviceProbe>(&mut self, core: &Core<D>, now: SimTime, sw: SwitchId) {
+    /// transient applies. Returns the restored groups.
+    fn recover_operator<D: DeviceProbe>(
+        &mut self,
+        core: &Core<D>,
+        now: SimTime,
+        sw: SwitchId,
+    ) -> Vec<u32> {
         if !self.dead_operators.remove(&sw) {
-            return; // never crashed (or already recovered)
+            return Vec::new(); // never crashed (or already recovered)
         }
-        self.controller.on_operator_recovery(sw);
+        let restored = self.controller.on_operator_recovery(sw);
         self.rules
             .reset_from_map(self.controller.deploy(&self.groups));
         let rsnodes = self.controller.current_plan().rsnodes();
         if !rsnodes.contains(&sw) {
-            return; // a re-plan moved its groups elsewhere for good
+            return restored; // a re-plan moved its groups elsewhere for good
         }
         let cfg = &core.cfg;
         let n = rsnodes.len().max(1) as f64;
@@ -565,6 +662,7 @@ impl InNetwork {
                 cfg.accelerator,
             )
         });
+        restored
     }
 
     fn operator_tiers(&self, topo: &FatTree) -> [usize; 3] {
@@ -670,10 +768,10 @@ macro_rules! delegate_in_network {
         fn on_overload_check(
             &mut self,
             core: &mut Core<D>,
-            _now: SimTime,
+            now: SimTime,
             queue: &mut EventQueue<Ev>,
         ) {
-            self.$field.on_overload_check(core, queue);
+            self.$field.on_overload_check(core, now, queue);
         }
 
         fn route_reply(
@@ -704,8 +802,8 @@ macro_rules! delegate_in_network {
             true
         }
 
-        fn recover_operator(&mut self, core: &mut Core<D>, now: SimTime, sw: SwitchId) {
-            self.$field.recover_operator(core, now, sw);
+        fn recover_operator(&mut self, core: &mut Core<D>, now: SimTime, sw: SwitchId) -> Vec<u32> {
+            self.$field.recover_operator(core, now, sw)
         }
 
         fn operator_tiers(&self, topo: &FatTree) -> [usize; 3] {
@@ -742,6 +840,7 @@ impl NetRsToRPolicy {
 impl<D: DeviceProbe> SchemePolicy<D> for NetRsToRPolicy {
     fn prime(&mut self, core: &mut Core<D>, queue: &mut EventQueue<Ev>) {
         self.net.prime_overload(core, queue);
+        self.net.audit_bootstrap(core);
     }
 
     delegate_in_network!(net);
@@ -768,6 +867,7 @@ impl<D: DeviceProbe> SchemePolicy<D> for NetRsIlpPolicy {
             queue.schedule_after(interval, Ev::Replan);
         }
         self.net.prime_overload(core, queue);
+        self.net.audit_bootstrap(core);
     }
 
     fn on_replan(&mut self, core: &mut Core<D>, now: SimTime, queue: &mut EventQueue<Ev>) {
@@ -786,17 +886,39 @@ impl<D: DeviceProbe> SchemePolicy<D> for NetRsIlpPolicy {
                 .map(|(_, m)| m.snapshot(now))
                 .collect();
             let traffic = TrafficMatrix::from_snapshots(net.groups.len(), &snapshots);
+            // Windows stream out even when the re-plan below is skipped:
+            // the control stream sees every snapshot the monitors took.
+            if let Some(log) = core.control_log() {
+                for snap in &snapshots {
+                    log.snapshot(snap);
+                }
+            }
             if traffic.total() <= 0.0 {
                 return; // no signal yet
             }
-            net.controller
-                .plan(&net.groups, &traffic, core.cfg.plan_solver);
+            let (diff, stats) =
+                net.controller
+                    .plan_with_stats(&net.groups, &traffic, core.cfg.plan_solver);
             net.rules.reset_from_map(net.controller.deploy(&net.groups));
             net.rebuild_operators(
                 &core.cfg,
                 SimRng::from_seed(core.cfg.seed ^ 0xFEED_F00D ^ now.as_nanos()),
             );
             core.replans += 1;
+            if core.control_log().is_some() {
+                let rec = plan_record(
+                    now.as_nanos(),
+                    "replan",
+                    None,
+                    Some(stats),
+                    diff,
+                    net.controller.current_plan(),
+                    net.rules.capacity(),
+                );
+                if let Some(log) = core.control_log() {
+                    log.plan_event(rec);
+                }
+            }
         }
     }
 

@@ -77,6 +77,9 @@ fn run_observed_with<D: DeviceProbe>(cfg: SimConfig, obs: ObsOptions, devices: D
     if obs.trace_hops {
         cluster.enable_hop_tracing();
     }
+    if let Some(w) = obs.control {
+        cluster.set_control(w);
+    }
     let mut engine = Engine::new(cluster);
     {
         // Split borrows: prime needs the world and the queue.
@@ -96,6 +99,7 @@ fn run_observed_with<D: DeviceProbe>(cfg: SimConfig, obs: ObsOptions, devices: D
     let mut cluster = engine.into_world();
     debug_assert!(cluster.drained(), "simulation ended with work outstanding");
     cluster.flush_tracer();
+    cluster.flush_control(now);
     let timeseries = cluster.take_timeseries();
     let devices = cluster.take_device_report(now);
     let stats = cluster.stats(now, events);

@@ -19,7 +19,7 @@ use crate::cluster::{Ev, ReqId};
 use crate::config::SimConfig;
 use crate::dense::RequestTable;
 use crate::fabric::{DeviceCapacities, Fabric, HopSink};
-use crate::obs::{DeviceStatsReport, SamplerSpec, TimeSeries, TraceRecord};
+use crate::obs::{ControlLog, DeviceStatsReport, SamplerSpec, TimeSeries, TraceRecord};
 use crate::policy::{ControlStats, ReplyInfo};
 use crate::server::{ServerPool, ServerToken};
 use crate::stats::{LatencyBreakdown, RunStats};
@@ -211,6 +211,9 @@ pub(crate) struct Core<D: DeviceProbe> {
     breakdown: BreakdownHists,
     tracer: Option<Box<dyn std::io::Write + Send>>,
     sampler: Option<SamplerState>,
+    /// Control-plane observability sink; `None` (the default) skips all
+    /// control-stream emission.
+    control: Option<ControlLog>,
     /// Fault-injection runtime; `None` unless an active fault plan was
     /// configured.
     pub(crate) faults: Option<FaultRuntime>,
@@ -286,6 +289,7 @@ impl<D: DeviceProbe> Core<D> {
             breakdown: BreakdownHists::new(),
             tracer: None,
             sampler: None,
+            control: None,
             faults,
             cfg,
         }
@@ -326,6 +330,24 @@ impl<D: DeviceProbe> Core<D> {
         use std::io::Write as _;
         if let Some(w) = self.tracer.as_mut() {
             let _ = w.flush();
+        }
+    }
+
+    pub(crate) fn set_control(&mut self, w: Box<dyn std::io::Write + Send>) {
+        self.control = Some(ControlLog::new(w));
+    }
+
+    /// The control-plane sink, if one is attached. Policies emit through
+    /// this; with `None` every emission site is a skipped branch.
+    pub(crate) fn control_log(&mut self) -> Option<&mut ControlLog> {
+        self.control.as_mut()
+    }
+
+    /// Closes still-open DRS failure spans at `now` and flushes the
+    /// control sink (call after the run drains).
+    pub(crate) fn flush_control(&mut self, now: SimTime) {
+        if let Some(log) = self.control.as_mut() {
+            log.finish(now.as_nanos());
         }
     }
 

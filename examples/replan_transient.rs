@@ -6,15 +6,38 @@
 //! fault plan, fail-stops one RSNode at t=1.2s and recovers it at
 //! t=2.0s — so the windowed latency trace shows *two* transients: the
 //! scheduled ILP re-plan and the fault-driven DRS degradation plus
-//! recovery.
+//! recovery. Instead of guessing where the control plane acted, the
+//! example attaches a `--control`-style sink and annotates each window
+//! with the controller decisions the audit stream recorded inside it.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example replan_transient
 //! ```
 
-use netrs_sim::{Cluster, FaultEvent, FaultPlan, PlanSource, Scheme, SimConfig, TimedFault};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use netrs_sim::{
+    Cluster, ControlRecord, FaultEvent, FaultPlan, PlanSource, Scheme, SimConfig, TimedFault,
+};
 use netrs_simcore::{Engine, SimDuration, SimTime};
+
+/// A `Write` sink the example can read back after the cluster consumed
+/// the box.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
 
 fn main() {
     let mut cfg = SimConfig::small();
@@ -30,15 +53,30 @@ fn main() {
     cfg.warmup_fraction = 0.0;
     cfg.seed = 3;
 
-    // Fault timeline: one RSNode of the bootstrap (ToR) plan dies after
-    // the first re-plan and comes back 800 ms later.
-    let victim = Cluster::new(cfg.clone())
-        .current_plan()
-        .expect("NetRS scheme has a plan")
-        .rsnodes()
-        .into_iter()
-        .next()
-        .expect("plan has RSNodes");
+    // Fault timeline: one RSNode of the plan *installed by the first
+    // monitored re-plan* (probed from a fault-free run of the same
+    // seed) dies after that re-plan and comes back 800 ms later — so
+    // the groups it serves really do degrade to DRS in between.
+    let victim = {
+        // The probe must carry an (eventless) fault plan too: its retry
+        // machinery is part of the event stream, and the probed run has
+        // to match the real one exactly up to the fault.
+        let mut probe_cfg = cfg.clone();
+        probe_cfg.faults = Some(FaultPlan::default());
+        let mut probe = Engine::new(Cluster::new(probe_cfg));
+        let mut queue = std::mem::take(probe.queue_mut());
+        probe.world_mut().prime(&mut queue);
+        *probe.queue_mut() = queue;
+        probe.run_until(SimTime::from_nanos(1_000_000_000));
+        probe
+            .world()
+            .current_plan()
+            .expect("NetRS scheme has a plan")
+            .rsnodes()
+            .into_iter()
+            .next()
+            .expect("plan has RSNodes")
+    };
     cfg.faults = Some(FaultPlan {
         events: vec![
             TimedFault {
@@ -54,7 +92,10 @@ fn main() {
     });
     cfg.validate().expect("valid transient config");
 
-    let mut engine = Engine::new(Cluster::new(cfg));
+    let control = SharedBuf::default();
+    let mut cluster = Cluster::new(cfg);
+    cluster.set_control(Box::new(control.clone()));
+    let mut engine = Engine::new(cluster);
     let mut queue = std::mem::take(engine.queue_mut());
     engine.world_mut().prime(&mut queue);
     *engine.queue_mut() = queue;
@@ -65,6 +106,7 @@ fn main() {
     let mut t = SimTime::ZERO;
     let mut last_count = 0u64;
     let mut last_sum_ms = 0.0f64;
+    let mut rows: Vec<(u64, u64, f64, [usize; 3])> = Vec::new();
     for i in 0..36 {
         t += window;
         engine.run_until(t);
@@ -77,28 +119,62 @@ fn main() {
         } else {
             0.0
         };
-        let tiers = engine.world().operator_tiers();
-        let marker = match i {
-            8 => "  <- first ILP re-plan near here",
-            12 => "  <- RSNode fail-stop (DRS takes over)",
-            20 => "  <- RSNode recovers",
-            _ => "",
-        };
-        println!(
-            "{:>8}    {:>8}   {:>8.3}   {:?}{}",
-            (i + 1) * 100,
-            delta,
-            mean,
-            tiers,
-            marker
-        );
+        rows.push(((i + 1) * 100, delta, mean, engine.world().operator_tiers()));
         last_count = count;
         last_sum_ms = sum_ms;
     }
     engine.run();
-    let cluster = engine.into_world();
+    let now = engine.now();
+    let mut cluster = engine.into_world();
+    cluster.flush_control(now);
+
+    // The audit stream knows exactly when the control plane acted; use
+    // it to annotate the windows instead of hard-coding event times.
+    let bytes = std::mem::take(&mut *control.0.lock().unwrap());
+    let text = String::from_utf8(bytes).expect("control stream is UTF-8");
+    let records: Vec<ControlRecord> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("control line parses"))
+        .collect();
+    let plan_events: Vec<(u64, String)> = records
+        .iter()
+        .filter_map(|r| match r {
+            ControlRecord::Plan(p) => Some((p.t_ns, p.trigger.clone())),
+            _ => None,
+        })
+        .collect();
+
+    for (end_ms, delta, mean, tiers) in rows {
+        let start_ns = (end_ms - 100) * 1_000_000;
+        let end_ns = end_ms * 1_000_000;
+        let mut marker = String::new();
+        for (t_ns, trigger) in &plan_events {
+            if (start_ns..end_ns).contains(t_ns) {
+                let _ = write!(marker, "  <- {trigger}");
+            }
+        }
+        println!("{end_ms:>8}    {delta:>8}   {mean:>8.3}   {tiers:?}{marker}");
+    }
+
+    println!("\ncontroller decisions (from the control stream):");
+    for (t_ns, trigger) in &plan_events {
+        println!("  {:>10.3}ms  {trigger}", *t_ns as f64 / 1e6);
+    }
+    for rec in &records {
+        if let ControlRecord::DrsSpan(s) = rec {
+            println!(
+                "DRS span: switch {} failed {:.3}ms, recovered {}, {} group(s) displaced {:.3}ms total",
+                s.switch,
+                s.fail_ns as f64 / 1e6,
+                s.recover_ns
+                    .map_or_else(|| "never".into(), |r| format!("{:.3}ms", r as f64 / 1e6)),
+                s.groups.len(),
+                s.total_displaced_ns() as f64 / 1e6
+            );
+        }
+    }
     println!(
-        "\ntotal: {}/{} completed; final operators by tier {:?}",
+        "total: {}/{} completed; final operators by tier {:?}",
         cluster.completed(),
         cluster.issued(),
         cluster.operator_tiers()

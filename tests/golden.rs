@@ -6,7 +6,10 @@
 //! contract. These tests pin it byte for byte: a failing golden here
 //! means a schema break that every downstream consumer will see.
 
-use netrs_sim::{DeviceRecord, HopSpan, SamplePoint, TraceRecord};
+use netrs_sim::{
+    ControlRecord, DeviceRecord, DisplacedGroup, DrsSpanRecord, HopSpan, PlanEventRecord,
+    SamplePoint, SnapshotGroup, SnapshotRecord, SolveRecord, TraceRecord,
+};
 
 fn trace_record() -> TraceRecord {
     TraceRecord {
@@ -118,6 +121,145 @@ fn device_record_matches_golden() {
     );
     assert_eq!(serde_json::to_string(&record).unwrap(), golden);
     let back: DeviceRecord = serde_json::from_str(golden).unwrap();
+    assert_eq!(back, record);
+}
+
+#[test]
+fn control_snapshot_record_matches_golden() {
+    let record = SnapshotRecord {
+        tor: 2,
+        pod: 1,
+        from_ns: 500_000_000,
+        to_ns: 1_000_000_000,
+        groups: vec![
+            SnapshotGroup {
+                group: 0,
+                counts: [4, 10, 86],
+                rates: [8.0, 20.0, 172.0],
+            },
+            SnapshotGroup {
+                group: 3,
+                counts: [0, 0, 25],
+                rates: [0.0, 0.0, 50.0],
+            },
+        ],
+    };
+    let golden = concat!(
+        "{\"kind\":\"snapshot\",\"tor\":2,\"pod\":1,",
+        "\"from_ns\":500000000,\"to_ns\":1000000000,\"groups\":[",
+        "{\"group\":0,\"counts\":[4,10,86],\"rates\":[8,20,172]},",
+        "{\"group\":3,\"counts\":[0,0,25],\"rates\":[0,0,50]}]}"
+    );
+    assert_eq!(serde_json::to_string(&record).unwrap(), golden);
+    let back: SnapshotRecord = serde_json::from_str(golden).unwrap();
+    assert_eq!(back, record);
+    // The tagged enum parses the same line via its `kind` discriminant.
+    let tagged: ControlRecord = serde_json::from_str(golden).unwrap();
+    assert_eq!(tagged, ControlRecord::Snapshot(record));
+}
+
+#[test]
+fn control_plan_record_matches_golden() {
+    let record = PlanEventRecord {
+        t_ns: 1_500_000_000,
+        trigger: "replan".into(),
+        switch: None,
+        solve: Some(SolveRecord {
+            greedy: false,
+            variables: 52,
+            constraints: 42,
+            lp_iterations: 13_766,
+            branch_nodes: 200,
+            objective: 4.0,
+        }),
+        reassigned: vec![2],
+        newly_assigned: vec![5],
+        unassigned: Vec::new(),
+        rsnodes_added: vec![16],
+        rsnodes_removed: vec![3],
+        rsnodes: 4,
+        drs_groups: 0,
+        rules_recompiled: 20,
+    };
+    let golden = concat!(
+        "{\"kind\":\"plan\",\"t_ns\":1500000000,\"trigger\":\"replan\",",
+        "\"solve\":{\"greedy\":false,\"variables\":52,\"constraints\":42,",
+        "\"lp_iterations\":13766,\"branch_nodes\":200,\"objective\":4},",
+        "\"reassigned\":[2],\"newly_assigned\":[5],\"unassigned\":[],",
+        "\"rsnodes_added\":[16],\"rsnodes_removed\":[3],",
+        "\"rsnodes\":4,\"drs_groups\":0,\"rules_recompiled\":20}"
+    );
+    assert_eq!(serde_json::to_string(&record).unwrap(), golden);
+    let back: PlanEventRecord = serde_json::from_str(golden).unwrap();
+    assert_eq!(back, record);
+
+    // Fault triggers carry the operator switch and no solve block; both
+    // optional keys must be omitted entirely, never serialized as null.
+    let record = PlanEventRecord {
+        t_ns: 2_000_000_000,
+        trigger: "operator_fail".into(),
+        switch: Some(16),
+        solve: None,
+        reassigned: Vec::new(),
+        newly_assigned: Vec::new(),
+        unassigned: vec![5, 6],
+        rsnodes_added: Vec::new(),
+        rsnodes_removed: vec![16],
+        rsnodes: 4,
+        drs_groups: 2,
+        rules_recompiled: 20,
+    };
+    let golden = concat!(
+        "{\"kind\":\"plan\",\"t_ns\":2000000000,\"trigger\":\"operator_fail\",",
+        "\"switch\":16,",
+        "\"reassigned\":[],\"newly_assigned\":[],\"unassigned\":[5,6],",
+        "\"rsnodes_added\":[],\"rsnodes_removed\":[16],",
+        "\"rsnodes\":4,\"drs_groups\":2,\"rules_recompiled\":20}"
+    );
+    assert_eq!(serde_json::to_string(&record).unwrap(), golden);
+    let back: PlanEventRecord = serde_json::from_str(golden).unwrap();
+    assert_eq!(back, record);
+}
+
+#[test]
+fn control_drs_span_record_matches_golden() {
+    let record = DrsSpanRecord {
+        switch: 16,
+        fail_ns: 1_200_000_000,
+        detect_ns: Some(1_210_000_000),
+        recover_ns: Some(2_000_000_000),
+        groups: vec![
+            DisplacedGroup {
+                group: 5,
+                displaced_ns: 390_000_000,
+            },
+            DisplacedGroup {
+                group: 6,
+                displaced_ns: 790_000_000,
+            },
+        ],
+    };
+    let golden = concat!(
+        "{\"kind\":\"drs_span\",\"switch\":16,\"fail_ns\":1200000000,",
+        "\"detect_ns\":1210000000,\"recover_ns\":2000000000,\"groups\":[",
+        "{\"group\":5,\"displaced_ns\":390000000},",
+        "{\"group\":6,\"displaced_ns\":790000000}]}"
+    );
+    assert_eq!(serde_json::to_string(&record).unwrap(), golden);
+    let back: DrsSpanRecord = serde_json::from_str(golden).unwrap();
+    assert_eq!(back, record);
+
+    // A run that ends mid-episode omits the unreached timestamps.
+    let record = DrsSpanRecord {
+        switch: 16,
+        fail_ns: 1_200_000_000,
+        detect_ns: None,
+        recover_ns: None,
+        groups: Vec::new(),
+    };
+    let golden = "{\"kind\":\"drs_span\",\"switch\":16,\"fail_ns\":1200000000,\"groups\":[]}";
+    assert_eq!(serde_json::to_string(&record).unwrap(), golden);
+    let back: DrsSpanRecord = serde_json::from_str(golden).unwrap();
     assert_eq!(back, record);
 }
 

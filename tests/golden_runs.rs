@@ -6,7 +6,13 @@
 //!
 //! * the serialized [`RunStats`] JSON (stored verbatim, human-reviewable),
 //! * the `--trace` JSONL stream (pinned by FNV-1a hash + length),
-//! * the `--devices` JSONL report (pinned by FNV-1a hash + length).
+//! * the `--devices` JSONL report (pinned by FNV-1a hash + length),
+//! * the `--control` JSONL stream (pinned by FNV-1a hash + length; empty
+//!   for client schemes, which have no control plane to audit).
+//!
+//! The stats/trace/devices fixtures predate the control stream and are
+//! asserted with the control sink *attached*, so they double as proof
+//! that control-plane observation never perturbs a run.
 //!
 //! Together the six cases cover every scheme and every event path of the
 //! simulator: client selection, R95 duplicates, cubic rate gating,
@@ -114,15 +120,20 @@ struct Artifacts {
     stats_json: String,
     trace: Vec<u8>,
     devices: Vec<u8>,
+    control: Vec<u8>,
 }
 
 fn run_case(cfg: SimConfig) -> Artifacts {
     let trace_sink = SharedBuf::default();
+    // The control sink rides along on every case: the pre-control-stream
+    // fixtures double as proof that attaching it never perturbs the run.
+    let control_sink = SharedBuf::default();
     let obs = ObsOptions {
         trace: Some(Box::new(trace_sink.clone())),
         trace_hops: true,
         timeseries: None,
         device_stats: true,
+        control: Some(Box::new(control_sink.clone())),
         progress: false,
     };
     let out = run_observed(cfg, obs);
@@ -136,6 +147,7 @@ fn run_case(cfg: SimConfig) -> Artifacts {
         stats_json: serde_json::to_string_pretty(&out.stats).expect("stats serialize"),
         trace: trace_sink.take(),
         devices,
+        control: control_sink.take(),
     }
 }
 
@@ -154,16 +166,25 @@ fn golden_runs_are_byte_identical() {
         let art = run_case(cfg);
         assert!(!art.trace.is_empty(), "{name}: trace must not be empty");
         assert!(!art.devices.is_empty(), "{name}: devices must not be empty");
+        let in_network = name.starts_with("netrs");
+        assert_eq!(
+            !art.control.is_empty(),
+            in_network,
+            "{name}: in-network schemes audit their plans; client schemes stay silent"
+        );
         let digests = format!(
             "{}\n{}\n",
             digest_line("trace", &art.trace),
             digest_line("devices", &art.devices)
         );
+        let control_digest = format!("{}\n", digest_line("control", &art.control));
         let stats_path = dir.join(format!("{name}.stats.json"));
         let digest_path = dir.join(format!("{name}.digests.txt"));
+        let control_path = dir.join(format!("{name}.control.txt"));
         if regen {
             std::fs::write(&stats_path, &art.stats_json).expect("write stats fixture");
             std::fs::write(&digest_path, &digests).expect("write digest fixture");
+            std::fs::write(&control_path, &control_digest).expect("write control fixture");
             continue;
         }
         let want_stats = std::fs::read_to_string(&stats_path)
@@ -177,6 +198,12 @@ fn golden_runs_are_byte_identical() {
         assert_eq!(
             digests, want_digests,
             "{name}: --trace/--devices output diverged from the pre-refactor golden"
+        );
+        let want_control = std::fs::read_to_string(&control_path)
+            .unwrap_or_else(|e| panic!("{name}: missing fixture {}: {e}", control_path.display()));
+        assert_eq!(
+            control_digest, want_control,
+            "{name}: --control output diverged from the pinned control stream"
         );
     }
 }

@@ -53,6 +53,7 @@ fn traced_run(scheme: Scheme) -> (Vec<TraceRecord>, netrs_sim::RunOutput) {
             capacity: 4_096,
         }),
         device_stats: false,
+        control: None,
         progress: false,
     };
     let out = run_observed(small(scheme), obs);
@@ -222,6 +223,7 @@ fn tracing_does_not_perturb_the_simulation() {
         trace_hops: false,
         timeseries: None,
         device_stats: false,
+        control: None,
         progress: false,
     };
     let trace_only = run_observed(small(Scheme::NetRsIlp), obs);
@@ -236,6 +238,7 @@ fn hop_traced_run(scheme: Scheme) -> (Vec<TraceRecord>, netrs_sim::RunOutput) {
         trace_hops: true,
         timeseries: None,
         device_stats: false,
+        control: None,
         progress: false,
     };
     let out = run_observed(small(scheme), obs);
@@ -319,6 +322,7 @@ fn device_stats_do_not_perturb_the_simulation() {
         trace_hops: false,
         timeseries: None,
         device_stats: true,
+        control: None,
         progress: false,
     };
     let instrumented = run_observed(small(Scheme::NetRsIlp), obs);
@@ -346,6 +350,7 @@ fn device_report_accounts_for_the_run() {
         trace_hops: false,
         timeseries: None,
         device_stats: true,
+        control: None,
         progress: false,
     };
     let out = run_observed(small(Scheme::NetRsIlp), obs);
@@ -375,4 +380,188 @@ fn device_report_accounts_for_the_run() {
         "link utilization is in (0, 1]"
     );
     assert_eq!(report.sim_end_ns, out.stats.sim_end.as_nanos());
+}
+
+// ---- control-plane observability -------------------------------------------
+
+/// Rebuilds the in-memory monitor window a parsed `--control` snapshot
+/// line describes — the inverse of [`SnapshotRecord::from_snapshot`].
+fn rebuild_snapshot(rec: &netrs_sim::SnapshotRecord) -> netrs_netdev::TrafficSnapshot {
+    netrs_netdev::TrafficSnapshot {
+        local: netrs_wire::SourceMarker {
+            pod: rec.pod as u16,
+            rack: rec.tor as u16,
+        },
+        counts: rec.groups.iter().map(|g| (g.group, g.counts)).collect(),
+        from: netrs_simcore::SimTime::from_nanos(rec.from_ns),
+        to: netrs_simcore::SimTime::from_nanos(rec.to_ns),
+    }
+}
+
+/// The snapshot export is lossless with respect to the controller's
+/// aggregation: serializing randomized monitor windows to the control
+/// JSONL schema, parsing them back and re-aggregating reproduces the
+/// `TrafficMatrix` the controller would have built from the originals —
+/// bit for bit, not approximately, because the export carries the raw
+/// window counts and bounds rather than derived rates.
+#[test]
+fn snapshot_export_reaggregates_to_the_controllers_traffic_matrix() {
+    use netrs::TrafficMatrix;
+    use netrs_netdev::Monitor;
+    use netrs_sim::SnapshotRecord;
+    use netrs_simcore::SimTime;
+    use netrs_wire::SourceMarker;
+
+    // Deterministic xorshift64*: the test is a fixed property check over
+    // 32 randomized monitor fleets, not a flaky sample.
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut rng = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        state
+    };
+
+    for round in 0..32 {
+        let n_groups = 1 + (rng() % 12) as usize;
+        let n_tors = 1 + (rng() % 8) as u16;
+        let mut snapshots = Vec::new();
+        let mut clock = SimTime::ZERO;
+        for tor in 0..n_tors {
+            let local = SourceMarker {
+                pod: tor / 2,
+                rack: tor,
+            };
+            let mut monitor = Monitor::new(local);
+            // Empty window for the first monitor of odd rounds: the
+            // degenerate from == to case must survive the round trip too.
+            let events = if tor == 0 && round % 2 == 1 {
+                0
+            } else {
+                rng() % 200
+            };
+            for _ in 0..events {
+                let group = (rng() % n_groups as u64) as u32;
+                let remote = SourceMarker {
+                    pod: (rng() % 4) as u16,
+                    rack: (rng() % 8) as u16,
+                };
+                monitor.record(group, remote);
+            }
+            clock += netrs_simcore::SimDuration::from_micros(1 + rng() % 900_000);
+            snapshots.push(monitor.snapshot(clock));
+        }
+
+        let direct = TrafficMatrix::from_snapshots(n_groups, &snapshots);
+
+        let jsonl: String = snapshots
+            .iter()
+            .map(|s| {
+                serde_json::to_string(&SnapshotRecord::from_snapshot(s))
+                    .expect("snapshot record serializes")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let rebuilt: Vec<netrs_netdev::TrafficSnapshot> = jsonl
+            .lines()
+            .map(|line| {
+                let rec: SnapshotRecord =
+                    serde_json::from_str(line).expect("snapshot line parses back");
+                rebuild_snapshot(&rec)
+            })
+            .collect();
+        let reaggregated = TrafficMatrix::from_snapshots(n_groups, &rebuilt);
+
+        assert_eq!(
+            direct.total().to_bits(),
+            reaggregated.total().to_bits(),
+            "round {round}: totals must match bit for bit"
+        );
+        for g in 0..n_groups as u32 {
+            for tier in 0..3 {
+                assert_eq!(
+                    direct.tier_rates(g)[tier].to_bits(),
+                    reaggregated.tier_rates(g)[tier].to_bits(),
+                    "round {round}: group {g} tier {tier} diverged after the round trip"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end contract of the `--control` stream on the monitored
+/// control loop: the stream is byte-identical across same-seed runs, it
+/// opens with the bootstrap decision, each ToR's snapshot windows abut
+/// (no monitored interval is lost or double-counted), and every re-plan
+/// decision is preceded by the snapshot batch it consumed.
+#[test]
+fn control_stream_is_deterministic_and_windows_abut() {
+    use netrs_sim::{ControlRecord, PlanSource};
+    use std::collections::BTreeMap;
+
+    let capture = || {
+        let sink = SharedBuf::default();
+        let mut cfg = small(Scheme::NetRsIlp);
+        cfg.plan_source = PlanSource::Monitored {
+            interval: SimDuration::from_millis(100),
+        };
+        let obs = ObsOptions {
+            trace: None,
+            trace_hops: false,
+            timeseries: None,
+            device_stats: false,
+            control: Some(Box::new(sink.clone())),
+            progress: false,
+        };
+        let _ = run_observed(cfg, obs);
+        sink.take_string()
+    };
+
+    let text = capture();
+    assert_eq!(text, capture(), "same seed must yield the same bytes");
+
+    let records: Vec<ControlRecord> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("every control line parses"))
+        .collect();
+    assert!(
+        matches!(&records[0], ControlRecord::Plan(p) if p.trigger == "initial"),
+        "the stream opens with the bootstrap decision"
+    );
+
+    let mut window_end: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut pending_snapshots = 0usize;
+    let mut replans = 0usize;
+    for rec in &records {
+        match rec {
+            ControlRecord::Snapshot(s) => {
+                assert!(s.to_ns >= s.from_ns, "window bounds are ordered");
+                if let Some(&prev) = window_end.get(&s.tor) {
+                    assert_eq!(
+                        s.from_ns, prev,
+                        "ToR {}: windows must abut — no gap, no overlap",
+                        s.tor
+                    );
+                }
+                window_end.insert(s.tor, s.to_ns);
+                pending_snapshots += 1;
+            }
+            ControlRecord::Plan(p) if p.trigger == "replan" => {
+                assert!(
+                    pending_snapshots > 0,
+                    "a re-plan consumes the snapshot batch emitted just before it"
+                );
+                pending_snapshots = 0;
+                replans += 1;
+                assert!(p.solve.is_some(), "re-plans run a solve");
+            }
+            _ => {}
+        }
+    }
+    assert!(replans > 0, "the monitored loop re-planned at least once");
+    assert!(
+        window_end.len() > 1,
+        "more than one ToR reported monitor windows"
+    );
 }
