@@ -55,15 +55,30 @@ diff -u "$SMOKE/ctl-stats-a.json" "$SMOKE/ctl-stats-plain.json"
     | grep -q "plan churn"
 
 echo "==> perf smoke (tiny perf suite, artifact validates)"
-# Runs the perf harness end to end at test scale and validates the merged
+# Runs the perf harness end to end at test scale and validates the
 # artifact's shape. Deliberately no time gating: CI boxes are too noisy
 # for that; real baselines are pinned in BENCH_PERF.json at the repo root.
 cargo build -q -p netrs-bench --bin repro
 ./target/debug/repro perf --small --tag smoke --out "$SMOKE/perf.json"
-./target/debug/netrs-analyze check-bench "$SMOKE/perf.json"
+./target/debug/netrs-analyze check-bench "$SMOKE/perf.json" | grep -q "versioned v1"
 # Two-artifact mode: an artifact never regresses against itself.
 ./target/debug/netrs-analyze check-bench "$SMOKE/perf.json" "$SMOKE/perf.json" \
     --threshold 0.05 | grep -q "Bench comparison"
+
+echo "==> perf-profile smoke (simulate --perf, profiler must not perturb)"
+# A profiled run must produce byte-identical stats to the plain run above
+# and a schema-valid profile the analyzer can render.
+./target/debug/simulate --small --scheme netrs-ilp --requests 5000 --seed 5 \
+    --perf "$SMOKE/perf-profile.json" --json > "$SMOKE/perf-prof-stats.json"
+diff -u "$SMOKE/ctl-stats-plain.json" "$SMOKE/perf-prof-stats.json"
+grep -q '"schema_version": 1' "$SMOKE/perf-profile.json"
+./target/debug/netrs-analyze check-bench "$SMOKE/perf-profile.json" | grep -q "versioned v1"
+./target/debug/netrs-analyze perf "$SMOKE/perf-profile.json" | grep -q "by layer"
+# The pinned repo baseline stays schema-valid too.
+./target/debug/netrs-analyze check-bench BENCH_PERF.json | grep -q "versioned v1"
+
+echo "==> alloc-profile feature (counting allocator, integration test)"
+cargo test -q -p netrs-sim --features alloc-profile --test alloc_profile
 
 echo "==> fault-injection smoke (scripted plan, same seed twice, byte-identical stats)"
 for scheme in clirs netrs-tor; do

@@ -1,0 +1,127 @@
+//! A counting global allocator for host-performance profiling.
+//!
+//! The rest of the workspace forbids `unsafe`, but implementing
+//! [`GlobalAlloc`] requires it — so the single `unsafe impl` lives here,
+//! in a crate whose whole job is to wrap [`System`] with four relaxed
+//! atomic counters (allocations, deallocations, live bytes, peak bytes).
+//!
+//! Registration stays with the binary that opts in:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: netrs_allocprobe::CountingAllocator = netrs_allocprobe::CountingAllocator;
+//! ```
+//!
+//! [`snapshot`] reads the counters at any point; diffing two snapshots
+//! with [`AllocSnapshot::delta`] attributes allocation activity to a
+//! region of the run. When the allocator is *not* registered every
+//! counter stays zero, which callers use to report "allocation tracking
+//! unavailable" instead of fabricated zeros.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the process-wide allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocSnapshot {
+    /// Heap allocations performed (`alloc` + `realloc` calls).
+    pub allocs: u64,
+    /// Heap deallocations performed.
+    pub deallocs: u64,
+    /// Bytes currently live on the heap.
+    pub live_bytes: u64,
+    /// Highest `live_bytes` ever observed.
+    pub peak_bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter movement since `earlier`: allocation and deallocation
+    /// counts are differenced; `live_bytes` and `peak_bytes` keep the
+    /// later (current) reading, since a peak is not meaningfully
+    /// differenced.
+    #[must_use]
+    pub fn delta(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs - earlier.allocs,
+            deallocs: self.deallocs - earlier.deallocs,
+            live_bytes: self.live_bytes,
+            peak_bytes: self.peak_bytes,
+        }
+    }
+
+    /// Whether every counter is zero — i.e. the counting allocator was
+    /// never registered (any real Rust program allocates at startup).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == AllocSnapshot::default()
+    }
+}
+
+/// Reads the current counter values.
+#[must_use]
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Relaxed),
+        deallocs: DEALLOCS.load(Relaxed),
+        live_bytes: LIVE_BYTES.load(Relaxed),
+        peak_bytes: PEAK_BYTES.load(Relaxed),
+    }
+}
+
+fn on_alloc(size: usize) {
+    ALLOCS.fetch_add(1, Relaxed);
+    let live = LIVE_BYTES.fetch_add(size as u64, Relaxed) + size as u64;
+    // Lock-free max: races only ever lose to a larger concurrent peak.
+    let mut peak = PEAK_BYTES.load(Relaxed);
+    while live > peak {
+        match PEAK_BYTES.compare_exchange_weak(peak, live, Relaxed, Relaxed) {
+            Ok(_) => break,
+            Err(observed) => peak = observed,
+        }
+    }
+}
+
+fn on_dealloc(size: usize) {
+    DEALLOCS.fetch_add(1, Relaxed);
+    LIVE_BYTES.fetch_sub(size as u64, Relaxed);
+}
+
+/// [`System`] plus counters. Zero-sized; register with
+/// `#[global_allocator]` to activate counting for the whole process.
+pub struct CountingAllocator;
+
+// SAFETY: defers every allocation verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter updates never touch the memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        on_dealloc(layout.size());
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            // Count a realloc as one dealloc + one alloc so byte
+            // accounting stays exact whether or not the block moved.
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}

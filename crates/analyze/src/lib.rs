@@ -18,13 +18,14 @@
 //! * **availability tables** — timeout rate, retries and time-to-recover
 //!   per scheme from `simulate --faults … --json` stats files.
 
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader};
 use std::path::Path;
 
 use netrs_sim::{
-    ControlRecord, DeviceRecord, RunStats, SamplePoint, Scheme, SnapshotRecord, TraceRecord,
+    ControlRecord, DeviceRecord, HostProfile, KindRecord, PerfArtifact, RunStats, SamplePoint,
+    Scheme, SnapshotRecord, TraceRecord,
 };
 use netrs_simcore::{Histogram, SimDuration, SimTime, Summary};
 use serde::Value;
@@ -708,16 +709,60 @@ pub fn bench_artifact(traces: &[LabeledTrace]) -> Value {
     Value::Obj(entries)
 }
 
-/// Validates a bench artifact: a non-empty object whose every entry
-/// carries all of [`BENCH_KEYS`] (sim-time latency entries) or all of
-/// [`PERF_KEYS`] (wall-clock perf entries, recognized by the presence of
-/// `"wall_clock_s"`) as numbers. The two kinds may be mixed within one
-/// artifact, but an entry must be exactly one of them.
+/// Which of the two bench-artifact schemas a file turned out to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchSchema {
+    /// The pre-versioned shape: a flat `label → entry` JSON object whose
+    /// entries carry [`BENCH_KEYS`] or [`PERF_KEYS`].
+    Legacy,
+    /// The versioned perf-artifact shape (`schema_version: 1` + `runs`,
+    /// or a bare `simulate --perf` profile).
+    V1,
+}
+
+impl fmt::Display for BenchSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BenchSchema::Legacy => "legacy flat map",
+            BenchSchema::V1 => "versioned v1",
+        })
+    }
+}
+
+/// Validates a bench artifact and reports which schema it is.
+///
+/// A `schema_version` key marks the versioned shape: it must parse as a
+/// [`PerfArtifact`], carry at least one run, and every profiled run's
+/// kind-table counts must sum exactly to its event total (runs upgraded
+/// from the legacy schema have no kind table and are exempt). Without
+/// the key, the artifact must be the legacy non-empty `label → entry`
+/// object whose every entry carries all of [`BENCH_KEYS`] (sim-time
+/// latency entries) or all of [`PERF_KEYS`] (wall-clock perf entries,
+/// recognized by the presence of `"wall_clock_s"`) as numbers. The two
+/// legacy kinds may be mixed within one artifact, but an entry must be
+/// exactly one of them.
 ///
 /// # Errors
 ///
 /// Returns a description of the first violation found.
-pub fn check_bench(artifact: &Value) -> Result<(), String> {
+pub fn check_bench(artifact: &Value) -> Result<BenchSchema, String> {
+    if artifact.get("schema_version").is_some() {
+        let art = PerfArtifact::from_value(artifact)?;
+        if art.runs.is_empty() {
+            return Err("versioned perf artifact has no runs".to_string());
+        }
+        for run in &art.runs {
+            if !run.kinds.is_empty() && run.kind_count_sum() != run.events {
+                return Err(format!(
+                    "run {:?}: kind counts sum to {} but events is {}",
+                    run.label,
+                    run.kind_count_sum(),
+                    run.events
+                ));
+            }
+        }
+        return Ok(BenchSchema::V1);
+    }
     let entries = artifact
         .as_obj()
         .ok_or_else(|| "bench artifact must be a JSON object".to_string())?;
@@ -750,7 +795,7 @@ pub fn check_bench(artifact: &Value) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    Ok(BenchSchema::Legacy)
 }
 
 /// The outcome of a two-artifact bench comparison: the rendered table
@@ -773,21 +818,72 @@ fn as_f64(v: &Value) -> Option<f64> {
     }
 }
 
+/// One label's throughput metric, normalized out of either schema.
+struct MetricRow {
+    label: String,
+    metric: &'static str,
+    value: f64,
+}
+
+/// Normalizes an artifact of either schema into `label → throughput`
+/// rows. Versioned artifacts report `events_per_sec` with the *latest*
+/// run per label winning (the artifact is an append-only history);
+/// legacy perf entries report `events_per_sec`, legacy sim-time latency
+/// entries `requests_per_sim_sec`.
+fn bench_metrics(artifact: &Value) -> Result<Vec<MetricRow>, String> {
+    let rows = match check_bench(artifact)? {
+        BenchSchema::V1 => {
+            let art = PerfArtifact::from_value(artifact)?;
+            let mut rows: Vec<MetricRow> = Vec::new();
+            for run in &art.runs {
+                match rows.iter_mut().find(|r| r.label == run.label) {
+                    Some(row) => row.value = run.events_per_sec,
+                    None => rows.push(MetricRow {
+                        label: run.label.clone(),
+                        metric: "events_per_sec",
+                        value: run.events_per_sec,
+                    }),
+                }
+            }
+            rows
+        }
+        BenchSchema::Legacy => artifact
+            .as_obj()
+            .expect("validated above")
+            .iter()
+            .map(|(label, entry)| {
+                let metric = if entry.get("wall_clock_s").is_some() {
+                    "events_per_sec"
+                } else {
+                    "requests_per_sim_sec"
+                };
+                MetricRow {
+                    label: label.clone(),
+                    metric,
+                    value: entry.get(metric).and_then(as_f64).expect("validated above"),
+                }
+            })
+            .collect(),
+    };
+    Ok(rows)
+}
+
 /// Compares two bench artifacts label by label and flags throughput
 /// regressions beyond `threshold` (a fraction: 0.1 → a 10% drop fails).
-/// Perf entries compare `events_per_sec`, sim-time latency entries
-/// `requests_per_sim_sec`; labels present in only one artifact are
-/// reported but never fail the gate.
+/// Either side may be the legacy or the versioned schema — both
+/// normalize to `label → events_per_sec` (versioned histories take the
+/// latest run per label) or `requests_per_sim_sec` for legacy sim-time
+/// entries, so a versioned candidate gates cleanly against a legacy
+/// baseline. Labels present in only one artifact are reported but never
+/// fail the gate.
 ///
 /// # Errors
 ///
 /// Returns a description when either artifact is malformed (see
 /// [`check_bench`]) or when the two artifacts share no label.
 pub fn compare_bench(base: &Value, new: &Value, threshold: f64) -> Result<BenchComparison, String> {
-    check_bench(base).map_err(|e| format!("baseline: {e}"))?;
-    check_bench(new).map_err(|e| format!("candidate: {e}"))?;
-    let base_entries = base.as_obj().expect("validated above");
-    let new_entries = new.as_obj().expect("validated above");
+    let base_rows = bench_metrics(base).map_err(|e| format!("baseline: {e}"))?;
+    let new_rows = bench_metrics(new).map_err(|e| format!("candidate: {e}"))?;
 
     let mut out = String::new();
     let mut regressions = Vec::new();
@@ -802,23 +898,17 @@ pub fn compare_bench(base: &Value, new: &Value, threshold: f64) -> Result<BenchC
         "{:<18} {:>14} {:>14} {:>14} {:>8}  verdict",
         "label", "metric", "baseline", "candidate", "delta"
     );
-    for (label, b_entry) in base_entries {
-        let Some(n_entry) = new.get(label) else {
+    for row in &base_rows {
+        let label = &row.label;
+        let Some(n_row) = new_rows.iter().find(|r| &r.label == label) else {
             let _ = writeln!(out, "{label:<18} (only in baseline)");
             continue;
         };
-        let metric = if b_entry.get("wall_clock_s").is_some() {
-            "events_per_sec"
-        } else {
-            "requests_per_sim_sec"
-        };
-        let (Some(b), Some(n)) = (
-            b_entry.get(metric).and_then(as_f64),
-            n_entry.get(metric).and_then(as_f64),
-        ) else {
+        if row.metric != n_row.metric {
             let _ = writeln!(out, "{label:<18} (entry kinds differ; skipped)");
             continue;
-        };
+        }
+        let (metric, b, n) = (row.metric, row.value, n_row.value);
         shared += 1;
         let delta = if b > 0.0 { (n - b) / b } else { 0.0 };
         let regressed = delta < -threshold;
@@ -837,9 +927,9 @@ pub fn compare_bench(base: &Value, new: &Value, threshold: f64) -> Result<BenchC
             ));
         }
     }
-    for (label, _) in new_entries {
-        if base.get(label).is_none() {
-            let _ = writeln!(out, "{label:<18} (only in candidate)");
+    for row in &new_rows {
+        if !base_rows.iter().any(|b| b.label == row.label) {
+            let _ = writeln!(out, "{:<18} (only in candidate)", row.label);
         }
     }
     if shared == 0 {
@@ -849,6 +939,215 @@ pub fn compare_bench(base: &Value, new: &Value, threshold: f64) -> Result<BenchC
         report: out,
         regressions,
     })
+}
+
+/// The latest run per label, in first-appearance order. A perf artifact
+/// is an append-only history, so the last record under a label is the
+/// current measurement.
+fn latest_by_label(runs: &[HostProfile]) -> Vec<&HostProfile> {
+    let mut out: Vec<&HostProfile> = Vec::new();
+    for run in runs {
+        match out.iter_mut().find(|r| r.label == run.label) {
+            Some(slot) => *slot = run,
+            None => out.push(run),
+        }
+    }
+    out
+}
+
+fn coverage_pct(run: &HostProfile) -> f64 {
+    if run.wall_s > 0.0 {
+        run.attributed_ns as f64 / (run.wall_s * 1e9) * 100.0
+    } else {
+        0.0
+    }
+}
+
+fn kind_table(out: &mut String, run: &HostProfile) {
+    let wall_ns = run.wall_s * 1e9;
+    let _ = writeln!(
+        out,
+        "   {:<16} {:<8} {:>12} {:>10} {:>8} {:>10}",
+        "kind", "layer", "count", "self-ms", "% wall", "ns/event"
+    );
+    let mut kinds: Vec<&KindRecord> = run.kinds.iter().filter(|k| k.count > 0).collect();
+    kinds.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.kind.cmp(&b.kind)));
+    for k in kinds {
+        let pct = if wall_ns > 0.0 {
+            k.self_ns as f64 / wall_ns * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "   {:<16} {:<8} {:>12} {:>10.3} {:>7.1}% {:>10.1}",
+            k.kind,
+            k.layer,
+            k.count,
+            k.self_ns as f64 / 1e6,
+            pct,
+            k.self_ns as f64 / k.count as f64
+        );
+    }
+    // Layer rollup: shares of the *attributed* time, so the column sums
+    // to ~100% regardless of sampling coverage.
+    let mut layers: Vec<(&str, u64, u64)> = Vec::new();
+    for k in &run.kinds {
+        match layers.iter_mut().find(|(l, _, _)| *l == k.layer.as_str()) {
+            Some((_, ns, n)) => {
+                *ns += k.self_ns;
+                *n += k.count;
+            }
+            None => layers.push((k.layer.as_str(), k.self_ns, k.count)),
+        }
+    }
+    layers.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let _ = writeln!(out, "   by layer (self-ms · % of attributed · events):");
+    for (layer, ns, n) in layers.iter().filter(|(_, _, n)| *n > 0) {
+        let share = if run.attributed_ns > 0 {
+            *ns as f64 / run.attributed_ns as f64 * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "     {:<14} {:>10.3} {:>7.1}% {:>12}",
+            layer,
+            *ns as f64 / 1e6,
+            share,
+            n
+        );
+    }
+    let _ = writeln!(
+        out,
+        "   queue: {} pushes · {} pops · high-water {} · depth log2-hist {:?}",
+        run.queue.pushes, run.queue.pops, run.queue.high_water, run.queue.depth_hist
+    );
+    if let Some(a) = &run.alloc {
+        let _ = writeln!(
+            out,
+            "   alloc: {} allocs · {} deallocs · peak {} bytes ({:.3} allocs/event)",
+            a.allocs,
+            a.deallocs,
+            a.peak_bytes,
+            if run.events > 0 {
+                a.allocs as f64 / run.events as f64
+            } else {
+                0.0
+            }
+        );
+    }
+}
+
+/// Renders the host-perf report for labeled perf artifacts: one
+/// per-event-kind cost table per (latest) profiled run — self-time, % of
+/// wall, ns/event, a layer rollup, queue churn and allocation counters —
+/// plus each file's run-history trajectory and, with more than one
+/// profiled run overall, a side-by-side throughput comparison.
+#[must_use]
+pub fn perf_report(entries: &[(String, PerfArtifact)]) -> String {
+    let mut out = String::new();
+    for (i, (name, art)) in entries.iter().enumerate() {
+        if i > 0 {
+            let _ = writeln!(out);
+        }
+        let profiled = art.runs.iter().filter(|r| !r.kinds.is_empty()).count();
+        let _ = writeln!(out, "## Perf profile: {name}");
+        let _ = writeln!(
+            out,
+            "   {} runs ({} profiled, {} legacy)",
+            art.runs.len(),
+            profiled,
+            art.runs.len() - profiled
+        );
+        for run in latest_by_label(&art.runs) {
+            if run.kinds.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "### {} — scheme {} · seed {} · {} requests",
+                run.label, run.scheme, run.seed, run.requests
+            );
+            let _ = writeln!(
+                out,
+                "   host: {} · {} cores · commit {}",
+                run.host.cpu, run.host.cores, run.host.commit
+            );
+            let _ = writeln!(
+                out,
+                "   {} events in {:.3}s wall ({:.0} events/s) · stride {} · {:.1}% of wall attributed · peak RSS {} kB",
+                run.events,
+                run.wall_s,
+                run.events_per_sec,
+                run.stride,
+                coverage_pct(run),
+                run.peak_rss_kb
+            );
+            kind_table(&mut out, run);
+        }
+        if art.runs.len() > 1 {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "   trajectory (run · label · events/s · peak RSS kB · attributed):"
+            );
+            for (ri, run) in art.runs.iter().enumerate() {
+                let attributed = if run.kinds.is_empty() {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", coverage_pct(run))
+                };
+                let _ = writeln!(
+                    out,
+                    "     {:<4} {:<18} {:>12.0} {:>12} {:>10}",
+                    ri + 1,
+                    run.label,
+                    run.events_per_sec,
+                    run.peak_rss_kb,
+                    attributed
+                );
+            }
+        }
+    }
+
+    // Side-by-side across files: the latest run per (file, label).
+    let rows: Vec<(&str, &HostProfile)> = entries
+        .iter()
+        .flat_map(|(name, art)| {
+            latest_by_label(&art.runs)
+                .into_iter()
+                .map(move |run| (name.as_str(), run))
+        })
+        .collect();
+    if rows.len() > 1 {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Perf comparison");
+        let _ = writeln!(
+            out,
+            "{:<12} {:<18} {:>12} {:>10} {:>12} {:>10}",
+            "file", "label", "events/s", "ns/event", "peak RSS kB", "attributed"
+        );
+        for (name, run) in rows {
+            let per_event = if run.events > 0 {
+                run.wall_s * 1e9 / run.events as f64
+            } else {
+                0.0
+            };
+            let attributed = if run.kinds.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", coverage_pct(run))
+            };
+            let _ = writeln!(
+                out,
+                "{name:<12} {:<18} {:>12.0} {:>10.1} {:>12} {:>10}",
+                run.label, run.events_per_sec, per_event, run.peak_rss_kb, attributed
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1186,6 +1485,167 @@ baseline           8000 (fault-free run)
         assert!(compare_bench(&base, &disjoint, 0.1)
             .unwrap_err()
             .contains("no comparable label"));
+    }
+
+    fn host_profile(label: &str, events: u64, eps: f64) -> HostProfile {
+        use netrs_sim::{AllocStats, HostMeta, QueueStats, PERF_SCHEMA_VERSION};
+        HostProfile {
+            label: label.into(),
+            schema_version: PERF_SCHEMA_VERSION,
+            scheme: label.rsplit('/').next().unwrap_or(label).into(),
+            seed: 1,
+            requests: 2_000,
+            events,
+            wall_s: 0.006,
+            events_per_sec: eps,
+            peak_rss_kb: 6_900,
+            stride: 7,
+            attributed_ns: 4_500_000,
+            host: HostMeta {
+                commit: "ab12cd3".into(),
+                cpu: "Test CPU".into(),
+                cores: 8,
+            },
+            queue: QueueStats {
+                pushes: events,
+                pops: events,
+                high_water: 420,
+                depth_hist: vec![1, 2, 4],
+            },
+            alloc: Some(AllocStats {
+                allocs: 120,
+                deallocs: 100,
+                peak_bytes: 9_000_000,
+            }),
+            kinds: vec![
+                KindRecord {
+                    kind: "Generate".into(),
+                    layer: "state".into(),
+                    count: 2_000,
+                    sampled: 290,
+                    self_ns: 1_500_000,
+                },
+                KindRecord {
+                    kind: "ServerDone".into(),
+                    layer: "server".into(),
+                    count: events - 2_000,
+                    sampled: 2_282,
+                    self_ns: 3_000_000,
+                },
+            ],
+        }
+    }
+
+    fn to_value(artifact: &PerfArtifact) -> Value {
+        let text = serde_json::to_string(artifact).unwrap();
+        serde_json::from_str(&text).unwrap()
+    }
+
+    #[test]
+    fn check_bench_detects_and_validates_versioned_artifacts() {
+        let art = PerfArtifact {
+            runs: vec![
+                HostProfile::from_legacy("smoke/CliRS", 18_000, 2_500_000.0, 6_000, 0.0072),
+                host_profile("smoke/CliRS", 18_000, 3_000_000.0),
+            ],
+        };
+        assert_eq!(check_bench(&to_value(&art)).unwrap(), BenchSchema::V1);
+        // A bare `simulate --perf` profile is also versioned.
+        let bare: Value = serde_json::from_str(
+            &serde_json::to_string(&host_profile("CliRS", 18_000, 3e6)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(check_bench(&bare).unwrap(), BenchSchema::V1);
+        // The legacy shape still reports as legacy.
+        let legacy = Value::Obj(vec![(
+            "x".into(),
+            Value::Obj(
+                PERF_KEYS
+                    .iter()
+                    .map(|k| ((*k).to_string(), Value::F(1.0)))
+                    .collect(),
+            ),
+        )]);
+        assert_eq!(check_bench(&legacy).unwrap(), BenchSchema::Legacy);
+        // Kind counts that do not sum to the event total are rejected.
+        let mut bad = host_profile("CliRS", 18_000, 3e6);
+        bad.kinds[0].count += 1;
+        let err = check_bench(&to_value(&PerfArtifact { runs: vec![bad] })).unwrap_err();
+        assert!(err.contains("sum"), "{err}");
+        // Empty histories and unknown versions are rejected.
+        let empty: Value = serde_json::from_str(r#"{"schema_version": 1, "runs": []}"#).unwrap();
+        assert!(check_bench(&empty).unwrap_err().contains("no runs"));
+        let future: Value = serde_json::from_str(r#"{"schema_version": 99, "runs": []}"#).unwrap();
+        assert!(check_bench(&future).unwrap_err().contains("unsupported"));
+    }
+
+    #[test]
+    fn compare_bench_normalizes_versioned_against_legacy() {
+        let legacy = Value::Obj(vec![(
+            "smoke/CliRS".into(),
+            Value::Obj(vec![
+                ("events".into(), Value::U(18_000)),
+                ("events_per_sec".into(), Value::F(1_000_000.0)),
+                ("peak_rss_kb".into(), Value::U(6_000)),
+                ("wall_clock_s".into(), Value::F(0.018)),
+            ]),
+        )]);
+        // The versioned candidate's history: an old slow run, then the
+        // current one — the latest run per label must win.
+        let ok = PerfArtifact {
+            runs: vec![
+                host_profile("smoke/CliRS", 18_000, 500_000.0),
+                host_profile("smoke/CliRS", 18_000, 980_000.0),
+            ],
+        };
+        let cmp = compare_bench(&legacy, &to_value(&ok), 0.1).expect("schemas normalize");
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+        assert!(cmp.report.contains("events_per_sec"));
+
+        let bad = PerfArtifact {
+            runs: vec![host_profile("smoke/CliRS", 18_000, 800_000.0)],
+        };
+        let cmp = compare_bench(&legacy, &to_value(&bad), 0.1).expect("schemas normalize");
+        assert_eq!(cmp.regressions.len(), 1, "20% drop fails a 10% gate");
+    }
+
+    #[test]
+    fn perf_report_pins_its_format() {
+        let art = PerfArtifact {
+            runs: vec![
+                HostProfile::from_legacy("smoke/CliRS", 18_000, 2_500_000.0, 6_000, 0.0072),
+                host_profile("smoke/CliRS", 18_000, 3_000_000.0),
+            ],
+        };
+        let report = perf_report(&[("bench".to_string(), art.clone())]);
+        let expected = "\
+## Perf profile: bench
+   2 runs (1 profiled, 1 legacy)
+
+### smoke/CliRS — scheme CliRS · seed 1 · 2000 requests
+   host: Test CPU · 8 cores · commit ab12cd3
+   18000 events in 0.006s wall (3000000 events/s) · stride 7 · 75.0% of wall attributed · peak RSS 6900 kB
+   kind             layer           count    self-ms   % wall   ns/event
+   ServerDone       server          16000      3.000    50.0%      187.5
+   Generate         state            2000      1.500    25.0%      750.0
+   by layer (self-ms · % of attributed · events):
+     server              3.000    66.7%        16000
+     state               1.500    33.3%         2000
+   queue: 18000 pushes · 18000 pops · high-water 420 · depth log2-hist [1, 2, 4]
+   alloc: 120 allocs · 100 deallocs · peak 9000000 bytes (0.007 allocs/event)
+
+   trajectory (run · label · events/s · peak RSS kB · attributed):
+     1    smoke/CliRS             2500000         6000          -
+     2    smoke/CliRS             3000000         6900      75.0%
+";
+        assert_eq!(report, expected);
+        // Two files close with the side-by-side comparison.
+        let report = perf_report(&[
+            ("before".to_string(), art.clone()),
+            ("after".to_string(), art),
+        ]);
+        assert!(report.contains("## Perf comparison"), "{report}");
+        assert!(report.contains("ns/event"), "{report}");
     }
 
     #[test]

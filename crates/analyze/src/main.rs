@@ -16,8 +16,10 @@ use std::io::Write;
 use netrs_analyze::{
     availability_report, bench_artifact, check_bench, compare_bench, comparison_report,
     control_report, hotspot_report, load_control, load_devices, load_stats, load_timeseries,
-    load_trace, split_label, tail_report, timeseries_report, LabeledTrace,
+    load_trace, perf_report, split_label, tail_report, timeseries_report, BenchSchema,
+    LabeledTrace,
 };
+use netrs_sim::PerfArtifact;
 use serde::Value;
 
 fn usage() -> ! {
@@ -26,6 +28,7 @@ fn usage() -> ! {
          [--devices FILE] [--timeseries FILE] [--bench-json OUT] [--top N]\n\
          \x20      netrs-analyze control [LABEL=]FILE [[LABEL=]FILE ...]\n\
          \x20      netrs-analyze availability --stats [LABEL=]FILE [--stats [LABEL=]FILE ...]\n\
+         \x20      netrs-analyze perf [LABEL=]FILE [[LABEL=]FILE ...]\n\
          \x20      netrs-analyze check-bench FILE [BASELINE] [--threshold F]"
     );
     std::process::exit(2);
@@ -89,7 +92,7 @@ fn report(args: &[String]) {
     }
     if let Some(path) = bench_path.as_deref() {
         let artifact = bench_artifact(&traces);
-        check_bench(&artifact)
+        let _ = check_bench(&artifact)
             .unwrap_or_else(|e| fail(&format!("generated artifact invalid: {e}")));
         let text = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
         let mut f = std::fs::File::create(path)
@@ -138,6 +141,23 @@ fn control(args: &[String]) {
     print!("{}", control_report(&entries));
 }
 
+/// `perf FILE [FILE...]` renders the host-perf report for one or more
+/// perf artifacts (versioned, bare `simulate --perf` profiles, or legacy
+/// flat maps — the latter upgrade in memory and show as history rows).
+fn perf(args: &[String]) {
+    let mut entries = Vec::new();
+    for spec in args {
+        let (label, path) = split_label(spec);
+        let v = load_artifact(path);
+        let art = PerfArtifact::from_value(&v).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        entries.push((label, art));
+    }
+    if entries.is_empty() {
+        usage();
+    }
+    print!("{}", perf_report(&entries));
+}
+
 fn load_artifact(path: &str) -> Value {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
@@ -175,9 +195,12 @@ fn check_bench_cmd(args: &[String]) {
     };
     let artifact = load_artifact(&path);
     match check_bench(&artifact) {
-        Ok(()) => {
-            let n = artifact.as_obj().map_or(0, <[_]>::len);
-            println!("{path}: valid bench artifact ({n} entries)");
+        Ok(schema) => {
+            let n = match schema {
+                BenchSchema::Legacy => artifact.as_obj().map_or(0, <[_]>::len),
+                BenchSchema::V1 => PerfArtifact::from_value(&artifact).map_or(0, |a| a.runs.len()),
+            };
+            println!("{path}: valid bench artifact ({n} entries, {schema})");
         }
         Err(e) => fail(&format!("{path}: {e}")),
     }
@@ -201,6 +224,7 @@ fn main() {
         Some("report") => report(&args[1..]),
         Some("control") => control(&args[1..]),
         Some("availability") => availability(&args[1..]),
+        Some("perf") => perf(&args[1..]),
         Some("check-bench") => check_bench_cmd(&args[1..]),
         _ => usage(),
     }

@@ -15,7 +15,7 @@
 use std::io::Write as _;
 
 use netrs_bench::{
-    ablate_c3, ablate_cap, ablate_group, ablate_hops, fig4, fig5, fig6, fig7, merge_perf_artifact,
+    ablate_c3, ablate_cap, ablate_group, ablate_hops, append_perf_artifact, fig4, fig5, fig6, fig7,
     paper_base, render_tables, rsp_experiment, run_figure, run_perf_suite, FigureSpec,
 };
 use netrs_sim::SimConfig;
@@ -168,11 +168,13 @@ fn main() {
     }
 }
 
-/// The `perf` subcommand: time every scheme on the fixed perf config and
-/// merge the results into the bench artifact (`--out`, default
-/// `target/repro/BENCH_PERF.json`). `--tag before|after` prefixes the
-/// entry labels so successive suites coexist; `--small` substitutes the
-/// tiny test config for CI schema smoke.
+/// The `perf` subcommand: run every scheme on the fixed perf config with
+/// the host profiler attached and append the run records to the bench
+/// artifact (`--out`, default `target/repro/BENCH_PERF.json`). A legacy
+/// flat-map artifact is upgraded to the versioned schema in the same
+/// pass. `--tag before|after` prefixes the run labels so successive
+/// suites coexist; `--small` substitutes the tiny test config for CI
+/// schema smoke.
 fn run_perf(opts: &Options) {
     let mut cfg = if opts.small {
         let mut c = SimConfig::small();
@@ -186,16 +188,25 @@ fn run_perf(opts: &Options) {
         .out
         .clone()
         .unwrap_or_else(|| "target/repro/BENCH_PERF.json".to_string());
-    let entries = run_perf_suite(&cfg, opts.tag.as_deref());
-    for (label, e) in &entries {
+    let runs = run_perf_suite(&cfg, opts.tag.as_deref());
+    for r in &runs {
         log_line(&format!(
-            "perf: {label}: {:.3}s wall, {} events, {:.0} events/s, peak RSS {} kB",
-            e.wall_clock_s, e.events, e.events_per_sec, e.peak_rss_kb
+            "perf: {}: {:.3}s wall, {} events, {:.0} events/s, {:.1}% attributed, peak RSS {} kB",
+            r.label,
+            r.wall_s,
+            r.events,
+            r.events_per_sec,
+            if r.wall_s > 0.0 {
+                r.attributed_ns as f64 / (r.wall_s * 1e9) * 100.0
+            } else {
+                0.0
+            },
+            r.peak_rss_kb
         ));
     }
     let existing = std::fs::read_to_string(&out).ok();
-    let artifact = merge_perf_artifact(existing.as_deref(), &entries).unwrap_or_else(|e| {
-        eprintln!("cannot merge into {out}: {e}");
+    let artifact = append_perf_artifact(existing.as_deref(), runs).unwrap_or_else(|e| {
+        eprintln!("cannot append into {out}: {e}");
         std::process::exit(1);
     });
     if let Some(dir) = std::path::Path::new(&out).parent() {

@@ -15,10 +15,15 @@
 
 use netrs::{PlacementProblem, PlanConstraints, PlanSolver, TrafficGroups, TrafficMatrix};
 use netrs_selection::CubicConfig;
-use netrs_sim::{run_seeds, MeanStats, RunStats, Scheme, SimConfig};
+use netrs_sim::{
+    run_observed, run_seeds, HostProfile, MeanStats, ObsOptions, PerfArtifact, PerfOptions,
+    RunStats, Scheme, SimConfig,
+};
 use netrs_simcore::{SimDuration, SimRng};
 use netrs_topology::{FatTree, HostId};
 use serde::{Serialize, Value};
+
+pub use netrs_simcore::peak_rss_kb;
 
 /// One sweep point: a label for the x-axis plus the configuration
 /// overrides that realize it.
@@ -286,58 +291,34 @@ pub fn ablate_c3(base: &SimConfig) -> FigureSpec {
     }
 }
 
-/// One wall-clock perf measurement: a single scheme run on the fixed
-/// perf configuration (see [`SimConfig::perf`]).
-#[derive(Debug, Clone)]
-pub struct PerfEntry {
-    /// Engine events processed.
-    pub events: u64,
-    /// Events per wall-clock second.
-    pub events_per_sec: f64,
-    /// Process peak RSS (`VmHWM` from `/proc/self/status`) after the
-    /// run, in kB. Monotonic across the process lifetime, so later
-    /// schemes in one suite inherit earlier peaks; compare suites, not
-    /// schemes, on this column.
-    pub peak_rss_kb: u64,
-    /// Wall-clock seconds of the run.
-    pub wall_clock_s: f64,
-}
-
-/// Process peak resident set size in kB (`VmHWM` from
-/// `/proc/self/status`), or 0 where procfs is unavailable.
+/// Runs one scheme on `cfg` with the host profiler attached and returns
+/// its [`HostProfile`] relabeled to `label`.
+///
+/// The profiler's strided sampling costs a few percent of throughput, so
+/// profiled events/s runs slightly below an unobserved run — consistent
+/// across suites, which is what the before/after comparisons need. Peak
+/// RSS is monotonic across the process lifetime, so later schemes in one
+/// suite inherit earlier peaks; compare suites, not schemes, on that
+/// column.
 #[must_use]
-pub fn peak_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    status
-        .lines()
-        .find_map(|l| l.strip_prefix("VmHWM:"))
-        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
-        .unwrap_or(0)
-}
-
-/// Times one scheme on `cfg` (wall clock, events/s, peak RSS).
-#[must_use]
-pub fn run_perf_entry(cfg: &SimConfig, scheme: Scheme) -> PerfEntry {
+pub fn run_perf_profile(cfg: &SimConfig, scheme: Scheme, label: &str) -> HostProfile {
     let mut cfg = cfg.clone();
     cfg.scheme = scheme;
-    let started = std::time::Instant::now();
-    let stats = netrs_sim::run(cfg);
-    let wall_clock_s = started.elapsed().as_secs_f64();
-    PerfEntry {
-        events: stats.events,
-        events_per_sec: stats.events as f64 / wall_clock_s.max(1e-9),
-        peak_rss_kb: peak_rss_kb(),
-        wall_clock_s,
-    }
+    let obs = ObsOptions {
+        perf: Some(PerfOptions::default()),
+        ..ObsOptions::default()
+    };
+    let mut out = run_observed(cfg, obs);
+    let mut profile = out.perf.take().expect("perf profiling was requested");
+    profile.label = label.into();
+    profile
 }
 
-/// Runs the perf suite — every scheme once on `cfg` — and returns
-/// labeled entries. `tag` prefixes each label (`"before/CliRS"`) so
-/// before/after suites can live in one artifact.
+/// Runs the perf suite — every scheme once on `cfg` with the host
+/// profiler attached. `tag` prefixes each label (`"after/CliRS"`) so
+/// successive suites coexist in one artifact.
 #[must_use]
-pub fn run_perf_suite(cfg: &SimConfig, tag: Option<&str>) -> Vec<(String, PerfEntry)> {
+pub fn run_perf_suite(cfg: &SimConfig, tag: Option<&str>) -> Vec<HostProfile> {
     Scheme::ALL
         .iter()
         .map(|&scheme| {
@@ -346,56 +327,36 @@ pub fn run_perf_suite(cfg: &SimConfig, tag: Option<&str>) -> Vec<(String, PerfEn
                 None => scheme.label().to_string(),
             };
             eprintln!("perf: running {label}...");
-            (label, run_perf_entry(cfg, scheme))
+            run_perf_profile(cfg, scheme, &label)
         })
         .collect()
 }
 
-impl PerfEntry {
-    /// The entry as a JSON object carrying exactly the analyzer's
-    /// `PERF_KEYS`.
-    #[must_use]
-    pub fn to_value(&self) -> Value {
-        Value::Obj(vec![
-            ("events".into(), Value::U(u128::from(self.events))),
-            ("events_per_sec".into(), Value::F(self.events_per_sec)),
-            ("peak_rss_kb".into(), Value::U(u128::from(self.peak_rss_kb))),
-            ("wall_clock_s".into(), Value::F(self.wall_clock_s)),
-        ])
-    }
-}
-
-/// Serializes perf entries as a bench artifact (a JSON object keyed by
-/// label), merging over `existing` JSON text if given: entries with the
-/// same label are replaced, others are kept. The result validates under
-/// `netrs-analyze check-bench`.
+/// Appends profiled runs to a perf artifact, returning the serialized
+/// versioned artifact (`schema_version` + `runs`). `existing` may be a
+/// versioned artifact, a bare `simulate --perf` profile, or the legacy
+/// flat label → throughput map — legacy entries are upgraded in place
+/// (see [`PerfArtifact::from_value`]), so history survives the schema
+/// change. The result validates under `netrs-analyze check-bench`.
 ///
 /// # Errors
 ///
-/// Returns an error when `existing` is not a JSON object.
-pub fn merge_perf_artifact(
+/// Returns an error when `existing` is not valid JSON in any known
+/// artifact shape.
+pub fn append_perf_artifact(
     existing: Option<&str>,
-    entries: &[(String, PerfEntry)],
+    runs: Vec<HostProfile>,
 ) -> Result<String, String> {
-    let mut merged: Vec<(String, Value)> = match existing {
+    let mut artifact = match existing {
         Some(text) => {
             let v: Value =
                 serde_json::from_str(text).map_err(|e| format!("existing artifact: {e}"))?;
-            match v {
-                Value::Obj(pairs) => pairs,
-                _ => return Err("existing artifact must be a JSON object".into()),
-            }
+            PerfArtifact::from_value(&v).map_err(|e| format!("existing artifact: {e}"))?
         }
-        None => Vec::new(),
+        None => PerfArtifact::default(),
     };
-    for (label, entry) in entries {
-        let value = entry.to_value();
-        match merged.iter_mut().find(|(l, _)| l == label) {
-            Some((_, slot)) => *slot = value,
-            None => merged.push((label.clone(), value)),
-        }
-    }
-    serde_json::to_string_pretty(&Value::Obj(merged)).map_err(|e| e.to_string())
+    artifact.runs.extend(runs);
+    serde_json::to_string_pretty(&artifact).map_err(|e| e.to_string())
 }
 
 /// Runs a figure across its sweep and schemes.
@@ -592,38 +553,40 @@ mod tests {
     }
 
     #[test]
-    fn perf_artifact_merges_and_carries_perf_keys() {
-        let entry = PerfEntry {
-            events: 100,
-            events_per_sec: 50.0,
-            peak_rss_kb: 1024,
-            wall_clock_s: 2.0,
-        };
-        let first = merge_perf_artifact(None, &[("before/CliRS".into(), entry.clone())])
-            .expect("fresh artifact");
-        assert!(first.contains("\"wall_clock_s\""));
-        assert!(first.contains("\"before/CliRS\""));
-        // Merging adds new labels and replaces matching ones.
-        let updated = PerfEntry {
-            events: 100,
-            events_per_sec: 200.0,
-            peak_rss_kb: 1024,
-            wall_clock_s: 0.5,
-        };
-        let merged = merge_perf_artifact(
-            Some(&first),
-            &[
-                ("before/CliRS".into(), updated),
-                ("after/CliRS".into(), entry),
-            ],
-        )
-        .expect("merge over existing");
-        assert!(merged.contains("\"after/CliRS\""));
-        assert_eq!(merged.matches("\"before/CliRS\"").count(), 1);
-        assert!(merged.contains("0.5"));
-        assert!(!merged.contains("2.0") || merged.contains("\"after/CliRS\""));
-        // Non-object existing text is rejected, not clobbered.
-        assert!(merge_perf_artifact(Some("[1,2]"), &[]).is_err());
+    fn perf_suite_profiles_every_scheme() {
+        let mut cfg = SimConfig::small();
+        cfg.requests = 300;
+        cfg.seed = 1;
+        let runs = run_perf_suite(&cfg, Some("t"));
+        assert_eq!(runs.len(), Scheme::ALL.len());
+        for run in &runs {
+            assert!(run.label.starts_with("t/"), "{}", run.label);
+            assert_eq!(run.kind_count_sum(), run.events, "{}", run.label);
+            assert!(run.events_per_sec > 0.0);
+            assert!(run.stride > 0);
+        }
+    }
+
+    #[test]
+    fn perf_artifact_appends_and_upgrades_legacy_history() {
+        let legacy = r#"{
+            "before/CliRS": {"events": 100, "events_per_sec": 50.0,
+                             "peak_rss_kb": 640, "wall_clock_s": 2.0}
+        }"#;
+        let run = HostProfile::from_legacy("after/CliRS", 200, 99.0, 512, 2.0);
+        let text = append_perf_artifact(Some(legacy), vec![run]).expect("upgrade + append");
+        assert!(text.contains("\"schema_version\": 1"), "{text}");
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let art = PerfArtifact::from_value(&v).unwrap();
+        assert_eq!(art.runs.len(), 2);
+        assert_eq!(art.runs[0].label, "before/CliRS");
+        assert_eq!(art.runs[1].label, "after/CliRS");
+        // Appending over the result is idempotent in shape: still v1.
+        let again = append_perf_artifact(Some(&text), Vec::new()).expect("v1 round-trip");
+        let v: Value = serde_json::from_str(&again).unwrap();
+        assert_eq!(PerfArtifact::from_value(&v).unwrap().runs.len(), 2);
+        // Unrecognizable existing text is rejected, not clobbered.
+        assert!(append_perf_artifact(Some("[1,2]"), Vec::new()).is_err());
     }
 
     #[test]

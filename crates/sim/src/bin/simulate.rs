@@ -14,8 +14,17 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use netrs_sim::{run_observed, FaultPlan, ObsOptions, SamplerSpec, SimConfig};
+use netrs_sim::{run_observed, FaultPlan, ObsOptions, PerfOptions, SamplerSpec, SimConfig};
 use netrs_simcore::SimDuration;
+
+// With `--features alloc-profile` the binary registers the counting
+// allocator, so `--perf` profiles gain per-run allocation counters.
+// (The crate-level `forbid(unsafe_code)` applies to the library target;
+// this registration is safe code — the unsafe impl lives in
+// netrs-allocprobe.)
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static ALLOC: netrs_allocprobe::CountingAllocator = netrs_allocprobe::CountingAllocator;
 
 fn usage() -> ! {
     eprintln!(
@@ -23,7 +32,7 @@ fn usage() -> ! {
          [--requests N] [--clients N] [--utilization F] [--skew F] [--seed N] \
          [--small] [--faults FILE] [--emit-config] [--json] \
          [--trace FILE] [--trace-hops] [--timeseries FILE] [--sample-every-us N] \
-         [--devices FILE] [--control FILE] [--progress]"
+         [--devices FILE] [--control FILE] [--perf FILE] [--perf-stride N] [--progress]"
     );
     std::process::exit(2);
 }
@@ -45,6 +54,8 @@ fn main() {
     let mut timeseries_path: Option<String> = None;
     let mut devices_path: Option<String> = None;
     let mut control_path: Option<String> = None;
+    let mut perf_path: Option<String> = None;
+    let mut perf_stride: u32 = PerfOptions::default().stride;
     let mut sample_every_us: u64 = 10_000;
     let mut progress = false;
 
@@ -107,6 +118,14 @@ fn main() {
             "--timeseries" => timeseries_path = Some(next()),
             "--devices" => devices_path = Some(next()),
             "--control" => control_path = Some(next()),
+            "--perf" => perf_path = Some(next()),
+            "--perf-stride" => {
+                perf_stride = next().parse().unwrap_or_else(|_| usage());
+                if perf_stride == 0 {
+                    eprintln!("--perf-stride must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             "--sample-every-us" => {
                 sample_every_us = next().parse().unwrap_or_else(|_| usage());
                 if sample_every_us == 0 {
@@ -130,6 +149,7 @@ fn main() {
     // milliseconds, not after minutes of simulation.
     let mut timeseries_file = timeseries_path.as_deref().map(create);
     let mut devices_file = devices_path.as_deref().map(create);
+    let mut perf_file = perf_path.as_deref().map(create);
     let obs = ObsOptions {
         trace: trace_path
             .as_deref()
@@ -143,10 +163,36 @@ fn main() {
         control: control_path
             .as_deref()
             .map(|p| Box::new(create(p)) as Box<dyn std::io::Write + Send>),
+        perf: perf_path.as_deref().map(|_| PerfOptions {
+            stride: perf_stride,
+        }),
         progress,
     };
     let out = run_observed(cfg, obs);
     let stats = out.stats;
+    if let (Some(w), Some(perf)) = (perf_file.as_mut(), out.perf.as_ref()) {
+        use std::io::Write;
+        writeln!(
+            w,
+            "{}",
+            serde_json::to_string_pretty(perf).expect("perf profile serializes")
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", perf_path.as_deref().unwrap());
+            std::process::exit(1);
+        });
+        eprintln!(
+            "perf: {} events · {:.1}% of wall attributed across {} kinds · stride {}",
+            perf.events,
+            if perf.wall_s > 0.0 {
+                perf.attributed_ns as f64 / (perf.wall_s * 1e9) * 100.0
+            } else {
+                0.0
+            },
+            perf.kinds.iter().filter(|k| k.count > 0).count(),
+            perf.stride,
+        );
+    }
     if let (Some(w), Some(ts)) = (timeseries_file.as_mut(), out.timeseries.as_ref()) {
         ts.write_jsonl(w).unwrap_or_else(|e| {
             eprintln!("cannot write {}: {e}", timeseries_path.as_deref().unwrap());

@@ -382,6 +382,14 @@ impl<D: DeviceProbe> Cluster<D> {
 impl<D: DeviceProbe> World for Cluster<D> {
     type Event = Ev;
 
+    fn event_kinds() -> &'static [&'static str] {
+        crate::perf::kind_names()
+    }
+
+    fn event_kind(event: &Ev) -> u32 {
+        event.kind_index()
+    }
+
     fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
         match event {
             Ev::Generate { gen } => {

@@ -34,6 +34,7 @@ mod config;
 mod dense;
 mod fabric;
 mod obs;
+pub mod perf;
 mod policy;
 mod runner;
 mod server;
@@ -50,8 +51,11 @@ pub use netrs_faults::{
 pub use netrs_simcore::EngineProfile;
 pub use obs::{
     ControlRecord, DeviceRecord, DeviceStatsReport, DisplacedGroup, DrsSpanRecord, HopSpan,
-    ObsOptions, PlanEventRecord, SamplePoint, SamplerSpec, SnapshotGroup, SnapshotRecord,
-    SolveRecord, TimeSeries, TraceRecord,
+    ObsOptions, PerfOptions, PlanEventRecord, SamplePoint, SamplerSpec, SnapshotGroup,
+    SnapshotRecord, SolveRecord, TimeSeries, TraceRecord,
+};
+pub use perf::{
+    AllocStats, HostMeta, HostProfile, KindRecord, PerfArtifact, QueueStats, PERF_SCHEMA_VERSION,
 };
 pub use policy::NotInNetwork;
 pub use runner::{run, run_all_schemes, run_observed, run_seeds, RunOutput};

@@ -914,6 +914,24 @@ impl ControlLog {
     }
 }
 
+/// Configuration of the host-performance profiler (`--perf`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfOptions {
+    /// Wall-clock sampling stride: every `stride`-th engine step is
+    /// timed (clamped to at least 1). The default,
+    /// [`PerfProbe::DEFAULT_STRIDE`](netrs_simcore::PerfProbe::DEFAULT_STRIDE),
+    /// bounds profiling overhead at a few percent.
+    pub stride: u32,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            stride: netrs_simcore::PerfProbe::DEFAULT_STRIDE,
+        }
+    }
+}
+
 /// What to observe during a run. The default observes nothing and is
 /// exactly the classic [`run`](crate::run).
 #[derive(Default)]
@@ -932,6 +950,9 @@ pub struct ObsOptions {
     /// snapshot windows, controller decision audits and DRS failure
     /// spans.
     pub control: Option<Box<dyn Write + Send>>,
+    /// Attach the host-performance profiler and return a
+    /// [`HostProfile`](crate::HostProfile) on the run output.
+    pub perf: Option<PerfOptions>,
     /// Print a once-per-second heartbeat to stderr while running.
     pub progress: bool,
 }
@@ -944,6 +965,7 @@ impl std::fmt::Debug for ObsOptions {
             .field("timeseries", &self.timeseries)
             .field("device_stats", &self.device_stats)
             .field("control", &self.control.is_some())
+            .field("perf", &self.perf)
             .field("progress", &self.progress)
             .finish()
     }
@@ -1160,8 +1182,10 @@ mod tests {
         assert!(obs.trace.is_none());
         assert!(obs.timeseries.is_none());
         assert!(obs.control.is_none());
+        assert!(obs.perf.is_none());
         assert!(!obs.progress);
         assert!(format!("{obs:?}").contains("trace: false"));
         assert!(format!("{obs:?}").contains("control: false"));
+        assert!(format!("{obs:?}").contains("perf: None"));
     }
 }

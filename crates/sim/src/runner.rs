@@ -5,11 +5,15 @@ use std::time::{Duration, Instant};
 
 use crossbeam::thread;
 
-use netrs_simcore::{DeviceProbe, DeviceStatsRegistry, Engine, EngineProfile, NoDeviceProbe};
+use netrs_simcore::{
+    DeviceProbe, DeviceStatsRegistry, Engine, EngineProfile, NoDeviceProbe, NoProbe, PerfProbe,
+    PerfReport, Probe,
+};
 
 use crate::cluster::Cluster;
 use crate::config::{Scheme, SimConfig};
 use crate::obs::{DeviceStatsReport, ObsOptions, TimeSeries};
+use crate::perf::{self, AllocStats, HostMeta, HostProfile, QueueStats, PERF_SCHEMA_VERSION};
 use crate::stats::RunStats;
 
 /// Everything an observed run produces.
@@ -23,6 +27,8 @@ pub struct RunOutput {
     pub timeseries: Option<TimeSeries>,
     /// Per-device telemetry, if [`ObsOptions::device_stats`] was set.
     pub devices: Option<DeviceStatsReport>,
+    /// The host-performance profile, if [`ObsOptions::perf`] was set.
+    pub perf: Option<HostProfile>,
 }
 
 /// Runs one configuration to completion and returns its statistics.
@@ -65,7 +71,38 @@ pub fn run_observed(cfg: SimConfig, obs: ObsOptions) -> RunOutput {
     }
 }
 
-fn run_observed_with<D: DeviceProbe>(cfg: SimConfig, obs: ObsOptions, devices: D) -> RunOutput {
+fn run_observed_with<D: DeviceProbe>(cfg: SimConfig, mut obs: ObsOptions, devices: D) -> RunOutput {
+    // Second dispatch: the perf probe is monomorphized in exactly like
+    // the device probe, so a non-profiled run keeps NoProbe and its
+    // compiled-away hooks.
+    match obs.perf.take() {
+        Some(popt) => {
+            let scheme = cfg.scheme;
+            let seed = cfg.seed;
+            let requests = cfg.requests;
+            let alloc_before = alloc_mark();
+            let probe = PerfProbe::new(perf::kind_names(), popt.stride);
+            let (mut out, probe) = run_engine(cfg, obs, devices, probe);
+            out.perf = Some(host_profile(
+                scheme,
+                seed,
+                requests,
+                &out.profile,
+                &probe.report(),
+                alloc_since(alloc_before),
+            ));
+            out
+        }
+        None => run_engine(cfg, obs, devices, NoProbe).0,
+    }
+}
+
+fn run_engine<D: DeviceProbe, P: Probe>(
+    cfg: SimConfig,
+    obs: ObsOptions,
+    devices: D,
+    probe: P,
+) -> (RunOutput, P) {
     let total_requests = cfg.requests;
     let mut cluster = Cluster::with_device_probe(cfg, devices);
     if let Some(w) = obs.trace {
@@ -80,7 +117,7 @@ fn run_observed_with<D: DeviceProbe>(cfg: SimConfig, obs: ObsOptions, devices: D
     if let Some(w) = obs.control {
         cluster.set_control(w);
     }
-    let mut engine = Engine::new(cluster);
+    let mut engine = Engine::with_probe(cluster, probe);
     {
         // Split borrows: prime needs the world and the queue.
         let engine = &mut engine;
@@ -96,24 +133,101 @@ fn run_observed_with<D: DeviceProbe>(cfg: SimConfig, obs: ObsOptions, devices: D
     let profile = engine.profile();
     let now = engine.now();
     let events = engine.processed();
-    let mut cluster = engine.into_world();
+    let (mut cluster, probe) = engine.into_parts();
     debug_assert!(cluster.drained(), "simulation ended with work outstanding");
     cluster.flush_tracer();
     cluster.flush_control(now);
     let timeseries = cluster.take_timeseries();
     let devices = cluster.take_device_report(now);
     let stats = cluster.stats(now, events);
-    RunOutput {
-        stats,
-        profile,
-        timeseries,
-        devices,
+    (
+        RunOutput {
+            stats,
+            profile,
+            timeseries,
+            devices,
+            perf: None,
+        },
+        probe,
+    )
+}
+
+/// Assembles the versioned run profile from the engine's
+/// self-measurement and the perf probe's report.
+fn host_profile(
+    scheme: Scheme,
+    seed: u64,
+    requests: u64,
+    profile: &EngineProfile,
+    report: &PerfReport,
+    alloc: Option<AllocStats>,
+) -> HostProfile {
+    HostProfile {
+        label: scheme.label().into(),
+        schema_version: PERF_SCHEMA_VERSION,
+        scheme: scheme.label().into(),
+        seed,
+        requests,
+        events: profile.events,
+        wall_s: profile.wall_seconds,
+        events_per_sec: profile.events_per_sec,
+        peak_rss_kb: profile.peak_rss_kb,
+        stride: u64::from(report.stride),
+        attributed_ns: report.attributed_ns(),
+        host: HostMeta::detect(),
+        queue: QueueStats {
+            pushes: profile.pushes,
+            pops: profile.pops,
+            high_water: profile.queue_high_water as u64,
+            depth_hist: HostProfile::trim_depth_hist(&report.depth_hist),
+        },
+        alloc,
+        kinds: HostProfile::kinds_from_report(report),
     }
 }
 
+#[cfg(feature = "alloc-profile")]
+fn alloc_mark() -> netrs_allocprobe::AllocSnapshot {
+    netrs_allocprobe::snapshot()
+}
+
+/// Allocation activity since `mark`, or `None` when the counting
+/// allocator was never registered (all counters zero — a real process
+/// always allocates at startup).
+#[cfg(feature = "alloc-profile")]
+fn alloc_since(mark: netrs_allocprobe::AllocSnapshot) -> Option<AllocStats> {
+    let now = netrs_allocprobe::snapshot();
+    if now.is_empty() {
+        return None;
+    }
+    let delta = now.delta(&mark);
+    Some(AllocStats {
+        allocs: delta.allocs,
+        deallocs: delta.deallocs,
+        peak_bytes: delta.peak_bytes,
+    })
+}
+
+#[cfg(not(feature = "alloc-profile"))]
+struct AllocMark;
+
+#[cfg(not(feature = "alloc-profile"))]
+fn alloc_mark() -> AllocMark {
+    AllocMark
+}
+
+#[cfg(not(feature = "alloc-profile"))]
+fn alloc_since(_mark: AllocMark) -> Option<AllocStats> {
+    None
+}
+
 /// Drains the engine while printing a once-per-second progress line to
-/// stderr (issued/completed counts, sim time, wall-clock event rate).
-fn run_with_heartbeat<D: DeviceProbe>(engine: &mut Engine<Cluster<D>>, total_requests: u64) {
+/// stderr (issued/completed counts, sim time, wall-clock event rate,
+/// queue churn and peak RSS).
+fn run_with_heartbeat<D: DeviceProbe, P: Probe>(
+    engine: &mut Engine<Cluster<D>, P>,
+    total_requests: u64,
+) {
     const CHUNK: u32 = 16_384;
     let start = Instant::now();
     let mut last_beat = Instant::now();
@@ -128,15 +242,21 @@ fn run_with_heartbeat<D: DeviceProbe>(engine: &mut Engine<Cluster<D>>, total_req
         if last_beat.elapsed() >= Duration::from_secs(1) {
             last_beat = Instant::now();
             let w = engine.world();
+            let q = engine.queue();
             let rate = engine.processed() as f64 / start.elapsed().as_secs_f64().max(1e-9);
             eprintln!(
-                "[simulate] issued {}/{} · completed {} · sim {} · {} events ({:.0}/s)",
+                "[simulate] issued {}/{} · completed {} · sim {} · {} events ({:.0}/s) · \
+                 queue {} ({} pushes / {} pops) · peak RSS {} kB",
                 w.issued(),
                 total_requests,
                 w.completed(),
                 engine.now(),
                 engine.processed(),
-                rate
+                rate,
+                q.len(),
+                q.pushes(),
+                q.pops(),
+                netrs_simcore::peak_rss_kb(),
             );
         }
         if exhausted {
@@ -248,6 +368,25 @@ mod tests {
                 "seed {seed}: parallel and sequential runs diverged"
             );
         }
+    }
+
+    #[test]
+    fn perf_profile_counts_sum_to_total_events() {
+        let obs = ObsOptions {
+            perf: Some(crate::obs::PerfOptions::default()),
+            ..ObsOptions::default()
+        };
+        let out = run_observed(tiny(Scheme::NetRsToR), obs);
+        let perf = out.perf.expect("perf requested");
+        assert_eq!(perf.events, out.stats.events);
+        assert_eq!(perf.kind_count_sum(), out.stats.events);
+        assert_eq!(perf.queue.pops, out.stats.events);
+        assert!(perf.queue.pushes >= perf.queue.pops);
+        assert_eq!(perf.schema_version, PERF_SCHEMA_VERSION);
+        // The profiler observes; it must not perturb the simulation.
+        let plain = run(tiny(Scheme::NetRsToR));
+        assert_eq!(out.stats.latency, plain.latency);
+        assert_eq!(out.stats.events, plain.events);
     }
 
     #[test]

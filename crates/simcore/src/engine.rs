@@ -19,6 +19,26 @@ pub trait World: Sized {
 
     /// Processes one event occurring at `now`.
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// Names of this world's event kinds, indexed by [`World::event_kind`].
+    ///
+    /// Only consulted by kinded probes (see [`Probe::KINDED`]); the
+    /// default collapses every event into a single `"event"` bucket so
+    /// worlds that never profile need not implement it.
+    #[must_use]
+    fn event_kinds() -> &'static [&'static str] {
+        &["event"]
+    }
+
+    /// Dense kind index of `event`, in `0..event_kinds().len()`.
+    ///
+    /// Must be cheap (a discriminant read): kinded probes call it once
+    /// per processed event.
+    #[must_use]
+    fn event_kind(event: &Self::Event) -> u32 {
+        let _ = event;
+        0
+    }
 }
 
 /// Heap key plus a slot index into the payload slab. Keeping the payload
@@ -73,6 +93,7 @@ pub struct EventQueue<E> {
     slab: Vec<Option<E>>,
     free: Vec<u32>,
     seq: u64,
+    popped: u64,
     now: SimTime,
     high_water: usize,
 }
@@ -92,6 +113,7 @@ impl<E> EventQueue<E> {
             slab: Vec::new(),
             free: Vec::new(),
             seq: 0,
+            popped: 0,
             now: SimTime::ZERO,
             high_water: 0,
         }
@@ -120,6 +142,18 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Events ever scheduled (each `schedule_*` call is one push).
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events ever popped; `pushes() - pops()` is the pending count.
+    #[must_use]
+    pub fn pops(&self) -> u64 {
+        self.popped
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -168,6 +202,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now);
+        self.popped += 1;
         self.now = entry.at;
         let event = self.slab[entry.idx as usize]
             .take()
@@ -239,6 +274,11 @@ impl<W: World, P: Probe> Engine<W, P> {
         &mut self.world
     }
 
+    /// Shared access to the event queue, e.g. for churn counters.
+    pub fn queue(&self) -> &EventQueue<W::Event> {
+        &self.queue
+    }
+
     /// Exclusive access to the event queue, e.g. to seed initial events.
     pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
         &mut self.queue
@@ -268,16 +308,42 @@ impl<W: World, P: Probe> Engine<W, P> {
     /// high-water mark, and wall-clock throughput since construction.
     #[must_use]
     pub fn profile(&self) -> EngineProfile {
-        EngineProfile::capture(self.processed, self.queue.high_water(), self.started)
+        EngineProfile::capture(
+            self.processed,
+            self.queue.high_water(),
+            self.queue.pushes(),
+            self.queue.pops(),
+            self.started,
+        )
     }
 
     /// Processes a single event. Returns the time of the processed event, or
     /// `None` if the queue was empty.
+    ///
+    /// When the probe is kinded ([`Probe::KINDED`]) the engine asks
+    /// [`Probe::sample_due`] whether to time this step; if so it brackets
+    /// the whole step (pop, kind lookup, handler, `on_event`) between two
+    /// `Instant` reads and hands the elapsed nanoseconds to
+    /// [`Probe::on_event_kind`]. Pairing the reads around each sampled
+    /// event — instead of attributing inter-sample gaps to the boundary
+    /// event — keeps the per-kind estimate proportional to per-kind
+    /// *cost*, not per-kind count. `KINDED` is an associated const, so
+    /// for [`NoProbe`] every branch here folds away.
     pub fn step(&mut self) -> Option<SimTime> {
+        let t0 = if P::KINDED && self.probe.sample_due() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let (at, event) = self.queue.pop()?;
         self.processed += 1;
+        let kind = if P::KINDED { W::event_kind(&event) } else { 0 };
         self.world.handle(at, event, &mut self.queue);
         self.probe.on_event(at, self.queue.len());
+        if P::KINDED {
+            let sampled_ns = t0.map(|t| t.elapsed().as_nanos() as u64);
+            self.probe.on_event_kind(kind, sampled_ns);
+        }
         Some(at)
     }
 
@@ -423,6 +489,10 @@ mod tests {
         q.schedule_at(SimTime::from_nanos(40), 0);
         // Draining and refilling below the peak does not move the mark.
         assert_eq!(q.high_water(), 3);
+        // Churn counters: 4 schedules, 2 pops, difference is pending.
+        assert_eq!(q.pushes(), 4);
+        assert_eq!(q.pops(), 2);
+        assert_eq!((q.pushes() - q.pops()) as usize, q.len());
     }
 
     #[test]
@@ -437,6 +507,8 @@ mod tests {
         let profile = e.profile();
         assert_eq!(profile.events, 3);
         assert_eq!(profile.queue_high_water, 2);
+        assert_eq!(profile.pushes, 3);
+        assert_eq!(profile.pops, 3);
         assert!(profile.wall_seconds >= 0.0);
         let (world, probe) = e.into_parts();
         assert_eq!(world.seen.len(), 3);

@@ -18,7 +18,10 @@
 //! * [`DeviceProbe`] / [`DeviceStatsRegistry`] — the same monomorphized
 //!   zero-cost pattern one layer down: per-device (switch, link,
 //!   accelerator, server, client) telemetry keyed by stable
-//!   [`DeviceId`]s.
+//!   [`DeviceId`]s, and
+//! * [`PerfProbe`] — host-performance observability: per-event-kind
+//!   dispatch counts, strided wall-clock attribution, and queue-depth
+//!   histograms for profiling the simulator itself.
 //!
 //! Everything in this crate is deterministic given a seed: the engine breaks
 //! ties in event time by insertion sequence number and all randomness flows
@@ -60,6 +63,7 @@
 
 mod device;
 mod engine;
+mod hostperf;
 mod metrics;
 mod rng;
 mod time;
@@ -69,6 +73,7 @@ pub use device::{
     DeviceCounter, DeviceId, DeviceProbe, DeviceStats, DeviceStatsRegistry, NoDeviceProbe, NodeId,
 };
 pub use engine::{Engine, EventQueue, World};
+pub use hostperf::{peak_rss_kb, KindStats, PerfProbe, PerfReport, DEPTH_BUCKETS};
 pub use metrics::{Histogram, Summary};
 pub use rng::{Bimodal, SimRng, Zipf};
 pub use time::{SimDuration, SimTime};

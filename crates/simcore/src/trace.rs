@@ -21,10 +21,33 @@ use crate::time::{SimDuration, SimTime};
 /// All methods default to no-ops so implementors opt into exactly the
 /// signals they need and an uninstrumented engine pays nothing.
 pub trait Probe {
+    /// Whether this probe wants per-event-kind attribution.
+    ///
+    /// When `false` (the default) the engine never calls
+    /// [`Probe::sample_due`] or [`Probe::on_event_kind`] and never reads
+    /// the host clock per step — the associated const lets the branches
+    /// fold away entirely, preserving the zero-cost guarantee for
+    /// [`NoProbe`].
+    const KINDED: bool = false;
+
     /// Called once per processed event, after the world's handler ran.
     /// `queue_depth` is the number of events pending afterwards.
     fn on_event(&mut self, now: SimTime, queue_depth: usize) {
         let _ = (now, queue_depth);
+    }
+
+    /// Whether the engine should wall-clock-time the next step (kinded
+    /// probes only). Must be cheap — it runs before every event.
+    fn sample_due(&mut self) -> bool {
+        false
+    }
+
+    /// Called once per processed event on kinded probes, with the kind
+    /// index from [`World::event_kind`](crate::World::event_kind) and,
+    /// when [`Probe::sample_due`] returned true for this step, the
+    /// measured wall-clock nanoseconds of the whole step.
+    fn on_event_kind(&mut self, kind: u32, sampled_ns: Option<u64>) {
+        let _ = (kind, sampled_ns);
     }
 
     /// Adds `delta` to the named monotonic counter.
@@ -132,6 +155,13 @@ pub struct EngineProfile {
     pub events: u64,
     /// Deepest the future-event list ever got.
     pub queue_high_water: usize,
+    /// Events ever scheduled onto the queue.
+    pub pushes: u64,
+    /// Events ever popped off the queue.
+    pub pops: u64,
+    /// Peak resident-set size of the process in kilobytes (zero when the
+    /// platform does not expose it).
+    pub peak_rss_kb: u64,
     /// Wall-clock seconds since the engine was created.
     pub wall_seconds: f64,
     /// Events per wall-clock second (zero if no time elapsed).
@@ -142,7 +172,13 @@ impl EngineProfile {
     /// Builds a profile from raw engine counters and the construction
     /// instant.
     #[must_use]
-    pub fn capture(events: u64, queue_high_water: usize, started: Instant) -> Self {
+    pub fn capture(
+        events: u64,
+        queue_high_water: usize,
+        pushes: u64,
+        pops: u64,
+        started: Instant,
+    ) -> Self {
         let wall_seconds = started.elapsed().as_secs_f64();
         let events_per_sec = if wall_seconds > 0.0 {
             events as f64 / wall_seconds
@@ -152,6 +188,9 @@ impl EngineProfile {
         EngineProfile {
             events,
             queue_high_water,
+            pushes,
+            pops,
+            peak_rss_kb: crate::hostperf::peak_rss_kb(),
             wall_seconds,
             events_per_sec,
         }
@@ -169,8 +208,14 @@ impl std::fmt::Display for EngineProfile {
         };
         write!(
             f,
-            "{} events in {:.2}s wall ({rate} events/s), queue high-water {}",
-            self.events, self.wall_seconds, self.queue_high_water
+            "{} events in {:.2}s wall ({rate} events/s), queue high-water {} \
+             ({} pushes / {} pops), peak RSS {} kB",
+            self.events,
+            self.wall_seconds,
+            self.queue_high_water,
+            self.pushes,
+            self.pops,
+            self.peak_rss_kb
         )
     }
 }
@@ -317,11 +362,16 @@ mod tests {
         let p = EngineProfile {
             events: 1_000,
             queue_high_water: 42,
+            pushes: 1_005,
+            pops: 1_000,
+            peak_rss_kb: 4_096,
             wall_seconds: 2.0,
             events_per_sec: 500.0,
         };
         let s = p.to_string();
         assert!(s.contains("1000 events"), "{s}");
         assert!(s.contains("high-water 42"), "{s}");
+        assert!(s.contains("1005 pushes / 1000 pops"), "{s}");
+        assert!(s.contains("peak RSS 4096 kB"), "{s}");
     }
 }

@@ -1,0 +1,58 @@
+//! Allocation-tracking integration test (requires the `alloc-profile`
+//! feature). Lives in its own test binary because registering a global
+//! allocator is process-wide.
+
+use netrs_allocprobe::CountingAllocator;
+use netrs_sim::{run_observed, ObsOptions, PerfOptions, Scheme, SimConfig};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn perf_profile_reports_allocation_counters_when_allocator_registered() {
+    let mut cfg = SimConfig::small();
+    cfg.requests = 2_000;
+    cfg.scheme = Scheme::NetRsIlp;
+    cfg.seed = 7;
+    let obs = ObsOptions {
+        perf: Some(PerfOptions::default()),
+        ..ObsOptions::default()
+    };
+    let out = run_observed(cfg, obs);
+    let perf = out.perf.expect("perf profile requested");
+    let alloc = perf
+        .alloc
+        .expect("counting allocator is registered, so alloc stats must be present");
+    // Building the cluster allocates (topology, dense tables, policy).
+    assert!(alloc.allocs > 0, "{alloc:?}");
+    assert!(alloc.deallocs > 0, "{alloc:?}");
+    assert!(alloc.peak_bytes > 0, "{alloc:?}");
+    // The serialized profile carries the alloc block.
+    let json = serde_json::to_string(&perf).unwrap();
+    assert!(json.contains("\"alloc\""), "{json}");
+    assert!(json.contains("\"peak_bytes\""), "{json}");
+}
+
+#[test]
+fn hot_loop_allocation_rate_is_bounded() {
+    // The hot-path overhaul proved the steady-state loop allocation-free
+    // per event; the counting allocator must agree at whole-run scale —
+    // allocations amortize to (well under) one per event.
+    let mut cfg = SimConfig::small();
+    cfg.requests = 5_000;
+    cfg.scheme = Scheme::CliRs;
+    cfg.seed = 1;
+    let obs = ObsOptions {
+        perf: Some(PerfOptions::default()),
+        ..ObsOptions::default()
+    };
+    let out = run_observed(cfg, obs);
+    let perf = out.perf.unwrap();
+    let alloc = perf.alloc.unwrap();
+    assert!(
+        alloc.allocs < perf.events,
+        "allocs {} should amortize below one per event ({})",
+        alloc.allocs,
+        perf.events
+    );
+}

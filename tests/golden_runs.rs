@@ -32,7 +32,9 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use netrs_selection::CubicConfig;
-use netrs_sim::{run_observed, ObsOptions, OverloadPolicy, PlanSource, Scheme, SimConfig};
+use netrs_sim::{
+    run_observed, ObsOptions, OverloadPolicy, PerfOptions, PlanSource, Scheme, SimConfig,
+};
 use netrs_simcore::SimDuration;
 
 /// A `Write` sink the test can read back after the run consumed the box.
@@ -134,9 +136,18 @@ fn run_case(cfg: SimConfig) -> Artifacts {
         timeseries: None,
         device_stats: true,
         control: Some(Box::new(control_sink.clone())),
+        // The perf sink also rides along: the pre-profiler fixtures double
+        // as proof that wall-clock attribution never perturbs a run.
+        perf: Some(PerfOptions { stride: 3 }),
         progress: false,
     };
     let out = run_observed(cfg, obs);
+    let perf = out.perf.as_ref().expect("perf profile was enabled");
+    assert_eq!(
+        perf.kind_count_sum(),
+        out.stats.events,
+        "perf kind counts must partition the event stream exactly"
+    );
     let mut devices = Vec::new();
     out.devices
         .as_ref()

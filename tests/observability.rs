@@ -55,6 +55,7 @@ fn traced_run(scheme: Scheme) -> (Vec<TraceRecord>, netrs_sim::RunOutput) {
         device_stats: false,
         control: None,
         progress: false,
+        perf: None,
     };
     let out = run_observed(small(scheme), obs);
     let text = sink.take_string();
@@ -225,6 +226,7 @@ fn tracing_does_not_perturb_the_simulation() {
         device_stats: false,
         control: None,
         progress: false,
+        perf: None,
     };
     let trace_only = run_observed(small(Scheme::NetRsIlp), obs);
     assert_eq!(plain.events, trace_only.stats.events);
@@ -240,6 +242,7 @@ fn hop_traced_run(scheme: Scheme) -> (Vec<TraceRecord>, netrs_sim::RunOutput) {
         device_stats: false,
         control: None,
         progress: false,
+        perf: None,
     };
     let out = run_observed(small(scheme), obs);
     let text = sink.take_string();
@@ -324,6 +327,7 @@ fn device_stats_do_not_perturb_the_simulation() {
         device_stats: true,
         control: None,
         progress: false,
+        perf: None,
     };
     let instrumented = run_observed(small(Scheme::NetRsIlp), obs);
     assert_eq!(plain.events, instrumented.stats.events);
@@ -352,6 +356,7 @@ fn device_report_accounts_for_the_run() {
         device_stats: true,
         control: None,
         progress: false,
+        perf: None,
     };
     let out = run_observed(small(Scheme::NetRsIlp), obs);
     let report = out.devices.expect("device stats were enabled");
@@ -513,6 +518,7 @@ fn control_stream_is_deterministic_and_windows_abut() {
             device_stats: false,
             control: Some(Box::new(sink.clone())),
             progress: false,
+            perf: None,
         };
         let _ = run_observed(cfg, obs);
         sink.take_string()
