@@ -77,6 +77,44 @@ grep -q '"schema_version": 1' "$SMOKE/perf-profile.json"
 # The pinned repo baseline stays schema-valid too.
 ./target/debug/netrs-analyze check-bench BENCH_PERF.json | grep -q "versioned v1"
 
+echo "==> shard-determinism smoke (1-shard == sequential, N-shard reproducible)"
+# One shard through the ShardedEngine must be byte-identical to the
+# sequential engine; four shards must at least be reproducible per seed.
+./target/debug/simulate --small --scheme netrs-tor --requests 5000 --seed 7 \
+    --json > "$SMOKE/shard-seq.json"
+./target/debug/simulate --small --scheme netrs-tor --requests 5000 --seed 7 \
+    --shards 1 --json > "$SMOKE/shard-one.json"
+diff -u "$SMOKE/shard-seq.json" "$SMOKE/shard-one.json"
+./target/debug/simulate --small --scheme netrs-tor --requests 5000 --seed 7 \
+    --shards 4 --json > "$SMOKE/shard-four-a.json"
+./target/debug/simulate --small --scheme netrs-tor --requests 5000 --seed 7 \
+    --shards 4 --json > "$SMOKE/shard-four-b.json"
+diff -u "$SMOKE/shard-four-a.json" "$SMOKE/shard-four-b.json"
+
+echo "==> parallel-sweep smoke (grid artifact, renderer, cells match solo runs)"
+# No wall-clock gating (CI boxes are too noisy and may be single-core);
+# the measured speedup lands in the artifact for EXPERIMENTS.md instead.
+./target/debug/simulate sweep --small --requests 5000 --seeds 5,7 --schemes all \
+    --baseline --out "$SMOKE/sweep.json"
+grep -q '"schema_version": 1' "$SMOKE/sweep.json"
+grep -q '"speedup"' "$SMOKE/sweep.json"
+./target/debug/netrs-analyze sweep "$SMOKE/sweep.json" > "$SMOKE/sweep.txt"
+grep -q "## Sweep: 8 cells" "$SMOKE/sweep.txt"
+grep -q "speedup" "$SMOKE/sweep.txt"
+# A sweep cell is the same simulation as a solo run of the same config:
+# the netrs-tor/seed-7 cell must carry the mean the sequential run above
+# reported (sweep cells run the sequential engine at --shards 1).
+mean_solo=$(grep -A 2 '"latency"' "$SMOKE/shard-seq.json" | grep '"mean"' | head -1 | tr -dc 0-9)
+grep -q "\"mean\": $mean_solo" "$SMOKE/sweep.json"
+
+echo "==> sharded perf smoke (simulate --shards --perf, artifact gates check-bench)"
+./target/debug/simulate --small --scheme netrs-tor --requests 5000 --seed 7 \
+    --shards 4 --perf "$SMOKE/perf-sharded.json" --json > "$SMOKE/shard-perf-stats.json"
+# The profiler must not perturb the sharded run either.
+diff -u "$SMOKE/shard-four-a.json" "$SMOKE/shard-perf-stats.json"
+./target/debug/netrs-analyze check-bench "$SMOKE/perf-sharded.json" | grep -q "versioned v1"
+./target/debug/netrs-analyze perf "$SMOKE/perf-sharded.json" | grep -q "by layer"
+
 echo "==> alloc-profile feature (counting allocator, integration test)"
 cargo test -q -p netrs-sim --features alloc-profile --test alloc_profile
 

@@ -25,7 +25,7 @@ use std::path::Path;
 
 use netrs_sim::{
     ControlRecord, DeviceRecord, HostProfile, KindRecord, PerfArtifact, RunStats, SamplePoint,
-    Scheme, SnapshotRecord, TraceRecord,
+    Scheme, SnapshotRecord, SweepReport, TraceRecord, SWEEP_SCHEMA_VERSION,
 };
 use netrs_simcore::{Histogram, SimDuration, SimTime, Summary};
 use serde::Value;
@@ -1150,6 +1150,77 @@ pub fn perf_report(entries: &[(String, PerfArtifact)]) -> String {
     out
 }
 
+/// Loads a `simulate sweep` artifact (one pretty-printed
+/// [`SweepReport`] JSON document), rejecting unknown schema versions.
+///
+/// # Errors
+///
+/// Returns an error when the file cannot be read or parsed, or carries
+/// a schema version this build does not understand.
+pub fn load_sweep(path: &str) -> io::Result<SweepReport> {
+    let text = std::fs::read_to_string(path)?;
+    let report: SweepReport = serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    if report.schema_version != SWEEP_SCHEMA_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "sweep artifact schema v{} (this build reads v{})",
+                report.schema_version, SWEEP_SCHEMA_VERSION
+            ),
+        ));
+    }
+    Ok(report)
+}
+
+/// Renders a merged sweep artifact: the (config × seed) grid with each
+/// cell's completion count, mean and p99 latency and wall-clock cost,
+/// headed by the sweep's parallel wall-clock and — when a baseline pass
+/// was measured — the sequential wall-clock and speedup.
+#[must_use]
+pub fn sweep_report(report: &SweepReport) -> String {
+    let mut out = String::new();
+    let configs: std::collections::BTreeSet<&str> =
+        report.cells.iter().map(|c| c.label.as_str()).collect();
+    let seeds: std::collections::BTreeSet<u64> = report.cells.iter().map(|c| c.seed).collect();
+    let _ = writeln!(
+        out,
+        "## Sweep: {} cells ({} configs × {} seeds) · {} thread(s)",
+        report.cells.len(),
+        configs.len(),
+        seeds.len(),
+        report.threads
+    );
+    let timing = match (report.sequential_wall_s, report.speedup) {
+        (Some(seq), Some(s)) => format!(
+            "   parallel {:.2}s · sequential {seq:.2}s · speedup {s:.2}x",
+            report.wall_s
+        ),
+        _ => format!("   parallel {:.2}s (no sequential baseline)", report.wall_s),
+    };
+    let _ = writeln!(out, "{timing}");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>7} {:>10} {:>10} {:>10} {:>9}",
+        "label", "seed", "shards", "completed", "mean", "p99", "wall_s"
+    );
+    for cell in &report.cells {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>7} {:>10} {:>10} {:>10} {:>9.3}",
+            cell.label,
+            cell.seed,
+            cell.shards,
+            cell.stats.completed,
+            fmt_dur(cell.stats.latency.mean),
+            fmt_dur(cell.stats.latency.p99),
+            cell.wall_s
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1345,6 +1416,89 @@ NetRS-ToR          8000         0       0.000%        9         9      2.100ms  
 baseline           8000 (fault-free run)
 ";
         assert_eq!(availability_report(&entries), expected);
+    }
+
+    #[test]
+    fn sweep_report_pins_its_format() {
+        use netrs_sim::SweepCell;
+        use netrs_simcore::SimTime;
+
+        fn cell(
+            label: &str,
+            seed: u64,
+            shards: u32,
+            mean_us: u64,
+            p99_us: u64,
+            wall_s: f64,
+        ) -> SweepCell {
+            SweepCell {
+                label: label.to_string(),
+                seed,
+                shards,
+                wall_s,
+                stats: RunStats {
+                    scheme: Scheme::CliRs,
+                    latency: Summary {
+                        count: 8_000,
+                        mean: SimDuration::from_micros(mean_us),
+                        p50: SimDuration::ZERO,
+                        p95: SimDuration::ZERO,
+                        p99: SimDuration::from_micros(p99_us),
+                        p999: SimDuration::ZERO,
+                        max: SimDuration::ZERO,
+                    },
+                    breakdown: Default::default(),
+                    issued: 8_000,
+                    completed: 8_000,
+                    duplicates: 0,
+                    rsnode_count: 0,
+                    rsnode_census: [0, 0, 0],
+                    drs_groups: 0,
+                    mean_accel_utilization: 0.0,
+                    max_accel_utilization: 0.0,
+                    mean_selection_wait: SimDuration::ZERO,
+                    mean_server_utilization: 0.0,
+                    replans: 0,
+                    writes_issued: 0,
+                    write_latency: Summary::default(),
+                    overload_events: 0,
+                    sim_end: SimTime::ZERO,
+                    events: 0,
+                    availability: None,
+                },
+            }
+        }
+
+        let report = SweepReport {
+            schema_version: SWEEP_SCHEMA_VERSION,
+            threads: 4,
+            wall_s: 12.5,
+            sequential_wall_s: Some(48.0),
+            speedup: Some(3.84),
+            cells: vec![
+                cell("CliRS", 1, 1, 3_668, 16_908, 0.251),
+                cell("NetRS-ToR", 2, 4, 1_234, 7_777, 1.5),
+            ],
+        };
+        let expected = "\
+## Sweep: 2 cells (2 configs × 2 seeds) · 4 thread(s)
+   parallel 12.50s · sequential 48.00s · speedup 3.84x
+
+label              seed  shards  completed       mean        p99    wall_s
+CliRS                 1       1       8000    3.668ms   16.908ms     0.251
+NetRS-ToR             2       4       8000    1.234ms    7.777ms     1.500
+";
+        assert_eq!(sweep_report(&report), expected);
+
+        let no_baseline = SweepReport {
+            sequential_wall_s: None,
+            speedup: None,
+            ..report
+        };
+        assert!(
+            sweep_report(&no_baseline).contains("parallel 12.50s (no sequential baseline)"),
+            "baseline-free sweeps must say so"
+        );
     }
 
     #[test]

@@ -15,9 +15,9 @@ use std::io::Write;
 
 use netrs_analyze::{
     availability_report, bench_artifact, check_bench, compare_bench, comparison_report,
-    control_report, hotspot_report, load_control, load_devices, load_stats, load_timeseries,
-    load_trace, perf_report, split_label, tail_report, timeseries_report, BenchSchema,
-    LabeledTrace,
+    control_report, hotspot_report, load_control, load_devices, load_stats, load_sweep,
+    load_timeseries, load_trace, perf_report, split_label, sweep_report, tail_report,
+    timeseries_report, BenchSchema, LabeledTrace,
 };
 use netrs_sim::PerfArtifact;
 use serde::Value;
@@ -29,6 +29,7 @@ fn usage() -> ! {
          \x20      netrs-analyze control [LABEL=]FILE [[LABEL=]FILE ...]\n\
          \x20      netrs-analyze availability --stats [LABEL=]FILE [--stats [LABEL=]FILE ...]\n\
          \x20      netrs-analyze perf [LABEL=]FILE [[LABEL=]FILE ...]\n\
+         \x20      netrs-analyze sweep FILE\n\
          \x20      netrs-analyze check-bench FILE [BASELINE] [--threshold F]"
     );
     std::process::exit(2);
@@ -158,6 +159,14 @@ fn perf(args: &[String]) {
     print!("{}", perf_report(&entries));
 }
 
+/// `sweep FILE` renders the merged (config × seed) sweep artifact
+/// written by `simulate sweep`.
+fn sweep(args: &[String]) {
+    let [path] = args else { usage() };
+    let report = load_sweep(path).unwrap_or_else(|e| fail(&format!("cannot load {path}: {e}")));
+    print!("{}", sweep_report(&report));
+}
+
 fn load_artifact(path: &str) -> Value {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
@@ -225,6 +234,7 @@ fn main() {
         Some("control") => control(&args[1..]),
         Some("availability") => availability(&args[1..]),
         Some("perf") => perf(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
         Some("check-bench") => check_bench_cmd(&args[1..]),
         _ => usage(),
     }

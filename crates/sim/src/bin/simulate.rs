@@ -14,7 +14,10 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use netrs_sim::{run_observed, FaultPlan, ObsOptions, PerfOptions, SamplerSpec, SimConfig};
+use netrs_sim::{
+    run_observed, run_observed_sharded, run_sweep, FaultPlan, ObsOptions, PerfOptions, SamplerSpec,
+    Scheme, SimConfig, SweepJob,
+};
 use netrs_simcore::SimDuration;
 
 // With `--features alloc-profile` the binary registers the counting
@@ -30,9 +33,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: simulate [--config FILE] [--scheme clirs|clirs-r95|netrs-tor|netrs-ilp] \
          [--requests N] [--clients N] [--utilization F] [--skew F] [--seed N] \
-         [--small] [--faults FILE] [--emit-config] [--json] \
+         [--shards N] [--small] [--faults FILE] [--emit-config] [--json] \
          [--trace FILE] [--trace-hops] [--timeseries FILE] [--sample-every-us N] \
-         [--devices FILE] [--control FILE] [--perf FILE] [--perf-stride N] [--progress]"
+         [--devices FILE] [--control FILE] [--perf FILE] [--perf-stride N] [--progress]\n\
+         \n\
+         simulate sweep --out FILE [--config FILE] [--schemes all|s1,s2,...] \
+         [--seeds s1,s2,...] [--requests N] [--utilization F] [--small] \
+         [--shards N] [--threads N] [--baseline]"
     );
     std::process::exit(2);
 }
@@ -44,8 +51,130 @@ fn create(path: &str) -> BufWriter<File> {
     }))
 }
 
+/// `simulate sweep`: run a (scheme × seed) grid across cores and write
+/// the merged [`netrs_sim::SweepReport`] artifact.
+fn sweep_main(args: &[String]) -> ! {
+    let mut cfg = SimConfig::paper();
+    cfg.requests = 100_000;
+    let mut out_path: Option<String> = None;
+    let mut schemes: Vec<Scheme> = Scheme::ALL.to_vec();
+    let mut seeds: Vec<u64> = vec![1, 2, 3];
+    let mut shards: u32 = 1;
+    let mut threads: usize = 0;
+    let mut baseline = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let mut next = || {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--out" => out_path = Some(next()),
+            "--config" => {
+                let path = next();
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                cfg = serde_json::from_str(&text).unwrap_or_else(|e| {
+                    eprintln!("cannot parse {path}: {e}");
+                    std::process::exit(1);
+                });
+            }
+            "--schemes" => {
+                let spec = next();
+                if spec != "all" {
+                    schemes = spec
+                        .split(',')
+                        .map(|s| {
+                            s.parse().unwrap_or_else(|e| {
+                                eprintln!("{e}");
+                                usage()
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--seeds" => {
+                seeds = next()
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--requests" => cfg.requests = next().parse().unwrap_or_else(|_| usage()),
+            "--utilization" => cfg.utilization = next().parse().unwrap_or_else(|_| usage()),
+            "--small" => {
+                let requests = cfg.requests;
+                cfg = SimConfig::small();
+                cfg.requests = requests;
+            }
+            "--shards" => shards = next().parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = next().parse().unwrap_or_else(|_| usage()),
+            "--baseline" => baseline = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if schemes.is_empty() || seeds.is_empty() {
+        eprintln!("sweep needs at least one scheme and one seed");
+        std::process::exit(2);
+    }
+    if let Err(msg) = cfg.clone().finalize().validate() {
+        eprintln!("invalid configuration: {msg}");
+        std::process::exit(1);
+    }
+
+    let jobs: Vec<SweepJob> = schemes
+        .iter()
+        .flat_map(|&scheme| {
+            let cfg = cfg.clone();
+            seeds.iter().map(move |&seed| {
+                let mut cell_cfg = cfg.clone();
+                cell_cfg.scheme = scheme;
+                SweepJob {
+                    label: scheme.label().into(),
+                    cfg: cell_cfg,
+                    seed,
+                    shards,
+                }
+            })
+        })
+        .collect();
+    eprintln!(
+        "[sweep] {} cells ({} schemes × {} seeds), {} shard(s) per run",
+        jobs.len(),
+        schemes.len(),
+        seeds.len(),
+        shards.max(1),
+    );
+    let report = run_sweep(jobs, threads, baseline);
+    eprintln!(
+        "[sweep] parallel {:.2}s on {} threads{}",
+        report.wall_s,
+        report.threads,
+        match (report.sequential_wall_s, report.speedup) {
+            (Some(seq), Some(s)) => format!(" · sequential {seq:.2}s · speedup {s:.2}x"),
+            _ => String::new(),
+        },
+    );
+    let json = serde_json::to_string_pretty(&report).expect("sweep report serializes");
+    match out_path.as_deref() {
+        Some(path) => std::fs::write(path, json + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => println!("{json}"),
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        sweep_main(&args[1..]);
+    }
     let mut cfg = SimConfig::paper();
     cfg.requests = 100_000;
     let mut json_out = false;
@@ -58,6 +187,7 @@ fn main() {
     let mut perf_stride: u32 = PerfOptions::default().stride;
     let mut sample_every_us: u64 = 10_000;
     let mut progress = false;
+    let mut shards: u32 = 1;
 
     let mut i = 0;
     while i < args.len() {
@@ -134,6 +264,7 @@ fn main() {
                 }
             }
             "--progress" => progress = true,
+            "--shards" => shards = next().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
         i += 1;
@@ -168,7 +299,11 @@ fn main() {
         }),
         progress,
     };
-    let out = run_observed(cfg, obs);
+    let out = if shards > 1 {
+        run_observed_sharded(cfg, shards, obs)
+    } else {
+        run_observed(cfg, obs)
+    };
     let stats = out.stats;
     if let (Some(w), Some(perf)) = (perf_file.as_mut(), out.perf.as_ref()) {
         use std::io::Write;

@@ -34,7 +34,8 @@ use netrs::Rsp;
 use netrs_kvstore::{ServerId, ServerStatus};
 use netrs_selection::Feedback;
 use netrs_simcore::{
-    DeviceProbe, EventQueue, Histogram, NoDeviceProbe, SimDuration, SimRng, SimTime, World,
+    DeviceProbe, EventQueue, Histogram, NoDeviceProbe, ShardId, ShardedWorld, SimDuration, SimRng,
+    SimTime, World,
 };
 use netrs_topology::{FatTree, SwitchId};
 
@@ -189,6 +190,22 @@ impl<D: DeviceProbe> Cluster<D> {
     /// ([`SimConfig::validate`]).
     #[must_use]
     pub fn with_device_probe(cfg: SimConfig, devices: D) -> Self {
+        Cluster::with_shards(cfg, 1, devices)
+    }
+
+    /// Builds the cluster partitioned into `shards` event shards for the
+    /// [`ShardedEngine`](netrs_simcore::ShardedEngine): pods map to
+    /// shards round-robin and each shard's workload generators draw from
+    /// their own RNG stream ([`SimRng::split`]). `shards` is clamped to
+    /// `1..=pods`; at 1 shard the cluster is byte-identical to
+    /// [`Cluster::with_device_probe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// ([`SimConfig::validate`]).
+    #[must_use]
+    pub fn with_shards(cfg: SimConfig, shards: u32, devices: D) -> Self {
         let cfg = cfg.finalize();
         if let Err(msg) = cfg.validate() {
             panic!("invalid simulation config: {msg}");
@@ -196,7 +213,7 @@ impl<D: DeviceProbe> Cluster<D> {
         // Every random stream is a pure fork of the root: construction
         // and scheme order never perturb each other's draws.
         let root = SimRng::from_seed(cfg.seed);
-        let core = Core::new(cfg, devices, &root);
+        let core = Core::new(cfg, devices, &root, shards);
         let policy = crate::policy::build(&core, &root);
         Cluster { core, policy }
     }
@@ -513,5 +530,27 @@ impl<D: DeviceProbe> World for Cluster<D> {
                 }
             }
         }
+    }
+}
+
+impl<D: DeviceProbe> ShardedWorld for Cluster<D> {
+    fn num_shards(&self) -> u32 {
+        self.core.shards()
+    }
+
+    /// Events map to the pod of the device whose state their handler
+    /// touches: generators round-robin by index, RSNode events to the
+    /// operator switch's pod, server events to the server's pod, client
+    /// timers and replies to the issuing client's pod, and cluster-wide
+    /// control events (overload checks, re-plans, sampling, faults) to
+    /// shard 0.
+    fn shard_of(&self, event: &Ev) -> ShardId {
+        ShardId(self.core.shard_of_event(event))
+    }
+
+    /// One link traversal: every pod-crossing hop pays at least one link
+    /// of latency, so a cross-shard event is never closer than this.
+    fn lookahead(&self) -> SimDuration {
+        self.core.cfg.link_latency
     }
 }

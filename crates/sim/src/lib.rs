@@ -40,6 +40,7 @@ mod runner;
 mod server;
 mod state;
 mod stats;
+pub mod sweep;
 #[doc(hidden)]
 pub mod testhooks;
 
@@ -58,6 +59,10 @@ pub use perf::{
     AllocStats, HostMeta, HostProfile, KindRecord, PerfArtifact, QueueStats, PERF_SCHEMA_VERSION,
 };
 pub use policy::NotInNetwork;
-pub use runner::{run, run_all_schemes, run_observed, run_seeds, RunOutput};
+pub use runner::{
+    run, run_all_schemes, run_observed, run_observed_sharded, run_seeds, run_seeds_sharded,
+    run_sharded, RunOutput,
+};
 pub use server::ServerToken;
 pub use stats::{LatencyBreakdown, MeanStats, RunStats};
+pub use sweep::{run_grid, run_sweep, SweepCell, SweepJob, SweepReport, SWEEP_SCHEMA_VERSION};

@@ -3,11 +3,9 @@
 
 use std::time::{Duration, Instant};
 
-use crossbeam::thread;
-
 use netrs_simcore::{
     DeviceProbe, DeviceStatsRegistry, Engine, EngineProfile, NoDeviceProbe, NoProbe, PerfProbe,
-    PerfReport, Probe,
+    PerfReport, Probe, ShardedEngine,
 };
 
 use crate::cluster::Cluster;
@@ -152,6 +150,147 @@ fn run_engine<D: DeviceProbe, P: Probe>(
     )
 }
 
+/// Runs one configuration on the sharded engine
+/// ([`ShardedEngine`]): the world is partitioned into `shards` event
+/// shards (clamped to the topology's pod count) driven in conservative
+/// lookahead windows with cross-shard events routed through the
+/// boundary mailbox. With `shards == 1` the result is byte-identical to
+/// [`run`]; with more shards it is deterministic per seed but orders
+/// same-window events differently.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+#[must_use]
+pub fn run_sharded(cfg: SimConfig, shards: u32) -> RunStats {
+    run_observed_sharded(cfg, shards, ObsOptions::default()).stats
+}
+
+/// [`run_sharded`] with observability attached; the sharded counterpart
+/// of [`run_observed`]. With default options this is exactly
+/// [`run_sharded`].
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+#[must_use]
+pub fn run_observed_sharded(cfg: SimConfig, shards: u32, obs: ObsOptions) -> RunOutput {
+    if obs.device_stats {
+        run_observed_sharded_with(cfg, shards, obs, DeviceStatsRegistry::default())
+    } else {
+        run_observed_sharded_with(cfg, shards, obs, NoDeviceProbe)
+    }
+}
+
+fn run_observed_sharded_with<D: DeviceProbe>(
+    cfg: SimConfig,
+    shards: u32,
+    mut obs: ObsOptions,
+    devices: D,
+) -> RunOutput {
+    match obs.perf.take() {
+        Some(popt) => {
+            let scheme = cfg.scheme;
+            let seed = cfg.seed;
+            let requests = cfg.requests;
+            let alloc_before = alloc_mark();
+            let probe = PerfProbe::new(perf::kind_names(), popt.stride);
+            let (mut out, probe) = run_engine_sharded(cfg, shards, obs, devices, probe);
+            out.perf = Some(host_profile(
+                scheme,
+                seed,
+                requests,
+                &out.profile,
+                &probe.report(),
+                alloc_since(alloc_before),
+            ));
+            out
+        }
+        None => run_engine_sharded(cfg, shards, obs, devices, NoProbe).0,
+    }
+}
+
+fn run_engine_sharded<D: DeviceProbe, P: Probe>(
+    cfg: SimConfig,
+    shards: u32,
+    obs: ObsOptions,
+    devices: D,
+    probe: P,
+) -> (RunOutput, P) {
+    let total_requests = cfg.requests;
+    let mut cluster = Cluster::with_shards(cfg, shards, devices);
+    if let Some(w) = obs.trace {
+        cluster.set_tracer(w);
+    }
+    if let Some(spec) = obs.timeseries {
+        cluster.enable_sampler(spec);
+    }
+    if obs.trace_hops {
+        cluster.enable_hop_tracing();
+    }
+    if let Some(w) = obs.control {
+        cluster.set_control(w);
+    }
+    let mut engine = ShardedEngine::with_probe(cluster, probe);
+    engine.prime_with(|world, queue| world.prime(queue));
+    if obs.progress {
+        run_sharded_with_heartbeat(&mut engine, total_requests);
+    } else {
+        engine.run();
+    }
+    let profile = engine.profile();
+    let now = engine.now();
+    let events = engine.processed();
+    let (mut cluster, probe) = engine.into_parts();
+    debug_assert!(cluster.drained(), "simulation ended with work outstanding");
+    cluster.flush_tracer();
+    cluster.flush_control(now);
+    let timeseries = cluster.take_timeseries();
+    let devices = cluster.take_device_report(now);
+    let stats = cluster.stats(now, events);
+    (
+        RunOutput {
+            stats,
+            profile,
+            timeseries,
+            devices,
+            perf: None,
+        },
+        probe,
+    )
+}
+
+/// Drains the sharded engine window by window while printing a
+/// once-per-second progress line to stderr (the sharded counterpart of
+/// [`run_with_heartbeat`]; granularity is one lookahead window).
+fn run_sharded_with_heartbeat<D: DeviceProbe, P: Probe>(
+    engine: &mut ShardedEngine<Cluster<D>, P>,
+    total_requests: u64,
+) {
+    let start = Instant::now();
+    let mut last_beat = Instant::now();
+    while engine.advance_window() {
+        if last_beat.elapsed() >= Duration::from_secs(1) {
+            last_beat = Instant::now();
+            let rate = engine.processed() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            eprintln!(
+                "[simulate] issued {}/{} · completed {} · sim {} · {} events ({:.0}/s) · \
+                 {} shards ({} mailbox posts / {} late) · peak RSS {} kB",
+                engine.world().issued(),
+                total_requests,
+                engine.world().completed(),
+                engine.now(),
+                engine.processed(),
+                rate,
+                engine.num_shards(),
+                engine.mailbox_posted(),
+                engine.mailbox_late(),
+                netrs_simcore::peak_rss_kb(),
+            );
+        }
+    }
+}
+
 /// Assembles the versioned run profile from the engine's
 /// self-measurement and the perf probe's report.
 fn host_profile(
@@ -267,24 +406,34 @@ fn run_with_heartbeat<D: DeviceProbe, P: Probe>(
 
 /// Runs the same configuration under `seeds.len()` different seeds (the
 /// paper repeats every experiment 3 times with different random
-/// deployments), in parallel threads.
+/// deployments), fanned across cores by the sweep executor
+/// ([`crate::sweep::run_grid`]). Results come back in `seeds` order.
 #[must_use]
 pub fn run_seeds(cfg: &SimConfig, seeds: &[u64]) -> Vec<RunStats> {
-    thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let mut cfg = cfg.clone();
-                cfg.seed = seed;
-                scope.spawn(move |_| run(cfg))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope")
+    seed_grid(cfg, 1, seeds)
+}
+
+/// [`run_seeds`] on the sharded engine: the same per-seed fan-out with
+/// every run partitioned into `shards` event shards.
+#[must_use]
+pub fn run_seeds_sharded(cfg: &SimConfig, shards: u32, seeds: &[u64]) -> Vec<RunStats> {
+    seed_grid(cfg, shards, seeds)
+}
+
+fn seed_grid(cfg: &SimConfig, shards: u32, seeds: &[u64]) -> Vec<RunStats> {
+    let jobs: Vec<crate::sweep::SweepJob> = seeds
+        .iter()
+        .map(|&seed| crate::sweep::SweepJob {
+            label: cfg.scheme.label().into(),
+            cfg: cfg.clone(),
+            seed,
+            shards,
+        })
+        .collect();
+    crate::sweep::run_grid(&jobs, 0)
+        .into_iter()
+        .map(|cell| cell.stats)
+        .collect()
 }
 
 /// Runs every scheme of the paper's comparison under the same base

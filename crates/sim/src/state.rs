@@ -205,7 +205,17 @@ pub(crate) struct Core<D: DeviceProbe> {
     pub(crate) hist: Histogram,
     write_hist: Histogram,
     writes_issued: u64,
-    workload_rng: SimRng,
+    /// Per-shard workload streams (`root.fork(2).split(s, shards)`);
+    /// generator `g` draws from stream `g % shards`. At `shards == 1`
+    /// this is the single pre-shard stream, byte-identical draws.
+    workload: Vec<SimRng>,
+    /// Event shards the world is partitioned into (`>= 1`). Pods map to
+    /// shards round-robin (`pod % shards`).
+    shards: u32,
+    /// Home shard of every host (its pod, modulo the shard count).
+    host_shard: Vec<u32>,
+    /// Home shard of every switch; core switches (no pod) go to shard 0.
+    switch_shard: Vec<u32>,
     gen_interarrival: SimDuration,
     pub(crate) top_clients: u32,
     breakdown: BreakdownHists,
@@ -223,8 +233,20 @@ impl<D: DeviceProbe> Core<D> {
     /// Builds the scheme-independent state for a validated, finalized
     /// configuration. Placement, ring, server and client RNG streams are
     /// pure forks of `root`, so construction order never matters.
-    pub(crate) fn new(cfg: SimConfig, devices: D, root: &SimRng) -> Self {
+    pub(crate) fn new(cfg: SimConfig, devices: D, root: &SimRng, shards: u32) -> Self {
         let topo = FatTree::new(cfg.arity).expect("validated arity");
+
+        // Pod-granular shard maps: a pod's hosts and switches share a
+        // shard, so intra-pod hops never cross the mailbox. Requests for
+        // more shards than pods are clamped (extra shards would sit
+        // empty except for round-robined generators).
+        let shards = shards.clamp(1, topo.num_pods());
+        let host_shard: Vec<u32> = (0..topo.num_hosts())
+            .map(|h| topo.pod_of_host(HostId(h)) % shards)
+            .collect();
+        let switch_shard: Vec<u32> = (0..topo.num_switches())
+            .map(|s| topo.pod_of_switch(SwitchId(s)).map_or(0, |p| p % shards))
+            .collect();
 
         // Random non-overlapping placement of servers and clients
         // ("clients and servers are randomly deployed across end-hosts,
@@ -269,7 +291,13 @@ impl<D: DeviceProbe> Core<D> {
             gen_interarrival: SimDuration::from_secs_f64(
                 f64::from(cfg.generators) / cfg.arrival_rate(),
             ),
-            workload_rng: root.fork(2),
+            workload: {
+                let stream = root.fork(2);
+                (0..shards).map(|s| stream.split(s, shards)).collect()
+            },
+            shards,
+            host_shard,
+            switch_shard,
             fabric: Fabric::new(topo, cfg.link_latency, devices),
             servers,
             ring,
@@ -318,6 +346,57 @@ impl<D: DeviceProbe> Core<D> {
                 (c.host, rate)
             })
             .collect()
+    }
+
+    // ---- sharding --------------------------------------------------------
+
+    /// Number of event shards the world is partitioned into.
+    pub(crate) fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Home shard of `server` (its host's pod, modulo shard count).
+    fn server_shard(&self, s: ServerId) -> u32 {
+        self.host_shard[self.server_hosts[s.0 as usize].0 as usize]
+    }
+
+    /// Home shard of client `c`.
+    fn client_shard(&self, c: u32) -> u32 {
+        self.host_shard[self.clients[c as usize].host.0 as usize]
+    }
+
+    /// Home shard of the client that issued `req`. Terminal timers
+    /// (retry checks, R95 deadlines) can outlive the request's table
+    /// entry; those orphans go to shard 0 — any shard is correct for an
+    /// event whose handler is a no-op, and 0 is deterministic.
+    fn req_shard(&self, req: ReqId) -> u32 {
+        self.requests
+            .get(req.0)
+            .map_or(0, |r| self.client_shard(r.client))
+    }
+
+    /// Classifies an event to its home shard: the pod of the device
+    /// whose state its handler touches (DESIGN.md §13). Control-plane
+    /// events with cluster-wide scope live on shard 0.
+    pub(crate) fn shard_of_event(&self, ev: &Ev) -> u32 {
+        if self.shards <= 1 {
+            return 0;
+        }
+        match *ev {
+            Ev::Generate { gen } => gen % self.shards,
+            Ev::GatedSend { req, .. } | Ev::R95Check { req } | Ev::RetryCheck { req, .. } => {
+                self.req_shard(req)
+            }
+            Ev::RsnodeArrive { op, .. } | Ev::Select { op, .. } | Ev::SelectorUpdate { op, .. } => {
+                self.switch_shard[op.0 as usize]
+            }
+            Ev::OperatorDetect { sw } => self.switch_shard[sw.0 as usize],
+            Ev::ServerArrive { token } => self.server_shard(token.server),
+            Ev::ServerDone { server, .. } => self.server_shard(server),
+            Ev::Fluctuate { server } => self.server_shard(server),
+            Ev::ClientReceive { token, .. } => self.req_shard(token.req),
+            Ev::OverloadCheck | Ev::Replan | Ev::Sample | Ev::Fault { .. } => 0,
+        }
     }
 
     // ---- observability ---------------------------------------------------
@@ -383,7 +462,8 @@ impl<D: DeviceProbe> Core<D> {
     /// control timers after this).
     pub(crate) fn prime_workload(&mut self, queue: &mut EventQueue<Ev>) {
         for gen in 0..self.cfg.generators {
-            let gap = self.workload_rng.exp_duration(self.gen_interarrival);
+            let shard = (gen % self.shards) as usize;
+            let gap = self.workload[shard].exp_duration(self.gen_interarrival);
             queue.schedule_at(SimTime::ZERO + gap, Ev::Generate { gen });
         }
         for s in 0..self.cfg.servers {
@@ -416,15 +496,16 @@ impl<D: DeviceProbe> Core<D> {
 
     // ---- workload -------------------------------------------------------
 
-    fn pick_client(&mut self) -> u32 {
+    fn pick_client(&mut self, shard: usize) -> u32 {
+        let rng = &mut self.workload[shard];
         match self.cfg.demand_skew {
-            None => self.workload_rng.below(u64::from(self.cfg.clients)) as u32,
+            None => rng.below(u64::from(self.cfg.clients)) as u32,
             Some(s) => {
-                if self.workload_rng.chance(s) {
-                    self.workload_rng.below(u64::from(self.top_clients)) as u32
+                if rng.chance(s) {
+                    rng.below(u64::from(self.top_clients)) as u32
                 } else {
                     let rest = u64::from(self.cfg.clients - self.top_clients);
-                    self.top_clients + self.workload_rng.below(rest) as u32
+                    self.top_clients + rng.below(rest) as u32
                 }
             }
         }
@@ -443,17 +524,18 @@ impl<D: DeviceProbe> Core<D> {
         if self.issued >= self.cfg.requests {
             return None; // workload exhausted: let the generator die out
         }
-        let gap = self.workload_rng.exp_duration(self.gen_interarrival);
+        let shard = (gen % self.shards) as usize;
+        let gap = self.workload[shard].exp_duration(self.gen_interarrival);
         queue.schedule_after(gap, Ev::Generate { gen });
 
-        let client_idx = self.pick_client();
-        let key = self.zipf.sample(&mut self.workload_rng);
+        let client_idx = self.pick_client(shard);
+        let key = self.zipf.sample(&mut self.workload[shard]);
         let rgid = self.ring.group_of_key(key);
         let replicas = self.ring.groups().replicas(rgid).to_vec();
         let backup = replicas[self.clients[client_idx as usize].rng.index(replicas.len())];
 
         let is_write =
-            self.cfg.write_fraction > 0.0 && self.workload_rng.chance(self.cfg.write_fraction);
+            self.cfg.write_fraction > 0.0 && self.workload[shard].chance(self.cfg.write_fraction);
         let req = ReqId(self.issued);
         self.requests.insert(
             req.0,

@@ -1,0 +1,259 @@
+//! Parallel multi-core sweep execution: a (config × seed) grid fanned
+//! out across worker threads, merged into one deterministic artifact.
+//!
+//! The executor is a work-stealing-free job pool: jobs sit in a fixed
+//! vector, workers claim the next index from an atomic counter, and
+//! each result lands in its job's slot — so the merged output order is
+//! the job order, independent of thread scheduling. [`run_sweep`] sorts
+//! the grid by `(label, seed, shards)` before running, which makes the
+//! artifact's cell order — and therefore its bytes, modulo wall-clock
+//! fields — deterministic for a given grid.
+//!
+//! Each cell is an independent full simulation (its own [`Cluster`],
+//! RNG tree, and engine), so the fan-out cannot perturb results: the
+//! per-cell statistics are byte-identical to running the same
+//! configuration alone. `runner::run_seeds` is rebuilt on this executor.
+//!
+//! [`Cluster`]: crate::cluster::Cluster
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crossbeam::thread;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::runner::{run, run_sharded};
+use crate::stats::RunStats;
+
+/// Version stamp on every [`SweepReport`] artifact; bump on any schema
+/// change so offline consumers can reject files they don't understand.
+pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+
+/// One (config, seed) job of a sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Config key the artifact is sorted and rendered by (typically the
+    /// scheme label, plus whatever the sweep varies).
+    pub label: String,
+    /// The configuration to run (its `seed` is overwritten per job).
+    pub cfg: SimConfig,
+    /// The seed for this cell.
+    pub seed: u64,
+    /// Event shards per run: `<= 1` runs the sequential engine, more
+    /// runs the sharded engine ([`crate::run_sharded`]).
+    pub shards: u32,
+}
+
+/// One completed cell of the sweep grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// The job's config key.
+    pub label: String,
+    /// The seed the cell ran under.
+    pub seed: u64,
+    /// Event shards the run used (1 = sequential engine).
+    pub shards: u32,
+    /// Wall-clock seconds this cell's simulation took.
+    pub wall_s: f64,
+    /// The run's full statistics.
+    pub stats: RunStats,
+}
+
+/// The merged sweep artifact: every cell of the grid plus the sweep's
+/// own wall-clock accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Artifact schema version ([`SWEEP_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Worker threads the parallel pass used.
+    pub threads: u64,
+    /// Wall-clock seconds for the parallel pass over the grid.
+    pub wall_s: f64,
+    /// Wall-clock seconds for the single-threaded baseline pass, if one
+    /// was measured.
+    pub sequential_wall_s: Option<f64>,
+    /// `sequential_wall_s / wall_s`, if a baseline was measured.
+    pub speedup: Option<f64>,
+    /// The grid cells, sorted by `(label, seed, shards)`.
+    pub cells: Vec<SweepCell>,
+}
+
+/// Resolves a thread-count request: `0` means one worker per available
+/// core, and there is never a point in more workers than jobs.
+fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let t = if requested == 0 { cores } else { requested };
+    t.min(jobs).max(1)
+}
+
+/// Runs every job of the grid on `threads` workers (`0` = one per
+/// core). `out[i]` is `jobs[i]`'s cell — output order is job order, so
+/// thread scheduling never reaches the artifact.
+///
+/// # Panics
+///
+/// Panics if a job's configuration is invalid or a worker panics.
+#[must_use]
+pub fn run_grid(jobs: &[SweepJob], threads: usize) -> Vec<SweepCell> {
+    let threads = effective_threads(threads, jobs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepCell>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let started = Instant::now();
+                let mut cfg = job.cfg.clone();
+                cfg.seed = job.seed;
+                let stats = if job.shards > 1 {
+                    run_sharded(cfg, job.shards)
+                } else {
+                    run(cfg)
+                };
+                *slots[i].lock().expect("sweep slot") = Some(SweepCell {
+                    label: job.label.clone(),
+                    seed: job.seed,
+                    shards: job.shards.max(1),
+                    wall_s: started.elapsed().as_secs_f64(),
+                    stats,
+                });
+            });
+        }
+    })
+    .expect("crossbeam scope");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("sweep slot").expect("every job ran"))
+        .collect()
+}
+
+/// Runs a sweep grid in parallel and merges the results into one
+/// [`SweepReport`]. The grid is sorted by `(label, seed, shards)`
+/// first, so the artifact's cell order is deterministic regardless of
+/// the order jobs were declared in or finished in. With `baseline` set,
+/// the same grid runs again on one worker and the report carries the
+/// measured wall-clock speedup.
+///
+/// # Panics
+///
+/// Panics if a job's configuration is invalid or a worker panics.
+#[must_use]
+pub fn run_sweep(mut jobs: Vec<SweepJob>, threads: usize, baseline: bool) -> SweepReport {
+    jobs.sort_by(|a, b| {
+        (a.label.as_str(), a.seed, a.shards).cmp(&(b.label.as_str(), b.seed, b.shards))
+    });
+    let threads = effective_threads(threads, jobs.len());
+    let started = Instant::now();
+    let cells = run_grid(&jobs, threads);
+    let wall_s = started.elapsed().as_secs_f64();
+    let (sequential_wall_s, speedup) = if baseline {
+        let started = Instant::now();
+        let _ = run_grid(&jobs, 1);
+        let seq = started.elapsed().as_secs_f64();
+        (Some(seq), (wall_s > 0.0).then(|| seq / wall_s))
+    } else {
+        (None, None)
+    };
+    SweepReport {
+        schema_version: SWEEP_SCHEMA_VERSION,
+        threads: threads as u64,
+        wall_s,
+        sequential_wall_s,
+        speedup,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    fn tiny(scheme: Scheme, seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::small();
+        cfg.requests = 800;
+        cfg.scheme = scheme;
+        cfg.seed = seed;
+        cfg
+    }
+
+    fn grid() -> Vec<SweepJob> {
+        let mut jobs = Vec::new();
+        for scheme in [Scheme::NetRsToR, Scheme::CliRs] {
+            for seed in [5u64, 4, 3] {
+                jobs.push(SweepJob {
+                    label: scheme.label().into(),
+                    cfg: tiny(scheme, seed),
+                    seed,
+                    shards: 1,
+                });
+            }
+        }
+        jobs
+    }
+
+    #[test]
+    fn grid_output_order_is_job_order() {
+        let jobs = grid();
+        let cells = run_grid(&jobs, 3);
+        assert_eq!(cells.len(), jobs.len());
+        for (job, cell) in jobs.iter().zip(&cells) {
+            assert_eq!(job.label, cell.label);
+            assert_eq!(job.seed, cell.seed);
+            assert_eq!(cell.stats.completed, 800);
+        }
+    }
+
+    #[test]
+    fn sweep_cells_are_sorted_and_deterministic() {
+        let a = run_sweep(grid(), 4, false);
+        let b = run_sweep(grid(), 2, false);
+        assert_eq!(a.schema_version, SWEEP_SCHEMA_VERSION);
+        let keys: Vec<(&str, u64)> = a.cells.iter().map(|c| (c.label.as_str(), c.seed)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "cells must be sorted by (label, seed)");
+        // Same grid, different thread counts: identical simulation bytes.
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(
+                serde_json::to_string(&x.stats).expect("stats serialize"),
+                serde_json::to_string(&y.stats).expect("stats serialize"),
+                "{} seed {}: thread count leaked into results",
+                x.label,
+                x.seed
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_pass_records_speedup_fields() {
+        let mut jobs = grid();
+        jobs.truncate(2);
+        let report = run_sweep(jobs, 2, true);
+        let seq = report.sequential_wall_s.expect("baseline measured");
+        let speedup = report.speedup.expect("speedup derived");
+        assert!(seq > 0.0);
+        assert!(speedup > 0.0);
+        assert!((speedup - seq / report.wall_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_jobs_run_the_sharded_engine() {
+        let jobs = vec![SweepJob {
+            label: "netrs-tor/4shard".into(),
+            cfg: tiny(Scheme::NetRsToR, 9),
+            seed: 9,
+            shards: 4,
+        }];
+        let cells = run_grid(&jobs, 1);
+        assert_eq!(cells[0].shards, 4);
+        assert_eq!(
+            serde_json::to_string(&cells[0].stats).expect("stats serialize"),
+            serde_json::to_string(&run_sharded(tiny(Scheme::NetRsToR, 9), 4))
+                .expect("stats serialize"),
+        );
+    }
+}

@@ -216,6 +216,28 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
     }
+
+    /// Moves the clock to `now` without processing events.
+    ///
+    /// Intended for reusing a drained queue as a scratch *outbox* (see
+    /// [`ShardedEngine`](crate::ShardedEngine)): handlers schedule
+    /// relative times against the event being processed, so the scratch
+    /// queue's clock must first be moved to that event's timestamp.
+    /// Shards process events out of global time order, so the clock may
+    /// legitimately move backwards here — which is only sound while
+    /// nothing is pending, hence the emptiness requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any events are pending.
+    pub fn reset_clock(&mut self, now: SimTime) {
+        assert!(
+            self.is_empty(),
+            "reset_clock would reorder {} pending events",
+            self.len()
+        );
+        self.now = now;
+    }
 }
 
 /// Drives a [`World`] through its event queue.
@@ -493,6 +515,80 @@ mod tests {
         assert_eq!(q.pushes(), 4);
         assert_eq!(q.pops(), 2);
         assert_eq!((q.pushes() - q.pops()) as usize, q.len());
+    }
+
+    #[test]
+    fn tie_storm_interleaved_with_pops_preserves_insertion_order() {
+        // Many events at ONE timestamp, with pops interleaved between the
+        // schedules: insertion order must survive the heap churn exactly.
+        let t = SimTime::from_nanos(100);
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut popped = Vec::new();
+        let mut next_id = 0u32;
+        // Alternate bursts of schedules with partial drains.
+        for burst in 0..20 {
+            for _ in 0..burst + 1 {
+                q.schedule_at(t, next_id);
+                next_id += 1;
+            }
+            for _ in 0..burst / 2 {
+                let (at, id) = q.pop().unwrap();
+                assert_eq!(at, t);
+                popped.push(id);
+            }
+        }
+        while let Some((_, id)) = q.pop() {
+            popped.push(id);
+        }
+        let expected: Vec<u32> = (0..next_id).collect();
+        assert_eq!(popped, expected, "tie-storm must pop in insertion order");
+    }
+
+    #[test]
+    fn slab_reuses_slots_after_heavy_churn() {
+        // Push/pop far more events than are ever simultaneously pending:
+        // the payload slab must stay at the high-water size, recycling
+        // freed slots instead of growing without bound.
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for round in 0..1_000u64 {
+            for i in 0..4 {
+                q.schedule_at(SimTime::from_nanos(round * 10 + i), round * 4 + i);
+            }
+            for _ in 0..4 {
+                let _ = q.pop().unwrap();
+            }
+        }
+        assert_eq!(q.pushes(), 4_000);
+        assert_eq!(q.pops(), 4_000);
+        assert_eq!(q.high_water(), 4);
+        assert!(
+            q.slab.len() <= q.high_water(),
+            "slab grew to {} slots with a high-water of {}",
+            q.slab.len(),
+            q.high_water()
+        );
+        assert_eq!(q.free.len(), q.slab.len(), "all slots free after drain");
+    }
+
+    #[test]
+    fn reset_clock_moves_empty_queue_clock_both_ways() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(50), 1);
+        let _ = q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(50));
+        q.reset_clock(SimTime::from_nanos(10));
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+        // schedule_after is now relative to the reset clock.
+        q.schedule_after(SimDuration::from_nanos(5), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "pending events")]
+    fn reset_clock_rejects_pending_events() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(50), 1);
+        q.reset_clock(SimTime::from_nanos(10));
     }
 
     #[test]

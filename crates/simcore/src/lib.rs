@@ -66,6 +66,7 @@ mod engine;
 mod hostperf;
 mod metrics;
 mod rng;
+mod shard;
 mod time;
 mod trace;
 
@@ -76,5 +77,6 @@ pub use engine::{Engine, EventQueue, World};
 pub use hostperf::{peak_rss_kb, KindStats, PerfProbe, PerfReport, DEPTH_BUCKETS};
 pub use metrics::{Histogram, Summary};
 pub use rng::{Bimodal, SimRng, Zipf};
+pub use shard::{Mailbox, ShardId, ShardedEngine, ShardedWorld};
 pub use time::{SimDuration, SimTime};
 pub use trace::{CollectingProbe, EngineProfile, NoProbe, Probe, RingSeries, Span};

@@ -1,0 +1,524 @@
+//! Conservative-lookahead sharded event engine.
+//!
+//! [`ShardedEngine`] is the shard-aware sibling of [`Engine`](crate::Engine):
+//! instead of one global future-event list it keeps **one
+//! [`EventQueue`] per shard** plus a boundary [`Mailbox`] for events whose
+//! destination shard differs from the shard that scheduled them. The
+//! driver advances time in *conservative windows* (classic
+//! null-message/lookahead PDES): each round it delivers pending mailbox
+//! posts, finds the globally earliest pending timestamp `t_min`, and
+//! processes every event with `t < t_min + lookahead`, where `lookahead`
+//! is the minimum cross-shard scheduling delay the world guarantees
+//! (for the NetRS fat-tree: the inter-pod link latency — any pod-crossing
+//! packet traverses at least one link).
+//!
+//! # Ordering guarantees
+//!
+//! * Within a shard, the `(time, seq)` total order of [`EventQueue`] is
+//!   preserved exactly.
+//! * Across shards, events are processed in global `(time, shard, seq)`
+//!   order: within a window the driver repeatedly picks the shard whose
+//!   head event is earliest, breaking timestamp ties by the lower shard
+//!   id. A sharded run is therefore byte-identical run-to-run.
+//! * With one shard the engine degenerates to the sequential engine:
+//!   every event is same-shard, the mailbox never sees traffic, and the
+//!   processing order is byte-identical to [`Engine`](crate::Engine)
+//!   (proven against the golden fixtures in `tests/shard_equiv.rs`).
+//!
+//! # Why a window is safe
+//!
+//! An event processed at time `t` inside the window `[t_min, t_min + L)`
+//! may post a cross-shard event no earlier than `t + L >= t_min + L` —
+//! at or beyond the window's end. No post made *during* a window can
+//! therefore affect any event *inside* it, so the per-shard queues can
+//! be drained up to the horizon without consulting other shards. Worlds
+//! that violate the lookahead contract (a cross-shard event closer than
+//! `L`) do not corrupt the per-shard timeline: the delivery is clamped
+//! to the destination shard's clock and counted in
+//! [`ShardedEngine::mailbox_late`].
+
+use std::time::Instant;
+
+use crate::engine::{EventQueue, World};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{EngineProfile, NoProbe, Probe};
+
+/// Identifies one shard of a [`ShardedWorld`] (dense, `0..num_shards`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+/// A [`World`] whose events can be partitioned across shards.
+///
+/// The partition must be *stable*: [`ShardedWorld::shard_of`] is called
+/// once per scheduled event (at routing time) and must depend only on
+/// the event itself and immutable topology, never on mutable state that
+/// the processing order could perturb.
+pub trait ShardedWorld: World {
+    /// Number of shards this world partitions into (`>= 1`).
+    fn num_shards(&self) -> u32;
+
+    /// The shard that owns `event` (must be `< num_shards()`).
+    fn shard_of(&self, event: &Self::Event) -> ShardId;
+
+    /// The minimum cross-shard scheduling delay this world guarantees:
+    /// an event scheduled from shard A for shard B is at least this far
+    /// in the future. Larger lookahead means fewer, larger windows.
+    fn lookahead(&self) -> SimDuration;
+}
+
+/// One cross-shard event waiting at the boundary.
+struct Post<E> {
+    at: SimTime,
+    src: u32,
+    /// Per-source post counter; with `(at, src)` it makes delivery order
+    /// a total order independent of sort stability.
+    src_seq: u64,
+    dest: u32,
+    event: E,
+}
+
+/// The boundary buffer for cross-shard events.
+///
+/// Events posted during a window are delivered at the start of the next
+/// one, sorted by `(time, source shard, source post sequence)` so the
+/// destination queue's insertion order — and hence its tie-break — is
+/// deterministic.
+pub struct Mailbox<E> {
+    posts: Vec<Post<E>>,
+    per_src_seq: Vec<u64>,
+    posted: u64,
+    delivered: u64,
+    late: u64,
+}
+
+impl<E> Mailbox<E> {
+    fn new(shards: usize) -> Self {
+        Mailbox {
+            posts: Vec::new(),
+            per_src_seq: vec![0; shards],
+            posted: 0,
+            delivered: 0,
+            late: 0,
+        }
+    }
+
+    fn post(&mut self, at: SimTime, src: u32, dest: u32, event: E) {
+        let src_seq = self.per_src_seq[src as usize];
+        self.per_src_seq[src as usize] += 1;
+        self.posted += 1;
+        self.posts.push(Post {
+            at,
+            src,
+            src_seq,
+            dest,
+            event,
+        });
+    }
+
+    /// Drains every pending post into the destination queues. Posts that
+    /// arrive behind the destination's clock (a lookahead-contract
+    /// violation by the world) are clamped to it and counted.
+    fn deliver(&mut self, queues: &mut [EventQueue<E>]) {
+        if self.posts.is_empty() {
+            return;
+        }
+        self.posts.sort_by_key(|p| (p.at, p.src, p.src_seq));
+        for p in self.posts.drain(..) {
+            let q = &mut queues[p.dest as usize];
+            let mut at = p.at;
+            if at < q.now() {
+                self.late += 1;
+                at = q.now();
+            }
+            q.schedule_at(at, p.event);
+            self.delivered += 1;
+        }
+    }
+}
+
+/// Drives a [`ShardedWorld`] over per-shard queues with a boundary
+/// mailbox and a conservative-lookahead window driver. See the
+/// [module docs](self) for the synchronization scheme and ordering
+/// guarantees.
+pub struct ShardedEngine<W: ShardedWorld, P: Probe = NoProbe> {
+    world: W,
+    queues: Vec<EventQueue<W::Event>>,
+    /// Scratch queue handed to the world's handler; drained and routed
+    /// (same shard → shard queue, cross shard → mailbox) after each
+    /// event. Re-insertion assigns fresh per-queue sequence numbers in
+    /// sorted drain order, which preserves the relative `(time, seq)`
+    /// pop order the sequential engine produces.
+    outbox: EventQueue<W::Event>,
+    mailbox: Mailbox<W::Event>,
+    lookahead: SimDuration,
+    processed: u64,
+    now: SimTime,
+    probe: P,
+    started: Instant,
+}
+
+impl<W: ShardedWorld> ShardedEngine<W> {
+    /// Creates a sharded engine with empty queues and no instrumentation.
+    pub fn new(world: W) -> Self {
+        ShardedEngine::with_probe(world, NoProbe)
+    }
+}
+
+impl<W: ShardedWorld, P: Probe> ShardedEngine<W, P> {
+    /// Creates a sharded engine that reports each processed event to
+    /// `probe`.
+    pub fn with_probe(world: W, probe: P) -> Self {
+        let shards = world.num_shards().max(1) as usize;
+        let lookahead = world.lookahead();
+        ShardedEngine {
+            world,
+            queues: (0..shards).map(|_| EventQueue::new()).collect(),
+            outbox: EventQueue::new(),
+            mailbox: Mailbox::new(shards),
+            lookahead,
+            processed: 0,
+            now: SimTime::ZERO,
+            probe,
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> u32 {
+        self.queues.len() as u32
+    }
+
+    /// The latest event timestamp processed so far (global virtual time).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed across all shards.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Cross-shard events posted to the mailbox so far.
+    #[must_use]
+    pub fn mailbox_posted(&self) -> u64 {
+        self.mailbox.posted
+    }
+
+    /// Mailbox deliveries that violated the lookahead contract and were
+    /// clamped to the destination shard's clock.
+    #[must_use]
+    pub fn mailbox_late(&self) -> u64 {
+        self.mailbox.late
+    }
+
+    /// Shared access to the world state.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world state.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Shared access to the probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Exclusive access to the probe.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the engine and returns the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Consumes the engine and returns the world and the probe.
+    pub fn into_parts(self) -> (W, P) {
+        (self.world, self.probe)
+    }
+
+    /// Seeds the simulation: hands the world and a scratch queue to
+    /// `prime`, then routes every scheduled event to its owning shard.
+    /// Must run before the first window, while all shard clocks are at
+    /// zero, so initial events insert directly (the mailbox is only for
+    /// events crossing shards *mid-run*).
+    pub fn prime_with(&mut self, prime: impl FnOnce(&mut W, &mut EventQueue<W::Event>)) {
+        debug_assert_eq!(self.processed, 0, "prime_with after events ran");
+        prime(&mut self.world, &mut self.outbox);
+        while let Some((at, event)) = self.outbox.pop() {
+            let dest = self.dest_shard(&event);
+            self.queues[dest].schedule_at(at, event);
+        }
+    }
+
+    fn dest_shard(&self, event: &W::Event) -> usize {
+        let dest = self.world.shard_of(event).0 as usize;
+        debug_assert!(dest < self.queues.len(), "shard_of out of range: {dest}");
+        dest.min(self.queues.len() - 1)
+    }
+
+    /// Events pending across all shard queues and the mailbox.
+    fn pending(&self) -> usize {
+        self.queues.iter().map(EventQueue::len).sum::<usize>() + self.mailbox.posts.len()
+    }
+
+    /// Aggregate push count across shard queues (the outbox is routing
+    /// plumbing, not a future-event list, so its churn is excluded).
+    fn pushes(&self) -> u64 {
+        self.queues.iter().map(EventQueue::pushes).sum()
+    }
+
+    fn pops(&self) -> u64 {
+        self.queues.iter().map(EventQueue::pops).sum()
+    }
+
+    /// The engine's self-measurement, aggregated across shards: total
+    /// events, the deepest any single shard queue got, and summed queue
+    /// churn.
+    #[must_use]
+    pub fn profile(&self) -> EngineProfile {
+        let high_water = self.queues.iter().map(EventQueue::high_water).max();
+        EngineProfile::capture(
+            self.processed,
+            high_water.unwrap_or(0),
+            self.pushes(),
+            self.pops(),
+            self.started,
+        )
+    }
+
+    /// Pops and handles the head event of shard `s`, routing everything
+    /// the handler scheduled. Mirrors `Engine::step` including the
+    /// kinded-probe step timing, so `--perf` attribution works on the
+    /// sharded path too.
+    fn step_shard(&mut self, s: usize) {
+        let t0 = if P::KINDED && self.probe.sample_due() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let Some((at, event)) = self.queues[s].pop() else {
+            return;
+        };
+        self.processed += 1;
+        self.now = self.now.max(at);
+        let kind = if P::KINDED { W::event_kind(&event) } else { 0 };
+        self.outbox.reset_clock(at);
+        self.world.handle(at, event, &mut self.outbox);
+        while let Some((t, ev)) = self.outbox.pop() {
+            let dest = self.dest_shard(&ev);
+            if dest == s {
+                self.queues[s].schedule_at(t, ev);
+            } else {
+                self.mailbox.post(t, s as u32, dest as u32, ev);
+            }
+        }
+        self.probe.on_event(at, self.pending());
+        if P::KINDED {
+            let sampled_ns = t0.map(|t| t.elapsed().as_nanos() as u64);
+            self.probe.on_event_kind(kind, sampled_ns);
+        }
+    }
+
+    /// Advances one conservative window: delivers the mailbox, computes
+    /// the global minimum pending timestamp `t_min`, and processes every
+    /// event with `t < t_min + lookahead` (or `t == t_min` when the
+    /// lookahead is zero) in global `(time, shard, seq)` order. Returns
+    /// `false` once everything is drained.
+    pub fn advance_window(&mut self) -> bool {
+        self.mailbox.deliver(&mut self.queues);
+        let Some(t_min) = self.queues.iter().filter_map(EventQueue::peek_time).min() else {
+            return false;
+        };
+        let horizon = t_min + self.lookahead;
+        loop {
+            // Pick the earliest in-window head across shards; timestamp
+            // ties go to the lower shard id — the global tie-break.
+            let mut best: Option<(SimTime, usize)> = None;
+            for (s, q) in self.queues.iter().enumerate() {
+                let Some(t) = q.peek_time() else { continue };
+                let due = if self.lookahead == SimDuration::ZERO {
+                    t <= t_min
+                } else {
+                    t < horizon
+                };
+                if due && best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, s));
+                }
+            }
+            let Some((_, s)) = best else { break };
+            self.step_shard(s);
+        }
+        true
+    }
+
+    /// Runs windows until every shard queue and the mailbox are drained.
+    pub fn run(&mut self) {
+        while self.advance_window() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    /// A toy message-passing world: event `(dest_shard, id, hops_left)`
+    /// logs itself and, while hops remain, forwards to the next shard
+    /// one lookahead (plus an id-dependent jitter) in the future.
+    struct Toy {
+        shards: u32,
+        lookahead: SimDuration,
+        log: Vec<(u64, u32, u32)>,
+    }
+
+    type TEv = (u32, u32, u32);
+
+    impl World for Toy {
+        type Event = TEv;
+        fn handle(&mut self, now: SimTime, ev: TEv, queue: &mut EventQueue<TEv>) {
+            let (shard, id, hops) = ev;
+            self.log.push((now.as_nanos(), shard, id));
+            if hops > 0 {
+                let next = (shard + 1) % self.shards;
+                let delay = self.lookahead + SimDuration::from_nanos(u64::from(id % 3));
+                queue.schedule_after(delay, (next, id, hops - 1));
+            }
+        }
+    }
+
+    impl ShardedWorld for Toy {
+        fn num_shards(&self) -> u32 {
+            self.shards
+        }
+        fn shard_of(&self, ev: &TEv) -> ShardId {
+            ShardId(ev.0)
+        }
+        fn lookahead(&self) -> SimDuration {
+            self.lookahead
+        }
+    }
+
+    fn toy(shards: u32) -> Toy {
+        Toy {
+            shards,
+            lookahead: SimDuration::from_nanos(10),
+            log: Vec::new(),
+        }
+    }
+
+    fn run_toy(shards: u32) -> (Vec<(u64, u32, u32)>, u64, u64) {
+        let mut e = ShardedEngine::new(toy(shards));
+        e.prime_with(|_, q| {
+            for id in 0..8 {
+                q.schedule_at(SimTime::from_nanos(u64::from(id % 4)), (id % shards, id, 5));
+            }
+        });
+        e.run();
+        let posted = e.mailbox_posted();
+        let late = e.mailbox_late();
+        (e.into_world().log, posted, late)
+    }
+
+    #[test]
+    fn single_shard_matches_sequential_engine() {
+        let mut seq = Engine::new(toy(1));
+        for id in 0..8 {
+            seq.queue_mut()
+                .schedule_at(SimTime::from_nanos(u64::from(id % 4)), (0, id, 5));
+        }
+        seq.run();
+        let (sharded_log, posted, _) = run_toy(1);
+        assert_eq!(sharded_log, seq.world().log);
+        assert_eq!(posted, 0, "one shard must never touch the mailbox");
+    }
+
+    #[test]
+    fn multi_shard_run_is_deterministic() {
+        let (a, posted_a, late_a) = run_toy(3);
+        let (b, posted_b, late_b) = run_toy(3);
+        assert_eq!(a, b, "same world twice must replay identically");
+        assert_eq!((posted_a, late_a), (posted_b, late_b));
+        assert!(posted_a > 0, "cross-shard hops must ride the mailbox");
+        assert_eq!(late_a, 0, "toy world honours its lookahead contract");
+    }
+
+    #[test]
+    fn processing_order_is_global_time_shard_seq() {
+        let (log, _, _) = run_toy(3);
+        // Forward delays are >= lookahead, so delivery never clamps and
+        // the driver's window order is globally sorted by (time, shard).
+        let mut sorted = log.clone();
+        sorted.sort_by_key(|&(t, s, id)| (t, s, id));
+        let keys: Vec<(u64, u32)> = log.iter().map(|&(t, s, _)| (t, s)).collect();
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "events out of (time, shard) order: {keys:?}"
+        );
+        assert_eq!(log.len(), sorted.len());
+    }
+
+    #[test]
+    fn lookahead_violations_clamp_and_count() {
+        /// Forwards cross-shard with a delay *below* the declared
+        /// lookahead: deliveries land behind the destination clock and
+        /// must clamp (never panic) while being counted.
+        struct Cheater {
+            log: Vec<u64>,
+        }
+        impl World for Cheater {
+            type Event = (u32, u32);
+            fn handle(&mut self, now: SimTime, ev: (u32, u32), queue: &mut EventQueue<(u32, u32)>) {
+                self.log.push(now.as_nanos());
+                if ev.1 > 0 {
+                    // 1ns << the declared 1000ns lookahead.
+                    queue.schedule_after(SimDuration::from_nanos(1), (1 - ev.0, ev.1 - 1));
+                }
+            }
+        }
+        impl ShardedWorld for Cheater {
+            fn num_shards(&self) -> u32 {
+                2
+            }
+            fn shard_of(&self, ev: &(u32, u32)) -> ShardId {
+                ShardId(ev.0)
+            }
+            fn lookahead(&self) -> SimDuration {
+                SimDuration::from_nanos(1000)
+            }
+        }
+        let mut e = ShardedEngine::new(Cheater { log: Vec::new() });
+        e.prime_with(|_, q| {
+            // Keep shard 1's clock ahead so deliveries arrive late.
+            q.schedule_at(SimTime::from_nanos(500), (1, 0));
+            q.schedule_at(SimTime::ZERO, (0, 4));
+        });
+        e.run();
+        assert_eq!(e.processed(), 6);
+        assert!(e.mailbox_late() > 0, "late deliveries must be counted");
+        // The log is still monotone per shard and the run completes.
+        let log = e.into_world().log;
+        assert_eq!(log.len(), 6);
+    }
+
+    #[test]
+    fn profile_aggregates_across_shards() {
+        let mut e = ShardedEngine::new(toy(2));
+        e.prime_with(|_, q| {
+            q.schedule_at(SimTime::ZERO, (0, 0, 3));
+            q.schedule_at(SimTime::ZERO, (1, 1, 3));
+        });
+        e.run();
+        let p = e.profile();
+        assert_eq!(p.events, 8);
+        assert_eq!(p.pops, 8);
+        assert_eq!(p.pushes, 8, "every event enters exactly one shard queue");
+    }
+}

@@ -32,6 +32,47 @@ proptest! {
         prop_assert_eq!(order, &sorted);
     }
 
+    /// Pop order equals a sorted `(at, seq)` reference model under
+    /// arbitrary interleavings of schedules and pops. Each op is either
+    /// a schedule at one of a few clustered times (forcing ties) or a
+    /// pop; the queue must agree with a stable sort of the not-yet-
+    /// popped schedules by `(time, insertion sequence)`.
+    #[test]
+    fn pop_order_matches_sorted_reference_model(
+        ops in proptest::collection::vec((0u8..4, 0u64..8), 1..300),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (at, seq), sorted on pop
+        let mut seq = 0u64;
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        for &(op, slot) in &ops {
+            if op == 0 && !model.is_empty() {
+                // Reference: earliest (at, seq) not yet popped.
+                let best = *model.iter().min().unwrap();
+                model.retain(|&e| e != best);
+                expected.push(best);
+                let (at, id) = q.pop().unwrap();
+                popped.push((at.as_nanos(), id));
+            } else {
+                // Cluster times into 8 slots at or after `now` so ties
+                // are common and the past-schedule guard never trips.
+                let at = q.now().as_nanos() + slot;
+                q.schedule_at(SimTime::from_nanos(at), seq);
+                model.push((at, seq));
+                seq += 1;
+            }
+        }
+        while let Some((at, id)) = q.pop() {
+            let best = *model.iter().min().unwrap();
+            model.retain(|&e| e != best);
+            expected.push(best);
+            popped.push((at.as_nanos(), id));
+        }
+        prop_assert!(model.is_empty());
+        prop_assert_eq!(popped, expected);
+    }
+
     /// Histogram quantiles are monotone in q, bracketed by min/max, and the
     /// quantization error of any quantile is below 1% relative.
     #[test]

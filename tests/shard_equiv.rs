@@ -1,0 +1,174 @@
+//! Sharded-engine equivalence tests.
+//!
+//! The shard refactor's acceptance contract (DESIGN.md §13): driving the
+//! cluster through [`netrs_sim::run_sharded`] with one shard must be
+//! **byte-identical** to the sequential engine — same `RunStats`, same
+//! request-trace JSONL, same device telemetry — for every scheme, and
+//! multi-shard runs must be deterministic per seed (run twice, get the
+//! same bytes) even though their within-window event order differs from
+//! the sequential engine's.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use netrs_sim::{
+    run, run_observed, run_observed_sharded, run_seeds, run_seeds_sharded, run_sharded, ObsOptions,
+    Scheme, SimConfig,
+};
+
+/// A `Write` sink the test can inspect after the run consumed the box.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn take_string(&self) -> String {
+        let bytes = std::mem::take(&mut *self.0.lock().unwrap());
+        String::from_utf8(bytes).expect("trace output is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+const SEEDS: [u64; 3] = [11, 12, 13];
+
+fn tiny(scheme: Scheme, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::small();
+    cfg.requests = 1_500;
+    cfg.scheme = scheme;
+    cfg.seed = seed;
+    cfg
+}
+
+fn stats_json(stats: &netrs_sim::RunStats) -> String {
+    serde_json::to_string_pretty(stats).expect("stats serialize")
+}
+
+/// One shard, no observers: `RunStats` byte-identical to the sequential
+/// engine for all four schemes and three seeds.
+#[test]
+fn one_shard_stats_match_sequential_for_all_schemes() {
+    for scheme in Scheme::ALL {
+        for seed in SEEDS {
+            let sequential = run(tiny(scheme, seed));
+            let sharded = run_sharded(tiny(scheme, seed), 1);
+            assert_eq!(
+                stats_json(&sequential),
+                stats_json(&sharded),
+                "{scheme:?} seed {seed}: one-shard run diverged from sequential"
+            );
+        }
+    }
+}
+
+/// One shard with the full observer set attached: the trace JSONL and
+/// device telemetry are byte-identical too, so downstream artifact
+/// diffs cannot tell the engines apart.
+#[test]
+fn one_shard_trace_and_devices_match_sequential() {
+    for scheme in Scheme::ALL {
+        let observed = |sharded: Option<u32>| {
+            let sink = SharedBuf::default();
+            let obs = ObsOptions {
+                trace: Some(Box::new(sink.clone())),
+                trace_hops: true,
+                device_stats: true,
+                ..ObsOptions::default()
+            };
+            let cfg = tiny(scheme, 11);
+            let out = match sharded {
+                Some(shards) => run_observed_sharded(cfg, shards, obs),
+                None => run_observed(cfg, obs),
+            };
+            let report = out.devices.expect("device stats requested");
+            let devices: String = report
+                .records
+                .iter()
+                .map(|r| {
+                    let mut line = serde_json::to_string(r).expect("device record serialize");
+                    line.push('\n');
+                    line
+                })
+                .collect();
+            (stats_json(&out.stats), sink.take_string(), devices)
+        };
+        let (seq_stats, seq_trace, seq_devices) = observed(None);
+        let (sh_stats, sh_trace, sh_devices) = observed(Some(1));
+        assert_eq!(seq_stats, sh_stats, "{scheme:?}: stats diverged");
+        assert_eq!(seq_trace, sh_trace, "{scheme:?}: trace JSONL diverged");
+        assert_eq!(
+            seq_devices, sh_devices,
+            "{scheme:?}: device report diverged"
+        );
+    }
+}
+
+/// Multi-shard runs are deterministic: the same seed produces the same
+/// bytes run after run, for every scheme, and the workload still
+/// completes.
+#[test]
+fn multi_shard_runs_are_deterministic_per_seed() {
+    for scheme in Scheme::ALL {
+        for seed in SEEDS {
+            let a = run_sharded(tiny(scheme, seed), 4);
+            let b = run_sharded(tiny(scheme, seed), 4);
+            assert_eq!(
+                stats_json(&a),
+                stats_json(&b),
+                "{scheme:?} seed {seed}: multi-shard run not reproducible"
+            );
+            assert_eq!(a.completed, 1_500, "{scheme:?} seed {seed}: work lost");
+        }
+    }
+}
+
+/// Different seeds still produce different multi-shard runs (the
+/// per-shard RNG split must not collapse the seed space).
+#[test]
+fn multi_shard_seeds_differ() {
+    let a = run_sharded(tiny(Scheme::NetRsIlp, 11), 4);
+    let b = run_sharded(tiny(Scheme::NetRsIlp, 12), 4);
+    assert_ne!(
+        a.latency, b.latency,
+        "different seeds must produce different runs"
+    );
+}
+
+/// The multi-seed fan-out on the sharded path serializes to the same
+/// bytes as running each seed alone — thread scheduling must not leak
+/// into results (the sharded extension of the `run_seeds`
+/// parallel-matches-sequential property).
+#[test]
+fn run_seeds_sharded_parallel_matches_sequential_runs() {
+    let cfg = tiny(Scheme::NetRsToR, 0);
+    let parallel = run_seeds_sharded(&cfg, 4, &SEEDS);
+    for (&seed, p) in SEEDS.iter().zip(&parallel) {
+        let mut one = cfg.clone();
+        one.seed = seed;
+        let s = run_sharded(one, 4);
+        assert_eq!(
+            stats_json(p),
+            stats_json(&s),
+            "seed {seed}: parallel and sequential sharded runs diverged"
+        );
+    }
+    // And with one shard the fan-out agrees with the sequential-engine
+    // fan-out, closing the loop between the two runners.
+    let one_shard = run_seeds_sharded(&cfg, 1, &SEEDS);
+    let sequential = run_seeds(&cfg, &SEEDS);
+    for ((&seed, a), b) in SEEDS.iter().zip(&one_shard).zip(&sequential) {
+        assert_eq!(
+            stats_json(a),
+            stats_json(b),
+            "seed {seed}: one-shard fan-out diverged from sequential fan-out"
+        );
+    }
+}
