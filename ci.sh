@@ -131,4 +131,35 @@ done
     --stats "clirs=$SMOKE/clirs-faults-a.json" --stats "netrs-tor=$SMOKE/netrs-tor-faults-a.json" \
     | grep -q "Availability under faults"
 
+echo "==> rw smoke (writes + hot-key cache, same seed twice, byte-identical stats)"
+# Quorum writes and the in-switch cache must be as deterministic as the
+# read path: identical seeds give identical stats including every cache
+# counter, and the rw analyzer renders both runs.
+for i in a b; do
+    ./target/debug/simulate --small --scheme netrs-tor --requests 5000 --seed 9 \
+        --write-fraction 0.1 --consistency quorum:2 --hot-cache 128 \
+        --json > "$SMOKE/rw-$i.json"
+done
+diff -u "$SMOKE/rw-a.json" "$SMOKE/rw-b.json"
+grep -q '"rw"' "$SMOKE/rw-a.json"
+./target/debug/simulate --small --scheme netrs-tor --requests 5000 --seed 9 \
+    --write-fraction 0.1 --consistency quorum:2 --hot-cache 128 \
+    --devices "$SMOKE/rw-dev.jsonl" --json > /dev/null
+./target/debug/netrs-analyze rw --stats "netrs-tor=$SMOKE/rw-a.json" \
+    --devices "$SMOKE/rw-dev.jsonl" > "$SMOKE/rw-report.txt"
+grep -q "Read/write mix" "$SMOKE/rw-report.txt"
+grep -q "Per-operator cache" "$SMOKE/rw-report.txt"
+
+echo "==> cache-invalidation-under-fault smoke (lost coherence => stale reads, deterministic)"
+# Half the packets die mid-run: invalidations are lost with everything
+# else, so stale reads must appear — and identically across two runs.
+for i in a b; do
+    ./target/debug/simulate --small --scheme netrs-tor --requests 5000 --seed 9 \
+        --write-fraction 0.2 --hot-cache 128 \
+        --faults tests/fixtures/faults/invalidation-loss.json \
+        --json > "$SMOKE/rw-faults-$i.json"
+done
+diff -u "$SMOKE/rw-faults-a.json" "$SMOKE/rw-faults-b.json"
+grep -q '"stale_reads"' "$SMOKE/rw-faults-a.json"
+
 echo "==> CI green"

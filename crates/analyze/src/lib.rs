@@ -433,6 +433,89 @@ pub fn availability_report(entries: &[(String, RunStats)]) -> String {
     out
 }
 
+/// Renders the read/write-mix report: per-label read vs write latency
+/// percentiles, the hot-key-cache hit ratio and the stale-read count.
+/// Labels without an `rw` stats block (read-only runs, or legacy
+/// all-replica writes with no cache) render as a read-only row. When
+/// `devices` is non-empty a per-operator cache table follows, one row
+/// per switch that recorded cache traffic, in file order.
+#[must_use]
+pub fn rw_report(entries: &[(String, RunStats)], devices: &[DeviceRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Read/write mix");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>12} {:>12} {:>8} {:>12} {:>12} {:>10} {:>8}",
+        "label", "reads", "r-mean", "r-p99", "writes", "w-mean", "w-p99", "hit-ratio", "stale"
+    );
+    for (label, stats) in entries {
+        let reads = stats.issued - stats.writes_issued;
+        let _ = write!(
+            out,
+            "{label:<14} {reads:>8} {:>12} {:>12}",
+            fmt_dur(stats.latency.mean),
+            fmt_dur(stats.latency.p99)
+        );
+        if stats.writes_issued == 0 {
+            let _ = writeln!(out, " {:>8} (read-only run)", 0);
+            continue;
+        }
+        let _ = write!(
+            out,
+            " {:>8} {:>12} {:>12}",
+            stats.writes_issued,
+            fmt_dur(stats.write_latency.mean),
+            fmt_dur(stats.write_latency.p99)
+        );
+        match stats.rw.as_ref() {
+            Some(rw) => {
+                let gets = rw.cache_hits + rw.cache_misses;
+                let ratio = if gets > 0 {
+                    format!("{:.1}%", rw.cache_hits as f64 / gets as f64 * 100.0)
+                } else {
+                    "-".to_string()
+                };
+                let _ = writeln!(out, " {ratio:>10} {:>8}", rw.stale_reads);
+            }
+            None => {
+                let _ = writeln!(out, " {:>10} {:>8}", "-", "-");
+            }
+        }
+    }
+    let cached: Vec<&DeviceRecord> = devices
+        .iter()
+        .filter(|d| d.cache_hits + d.cache_misses + d.cache_invalidations > 0)
+        .collect();
+    if !cached.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Per-operator cache");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>8} {:>10} {:>8} {:>9} {:>13}",
+            "operator", "hits", "misses", "hit-ratio", "stale", "evicted", "invalidated"
+        );
+        for d in cached {
+            let gets = d.cache_hits + d.cache_misses;
+            let ratio = if gets > 0 {
+                format!("{:.1}%", d.cache_hits as f64 / gets as f64 * 100.0)
+            } else {
+                "-".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>8} {ratio:>10} {:>8} {:>9} {:>13}",
+                d.dev,
+                d.cache_hits,
+                d.cache_misses,
+                d.cache_stale_hits,
+                d.cache_evictions,
+                d.cache_invalidations
+            );
+        }
+    }
+    out
+}
+
 /// Loads a `--control` JSONL file (same error contract as
 /// [`load_trace`]).
 ///
@@ -605,6 +688,32 @@ pub fn control_report(entries: &[(String, Vec<ControlRecord>)]) -> String {
                 );
             }
         }
+
+        // Hot-key cache audits, only present when a cache was configured
+        // (cache-off reports are byte-identical to the pre-cache format).
+        let caches = records
+            .iter()
+            .filter(|r| matches!(r, ControlRecord::Cache(_)))
+            .count();
+        if caches > 0 {
+            let _ = writeln!(
+                out,
+                "   cache audits (operator · resident · hits/misses · stale · evicted · invalidated):"
+            );
+            for rec in records {
+                let ControlRecord::Cache(c) = rec else {
+                    continue;
+                };
+                let operator = c
+                    .switch
+                    .map_or_else(|| "retired".to_string(), |sw| format!("sw{sw}"));
+                let _ = writeln!(
+                    out,
+                    "     {operator:<8} {:>8} {:>8}/{:<8} {:>5} {:>7} {:>11}",
+                    c.len, c.hits, c.misses, c.stale_hits, c.evictions, c.invalidations
+                );
+            }
+        }
     }
 
     // Side-by-side: how much the control plane worked per run.
@@ -643,6 +752,9 @@ pub fn control_report(entries: &[(String, Vec<ControlRecord>)]) -> String {
                         spans += 1;
                         displaced += s.total_displaced_ns();
                     }
+                    // Cache audits have their own table in `rw_report`;
+                    // the control comparison stays cache-agnostic.
+                    ControlRecord::Cache(_) => {}
                 }
             }
             let mean_it = if solves > 0 {
@@ -676,6 +788,19 @@ pub const BENCH_KEYS: [&str; 7] = [
 /// the `repro perf` subcommand, as opposed to sim-time latency entries).
 /// An entry is classified as perf by the presence of `"wall_clock_s"`.
 pub const PERF_KEYS: [&str; 4] = ["events", "events_per_sec", "peak_rss_kb", "wall_clock_s"];
+
+/// Optional extension keys a bench entry *may* carry without failing
+/// validation: the read/write-mix statistics added with the write path
+/// and the in-switch hot-key cache. Present values must still be
+/// numbers, but artifacts generated before (or without) the RW
+/// subsystem simply omit them.
+pub const BENCH_OPTIONAL_KEYS: [&str; 5] = [
+    "writes",
+    "write_mean_ns",
+    "write_p99_ns",
+    "cache_hit_ratio",
+    "stale_reads",
+];
 
 /// Builds the bench regression artifact: one entry per labeled trace
 /// with the e2e latency statistics over winning reads plus throughput
@@ -740,7 +865,9 @@ impl fmt::Display for BenchSchema {
 /// latency entries) or all of [`PERF_KEYS`] (wall-clock perf entries,
 /// recognized by the presence of `"wall_clock_s"`) as numbers. The two
 /// legacy kinds may be mixed within one artifact, but an entry must be
-/// exactly one of them.
+/// exactly one of them. Entries may additionally carry any of the
+/// [`BENCH_OPTIONAL_KEYS`] RW extension fields (numbers when present);
+/// unknown keys beyond those still fail.
 ///
 /// # Errors
 ///
@@ -789,8 +916,18 @@ pub fn check_bench(artifact: &Value) -> Result<BenchSchema, String> {
                 None => return Err(format!("entry {label:?} is missing key {key:?}")),
             }
         }
+        // RW extension keys are optional but must be numbers if present.
+        for &key in &BENCH_OPTIONAL_KEYS {
+            if let Some(v) = entry.get(key) {
+                if as_f64(v).is_none() {
+                    return Err(format!(
+                        "entry {label:?} optional key {key:?} is not a number: {v:?}"
+                    ));
+                }
+            }
+        }
         for (key, _) in fields {
-            if !keys.contains(&key.as_str()) {
+            if !keys.contains(&key.as_str()) && !BENCH_OPTIONAL_KEYS.contains(&key.as_str()) {
                 return Err(format!("entry {label:?} has unknown key {key:?}"));
             }
         }
@@ -1372,6 +1509,7 @@ mod tests {
                 sim_end: SimTime::ZERO,
                 events: 0,
                 availability: avail,
+                rw: None,
             }
         }
 
@@ -1416,6 +1554,146 @@ NetRS-ToR          8000         0       0.000%        9         9      2.100ms  
 baseline           8000 (fault-free run)
 ";
         assert_eq!(availability_report(&entries), expected);
+    }
+
+    #[test]
+    fn rw_report_pins_its_format() {
+        use netrs_sim::RwStats;
+        use netrs_simcore::SimTime;
+
+        fn stats(writes: u64, rw: Option<RwStats>) -> RunStats {
+            RunStats {
+                scheme: Scheme::NetRsToR,
+                latency: Summary {
+                    count: 3_600,
+                    mean: SimDuration::from_micros(1_950),
+                    p50: SimDuration::ZERO,
+                    p95: SimDuration::ZERO,
+                    p99: SimDuration::from_micros(12_400),
+                    p999: SimDuration::ZERO,
+                    max: SimDuration::ZERO,
+                },
+                breakdown: Default::default(),
+                issued: 4_000,
+                completed: 4_000,
+                duplicates: 0,
+                rsnode_count: 7,
+                rsnode_census: [0, 0, 7],
+                drs_groups: 0,
+                mean_accel_utilization: 0.0,
+                max_accel_utilization: 0.0,
+                mean_selection_wait: SimDuration::ZERO,
+                mean_server_utilization: 0.0,
+                replans: 0,
+                writes_issued: writes,
+                write_latency: Summary {
+                    count: writes,
+                    mean: SimDuration::from_micros(2_720),
+                    p50: SimDuration::ZERO,
+                    p95: SimDuration::ZERO,
+                    p99: SimDuration::from_micros(15_800),
+                    p999: SimDuration::ZERO,
+                    max: SimDuration::ZERO,
+                },
+                overload_events: 0,
+                sim_end: SimTime::ZERO,
+                events: 0,
+                availability: None,
+                rw,
+            }
+        }
+
+        let entries = vec![
+            (
+                "cache-on".to_string(),
+                stats(
+                    400,
+                    Some(RwStats {
+                        writes_completed: 400,
+                        cache_hits: 880,
+                        cache_misses: 2_714,
+                        stale_reads: 2,
+                        cache_evictions: 1_084,
+                        cache_invalidations: 688,
+                    }),
+                ),
+            ),
+            ("legacy-writes".to_string(), stats(400, None)),
+            ("read-only".to_string(), stats(0, None)),
+        ];
+        let devices = vec![
+            DeviceRecord {
+                dev: "switch:20".into(),
+                kind: "switch".into(),
+                tier: 2,
+                packets: [0, 0, 0],
+                bytes: [0, 0, 0],
+                ops: 0,
+                selections: 0,
+                mean_selection_wait_ns: 0,
+                clone_updates: 0,
+                busy_ns: 0,
+                utilization: 0.0,
+                mean_queue_depth: 0.0,
+                max_queue_depth: 0,
+                drops: 0,
+                clamps: 0,
+                cache_hits: 500,
+                cache_misses: 1_500,
+                cache_stale_hits: 1,
+                cache_evictions: 600,
+                cache_invalidations: 350,
+            },
+            // No cache traffic: stays out of the per-operator table.
+            DeviceRecord {
+                dev: "switch:21".into(),
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_stale_hits: 0,
+                cache_evictions: 0,
+                cache_invalidations: 0,
+                ..devices_proto()
+            },
+        ];
+        let expected = "\
+## Read/write mix
+label             reads       r-mean        r-p99   writes       w-mean        w-p99  hit-ratio    stale
+cache-on           3600      1.950ms     12.400ms      400      2.720ms     15.800ms      24.5%        2
+legacy-writes      3600      1.950ms     12.400ms      400      2.720ms     15.800ms          -        -
+read-only          4000      1.950ms     12.400ms        0 (read-only run)
+
+## Per-operator cache
+operator         hits   misses  hit-ratio    stale   evicted   invalidated
+switch:20         500     1500      25.0%        1       600           350
+";
+        assert_eq!(rw_report(&entries, &devices), expected);
+        // Without device telemetry the per-operator table is absent.
+        assert!(!rw_report(&entries, &[]).contains("Per-operator"));
+    }
+
+    fn devices_proto() -> DeviceRecord {
+        DeviceRecord {
+            dev: String::new(),
+            kind: "switch".into(),
+            tier: 2,
+            packets: [0, 0, 0],
+            bytes: [0, 0, 0],
+            ops: 0,
+            selections: 0,
+            mean_selection_wait_ns: 0,
+            clone_updates: 0,
+            busy_ns: 0,
+            utilization: 0.0,
+            mean_queue_depth: 0.0,
+            max_queue_depth: 0,
+            drops: 0,
+            clamps: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_stale_hits: 0,
+            cache_evictions: 0,
+            cache_invalidations: 0,
+        }
     }
 
     #[test]
@@ -1465,6 +1743,7 @@ baseline           8000 (fault-free run)
                     sim_end: SimTime::ZERO,
                     events: 0,
                     availability: None,
+                    rw: None,
                 },
             }
         }
@@ -1824,6 +2103,32 @@ NetRS-ToR             2       4       8000    1.234ms    7.777ms     1.500
             .collect();
         let wrong = Value::Obj(vec![("x".into(), Value::Obj(wrong_type))]);
         assert!(check_bench(&wrong).unwrap_err().contains("not a number"));
+    }
+
+    #[test]
+    fn check_bench_tolerates_optional_rw_keys() {
+        // Artifacts from RW-enabled runs may append the optional
+        // extension keys; older consumers of the same schema must still
+        // validate them, and present values must be numeric.
+        let with_rw: Vec<(String, Value)> = BENCH_KEYS
+            .iter()
+            .map(|k| ((*k).to_string(), Value::U(1)))
+            .chain(
+                BENCH_OPTIONAL_KEYS
+                    .iter()
+                    .map(|k| ((*k).to_string(), Value::F(0.25))),
+            )
+            .collect();
+        let ok = Value::Obj(vec![("x".into(), Value::Obj(with_rw))]);
+        assert_eq!(check_bench(&ok).unwrap(), BenchSchema::Legacy);
+
+        let bad_entries: Vec<(String, Value)> = BENCH_KEYS
+            .iter()
+            .map(|k| ((*k).to_string(), Value::U(1)))
+            .chain([("stale_reads".to_string(), Value::Str("two".into()))])
+            .collect();
+        let bad = Value::Obj(vec![("x".into(), Value::Obj(bad_entries))]);
+        assert!(check_bench(&bad).unwrap_err().contains("stale_reads"));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::io::Write;
 use netrs_analyze::{
     availability_report, bench_artifact, check_bench, compare_bench, comparison_report,
     control_report, hotspot_report, load_control, load_devices, load_stats, load_sweep,
-    load_timeseries, load_trace, perf_report, split_label, sweep_report, tail_report,
+    load_timeseries, load_trace, perf_report, rw_report, split_label, sweep_report, tail_report,
     timeseries_report, BenchSchema, LabeledTrace,
 };
 use netrs_sim::PerfArtifact;
@@ -28,6 +28,7 @@ fn usage() -> ! {
          [--devices FILE] [--timeseries FILE] [--bench-json OUT] [--top N]\n\
          \x20      netrs-analyze control [LABEL=]FILE [[LABEL=]FILE ...]\n\
          \x20      netrs-analyze availability --stats [LABEL=]FILE [--stats [LABEL=]FILE ...]\n\
+         \x20      netrs-analyze rw --stats [LABEL=]FILE [--stats [LABEL=]FILE ...] [--devices FILE]\n\
          \x20      netrs-analyze perf [LABEL=]FILE [[LABEL=]FILE ...]\n\
          \x20      netrs-analyze sweep FILE\n\
          \x20      netrs-analyze check-bench FILE [BASELINE] [--threshold F]"
@@ -126,6 +127,36 @@ fn availability(args: &[String]) {
         usage();
     }
     print!("{}", availability_report(&entries));
+}
+
+fn rw(args: &[String]) {
+    let mut entries = Vec::new();
+    let mut devices = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" => {
+                i += 1;
+                let spec = args.get(i).cloned().unwrap_or_else(|| usage());
+                let (label, path) = split_label(&spec);
+                let stats =
+                    load_stats(path).unwrap_or_else(|e| fail(&format!("cannot load {path}: {e}")));
+                entries.push((label, stats));
+            }
+            "--devices" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| usage());
+                devices = load_devices(&path)
+                    .unwrap_or_else(|e| fail(&format!("cannot load {path}: {e}")));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if entries.is_empty() {
+        usage();
+    }
+    print!("{}", rw_report(&entries, &devices));
 }
 
 fn control(args: &[String]) {
@@ -233,6 +264,7 @@ fn main() {
         Some("report") => report(&args[1..]),
         Some("control") => control(&args[1..]),
         Some("availability") => availability(&args[1..]),
+        Some("rw") => rw(&args[1..]),
         Some("perf") => perf(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("check-bench") => check_bench_cmd(&args[1..]),

@@ -37,10 +37,12 @@
 mod ring;
 mod server;
 mod status;
+mod version;
 
 pub use ring::{ReplicaGroups, Ring, RingError};
 pub use server::{Arrival, Completion, Server, ServerConfig, ServerStats};
 pub use status::{ServerStatus, StatusError, STATUS_WIRE_LEN};
+pub use version::VersionTable;
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

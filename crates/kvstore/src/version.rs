@@ -1,0 +1,161 @@
+//! Per-key version counters for the write path.
+//!
+//! Every acknowledged `SET` bumps the key's version; a cached value is
+//! stale exactly when the version it was captured at is older than the
+//! committed version. The table is the store-side source of truth the
+//! in-switch hot-key caches are compared against for stale-read
+//! accounting.
+//!
+//! Storage is a bounded open-addressed map keyed by the 64-bit key hash:
+//! the write path touches it on every `SET` and every cache hit check,
+//! so it reuses the ring-slab idea of the simulator's dense tables
+//! rather than a `HashMap`. Unversioned keys implicitly sit at version
+//! 0, so only written keys occupy slots.
+
+use crate::hash64;
+
+/// Per-key version counters: key `→` number of committed writes.
+///
+/// Keys that were never written report version 0 without occupying a
+/// slot, so memory is proportional to the *written* key population.
+#[derive(Debug, Clone, Default)]
+pub struct VersionTable {
+    slots: Vec<Option<(u64, u64)>>,
+    mask: u64,
+    len: usize,
+    writes: u64,
+}
+
+impl VersionTable {
+    /// An empty table sized for at least `cap` written keys.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(16).next_power_of_two();
+        VersionTable {
+            slots: vec![None; cap],
+            mask: cap as u64 - 1,
+            len: 0,
+            writes: 0,
+        }
+    }
+
+    #[inline]
+    fn probe(&self, key: u64) -> usize {
+        (hash64(key) & self.mask) as usize
+    }
+
+    /// The committed version of `key` (0 when never written).
+    #[must_use]
+    pub fn get(&self, key: u64) -> u64 {
+        if self.slots.is_empty() {
+            return 0;
+        }
+        let mut i = self.probe(key);
+        loop {
+            match self.slots[i] {
+                Some((k, v)) if k == key => return v,
+                Some(_) => i = (i + 1) & self.mask as usize,
+                None => return 0,
+            }
+        }
+    }
+
+    /// Commits one write to `key`, returning the new version (≥ 1).
+    pub fn bump(&mut self, key: u64) -> u64 {
+        if self.slots.is_empty() {
+            *self = VersionTable::with_capacity(16);
+        }
+        self.writes += 1;
+        let mut i = self.probe(key);
+        loop {
+            match &mut self.slots[i] {
+                Some((k, v)) if *k == key => {
+                    *v += 1;
+                    return *v;
+                }
+                Some(_) => i = (i + 1) & self.mask as usize,
+                None => break,
+            }
+        }
+        // Keep the load factor under 1/2 so probes stay short.
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+            i = self.probe(key);
+            while self.slots[i].is_some() {
+                i = (i + 1) & self.mask as usize;
+            }
+        }
+        self.slots[i] = Some((key, 1));
+        self.len += 1;
+        1
+    }
+
+    /// Number of distinct keys ever written.
+    #[must_use]
+    pub fn keys_written(&self) -> usize {
+        self.len
+    }
+
+    /// Total writes committed across all keys.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.writes
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![None; cap]);
+        self.mask = cap as u64 - 1;
+        for entry in old.into_iter().flatten() {
+            let mut i = (hash64(entry.0) & self.mask) as usize;
+            while self.slots[i].is_some() {
+                i = (i + 1) & self.mask as usize;
+            }
+            self.slots[i] = Some(entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_keys_are_version_zero() {
+        let t = VersionTable::default();
+        assert_eq!(t.get(42), 0);
+        assert_eq!(t.keys_written(), 0);
+        assert_eq!(t.total_writes(), 0);
+    }
+
+    #[test]
+    fn bump_is_a_per_key_counter() {
+        let mut t = VersionTable::with_capacity(4);
+        assert_eq!(t.bump(7), 1);
+        assert_eq!(t.bump(7), 2);
+        assert_eq!(t.bump(9), 1);
+        assert_eq!(t.get(7), 2);
+        assert_eq!(t.get(9), 1);
+        assert_eq!(t.get(8), 0);
+        assert_eq!(t.keys_written(), 2);
+        assert_eq!(t.total_writes(), 3);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity_without_losing_versions() {
+        let mut t = VersionTable::with_capacity(4);
+        for key in 0..1000u64 {
+            assert_eq!(t.bump(key), 1);
+        }
+        for key in 0..1000u64 {
+            assert_eq!(t.get(key), 1, "key {key} lost in growth");
+        }
+        assert_eq!(t.keys_written(), 1000);
+        // Second round: versions advance independently.
+        for key in (0..1000u64).step_by(3) {
+            assert_eq!(t.bump(key), 2);
+        }
+        assert_eq!(t.get(998), 1);
+        assert_eq!(t.get(3), 2);
+    }
+}

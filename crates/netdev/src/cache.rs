@@ -1,0 +1,414 @@
+//! The in-switch hot-key cache attached to an RSNode operator.
+//!
+//! TurboKV and NetChain (see PAPERS.md) both point at the same idea: a
+//! programmable switch that already sits on the request path can answer
+//! the hottest keys itself, at sub-server-RTT latency and zero server
+//! load. NetRS RSNodes are exactly such a vantage point — every steered
+//! `GET` and every cloned response already traverses the operator — so
+//! the cache rides the existing data path: it is *populated* from
+//! observed responses and *consulted* before replica selection.
+//!
+//! Coherence is write-driven. A `SET` to a cached key emits a coherence
+//! message toward the owning RSNode; under `Invalidate` the entry is
+//! dropped, under `Through` it is refreshed in place with the new
+//! committed version. Either way the message travels the real (lossy)
+//! network, so a lost message leaves a *stale* entry behind — served
+//! hits are compared against the store's committed version and counted
+//! as `stale_hits` when the cache lagged.
+//!
+//! Everything here is deterministic: recency is a logical tick (bumped
+//! per operation, not wall clock), eviction breaks ties on the smaller
+//! key, and the frequency-admission sketch is a fixed-width count-min
+//! over the key hash.
+
+use netrs_kvstore::{hash64, ServerId};
+use serde::{Deserialize, Serialize};
+
+/// How keys earn a slot in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheAdmission {
+    /// Every observed response is admitted; capacity pressure evicts the
+    /// least-recently-used entry.
+    Lru,
+    /// A key is admitted only once the admission sketch has seen it at
+    /// least `threshold` times — scan-resistant, keeps one-hit wonders
+    /// out of a small cache.
+    Frequency {
+        /// Observations required before a key may enter the cache.
+        threshold: u32,
+    },
+}
+
+/// How writes keep the cache coherent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheWritePolicy {
+    /// The coherence message removes the cached entry; the next `GET`
+    /// misses and repopulates from a server response.
+    Invalidate,
+    /// The coherence message refreshes the cached entry in place with
+    /// the newly committed version, so the key keeps serving from the
+    /// switch across writes.
+    Through,
+}
+
+/// Hot-key cache parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotCacheConfig {
+    /// Maximum number of cached keys per operator.
+    pub capacity: usize,
+    /// Admission policy.
+    pub admission: CacheAdmission,
+    /// Coherence policy applied by write-driven messages.
+    pub write_policy: CacheWritePolicy,
+}
+
+impl Default for HotCacheConfig {
+    fn default() -> Self {
+        HotCacheConfig {
+            capacity: 256,
+            admission: CacheAdmission::Lru,
+            write_policy: CacheWritePolicy::Invalidate,
+        }
+    }
+}
+
+/// One cached key: the version it was captured at and the server whose
+/// response populated it (the hit is attributed to that origin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Committed version of the value at capture time.
+    pub version: u64,
+    /// The server whose response populated the entry.
+    pub origin: ServerId,
+    /// Logical recency stamp (larger = more recent).
+    last_used: u64,
+}
+
+/// Aggregate cache counters. `hits + misses` equals the `GET`s the
+/// cache was consulted for, by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the switch.
+    pub hits: u64,
+    /// Lookups that fell through to replica selection.
+    pub misses: u64,
+    /// Hits served with a version older than the store's committed one
+    /// (a coherence message was lost or still in flight).
+    pub stale_hits: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Coherence messages that found (and removed or refreshed) a
+    /// cached entry.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total `GET`s the cache was consulted for.
+    #[must_use]
+    pub fn gets_seen(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Folds another operator's counters into this one.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stale_hits += other.stale_hits;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// Width of the count-min admission sketch (two rows of this many
+/// counters). Fixed so the switch-side memory model stays bounded.
+const SKETCH_WIDTH: usize = 1024;
+
+/// A bounded per-operator hot-key cache with deterministic LRU eviction
+/// and optional frequency-sketch admission.
+#[derive(Debug, Clone)]
+pub struct HotKeyCache {
+    cfg: HotCacheConfig,
+    entries: std::collections::BTreeMap<u64, CacheEntry>,
+    stats: CacheStats,
+    tick: u64,
+    /// Count-min sketch rows for `Frequency` admission; empty under LRU.
+    sketch: Vec<u32>,
+}
+
+impl HotKeyCache {
+    /// An empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured capacity is zero.
+    #[must_use]
+    pub fn new(cfg: HotCacheConfig) -> Self {
+        assert!(cfg.capacity > 0, "hot-key cache needs capacity");
+        let sketch = match cfg.admission {
+            CacheAdmission::Lru => Vec::new(),
+            CacheAdmission::Frequency { .. } => vec![0; 2 * SKETCH_WIDTH],
+        };
+        HotKeyCache {
+            cfg,
+            entries: std::collections::BTreeMap::new(),
+            stats: CacheStats::default(),
+            tick: 0,
+            sketch,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &HotCacheConfig {
+        &self.cfg
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Currently cached keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consults the cache for a `GET`. A hit refreshes recency and
+    /// returns the entry; a miss feeds the admission sketch. Exactly one
+    /// of `hits`/`misses` is bumped per call.
+    pub fn lookup(&mut self, key: u64) -> Option<CacheEntry> {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_used = self.tick;
+            self.stats.hits += 1;
+            Some(*e)
+        } else {
+            self.stats.misses += 1;
+            self.sketch_bump(key);
+            None
+        }
+    }
+
+    /// Records that a hit returned by [`HotKeyCache::lookup`] was stale
+    /// against the store's committed version.
+    pub fn note_stale(&mut self) {
+        self.stats.stale_hits += 1;
+    }
+
+    /// Offers an observed response for admission. Returns `true` when
+    /// the key is cached afterwards.
+    pub fn admit(&mut self, key: u64, version: u64, origin: ServerId) -> bool {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            // Refresh, never regress: a slower response for an older
+            // version must not shadow a fresher entry.
+            if version >= e.version {
+                e.version = version;
+                e.origin = origin;
+            }
+            e.last_used = self.tick;
+            return true;
+        }
+        if let CacheAdmission::Frequency { threshold } = self.cfg.admission {
+            if self.sketch_estimate(key) < threshold {
+                return false;
+            }
+        }
+        if self.entries.len() >= self.cfg.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                version,
+                origin,
+                last_used: self.tick,
+            },
+        );
+        true
+    }
+
+    /// Applies a write-driven coherence message for `key` committed at
+    /// `version`. Under `Invalidate` a present entry is removed; under
+    /// `Through` it is refreshed in place. Returns `true` when an entry
+    /// was present.
+    pub fn apply_write(&mut self, key: u64, version: u64) -> bool {
+        match self.cfg.write_policy {
+            CacheWritePolicy::Invalidate => {
+                if self.entries.remove(&key).is_some() {
+                    self.stats.invalidations += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            CacheWritePolicy::Through => match self.entries.get_mut(&key) {
+                Some(e) => {
+                    if version >= e.version {
+                        e.version = version;
+                    }
+                    self.stats.invalidations += 1;
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Drops every entry (operator fail-stop: switch memory is lost).
+    /// Counters survive — they describe history, not contents.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        for c in &mut self.sketch {
+            *c = 0;
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        // Deterministic victim: oldest stamp, ties to the smaller key
+        // (BTreeMap iteration is ascending, strict `<` keeps the first).
+        let victim = self
+            .entries
+            .iter()
+            .fold(None::<(u64, u64)>, |best, (&k, e)| match best {
+                Some((_, stamp)) if stamp <= e.last_used => best,
+                _ => Some((k, e.last_used)),
+            });
+        if let Some((k, _)) = victim {
+            self.entries.remove(&k);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn sketch_bump(&mut self, key: u64) {
+        if self.sketch.is_empty() {
+            return;
+        }
+        let (a, b) = Self::sketch_slots(key);
+        self.sketch[a] = self.sketch[a].saturating_add(1);
+        self.sketch[SKETCH_WIDTH + b] = self.sketch[SKETCH_WIDTH + b].saturating_add(1);
+    }
+
+    fn sketch_estimate(&self, key: u64) -> u32 {
+        if self.sketch.is_empty() {
+            return u32::MAX;
+        }
+        let (a, b) = Self::sketch_slots(key);
+        self.sketch[a].min(self.sketch[SKETCH_WIDTH + b])
+    }
+
+    fn sketch_slots(key: u64) -> (usize, usize) {
+        let h = hash64(key);
+        (
+            (h as usize) % SKETCH_WIDTH,
+            ((h >> 32) as usize) % SKETCH_WIDTH,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru(cap: usize) -> HotKeyCache {
+        HotKeyCache::new(HotCacheConfig {
+            capacity: cap,
+            ..HotCacheConfig::default()
+        })
+    }
+
+    #[test]
+    fn lookup_partitions_into_hits_and_misses() {
+        let mut c = lru(4);
+        assert!(c.lookup(1).is_none());
+        assert!(c.admit(1, 1, ServerId(3)));
+        let hit = c.lookup(1).expect("admitted key hits");
+        assert_eq!(hit.version, 1);
+        assert_eq!(hit.origin, ServerId(3));
+        assert!(c.lookup(2).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert_eq!(s.gets_seen(), 3);
+    }
+
+    #[test]
+    fn eviction_is_lru_with_deterministic_ties() {
+        let mut c = lru(2);
+        c.admit(10, 1, ServerId(0));
+        c.admit(20, 1, ServerId(0));
+        let _ = c.lookup(10); // 20 is now the LRU victim
+        c.admit(30, 1, ServerId(0));
+        assert!(c.lookup(20).is_none(), "LRU entry evicted");
+        assert!(c.lookup(10).is_some());
+        assert!(c.lookup(30).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_and_through_refreshes() {
+        let mut c = lru(4);
+        c.admit(7, 1, ServerId(0));
+        assert!(c.apply_write(7, 2));
+        assert!(c.lookup(7).is_none(), "write-invalidate drops the entry");
+        assert!(!c.apply_write(7, 3), "absent entry: nothing to do");
+
+        let mut t = HotKeyCache::new(HotCacheConfig {
+            write_policy: CacheWritePolicy::Through,
+            ..HotCacheConfig::default()
+        });
+        t.admit(7, 1, ServerId(0));
+        assert!(t.apply_write(7, 2));
+        assert_eq!(t.lookup(7).unwrap().version, 2, "write-through refreshes");
+        assert_eq!(t.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn frequency_admission_needs_repeated_misses() {
+        let mut c = HotKeyCache::new(HotCacheConfig {
+            admission: CacheAdmission::Frequency { threshold: 2 },
+            ..HotCacheConfig::default()
+        });
+        let _ = c.lookup(5); // sketch count 1
+        assert!(!c.admit(5, 1, ServerId(0)), "below threshold");
+        let _ = c.lookup(5); // sketch count 2
+        assert!(c.admit(5, 1, ServerId(0)), "reached threshold");
+        assert!(c.lookup(5).is_some());
+    }
+
+    #[test]
+    fn admit_never_regresses_a_version() {
+        let mut c = lru(4);
+        c.admit(9, 5, ServerId(1));
+        c.admit(9, 3, ServerId(2)); // straggler response, older version
+        let e = c.lookup(9).unwrap();
+        assert_eq!((e.version, e.origin), (5, ServerId(1)));
+    }
+
+    #[test]
+    fn flush_empties_contents_but_keeps_history() {
+        let mut c = lru(4);
+        c.admit(1, 1, ServerId(0));
+        let _ = c.lookup(1);
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1, "counters survive a flush");
+        assert!(c.lookup(1).is_none());
+    }
+
+    #[test]
+    fn stale_accounting_is_explicit() {
+        let mut c = lru(4);
+        c.admit(1, 1, ServerId(0));
+        let _ = c.lookup(1);
+        c.note_stale();
+        assert_eq!(c.stats().stale_hits, 1);
+    }
+}

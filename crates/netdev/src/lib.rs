@@ -24,11 +24,15 @@
 #![warn(missing_docs)]
 
 mod accelerator;
+mod cache;
 mod monitor;
 mod operator;
 mod pipeline;
 
 pub use accelerator::{Accelerator, AcceleratorConfig, AcceleratorStats};
+pub use cache::{
+    CacheAdmission, CacheEntry, CacheStats, CacheWritePolicy, HotCacheConfig, HotKeyCache,
+};
 pub use monitor::{Monitor, TrafficSnapshot};
 pub use operator::RsOperator;
 pub use pipeline::{GroupId, IngressAction, NetRsRules, PacketMeta, TorRules};

@@ -9,28 +9,39 @@
 
 use netrs_selection::ReplicaSelector;
 
-use crate::{Accelerator, AcceleratorConfig};
+use crate::{Accelerator, AcceleratorConfig, HotCacheConfig, HotKeyCache};
 
 /// One RSNode's device-resident state: its replica selector (the local
-/// information the paper's §II transient is about) and the accelerator
-/// executing selections and folding in cloned responses.
+/// information the paper's §II transient is about), the accelerator
+/// executing selections and folding in cloned responses, and the
+/// optional hot-key cache serving `GET`s straight from the switch.
 pub struct RsOperator {
     /// The selection algorithm with this RSNode's learned server view.
     pub selector: Box<dyn ReplicaSelector + Send>,
     /// The accelerator attached to this RSNode's switch.
     pub accel: Accelerator,
+    /// The in-switch hot-key cache, when the run enables one.
+    pub cache: Option<HotKeyCache>,
 }
 
 impl RsOperator {
     /// A fresh operator: the given selector (typically built via
     /// [`netrs_selection::SelectorKind::build_with_concurrency`]) and a
-    /// new, idle accelerator.
+    /// new, idle accelerator. No cache — see [`RsOperator::with_cache`].
     #[must_use]
     pub fn new(selector: Box<dyn ReplicaSelector + Send>, accel: AcceleratorConfig) -> Self {
         RsOperator {
             selector,
             accel: Accelerator::new(accel),
+            cache: None,
         }
+    }
+
+    /// Attaches a fresh, empty hot-key cache.
+    #[must_use]
+    pub fn with_cache(mut self, cfg: HotCacheConfig) -> Self {
+        self.cache = Some(HotKeyCache::new(cfg));
+        self
     }
 }
 

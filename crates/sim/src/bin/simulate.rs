@@ -15,8 +15,9 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use netrs_sim::{
-    run_observed, run_observed_sharded, run_sweep, FaultPlan, ObsOptions, PerfOptions, SamplerSpec,
-    Scheme, SimConfig, SweepJob,
+    run_observed, run_observed_sharded, run_sweep, CacheAdmission, CacheWritePolicy, FaultPlan,
+    HotCacheConfig, ObsOptions, PerfOptions, SamplerSpec, Scheme, SimConfig, SweepJob,
+    WriteConsistency,
 };
 use netrs_simcore::SimDuration;
 
@@ -34,6 +35,8 @@ fn usage() -> ! {
         "usage: simulate [--config FILE] [--scheme clirs|clirs-r95|netrs-tor|netrs-ilp] \
          [--requests N] [--clients N] [--utilization F] [--skew F] [--seed N] \
          [--shards N] [--small] [--faults FILE] [--emit-config] [--json] \
+         [--write-fraction F] [--consistency all|quorum:W|chain] [--hot-cache CAP] \
+         [--cache-admission lru|freq:N] [--cache-write invalidate|through] \
          [--trace FILE] [--trace-hops] [--timeseries FILE] [--sample-every-us N] \
          [--devices FILE] [--control FILE] [--perf FILE] [--perf-stride N] [--progress]\n\
          \n\
@@ -42,6 +45,27 @@ fn usage() -> ! {
          [--shards N] [--threads N] [--baseline]"
     );
     std::process::exit(2);
+}
+
+fn parse_consistency(spec: &str) -> Option<WriteConsistency> {
+    match spec {
+        "all" => Some(WriteConsistency::All),
+        "chain" => Some(WriteConsistency::Chain),
+        _ => {
+            let w = spec.strip_prefix("quorum:")?.parse().ok()?;
+            Some(WriteConsistency::Quorum { w })
+        }
+    }
+}
+
+fn parse_admission(spec: &str) -> Option<CacheAdmission> {
+    match spec {
+        "lru" => Some(CacheAdmission::Lru),
+        _ => {
+            let threshold = spec.strip_prefix("freq:")?.parse().ok()?;
+            Some(CacheAdmission::Frequency { threshold })
+        }
+    }
 }
 
 fn create(path: &str) -> BufWriter<File> {
@@ -242,6 +266,48 @@ fn main() {
                 );
                 return;
             }
+            "--write-fraction" => {
+                cfg.write_fraction = next().parse().unwrap_or_else(|_| usage());
+            }
+            "--consistency" => {
+                let spec = next();
+                cfg.write_consistency = parse_consistency(&spec).unwrap_or_else(|| {
+                    eprintln!("bad --consistency {spec:?}: want all, quorum:W or chain");
+                    std::process::exit(2);
+                });
+            }
+            "--hot-cache" => {
+                let capacity: usize = next().parse().unwrap_or_else(|_| usage());
+                cfg.hot_cache = match capacity {
+                    0 => None,
+                    _ => Some(HotCacheConfig {
+                        capacity,
+                        ..cfg.hot_cache.unwrap_or_default()
+                    }),
+                };
+            }
+            "--cache-admission" => {
+                let spec = next();
+                let admission = parse_admission(&spec).unwrap_or_else(|| {
+                    eprintln!("bad --cache-admission {spec:?}: want lru or freq:N");
+                    std::process::exit(2);
+                });
+                let cache = cfg.hot_cache.get_or_insert_with(HotCacheConfig::default);
+                cache.admission = admission;
+            }
+            "--cache-write" => {
+                let spec = next();
+                let policy = match spec.as_str() {
+                    "invalidate" => CacheWritePolicy::Invalidate,
+                    "through" => CacheWritePolicy::Through,
+                    _ => {
+                        eprintln!("bad --cache-write {spec:?}: want invalidate or through");
+                        std::process::exit(2);
+                    }
+                };
+                let cache = cfg.hot_cache.get_or_insert_with(HotCacheConfig::default);
+                cache.write_policy = policy;
+            }
             "--json" => json_out = true,
             "--trace" => trace_path = Some(next()),
             "--trace-hops" => trace_hops = true,
@@ -384,6 +450,23 @@ fn main() {
             println!(
                 "writes              : {} (mean {})",
                 stats.writes_issued, stats.write_latency.mean
+            );
+        }
+        if let Some(rw) = stats.rw.as_ref() {
+            let gets = rw.cache_hits + rw.cache_misses;
+            let ratio = if gets > 0 {
+                rw.cache_hits as f64 / gets as f64 * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "rw                  : {} writes committed · cache {}/{} hits ({ratio:.1}%) · {} stale · {} evicted · {} invalidated",
+                rw.writes_completed,
+                rw.cache_hits,
+                gets,
+                rw.stale_reads,
+                rw.cache_evictions,
+                rw.cache_invalidations
             );
         }
         if let Some(a) = stats.availability.as_ref() {

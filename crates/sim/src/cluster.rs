@@ -45,7 +45,7 @@ use crate::config::SimConfig;
 use crate::obs::{DeviceStatsReport, PlanEventRecord, SamplerSpec, TimeSeries};
 use crate::policy::{NotInNetwork, SchemePolicy};
 use crate::server::ServerToken;
-use crate::state::{Core, RetryAction};
+use crate::state::{Core, GenOutcome, RetryAction};
 use crate::stats::RunStats;
 
 /// Identifies one logical client request.
@@ -147,6 +147,16 @@ pub enum Ev {
     OperatorDetect {
         /// The dead operator's switch.
         sw: SwitchId,
+    },
+    /// A write's coherence message reaches an RSNode's hot-key cache
+    /// (only scheduled when a cache is configured).
+    CacheInvalidate {
+        /// The operator's switch.
+        op: SwitchId,
+        /// The written key.
+        key: u64,
+        /// The key's newly committed version.
+        version: u64,
     },
 }
 
@@ -281,9 +291,11 @@ impl<D: DeviceProbe> Cluster<D> {
         self.core.set_control(w);
     }
 
-    /// Closes still-open DRS failure spans at `now` and flushes the
-    /// control sink, if any (call after the run drains).
+    /// Closes still-open DRS failure spans at `now`, emits end-of-run
+    /// per-operator cache records, and flushes the control sink, if any
+    /// (call after the run drains).
     pub fn flush_control(&mut self, now: SimTime) {
+        self.policy.audit_caches(&mut self.core, now);
         self.core.flush_control(now);
     }
 
@@ -409,12 +421,17 @@ impl<D: DeviceProbe> World for Cluster<D> {
 
     fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
         match event {
-            Ev::Generate { gen } => {
-                if let Some((req, replicas)) = self.core.generate(now, gen, queue) {
+            Ev::Generate { gen } => match self.core.generate(now, gen, queue) {
+                GenOutcome::Read { req, replicas } => {
                     self.policy
                         .steer_read(&mut self.core, now, req, &replicas, queue);
                 }
-            }
+                GenOutcome::Write { req, key } => {
+                    self.policy
+                        .on_write_issued(&mut self.core, now, req, key, queue);
+                }
+                GenOutcome::None => {}
+            },
             Ev::GatedSend { req, server } => {
                 self.policy
                     .on_gated_send(&mut self.core, now, req, server, queue);
@@ -446,8 +463,12 @@ impl<D: DeviceProbe> World for Cluster<D> {
                 } else if let Some(status) =
                     self.core.finish_service(now, server, &mut token, queue)
                 {
-                    self.policy
-                        .route_reply(&mut self.core, now, token, status, queue);
+                    // Chain writes propagate server → server; only the
+                    // tail's completion produces a client reply.
+                    if !self.core.forward_chain_write(now, &token, queue) {
+                        self.policy
+                            .route_reply(&mut self.core, now, token, status, queue);
+                    }
                 }
             }
             Ev::SelectorUpdate { op, fb } => self.policy.on_selector_update(now, op, fb),
@@ -517,6 +538,20 @@ impl<D: DeviceProbe> World for Cluster<D> {
                     );
                 }
             },
+            Ev::CacheInvalidate { op, key, version } => {
+                if self.core.packet_lost(now) {
+                    // The coherence message is lost: the cached entry
+                    // stays behind, stale, until evicted or re-admitted.
+                    self.core.fabric.devices.bump(
+                        netrs_simcore::DeviceId::Switch(op.0),
+                        netrs_simcore::DeviceCounter::Drop,
+                        1,
+                    );
+                } else {
+                    self.policy
+                        .on_cache_invalidate(&mut self.core, now, op, key, version);
+                }
+            }
             Ev::OperatorDetect { sw } => {
                 // For client schemes (a cross-applied plan) there is
                 // nothing to reroute.

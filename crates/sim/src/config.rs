@@ -4,7 +4,7 @@
 use netrs::{Granularity, PlanConstraints, PlanSolver};
 use netrs_faults::{FaultEvent, FaultPlan, LinkRef};
 use netrs_kvstore::ServerConfig;
-use netrs_netdev::AcceleratorConfig;
+use netrs_netdev::{AcceleratorConfig, CacheAdmission, HotCacheConfig};
 use netrs_selection::{C3Config, CubicConfig, SelectorKind};
 use netrs_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -112,6 +112,40 @@ impl Default for R95Config {
     }
 }
 
+/// How a write is committed across its replica group before the client
+/// counts it done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WriteConsistency {
+    /// Fan out to every replica; the write completes when the *last*
+    /// replica responds (the historical behavior — fixed-seed runs
+    /// predating consistency modes reproduce byte-identically).
+    #[default]
+    All,
+    /// Fan out to every replica; the write is acknowledged at the `w`-th
+    /// replica response (`w` is clamped to `[1, replication]`). Straggler
+    /// replicas still drain in the background.
+    Quorum {
+        /// Replica responses required before the ack.
+        w: u32,
+    },
+    /// Chain replication: the write visits the replicas serially
+    /// (head → … → tail) and the tail's response acknowledges it. One
+    /// copy is ever in flight.
+    Chain,
+}
+
+impl WriteConsistency {
+    /// The effective quorum for a group of `n` replicas: how many
+    /// replica commits precede the ack.
+    #[must_use]
+    pub fn required_acks(self, n: u32) -> u32 {
+        match self {
+            WriteConsistency::All | WriteConsistency::Chain => n,
+            WriteConsistency::Quorum { w } => w.clamp(1, n),
+        }
+    }
+}
+
 /// When the controller treats an operator as overloaded (§III-C(ii)).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OverloadPolicy {
@@ -188,10 +222,16 @@ pub struct SimConfig {
     /// Traffic-group granularity (paper evaluates rack-level).
     pub granularity: Granularity,
     /// Fraction of requests that are writes (extension; the paper's
-    /// workload is read-only). Writes go to every replica as plain
-    /// traffic — no replica selection — and complete when the last
-    /// replica responds.
+    /// workload is read-only). Writes go to the replica group as plain
+    /// traffic — no replica selection — and complete per
+    /// [`SimConfig::write_consistency`].
     pub write_fraction: f64,
+    /// When a write is acknowledged: last replica (`All`, the default),
+    /// a `W`-of-`N` quorum, or chain replication.
+    pub write_consistency: WriteConsistency,
+    /// In-switch hot-key cache at each RSNode operator (`None` = off;
+    /// client schemes never consult it either way).
+    pub hot_cache: Option<HotCacheConfig>,
     /// Overload detection at NetRS operators (§III-C(ii)); `None`
     /// disables the check.
     pub overload: Option<OverloadPolicy>,
@@ -238,6 +278,8 @@ impl SimConfig {
             plan_source: PlanSource::Oracle,
             granularity: Granularity::Rack,
             write_fraction: 0.0,
+            write_consistency: WriteConsistency::All,
+            hot_cache: None,
             overload: None,
             faults: None,
             seed: 1,
@@ -340,6 +382,24 @@ impl SimConfig {
         }
         if !(0.0..=1.0).contains(&self.write_fraction) {
             return Err("write fraction must be in [0, 1]".into());
+        }
+        if let WriteConsistency::Quorum { w } = self.write_consistency {
+            if w == 0 || w > self.replication {
+                return Err(format!(
+                    "write quorum {w} must be in [1, replication factor {}]",
+                    self.replication
+                ));
+            }
+        }
+        if let Some(cache) = self.hot_cache {
+            if cache.capacity == 0 {
+                return Err("hot-key cache capacity must be at least 1".into());
+            }
+            if let CacheAdmission::Frequency { threshold } = cache.admission {
+                if threshold == 0 {
+                    return Err("frequency admission threshold must be at least 1".into());
+                }
+            }
         }
         if let Some(policy) = self.overload {
             if policy.utilization_limit <= 0.0 || policy.interval == SimDuration::ZERO {
@@ -548,6 +608,53 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+        // The RW extension fields round-trip too. (Base on the finalized
+        // paper config: `small()` leaves `extra_hop_budget` infinite, and
+        // JSON has no representation of non-finite floats.)
+        let mut cfg = SimConfig::paper().finalize();
+        cfg.write_fraction = 0.1;
+        cfg.write_consistency = WriteConsistency::Quorum { w: 2 };
+        cfg.hot_cache = Some(HotCacheConfig {
+            capacity: 64,
+            admission: CacheAdmission::Frequency { threshold: 2 },
+            ..HotCacheConfig::default()
+        });
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn validation_rejects_bad_quorum_and_cache() {
+        let mut cfg = SimConfig::small(); // replication 3
+        cfg.write_consistency = WriteConsistency::Quorum { w: 0 };
+        assert!(cfg.validate().unwrap_err().contains("quorum"));
+        cfg.write_consistency = WriteConsistency::Quorum { w: 4 };
+        assert!(cfg.validate().unwrap_err().contains("quorum"));
+        cfg.write_consistency = WriteConsistency::Quorum { w: 3 };
+        assert!(cfg.validate().is_ok());
+
+        let mut cfg = SimConfig::small();
+        cfg.hot_cache = Some(HotCacheConfig {
+            capacity: 0,
+            ..HotCacheConfig::default()
+        });
+        assert!(cfg.validate().unwrap_err().contains("capacity"));
+        let mut cfg = SimConfig::small();
+        cfg.hot_cache = Some(HotCacheConfig {
+            admission: CacheAdmission::Frequency { threshold: 0 },
+            ..HotCacheConfig::default()
+        });
+        assert!(cfg.validate().unwrap_err().contains("threshold"));
+    }
+
+    #[test]
+    fn required_acks_clamps_to_group_size() {
+        assert_eq!(WriteConsistency::All.required_acks(3), 3);
+        assert_eq!(WriteConsistency::Chain.required_acks(3), 3);
+        assert_eq!(WriteConsistency::Quorum { w: 2 }.required_acks(3), 2);
+        assert_eq!(WriteConsistency::Quorum { w: 9 }.required_acks(3), 3);
+        assert_eq!(WriteConsistency::Quorum { w: 0 }.required_acks(3), 1);
     }
 
     #[test]

@@ -443,6 +443,11 @@ impl<D: DeviceProbe> Fabric<D> {
                     max_queue_depth: s.max_depth,
                     drops: s.drops,
                     clamps: s.clamps,
+                    cache_hits: s.cache_hits,
+                    cache_misses: s.cache_misses,
+                    cache_stale_hits: s.cache_stale_hits,
+                    cache_evictions: s.cache_evictions,
+                    cache_invalidations: s.cache_invalidations,
                 }
             })
             .collect();

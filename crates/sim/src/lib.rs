@@ -45,14 +45,15 @@ pub mod sweep;
 pub mod testhooks;
 
 pub use cluster::{Cluster, Ev, ReqId};
-pub use config::{OverloadPolicy, PlanSource, R95Config, Scheme, SimConfig};
+pub use config::{OverloadPolicy, PlanSource, R95Config, Scheme, SimConfig, WriteConsistency};
 pub use netrs_faults::{
     AvailabilityStats, FaultEvent, FaultPlan, LinkRef, RetryPolicy, TimedFault,
 };
+pub use netrs_netdev::{CacheAdmission, CacheStats, CacheWritePolicy, HotCacheConfig};
 pub use netrs_simcore::EngineProfile;
 pub use obs::{
-    ControlRecord, DeviceRecord, DeviceStatsReport, DisplacedGroup, DrsSpanRecord, HopSpan,
-    ObsOptions, PerfOptions, PlanEventRecord, SamplePoint, SamplerSpec, SnapshotGroup,
+    CacheRecord, ControlRecord, DeviceRecord, DeviceStatsReport, DisplacedGroup, DrsSpanRecord,
+    HopSpan, ObsOptions, PerfOptions, PlanEventRecord, SamplePoint, SamplerSpec, SnapshotGroup,
     SnapshotRecord, SolveRecord, TimeSeries, TraceRecord,
 };
 pub use perf::{
@@ -64,5 +65,5 @@ pub use runner::{
     run_sharded, RunOutput,
 };
 pub use server::ServerToken;
-pub use stats::{LatencyBreakdown, MeanStats, RunStats};
+pub use stats::{LatencyBreakdown, MeanStats, RunStats, RwStats};
 pub use sweep::{run_grid, run_sweep, SweepCell, SweepJob, SweepReport, SWEEP_SCHEMA_VERSION};

@@ -291,7 +291,12 @@ impl TimeSeries {
 
 /// One JSONL line of `--devices` output: everything one device
 /// accumulated over the run, flattened for offline analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) to pin the JSONL schema:
+/// field order is fixed, and the hot-key-cache counters are omitted
+/// entirely when all zero, so cache-off reports are byte-identical to
+/// the pre-cache format (the golden-run digests guard this).
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceRecord {
     /// Stable device key (`switch:5`, `accel:5`, `server:3`,
     /// `client:7`, `link:h3>s0`).
@@ -327,6 +332,92 @@ pub struct DeviceRecord {
     /// Load-induced degradations (rate-controller holds, DRS
     /// forwarding).
     pub clamps: u64,
+    /// Hot-key-cache reads served at the switch (RSNode operators only).
+    pub cache_hits: u64,
+    /// Hot-key-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Cache hits served with an entry older than the key's committed
+    /// version.
+    pub cache_stale_hits: u64,
+    /// Cache entries evicted to make room.
+    pub cache_evictions: u64,
+    /// Cache entries removed or refreshed by write coherence messages.
+    pub cache_invalidations: u64,
+}
+
+impl Serialize for DeviceRecord {
+    fn ser(&self) -> Value {
+        let mut o: Vec<(String, Value)> = vec![
+            ("dev".into(), self.dev.ser()),
+            ("kind".into(), self.kind.ser()),
+            ("tier".into(), self.tier.ser()),
+            ("packets".into(), self.packets.ser()),
+            ("bytes".into(), self.bytes.ser()),
+            ("ops".into(), self.ops.ser()),
+            ("selections".into(), self.selections.ser()),
+            (
+                "mean_selection_wait_ns".into(),
+                self.mean_selection_wait_ns.ser(),
+            ),
+            ("clone_updates".into(), self.clone_updates.ser()),
+            ("busy_ns".into(), self.busy_ns.ser()),
+            ("utilization".into(), self.utilization.ser()),
+            ("mean_queue_depth".into(), self.mean_queue_depth.ser()),
+            ("max_queue_depth".into(), self.max_queue_depth.ser()),
+            ("drops".into(), self.drops.ser()),
+            ("clamps".into(), self.clamps.ser()),
+        ];
+        let cache_touched = self.cache_hits
+            | self.cache_misses
+            | self.cache_stale_hits
+            | self.cache_evictions
+            | self.cache_invalidations;
+        if cache_touched != 0 {
+            o.push(("cache_hits".into(), self.cache_hits.ser()));
+            o.push(("cache_misses".into(), self.cache_misses.ser()));
+            o.push(("cache_stale_hits".into(), self.cache_stale_hits.ser()));
+            o.push(("cache_evictions".into(), self.cache_evictions.ser()));
+            o.push(("cache_invalidations".into(), self.cache_invalidations.ser()));
+        }
+        Value::Obj(o)
+    }
+}
+
+impl Deserialize for DeviceRecord {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_obj()
+            .ok_or_else(|| DeError::custom("expected object for DeviceRecord"))?;
+        let f = |name: &str| serde::field(entries, name, "DeviceRecord");
+        // Cache counters are omitted when the device never touched a
+        // cache; absent means zero.
+        let cache = |name: &str| match v.get(name) {
+            Some(n) => u64::deser(n),
+            None => Ok(0),
+        };
+        Ok(DeviceRecord {
+            dev: f("dev").and_then(String::deser)?,
+            kind: f("kind").and_then(String::deser)?,
+            tier: f("tier").and_then(u32::deser)?,
+            packets: f("packets").and_then(<[u64; 3]>::deser)?,
+            bytes: f("bytes").and_then(<[u64; 3]>::deser)?,
+            ops: f("ops").and_then(u64::deser)?,
+            selections: f("selections").and_then(u64::deser)?,
+            mean_selection_wait_ns: f("mean_selection_wait_ns").and_then(u64::deser)?,
+            clone_updates: f("clone_updates").and_then(u64::deser)?,
+            busy_ns: f("busy_ns").and_then(u64::deser)?,
+            utilization: f("utilization").and_then(f64::deser)?,
+            mean_queue_depth: f("mean_queue_depth").and_then(f64::deser)?,
+            max_queue_depth: f("max_queue_depth").and_then(u32::deser)?,
+            drops: f("drops").and_then(u64::deser)?,
+            clamps: f("clamps").and_then(u64::deser)?,
+            cache_hits: cache("cache_hits")?,
+            cache_misses: cache("cache_misses")?,
+            cache_stale_hits: cache("cache_stale_hits")?,
+            cache_evictions: cache("cache_evictions")?,
+            cache_invalidations: cache("cache_invalidations")?,
+        })
+    }
 }
 
 /// End-of-run device telemetry: one [`DeviceRecord`] per device ever
@@ -746,6 +837,78 @@ impl Deserialize for DrsSpanRecord {
     }
 }
 
+/// One `--control` JSONL line of kind `cache`: an end-of-run audit of
+/// one operator's hot-key cache — its resident size and lifetime
+/// hit/miss/coherence counters. One record per live operator (ascending
+/// switch order) plus, when any operator retired with a cache, one
+/// aggregate record with `switch` omitted summing the retired caches.
+/// Only emitted when a cache is configured, so cache-off control streams
+/// are byte-identical to the pre-cache format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheRecord {
+    /// When the audit ran (end of run, sim nanoseconds).
+    pub t_ns: u64,
+    /// The operator's switch; `None` for the retired-operator aggregate.
+    pub switch: Option<u32>,
+    /// Entries resident at audit time (0 for the retired aggregate —
+    /// retirement flushes the cache).
+    pub len: u64,
+    /// Reads served from the cache.
+    pub hits: u64,
+    /// Reads that missed and proceeded to replica selection.
+    pub misses: u64,
+    /// Hits whose entry was older than the key's committed version.
+    pub stale_hits: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries removed or refreshed by write coherence messages.
+    pub invalidations: u64,
+}
+
+impl Serialize for CacheRecord {
+    fn ser(&self) -> Value {
+        let mut o: Vec<(String, Value)> = vec![
+            ("kind".into(), Value::Str("cache".into())),
+            ("t_ns".into(), Value::U(u128::from(self.t_ns))),
+        ];
+        if let Some(sw) = self.switch {
+            o.push(("switch".into(), Value::U(u128::from(sw))));
+        }
+        o.push(("len".into(), Value::U(u128::from(self.len))));
+        o.push(("hits".into(), Value::U(u128::from(self.hits))));
+        o.push(("misses".into(), Value::U(u128::from(self.misses))));
+        o.push(("stale_hits".into(), Value::U(u128::from(self.stale_hits))));
+        o.push(("evictions".into(), Value::U(u128::from(self.evictions))));
+        o.push((
+            "invalidations".into(),
+            Value::U(u128::from(self.invalidations)),
+        ));
+        Value::Obj(o)
+    }
+}
+
+impl Deserialize for CacheRecord {
+    fn deser(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_obj()
+            .ok_or_else(|| DeError::custom("expected object for CacheRecord"))?;
+        let f = |name: &str| serde::field(entries, name, "CacheRecord").and_then(u64::deser);
+        Ok(CacheRecord {
+            t_ns: f("t_ns")?,
+            switch: match v.get("switch") {
+                Some(sw) => Some(u32::deser(sw)?),
+                None => None,
+            },
+            len: f("len")?,
+            hits: f("hits")?,
+            misses: f("misses")?,
+            stale_hits: f("stale_hits")?,
+            evictions: f("evictions")?,
+            invalidations: f("invalidations")?,
+        })
+    }
+}
+
 /// One parsed `--control` JSONL line, tagged by its `kind` field.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ControlRecord {
@@ -755,6 +918,8 @@ pub enum ControlRecord {
     Plan(PlanEventRecord),
     /// A joined operator-failure episode (`kind: "drs_span"`).
     DrsSpan(DrsSpanRecord),
+    /// An end-of-run per-operator cache audit (`kind: "cache"`).
+    Cache(CacheRecord),
 }
 
 impl Serialize for ControlRecord {
@@ -763,6 +928,7 @@ impl Serialize for ControlRecord {
             ControlRecord::Snapshot(r) => r.ser(),
             ControlRecord::Plan(r) => r.ser(),
             ControlRecord::DrsSpan(r) => r.ser(),
+            ControlRecord::Cache(r) => r.ser(),
         }
     }
 }
@@ -777,6 +943,7 @@ impl Deserialize for ControlRecord {
             "snapshot" => SnapshotRecord::deser(v).map(ControlRecord::Snapshot),
             "plan" => PlanEventRecord::deser(v).map(ControlRecord::Plan),
             "drs_span" => DrsSpanRecord::deser(v).map(ControlRecord::DrsSpan),
+            "cache" => CacheRecord::deser(v).map(ControlRecord::Cache),
             other => Err(DeError::custom(format!(
                 "unknown control record kind {other:?}"
             ))),
@@ -824,6 +991,11 @@ impl ControlLog {
     pub(crate) fn snapshot(&mut self, snap: &TrafficSnapshot) {
         let rec = ControlRecord::Snapshot(SnapshotRecord::from_snapshot(snap));
         self.write(&rec);
+    }
+
+    /// Emits one end-of-run cache audit record.
+    pub(crate) fn cache(&mut self, rec: CacheRecord) {
+        self.write(&ControlRecord::Cache(rec));
     }
 
     /// Emits one controller decision. Groups the decision (re)assigned

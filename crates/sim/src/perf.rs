@@ -31,7 +31,7 @@ pub const PERF_SCHEMA_VERSION: u64 = 1;
 /// transit — no entries today because hop timing is closed-form inside
 /// the steer/route handlers, so fabric cost surfaces inside the policy
 /// and server kinds that invoke it).
-pub const EV_KINDS: [(&str, &str); 16] = [
+pub const EV_KINDS: [(&str, &str); 17] = [
     ("Generate", "state"),
     ("GatedSend", "policy"),
     ("RsnodeArrive", "policy"),
@@ -48,13 +48,14 @@ pub const EV_KINDS: [(&str, &str); 16] = [
     ("Fault", "state"),
     ("RetryCheck", "state"),
     ("OperatorDetect", "policy"),
+    ("CacheInvalidate", "policy"),
 ];
 
 /// The kind names alone, in [`Ev::kind_index`] order — the table handed
 /// to [`netrs_simcore::PerfProbe::new`].
 #[must_use]
 pub fn kind_names() -> &'static [&'static str] {
-    static NAMES: [&str; 16] = [
+    static NAMES: [&str; 17] = [
         EV_KINDS[0].0,
         EV_KINDS[1].0,
         EV_KINDS[2].0,
@@ -71,6 +72,7 @@ pub fn kind_names() -> &'static [&'static str] {
         EV_KINDS[13].0,
         EV_KINDS[14].0,
         EV_KINDS[15].0,
+        EV_KINDS[16].0,
     ];
     &NAMES
 }
@@ -96,6 +98,7 @@ impl Ev {
             Ev::Fault { .. } => 13,
             Ev::RetryCheck { .. } => 14,
             Ev::OperatorDetect { .. } => 15,
+            Ev::CacheInvalidate { .. } => 16,
         }
     }
 }

@@ -50,6 +50,9 @@ pub(crate) struct ControlStats {
     pub(crate) mean_accel_utilization: f64,
     pub(crate) max_accel_utilization: f64,
     pub(crate) mean_selection_wait: SimDuration,
+    /// Hot-key-cache counters summed over every operator that ever held
+    /// a cache (live and retired); `None` when no cache was configured.
+    pub(crate) cache: Option<netrs_netdev::CacheStats>,
 }
 
 /// Context of one received (non-write) response copy, handed to
@@ -139,6 +142,41 @@ pub(crate) trait SchemePolicy<D: DeviceProbe>: Send {
     fn on_selector_update(&mut self, now: SimTime, op: SwitchId, fb: Feedback) {
         let _ = (now, op, fb);
         unreachable!("SelectorUpdate is only scheduled by in-network policies");
+    }
+
+    /// A write was issued and fanned out to its replica group
+    /// ([`Ev::Generate`] tail). In-network schemes with a hot-key cache
+    /// emit coherence messages toward their operators here; client
+    /// schemes (no cache on the write path) do nothing.
+    fn on_write_issued(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        req: ReqId,
+        key: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let _ = (core, now, req, key, queue);
+    }
+
+    /// A write's coherence message reaches an operator's hot-key cache
+    /// ([`Ev::CacheInvalidate`]).
+    fn on_cache_invalidate(
+        &mut self,
+        core: &mut Core<D>,
+        now: SimTime,
+        op: SwitchId,
+        key: u64,
+        version: u64,
+    ) {
+        let _ = (core, now, op, key, version);
+        unreachable!("CacheInvalidate is only scheduled by in-network policies");
+    }
+
+    /// Emits end-of-run per-operator cache records to the control sink
+    /// (no-op for schemes without caches, and when no sink is attached).
+    fn audit_caches(&mut self, core: &mut Core<D>, now: SimTime) {
+        let _ = (core, now);
     }
 
     /// The CliRS-R95 duplicate timer fires ([`Ev::R95Check`]).

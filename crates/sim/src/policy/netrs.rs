@@ -14,7 +14,9 @@ use netrs::{
     ControllerConfig, NetRsController, PlanDiff, PlanSolveStats, Rsp, TrafficGroups, TrafficMatrix,
 };
 use netrs_kvstore::ServerId;
-use netrs_netdev::{Accelerator, IngressAction, Monitor, NetRsRules, PacketMeta, RsOperator};
+use netrs_netdev::{
+    Accelerator, CacheStats, IngressAction, Monitor, NetRsRules, PacketMeta, RsOperator,
+};
 use netrs_selection::Feedback;
 use netrs_simcore::{
     DeviceCounter, DeviceId, DeviceProbe, EventQueue, SimDuration, SimRng, SimTime,
@@ -26,7 +28,7 @@ use crate::cluster::{Ev, ReqId};
 use crate::config::{PlanSource, SimConfig};
 use crate::dense::SwitchTable;
 use crate::fabric::HopSink;
-use crate::obs::{PlanEventRecord, SolveRecord};
+use crate::obs::{CacheRecord, PlanEventRecord, SolveRecord};
 use crate::server::ServerToken;
 use crate::state::{flow_hash, Core, REQ_BYTES, RESP_BYTES};
 
@@ -155,14 +157,20 @@ impl InNetwork {
         let mut next = SwitchTable::new(self.operators.capacity());
         for sw in rsnodes {
             let op = self.operators.remove(sw).unwrap_or_else(|| {
-                RsOperator::new(
+                let op = RsOperator::new(
                     cfg.selector.build_with_concurrency(
                         cfg.c3,
                         n,
                         root.fork(30_000 + u64::from(sw.0)),
                     ),
                     cfg.accelerator,
-                )
+                );
+                // Fresh RSNodes start with an empty hot-key cache when
+                // one is configured (retained RSNodes keep theirs).
+                match cfg.hot_cache {
+                    Some(c) => op.with_cache(c),
+                    None => op,
+                }
             });
             next.insert(sw, op);
         }
@@ -335,6 +343,68 @@ impl InNetwork {
             self.forward_to_backup(core, now, req, op, queue);
             return;
         };
+        // In-switch hot-key cache: a hit answers the read at the switch
+        // itself — zero server hops, the accelerator never sees it. The
+        // lookup happens only on live, current operators (dead and
+        // retired ones were handled above).
+        if let Some(cache) = operator.cache.as_mut() {
+            let meta = core
+                .requests
+                .get(req.0)
+                .map(|s| (s.key, s.sent_at, s.client));
+            if let Some((key, sent_at, client)) = meta {
+                if let Some(entry) = cache.lookup(key) {
+                    // Serve from the switch; a version behind the store's
+                    // committed one is a stale read (a coherence message
+                    // was lost or is still in flight) and is counted.
+                    let stale = entry.version < core.versions.get(key);
+                    if stale {
+                        cache.note_stale();
+                    }
+                    let sw = DeviceId::Switch(op.0);
+                    core.fabric.devices.bump(sw, DeviceCounter::CacheHit, 1);
+                    if stale {
+                        core.fabric.devices.bump(sw, DeviceCounter::CacheStale, 1);
+                    }
+                    let state = core.requests.get_mut(req.0).expect("present above");
+                    state.copies += 1;
+                    let origin = entry.origin;
+                    let token =
+                        ServerToken::new(req, origin, sent_at, now, SimDuration::ZERO, now, None);
+                    let hash = flow_hash(req, 23);
+                    let client_host = core.clients[client as usize].host;
+                    let Some(latency) = core.fabric.try_switch_to_host(op, client_host, hash)
+                    else {
+                        core.drop_copy(req.0); // reply path to the client severed
+                        return;
+                    };
+                    queue.schedule_after(
+                        latency,
+                        Ev::ClientReceive {
+                            token,
+                            status: netrs_kvstore::ServerStatus::default(),
+                        },
+                    );
+                    if core.fabric.observing() {
+                        // Steer hops end at this switch; the cached
+                        // response heads straight for the client.
+                        core.fabric.seal_steer_hops(req.0, origin.0, sw, now);
+                        core.fabric.observe_switch_to_host(
+                            now,
+                            op,
+                            client_host,
+                            hash,
+                            HopSink::Copy(req.0, origin.0),
+                            RESP_BYTES,
+                        );
+                    }
+                    return;
+                }
+                core.fabric
+                    .devices
+                    .bump(DeviceId::Switch(op.0), DeviceCounter::CacheMiss, 1);
+            }
+        }
         let (done_at, waited) = operator.accel.schedule_selection_timed(now);
         queue.schedule_at(
             done_at,
@@ -483,6 +553,7 @@ impl InNetwork {
         let Some(state) = core.requests.get(token.req.0) else {
             return;
         };
+        let key = state.key;
         let client_host = core.clients[state.client as usize].host;
         let server_host = core.server_hosts[token.server.0 as usize];
         let hash = flow_hash(token.req, 23);
@@ -493,6 +564,21 @@ impl InNetwork {
         };
         let at_rsnode = now + to_rsnode;
         if let Some(operator) = self.operators.get_mut(op) {
+            if let Some(cache) = operator.cache.as_mut() {
+                // The switch caches what it forwards: populate from the
+                // observed response, stamped with the store's committed
+                // version so later hits can be checked for staleness.
+                let before = cache.stats().evictions;
+                cache.admit(key, core.versions.get(key), token.server);
+                let evicted = cache.stats().evictions - before;
+                if evicted > 0 {
+                    core.fabric.devices.bump(
+                        DeviceId::Switch(op.0),
+                        DeviceCounter::CacheEvict,
+                        evicted,
+                    );
+                }
+            }
             let update_at = operator.accel.schedule_clone(at_rsnode);
             let fb = Feedback {
                 server: token.server,
@@ -619,10 +705,14 @@ impl InNetwork {
 
     /// Fault-plan `OperatorFail`: the accelerator dies silently. Its
     /// operator state retires (the work it performed stays in the
-    /// statistics) and the switch blackholes steered packets until the
-    /// controller's detection fires.
+    /// statistics), its hot-key cache is flushed — switch memory is
+    /// lost with the switch — and the switch blackholes steered packets
+    /// until the controller's detection fires.
     fn operator_crashed(&mut self, sw: SwitchId) {
-        if let Some(op) = self.operators.remove(sw) {
+        if let Some(mut op) = self.operators.remove(sw) {
+            if let Some(cache) = op.cache.as_mut() {
+                cache.flush();
+            }
             self.retired_operators.push(op);
         }
         self.dead_operators.insert(sw);
@@ -651,7 +741,7 @@ impl InNetwork {
         let cfg = &core.cfg;
         let n = rsnodes.len().max(1) as f64;
         self.operators.get_or_insert_with(sw, || {
-            RsOperator::new(
+            let op = RsOperator::new(
                 cfg.selector.build_with_concurrency(
                     cfg.c3,
                     n,
@@ -660,9 +750,123 @@ impl InNetwork {
                     ),
                 ),
                 cfg.accelerator,
-            )
+            );
+            // The recovered switch comes back with empty cache memory.
+            match cfg.hot_cache {
+                Some(c) => op.with_cache(c),
+                None => op,
+            }
         });
         restored
+    }
+
+    /// A write fanned out to its replica group: emit one coherence
+    /// message per live operator (ascending switch order), each riding
+    /// the real — possibly lossy — network from the writing client.
+    fn on_write_issued<D: DeviceProbe>(
+        &mut self,
+        core: &mut Core<D>,
+        req: ReqId,
+        key: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        if core.cfg.hot_cache.is_none() {
+            return;
+        }
+        let Some(state) = core.requests.get(req.0) else {
+            return;
+        };
+        let client_host = core.clients[state.client as usize].host;
+        let version = core.versions.get(key);
+        for op in self.operators.keys() {
+            let hash = flow_hash(req, 37);
+            let Some(latency) = core.fabric.try_host_to_switch(client_host, op, hash) else {
+                // No live path: the message is lost and any cached entry
+                // at `op` goes stale until evicted or re-admitted.
+                core.fabric
+                    .devices
+                    .bump(DeviceId::Switch(op.0), DeviceCounter::Drop, 1);
+                continue;
+            };
+            queue.schedule_after(latency, Ev::CacheInvalidate { op, key, version });
+        }
+    }
+
+    /// A coherence message arrives at an operator's cache
+    /// ([`Ev::CacheInvalidate`] mechanics).
+    fn on_cache_invalidate<D: DeviceProbe>(
+        &mut self,
+        core: &mut Core<D>,
+        op: SwitchId,
+        key: u64,
+        version: u64,
+    ) {
+        // Dead or retired operators were removed from the live table;
+        // the message finds nothing to act on.
+        let Some(operator) = self.operators.get_mut(op) else {
+            return;
+        };
+        let Some(cache) = operator.cache.as_mut() else {
+            return;
+        };
+        if cache.apply_write(key, version) {
+            core.fabric
+                .devices
+                .bump(DeviceId::Switch(op.0), DeviceCounter::CacheInvalidate, 1);
+        }
+    }
+
+    /// Emits one end-of-run `cache` control record per live operator
+    /// (ascending switch order) plus one aggregate for retired
+    /// operators, when a cache and a control sink are both configured.
+    fn audit_caches<D: DeviceProbe>(&mut self, core: &mut Core<D>, now: SimTime) {
+        if core.cfg.hot_cache.is_none() || core.control_log().is_none() {
+            return;
+        }
+        let t_ns = now.as_nanos();
+        let mut recs: Vec<CacheRecord> = self
+            .operators
+            .iter()
+            .filter_map(|(sw, opr)| {
+                let c = opr.cache.as_ref()?;
+                let s = c.stats();
+                Some(CacheRecord {
+                    t_ns,
+                    switch: Some(sw.0),
+                    len: c.len() as u64,
+                    hits: s.hits,
+                    misses: s.misses,
+                    stale_hits: s.stale_hits,
+                    evictions: s.evictions,
+                    invalidations: s.invalidations,
+                })
+            })
+            .collect();
+        let mut retired = CacheStats::default();
+        let mut any_retired = false;
+        for opr in &self.retired_operators {
+            if let Some(c) = &opr.cache {
+                any_retired = true;
+                retired.absorb(&c.stats());
+            }
+        }
+        if any_retired {
+            recs.push(CacheRecord {
+                t_ns,
+                switch: None,
+                len: 0,
+                hits: retired.hits,
+                misses: retired.misses,
+                stale_hits: retired.stale_hits,
+                evictions: retired.evictions,
+                invalidations: retired.invalidations,
+            });
+        }
+        if let Some(log) = core.control_log() {
+            for rec in recs {
+                log.cache(rec);
+            }
+        }
     }
 
     fn operator_tiers(&self, topo: &FatTree) -> [usize; 3] {
@@ -710,12 +914,23 @@ impl InNetwork {
                     / accels.len() as u128) as u64,
             )
         };
+        // Cache counters fold over every operator that ever held a
+        // cache, live (ascending switch order) then retired.
+        let mut cache_totals = CacheStats::default();
+        let mut any_cache = false;
+        for opr in self.operators.values().chain(self.retired_operators.iter()) {
+            if let Some(c) = &opr.cache {
+                any_cache = true;
+                cache_totals.absorb(&c.stats());
+            }
+        }
         ControlStats {
             rsnode_census,
             drs_groups: self.controller.current_plan().drs.len(),
             mean_accel_utilization,
             max_accel_utilization,
             mean_selection_wait,
+            cache: any_cache.then_some(cache_totals),
         }
     }
 }
@@ -763,6 +978,32 @@ macro_rules! delegate_in_network {
 
         fn on_selector_update(&mut self, now: SimTime, op: SwitchId, fb: Feedback) {
             self.$field.on_selector_update(now, op, fb);
+        }
+
+        fn on_write_issued(
+            &mut self,
+            core: &mut Core<D>,
+            _now: SimTime,
+            req: ReqId,
+            key: u64,
+            queue: &mut EventQueue<Ev>,
+        ) {
+            self.$field.on_write_issued(core, req, key, queue);
+        }
+
+        fn on_cache_invalidate(
+            &mut self,
+            core: &mut Core<D>,
+            _now: SimTime,
+            op: SwitchId,
+            key: u64,
+            version: u64,
+        ) {
+            self.$field.on_cache_invalidate(core, op, key, version);
+        }
+
+        fn audit_caches(&mut self, core: &mut Core<D>, now: SimTime) {
+            self.$field.audit_caches(core, now);
         }
 
         fn on_overload_check(

@@ -9,20 +9,20 @@
 //! decision point.
 
 use netrs_faults::{AvailabilityStats, FaultEvent, FaultPlan, LinkRef};
-use netrs_kvstore::{Ring, ServerId, ServerStatus};
+use netrs_kvstore::{Ring, ServerId, ServerStatus, VersionTable};
 use netrs_simcore::{
     DeviceCounter, DeviceId, DeviceProbe, EventQueue, Histogram, SimDuration, SimRng, SimTime, Zipf,
 };
 use netrs_topology::{FatTree, HostId, Link, SwitchId};
 
 use crate::cluster::{Ev, ReqId};
-use crate::config::SimConfig;
+use crate::config::{SimConfig, WriteConsistency};
 use crate::dense::RequestTable;
 use crate::fabric::{DeviceCapacities, Fabric, HopSink};
 use crate::obs::{ControlLog, DeviceStatsReport, SamplerSpec, TimeSeries, TraceRecord};
 use crate::policy::{ControlStats, ReplyInfo};
 use crate::server::{ServerPool, ServerToken};
-use crate::stats::{LatencyBreakdown, RunStats};
+use crate::stats::{LatencyBreakdown, RunStats, RwStats};
 
 /// Simulated size of one request packet on the wire (the NetRS request
 /// header; payloads are not modelled).
@@ -49,6 +49,10 @@ pub(crate) struct RequestState {
     pub(crate) copies: u8,
     pub(crate) dup_sent: bool,
     pub(crate) is_write: bool,
+    /// The requested key (stale checks and cache invalidation need it).
+    pub(crate) key: u64,
+    /// Replica commits acknowledged so far (quorum writes only).
+    pub(crate) acks: u8,
 }
 
 /// Scheme-independent per-client state. Selectors and rate controllers
@@ -168,6 +172,29 @@ impl FaultRuntime {
     }
 }
 
+/// What one workload-generator firing produced, for the cluster to
+/// dispatch: reads go to the policy's steer point, writes to its
+/// invalidation hook.
+pub(crate) enum GenOutcome {
+    /// Workload exhausted (or the firing produced nothing to route).
+    None,
+    /// A read that needs the policy to steer it.
+    Read {
+        /// The request.
+        req: ReqId,
+        /// Its replica set.
+        replicas: Vec<ServerId>,
+    },
+    /// A write already fanned out to its replica group; policies with
+    /// hot-key caches emit coherence messages for it.
+    Write {
+        /// The request.
+        req: ReqId,
+        /// The written key.
+        key: u64,
+    },
+}
+
 /// What [`Core::retry_decision`] told the cluster to do about a request
 /// whose retry timer fired.
 pub(crate) enum RetryAction {
@@ -205,6 +232,10 @@ pub(crate) struct Core<D: DeviceProbe> {
     pub(crate) hist: Histogram,
     write_hist: Histogram,
     writes_issued: u64,
+    writes_completed: u64,
+    /// Per-key committed version counters, bumped at write issue. The
+    /// store's ground truth for cache stale checks.
+    pub(crate) versions: VersionTable,
     /// Per-shard workload streams (`root.fork(2).split(s, shards)`);
     /// generator `g` draws from stream `g % shards`. At `shards == 1`
     /// this is the single pre-shard stream, byte-identical draws.
@@ -313,6 +344,8 @@ impl<D: DeviceProbe> Core<D> {
             hist: Histogram::new(),
             write_hist: Histogram::new(),
             writes_issued: 0,
+            writes_completed: 0,
+            versions: VersionTable::default(),
             top_clients,
             breakdown: BreakdownHists::new(),
             tracer: None,
@@ -387,9 +420,10 @@ impl<D: DeviceProbe> Core<D> {
             Ev::GatedSend { req, .. } | Ev::R95Check { req } | Ev::RetryCheck { req, .. } => {
                 self.req_shard(req)
             }
-            Ev::RsnodeArrive { op, .. } | Ev::Select { op, .. } | Ev::SelectorUpdate { op, .. } => {
-                self.switch_shard[op.0 as usize]
-            }
+            Ev::RsnodeArrive { op, .. }
+            | Ev::Select { op, .. }
+            | Ev::SelectorUpdate { op, .. }
+            | Ev::CacheInvalidate { op, .. } => self.switch_shard[op.0 as usize],
             Ev::OperatorDetect { sw } => self.switch_shard[sw.0 as usize],
             Ev::ServerArrive { token } => self.server_shard(token.server),
             Ev::ServerDone { server, .. } => self.server_shard(server),
@@ -512,17 +546,18 @@ impl<D: DeviceProbe> Core<D> {
     }
 
     /// One workload-generator firing: draws the client, key and replica
-    /// set, registers the request, and handles writes (plain fan-out
-    /// traffic) directly. Returns the request and its replicas when a
-    /// read needs the policy to steer it, `None` otherwise.
+    /// set, registers the request, and handles writes (replica-group
+    /// fan-out under the configured consistency mode) directly. Returns
+    /// what the cluster should route next: the read to steer, or the
+    /// write for coherence hooks.
     pub(crate) fn generate(
         &mut self,
         now: SimTime,
         gen: u32,
         queue: &mut EventQueue<Ev>,
-    ) -> Option<(ReqId, Vec<ServerId>)> {
+    ) -> GenOutcome {
         if self.issued >= self.cfg.requests {
-            return None; // workload exhausted: let the generator die out
+            return GenOutcome::None; // workload exhausted: let the generator die out
         }
         let shard = (gen % self.shards) as usize;
         let gap = self.workload[shard].exp_duration(self.gen_interarrival);
@@ -550,6 +585,8 @@ impl<D: DeviceProbe> Core<D> {
                 copies: 0,
                 dup_sent: false,
                 is_write,
+                key,
+                acks: 0,
             },
         );
         self.issued += 1;
@@ -563,15 +600,26 @@ impl<D: DeviceProbe> Core<D> {
         }
 
         if is_write {
-            // Writes are plain traffic: one copy per replica, no replica
-            // selection, complete when the last replica answers.
+            // Writes bypass replica selection: copies go to the replica
+            // group directly and the configured consistency mode decides
+            // when the client may acknowledge.
             self.writes_issued += 1;
-            self.issue_write(now, req, &replicas, queue);
-            return None;
+            self.versions.bump(key);
+            match self.cfg.write_consistency {
+                WriteConsistency::All | WriteConsistency::Quorum { .. } => {
+                    self.issue_write(now, req, &replicas, queue);
+                }
+                WriteConsistency::Chain => {
+                    self.issue_write(now, req, &replicas[..1], queue);
+                }
+            }
+            return GenOutcome::Write { req, key };
         }
-        Some((req, replicas))
+        GenOutcome::Read { req, replicas }
     }
 
+    /// Fans a write out to `replicas` (the whole group for `All`/`Quorum`,
+    /// the chain head alone for `Chain`), one copy per target.
     fn issue_write(
         &mut self,
         now: SimTime,
@@ -609,6 +657,58 @@ impl<D: DeviceProbe> Core<D> {
                 );
             }
         }
+    }
+
+    /// Chain replication: after a replica commits a write copy, the
+    /// update propagates server → server down the replica group; only
+    /// the tail replies to the client, certifying the whole chain.
+    /// Returns `true` when the copy was forwarded onward (or lost
+    /// trying) and therefore must not produce a client reply.
+    pub(crate) fn forward_chain_write(
+        &mut self,
+        now: SimTime,
+        token: &ServerToken,
+        queue: &mut EventQueue<Ev>,
+    ) -> bool {
+        if self.cfg.write_consistency != WriteConsistency::Chain {
+            return false;
+        }
+        let Some(state) = self.requests.get(token.req.0) else {
+            return false;
+        };
+        if !state.is_write {
+            return false;
+        }
+        let replicas = self.ring.groups().replicas(state.rgid);
+        let Some(idx) = replicas.iter().position(|&s| s == token.server) else {
+            return false;
+        };
+        if idx + 1 >= replicas.len() {
+            return false; // chain tail: the reply flows back to the client
+        }
+        let next = replicas[idx + 1];
+        let req = token.req;
+        let sent_at = state.sent_at;
+        let chain_token = ServerToken::new(req, next, sent_at, now, SimDuration::ZERO, now, None);
+        let hash = flow_hash(req, 31 + (idx + 1) as u64);
+        let from_host = self.server_hosts[token.server.0 as usize];
+        let next_host = self.server_hosts[next.0 as usize];
+        let Some(latency) = self.fabric.try_host_to_host(from_host, next_host, hash) else {
+            self.drop_copy(req.0); // chain severed by link faults
+            return true;
+        };
+        queue.schedule_after(latency, Ev::ServerArrive { token: chain_token });
+        if self.fabric.observing() {
+            self.fabric.observe_host_to_host(
+                now,
+                from_host,
+                next_host,
+                hash,
+                HopSink::Copy(req.0, next.0),
+                REQ_BYTES,
+            );
+        }
+        true
     }
 
     // ---- servers --------------------------------------------------------
@@ -721,9 +821,29 @@ impl<D: DeviceProbe> Core<D> {
         state.copies = state.copies.saturating_sub(1);
         let client_idx = state.client as usize;
         let is_write = state.is_write;
-        // Reads complete on the first response; writes on the last.
+        // Reads complete on the first response. Writes complete when the
+        // consistency mode is satisfied: every outstanding copy answered
+        // (`All`, and `Chain`, whose tail reply certifies the whole
+        // chain), or the W-th replica commit (`Quorum` — late copies
+        // keep draining after the ack).
         let first_completion = if is_write {
-            state.copies == 0 && !state.completed
+            if let WriteConsistency::Quorum { .. } = self.cfg.write_consistency {
+                state.acks = state.acks.saturating_add(1);
+                let required = self
+                    .cfg
+                    .write_consistency
+                    .required_acks(self.cfg.replication);
+                let done = !state.completed && u32::from(state.acks) >= required;
+                if done {
+                    debug_assert!(
+                        u32::from(state.acks) >= required,
+                        "quorum write acked below W"
+                    );
+                }
+                done
+            } else {
+                state.copies == 0 && !state.completed
+            }
         } else {
             !state.completed
         };
@@ -778,8 +898,11 @@ impl<D: DeviceProbe> Core<D> {
         }
 
         if is_write {
-            if first_completion && issue_idx >= self.warmup_cutoff {
-                self.write_hist.record(latency);
+            if first_completion {
+                self.writes_completed += 1;
+                if issue_idx >= self.warmup_cutoff {
+                    self.write_hist.record(latency);
+                }
             }
             return None;
         }
@@ -1028,6 +1151,25 @@ impl<D: DeviceProbe> Core<D> {
     /// Merges the scheme-independent accounting with the policy's control
     /// statistics into the final [`RunStats`].
     pub(crate) fn stats(&self, now: SimTime, events: u64, control: ControlStats) -> RunStats {
+        // The `rw` block exists only for runs that opted into the
+        // read/write extension (a cache, or a non-default consistency
+        // mode); plain runs — including every pinned golden fixture —
+        // keep emitting byte-identical JSON without it.
+        let rw = if self.cfg.hot_cache.is_some()
+            || self.cfg.write_consistency != WriteConsistency::All
+        {
+            let cache = control.cache.unwrap_or_default();
+            Some(RwStats {
+                writes_completed: self.writes_completed,
+                cache_hits: cache.hits,
+                cache_misses: cache.misses,
+                stale_reads: cache.stale_hits,
+                cache_evictions: cache.evictions,
+                cache_invalidations: cache.invalidations,
+            })
+        } else {
+            None
+        };
         RunStats {
             scheme: self.cfg.scheme,
             latency: self.hist.summary(),
@@ -1049,6 +1191,7 @@ impl<D: DeviceProbe> Core<D> {
             sim_end: now,
             events,
             availability: self.availability(),
+            rw,
         }
     }
 }

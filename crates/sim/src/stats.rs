@@ -31,6 +31,28 @@ pub struct LatencyBreakdown {
     pub service: Summary,
 }
 
+/// Read/write-mix outcome: write commits and aggregate hot-key-cache
+/// counters. Present only on runs that opted into the extension (a
+/// per-operator cache, or a non-default write-consistency mode), and
+/// omitted — not `null` — from the JSON otherwise, so read-only stats
+/// files stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RwStats {
+    /// Writes acknowledged under the configured consistency mode.
+    pub writes_completed: u64,
+    /// Reads served directly from an RSNode's hot-key cache.
+    pub cache_hits: u64,
+    /// Cache lookups that fell through to replica selection.
+    pub cache_misses: u64,
+    /// Cache hits whose version lagged the store's committed one (a
+    /// coherence message was lost or still in flight).
+    pub stale_reads: u64,
+    /// Cache entries displaced by capacity pressure.
+    pub cache_evictions: u64,
+    /// Coherence messages that found a cached entry to remove/refresh.
+    pub cache_invalidations: u64,
+}
+
 /// The results of one simulation run.
 ///
 /// Serialization is hand-written (not derived) so the optional
@@ -82,6 +104,10 @@ pub struct RunStats {
     /// Availability outcome under the run's fault plan; `None` (and
     /// absent from the JSON) for fault-free runs.
     pub availability: Option<AvailabilityStats>,
+    /// Read/write-mix outcome; `None` (and absent from the JSON) unless
+    /// the run enabled a hot-key cache or a non-default consistency
+    /// mode.
+    pub rw: Option<RwStats>,
 }
 
 impl Serialize for RunStats {
@@ -118,6 +144,9 @@ impl Serialize for RunStats {
         ];
         if let Some(a) = &self.availability {
             o.push(("availability".into(), a.ser()));
+        }
+        if let Some(rw) = &self.rw {
+            o.push(("rw".into(), rw.ser()));
         }
         Value::Obj(o)
     }
@@ -157,6 +186,11 @@ impl Deserialize for RunStats {
             // files).
             availability: match v.get("availability") {
                 Some(a) => Some(AvailabilityStats::deser(a)?),
+                None => None,
+            },
+            // Absent unless the run enabled the read/write extension.
+            rw: match v.get("rw") {
+                Some(r) => Some(RwStats::deser(r)?),
                 None => None,
             },
         })
@@ -233,6 +267,7 @@ mod tests {
             sim_end: SimTime::ZERO,
             events: 0,
             availability: None,
+            rw: None,
         }
     }
 
@@ -272,5 +307,27 @@ mod tests {
         assert!(json.contains("availability"));
         let back = RunStats::deser(&faulted.ser()).unwrap();
         assert_eq!(back.availability, faulted.availability);
+    }
+
+    #[test]
+    fn rw_is_omitted_when_absent_and_round_trips_when_present() {
+        let read_only = run(2);
+        let json = serde_json::to_string(&read_only.ser()).unwrap();
+        assert!(!json.contains("\"rw\""));
+        assert!(RunStats::deser(&read_only.ser()).unwrap().rw.is_none());
+
+        let mut cached = run(2);
+        cached.rw = Some(RwStats {
+            writes_completed: 10,
+            cache_hits: 40,
+            cache_misses: 9,
+            stale_reads: 2,
+            cache_evictions: 3,
+            cache_invalidations: 5,
+        });
+        let json = serde_json::to_string(&cached.ser()).unwrap();
+        assert!(json.contains("\"rw\""));
+        let back = RunStats::deser(&cached.ser()).unwrap();
+        assert_eq!(back.rw, cached.rw);
     }
 }

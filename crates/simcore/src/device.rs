@@ -88,6 +88,18 @@ pub enum DeviceCounter {
     Clamp,
     /// Response clones processed for selector state (no latency cost).
     CloneUpdate,
+    /// Hot-key cache: a `GET` answered from the switch.
+    CacheHit,
+    /// Hot-key cache: a `GET` that fell through to replica selection.
+    CacheMiss,
+    /// Hot-key cache: a hit served with a version older than the
+    /// store's committed one.
+    CacheStale,
+    /// Hot-key cache: an entry displaced by capacity pressure.
+    CacheEvict,
+    /// Hot-key cache: a write-driven coherence message applied to a
+    /// cached entry.
+    CacheInvalidate,
 }
 
 /// Everything one device accumulated over a run.
@@ -113,6 +125,17 @@ pub struct DeviceStats {
     pub drops: u64,
     /// [`DeviceCounter::Clamp`] total.
     pub clamps: u64,
+    /// [`DeviceCounter::CacheHit`] total (switches hosting a hot-key
+    /// cache only; zero everywhere else).
+    pub cache_hits: u64,
+    /// [`DeviceCounter::CacheMiss`] total.
+    pub cache_misses: u64,
+    /// [`DeviceCounter::CacheStale`] total.
+    pub cache_stale_hits: u64,
+    /// [`DeviceCounter::CacheEvict`] total.
+    pub cache_evictions: u64,
+    /// [`DeviceCounter::CacheInvalidate`] total.
+    pub cache_invalidations: u64,
     /// Current queue depth (requests pending at the device).
     pub depth: u32,
     /// Deepest the queue ever got.
@@ -308,6 +331,11 @@ impl DeviceProbe for DeviceStatsRegistry {
             DeviceCounter::Drop => s.drops += delta,
             DeviceCounter::Clamp => s.clamps += delta,
             DeviceCounter::CloneUpdate => s.clone_updates += delta,
+            DeviceCounter::CacheHit => s.cache_hits += delta,
+            DeviceCounter::CacheMiss => s.cache_misses += delta,
+            DeviceCounter::CacheStale => s.cache_stale_hits += delta,
+            DeviceCounter::CacheEvict => s.cache_evictions += delta,
+            DeviceCounter::CacheInvalidate => s.cache_invalidations += delta,
         }
     }
 
@@ -389,6 +417,32 @@ mod tests {
         r.bump(dev, DeviceCounter::CloneUpdate, 4);
         let s = r.get(&dev).unwrap();
         assert_eq!((s.ops, s.drops, s.clamps, s.clone_updates), (3, 1, 2, 4));
+    }
+
+    #[test]
+    fn cache_counters_route_to_their_fields() {
+        let mut r = DeviceStatsRegistry::new();
+        let dev = DeviceId::Switch(4);
+        r.bump(dev, DeviceCounter::CacheHit, 5);
+        r.bump(dev, DeviceCounter::CacheMiss, 3);
+        r.bump(dev, DeviceCounter::CacheStale, 1);
+        r.bump(dev, DeviceCounter::CacheEvict, 2);
+        r.bump(dev, DeviceCounter::CacheInvalidate, 4);
+        let s = r.get(&dev).unwrap();
+        assert_eq!(
+            (
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_stale_hits,
+                s.cache_evictions,
+                s.cache_invalidations
+            ),
+            (5, 3, 1, 2, 4)
+        );
+        // Untouched devices report all-zero cache counters.
+        r.bump(DeviceId::Server(0), DeviceCounter::Op, 1);
+        let plain = r.get(&DeviceId::Server(0)).unwrap();
+        assert_eq!(plain.cache_hits + plain.cache_misses, 0);
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub const REQUEST_HEADER_LEN: usize = 2 + 6 + 2 + 3;
 pub const RESPONSE_FIXED_LEN: usize = 2 + 6 + 2 + 4 + 2;
 /// Byte offset of the magic field in both formats.
 pub const MAGIC_OFFSET: usize = 2;
+/// Opcode byte opening a `SET` application payload.
+pub const OP_SET: u8 = 0x53; // 'S'
+/// Length of the fixed part of a `SET` frame (OP + KEY + VLEN); the
+/// value follows.
+pub const SET_FIXED_LEN: usize = 1 + 8 + 4;
 
 /// The ID of a NetRS operator acting as RSNode, carried in the RID segment.
 ///
@@ -244,6 +249,9 @@ pub enum WireError {
     RgidOutOfRange(u32),
     /// The magic field does not label the packet as the expected kind.
     UnexpectedMagic(MagicField),
+    /// An application payload opens with an opcode the decoder does not
+    /// recognize.
+    UnexpectedOpcode(u8),
 }
 
 impl fmt::Display for WireError {
@@ -256,6 +264,7 @@ impl fmt::Display for WireError {
                 write!(f, "replica group id {id} exceeds 3-byte range")
             }
             WireError::UnexpectedMagic(m) => write!(f, "unexpected magic field {m}"),
+            WireError::UnexpectedOpcode(op) => write!(f, "unexpected opcode byte {op:#04x}"),
         }
     }
 }
@@ -396,6 +405,86 @@ impl ResponseHeader {
                 rv,
                 sm,
                 status: Bytes::copy_from_slice(&buf[RESPONSE_FIXED_LEN..total]),
+            },
+            Bytes::copy_from_slice(&buf[total..]),
+        ))
+    }
+}
+
+/// A `SET` command as framed in the application payload of a request.
+///
+/// Writes ride the same NetRS request header as reads — the switch
+/// pipeline classifies on the magic field and never inspects payloads —
+/// so the `SET` frame is purely an end-host (and future emu/serving
+/// path) contract:
+///
+/// ```text
+/// SET frame: OP(1)=0x53 KEY(8) VLEN(4) VALUE(vlen) | trailing bytes
+/// ```
+///
+/// The value is length-prefixed rather than delimiter-terminated so a
+/// frame can be followed by further application data (e.g. a pipelined
+/// command) without a schema break.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SetCommand {
+    /// The 64-bit key hash being written.
+    pub key: u64,
+    /// The value bytes.
+    pub value: Bytes,
+}
+
+impl SetCommand {
+    /// Serializes the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value exceeds the 4-byte VLEN range — a single
+    /// key-value write is megabytes at most by design.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        assert!(
+            u32::try_from(self.value.len()).is_ok(),
+            "SET value too large for VLEN"
+        );
+        let mut buf = BytesMut::with_capacity(SET_FIXED_LEN + self.value.len());
+        buf.put_u8(OP_SET);
+        buf.put_u64(self.key);
+        buf.put_u32(self.value.len() as u32);
+        buf.put_slice(&self.value);
+        buf.freeze()
+    }
+
+    /// Parses a `SET` frame, returning the command and any trailing
+    /// bytes after the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedOpcode`] if the first byte is not
+    /// [`OP_SET`], or [`WireError::Truncated`] if the buffer is shorter
+    /// than the fixed frame plus the declared value length.
+    pub fn decode(buf: &[u8]) -> Result<(SetCommand, Bytes), WireError> {
+        if buf.len() < SET_FIXED_LEN {
+            return Err(WireError::Truncated {
+                needed: SET_FIXED_LEN,
+                got: buf.len(),
+            });
+        }
+        if buf[0] != OP_SET {
+            return Err(WireError::UnexpectedOpcode(buf[0]));
+        }
+        let key = u64::from_be_bytes(buf[1..9].try_into().expect("length checked"));
+        let vlen = u32::from_be_bytes(buf[9..13].try_into().expect("length checked")) as usize;
+        let total = SET_FIXED_LEN + vlen;
+        if buf.len() < total {
+            return Err(WireError::Truncated {
+                needed: total,
+                got: buf.len(),
+            });
+        }
+        Ok((
+            SetCommand {
+                key,
+                value: Bytes::copy_from_slice(&buf[SET_FIXED_LEN..total]),
             },
             Bytes::copy_from_slice(&buf[total..]),
         ))
@@ -605,6 +694,63 @@ mod tests {
         assert!(a.same_pod(b) && !a.same_rack(b));
         assert!(!a.same_pod(c) && !a.same_rack(c));
         assert!(a.same_pod(a) && a.same_rack(a));
+    }
+
+    #[test]
+    fn set_frame_round_trips_with_trailing_bytes() {
+        let cmd = SetCommand {
+            key: 0xDEAD_BEEF_CAFE_F00D,
+            value: Bytes::from_static(b"hello"),
+        };
+        let mut wire = cmd.encode().to_vec();
+        wire.extend_from_slice(b"next");
+        let (back, rest) = SetCommand::decode(&wire).unwrap();
+        assert_eq!(back, cmd);
+        assert_eq!(&rest[..], b"next");
+    }
+
+    #[test]
+    fn set_frame_is_byte_exact() {
+        let cmd = SetCommand {
+            key: 0x0102_0304_0506_0708,
+            value: Bytes::from_static(&[0xAA, 0xBB]),
+        };
+        let wire = cmd.encode();
+        assert_eq!(wire.len(), SET_FIXED_LEN + 2);
+        assert_eq!(wire[0], OP_SET);
+        assert_eq!(&wire[1..9], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(&wire[9..13], &[0, 0, 0, 2], "VLEN is big-endian");
+        assert_eq!(&wire[13..], &[0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn set_frame_rejects_bad_opcode_and_truncation() {
+        let err = SetCommand::decode(&[0u8; 5]).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                needed: SET_FIXED_LEN,
+                got: 5
+            }
+        );
+        let mut wire = SetCommand {
+            key: 1,
+            value: Bytes::from_static(b"v"),
+        }
+        .encode()
+        .to_vec();
+        wire[0] = 0x47;
+        let err = SetCommand::decode(&wire).unwrap_err();
+        assert_eq!(err, WireError::UnexpectedOpcode(0x47));
+        assert!(err.to_string().contains("opcode"));
+        // VLEN promises more value bytes than the buffer carries.
+        let cut = SetCommand {
+            key: 1,
+            value: Bytes::from_static(&[7; 10]),
+        }
+        .encode();
+        let err = SetCommand::decode(&cut[..cut.len() - 3]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use netrs_wire::{
     classify, peek_rid, MagicField, PacketKind, RequestHeader, ResponseHeader, Rgid, RsnodeId,
-    SourceMarker, WireError,
+    SetCommand, SourceMarker, WireError, OP_SET, SET_FIXED_LEN,
 };
 use proptest::prelude::*;
 
@@ -57,6 +57,23 @@ proptest! {
         prop_assert_eq!(&body[..], &payload[..]);
     }
 
+    /// Any SET frame round-trips byte-exactly, trailing bytes included.
+    #[test]
+    fn set_round_trips(
+        key in any::<u64>(),
+        value in proptest::collection::vec(any::<u8>(), 0..256),
+        trailing in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let cmd = SetCommand { key, value: Bytes::from(value.clone()) };
+        let mut wire = cmd.encode().to_vec();
+        prop_assert_eq!(wire.len(), SET_FIXED_LEN + value.len());
+        prop_assert_eq!(wire[0], OP_SET);
+        wire.extend_from_slice(&trailing);
+        let (back, rest) = SetCommand::decode(&wire).unwrap();
+        prop_assert_eq!(back, cmd);
+        prop_assert_eq!(&rest[..], &trailing[..]);
+    }
+
     /// Decoding never panics on arbitrary bytes; it either parses or
     /// returns a structured error.
     #[test]
@@ -69,6 +86,14 @@ proptest! {
         let _ = ResponseHeader::decode(&bytes);
         let _ = classify(&bytes);
         let _ = peek_rid(&bytes);
+        match SetCommand::decode(&bytes) {
+            Ok((cmd, rest)) => {
+                prop_assert_eq!(SET_FIXED_LEN + cmd.value.len() + rest.len(), bytes.len());
+            }
+            Err(WireError::Truncated { got, .. }) => prop_assert_eq!(got, bytes.len()),
+            Err(WireError::UnexpectedOpcode(op)) => prop_assert_eq!(op, bytes[0]),
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
     }
 
     /// The magic-field transform is a self-inverse bijection.

@@ -146,6 +146,15 @@ fn main() {
                     s.groups.len()
                 );
             }
+            ControlRecord::Cache(c) => {
+                let switch = c
+                    .switch
+                    .map_or_else(|| "retired".into(), |sw| format!("switch {sw}"));
+                println!(
+                    "  cache audit: {switch} · {} resident · {} hits / {} misses · {} stale · {} evicted · {} invalidated",
+                    c.len, c.hits, c.misses, c.stale_hits, c.evictions, c.invalidations
+                );
+            }
         }
     }
     let spans = records

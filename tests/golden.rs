@@ -111,6 +111,11 @@ fn device_record_matches_golden() {
         max_queue_depth: 0,
         drops: 0,
         clamps: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_stale_hits: 0,
+        cache_evictions: 0,
+        cache_invalidations: 0,
     };
     let golden = concat!(
         "{\"dev\":\"link:h3>s0\",\"kind\":\"link\",\"tier\":2,",
@@ -122,6 +127,30 @@ fn device_record_matches_golden() {
     assert_eq!(serde_json::to_string(&record).unwrap(), golden);
     let back: DeviceRecord = serde_json::from_str(golden).unwrap();
     assert_eq!(back, record);
+
+    // With cache traffic the five counters are appended, in order.
+    let cached = DeviceRecord {
+        dev: "switch:5".into(),
+        kind: "switch".into(),
+        cache_hits: 40,
+        cache_misses: 9,
+        cache_stale_hits: 2,
+        cache_evictions: 3,
+        cache_invalidations: 7,
+        ..record
+    };
+    let golden_cached = concat!(
+        "{\"dev\":\"switch:5\",\"kind\":\"switch\",\"tier\":2,",
+        "\"packets\":[10,20,30],\"bytes\":[130,260,390],",
+        "\"ops\":0,\"selections\":0,\"mean_selection_wait_ns\":0,",
+        "\"clone_updates\":0,\"busy_ns\":1800000,\"utilization\":0.5,",
+        "\"mean_queue_depth\":0,\"max_queue_depth\":0,\"drops\":0,\"clamps\":0,",
+        "\"cache_hits\":40,\"cache_misses\":9,\"cache_stale_hits\":2,",
+        "\"cache_evictions\":3,\"cache_invalidations\":7}"
+    );
+    assert_eq!(serde_json::to_string(&cached).unwrap(), golden_cached);
+    let back: DeviceRecord = serde_json::from_str(golden_cached).unwrap();
+    assert_eq!(back, cached);
 }
 
 #[test]

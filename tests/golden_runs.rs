@@ -175,6 +175,14 @@ fn golden_runs_are_byte_identical() {
     }
     for (name, cfg) in cases() {
         let art = run_case(cfg);
+        // The RW subsystem (write consistency modes, hot-key caching) is
+        // strictly opt-in: none of these pre-RW configs enable it, so
+        // their stats must not mention it — that, plus the unchanged
+        // digests below, proves the feature emits nothing when off.
+        assert!(
+            !art.stats_json.contains("\"rw\""),
+            "{name}: read-only golden stats must not grow an rw block"
+        );
         assert!(!art.trace.is_empty(), "{name}: trace must not be empty");
         assert!(!art.devices.is_empty(), "{name}: devices must not be empty");
         let in_network = name.starts_with("netrs");

@@ -1,0 +1,224 @@
+//! Read/write-mix end-to-end tests: replica-group write consistency
+//! (quorum, chain) and the in-switch hot-key cache at the RSNodes.
+//!
+//! The determinism bar matches the rest of the suite: identical configs
+//! must produce byte-identical stats (including every cache counter),
+//! and read-only runs must not emit the `rw` stats block at all.
+
+use netrs_sim::{
+    run, CacheAdmission, CacheWritePolicy, FaultEvent, FaultPlan, HotCacheConfig, RunStats, Scheme,
+    SimConfig, TimedFault, WriteConsistency,
+};
+use netrs_simcore::SimDuration;
+use proptest::prelude::*;
+
+fn base(scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::small();
+    cfg.requests = 4_000;
+    cfg.scheme = scheme;
+    cfg.seed = 11;
+    cfg
+}
+
+/// A write-heavy config with the hot-key cache enabled on a skewed
+/// keyspace, so both the write path and the cache see real traffic.
+fn cached(scheme: Scheme) -> SimConfig {
+    let mut cfg = base(scheme);
+    cfg.write_fraction = 0.1;
+    cfg.zipf = 1.2;
+    cfg.keys = 2_000;
+    cfg.hot_cache = Some(HotCacheConfig {
+        capacity: 128,
+        admission: CacheAdmission::Lru,
+        write_policy: CacheWritePolicy::Invalidate,
+    });
+    cfg
+}
+
+fn rw(stats: &RunStats) -> &netrs_sim::RwStats {
+    stats.rw.as_ref().expect("rw stats block present")
+}
+
+#[test]
+fn writes_complete_under_every_consistency_mode() {
+    for scheme in [Scheme::CliRs, Scheme::NetRsToR] {
+        for consistency in [
+            WriteConsistency::All,
+            WriteConsistency::Quorum { w: 2 },
+            WriteConsistency::Chain,
+        ] {
+            let mut cfg = base(scheme);
+            cfg.write_fraction = 0.2;
+            cfg.write_consistency = consistency;
+            let stats = run(cfg);
+            assert_eq!(
+                stats.completed, stats.issued,
+                "{scheme:?}/{consistency:?}: no faults, every request completes"
+            );
+            assert!(
+                stats.writes_issued > 0,
+                "{scheme:?}/{consistency:?}: the 20% write mix must issue writes"
+            );
+            assert!(
+                stats.write_latency.count > 0,
+                "{scheme:?}/{consistency:?}: write percentiles recorded"
+            );
+            if consistency == WriteConsistency::All {
+                // Legacy mode with no cache: the rw block stays absent so
+                // pre-RW consumers see unchanged JSON.
+                assert!(stats.rw.is_none(), "{scheme:?}: rw omitted in All mode");
+            } else {
+                assert_eq!(
+                    rw(&stats).writes_completed,
+                    stats.writes_issued,
+                    "{scheme:?}/{consistency:?}: every write commits without faults"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn read_only_runs_emit_no_rw_block() {
+    for scheme in [Scheme::CliRs, Scheme::NetRsToR] {
+        let stats = run(base(scheme));
+        assert!(stats.rw.is_none());
+        let json = serde_json::to_string(&stats).expect("stats serialize");
+        assert!(
+            !json.contains("\"rw\""),
+            "{scheme:?}: read-only stats JSON must not mention rw"
+        );
+    }
+}
+
+#[test]
+fn cache_serves_hits_and_stays_deterministic() {
+    for scheme in [Scheme::NetRsToR, Scheme::NetRsIlp] {
+        let a = run(cached(scheme));
+        let b = run(cached(scheme));
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "{scheme:?}: identical configs must produce byte-identical stats"
+        );
+        let rw = rw(&a);
+        assert!(rw.cache_hits > 0, "{scheme:?}: hot keys must hit the cache");
+        assert!(
+            rw.cache_misses > 0,
+            "{scheme:?}: cold keys must miss the cache"
+        );
+        assert!(
+            rw.cache_invalidations > 0,
+            "{scheme:?}: writes must invalidate cached keys"
+        );
+    }
+}
+
+#[test]
+fn client_schemes_never_touch_the_cache() {
+    // The cache lives at the RSNodes; client-side schemes have none, so
+    // configuring one is inert (beyond forcing the rw block on).
+    let stats = run(cached(Scheme::CliRs));
+    let rw = rw(&stats);
+    assert_eq!(rw.cache_hits + rw.cache_misses, 0);
+    assert_eq!(rw.cache_invalidations, 0);
+}
+
+#[test]
+fn cache_cuts_hot_read_latency() {
+    // The acceptance experiment from the issue: same seed, Zipf-hot
+    // keyspace, ≤10% writes — the cache-on run must show measurably
+    // lower read latency than cache-off, because cached GETs skip the
+    // selection queue and the whole server round trip.
+    let mut off = cached(Scheme::NetRsToR);
+    off.hot_cache = None;
+    let on = cached(Scheme::NetRsToR);
+    let stats_off = run(off);
+    let stats_on = run(on);
+    let hits = rw(&stats_on).cache_hits;
+    let gets = rw(&stats_on).cache_hits + rw(&stats_on).cache_misses;
+    assert!(
+        hits * 5 > gets,
+        "hit ratio too low to matter: {hits}/{gets}"
+    );
+    assert!(
+        stats_on.latency.mean < stats_off.latency.mean,
+        "cache-on mean read latency {} must beat cache-off {}",
+        stats_on.latency.mean,
+        stats_off.latency.mean
+    );
+    assert!(
+        stats_on.latency.p99 <= stats_off.latency.p99,
+        "cache-on p99 {} must not exceed cache-off {}",
+        stats_on.latency.p99,
+        stats_off.latency.p99
+    );
+}
+
+#[test]
+fn lost_invalidations_surface_as_stale_reads() {
+    // Drop a burst of packets while writes are in flight: coherence
+    // messages die with everything else, so cached entries outlive the
+    // versions they were captured at and hits on them count as stale.
+    let lossy = |probability: f64| {
+        let mut cfg = cached(Scheme::NetRsToR);
+        cfg.write_fraction = 0.2;
+        cfg.faults = Some(FaultPlan {
+            events: vec![TimedFault {
+                at: SimDuration::from_millis(10),
+                fault: FaultEvent::PacketLossBurst {
+                    probability,
+                    duration: SimDuration::from_millis(400),
+                },
+            }],
+            ..FaultPlan::default()
+        });
+        run(cfg)
+    };
+    let clean = lossy(0.0);
+    let faulty = lossy(0.5);
+    assert!(
+        rw(&faulty).stale_reads > rw(&clean).stale_reads,
+        "losing half the invalidations must increase stale reads ({} vs {})",
+        rw(&faulty).stale_reads,
+        rw(&clean).stale_reads
+    );
+    let avail = faulty.availability.as_ref().expect("fault plan attached");
+    assert_eq!(
+        faulty.completed + avail.timeouts,
+        faulty.issued,
+        "accounting holds under invalidation loss"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: with writes, any consistency mode and the cache on, no
+    /// request is silently lost and the cache ledger stays balanced —
+    /// every RSNode `GET` is exactly one hit or one miss.
+    #[test]
+    fn rw_accounting_holds(seed in 0u64..1_000, mode in 0usize..3, write_fraction in 0.05f64..0.4) {
+        let mut cfg = cached(Scheme::NetRsToR);
+        cfg.requests = 1_500;
+        cfg.seed = seed;
+        cfg.write_fraction = write_fraction;
+        cfg.write_consistency = match mode {
+            0 => WriteConsistency::All,
+            1 => WriteConsistency::Quorum { w: 2 },
+            _ => WriteConsistency::Chain,
+        };
+        let stats = run(cfg);
+        prop_assert_eq!(stats.completed, stats.issued);
+        let rw = stats.rw.as_ref().expect("cache on implies rw block");
+        // Quorum acks at least W replicas before completing; chain and
+        // all-mode writes complete only on the final copy. Either way a
+        // completed write is a committed write when nothing faults.
+        prop_assert_eq!(rw.writes_completed, stats.writes_issued);
+        prop_assert!(rw.cache_hits + rw.cache_misses <= stats.issued - stats.writes_issued,
+            "cache lookups cannot exceed reads issued");
+        // Stale reads can occur even faultless (a hit can race an
+        // in-flight invalidation) but never exceed the hits they ride on.
+        prop_assert!(rw.stale_reads <= rw.cache_hits);
+    }
+}
