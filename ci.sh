@@ -60,7 +60,14 @@ echo "==> perf smoke (tiny perf suite, artifact validates)"
 # for that; real baselines are pinned in BENCH_PERF.json at the repo root.
 cargo build -q -p netrs-bench --bin repro
 ./target/debug/repro perf --small --tag smoke --out "$SMOKE/perf.json"
-./target/debug/netrs-analyze check-bench "$SMOKE/perf.json" | grep -q "versioned v1"
+# check-bench also runs the intra-artifact parallel gate (1-shard/1-thread
+# dispatch vs the sequential baseline row); the wide threshold absorbs the
+# wall-clock noise of tiny --small cells.
+./target/debug/netrs-analyze check-bench "$SMOKE/perf.json" --threshold 0.5 \
+    > "$SMOKE/perf-check.txt"
+grep -q "versioned v1" "$SMOKE/perf-check.txt"
+grep -q "parallel gate" "$SMOKE/perf-check.txt"
+./target/debug/netrs-analyze perf "$SMOKE/perf.json" | grep -q "sharded-parallel grid"
 # Two-artifact mode: an artifact never regresses against itself.
 ./target/debug/netrs-analyze check-bench "$SMOKE/perf.json" "$SMOKE/perf.json" \
     --threshold 0.05 | grep -q "Bench comparison"
@@ -114,6 +121,23 @@ echo "==> sharded perf smoke (simulate --shards --perf, artifact gates check-ben
 diff -u "$SMOKE/shard-four-a.json" "$SMOKE/shard-perf-stats.json"
 ./target/debug/netrs-analyze check-bench "$SMOKE/perf-sharded.json" | grep -q "versioned v1"
 ./target/debug/netrs-analyze perf "$SMOKE/perf-sharded.json" | grep -q "by layer"
+
+echo "==> parallel-determinism smoke (window driver reproducible, thread-invariant)"
+# The parallel window driver must be reproducible per seed and its bytes
+# must not depend on the worker count (nproc-aware: more workers where
+# the box has the cores, but the T=1 diff is the real gate either way).
+T=2
+[ "$(nproc)" -ge 4 ] && T=4
+./target/debug/simulate --small --scheme clirs --requests 5000 --seed 7 \
+    --shards 4 --threads "$T" --json > "$SMOKE/par-a.json"
+./target/debug/simulate --small --scheme clirs --requests 5000 --seed 7 \
+    --shards 4 --threads "$T" --json > "$SMOKE/par-b.json"
+diff -u "$SMOKE/par-a.json" "$SMOKE/par-b.json"
+./target/debug/simulate --small --scheme clirs --requests 5000 --seed 7 \
+    --shards 4 --threads 1 --json > "$SMOKE/par-one.json"
+diff -u "$SMOKE/par-a.json" "$SMOKE/par-one.json"
+grep -q '"parallel"' "$SMOKE/par-a.json"
+grep -q '"mailbox_late": 0' "$SMOKE/par-a.json"
 
 echo "==> alloc-profile feature (counting allocator, integration test)"
 cargo test -q -p netrs-sim --features alloc-profile --test alloc_profile

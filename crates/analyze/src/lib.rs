@@ -1224,6 +1224,59 @@ pub fn perf_report(entries: &[(String, PerfArtifact)]) -> String {
             );
             kind_table(&mut out, run);
         }
+        let grid: Vec<&HostProfile> = latest_by_label(&art.runs)
+            .into_iter()
+            .filter(|r| r.parallel.is_some())
+            .collect();
+        if !grid.is_empty() {
+            // The sharded-parallel throughput grid: speedup is relative
+            // to the suite's sequential-engine baseline row when one was
+            // measured alongside.
+            let seq_eps = latest_by_label(&art.runs)
+                .into_iter()
+                .find(|r| r.label.ends_with("sharded-parallel/seq"))
+                .map(|r| r.events_per_sec);
+            let _ = writeln!(out);
+            let _ = writeln!(out, "   sharded-parallel grid:");
+            let _ = writeln!(
+                out,
+                "     {:<26} {:>6} {:>7} {:>8} {:>10} {:>12} {:>8} {:>10}",
+                "label",
+                "shards",
+                "threads",
+                "windows",
+                "ev/window",
+                "events/s",
+                "speedup",
+                "imbalance"
+            );
+            for run in grid {
+                let p = run.parallel.as_ref().expect("filtered on parallel");
+                let speedup = match seq_eps {
+                    Some(base) if base > 0.0 => {
+                        format!("{:.2}x", run.events_per_sec / base)
+                    }
+                    _ => "-".to_string(),
+                };
+                let imbalance = if p.busy_imbalance > 0.0 {
+                    format!("{:.2}x", p.busy_imbalance)
+                } else {
+                    "-".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "     {:<26} {:>6} {:>7} {:>8} {:>10.1} {:>12.0} {:>8} {:>10}",
+                    run.label,
+                    p.shards,
+                    p.threads,
+                    p.windows,
+                    p.events_per_window,
+                    run.events_per_sec,
+                    speedup,
+                    imbalance
+                );
+            }
+        }
         if art.runs.len() > 1 {
             let _ = writeln!(out);
             let _ = writeln!(
@@ -1287,6 +1340,57 @@ pub fn perf_report(entries: &[(String, PerfArtifact)]) -> String {
     out
 }
 
+/// Gates the parallel entry point's dispatch overhead inside one perf
+/// artifact: the latest `…sharded-parallel/s1-t1` row (one shard, one
+/// thread — the parallel runner collapsing to the sequential engine)
+/// must hold at least `1 - threshold` of the latest
+/// `…sharded-parallel/seq` baseline's throughput. Wall-clock–free CI
+/// boxes keep their protection from the byte-identity tests; this gate
+/// exists so a dispatch-layer slowdown shows up where throughput is
+/// actually measured.
+///
+/// Returns `Ok(None)` when the artifact carries no such pair of rows.
+///
+/// # Errors
+///
+/// Returns the regression description when the gated row falls below
+/// the baseline by more than `threshold`.
+pub fn parallel_gate(artifact: &PerfArtifact, threshold: f64) -> Result<Option<String>, String> {
+    let latest = latest_by_label(&artifact.runs);
+    let seq = latest
+        .iter()
+        .find(|r| r.label.ends_with("sharded-parallel/seq"));
+    let gated = latest.iter().find(|r| {
+        r.label.contains("sharded-parallel/")
+            && r.parallel
+                .as_ref()
+                .is_some_and(|p| p.shards == 1 && p.threads == 1)
+    });
+    let (Some(seq), Some(gated)) = (seq, gated) else {
+        return Ok(None);
+    };
+    if seq.events_per_sec <= 0.0 {
+        return Ok(None);
+    }
+    let ratio = gated.events_per_sec / seq.events_per_sec;
+    let line = format!(
+        "parallel gate: {} at {:.0} events/s vs {} at {:.0} events/s ({:.1}% of baseline)\n",
+        gated.label,
+        gated.events_per_sec,
+        seq.label,
+        seq.events_per_sec,
+        ratio * 100.0
+    );
+    if ratio < 1.0 - threshold {
+        return Err(format!(
+            "{line}parallel 1-shard/1-thread dispatch regressed more than {:.0}% below the \
+             sequential baseline",
+            threshold * 100.0
+        ));
+    }
+    Ok(Some(line))
+}
+
 /// Loads a `simulate sweep` artifact (one pretty-printed
 /// [`SweepReport`] JSON document), rejecting unknown schema versions.
 ///
@@ -1337,13 +1441,21 @@ pub fn sweep_report(report: &SweepReport) -> String {
     };
     let _ = writeln!(out, "{timing}");
     let _ = writeln!(out);
-    let _ = writeln!(
+    // Window-driver columns appear only when some cell actually ran the
+    // windowed engine (shards > 1), so single-shard sweeps keep their
+    // narrow table.
+    let windowed = report.cells.iter().any(|c| c.stats.parallel.is_some());
+    let _ = write!(
         out,
         "{:<16} {:>6} {:>7} {:>10} {:>10} {:>10} {:>9}",
         "label", "seed", "shards", "completed", "mean", "p99", "wall_s"
     );
+    if windowed {
+        let _ = write!(out, " {:>8} {:>6}", "windows", "late");
+    }
+    let _ = writeln!(out);
     for cell in &report.cells {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{:<16} {:>6} {:>7} {:>10} {:>10} {:>10} {:>9.3}",
             cell.label,
@@ -1354,6 +1466,17 @@ pub fn sweep_report(report: &SweepReport) -> String {
             fmt_dur(cell.stats.latency.p99),
             cell.wall_s
         );
+        if windowed {
+            match cell.stats.parallel.as_ref() {
+                Some(p) => {
+                    let _ = write!(out, " {:>8} {:>6}", p.windows, p.mailbox_late);
+                }
+                None => {
+                    let _ = write!(out, " {:>8} {:>6}", "-", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
     }
     out
 }
@@ -1510,6 +1633,7 @@ mod tests {
                 events: 0,
                 availability: avail,
                 rw: None,
+                parallel: None,
             }
         }
 
@@ -1600,6 +1724,7 @@ baseline           8000 (fault-free run)
                 events: 0,
                 availability: None,
                 rw,
+                parallel: None,
             }
         }
 
@@ -1744,6 +1869,7 @@ switch:20         500     1500      25.0%        1       600           350
                     events: 0,
                     availability: None,
                     rw: None,
+                    parallel: None,
                 },
             }
         }
@@ -1950,6 +2076,7 @@ NetRS-ToR             2       4       8000    1.234ms    7.777ms     1.500
                 deallocs: 100,
                 peak_bytes: 9_000_000,
             }),
+            parallel: None,
             kinds: vec![
                 KindRecord {
                     kind: "Generate".into(),
@@ -2079,6 +2206,60 @@ NetRS-ToR             2       4       8000    1.234ms    7.777ms     1.500
         ]);
         assert!(report.contains("## Perf comparison"), "{report}");
         assert!(report.contains("ns/event"), "{report}");
+    }
+
+    #[test]
+    fn parallel_gate_passes_fails_and_skips() {
+        use netrs_sim::ParallelPerf;
+        let row = |label: &str, eps: f64, parallel: Option<ParallelPerf>| {
+            let mut p = host_profile(label, 18_000, eps);
+            p.parallel = parallel;
+            p
+        };
+        let marker = ParallelPerf {
+            shards: 1,
+            threads: 1,
+            windows: 0,
+            events_per_window: 0.0,
+            busy_imbalance: 0.0,
+        };
+        // No sharded-parallel rows at all: nothing to gate.
+        let plain = PerfArtifact {
+            runs: vec![row("smoke/CliRS", 1_000_000.0, None)],
+        };
+        assert_eq!(parallel_gate(&plain, 0.1).unwrap(), None);
+
+        // Dispatch within threshold passes and reports the ratio.
+        let ok = PerfArtifact {
+            runs: vec![
+                row("smoke/sharded-parallel/seq", 1_000_000.0, None),
+                row("smoke/sharded-parallel/s1-t1", 950_000.0, Some(marker)),
+            ],
+        };
+        let line = parallel_gate(&ok, 0.1).unwrap().expect("pair gated");
+        assert!(line.contains("95.0% of baseline"), "{line}");
+
+        // A dispatch-layer collapse beyond the threshold fails.
+        let bad = PerfArtifact {
+            runs: vec![
+                row("smoke/sharded-parallel/seq", 1_000_000.0, None),
+                row("smoke/sharded-parallel/s1-t1", 500_000.0, Some(marker)),
+            ],
+        };
+        let err = parallel_gate(&bad, 0.1).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+
+        // Only the latest row per label counts: a newer, healthy s1-t1
+        // supersedes the historical regression above.
+        let healed = PerfArtifact {
+            runs: bad
+                .runs
+                .iter()
+                .cloned()
+                .chain([row("smoke/sharded-parallel/s1-t1", 990_000.0, Some(marker))])
+                .collect(),
+        };
+        assert!(parallel_gate(&healed, 0.1).unwrap().is_some());
     }
 
     #[test]

@@ -15,9 +15,9 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use netrs_sim::{
-    run_observed, run_observed_sharded, run_sweep, CacheAdmission, CacheWritePolicy, FaultPlan,
-    HotCacheConfig, ObsOptions, PerfOptions, SamplerSpec, Scheme, SimConfig, SweepJob,
-    WriteConsistency,
+    run_observed, run_observed_sharded, run_observed_sharded_parallel, run_sweep_with_cell_threads,
+    CacheAdmission, CacheWritePolicy, FaultPlan, HotCacheConfig, ObsOptions, ParallelOptions,
+    PerfOptions, SamplerSpec, Scheme, SimConfig, SweepJob, WriteConsistency,
 };
 use netrs_simcore::SimDuration;
 
@@ -34,7 +34,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: simulate [--config FILE] [--scheme clirs|clirs-r95|netrs-tor|netrs-ilp] \
          [--requests N] [--clients N] [--utilization F] [--skew F] [--seed N] \
-         [--shards N] [--small] [--faults FILE] [--emit-config] [--json] \
+         [--shards N] [--threads N] [--lookahead-mult N] [--small] [--faults FILE] \
+         [--emit-config] [--json] \
          [--write-fraction F] [--consistency all|quorum:W|chain] [--hot-cache CAP] \
          [--cache-admission lru|freq:N] [--cache-write invalidate|through] \
          [--trace FILE] [--trace-hops] [--timeseries FILE] [--sample-every-us N] \
@@ -42,7 +43,7 @@ fn usage() -> ! {
          \n\
          simulate sweep --out FILE [--config FILE] [--schemes all|s1,s2,...] \
          [--seeds s1,s2,...] [--requests N] [--utilization F] [--small] \
-         [--shards N] [--threads N] [--baseline]"
+         [--shards N] [--threads N] [--cell-threads N] [--baseline]"
     );
     std::process::exit(2);
 }
@@ -85,6 +86,7 @@ fn sweep_main(args: &[String]) -> ! {
     let mut seeds: Vec<u64> = vec![1, 2, 3];
     let mut shards: u32 = 1;
     let mut threads: usize = 0;
+    let mut cell_threads: usize = 1;
     let mut baseline = false;
 
     let mut i = 0;
@@ -136,6 +138,13 @@ fn sweep_main(args: &[String]) -> ! {
             }
             "--shards" => shards = next().parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = next().parse().unwrap_or_else(|_| usage()),
+            "--cell-threads" => {
+                cell_threads = next().parse().unwrap_or_else(|_| usage());
+                if cell_threads == 0 {
+                    eprintln!("--cell-threads must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             "--baseline" => baseline = true,
             _ => usage(),
         }
@@ -167,13 +176,14 @@ fn sweep_main(args: &[String]) -> ! {
         })
         .collect();
     eprintln!(
-        "[sweep] {} cells ({} schemes × {} seeds), {} shard(s) per run",
+        "[sweep] {} cells ({} schemes × {} seeds), {} shard(s) × {} thread(s) per run",
         jobs.len(),
         schemes.len(),
         seeds.len(),
         shards.max(1),
+        cell_threads,
     );
-    let report = run_sweep(jobs, threads, baseline);
+    let report = run_sweep_with_cell_threads(jobs, threads, cell_threads, baseline);
     eprintln!(
         "[sweep] parallel {:.2}s on {} threads{}",
         report.wall_s,
@@ -212,6 +222,8 @@ fn main() {
     let mut sample_every_us: u64 = 10_000;
     let mut progress = false;
     let mut shards: u32 = 1;
+    let mut threads: Option<usize> = None;
+    let mut lookahead_mult: u32 = 1;
 
     let mut i = 0;
     while i < args.len() {
@@ -331,6 +343,14 @@ fn main() {
             }
             "--progress" => progress = true,
             "--shards" => shards = next().parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--lookahead-mult" => {
+                lookahead_mult = next().parse().unwrap_or_else(|_| usage());
+                if lookahead_mult == 0 {
+                    eprintln!("--lookahead-mult must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             _ => usage(),
         }
         i += 1;
@@ -365,7 +385,19 @@ fn main() {
         }),
         progress,
     };
-    let out = if shards > 1 {
+    // `--threads`/`--lookahead-mult` opt into the parallel window driver;
+    // without them the historical dispatch (and its exact bytes) is kept.
+    let out = if threads.is_some() || lookahead_mult != 1 {
+        run_observed_sharded_parallel(
+            cfg,
+            shards,
+            ParallelOptions {
+                threads: threads.unwrap_or(1),
+                lookahead_mult,
+            },
+            obs,
+        )
+    } else if shards > 1 {
         run_observed_sharded(cfg, shards, obs)
     } else {
         run_observed(cfg, obs)
@@ -484,6 +516,12 @@ fn main() {
             "server utilization  : {:.1}%",
             stats.mean_server_utilization * 100.0
         );
+        if let Some(p) = stats.parallel.as_ref() {
+            println!(
+                "parallel            : {} shards · {} windows · {} mailbox posts ({} late)",
+                p.shards, p.windows, p.mailbox_posted, p.mailbox_late
+            );
+        }
         println!(
             "events              : {} over {} simulated",
             stats.events, stats.sim_end

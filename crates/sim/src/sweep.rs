@@ -24,7 +24,7 @@ use crossbeam::thread;
 use serde::{Deserialize, Serialize};
 
 use crate::config::SimConfig;
-use crate::runner::{run, run_sharded};
+use crate::runner::{run, run_sharded, run_sharded_parallel};
 use crate::stats::RunStats;
 
 /// Version stamp on every [`SweepReport`] artifact; bump on any schema
@@ -80,11 +80,21 @@ pub struct SweepReport {
     pub cells: Vec<SweepCell>,
 }
 
-/// Resolves a thread-count request: `0` means one worker per available
-/// core, and there is never a point in more workers than jobs.
-fn effective_threads(requested: usize, jobs: usize) -> usize {
+/// Resolves a worker-count request: `0` means one worker per available
+/// core, and there is never a point in more workers than jobs. With
+/// `cell_threads > 1` each worker's cell spins up its own shard pool, so
+/// the worker count is capped at `cores / cell_threads` — workers times
+/// per-cell threads never oversubscribes the machine (floored at one
+/// worker; a single cell may still use more threads than cores, which is
+/// the user's explicit request).
+fn effective_threads(requested: usize, jobs: usize, cell_threads: usize) -> usize {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let t = if requested == 0 { cores } else { requested };
+    let t = if cell_threads > 1 {
+        t.min((cores / cell_threads).max(1))
+    } else {
+        t
+    };
     t.min(jobs).max(1)
 }
 
@@ -97,7 +107,27 @@ fn effective_threads(requested: usize, jobs: usize) -> usize {
 /// Panics if a job's configuration is invalid or a worker panics.
 #[must_use]
 pub fn run_grid(jobs: &[SweepJob], threads: usize) -> Vec<SweepCell> {
-    let threads = effective_threads(threads, jobs.len());
+    run_grid_with_cell_threads(jobs, threads, 1)
+}
+
+/// [`run_grid`] with an intra-cell thread budget: multi-shard jobs run
+/// on the parallel window driver ([`run_sharded_parallel`]) with
+/// `cell_threads` workers each, and the outer worker count is capped so
+/// workers × cell threads never oversubscribes the machine. Cell results
+/// are byte-identical whatever `cell_threads` is set to — the replica
+/// engine's merge is thread-invariant — so this only moves wall-clock
+/// around. `cell_threads <= 1` is exactly [`run_grid`].
+///
+/// # Panics
+///
+/// Panics if a job's configuration is invalid or a worker panics.
+#[must_use]
+pub fn run_grid_with_cell_threads(
+    jobs: &[SweepJob],
+    threads: usize,
+    cell_threads: usize,
+) -> Vec<SweepCell> {
+    let threads = effective_threads(threads, jobs.len(), cell_threads);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<SweepCell>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     thread::scope(|scope| {
@@ -108,7 +138,9 @@ pub fn run_grid(jobs: &[SweepJob], threads: usize) -> Vec<SweepCell> {
                 let started = Instant::now();
                 let mut cfg = job.cfg.clone();
                 cfg.seed = job.seed;
-                let stats = if job.shards > 1 {
+                let stats = if job.shards > 1 && cell_threads > 1 {
+                    run_sharded_parallel(cfg, job.shards, cell_threads)
+                } else if job.shards > 1 {
                     run_sharded(cfg, job.shards)
                 } else {
                     run(cfg)
@@ -141,17 +173,34 @@ pub fn run_grid(jobs: &[SweepJob], threads: usize) -> Vec<SweepCell> {
 ///
 /// Panics if a job's configuration is invalid or a worker panics.
 #[must_use]
-pub fn run_sweep(mut jobs: Vec<SweepJob>, threads: usize, baseline: bool) -> SweepReport {
+pub fn run_sweep(jobs: Vec<SweepJob>, threads: usize, baseline: bool) -> SweepReport {
+    run_sweep_with_cell_threads(jobs, threads, 1, baseline)
+}
+
+/// [`run_sweep`] with an intra-cell thread budget (see
+/// [`run_grid_with_cell_threads`]). The baseline pass keeps the same
+/// `cell_threads`, so the measured speedup isolates the outer fan-out.
+///
+/// # Panics
+///
+/// Panics if a job's configuration is invalid or a worker panics.
+#[must_use]
+pub fn run_sweep_with_cell_threads(
+    mut jobs: Vec<SweepJob>,
+    threads: usize,
+    cell_threads: usize,
+    baseline: bool,
+) -> SweepReport {
     jobs.sort_by(|a, b| {
         (a.label.as_str(), a.seed, a.shards).cmp(&(b.label.as_str(), b.seed, b.shards))
     });
-    let threads = effective_threads(threads, jobs.len());
+    let threads = effective_threads(threads, jobs.len(), cell_threads);
     let started = Instant::now();
-    let cells = run_grid(&jobs, threads);
+    let cells = run_grid_with_cell_threads(&jobs, threads, cell_threads);
     let wall_s = started.elapsed().as_secs_f64();
     let (sequential_wall_s, speedup) = if baseline {
         let started = Instant::now();
-        let _ = run_grid(&jobs, 1);
+        let _ = run_grid_with_cell_threads(&jobs, 1, cell_threads);
         let seq = started.elapsed().as_secs_f64();
         (Some(seq), (wall_s > 0.0).then(|| seq / wall_s))
     } else {
@@ -238,6 +287,61 @@ mod tests {
         assert!(seq > 0.0);
         assert!(speedup > 0.0);
         assert!((speedup - seq / report.wall_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_threads_cap_worker_budget() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        // cell_threads == 1 keeps the historical resolution untouched,
+        // including explicit over-subscription requests.
+        assert_eq!(effective_threads(0, 64, 1), cores.min(64));
+        assert_eq!(effective_threads(8, 64, 1), 8);
+        // With an intra-cell budget, workers never exceed cores /
+        // cell_threads (floored at one worker).
+        for ct in [2usize, 3, 4, 8] {
+            for req in [0usize, 1, 2, 8, 64] {
+                let w = effective_threads(req, 64, ct);
+                assert!(w >= 1);
+                assert!(
+                    w <= (cores / ct).max(1),
+                    "{req} workers requested with cell_threads={ct}: got {w} on {cores} cores"
+                );
+                if req != 0 {
+                    assert!(w <= req);
+                }
+            }
+        }
+        // Never more workers than jobs.
+        assert_eq!(effective_threads(0, 1, 2), 1);
+    }
+
+    #[test]
+    fn cell_threads_do_not_change_cell_bytes() {
+        // Replica-eligible scheme on 4 shards: the parallel window driver
+        // must produce the same bytes for any intra-cell thread count.
+        let jobs = vec![SweepJob {
+            label: "clirs/4shard".into(),
+            cfg: tiny(Scheme::CliRs, 9),
+            seed: 9,
+            shards: 4,
+        }];
+        let a = run_grid_with_cell_threads(&jobs, 1, 2);
+        let b = run_grid_with_cell_threads(&jobs, 2, 3);
+        assert_eq!(
+            serde_json::to_string(&a[0].stats).expect("stats serialize"),
+            serde_json::to_string(&b[0].stats).expect("stats serialize"),
+            "cell thread count leaked into results"
+        );
+        assert_eq!(
+            serde_json::to_string(&a[0].stats).expect("stats serialize"),
+            serde_json::to_string(&crate::runner::run_sharded_parallel(
+                tiny(Scheme::CliRs, 9),
+                4,
+                2
+            ))
+            .expect("stats serialize"),
+            "grid cell must match a direct parallel run"
+        );
     }
 
     #[test]

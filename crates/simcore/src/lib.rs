@@ -65,6 +65,7 @@ mod device;
 mod engine;
 mod hostperf;
 mod metrics;
+mod parallel;
 mod rng;
 mod shard;
 mod time;
@@ -76,6 +77,7 @@ pub use device::{
 pub use engine::{Engine, EventQueue, World};
 pub use hostperf::{peak_rss_kb, KindStats, PerfProbe, PerfReport, DEPTH_BUCKETS};
 pub use metrics::{Histogram, Summary};
+pub use parallel::{ParallelShardedEngine, ParallelWorld, WindowStats};
 pub use rng::{Bimodal, SimRng, Zipf};
 pub use shard::{Mailbox, ShardId, ShardedEngine, ShardedWorld};
 pub use time::{SimDuration, SimTime};

@@ -152,6 +152,8 @@ pub struct ShardedEngine<W: ShardedWorld, P: Probe = NoProbe> {
     mailbox: Mailbox<W::Event>,
     lookahead: SimDuration,
     processed: u64,
+    /// Conservative windows advanced so far.
+    windows: u64,
     now: SimTime,
     probe: P,
     started: Instant,
@@ -177,6 +179,7 @@ impl<W: ShardedWorld, P: Probe> ShardedEngine<W, P> {
             mailbox: Mailbox::new(shards),
             lookahead,
             processed: 0,
+            windows: 0,
             now: SimTime::ZERO,
             probe,
             started: Instant::now(),
@@ -193,6 +196,13 @@ impl<W: ShardedWorld, P: Probe> ShardedEngine<W, P> {
     #[must_use]
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Conservative windows advanced so far (one per
+    /// [`advance_window`](Self::advance_window) that found work).
+    #[must_use]
+    pub fn windows(&self) -> u64 {
+        self.windows
     }
 
     /// Total number of events processed across all shards.
@@ -337,6 +347,7 @@ impl<W: ShardedWorld, P: Probe> ShardedEngine<W, P> {
         let Some(t_min) = self.queues.iter().filter_map(EventQueue::peek_time).min() else {
             return false;
         };
+        self.windows += 1;
         let horizon = t_min + self.lookahead;
         loop {
             // Pick the earliest in-window head across shards; timestamp

@@ -12,9 +12,11 @@ use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 use netrs_sim::{
-    run, run_observed, run_observed_sharded, run_seeds, run_seeds_sharded, run_sharded, ObsOptions,
-    Scheme, SimConfig,
+    run, run_observed, run_observed_sharded, run_observed_sharded_parallel, run_seeds,
+    run_seeds_sharded, run_sharded, run_sharded_parallel, ObsOptions, ParallelOptions, Scheme,
+    SimConfig,
 };
+use proptest::prelude::*;
 
 /// A `Write` sink the test can inspect after the run consumed the box.
 #[derive(Clone, Default)]
@@ -140,6 +142,155 @@ fn multi_shard_seeds_differ() {
         a.latency, b.latency,
         "different seeds must produce different runs"
     );
+}
+
+/// Runs one parallel sharded run with trace + control sinks attached and
+/// returns `(stats JSON, trace JSONL, control JSONL)`.
+fn parallel_observed(
+    cfg: SimConfig,
+    shards: u32,
+    par: ParallelOptions,
+    devices: bool,
+) -> (String, String, String) {
+    let trace = SharedBuf::default();
+    let control = SharedBuf::default();
+    let obs = ObsOptions {
+        trace: Some(Box::new(trace.clone())),
+        control: Some(Box::new(control.clone())),
+        trace_hops: devices,
+        device_stats: devices,
+        ..ObsOptions::default()
+    };
+    let out = run_observed_sharded_parallel(cfg, shards, par, obs);
+    (
+        stats_json(&out.stats),
+        trace.take_string(),
+        control.take_string(),
+    )
+}
+
+/// The tentpole acceptance invariant: for all four schemes, a
+/// `--shards 4 --threads 4` run is byte-identical to `--shards 4
+/// --threads 1` — RunStats, trace JSONL, and control JSONL. Client-side
+/// schemes exercise the SPMD replica engine (true concurrency);
+/// in-network schemes exercise the sequential-window fallback.
+#[test]
+fn four_threads_byte_identical_to_one_thread_for_all_schemes() {
+    for scheme in Scheme::ALL {
+        for seed in SEEDS {
+            let par = |threads| ParallelOptions {
+                threads,
+                ..ParallelOptions::default()
+            };
+            let one = parallel_observed(tiny(scheme, seed), 4, par(1), false);
+            let four = parallel_observed(tiny(scheme, seed), 4, par(4), false);
+            assert_eq!(one.0, four.0, "{scheme:?} seed {seed}: stats diverged");
+            assert_eq!(one.1, four.1, "{scheme:?} seed {seed}: trace diverged");
+            assert_eq!(one.2, four.2, "{scheme:?} seed {seed}: control diverged");
+        }
+    }
+}
+
+/// Same invariant with the device probe and hop tracing attached (which
+/// routes every scheme through the fallback engine): stats, trace, and
+/// control still thread-invariant, and the device report too.
+#[test]
+fn four_threads_byte_identical_with_device_stats() {
+    for scheme in Scheme::ALL {
+        let par = |threads| ParallelOptions {
+            threads,
+            ..ParallelOptions::default()
+        };
+        let one = parallel_observed(tiny(scheme, 11), 4, par(1), true);
+        let four = parallel_observed(tiny(scheme, 11), 4, par(4), true);
+        assert_eq!(one, four, "{scheme:?}: instrumented output diverged");
+    }
+}
+
+/// One shard through the parallel entry point is still the sequential
+/// engine, byte for byte.
+#[test]
+fn one_shard_parallel_matches_sequential_engine() {
+    for scheme in Scheme::ALL {
+        let sequential = run(tiny(scheme, 12));
+        let parallel = run_sharded_parallel(tiny(scheme, 12), 1, 4);
+        assert_eq!(
+            stats_json(&sequential),
+            stats_json(&parallel),
+            "{scheme:?}: one-shard parallel run diverged from sequential"
+        );
+    }
+}
+
+/// The replica engine completes the workload, reports the window
+/// accounting, and never trips the mailbox at the default (provably
+/// safe) 1× lookahead.
+#[test]
+fn replica_engine_completes_with_clean_window_accounting() {
+    let stats = run_sharded_parallel(tiny(Scheme::CliRs, 11), 4, 2);
+    assert_eq!(stats.completed, 1_500, "work lost in replica mode");
+    let par = stats
+        .parallel
+        .expect("multi-shard run reports window stats");
+    assert_eq!(par.shards, 4);
+    assert!(par.windows > 0, "window driver reported no windows");
+    assert!(par.mailbox_posted > 0, "cross-shard traffic must exist");
+    assert_eq!(par.mailbox_late, 0, "1x lookahead must never clamp");
+}
+
+/// A deliberately wide lookahead trips `mailbox_late`: cross-pod flows
+/// traverse at least 6 links (host–ToR–agg–core–agg–ToR–host), so any
+/// multiplier above that makes some posts land inside an already-drained
+/// window. They are clamped and counted — never a panic, still
+/// thread-invariant, and the workload still completes.
+#[test]
+fn wide_lookahead_clamps_late_posts_and_still_completes() {
+    let par = |threads| ParallelOptions {
+        threads,
+        lookahead_mult: 50,
+    };
+    let cfg = || tiny(Scheme::CliRs, 13);
+    let one = run_observed_sharded_parallel(cfg(), 4, par(1), ObsOptions::default()).stats;
+    let four = run_observed_sharded_parallel(cfg(), 4, par(4), ObsOptions::default()).stats;
+    assert_eq!(
+        stats_json(&one),
+        stats_json(&four),
+        "clamped schedule must still be thread-invariant"
+    );
+    assert_eq!(one.completed, 1_500, "work lost under wide lookahead");
+    let p = one.parallel.expect("window stats present");
+    assert!(
+        p.mailbox_late > 0,
+        "50x lookahead over 6-link flows must clamp some posts"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite property: a parallel N-shard run equals the
+    /// sequential-windowed N-shard run (threads = 1 of the same engine)
+    /// under random seed, scheme, shard count, thread count, and write
+    /// fraction.
+    #[test]
+    fn parallel_equals_sequential_windowed(
+        seed in 0u64..1_000,
+        scheme_idx in 0usize..4,
+        shards in 2u32..5,
+        threads in 2usize..5,
+        write_pct in 0u32..3,
+    ) {
+        let mut cfg = tiny(Scheme::ALL[scheme_idx], seed);
+        cfg.requests = 400;
+        cfg.write_fraction = f64::from(write_pct) * 0.1;
+        let par = |threads| ParallelOptions { threads, ..ParallelOptions::default() };
+        let a = run_observed_sharded_parallel(
+            cfg.clone(), shards, par(1), ObsOptions::default()).stats;
+        let b = run_observed_sharded_parallel(
+            cfg, shards, par(threads), ObsOptions::default()).stats;
+        prop_assert_eq!(stats_json(&a), stats_json(&b));
+        prop_assert_eq!(a.completed, 400);
+    }
 }
 
 /// The multi-seed fan-out on the sharded path serializes to the same
